@@ -1,0 +1,140 @@
+"""Ablations — design choices behind the reproduction, measured.
+
+**A1 — linkbase index encoding.**  Our exporter encodes an index as a
+single *open* arc (no from/to: XLink's every-participant rule), giving an
+O(1)-arc artifact whose cross product is computed at load time.  The
+alternative is materializing all n·(n−1) pairs as explicit arcs.  Both
+yield the same traversal graph; the ablation measures artifact size and
+parse time.  Expected: open-arc artifact is O(n) bytes vs O(n²), and
+parses proportionally faster, at identical graph semantics.
+
+**A2 — embedded vs referenced index.**  Figures 3–4 embed the sibling
+index in every member page; the alternative keeps one index page and a
+single back-anchor per member.  Expected: embedded pages are O(n) each
+(O(n²) site bytes per context) vs O(1) (plus one O(n) index page), which
+is exactly why the tangled change impact is so painful.
+"""
+
+import pytest
+
+from repro.baselines import synthetic_museum
+from repro.core import NavigationSpec, default_museum_spec, export_linkbase
+from repro.hypermedia import Index
+from repro.web import nav_block
+from repro.xlink import Linkbase
+from repro.xmlcore import XLINK_NAMESPACE, Document, Element, QName, parse, serialize
+
+
+def open_arc_linkbase_text(n: int) -> str:
+    fixture = synthetic_museum(1, n)
+    spec = NavigationSpec().set_access("by-painter", "index", label_attribute="title")
+    return serialize(export_linkbase(fixture, spec), indent="  ")
+
+
+def per_pair_linkbase_text(n: int) -> str:
+    """The ablated encoding: one arc element per (i, j) pair."""
+    root = Element("links", namespaces={"xlink": XLINK_NAMESPACE})
+    link = Element("context")
+    link.set(QName(XLINK_NAMESPACE, "type"), "extended")
+    root.append(link)
+    for i in range(n):
+        locator = Element("member")
+        locator.set(QName(XLINK_NAMESPACE, "type"), "locator")
+        locator.set(QName(XLINK_NAMESPACE, "href"), f"work0_{i}.xml")
+        locator.set(QName(XLINK_NAMESPACE, "label"), f"m{i}")
+        link.append(locator)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            arc = Element("arc")
+            arc.set(QName(XLINK_NAMESPACE, "type"), "arc")
+            arc.set(QName(XLINK_NAMESPACE, "from"), f"m{i}")
+            arc.set(QName(XLINK_NAMESPACE, "to"), f"m{j}")
+            arc.set(QName(XLINK_NAMESPACE, "arcrole"), "urn:repro:nav:entry")
+            link.append(arc)
+    document = Document()
+    document.append(root)
+    return serialize(document, indent="  ")
+
+
+SIZES = [10, 50]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_a1_artifact_sizes(n):
+    open_size = len(open_arc_linkbase_text(n))
+    pair_size = len(per_pair_linkbase_text(n))
+    # Open-arc artifact grows linearly; per-pair quadratically.
+    assert pair_size > open_size
+    if n >= 50:
+        assert pair_size > 5 * open_size
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_a1_parse_open_arc(benchmark, n):
+    text = open_arc_linkbase_text(n)
+    benchmark(parse, text)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_a1_parse_per_pair(benchmark, n):
+    text = per_pair_linkbase_text(n)
+    benchmark(parse, text)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_a1_same_traversal_semantics(n):
+    """Both encodings expand to the same (start, end) traversal set."""
+    def pairs(text):
+        graph = Linkbase.from_document("links.xml", parse(text)).graph()
+        return {
+            (str(t.start.href), str(t.end.href))
+            for t in graph.traversals
+            if t.start is not t.end
+        }
+
+    open_pairs = {
+        p for p in pairs(open_arc_linkbase_text(n)) if "work" in p[0] and "work" in p[1]
+    }
+    pair_pairs = pairs(per_pair_linkbase_text(n))
+    assert open_pairs == pair_pairs
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_a2_embedded_index_page_bytes(benchmark, n):
+    fixture = synthetic_museum(1, n)
+    spec = NavigationSpec().set_access("by-painter", "index", label_attribute="title")
+    (context,) = spec.build_contexts(fixture).values()
+    structure = Index(name="ctx", label_attribute="title", embed_in_members=True)
+
+    def render():
+        return sum(
+            len(serialize(nav_block(structure.anchors_on(node, context.members))))
+            for node in context.members
+        )
+
+    total = benchmark(render)
+    assert total > n * n  # O(n) anchors x O(n) pages
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_a2_referenced_index_page_bytes(benchmark, n):
+    fixture = synthetic_museum(1, n)
+    spec = NavigationSpec().set_access("by-painter", "index", label_attribute="title")
+    (context,) = spec.build_contexts(fixture).values()
+    structure = Index(
+        name="ctx",
+        label_attribute="title",
+        embed_in_members=False,
+        index_uri="ctx/index.html",
+    )
+
+    def render():
+        return sum(
+            len(serialize(nav_block(structure.anchors_on(node, context.members))))
+            for node in context.members
+        )
+
+    total = benchmark(render)
+    assert total < 150 * n  # O(1) anchors per page

@@ -1,0 +1,79 @@
+"""F2 — Figure 2: Index vs (Indexed) Guided Tour.
+
+Prices the two access structures of the paper's Figure 2 as the context
+grows.  Expected shape: a guided tour's per-page anchors are O(1) (next /
+prev), an embedded index's are O(n) — which is also why the tangled
+Figure-3 pages balloon with context size.
+"""
+
+import pytest
+
+from repro.baselines import synthetic_museum
+from repro.core import NavigationSpec
+from repro.hypermedia import GuidedTour, Index, IndexedGuidedTour
+
+SIZES = [10, 100, 1000]
+
+
+def members_of_size(n: int):
+    fixture = synthetic_museum(1, n)
+    spec = NavigationSpec().set_access(
+        "by-painter", "index", label_attribute="title"
+    )
+    contexts = spec.build_contexts(fixture)
+    (context,) = contexts.values()
+    assert len(context.members) == n
+    return context.members
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def members(request):
+    return members_of_size(request.param)
+
+
+def test_index_member_page_anchors(benchmark, members):
+    structure = Index(name="ctx", label_attribute="title")
+    middle = members[len(members) // 2]
+    anchors = benchmark(structure.anchors_on, middle, members)
+    assert len(anchors) == len(members) - 1  # O(n)
+
+
+def test_guided_tour_member_page_anchors(benchmark, members):
+    structure = GuidedTour(name="ctx", label_attribute="title")
+    middle = members[len(members) // 2]
+    anchors = benchmark(structure.anchors_on, middle, members)
+    assert len(anchors) == 2  # O(1)
+
+
+def test_indexed_guided_tour_member_page_anchors(benchmark, members):
+    structure = IndexedGuidedTour(name="ctx", label_attribute="title")
+    middle = members[len(members) // 2]
+    anchors = benchmark(structure.anchors_on, middle, members)
+    assert len(anchors) == len(members) + 1  # index + prev/next
+
+def test_index_entry_page(benchmark, members):
+    structure = Index(name="ctx", label_attribute="title")
+    anchors = benchmark(structure.entries, members)
+    assert len(anchors) == len(members)
+
+
+def test_full_context_traversal(benchmark, members):
+    """Walking the whole tour (every next_after) — the browsing workload."""
+    from repro.hypermedia import NavigationalContext
+
+    context = NavigationalContext(
+        "walk", list(members), GuidedTour(name="walk")
+    )
+
+    def walk():
+        node = context.members[0]
+        steps = 0
+        while True:
+            following = context.next_after(node)
+            if following is None:
+                return steps
+            node = following
+            steps += 1
+
+    assert walk() == len(members) - 1
+    benchmark(walk)

@@ -1,0 +1,70 @@
+"""F3/F4 — Figures 3–4: the tangled pages and what the change request costs.
+
+Regenerates the Guitar page both ways and measures the Index → Indexed
+Guided Tour edit across museum sizes.  Expected shape (the paper's
+argument): files touched grows linearly with the number of paintings in
+the tangled architecture — "this isn't the only page we have to modify".
+"""
+
+import pytest
+
+from repro.baselines import TangledMuseumSite, museum_fixture, synthetic_museum
+from repro.web import diff_builds
+
+
+def build_texts(fixture, access):
+    return {p.path: p.html for p in TangledMuseumSite(fixture, access).build().values()}
+
+
+def test_figure_3_guitar_page_regenerated(paper_fixture):
+    """The Figure 3 artifact: Guitar with the Index access structure."""
+    pages = TangledMuseumSite(paper_fixture, "index").build()
+    guitar = pages["painting/guitar.html"]
+    assert "<h1>Guitar</h1>" in guitar.html
+    assert "Guernica" in guitar.html            # the embedded index
+    assert 'rel="next"' not in guitar.html      # and no tour yet
+
+
+def test_figure_4_guitar_page_regenerated(paper_fixture):
+    """The Figure 4 artifact: the same page with the two bold lines."""
+    pages = TangledMuseumSite(paper_fixture, "indexed-guided-tour").build()
+    guitar = pages["painting/guitar.html"]
+    assert 'rel="next"' in guitar.html and 'rel="prev"' in guitar.html
+
+
+def test_figure_4_adds_at_most_two_lines_per_page(paper_fixture):
+    """The paper: 'they seem only two lines of HTML code' — per page."""
+    impact = diff_builds(
+        build_texts(paper_fixture, "index"),
+        build_texts(paper_fixture, "indexed-guided-tour"),
+    )
+    for delta in impact.deltas:
+        assert delta.lines_added <= 2
+        assert delta.lines_removed == 0
+
+
+def test_tangled_build_paper_museum(benchmark, paper_fixture):
+    pages = benchmark(lambda: TangledMuseumSite(paper_fixture, "index").build())
+    assert len(pages) == 14
+
+
+@pytest.mark.parametrize("paintings", [5, 20, 50])
+def test_tangled_build_scales(benchmark, paintings):
+    fixture = synthetic_museum(4, paintings)
+    pages = benchmark(lambda: TangledMuseumSite(fixture, "index").build())
+    assert len(pages) == 1 + 4 + 4 * paintings
+
+
+@pytest.mark.parametrize("paintings", [5, 20, 50])
+def test_change_impact_grows_with_context_size(benchmark, paintings):
+    """Files touched == number of paintings: O(context size)."""
+    fixture = synthetic_museum(4, paintings)
+
+    def measure():
+        return diff_builds(
+            build_texts(fixture, "index"),
+            build_texts(fixture, "indexed-guided-tour"),
+        )
+
+    impact = benchmark(measure)
+    assert impact.files_touched == 4 * paintings

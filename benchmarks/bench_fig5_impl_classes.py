@@ -1,0 +1,61 @@
+"""F5 — Figure 5: the implementation classes of the access structures.
+
+Figure 5 contrasts the Index implementation classes with the Indexed
+Guided Tour ones; here we price instantiating those classes and rendering
+a whole context through them — construction, per-page anchors, and the
+HTML materialization of the paper's node pages.
+"""
+
+import pytest
+
+from repro.baselines import synthetic_museum
+from repro.core import NavigationSpec, PageRenderer
+from repro.hypermedia import Index, IndexedGuidedTour
+from repro.web import nav_block
+
+
+@pytest.fixture(scope="module")
+def context_members():
+    fixture = synthetic_museum(1, 50)
+    spec = NavigationSpec().set_access("by-painter", "index", label_attribute="title")
+    (context,) = spec.build_contexts(fixture).values()
+    return fixture, context.members
+
+
+def test_index_class_instantiation(benchmark):
+    benchmark(lambda: Index(name="ctx", label_attribute="title"))
+
+
+def test_indexed_guided_tour_class_instantiation(benchmark):
+    """IGT builds its two delegates in __post_init__ — measurably heavier."""
+    benchmark(lambda: IndexedGuidedTour(name="ctx", label_attribute="title"))
+
+
+def test_render_context_through_index_classes(benchmark, context_members):
+    _, members = context_members
+    structure = Index(name="ctx", label_attribute="title")
+
+    def render_all():
+        return [nav_block(structure.anchors_on(node, members)) for node in members]
+
+    blocks = benchmark(render_all)
+    assert len(blocks) == len(members)
+
+
+def test_render_context_through_igt_classes(benchmark, context_members):
+    _, members = context_members
+    structure = IndexedGuidedTour(name="ctx", label_attribute="title")
+
+    def render_all():
+        return [nav_block(structure.anchors_on(node, members)) for node in members]
+
+    blocks = benchmark(render_all)
+    assert len(blocks) == len(members)
+
+
+def test_node_page_rendering(benchmark, context_members):
+    """The base-program half of Figure 5: a node page without navigation."""
+    fixture, members = context_members
+    renderer = PageRenderer(fixture)
+    page = benchmark(renderer.render_node, members[0])
+    assert page.anchors() == []

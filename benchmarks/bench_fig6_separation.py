@@ -1,0 +1,80 @@
+"""F6 — Figure 6: what the separated architecture costs at build time.
+
+Figure 6 proposes weaving navigation into the basic functionality.  The
+price of that proposal is build-time composition work; these benchmarks
+compare whole-site builds under each architecture.
+
+Expected shape: woven and XLink builds cost a constant factor over the
+tangled build (they do strictly more work: render content, compute
+anchors, compose), and the factor does not grow with site size.
+"""
+
+import pytest
+
+from repro.baselines import TangledMuseumSite, synthetic_museum
+from repro.core import (
+    build_plain_site,
+    build_woven_site,
+    build_xlink_site,
+    default_museum_spec,
+)
+
+SIZES = {"small": (5, 5), "medium": (10, 20)}
+
+
+@pytest.fixture(scope="module", params=sorted(SIZES))
+def sized_fixture(request):
+    painters, paintings = SIZES[request.param]
+    return synthetic_museum(painters, paintings)
+
+
+def test_tangled_build(benchmark, sized_fixture):
+    pages = benchmark(lambda: TangledMuseumSite(sized_fixture, "index").build())
+    assert pages
+
+
+def test_plain_build_base_program_only(benchmark, sized_fixture):
+    site = benchmark(build_plain_site, sized_fixture)
+    assert len(site) > 1
+
+
+def test_woven_build(benchmark, sized_fixture):
+    spec = default_museum_spec("index")
+    site = benchmark(build_woven_site, sized_fixture, spec)
+    assert sum(len(p.anchors()) for p in site.pages()) > 0
+
+
+def test_woven_build_igt(benchmark, sized_fixture):
+    spec = default_museum_spec("indexed-guided-tour")
+    site = benchmark(build_woven_site, sized_fixture, spec)
+    assert site.check_links() == []
+
+
+def test_xlink_build(benchmark, sized_fixture):
+    spec = default_museum_spec("index")
+    site = benchmark(build_xlink_site, sized_fixture, spec)
+    assert len(site) > 1
+
+
+def test_weaving_overhead_is_bounded(paper_fixture):
+    """The aspect's own overhead: woven build vs plain build, same pages.
+
+    Not a timing assertion by wall clock (machines vary) but a sanity
+    bound: weaving the paper museum must cost less than 20x the plain
+    build, i.e. the mechanism is a constant factor, not an asymptotic one.
+    """
+    import time
+
+    def clock(fn, repeat=5):
+        best = float("inf")
+        for _ in range(repeat):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    plain = clock(lambda: build_plain_site(paper_fixture))
+    woven = clock(
+        lambda: build_woven_site(paper_fixture, default_museum_spec("index"))
+    )
+    assert woven < plain * 20

@@ -1,0 +1,98 @@
+"""F7–F9 — Figures 7–9: the XLink artifacts and the linkbase machinery.
+
+Regenerates picasso.xml / avignon.xml / links.xml, then prices the
+linkbase pipeline: serialization, parsing, arc expansion and traversal
+queries, scaling the number of links.
+
+Expected shape: parse and graph construction are linear in the linkbase
+size; outgoing() lookups are O(1) after indexing.
+"""
+
+import pytest
+
+from repro.baselines import museum_fixture, synthetic_museum
+from repro.core import (
+    default_museum_spec,
+    export_data_documents,
+    export_linkbase,
+)
+from repro.xlink import Linkbase, find_links
+from repro.xmlcore import parse, serialize
+
+
+def test_figure_7_8_data_documents_regenerated(paper_fixture):
+    documents = export_data_documents(paper_fixture)
+    picasso = serialize(documents["picasso.xml"], indent="  ")
+    avignon = serialize(documents["avignon.xml"], indent="  ")
+    assert "<name>Pablo Picasso</name>" in picasso
+    assert "<title>Les Demoiselles d'Avignon</title>" in avignon
+    # The whole point of Figures 7-8: no links in the data.
+    assert "xlink" not in picasso and "xlink" not in avignon
+
+
+def test_figure_9_linkbase_regenerated(paper_fixture):
+    text = serialize(
+        export_linkbase(paper_fixture, default_museum_spec("index")), indent="  "
+    )
+    assert 'xlink:type="extended"' in text
+    assert 'xlink:type="locator"' in text
+    assert 'xlink:type="arc"' in text
+    assert "picasso.xml" in text and "avignon.xml" in text
+
+
+def test_export_linkbase_speed(benchmark, paper_fixture):
+    spec = default_museum_spec("indexed-guided-tour")
+    document = benchmark(export_linkbase, paper_fixture, spec)
+    assert document.root_element.child_elements()
+
+
+# 300 members already means a 90k-traversal index cross product; the
+# asymptote is visible without paying for the 10^6 case on every run.
+@pytest.fixture(scope="module", params=[10, 100, 300])
+def linkbase_text_of_size(request):
+    paintings = request.param
+    fixture = synthetic_museum(1, paintings)
+    spec = default_museum_spec("indexed-guided-tour")
+    return paintings, serialize(export_linkbase(fixture, spec), indent="  ")
+
+
+def test_parse_linkbase_scaling(benchmark, linkbase_text_of_size):
+    _, text = linkbase_text_of_size
+    document = benchmark(parse, text)
+    assert find_links(document)
+
+
+def test_graph_construction_scaling(benchmark, linkbase_text_of_size):
+    paintings, text = linkbase_text_of_size
+    document = parse(text)
+
+    def build_graph():
+        return Linkbase.from_document("links.xml", document).graph()
+
+    graph = benchmark(build_graph)
+    # IGT context: n^2 index pairs (with self pairs) + 2(n-1) tour arcs,
+    # plus the exposed link classes and home entries.
+    assert len(graph) >= paintings * paintings
+
+
+def test_outgoing_lookup_is_indexed(benchmark, linkbase_text_of_size):
+    _, text = linkbase_text_of_size
+    graph = Linkbase.from_document(
+        "links.xml", parse(text)
+    ).graph()
+    some_uri = "work0_1.xml"
+    traversals = benchmark(graph.outgoing, some_uri)
+    assert traversals
+
+
+def test_round_trip_serialize_parse(benchmark, paper_fixture):
+    """links.xml must survive its trip to disk and back."""
+    document = export_linkbase(paper_fixture, default_museum_spec("index"))
+
+    def round_trip():
+        return parse(serialize(document, indent="  "))
+
+    reparsed = benchmark(round_trip)
+    before = [type(l).__name__ for l in find_links(document)]
+    after = [type(l).__name__ for l in find_links(reparsed)]
+    assert before == after

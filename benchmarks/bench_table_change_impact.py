@@ -1,0 +1,51 @@
+"""T-C — derived table: the change request under three architectures.
+
+The headline experiment.  Expected shape:
+
+==========  =======================  =====================
+approach    authored files touched   grows with site size?
+==========  =======================  =====================
+tangled     every page of context    yes, O(n)
+xlink       links.xml only           no, O(1) files
+aspect      navigation.spec only     no, O(1) lines
+==========  =======================  =====================
+"""
+
+import pytest
+
+from repro.baselines import synthetic_museum
+from repro.metrics import all_impacts, aspect_impact, tangled_impact, xlink_impact
+
+
+def test_headline_table_paper_museum(paper_fixture):
+    impacts = {i.approach: i for i in all_impacts(paper_fixture)}
+    assert impacts["tangled"].authored.files_touched == 9
+    assert impacts["xlink"].authored.files_touched == 1
+    assert impacts["aspect"].authored.files_touched == 1
+    assert impacts["aspect"].authored.lines_changed == 2
+
+
+def test_measure_tangled_impact(benchmark, paper_fixture):
+    impact = benchmark(tangled_impact, paper_fixture)
+    assert impact.authored.files_touched == 9
+
+
+def test_measure_xlink_impact(benchmark, paper_fixture):
+    impact = benchmark(xlink_impact, paper_fixture)
+    assert impact.authored.touched_paths() == ["links.xml"]
+
+
+def test_measure_aspect_impact(benchmark, paper_fixture):
+    impact = benchmark(aspect_impact, paper_fixture)
+    assert impact.authored.files_touched == 1
+
+
+@pytest.mark.parametrize("paintings", [5, 20, 50])
+def test_asymptotics_tangled_linear_separated_constant(paintings):
+    fixture = synthetic_museum(4, paintings)
+    tangled = tangled_impact(fixture)
+    aspect = aspect_impact(fixture)
+    xlink = xlink_impact(fixture)
+    assert tangled.authored.files_touched == 4 * paintings   # O(n)
+    assert xlink.authored.files_touched == 1                 # O(1)
+    assert aspect.authored.lines_changed == 2                # O(1)

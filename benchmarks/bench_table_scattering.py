@@ -1,0 +1,52 @@
+"""T-S — derived table: scattering and tangling of the navigation concern.
+
+The paper asserts navigation is "scattered all over the program code";
+this table measures it.  Expected shape: tangled CDC == every page and
+tangling ratio 1.0; the separated architectures confine the concern to one
+pure-navigation artifact.
+"""
+
+from repro.baselines import TangledMuseumSite
+from repro.core import build_woven_site, default_museum_spec, export_museum_space
+from repro.metrics import measure_scattering
+from repro.xmlcore import serialize
+
+
+def tangled_build(fixture):
+    return {p.path: p.html for p in TangledMuseumSite(fixture, "index").build().values()}
+
+
+def xlink_artifacts(fixture):
+    space = export_museum_space(fixture, default_museum_spec("index"))
+    return {uri: serialize(space.document(uri), indent="  ") for uri in space.uris()}
+
+
+def aspect_artifacts(fixture):
+    """What the aspect developer authors: spec + the built pages are derived."""
+    return {"navigation.spec": default_museum_spec("index").to_text()}
+
+
+def test_tangled_scattering_measured(benchmark, paper_fixture):
+    report = benchmark(lambda: measure_scattering(tangled_build(paper_fixture)))
+    assert report.cdc == report.total_files       # scattered everywhere
+    assert report.tangling_ratio == 1.0           # every file mixes concerns
+
+
+def test_xlink_scattering_measured(benchmark, paper_fixture):
+    report = benchmark(lambda: measure_scattering(xlink_artifacts(paper_fixture)))
+    assert report.cdc == 1                        # links.xml only
+    assert report.navigation_only_files() == ["links.xml"]
+
+
+def test_aspect_scattering_measured(benchmark, paper_fixture):
+    report = benchmark(lambda: measure_scattering(aspect_artifacts(paper_fixture)))
+    assert report.cdc == 1
+    assert report.tangled_files == 0
+
+
+def test_woven_output_is_tangled_but_derived(paper_fixture):
+    """The *built* pages mix concerns under every architecture — the
+    difference is that separated builds derive them from clean sources."""
+    site = build_woven_site(paper_fixture, default_museum_spec("index"))
+    report = measure_scattering(site.as_text())
+    assert report.tangling_ratio > 0.5

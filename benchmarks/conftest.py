@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Scales: the paper's museum has 3 paintings per context; the synthetic
+museums stretch the same shape to expose the asymptotics (tangled change
+impact grows with context size, separated impact does not).
+"""
+
+import pytest
+
+from repro.baselines import museum_fixture, synthetic_museum
+
+
+@pytest.fixture(scope="session")
+def paper_fixture():
+    """The paper's museum (4 painters, 9 paintings)."""
+    return museum_fixture()
+
+
+@pytest.fixture(scope="session")
+def small_fixture():
+    return synthetic_museum(5, 5)
+
+
+@pytest.fixture(scope="session")
+def medium_fixture():
+    return synthetic_museum(10, 20)
+
+
+@pytest.fixture(scope="session")
+def large_fixture():
+    return synthetic_museum(20, 50)

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""A tour of the AOP substrate: the mechanisms of the paper's Figure 1.
+
+Shows, on a plain banking toy, everything the navigation aspect relies on:
+pointcuts (textual DSL), the five advice kinds, cflow residues, field join
+points, introductions, and reversible deployment.
+
+Run:  python examples/aspect_tour.py
+"""
+
+from repro.aop import (
+    Aspect,
+    Introduction,
+    after_returning,
+    after_throwing,
+    around,
+    before,
+    deployed,
+)
+
+
+class Account:
+    def __init__(self, owner: str, balance: int = 0):
+        self.owner = owner
+        self.balance = balance
+
+    def deposit(self, amount: int) -> int:
+        self.balance = self.balance + amount
+        return self.balance
+
+    def withdraw(self, amount: int) -> int:
+        if amount > self.balance:
+            raise ValueError("insufficient funds")
+        self.balance = self.balance - amount
+        return self.balance
+
+    def transfer(self, other: "Account", amount: int) -> None:
+        self.withdraw(amount)
+        other.deposit(amount)
+
+
+class Auditing(Aspect):
+    """Crosscutting concern #1: an audit trail, kept out of Account."""
+
+    def __init__(self):
+        self.trail: list[str] = []
+
+    @before("execution(Account.deposit) || execution(Account.withdraw)")
+    def note(self, jp):
+        self.trail.append(f"{jp.name}({jp.args[0]}) on {jp.target.owner}")
+
+    @after_throwing("execution(Account.withdraw)")
+    def note_failure(self, jp):
+        self.trail.append(f"DENIED withdraw on {jp.target.owner}: {jp.result}")
+
+    # Only inner movements that happen as part of a transfer:
+    @after_returning(
+        "execution(Account.deposit) && cflowbelow(execution(Account.transfer))"
+    )
+    def note_transfer_leg(self, jp):
+        self.trail.append(f"  (as a transfer leg -> balance {jp.result})")
+
+
+class Limits(Aspect):
+    """Crosscutting concern #2: policy, applied around the join point."""
+
+    order = -10  # outermost
+
+    @around("execution(Account.withdraw)")
+    def cap(self, jp):
+        (amount,) = jp.args
+        if amount > 500:
+            print(f"  [limits] capping withdrawal {amount} -> 500")
+            return jp.proceed(500)
+        return jp.proceed()
+
+
+class Anchors(Aspect):
+    """Introductions: grafting members onto the base class."""
+
+    @before("execution(Account.deposit)")
+    def _noop(self, jp):
+        pass
+
+    def introductions(self):
+        return [
+            Introduction(
+                "Account", "as_anchor", lambda self: f"account/{self.owner}.html"
+            )
+        ]
+
+
+def main() -> None:
+    audit = Auditing()
+    alice, bob = Account("alice", 1000), Account("bob", 100)
+
+    with deployed(audit, [Account]), deployed(Limits(), [Account]), deployed(
+        Anchors(), [Account]
+    ):
+        alice.deposit(200)
+        alice.withdraw(900)           # capped to 500 by Limits
+        alice.transfer(bob, 50)
+        try:
+            bob.withdraw(10_000)
+        except ValueError:
+            pass
+        print("introduced member:", alice.as_anchor())
+
+    print("\naudit trail (collected by the aspect, invisible to Account):")
+    for line in audit.trail:
+        print(" ", line)
+
+    print("\nafter undeploy, Account is its old self again:")
+    print("  has as_anchor?", hasattr(Account, "as_anchor"))
+    alice.withdraw(600)  # over the old cap, and no advice to stop it
+    print("  uncapped withdraw ->", alice.balance)
+
+
+if __name__ == "__main__":
+    main()

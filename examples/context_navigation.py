@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Section 2's museum walk: *Next* depends on how you arrived.
+
+Reach Picasso's *Guitar* through its author and Next is another Picasso;
+reach it through the cubism movement and Next is a Braque.  Same node, two
+navigational contexts, two different information spaces.
+
+Run:  python examples/context_navigation.py
+"""
+
+from repro.baselines import museum_fixture
+from repro.navigation import NavigationSession
+
+
+def walk(session: NavigationSession, label: str) -> None:
+    print(f"\n{label}")
+    print("  at:", session.position.describe())
+    while True:
+        try:
+            position = session.next()
+        except Exception as exc:
+            print("  (end of context:", exc, ")")
+            break
+        print("  next ->", position.describe())
+
+
+def main() -> None:
+    fixture = museum_fixture()
+    contexts = fixture.contexts()
+    guitar = fixture.painting_node("guitar")
+
+    via_author = NavigationSession(fixture.nav)
+    via_author.visit(guitar, contexts["by-painter:picasso"])
+    walk(via_author, "arrived via the author (by-painter:picasso):")
+
+    via_movement = NavigationSession(fixture.nav)
+    via_movement.visit(guitar, contexts["by-movement:cubism"])
+    walk(via_movement, "arrived via the movement (by-movement:cubism):")
+
+    # History restores the context too: back() then next() repeats the walk.
+    via_movement.back()
+    print("\nafter back():", via_movement.position.describe())
+    print("next() again ->", via_movement.next().describe())
+
+    # Leaving through a link abandons the context entirely.
+    session = NavigationSession(fixture.nav)
+    session.visit(guitar, contexts["by-painter:picasso"])
+    position = session.follow("painted_by")
+    print("\nfollow painted_by ->", position.describe())
+    try:
+        session.next()
+    except Exception as exc:
+        print("next() without a context fails, as it should:", exc)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Live weaving: reconfigure navigation while a user is browsing.
+
+Uses the persistent :class:`NavigationWeaver` and its lazy page provider —
+pages render on demand through the deployed aspect, so swapping the
+navigation spec between two requests changes what the *next* page shows.
+The landmark aspect is composed on top, showing two navigation concerns
+woven independently.
+
+Run:  python examples/live_weaving.py
+"""
+
+from repro.aop import Weaver
+from repro.baselines import museum_fixture
+from repro.core import (
+    LandmarkAspect,
+    NavigationWeaver,
+    PageRenderer,
+    default_museum_landmarks,
+    default_museum_spec,
+)
+from repro.navigation import UserAgent
+
+
+def main() -> None:
+    fixture = museum_fixture()
+    weaver = NavigationWeaver(fixture, default_museum_spec("index"))
+
+    # Deploy the landmark aspect FIRST: reconfigure() re-weaves the
+    # navigation aspect, and weaving unwinds LIFO — the reconfigured
+    # deployment must sit on top of the stack.
+    landmark_weaver = Weaver()
+    landmark_weaver.deploy(
+        LandmarkAspect(default_museum_landmarks()), [PageRenderer]
+    )
+    try:
+        with weaver:
+            agent = UserAgent(weaver.provider())
+            page = agent.open("PaintingNode/guitar.html")
+            print("with the Index spec, Guitar offers:")
+            for anchor in page.anchors:
+                print(f"  [{anchor.rel:9}] {anchor.label}")
+            print("  (no Next/Previous yet)")
+
+            print("\n-- the customer calls: reconfigure, no page edited --\n")
+            weaver.reconfigure(default_museum_spec("indexed-guided-tour"))
+
+            page = agent.open("PaintingNode/guitar.html")
+            print("after reconfigure, the same request shows:")
+            for anchor in page.anchors:
+                print(f"  [{anchor.rel:9}] {anchor.label}")
+
+            print("\nbrowsing straight through the new tour:")
+            print("  next ->", agent.follow_rel("next").uri)
+            print("  home via landmark ->", agent.click("Museum home").uri)
+    finally:
+        landmark_weaver.undeploy_all()
+
+    print("\nafter undeploy, the base program renders no anchors:")
+    plain = PageRenderer(fixture).render_node(fixture.painting_node("guitar"))
+    print("  anchors:", plain.anchors())
+
+
+if __name__ == "__main__":
+    main()

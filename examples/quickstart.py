@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Quickstart: conceptual model → navigation spec → woven site, in a minute.
+
+Builds a tiny library application (not the museum, to show the machinery is
+generic), defines navigation *separately* as a spec, weaves it in, and
+browses the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.baselines.museum_data import MuseumFixture
+from repro.core import NavigationSpec, build_plain_site, build_woven_site
+from repro.hypermedia import (
+    ConceptualSchema,
+    ContextFamily,
+    InstanceStore,
+    LinkClass,
+    NavigationalSchema,
+    NodeClass,
+    group_by_attribute,
+)
+from repro.navigation import UserAgent
+
+
+def build_library() -> MuseumFixture:
+    """A small library domain: authors and books with genres."""
+    conceptual = ConceptualSchema()
+    conceptual.add_class("Author", [("name", str, True)])
+    conceptual.add_class("Book", [("title", str, True), ("year", int), ("genre", str)])
+    conceptual.add_relationship("writes", "Author", "Book", inverse="written_by")
+
+    store = InstanceStore(conceptual)
+    store.bulk_load(
+        entities=[
+            ("Author", "cervantes", {"name": "Miguel de Cervantes"}),
+            ("Author", "garcia-marquez", {"name": "Gabriel Garcia Marquez"}),
+            ("Book", "quijote", {"title": "Don Quijote", "year": 1605, "genre": "novel"}),
+            ("Book", "novelas", {"title": "Novelas Ejemplares", "year": 1613, "genre": "short-stories"}),
+            ("Book", "soledad", {"title": "Cien Anos de Soledad", "year": 1967, "genre": "novel"}),
+        ],
+        links=[
+            (("Author", "cervantes"), "writes", ("Book", "quijote")),
+            (("Author", "cervantes"), "writes", ("Book", "novelas")),
+            (("Author", "garcia-marquez"), "writes", ("Book", "soledad")),
+        ],
+    )
+
+    nav = NavigationalSchema(conceptual)
+    author_node = nav.add_node_class(NodeClass("AuthorNode", "Author").view("name"))
+    book_node = nav.add_node_class(
+        NodeClass("BookNode", "Book").view("title").view("year").view("genre")
+    )
+    nav.add_link_class(
+        LinkClass("writes", "writes", author_node, book_node, title_attribute="title")
+    )
+    nav.add_link_class(
+        LinkClass(
+            "written_by", "written_by", book_node, author_node, title_attribute="name"
+        )
+    )
+    nav.add_context_family(
+        ContextFamily(
+            name="by-genre",
+            node_class=book_node,
+            partition=group_by_attribute("Book", "genre"),
+            order_key=lambda e: e.get("year") or 0,
+        )
+    )
+    return MuseumFixture(conceptual=conceptual, store=store, nav=nav)
+
+
+def main() -> None:
+    fixture = build_library()
+
+    # 1. The base program alone: a site with zero navigation.
+    plain = build_plain_site(fixture)
+    anchors = sum(len(p.anchors()) for p in plain.pages())
+    print(f"plain build: {len(plain)} pages, {anchors} anchors (content only)")
+
+    # 2. Navigation, defined separately, as one artifact.
+    spec = (
+        NavigationSpec()
+        .set_access("by-genre", "indexed-guided-tour", label_attribute="title")
+        .expose("BookNode", "written_by")
+        .expose("AuthorNode", "writes")
+        .index_on_home("AuthorNode")
+    )
+    print("\nthe navigation artifact:")
+    print(spec.to_text())
+
+    # 3. Weave and browse.
+    site = build_woven_site(fixture, spec)
+    agent = UserAgent(site.provider())
+    agent.open("index.html")
+    agent.click("Miguel de Cervantes")
+    page = agent.click("Don Quijote")
+    print(f"now at {page.uri}; anchors: {[(a.label, a.rel) for a in page.anchors]}")
+    print(f"dangling links: {site.check_links() or 'none'}")
+
+
+if __name__ == "__main__":
+    main()

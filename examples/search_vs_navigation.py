@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Section 2's other point: not every link is navigation.
+
+"We do not think that we are navigating when we push on one of these
+specific links [result paging], since we are not moving from an
+information space to another one.  These links are just a way to do
+scrolling."
+
+We model a search engine over the museum: result pages carry *paging*
+links (rel=scroll) and *result* links (rel=entry).  The user agent can
+tell them apart, and the navigation session only changes information
+space when a result is followed.
+
+Run:  python examples/search_vs_navigation.py
+"""
+
+from repro.baselines import museum_fixture
+from repro.hypermedia.access import Anchor
+from repro.navigation import UserAgent
+from repro.web import HtmlPage, StaticSite, anchor_element, heading, page_skeleton, paragraph
+
+
+def build_search_site(fixture, query: str, page_size: int = 3) -> StaticSite:
+    """Result pages for *query* plus the painting pages they point at."""
+    from repro.core import build_woven_site, default_museum_spec
+
+    site = build_woven_site(fixture, default_museum_spec("index"))
+
+    hits = [
+        fixture.painting_node(e.entity_id)
+        for e in fixture.store.all("Painting")
+        if query.lower() in (e.get("title") or "").lower()
+        or query.lower() in (e.get("movement") or "").lower()
+    ]
+    pages = [hits[i : i + page_size] for i in range(0, len(hits), page_size)] or [[]]
+    for number, chunk in enumerate(pages, start=1):
+        html, body = page_skeleton(f"Results for '{query}' (page {number})")
+        body.append(heading(1, f"Results for '{query}'"))
+        for node in chunk:
+            body.append(
+                paragraph(
+                    anchor_element(
+                        Anchor(node.get("title"), f"../{node.uri}", "entry")
+                    )
+                )
+            )
+        # The paging links at the bottom: scrolling, not navigation.
+        paging = [
+            Anchor(str(n), f"results-{n}.html", "scroll")
+            for n in range(1, len(pages) + 1)
+            if n != number
+        ]
+        for anchor in paging:
+            body.append(paragraph(anchor_element(anchor)))
+        site.add(HtmlPage(f"search/results-{number}.html", html))
+    return site
+
+
+def main() -> None:
+    fixture = museum_fixture()
+    site = build_search_site(fixture, query="cubism", page_size=3)
+
+    agent = UserAgent(site.provider())
+    page = agent.open("search/results-1.html")
+    results = page.anchors_with_rel("entry")
+    scrolls = page.anchors_with_rel("scroll")
+    print(f"page 1: {len(results)} results, {len(scrolls)} paging links")
+
+    print("\npaging to results-2 (scrolling — same information space):")
+    page2 = agent.follow_rel("scroll")
+    print("  at", page2.uri, "- still the same result set for 'cubism'")
+
+    print("\nfollowing a result (navigation — a new information space):")
+    target = page2.anchors_with_rel("entry")[0]
+    painting = agent.click(target.label)
+    print("  at", painting.uri, "with its own navigation:",
+          [(a.label, a.rel) for a in painting.anchors])
+
+    print("\ntrail:", " -> ".join(agent.trail()))
+
+
+if __name__ == "__main__":
+    main()

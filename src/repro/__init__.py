@@ -1,0 +1,22 @@
+"""repro — a reproduction of *Separating the Navigational Aspect* (ICDCS 2002).
+
+The paper argues that navigation is a crosscutting concern of web
+applications and should be separated from data and presentation, first via
+XLink linkbases and ultimately via aspect-oriented weaving.  This library
+builds that whole stack in Python:
+
+- :mod:`repro.xmlcore` — from-scratch XML parser/DOM/serializer (namespaces).
+- :mod:`repro.xpointer` — XPointer addressing (shorthand, element(), xpointer()).
+- :mod:`repro.xlink` — XLink 1.0 data model: simple/extended links, linkbases.
+- :mod:`repro.aop` — an AspectJ-like aspect framework (pointcuts, advice, weaver).
+- :mod:`repro.hypermedia` — OOHDM primitives: conceptual/navigational schemas,
+  access structures (Index, GuidedTour, IndexedGuidedTour), contexts.
+- :mod:`repro.navigation` — navigation sessions and a user-agent simulator.
+- :mod:`repro.web` — HTML model, XSL-lite stylesheets, static site builder.
+- :mod:`repro.baselines` — the paper's *tangled* museum site (Figures 3–4).
+- :mod:`repro.core` — the contribution: navigation as an aspect, woven into
+  the conceptual model, with XLink linkbase round-tripping (Figures 6–9).
+- :mod:`repro.metrics` — scattering/tangling and change-impact measurement.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,110 @@
+"""An AspectJ-like aspect-oriented programming framework for Python.
+
+The paper's section 5 asks whether aspect-oriented tools are powerful
+enough to express navigation separately.  This package is our answer
+substrate: join points (method execution, field get/set), a composable
+pointcut language with a textual DSL, five advice kinds, inter-type
+introductions and a reversible runtime weaver::
+
+    from repro.aop import Aspect, around, deploy, deployed
+
+    class Timing(Aspect):
+        @around("execution(*.render)")
+        def time_it(self, jp):
+            start = perf_counter()
+            try:
+                return jp.proceed()
+            finally:
+                print(jp.signature, perf_counter() - start)
+
+    with deployed(Timing(), [PageRenderer]):
+        renderer.render()
+"""
+
+from .advice import Advice, AdviceKind
+from .aspect import (
+    Aspect,
+    DeclareError,
+    after,
+    after_returning,
+    after_throwing,
+    around,
+    before,
+    declare_error,
+)
+from .errors import (
+    AopError,
+    IntroductionError,
+    PointcutSyntaxError,
+    WeavingError,
+)
+from .introduce import Introduction, introduce
+from .joinpoint import (
+    JoinPoint,
+    JoinPointKind,
+    ProceedingJoinPoint,
+    current_stack,
+)
+from .parser import parse_pointcut
+from .pointcut import (
+    Pointcut,
+    args,
+    cflow,
+    cflowbelow,
+    execution,
+    field_get,
+    field_set,
+    target,
+    within,
+)
+from .weaver import (
+    Deployment,
+    Weaver,
+    default_weaver,
+    deploy,
+    deployed,
+    method_shadows,
+    run_advice_chain,
+    undeploy,
+)
+
+__all__ = [
+    "Advice",
+    "AdviceKind",
+    "DeclareError",
+    "AopError",
+    "Aspect",
+    "Deployment",
+    "Introduction",
+    "IntroductionError",
+    "JoinPoint",
+    "JoinPointKind",
+    "Pointcut",
+    "PointcutSyntaxError",
+    "ProceedingJoinPoint",
+    "Weaver",
+    "WeavingError",
+    "after",
+    "after_returning",
+    "after_throwing",
+    "args",
+    "around",
+    "before",
+    "cflow",
+    "cflowbelow",
+    "declare_error",
+    "current_stack",
+    "default_weaver",
+    "deploy",
+    "deployed",
+    "execution",
+    "field_get",
+    "field_set",
+    "introduce",
+    "method_shadows",
+    "parse_pointcut",
+    "run_advice_chain",
+    "target",
+    "undeploy",
+    "within",
+]

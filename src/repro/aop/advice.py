@@ -1,0 +1,66 @@
+"""Advice: what runs at matched join points.
+
+Five kinds, as in AspectJ: ``before``, ``after_returning``,
+``after_throwing``, ``after`` (finally) and ``around``.  Advice functions
+receive the :class:`~repro.aop.joinpoint.JoinPoint` (a
+:class:`~repro.aop.joinpoint.ProceedingJoinPoint` for around advice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+from .pointcut import Pointcut
+
+
+class AdviceKind(str, Enum):
+    BEFORE = "before"
+    AFTER_RETURNING = "after_returning"
+    AFTER_THROWING = "after_throwing"
+    AFTER = "after"
+    AROUND = "around"
+
+
+@dataclass
+class Advice:
+    """One advice declaration: kind + pointcut + body.
+
+    ``order`` breaks ties between advice of different aspects: lower runs
+    closer to the *outside* (first for before/around, last for after),
+    matching AspectJ's precedence model.  Within one aspect, declaration
+    order is preserved.
+    """
+
+    kind: AdviceKind
+    pointcut: Pointcut
+    function: Callable[..., Any]
+    order: int = 0
+    name: str = ""
+    aspect: Any = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = getattr(self.function, "__name__", "advice")
+
+    def bind(self, aspect: Any) -> "Advice":
+        """A copy bound to a deployed aspect instance."""
+        return Advice(
+            kind=self.kind,
+            pointcut=self.pointcut,
+            function=self.function,
+            order=self.order,
+            name=self.name,
+            aspect=aspect,
+        )
+
+    def invoke(self, jp) -> Any:
+        """Call the advice body (with the owning aspect when bound)."""
+        if self.aspect is not None:
+            return self.function(self.aspect, jp)
+        return self.function(jp)
+
+    def describe(self) -> str:
+        owner = type(self.aspect).__name__ if self.aspect is not None else "<unbound>"
+        return f"{self.kind.value} {owner}.{self.name} @ {self.pointcut!r}"

@@ -1,0 +1,180 @@
+"""Aspect definition: a class grouping advice, pointcuts and introductions.
+
+An aspect is written as an ordinary class whose methods are marked with the
+advice decorators::
+
+    class Tracing(Aspect):
+        order = 10
+
+        @before("execution(Node.render)")
+        def note(self, jp):
+            print("rendering", jp.signature)
+
+        @around("execution(*.as_html)")
+        def time_it(self, jp):
+            start = perf_counter()
+            try:
+                return jp.proceed()
+            finally:
+                record(perf_counter() - start)
+
+Pointcuts may be textual (parsed with :func:`repro.aop.parser.parse_pointcut`)
+or :class:`~repro.aop.pointcut.Pointcut` objects.  Deployment is the
+weaver's job (:mod:`repro.aop.weaver`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .advice import Advice, AdviceKind
+from .errors import AopError
+from .parser import parse_pointcut
+from .pointcut import Pointcut
+
+_ADVICE_ATTR = "__repro_advice__"
+
+
+def _as_pointcut(pointcut: Pointcut | str, types: dict[str, type] | None) -> Pointcut:
+    if isinstance(pointcut, Pointcut):
+        return pointcut
+    return parse_pointcut(pointcut, types)
+
+
+def _advice_decorator(kind: AdviceKind):
+    def decorator_factory(
+        pointcut: Pointcut | str,
+        *,
+        order: int = 0,
+        types: dict[str, type] | None = None,
+    ):
+        resolved = _as_pointcut(pointcut, types)
+
+        def decorator(function: Callable) -> Callable:
+            declared = getattr(function, _ADVICE_ATTR, [])
+            declared.append(Advice(kind=kind, pointcut=resolved, function=function, order=order))
+            setattr(function, _ADVICE_ATTR, declared)
+            return function
+
+        return decorator
+
+    return decorator_factory
+
+
+#: ``@before(pointcut)`` — runs before the join point.
+before = _advice_decorator(AdviceKind.BEFORE)
+#: ``@after_returning(pointcut)`` — runs after normal completion
+#: (``jp.result`` holds the return value).
+after_returning = _advice_decorator(AdviceKind.AFTER_RETURNING)
+#: ``@after_throwing(pointcut)`` — runs when the join point raises
+#: (``jp.result`` holds the exception).
+after_throwing = _advice_decorator(AdviceKind.AFTER_THROWING)
+#: ``@after(pointcut)`` — runs on any completion (finally semantics).
+after = _advice_decorator(AdviceKind.AFTER)
+#: ``@around(pointcut)`` — replaces the join point; call ``jp.proceed()``.
+around = _advice_decorator(AdviceKind.AROUND)
+
+
+class Aspect:
+    """Base class for aspects.
+
+    Subclasses declare advice with the decorators above and optional
+    inter-type *introductions* via :meth:`introductions`.  The class-level
+    ``order`` sets precedence for all its advice (lower = outermost).
+    """
+
+    order: int = 0
+
+    @classmethod
+    def declared_advice(cls) -> list[Advice]:
+        """All advice declared on this aspect class, in declaration order."""
+        advice: list[Advice] = []
+        seen: set[int] = set()
+        for klass in reversed(cls.__mro__):
+            for member in vars(klass).values():
+                for item in getattr(member, _ADVICE_ATTR, ()):
+                    if id(item) not in seen:
+                        seen.add(id(item))
+                        advice.append(item)
+        return advice
+
+    def advice(self) -> list[Advice]:
+        """Declared advice bound to this instance, with aspect order applied."""
+        bound = []
+        for item in self.declared_advice():
+            copy = item.bind(self)
+            if copy.order == 0:
+                copy.order = self.order
+            bound.append(copy)
+        return bound
+
+    def introductions(self) -> list["Introduction"]:
+        """Inter-type declarations; override to add members to targets."""
+        return []
+
+    def declarations(self) -> list["DeclareError"]:
+        """Static policy declarations (AspectJ's ``declare error``).
+
+        Each :class:`DeclareError` makes deployment fail when its pointcut
+        matches any shadow in the targets — the aspect *forbids* code
+        shapes instead of advising them.
+        """
+        return []
+
+    def validate(self) -> None:
+        """Sanity-check the aspect before deployment."""
+        if (
+            not self.declared_advice()
+            and not self.introductions()
+            and not self.declarations()
+        ):
+            raise AopError(
+                f"aspect {type(self).__name__} declares no advice, no "
+                "introductions and no declarations"
+            )
+
+
+class DeclareError:
+    """``declare error: pointcut : "message"`` — a forbidden code shape.
+
+    The weaver refuses deployment (raising :class:`WeavingError` with
+    *message*) when the pointcut statically matches any shadow in the
+    deployment targets.
+    """
+
+    def __init__(
+        self,
+        pointcut: Pointcut | str,
+        message: str,
+        *,
+        types: dict[str, type] | None = None,
+    ):
+        self.pointcut = _as_pointcut(pointcut, types)
+        self.message = message
+
+    def __repr__(self) -> str:
+        return f"declare_error({self.pointcut!r}, {self.message!r})"
+
+
+def declare_error(
+    pointcut: Pointcut | str, message: str, *, types: dict[str, type] | None = None
+) -> DeclareError:
+    """Convenience constructor for :class:`DeclareError`."""
+    return DeclareError(pointcut, message, types=types)
+
+
+# Imported at the bottom to avoid a cycle: introduce needs nothing from us,
+# but aspect authors get Introduction through this module's namespace.
+from .introduce import Introduction  # noqa: E402  (re-export for aspect authors)
+
+__all__ = [
+    "Aspect",
+    "DeclareError",
+    "Introduction",
+    "after",
+    "after_returning",
+    "after_throwing",
+    "around",
+    "before",
+    "declare_error",
+]

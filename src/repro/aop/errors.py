@@ -1,0 +1,19 @@
+"""Errors raised by the aspect framework."""
+
+from __future__ import annotations
+
+
+class AopError(Exception):
+    """Base class for aspect framework errors."""
+
+
+class PointcutSyntaxError(AopError):
+    """A pointcut expression does not parse."""
+
+
+class WeavingError(AopError):
+    """Deployment failed: nothing matched, or a target cannot be woven."""
+
+
+class IntroductionError(AopError):
+    """An inter-type declaration conflicts with an existing member."""

@@ -1,0 +1,80 @@
+"""Inter-type declarations (introductions).
+
+AspectJ lets an aspect *introduce* members into other classes; the
+navigation aspect uses this to graft navigational capabilities (anchors,
+access-structure hooks) onto conceptual-model classes that know nothing
+about the web.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from typing import Any
+
+from .errors import IntroductionError
+
+
+@dataclass(frozen=True)
+class Introduction:
+    """Add *member* (function, property or value) as *name* on matching classes.
+
+    ``class_pattern`` uses the same wildcard syntax as pointcut class
+    patterns.  By default an introduction refuses to overwrite an existing
+    member — crosscutting code silently replacing base behaviour is exactly
+    the tangling the paper warns about — pass ``replace=True`` to allow it.
+    """
+
+    class_pattern: str
+    name: str
+    member: Any
+    replace: bool = False
+
+    def matches(self, cls: type) -> bool:
+        return fnmatch.fnmatchcase(cls.__name__, self.class_pattern) or fnmatch.fnmatchcase(
+            f"{cls.__module__}.{cls.__qualname__}", self.class_pattern
+        )
+
+    def apply(self, cls: type) -> "AppliedIntroduction | None":
+        if not self.matches(cls):
+            return None
+        existing = cls.__dict__.get(self.name, _MISSING)
+        if existing is not _MISSING and not self.replace:
+            raise IntroductionError(
+                f"cannot introduce {self.name!r} into {cls.__name__}: member exists "
+                "(use replace=True to override)"
+            )
+        setattr(cls, self.name, self.member)
+        return AppliedIntroduction(cls=cls, name=self.name, previous=existing)
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+@dataclass
+class AppliedIntroduction:
+    """Bookkeeping needed to undo an introduction at undeploy time."""
+
+    cls: type
+    name: str
+    previous: Any
+
+    def revert(self) -> None:
+        if self.previous is _MISSING:
+            # Only delete if it is still our member (not re-overridden).
+            if self.name in self.cls.__dict__:
+                delattr(self.cls, self.name)
+        else:
+            setattr(self.cls, self.name, self.previous)
+
+
+def introduce(
+    class_pattern: str, name: str, member: Any, *, replace: bool = False
+) -> Introduction:
+    """Convenience constructor matching the pointcut helpers' style."""
+    return Introduction(class_pattern, name, member, replace)

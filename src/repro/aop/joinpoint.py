@@ -1,0 +1,106 @@
+"""The join point model.
+
+Following AspectJ's terminology (which the paper cites as the reference
+mechanism), a *join point* is a principled point in program execution where
+advice may run.  We expose three kinds — method execution, field get and
+field set — which are the ones the navigation aspect needs: page rendering
+is a method execution, and node state (current context, position) lives in
+fields.
+
+A context-local *join point stack* records the dynamic extent of executing
+join points, which is what ``cflow()`` pointcuts match against.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+
+class JoinPointKind(str, Enum):
+    METHOD_EXECUTION = "execution"
+    FIELD_GET = "get"
+    FIELD_SET = "set"
+
+
+@dataclass(slots=True)
+class JoinPoint:
+    """A runtime join point handed to advice.
+
+    ``signature`` reads like AspectJ's: ``Museum.render`` for execution,
+    ``Node.current_context`` for field access.
+    """
+
+    kind: JoinPointKind
+    target: Any
+    cls: type
+    name: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    #: For FIELD_SET: the value being assigned.  For FIELD_GET: unused.
+    value: Any = None
+    #: Populated for after-returning advice and around-proceed results.
+    result: Any = None
+
+    @property
+    def signature(self) -> str:
+        return f"{self.cls.__name__}.{self.name}"
+
+    def describe(self) -> str:
+        return f"{self.kind.value}({self.signature})"
+
+
+class ProceedingJoinPoint(JoinPoint):
+    """The join point seen by *around* advice; call :meth:`proceed`.
+
+    ``proceed()`` continues with the original arguments; passing arguments
+    overrides them, which is how an around advice rewrites a call.
+    """
+
+    __slots__ = ("_proceed",)
+
+    def __init__(self, base: JoinPoint, proceed: Callable[..., Any]):
+        super().__init__(
+            kind=base.kind,
+            target=base.target,
+            cls=base.cls,
+            name=base.name,
+            args=base.args,
+            kwargs=base.kwargs,
+            value=base.value,
+        )
+        self._proceed = proceed
+
+    def proceed(self, *args: Any, **kwargs: Any) -> Any:
+        if args or kwargs:
+            return self._proceed(*args, **kwargs)
+        return self._proceed(*self.args, **self.kwargs)
+
+
+_stack: contextvars.ContextVar[tuple[JoinPoint, ...]] = contextvars.ContextVar(
+    "repro_aop_joinpoint_stack", default=()
+)
+
+
+def current_stack() -> tuple[JoinPoint, ...]:
+    """The join points currently executing, outermost first."""
+    return _stack.get()
+
+
+class joinpoint_frame:
+    """Context manager pushing a join point for the duration of its extent."""
+
+    __slots__ = ("_joinpoint", "_token")
+
+    def __init__(self, jp: JoinPoint):
+        self._joinpoint = jp
+        self._token = None
+
+    def __enter__(self) -> JoinPoint:
+        self._token = _stack.set(_stack.get() + (self._joinpoint,))
+        return self._joinpoint
+
+    def __exit__(self, *exc_info) -> None:
+        _stack.reset(self._token)

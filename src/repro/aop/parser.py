@@ -1,0 +1,176 @@
+"""A textual pointcut language.
+
+The paper's premise is that navigation should be *specified* separately —
+which needs a declarative surface, not just Python combinators.  This
+parser accepts an AspectJ-flavoured expression grammar::
+
+    execution(Node.render) && !cflow(execution(Index.*))
+    get(Node.current_*) || set(Node.current_*)
+    within(repro.hypermedia.*) && execution(*.as_html)
+
+Operators: ``&&``, ``||``, ``!``, parentheses.  Primitives: ``execution``,
+``get``, ``set``, ``within``, ``cflow``, ``cflowbelow``, ``target``,
+``args``.  ``target``/``args`` resolve type names against the *types*
+namespace passed to :func:`parse_pointcut`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import PointcutSyntaxError
+from .pointcut import (
+    Pointcut,
+    args as args_pc,
+    cflow,
+    cflowbelow,
+    execution,
+    field_get,
+    field_set,
+    target,
+    within,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<op>&&|\|\||!|\(|\))|(?P<name>[A-Za-z_][\w]*))"
+)
+
+_PATTERN_PRIMITIVES = {
+    "execution": execution,
+    "get": field_get,
+    "set": field_set,
+    "within": within,
+}
+_NESTED_PRIMITIVES = {"cflow": cflow, "cflowbelow": cflowbelow}
+_TYPE_PRIMITIVES = ("target", "args")
+
+
+class _Parser:
+    def __init__(self, text: str, types: dict[str, type]):
+        self._text = text
+        self._pos = 0
+        self._types = types
+
+    # -- scanning ----------------------------------------------------------
+
+    def _skip_ws(self) -> None:
+        while self._pos < len(self._text) and self._text[self._pos].isspace():
+            self._pos += 1
+
+    def _peek(self, literal: str) -> bool:
+        self._skip_ws()
+        return self._text.startswith(literal, self._pos)
+
+    def _eat(self, literal: str) -> bool:
+        if self._peek(literal):
+            self._pos += len(literal)
+            return True
+        return False
+
+    def _expect(self, literal: str) -> None:
+        if not self._eat(literal):
+            raise PointcutSyntaxError(
+                f"expected {literal!r} at ...{self._text[self._pos:self._pos + 20]!r}"
+            )
+
+    def _read_name(self) -> str:
+        self._skip_ws()
+        match = re.match(r"[A-Za-z_][\w]*", self._text[self._pos :])
+        if not match:
+            raise PointcutSyntaxError(
+                f"expected a pointcut name at ...{self._text[self._pos:self._pos + 20]!r}"
+            )
+        self._pos += match.end()
+        return match.group()
+
+    def _read_balanced(self) -> str:
+        """Raw text up to the matching close paren (for pattern arguments)."""
+        self._expect("(")
+        depth = 1
+        start = self._pos
+        while self._pos < len(self._text):
+            ch = self._text[self._pos]
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    raw = self._text[start : self._pos]
+                    self._pos += 1
+                    return raw.strip()
+            self._pos += 1
+        raise PointcutSyntaxError("unbalanced parentheses in pointcut")
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> Pointcut:
+        result = self._or()
+        self._skip_ws()
+        if self._pos != len(self._text):
+            raise PointcutSyntaxError(
+                f"trailing input in pointcut: {self._text[self._pos:]!r}"
+            )
+        return result
+
+    def _or(self) -> Pointcut:
+        left = self._and()
+        while self._eat("||"):
+            left = left | self._and()
+        return left
+
+    def _and(self) -> Pointcut:
+        left = self._unary()
+        while self._eat("&&"):
+            left = left & self._unary()
+        return left
+
+    def _unary(self) -> Pointcut:
+        if self._eat("!"):
+            return ~self._unary()
+        if self._eat("("):
+            inner = self._or()
+            self._expect(")")
+            return inner
+        return self._primitive()
+
+    def _primitive(self) -> Pointcut:
+        name = self._read_name()
+        if name in _PATTERN_PRIMITIVES:
+            pattern = self._read_balanced()
+            # Patterns may be quoted for readability; strip one quote layer.
+            if len(pattern) >= 2 and pattern[0] == pattern[-1] and pattern[0] in "'\"":
+                pattern = pattern[1:-1]
+            if not pattern:
+                raise PointcutSyntaxError(f"{name}() needs a pattern")
+            return _PATTERN_PRIMITIVES[name](pattern)
+        if name in _NESTED_PRIMITIVES:
+            self._expect("(")
+            inner = self._or()
+            self._expect(")")
+            return _NESTED_PRIMITIVES[name](inner)
+        if name == "target":
+            type_name = self._read_balanced()
+            return target(self._resolve_type(type_name))
+        if name == "args":
+            raw = self._read_balanced()
+            names = [part.strip() for part in raw.split(",") if part.strip()]
+            return args_pc(*(self._resolve_type(n) for n in names))
+        raise PointcutSyntaxError(f"unknown pointcut primitive: {name!r}")
+
+    def _resolve_type(self, name: str) -> type:
+        if name in self._types:
+            return self._types[name]
+        import builtins
+
+        if hasattr(builtins, name) and isinstance(getattr(builtins, name), type):
+            return getattr(builtins, name)
+        raise PointcutSyntaxError(
+            f"unknown type {name!r} in pointcut (pass it via types=...)"
+        )
+
+
+def parse_pointcut(text: str, types: dict[str, type] | None = None) -> Pointcut:
+    """Parse a pointcut expression; see the module docstring for the grammar."""
+    if not text or text.isspace():
+        raise PointcutSyntaxError("empty pointcut expression")
+    return _Parser(text, types or {}).parse()

@@ -1,0 +1,322 @@
+"""Pointcuts: predicates over join points.
+
+A pointcut has two faces, mirroring how real weavers work:
+
+- :meth:`Pointcut.matches_shadow` — *static* matching against a potential
+  join point shadow (class, member name, kind).  The weaver uses this to
+  decide which methods to wrap at deployment time.
+- :meth:`Pointcut.matches_dynamic` — the *runtime residue* evaluated when
+  the shadow fires (``cflow``, ``target``, argument tests).  Pure static
+  pointcuts return True here.
+
+Pointcuts compose with ``&``, ``|`` and ``~`` and can also be written in a
+textual DSL (see :mod:`repro.aop.parser`)::
+
+    execution("Node.render") & ~cflow(execution("Index.*"))
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from .joinpoint import JoinPoint, JoinPointKind, current_stack
+
+
+class Pointcut:
+    """Base class: a composable join point predicate."""
+
+    def matches_shadow(self, cls: type, name: str, kind: JoinPointKind) -> bool:
+        raise NotImplementedError
+
+    def matches_dynamic(self, jp: JoinPoint) -> bool:
+        return True
+
+    @property
+    def has_dynamic_test(self) -> bool:
+        return False
+
+    def cflow_inner_pointcuts(self) -> list["Pointcut"]:
+        """Inner pointcuts of any cflow()/cflowbelow() nested in this one.
+
+        The weaver instruments shadows matching these with tracking-only
+        wrappers so the join point stack is populated even where no advice
+        runs — otherwise ``cflow`` could never observe unadvised callers.
+        """
+        return []
+
+    def __and__(self, other: "Pointcut") -> "Pointcut":
+        return And(self, other)
+
+    def __or__(self, other: "Pointcut") -> "Pointcut":
+        return Or(self, other)
+
+    def __invert__(self) -> "Pointcut":
+        return Not(self)
+
+
+def _split_pattern(pattern: str) -> tuple[str, str]:
+    """Split ``Class.member`` patterns; a bare name means any class."""
+    if "." in pattern:
+        cls_pattern, _, member_pattern = pattern.rpartition(".")
+        return cls_pattern, member_pattern
+    return "*", pattern
+
+
+def _matches_class(cls: type, pattern: str) -> bool:
+    """Match the class name, any base class name, or the qualified name."""
+    if pattern == "*":
+        return True
+    for klass in cls.__mro__:
+        if klass is object:
+            continue
+        if fnmatch.fnmatchcase(klass.__name__, pattern):
+            return True
+        qualified = f"{klass.__module__}.{klass.__qualname__}"
+        if fnmatch.fnmatchcase(qualified, pattern):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class KindedPattern(Pointcut):
+    """Shared shape of execution/get/set pointcuts."""
+
+    pattern: str
+    kind: JoinPointKind
+
+    def matches_shadow(self, cls: type, name: str, kind: JoinPointKind) -> bool:
+        if kind is not self.kind:
+            return False
+        cls_pattern, member_pattern = _split_pattern(self.pattern)
+        return _matches_class(cls, cls_pattern) and fnmatch.fnmatchcase(
+            name, member_pattern
+        )
+
+    def __repr__(self) -> str:
+        return f"{self.kind.value}({self.pattern})"
+
+
+def execution(pattern: str) -> Pointcut:
+    """Method execution join points: ``execution("Node.render")``.
+
+    Patterns support ``*`` wildcards in both class and member positions and
+    match subclasses (``Node.render`` also picks up ``PaintingNode.render``).
+    """
+    return KindedPattern(pattern, JoinPointKind.METHOD_EXECUTION)
+
+
+def field_get(pattern: str) -> Pointcut:
+    """Field read join points (for fields registered with the weaver)."""
+    return KindedPattern(pattern, JoinPointKind.FIELD_GET)
+
+
+def field_set(pattern: str) -> Pointcut:
+    """Field write join points (for fields registered with the weaver)."""
+    return KindedPattern(pattern, JoinPointKind.FIELD_SET)
+
+
+@dataclass(frozen=True)
+class Within(Pointcut):
+    """Restrict to classes whose name (or module path) matches."""
+
+    pattern: str
+
+    def matches_shadow(self, cls: type, name: str, kind: JoinPointKind) -> bool:
+        return _matches_class(cls, self.pattern) or fnmatch.fnmatchcase(
+            cls.__module__, self.pattern
+        )
+
+    def __repr__(self) -> str:
+        return f"within({self.pattern})"
+
+
+def within(pattern: str) -> Pointcut:
+    """``within("repro.hypermedia.*")`` or ``within("Node*")``."""
+    return Within(pattern)
+
+
+@dataclass(frozen=True)
+class TargetType(Pointcut):
+    """Dynamic test: the join point target is an instance of *cls*."""
+
+    cls: type
+
+    def matches_shadow(self, cls: type, name: str, kind: JoinPointKind) -> bool:
+        # Statically plausible when the classes are related either way.
+        return issubclass(cls, self.cls) or issubclass(self.cls, cls)
+
+    def matches_dynamic(self, jp: JoinPoint) -> bool:
+        return isinstance(jp.target, self.cls)
+
+    @property
+    def has_dynamic_test(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"target({self.cls.__name__})"
+
+
+def target(cls: type) -> Pointcut:
+    """``target(PaintingNode)`` — runtime instance check."""
+    return TargetType(cls)
+
+
+@dataclass(frozen=True)
+class ArgsTest(Pointcut):
+    """Dynamic test on positional argument types: ``args(str, int)``.
+
+    Matches when the join point has at least as many positional arguments
+    and each is an instance of the corresponding type.
+    """
+
+    types: tuple[type, ...]
+
+    def matches_shadow(self, cls: type, name: str, kind: JoinPointKind) -> bool:
+        return True
+
+    def matches_dynamic(self, jp: JoinPoint) -> bool:
+        if len(jp.args) < len(self.types):
+            return False
+        return all(isinstance(a, t) for a, t in zip(jp.args, self.types))
+
+    @property
+    def has_dynamic_test(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"args({', '.join(t.__name__ for t in self.types)})"
+
+
+def args(*types: type) -> Pointcut:
+    return ArgsTest(tuple(types))
+
+
+@dataclass(frozen=True)
+class Cflow(Pointcut):
+    """Dynamic test: some *enclosing* join point matches the inner pointcut.
+
+    ``below`` excludes the current join point itself (AspectJ's
+    ``cflowbelow``).
+    """
+
+    inner: Pointcut
+    below: bool = False
+
+    def matches_shadow(self, cls: type, name: str, kind: JoinPointKind) -> bool:
+        # cflow cannot be decided statically; every shadow is plausible.
+        return True
+
+    def matches_dynamic(self, jp: JoinPoint) -> bool:
+        stack = current_stack()
+        if self.below and stack and stack[-1] is jp:
+            stack = stack[:-1]
+        return any(
+            self.inner.matches_shadow(frame.cls, frame.name, frame.kind)
+            and self.inner.matches_dynamic(frame)
+            for frame in stack
+        )
+
+    @property
+    def has_dynamic_test(self) -> bool:
+        return True
+
+    def cflow_inner_pointcuts(self) -> list[Pointcut]:
+        return [self.inner] + self.inner.cflow_inner_pointcuts()
+
+    def __repr__(self) -> str:
+        return f"{'cflowbelow' if self.below else 'cflow'}({self.inner!r})"
+
+
+def cflow(inner: Pointcut) -> Pointcut:
+    """Match when control flow passes through a join point matching *inner*."""
+    return Cflow(inner)
+
+
+def cflowbelow(inner: Pointcut) -> Pointcut:
+    """Like :func:`cflow` but excluding the current join point."""
+    return Cflow(inner, below=True)
+
+
+@dataclass(frozen=True)
+class And(Pointcut):
+    left: Pointcut
+    right: Pointcut
+
+    def matches_shadow(self, cls: type, name: str, kind: JoinPointKind) -> bool:
+        return self.left.matches_shadow(cls, name, kind) and self.right.matches_shadow(
+            cls, name, kind
+        )
+
+    def matches_dynamic(self, jp: JoinPoint) -> bool:
+        return self.left.matches_dynamic(jp) and self.right.matches_dynamic(jp)
+
+    @property
+    def has_dynamic_test(self) -> bool:
+        return self.left.has_dynamic_test or self.right.has_dynamic_test
+
+    def cflow_inner_pointcuts(self) -> list[Pointcut]:
+        return self.left.cflow_inner_pointcuts() + self.right.cflow_inner_pointcuts()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} && {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Or(Pointcut):
+    left: Pointcut
+    right: Pointcut
+
+    def matches_shadow(self, cls: type, name: str, kind: JoinPointKind) -> bool:
+        return self.left.matches_shadow(cls, name, kind) or self.right.matches_shadow(
+            cls, name, kind
+        )
+
+    def matches_dynamic(self, jp: JoinPoint) -> bool:
+        # Dynamic truth requires the full predicate on this join point.
+        left_ok = self.left.matches_shadow(
+            jp.cls, jp.name, jp.kind
+        ) and self.left.matches_dynamic(jp)
+        if left_ok:
+            return True
+        return self.right.matches_shadow(
+            jp.cls, jp.name, jp.kind
+        ) and self.right.matches_dynamic(jp)
+
+    @property
+    def has_dynamic_test(self) -> bool:
+        return self.left.has_dynamic_test or self.right.has_dynamic_test
+
+    def cflow_inner_pointcuts(self) -> list[Pointcut]:
+        return self.left.cflow_inner_pointcuts() + self.right.cflow_inner_pointcuts()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} || {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Not(Pointcut):
+    inner: Pointcut
+
+    def matches_shadow(self, cls: type, name: str, kind: JoinPointKind) -> bool:
+        # Static negation is unsound to decide at the shadow level when the
+        # inner pointcut has a runtime residue; keep the shadow and let the
+        # dynamic test decide.
+        if self.inner.has_dynamic_test:
+            return True
+        return not self.inner.matches_shadow(cls, name, kind)
+
+    def matches_dynamic(self, jp: JoinPoint) -> bool:
+        inner_matches = self.inner.matches_shadow(
+            jp.cls, jp.name, jp.kind
+        ) and self.inner.matches_dynamic(jp)
+        return not inner_matches
+
+    @property
+    def has_dynamic_test(self) -> bool:
+        return self.inner.has_dynamic_test
+
+    def cflow_inner_pointcuts(self) -> list[Pointcut]:
+        return self.inner.cflow_inner_pointcuts()
+
+    def __repr__(self) -> str:
+        return f"!{self.inner!r}"

@@ -1,0 +1,447 @@
+"""The weaver: composes aspects with base classes at deployment time.
+
+This is Figure 1 of the paper made concrete: the *aspect weaver* takes the
+basic-functionality program (ordinary classes) and separately-specified
+aspects, and produces the combined behaviour — here by installing wrappers
+on matched method shadows and data descriptors on matched fields, all
+reversibly (:meth:`Weaver.undeploy` restores the original program).
+
+Weaving outline::
+
+    weaver = Weaver()
+    deployment = weaver.deploy(TracingAspect(), [Node, Index], fields={"position"})
+    ...                     # advice now runs at matched join points
+    weaver.undeploy(deployment)
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from dataclasses import dataclass, field
+from types import FunctionType
+from typing import Any, Callable, Iterable
+
+from .advice import Advice, AdviceKind
+from .aspect import Aspect
+from .errors import WeavingError
+from .introduce import AppliedIntroduction
+from .joinpoint import (
+    JoinPoint,
+    JoinPointKind,
+    ProceedingJoinPoint,
+    joinpoint_frame,
+)
+
+_MISSING = object()
+
+
+def run_advice_chain(
+    advice: list[Advice], jp: JoinPoint, proceed: Callable[..., Any]
+) -> Any:
+    """Execute *advice* around *proceed* with AspectJ ordering semantics.
+
+    Advice is assumed pre-sorted by precedence (lower ``order`` first =
+    outermost).  Before advice runs outermost-first; after advice runs
+    innermost-first (reverse); around advice nests, outermost wrapping the
+    rest.
+    """
+    befores = [a for a in advice if a.kind is AdviceKind.BEFORE]
+    arounds = [a for a in advice if a.kind is AdviceKind.AROUND]
+    returnings = [a for a in advice if a.kind is AdviceKind.AFTER_RETURNING]
+    throwings = [a for a in advice if a.kind is AdviceKind.AFTER_THROWING]
+    finallys = [a for a in advice if a.kind is AdviceKind.AFTER]
+
+    chain = proceed
+    for around_advice in reversed(arounds):
+        chain = _wrap_around(around_advice, jp, chain)
+
+    for item in befores:
+        item.invoke(jp)
+    try:
+        result = chain(*jp.args, **jp.kwargs)
+    except Exception as exc:
+        jp.result = exc
+        for item in reversed(throwings):
+            item.invoke(jp)
+        for item in reversed(finallys):
+            item.invoke(jp)
+        raise
+    jp.result = result
+    for item in reversed(returnings):
+        item.invoke(jp)
+    for item in reversed(finallys):
+        item.invoke(jp)
+    return result
+
+
+def _wrap_around(advice: Advice, jp: JoinPoint, inner: Callable[..., Any]):
+    def runner(*args: Any, **kwargs: Any) -> Any:
+        pjp = ProceedingJoinPoint(jp, inner)
+        pjp.args = args or jp.args
+        pjp.kwargs = kwargs or jp.kwargs
+        return advice.invoke(pjp)
+
+    return runner
+
+
+# -- shadows -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MethodShadow:
+    """A method the weaver may wrap: where it is reachable and its code."""
+
+    cls: type
+    name: str
+    original: Callable
+    #: True when the method is inherited (the wrapper becomes an override).
+    inherited: bool
+
+
+def method_shadows(cls: type) -> list[MethodShadow]:
+    """All weavable method shadows of *cls* (plain functions, no dunders)."""
+    shadows: list[MethodShadow] = []
+    for name in dir(cls):
+        if name.startswith("__"):
+            continue
+        static = inspect.getattr_static(cls, name)
+        if isinstance(static, FunctionType):
+            shadows.append(
+                MethodShadow(
+                    cls=cls,
+                    name=name,
+                    original=static,
+                    inherited=name not in cls.__dict__,
+                )
+            )
+    return shadows
+
+
+class _WovenField:
+    """A data descriptor turning attribute access into field join points."""
+
+    def __init__(
+        self,
+        name: str,
+        get_advice: list[Advice],
+        set_advice: list[Advice],
+        class_default: Any = _MISSING,
+    ):
+        self._name = name
+        self._get_advice = get_advice
+        self._set_advice = set_advice
+        self._class_default = class_default
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self._name = name
+
+    def __get__(self, obj: Any, objtype: type | None = None) -> Any:
+        if obj is None:
+            return self
+        jp = JoinPoint(JoinPointKind.FIELD_GET, obj, type(obj), self._name)
+
+        def read(*_args: Any, **_kwargs: Any) -> Any:
+            if self._name in obj.__dict__:
+                return obj.__dict__[self._name]
+            if self._class_default is not _MISSING:
+                return self._class_default
+            raise AttributeError(
+                f"{type(obj).__name__!r} object has no attribute {self._name!r}"
+            )
+
+        with joinpoint_frame(jp):
+            applicable = [
+                a for a in self._get_advice if a.pointcut.matches_dynamic(jp)
+            ]
+            if not applicable:
+                return read()
+            return run_advice_chain(applicable, jp, read)
+
+    def __set__(self, obj: Any, value: Any) -> None:
+        jp = JoinPoint(
+            JoinPointKind.FIELD_SET,
+            obj,
+            type(obj),
+            self._name,
+            args=(value,),
+            value=value,
+        )
+
+        def write(new_value: Any = value) -> None:
+            obj.__dict__[self._name] = new_value
+
+        with joinpoint_frame(jp):
+            applicable = [
+                a for a in self._set_advice if a.pointcut.matches_dynamic(jp)
+            ]
+            if not applicable:
+                write()
+                return
+            run_advice_chain(applicable, jp, write)
+
+
+# -- deployments --------------------------------------------------------------
+
+
+@dataclass
+class _WovenMember:
+    cls: type
+    name: str
+    installed: Any
+    previous: Any  # _MISSING when the name was inherited (no own entry)
+
+    def revert(self) -> None:
+        current = self.cls.__dict__.get(self.name, _MISSING)
+        if current is not self.installed:
+            raise WeavingError(
+                f"cannot undeploy: {self.cls.__name__}.{self.name} was re-woven "
+                "or replaced after this deployment (undeploy in LIFO order)"
+            )
+        if self.previous is _MISSING:
+            delattr(self.cls, self.name)
+        else:
+            setattr(self.cls, self.name, self.previous)
+
+
+@dataclass
+class Deployment:
+    """A reversible record of one aspect woven into a set of classes."""
+
+    aspect: Aspect
+    members: list[_WovenMember] = field(default_factory=list)
+    introductions: list[AppliedIntroduction] = field(default_factory=list)
+    active: bool = True
+
+    def woven_signatures(self) -> list[str]:
+        """Human-readable list of what this deployment touched."""
+        return sorted(f"{m.cls.__name__}.{m.name}" for m in self.members)
+
+
+class Weaver:
+    """Deploys aspects into classes and keeps enough state to undo it."""
+
+    def __init__(self) -> None:
+        self._deployments: list[Deployment] = []
+
+    @property
+    def deployments(self) -> list[Deployment]:
+        return [d for d in self._deployments if d.active]
+
+    def deploy(
+        self,
+        aspect: Aspect,
+        targets: Iterable[type],
+        *,
+        fields: Iterable[str] = (),
+        require_match: bool = True,
+    ) -> Deployment:
+        """Weave *aspect* into *targets*.
+
+        ``fields`` names instance attributes to expose as field join points
+        (Python cannot discover instance attributes statically, so field
+        interception is opt-in).  With *require_match*, deploying an aspect
+        that matches nothing raises — almost always a pointcut typo.
+        """
+        aspect.validate()
+        advice = sorted(aspect.advice(), key=lambda a: a.order)
+        targets = list(targets)
+        deployment = Deployment(aspect=aspect)
+
+        # declare error: refuse deployment when a forbidden shape exists.
+        for declaration in aspect.declarations():
+            for cls in targets:
+                for shadow in method_shadows(cls):
+                    if declaration.pointcut.matches_shadow(
+                        cls, shadow.name, JoinPointKind.METHOD_EXECUTION
+                    ):
+                        raise WeavingError(
+                            f"{declaration.message} "
+                            f"(declare error matched {cls.__name__}.{shadow.name})"
+                        )
+
+        for introduction in aspect.introductions():
+            for cls in targets:
+                applied = introduction.apply(cls)
+                if applied is not None:
+                    deployment.introductions.append(applied)
+
+        # Capture every shadow before installing anything, so that weaving
+        # a base class never changes what a subclass shadow captures.
+        method_plan: list[tuple[MethodShadow, list[Advice]]] = []
+        field_plan: list[tuple[type, str, list[Advice], list[Advice]]] = []
+        for cls in targets:
+            for shadow in method_shadows(cls):
+                matching = [
+                    a
+                    for a in advice
+                    if a.pointcut.matches_shadow(
+                        cls, shadow.name, JoinPointKind.METHOD_EXECUTION
+                    )
+                ]
+                if matching:
+                    method_plan.append((shadow, matching))
+            for field_name in fields:
+                getters = [
+                    a
+                    for a in advice
+                    if a.pointcut.matches_shadow(cls, field_name, JoinPointKind.FIELD_GET)
+                ]
+                setters = [
+                    a
+                    for a in advice
+                    if a.pointcut.matches_shadow(cls, field_name, JoinPointKind.FIELD_SET)
+                ]
+                if getters or setters:
+                    field_plan.append((cls, field_name, getters, setters))
+
+        # cflow() residues need the join point stack populated at their
+        # inner pointcuts' shadows even when no advice runs there; weave
+        # tracking-only wrappers for those (AspectJ instruments cflow entry
+        # shadows the same way).
+        inner_pointcuts = [
+            inner
+            for a in advice
+            for inner in a.pointcut.cflow_inner_pointcuts()
+        ]
+        if inner_pointcuts:
+            advised = {(shadow.cls, shadow.name) for shadow, _ in method_plan}
+            for cls in targets:
+                for shadow in method_shadows(cls):
+                    if (shadow.cls, shadow.name) in advised:
+                        continue
+                    if any(
+                        inner.matches_shadow(
+                            cls, shadow.name, JoinPointKind.METHOD_EXECUTION
+                        )
+                        for inner in inner_pointcuts
+                    ):
+                        advised.add((shadow.cls, shadow.name))
+                        method_plan.append((shadow, []))
+
+        for shadow, matching in method_plan:
+            wrapper = self._make_method_wrapper(shadow, matching)
+            previous = shadow.cls.__dict__.get(shadow.name, _MISSING)
+            setattr(shadow.cls, shadow.name, wrapper)
+            deployment.members.append(
+                _WovenMember(shadow.cls, shadow.name, wrapper, previous)
+            )
+
+        for cls, field_name, getters, setters in field_plan:
+            previous = cls.__dict__.get(field_name, _MISSING)
+            default = previous if previous is not _MISSING else _MISSING
+            if isinstance(default, _WovenField):  # re-weave keeps the original default
+                default = default._class_default
+            descriptor = _WovenField(field_name, getters, setters, default)
+            setattr(cls, field_name, descriptor)
+            deployment.members.append(
+                _WovenMember(cls, field_name, descriptor, previous)
+            )
+
+        if require_match and not deployment.members and not deployment.introductions:
+            raise WeavingError(
+                f"aspect {type(aspect).__name__} matched nothing in "
+                f"[{', '.join(t.__name__ for t in targets)}]"
+            )
+        self._deployments.append(deployment)
+        return deployment
+
+    @staticmethod
+    def _make_method_wrapper(shadow: MethodShadow, advice: list[Advice]):
+        original = shadow.original
+
+        @functools.wraps(original)
+        def wrapper(self, *args: Any, **kwargs: Any) -> Any:
+            jp = JoinPoint(
+                JoinPointKind.METHOD_EXECUTION,
+                self,
+                type(self),
+                shadow.name,
+                args,
+                kwargs,
+            )
+            with joinpoint_frame(jp):
+                applicable = [a for a in advice if a.pointcut.matches_dynamic(jp)]
+                if not applicable:
+                    return original(self, *args, **kwargs)
+
+                def proceed(*call_args: Any, **call_kwargs: Any) -> Any:
+                    return original(self, *call_args, **call_kwargs)
+
+                return run_advice_chain(applicable, jp, proceed)
+
+        wrapper.__woven__ = True  # type: ignore[attr-defined]
+        wrapper.__woven_original__ = original  # type: ignore[attr-defined]
+        return wrapper
+
+    def undeploy(self, deployment: Deployment) -> None:
+        """Reverse one deployment (most-recent-first when they overlap)."""
+        if not deployment.active:
+            return
+        for member in reversed(deployment.members):
+            member.revert()
+        for applied in reversed(deployment.introductions):
+            applied.revert()
+        deployment.active = False
+
+    def undeploy_all(self) -> None:
+        """Reverse every active deployment, most recent first."""
+        for deployment in reversed(self.deployments):
+            self.undeploy(deployment)
+
+
+#: The default process-wide weaver used by :func:`deploy` / :func:`undeploy`.
+default_weaver = Weaver()
+
+
+def deploy(
+    aspect: Aspect,
+    targets: Iterable[type],
+    *,
+    fields: Iterable[str] = (),
+    require_match: bool = True,
+) -> Deployment:
+    """Deploy on the default weaver; see :meth:`Weaver.deploy`."""
+    return default_weaver.deploy(
+        aspect, targets, fields=fields, require_match=require_match
+    )
+
+
+def undeploy(deployment: Deployment) -> None:
+    """Undeploy from the default weaver."""
+    default_weaver.undeploy(deployment)
+
+
+class deployed:
+    """Context manager: aspect woven inside the block, restored after.
+
+    ::
+
+        with deployed(Tracing(), [Node]):
+            site.render()          # advice active
+        site.render()              # original behaviour
+    """
+
+    def __init__(
+        self,
+        aspect: Aspect,
+        targets: Iterable[type],
+        *,
+        fields: Iterable[str] = (),
+        weaver: Weaver | None = None,
+    ):
+        self._aspect = aspect
+        self._targets = list(targets)
+        self._fields = fields
+        self._weaver = weaver or default_weaver
+        self._deployment: Deployment | None = None
+
+    def __enter__(self) -> Deployment:
+        self._deployment = self._weaver.deploy(
+            self._aspect, self._targets, fields=self._fields
+        )
+        return self._deployment
+
+    def __exit__(self, *exc_info) -> None:
+        if self._deployment is not None:
+            self._weaver.undeploy(self._deployment)

@@ -1,0 +1,31 @@
+"""Baselines: the paper's *tangled* museum web application.
+
+:mod:`repro.baselines.museum_data` holds the shared museum domain (the
+paper's running example, plus a synthetic generator for scaling studies);
+:mod:`repro.baselines.tangled` builds the Figures 3–4 site where
+navigation markup is written by hand into every page — the "before"
+artifact every experiment diffs against.
+"""
+
+from .museum_data import (
+    MUSEUM_PAINTERS,
+    MuseumFixture,
+    build_museum_schema,
+    build_museum_store,
+    build_navigational_schema,
+    museum_fixture,
+    synthetic_museum,
+)
+from .tangled import TangledMuseumSite, TangledPage
+
+__all__ = [
+    "MUSEUM_PAINTERS",
+    "MuseumFixture",
+    "TangledMuseumSite",
+    "TangledPage",
+    "build_museum_schema",
+    "build_museum_store",
+    "build_navigational_schema",
+    "museum_fixture",
+    "synthetic_museum",
+]

@@ -1,0 +1,245 @@
+"""The museum domain: the paper's running example, in one reusable fixture.
+
+The paper's pages name Picasso's *Guitar*, *Guernica* and *Les Demoiselles
+d'Avignon*; we add Dalí and Miró with works and pictorial movements so the
+two context families of §2 (by painter, by movement) are non-trivial.
+:func:`synthetic_museum` scales the same shape up for benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hypermedia import (
+    ConceptualSchema,
+    ContextFamily,
+    GuidedTour,
+    Index,
+    IndexedGuidedTour,
+    InstanceStore,
+    LinkClass,
+    NavigationalSchema,
+    NodeClass,
+    group_by_attribute,
+    group_by_relationship,
+)
+
+#: painter id -> (name, [(painting id, title, year, movement)])
+MUSEUM_PAINTERS: dict[str, tuple[str, list[tuple[str, str, int, str]]]] = {
+    "picasso": (
+        "Pablo Picasso",
+        [
+            ("guitar", "Guitar", 1913, "cubism"),
+            ("guernica", "Guernica", 1937, "cubism"),
+            ("avignon", "Les Demoiselles d'Avignon", 1907, "cubism"),
+        ],
+    ),
+    "braque": (
+        "Georges Braque",
+        [
+            ("violin", "Violin and Candlestick", 1910, "cubism"),
+            ("clarinet", "Clarinet and Bottle of Rum", 1918, "cubism"),
+        ],
+    ),
+    "dali": (
+        "Salvador Dali",
+        [
+            ("memory", "The Persistence of Memory", 1931, "surrealism"),
+            ("elephants", "The Elephants", 1948, "surrealism"),
+        ],
+    ),
+    "miro": (
+        "Joan Miro",
+        [
+            ("harlequin", "Harlequin's Carnival", 1925, "surrealism"),
+            ("constellation", "The Morning Star", 1940, "surrealism"),
+        ],
+    ),
+}
+
+
+def build_museum_schema() -> ConceptualSchema:
+    """The conceptual schema: Painter, Painting, Movement + relationships."""
+    schema = ConceptualSchema()
+    schema.add_class("Painter", [("name", str, True)])
+    schema.add_class(
+        "Painting", [("title", str, True), ("year", int), ("movement", str)]
+    )
+    schema.add_class("Movement", [("name", str, True)])
+    schema.add_relationship("paints", "Painter", "Painting", inverse="painted_by")
+    schema.add_relationship(
+        "belongs_to", "Painting", "Movement", inverse="includes"
+    )
+    return schema
+
+
+def build_museum_store(
+    schema: ConceptualSchema | None = None,
+    painters: dict[str, tuple[str, list[tuple[str, str, int, str]]]] | None = None,
+) -> InstanceStore:
+    """Populate an instance store with the museum data."""
+    store = InstanceStore(schema or build_museum_schema())
+    painters = painters if painters is not None else MUSEUM_PAINTERS
+    movements_seen: set[str] = set()
+    for painter_id, (painter_name, paintings) in painters.items():
+        painter = store.create("Painter", painter_id, name=painter_name)
+        for painting_id, title, year, movement_id in paintings:
+            painting = store.create(
+                "Painting", painting_id, title=title, year=year, movement=movement_id
+            )
+            store.relate(painter, "paints", painting)
+            if movement_id not in movements_seen:
+                movements_seen.add(movement_id)
+                store.create("Movement", movement_id, name=movement_id.title())
+            store.relate(
+                painting, "belongs_to", store.get("Movement", movement_id)
+            )
+    return store
+
+
+def build_navigational_schema(
+    conceptual: ConceptualSchema,
+    *,
+    painting_access: str = "index",
+) -> NavigationalSchema:
+    """The navigational view: nodes, links and the two context families.
+
+    ``painting_access`` chooses the access structure of the by-painter
+    context family — ``"index"`` (the original requirement) or
+    ``"indexed-guided-tour"`` (after the customer's change request).  This
+    single parameter is the "conceptually simple change" of the paper.
+    """
+    nav = NavigationalSchema(conceptual)
+
+    painter_node = NodeClass("PainterNode", "Painter").view("name")
+    painting_node = (
+        NodeClass("PaintingNode", "Painting")
+        .view("title")
+        .view("year")
+        .view("movement")
+        .view(
+            "painter",
+            lambda entity, store: ", ".join(
+                p.get("name") for p in store.related(entity, "painted_by")
+            ),
+        )
+    )
+    nav.add_node_class(painter_node)
+    nav.add_node_class(painting_node)
+
+    nav.add_link_class(
+        LinkClass(
+            name="paints",
+            relationship="paints",
+            source=painter_node,
+            target=painting_node,
+            arcrole="urn:museum:paints",
+            title_attribute="title",
+        )
+    )
+    nav.add_link_class(
+        LinkClass(
+            name="painted_by",
+            relationship="painted_by",
+            source=painting_node,
+            target=painter_node,
+            arcrole="urn:museum:painted-by",
+            title_attribute="name",
+        )
+    )
+
+    if painting_access == "index":
+        def structure_factory(name: str):
+            return Index(name=name, label_attribute="title")
+    elif painting_access == "indexed-guided-tour":
+        def structure_factory(name: str):
+            return IndexedGuidedTour(name=name, label_attribute="title")
+    elif painting_access == "guided-tour":
+        def structure_factory(name: str):
+            return GuidedTour(name=name, label_attribute="title")
+    else:
+        raise ValueError(f"unknown painting_access {painting_access!r}")
+
+    nav.add_context_family(
+        ContextFamily(
+            name="by-painter",
+            node_class=painting_node,
+            partition=group_by_relationship("Painter", "paints"),
+            access_structure_factory=structure_factory,
+            order_key=lambda entity: entity.get("year") or 0,
+        )
+    )
+    nav.add_context_family(
+        ContextFamily(
+            name="by-movement",
+            node_class=painting_node,
+            partition=group_by_attribute("Painting", "movement"),
+            access_structure_factory=structure_factory,
+            order_key=lambda entity: entity.get("year") or 0,
+        )
+    )
+    return nav
+
+
+@dataclass
+class MuseumFixture:
+    """Everything the examples, tests and benches need, pre-wired."""
+
+    conceptual: ConceptualSchema
+    store: InstanceStore
+    nav: NavigationalSchema
+    painting_access: str = "index"
+
+    def contexts(self):
+        return self.nav.build_contexts(self.store)
+
+    def painting_node(self, painting_id: str):
+        return self.nav.node_class("PaintingNode").instantiate(
+            self.store.get("Painting", painting_id), self.store
+        )
+
+    def painter_node(self, painter_id: str):
+        return self.nav.node_class("PainterNode").instantiate(
+            self.store.get("Painter", painter_id), self.store
+        )
+
+
+def museum_fixture(painting_access: str = "index") -> MuseumFixture:
+    """The paper's museum, ready to navigate."""
+    conceptual = build_museum_schema()
+    return MuseumFixture(
+        conceptual=conceptual,
+        store=build_museum_store(conceptual),
+        nav=build_navigational_schema(conceptual, painting_access=painting_access),
+        painting_access=painting_access,
+    )
+
+
+def synthetic_museum(
+    n_painters: int,
+    paintings_per_painter: int,
+    *,
+    n_movements: int = 5,
+    painting_access: str = "index",
+) -> MuseumFixture:
+    """A museum of arbitrary size with the same shape (for scaling benches)."""
+    painters: dict[str, tuple[str, list[tuple[str, str, int, str]]]] = {}
+    for p in range(n_painters):
+        painter_id = f"painter{p}"
+        works = [
+            (
+                f"work{p}_{w}",
+                f"Work {w} of Painter {p}",
+                1900 + (w * 7 + p) % 100,
+                f"movement{(p + w) % n_movements}",
+            )
+            for w in range(paintings_per_painter)
+        ]
+        painters[painter_id] = (f"Painter {p}", works)
+    conceptual = build_museum_schema()
+    return MuseumFixture(
+        conceptual=conceptual,
+        store=build_museum_store(conceptual, painters),
+        nav=build_navigational_schema(conceptual, painting_access=painting_access),
+        painting_access=painting_access,
+    )

@@ -1,0 +1,216 @@
+"""The tangled baseline: Figures 3 and 4 as a site generator.
+
+This reproduces the "before" state of the paper: every page is hand-shaped
+markup in which data, presentation *and navigation* are interleaved.  The
+access structure is hard-coded into every painting page — switching from
+Index to Indexed Guided Tour (the customer's change request) edits **every
+node page of the context**, which is exactly what the change-impact
+experiment measures.
+
+The pages are well-formed XHTML so the rest of the stack (user agent,
+differ) can parse them with :mod:`repro.xmlcore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hypermedia import Entity, InstanceStore
+from repro.navigation import PageAnchor, PageView
+from repro.xmlcore import escape_text, parse
+
+from .museum_data import MuseumFixture
+
+
+@dataclass(frozen=True)
+class TangledPage:
+    """One generated page: site-relative path plus its markup."""
+
+    path: str
+    html: str
+
+    def lines(self) -> list[str]:
+        return self.html.splitlines()
+
+
+class TangledMuseumSite:
+    """Builds the museum site the way Figures 3–4 were written: by hand.
+
+    ``access`` is ``"index"`` (Figure 3) or ``"indexed-guided-tour"``
+    (Figure 4).  Each painting page of a painter's context embeds the index
+    of sibling paintings; the guided-tour variant adds the two Next /
+    Previous lines the paper prints in bold.
+    """
+
+    def __init__(self, fixture: MuseumFixture, access: str | None = None):
+        self._fixture = fixture
+        self._access = access or fixture.painting_access
+        if self._access not in ("index", "indexed-guided-tour"):
+            raise ValueError(f"unsupported tangled access structure: {self._access}")
+
+    # -- site construction ---------------------------------------------------
+
+    def build(self) -> dict[str, TangledPage]:
+        """All pages of the site, keyed by path."""
+        store = self._fixture.store
+        pages: dict[str, TangledPage] = {}
+        home = self._home_page(store)
+        pages[home.path] = home
+        for painter in store.all("Painter"):
+            page = self._painter_page(store, painter)
+            pages[page.path] = page
+            paintings = self._ordered_paintings(store, painter)
+            for painting in paintings:
+                painting_page = self._painting_page(store, painter, painting, paintings)
+                pages[painting_page.path] = painting_page
+        return pages
+
+    def _ordered_paintings(
+        self, store: InstanceStore, painter: Entity
+    ) -> list[Entity]:
+        return sorted(
+            store.related(painter, "paints"), key=lambda e: e.get("year") or 0
+        )
+
+    @staticmethod
+    def _painter_path(painter: Entity) -> str:
+        return f"painter/{painter.entity_id}.html"
+
+    @staticmethod
+    def _painting_path(painting: Entity) -> str:
+        return f"painting/{painting.entity_id}.html"
+
+    def _home_page(self, store: InstanceStore) -> TangledPage:
+        lines = [
+            "<html>",
+            "<head><title>The Museum</title></head>",
+            "<body>",
+            "<h1>The Museum</h1>",
+            "<ul>",
+        ]
+        for painter in store.all("Painter"):
+            name = escape_text(painter.get("name"))
+            lines.append(
+                f'<li><a href="{self._painter_path(painter)}">{name}</a></li>'
+            )
+        lines += ["</ul>", "</body>", "</html>"]
+        return TangledPage("index.html", "\n".join(lines))
+
+    def _painter_page(self, store: InstanceStore, painter: Entity) -> TangledPage:
+        name = escape_text(painter.get("name"))
+        lines = [
+            "<html>",
+            f"<head><title>{name}</title></head>",
+            "<body>",
+            f"<h1>{name}</h1>",
+            "<h2>Paintings</h2>",
+            "<ul>",
+        ]
+        for painting in self._ordered_paintings(store, painter):
+            title = escape_text(painting.get("title"))
+            lines.append(
+                f'<li><a href="../{self._painting_path(painting)}">{title}</a></li>'
+            )
+        lines += [
+            "</ul>",
+            '<p><a href="../index.html">Museum home</a></p>',
+            "</body>",
+            "</html>",
+        ]
+        return TangledPage(self._painter_path(painter), "\n".join(lines))
+
+    def _painting_page(
+        self,
+        store: InstanceStore,
+        painter: Entity,
+        painting: Entity,
+        siblings: list[Entity],
+    ) -> TangledPage:
+        title = escape_text(painting.get("title"))
+        painter_name = escape_text(painter.get("name"))
+        year = painting.get("year")
+        lines = [
+            "<html>",
+            f"<head><title>{title}</title></head>",
+            "<body>",
+            f"<h1>{title}</h1>",
+            f'<img src="../images/{painting.entity_id}.jpg" alt="{title}"/>',
+            f"<p>{painter_name}, {year}.</p>",
+            # --- navigation tangled into the page starts here -------------
+            "<h2>Other paintings</h2>",
+            "<ul>",
+        ]
+        for sibling in siblings:
+            if sibling == painting:
+                continue
+            sibling_title = escape_text(sibling.get("title"))
+            lines.append(
+                f'<li><a href="../{self._painting_path(sibling)}">'
+                f"{sibling_title}</a></li>"
+            )
+        lines.append("</ul>")
+        if self._access == "indexed-guided-tour":
+            # The two bold lines of Figure 4, repeated in *every* page.
+            position = siblings.index(painting)
+            if position > 0:
+                prev_path = self._painting_path(siblings[position - 1])
+                lines.append(
+                    f'<p><a rel="prev" href="../{prev_path}">Previous</a></p>'
+                )
+            if position + 1 < len(siblings):
+                next_path = self._painting_path(siblings[position + 1])
+                lines.append(
+                    f'<p><a rel="next" href="../{next_path}">Next</a></p>'
+                )
+        lines += [
+            f'<p><a href="../{self._painter_path(painter)}">{painter_name}</a></p>',
+            "</body>",
+            "</html>",
+        ]
+        return TangledPage(self._painting_path(painting), "\n".join(lines))
+
+    # -- page provider for the user agent -------------------------------------
+
+    def provider(self) -> "TangledProvider":
+        return TangledProvider(self.build())
+
+
+class TangledProvider:
+    """Serves built tangled pages to :class:`repro.navigation.UserAgent`."""
+
+    def __init__(self, pages: dict[str, TangledPage]):
+        self._pages = pages
+
+    def page(self, uri: str) -> PageView:
+        from repro.hypermedia.errors import NavigationError
+
+        normalized = _normalize(uri)
+        if normalized not in self._pages:
+            raise NavigationError(f"no page at {uri!r}")
+        document = parse(self._pages[normalized].html)
+        title_el = document.root_element.find("title")
+        anchors = [
+            PageAnchor(
+                label=a.text_content(),
+                href=_normalize(_join(normalized, a.get("href") or "")),
+                rel=a.get("rel") or "link",
+            )
+            for a in document.root_element.findall("a")
+        ]
+        return PageView(
+            uri=normalized,
+            title=title_el.text_content() if title_el is not None else "",
+            anchors=anchors,
+        )
+
+
+def _join(base: str, reference: str) -> str:
+    from repro.xlink import resolve_uri
+
+    return resolve_uri(base, reference)
+
+
+def _normalize(uri: str) -> str:
+    import posixpath
+
+    return posixpath.normpath(uri)

@@ -1,0 +1,101 @@
+"""The paper's contribution: navigation separated, then woven back in.
+
+Two composition mechanisms over the same base program
+(:class:`~repro.core.renderer.PageRenderer`, which renders content-only
+pages):
+
+- **Aspect weaving** (Figure 6): :class:`NavigationAspect` advises the
+  renderer's execution join points and injects the anchors a
+  :class:`NavigationSpec` defines — see :func:`build_woven_site`.
+- **XLink linkbase** (Figures 7–9): the same spec exported as
+  ``links.xml`` plus link-free data documents, then re-materialized by
+  :class:`~repro.core.pipeline.XLinkSiteBuilder` — see
+  :func:`build_xlink_site`.
+
+The change request of §5 (Index → Indexed Guided Tour) is, in both
+mechanisms, an edit to one navigation artifact; the experiments quantify
+the difference against the tangled baseline.
+"""
+
+from .aspect import NavigationAspect
+from .landmarks import (
+    LandmarkAspect,
+    LandmarkSpec,
+    default_museum_landmarks,
+)
+from .navspec import (
+    ACCESS_KINDS,
+    AccessChoice,
+    NavigationSpec,
+    default_museum_spec,
+)
+from .policy import SeparationPolicy, check_separation
+from .pipeline import (
+    HOME_DATA_URI,
+    LINKBASE_URI,
+    XLinkSiteBuilder,
+    build_xlink_site,
+    export_museum_space,
+    linkbase_text,
+    museum_stylesheet,
+    page_path_for,
+)
+from .renderer import PageRenderer
+from .spec_xml import (
+    DEFAULT_HOME_POINTCUT,
+    DEFAULT_NODE_POINTCUT,
+    NAVIGATION_NAMESPACE,
+    spec_from_xml,
+    spec_to_xml,
+)
+from .weave import NavigationWeaver, build_plain_site, build_woven_site
+from .xlink_io import (
+    NAV_ENTRY_ARCROLE,
+    NAV_LINK_ARCROLE,
+    NAV_NEXT_ARCROLE,
+    NAV_PREV_ARCROLE,
+    data_uri_for,
+    export_data_documents,
+    export_entity_document,
+    export_linkbase,
+    rel_for_arcrole,
+)
+
+__all__ = [
+    "ACCESS_KINDS",
+    "AccessChoice",
+    "DEFAULT_HOME_POINTCUT",
+    "DEFAULT_NODE_POINTCUT",
+    "HOME_DATA_URI",
+    "LandmarkAspect",
+    "LandmarkSpec",
+    "LINKBASE_URI",
+    "NAV_ENTRY_ARCROLE",
+    "NAV_LINK_ARCROLE",
+    "NAV_NEXT_ARCROLE",
+    "NAV_PREV_ARCROLE",
+    "NAVIGATION_NAMESPACE",
+    "NavigationAspect",
+    "NavigationSpec",
+    "NavigationWeaver",
+    "PageRenderer",
+    "SeparationPolicy",
+    "XLinkSiteBuilder",
+    "build_plain_site",
+    "check_separation",
+    "build_woven_site",
+    "build_xlink_site",
+    "data_uri_for",
+    "default_museum_landmarks",
+    "default_museum_spec",
+    "export_data_documents",
+    "export_entity_document",
+    "export_linkbase",
+    "export_museum_space",
+    "linkbase_text",
+    "museum_stylesheet",
+    "page_path_for",
+    "rel_for_arcrole",
+    "spec_from_xml",
+    "spec_to_xml",
+]

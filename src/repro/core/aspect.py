@@ -1,0 +1,82 @@
+"""The navigation aspect: the paper's Figure 6, executable.
+
+Questions 3 and 4 of §5 — *where are the join points?* and *how do we
+compose?* — answered concretely:
+
+- **Join points**: the execution of the base renderer's ``render_node``
+  and ``render_home`` methods (:class:`repro.core.renderer.PageRenderer`).
+- **Composition**: ``around`` advice lets the base program produce its
+  content-only page, then injects one ``<nav>`` block computed from the
+  separately-specified :class:`~repro.core.navspec.NavigationSpec`.
+
+The base program never changes; deploying a different aspect instance
+(with a different spec) re-skins the whole site's navigation.
+"""
+
+from __future__ import annotations
+
+from repro.aop import Aspect, around
+from repro.baselines.museum_data import MuseumFixture
+from repro.hypermedia import NavigationalContext
+from repro.web import HtmlPage, nav_block
+
+from .navspec import NavigationSpec
+
+
+class NavigationAspect(Aspect):
+    """Weaves navigation into content-only pages.
+
+    One instance carries one :class:`NavigationSpec` plus the contexts it
+    materializes; advice bodies consult only those — the page content is
+    whatever the base renderer produced.
+    """
+
+    def __init__(self, spec: NavigationSpec, fixture: MuseumFixture):
+        self.spec = spec
+        self.fixture = fixture
+        self.contexts: dict[str, NavigationalContext] = spec.build_contexts(fixture)
+        #: Join point observations, useful for tests and the experiments.
+        self.pages_advised: int = 0
+
+    @around("execution(PageRenderer.render_node)")
+    def weave_node_navigation(self, jp) -> HtmlPage:
+        """Inject the spec's anchors into every rendered node page."""
+        page: HtmlPage = jp.proceed()
+        (node,) = jp.args
+        anchors = self.spec.anchors_for(node, self.contexts, self.fixture.nav)
+        return self._with_nav(page, anchors)
+
+    @around("execution(PageRenderer.render_home)")
+    def weave_home_navigation(self, jp) -> HtmlPage:
+        """Inject the home page's entry indexes."""
+        page: HtmlPage = jp.proceed()
+        return self._with_nav(page, self.spec.home_anchors(self.fixture))
+
+    def _with_nav(self, page: HtmlPage, anchors) -> HtmlPage:
+        self.pages_advised += 1
+        if not anchors:
+            return page
+        body = page.tree.find("body")
+        if body is not None:
+            body.append(nav_block(_relativize(anchors, page.path)))
+        return page
+
+
+def _relativize(anchors, page_path: str):
+    """Rewrite absolute site paths into hrefs relative to *page_path*.
+
+    Node URIs are site-absolute (``PaintingNode/guitar.html``); pages live
+    in subdirectories, so anchors need ``../`` prefixes to resolve.
+    """
+    import posixpath
+
+    from repro.hypermedia import Anchor
+
+    directory = posixpath.dirname(page_path)
+    out = []
+    for anchor in anchors:
+        href = anchor.href
+        if not href.startswith(("http://", "https://", "#")):
+            href = posixpath.relpath(href, directory or ".")
+        out.append(Anchor(anchor.label, href, anchor.rel))
+    return out

@@ -1,0 +1,246 @@
+"""The navigation specification: navigation as one separate artifact.
+
+Question 2 of the paper's §5: "we should define navigation separately."
+:class:`NavigationSpec` is that definition — a declarative object (also
+serializable to an XLink linkbase, :mod:`repro.core.xlink_io`) saying which
+context families are navigable under which access structures and which
+link classes surface on which node pages.  The paper's change request is a
+**one-line edit** here: ``access["by-painter"] = "indexed-guided-tour"``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.baselines.museum_data import MuseumFixture
+from repro.hypermedia import (
+    AccessStructure,
+    Anchor,
+    GuidedTour,
+    Index,
+    IndexedGuidedTour,
+    NavigationalContext,
+    Node,
+)
+
+#: Access-structure kind names accepted by the spec.
+ACCESS_KINDS = ("index", "guided-tour", "indexed-guided-tour")
+
+
+@dataclass(frozen=True)
+class AccessChoice:
+    """Which access structure a context family uses, with its options.
+
+    ``embed_entries`` is an XLink-pipeline presentation option: index
+    entries are exported with ``xlink:show="embed"`` / ``actuate="onLoad"``
+    so the site builder transcludes member previews instead of rendering
+    plain anchors (the woven pipeline ignores it).
+    """
+
+    kind: str = "index"
+    label_attribute: str | None = "title"
+    circular: bool = False
+    embed_entries: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ACCESS_KINDS:
+            raise ValueError(
+                f"unknown access structure kind {self.kind!r} "
+                f"(choose from {', '.join(ACCESS_KINDS)})"
+            )
+
+    def build(self, name: str) -> AccessStructure:
+        if self.kind == "index":
+            return Index(name=name, label_attribute=self.label_attribute)
+        if self.kind == "guided-tour":
+            return GuidedTour(
+                name=name, label_attribute=self.label_attribute, circular=self.circular
+            )
+        return IndexedGuidedTour(
+            name=name, label_attribute=self.label_attribute, circular=self.circular
+        )
+
+
+@dataclass
+class NavigationSpec:
+    """Everything navigational about the site, in one place.
+
+    - ``access`` — context family name → :class:`AccessChoice` (families
+      not listed are not navigable).
+    - ``expose_links`` — node class name → link class names whose anchors
+      appear on those nodes' pages.
+    - ``home_indexes`` — node class names indexed from the home page.
+    """
+
+    access: dict[str, AccessChoice] = field(default_factory=dict)
+    expose_links: dict[str, list[str]] = field(default_factory=dict)
+    home_indexes: list[str] = field(default_factory=list)
+
+    # -- editing (the change request is one call) -----------------------------
+
+    def set_access(self, family: str, kind: str, **options) -> "NavigationSpec":
+        """Choose the access structure for a family (chainable)."""
+        self.access[family] = AccessChoice(kind=kind, **options)
+        return self
+
+    def expose(self, node_class: str, *link_classes: str) -> "NavigationSpec":
+        """Surface link classes on a node class's pages (chainable)."""
+        self.expose_links.setdefault(node_class, []).extend(link_classes)
+        return self
+
+    def index_on_home(self, *node_classes: str) -> "NavigationSpec":
+        """Index these node classes from the home page (chainable)."""
+        self.home_indexes.extend(node_classes)
+        return self
+
+    # -- the spec as an authored artifact -------------------------------------
+
+    def to_text(self) -> str:
+        """A canonical one-line-per-decision textual form.
+
+        This is "the navigation file" a developer edits; the change-impact
+        experiments diff it to show the separated approaches' authored
+        change is O(1) lines.
+        """
+        lines = ["[navigation]"]
+        for family in sorted(self.access):
+            choice = self.access[family]
+            options = f" label={choice.label_attribute}" if choice.label_attribute else ""
+            if choice.circular:
+                options += " circular"
+            lines.append(f"access {family} = {choice.kind}{options}")
+        for node_class in sorted(self.expose_links):
+            for link_class in self.expose_links[node_class]:
+                lines.append(f"expose {node_class} -> {link_class}")
+        for node_class in self.home_indexes:
+            lines.append(f"home-index {node_class}")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "NavigationSpec":
+        """Parse the artifact form produced by :meth:`to_text`.
+
+        This closes the loop on "navigation is a separate artifact": the
+        spec can live in a file, be diffed, and be loaded back — see the
+        CLI in :mod:`repro.tools`.
+        """
+        spec = cls()
+        lines = [line.strip() for line in text.splitlines()]
+        lines = [line for line in lines if line and not line.startswith("#")]
+        if not lines or lines[0] != "[navigation]":
+            raise ValueError("navigation spec must start with '[navigation]'")
+        for line in lines[1:]:
+            if line.startswith("access "):
+                rest = line[len("access "):]
+                family, eq, value = rest.partition("=")
+                if not eq:
+                    raise ValueError(f"malformed access line: {line!r}")
+                parts = value.split()
+                if not parts:
+                    raise ValueError(f"missing access kind: {line!r}")
+                kind = parts[0]
+                options: dict[str, object] = {"label_attribute": None}
+                for option in parts[1:]:
+                    if option == "circular":
+                        options["circular"] = True
+                    elif option.startswith("label="):
+                        options["label_attribute"] = option[len("label="):]
+                    else:
+                        raise ValueError(f"unknown access option {option!r}")
+                spec.set_access(family.strip(), kind, **options)
+            elif line.startswith("expose "):
+                rest = line[len("expose "):]
+                node_class, arrow, link_class = rest.partition("->")
+                if not arrow:
+                    raise ValueError(f"malformed expose line: {line!r}")
+                spec.expose(node_class.strip(), link_class.strip())
+            elif line.startswith("home-index "):
+                spec.index_on_home(line[len("home-index "):].strip())
+            else:
+                raise ValueError(f"unrecognized spec line: {line!r}")
+        return spec
+
+    # -- materialization ------------------------------------------------------
+
+    def build_contexts(
+        self, fixture: MuseumFixture
+    ) -> dict[str, NavigationalContext]:
+        """Contexts for the selected families, with the spec's structures.
+
+        The navigational schema's own access-structure factory is
+        *overridden* by the spec — this is what makes the access structure
+        a property of the navigation artifact rather than of the schema or
+        the pages.
+        """
+        contexts: dict[str, NavigationalContext] = {}
+        for family_name, choice in self.access.items():
+            family = fixture.nav.context_family(family_name)
+            overridden = dataclasses.replace(
+                family, access_structure_factory=choice.build
+            )
+            contexts.update(overridden.contexts(fixture.store))
+        return contexts
+
+    def anchors_for(
+        self,
+        node: Node,
+        contexts: dict[str, NavigationalContext],
+        schema,
+    ) -> list[Anchor]:
+        """All anchors the spec puts on one node's page.
+
+        *schema* is the :class:`~repro.hypermedia.NavigationalSchema` used
+        to resolve the exposed link-class names (the spec itself stores
+        only names, so it stays a plain data artifact).
+        """
+        anchors: list[Anchor] = []
+        for context in contexts.values():
+            if node in context:
+                anchors.extend(context.anchors_on(node))
+        for link_class_name in self.expose_links.get(node.node_class.name, ()):
+            link_class = schema.link_class(link_class_name)
+            anchors.extend(
+                Anchor(link.title, link.href, rel="link")
+                for link in link_class.resolve(node)
+            )
+        return _dedupe(anchors)
+
+    def home_anchors(self, fixture: MuseumFixture) -> list[Anchor]:
+        """Anchors of the home page: one index per listed node class."""
+        anchors: list[Anchor] = []
+        for node_class_name in self.home_indexes:
+            node_class = fixture.nav.node_class(node_class_name)
+            for entity in fixture.store.all(node_class.conceptual_class):
+                node = node_class.instantiate(entity, fixture.store)
+                label = str(
+                    node.attributes().get("name")
+                    or node.attributes().get("title")
+                    or node.node_id
+                )
+                anchors.append(Anchor(label, node.uri, "entry"))
+        return _dedupe(anchors)
+
+
+def _dedupe(anchors: list[Anchor]) -> list[Anchor]:
+    seen: set[tuple[str, str, str]] = set()
+    out: list[Anchor] = []
+    for anchor in anchors:
+        key = (anchor.label, anchor.href, anchor.rel)
+        if key not in seen:
+            seen.add(key)
+            out.append(anchor)
+    return out
+
+
+def default_museum_spec(access_kind: str = "index") -> NavigationSpec:
+    """The museum's navigation: the paper's original requirement.
+
+    ``access_kind`` is the one knob the change request turns.
+    """
+    spec = NavigationSpec()
+    spec.set_access("by-painter", access_kind, label_attribute="title")
+    spec.expose("PaintingNode", "painted_by")
+    spec.expose("PainterNode", "paints")
+    spec.index_on_home("PainterNode")
+    return spec

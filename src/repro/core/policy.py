@@ -1,0 +1,56 @@
+"""The separation policy: *enforce* the paper's architecture, statically.
+
+Enabling separation is half the job; keeping later commits from tangling
+navigation back into the base program is the other half.  AspectJ answers
+with ``declare error``; :class:`SeparationPolicy` does the same here — it
+deploys no advice, but refuses deployment when the base program grows
+navigation-shaped methods (anchor/link/nav builders outside the aspect).
+"""
+
+from __future__ import annotations
+
+from repro.aop import Aspect, DeclareError, declare_error
+
+#: Method-name shapes that indicate navigation leaking into base classes.
+FORBIDDEN_SHAPES = (
+    "execution(*.render_anchor*)",
+    "execution(*.add_link*)",
+    "execution(*.build_nav*)",
+    "execution(*.make_menu*)",
+)
+
+
+class SeparationPolicy(Aspect):
+    """Forbids navigation-shaped members in the classes it is deployed to.
+
+    Deploy it against the base-program classes in a test or CI hook::
+
+        Weaver().deploy(SeparationPolicy(), [PageRenderer], require_match=False)
+
+    A clean base program deploys (and un-deploys) without effect; one that
+    has grown an ``add_link``-style method fails loudly with the member
+    name in the error.
+    """
+
+    def __init__(self, extra_shapes: tuple[str, ...] = ()):
+        self._shapes = FORBIDDEN_SHAPES + tuple(extra_shapes)
+
+    def declarations(self) -> list[DeclareError]:
+        return [
+            declare_error(
+                shape,
+                "navigation must live in the navigation aspect, not the base program",
+            )
+            for shape in self._shapes
+        ]
+
+
+def check_separation(*classes: type, extra_shapes: tuple[str, ...] = ()) -> None:
+    """One-call policy check: raises :class:`~repro.aop.WeavingError` on violation."""
+    from repro.aop import Weaver
+
+    weaver = Weaver()
+    deployment = weaver.deploy(
+        SeparationPolicy(extra_shapes), list(classes), require_match=False
+    )
+    weaver.undeploy(deployment)

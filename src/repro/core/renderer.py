@@ -1,0 +1,84 @@
+"""The base program: a renderer that knows *nothing* about navigation.
+
+Question 1 of the paper's §5: "Somehow we should describe the main
+functionality of the application.  We should implement the conceptual
+model."  This module is that description: it renders content-only pages —
+node attributes, headings, images — and produces a site with **zero
+anchors**.  Every traversal opportunity the finished site has is added by
+the navigation aspect (:mod:`repro.core.aspect`) or by the XLink pipeline
+(:mod:`repro.core.pipeline`); nothing navigational hides in here.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.museum_data import MuseumFixture
+from repro.hypermedia import Node
+from repro.web import HtmlPage, StaticSite, heading, image, page_skeleton, paragraph
+from repro.xmlcore import build
+
+
+class PageRenderer:
+    """Renders content-only pages for nodes and the site home.
+
+    The methods of this class are the *join points* the navigation aspect
+    advises (``execution(PageRenderer.render_*)``); its output trees are
+    pure content.
+    """
+
+    def __init__(self, fixture: MuseumFixture, *, home_title: str = "The Museum"):
+        self._fixture = fixture
+        self._home_title = home_title
+
+    @property
+    def fixture(self) -> MuseumFixture:
+        return self._fixture
+
+    # -- join point: node pages ----------------------------------------------
+
+    def render_node(self, node: Node) -> HtmlPage:
+        """One node's page: heading, image (for paintings), attribute list."""
+        attributes = node.attributes()
+        title = str(
+            attributes.get("title") or attributes.get("name") or node.node_id
+        )
+        html, body = page_skeleton(title)
+        body.append(heading(1, title))
+        if node.entity.cls.name == "Painting":
+            body.append(image(f"../images/{node.node_id}.jpg", title))
+        details = build("dl", {})
+        for name, value in attributes.items():
+            if name in ("title", "name") or value in (None, ""):
+                continue
+            details.subelement("dt", text=name)
+            details.subelement("dd", text=str(value))
+        if details.children:
+            body.append(details)
+        return HtmlPage(node.uri, html)
+
+    # -- join point: the home page ------------------------------------------------
+
+    def render_home(self) -> HtmlPage:
+        """The site home: a welcome blurb.  Content only — no index."""
+        html, body = page_skeleton(self._home_title)
+        body.append(heading(1, self._home_title))
+        body.append(paragraph("Welcome to the museum."))
+        return HtmlPage("index.html", html)
+
+    # -- site assembly ---------------------------------------------------------
+
+    def node_inventory(self) -> list[Node]:
+        """Every node the site renders, in a stable order."""
+        fixture = self._fixture
+        nodes: list[Node] = []
+        for node_class in fixture.nav.node_classes.values():
+            for entity in fixture.store.all(node_class.conceptual_class):
+                nodes.append(node_class.instantiate(entity, fixture.store))
+        return nodes
+
+    def build_site(self) -> StaticSite:
+        """Render the whole site (home + every node page)."""
+        site = StaticSite()
+        site.add(self.render_home())
+        for node in self.node_inventory():
+            site.add(self.render_node(node))
+        return site

@@ -1,0 +1,145 @@
+"""The navigation spec as an XML artifact, with embedded pointcuts.
+
+Section 7 of the paper leaves as future work "how aspect-oriented
+languages can be embedded in web pages and web applications".  This module
+is that study made concrete: the whole navigation definition — access
+structures, exposed links, home indexes *and the pointcut expressions
+naming the join points to weave at* — serializes to one XML document:
+
+.. code-block:: xml
+
+    <navigation xmlns="urn:repro:navigation">
+      <joinpoints pointcut="execution(PageRenderer.render_node)"
+                  home-pointcut="execution(PageRenderer.render_home)"/>
+      <access family="by-painter" kind="index" label="title"/>
+      <expose node-class="PaintingNode" link-class="painted_by"/>
+      <home-index node-class="PainterNode"/>
+    </navigation>
+
+Loading validates the embedded pointcuts with the AOP parser and checks
+they actually match the base renderer's join point shadows — a navigation
+file naming join points that do not exist is a deployment error, caught at
+load time.
+"""
+
+from __future__ import annotations
+
+from repro.aop import JoinPointKind, parse_pointcut
+from repro.aop.weaver import method_shadows
+from repro.xmlcore import Document, Element, QName, parse
+
+from .navspec import AccessChoice, NavigationSpec
+
+NAVIGATION_NAMESPACE = "urn:repro:navigation"
+
+#: The join points the shipped NavigationAspect advises.
+DEFAULT_NODE_POINTCUT = "execution(PageRenderer.render_node)"
+DEFAULT_HOME_POINTCUT = "execution(PageRenderer.render_home)"
+
+
+def spec_to_xml(
+    spec: NavigationSpec,
+    *,
+    node_pointcut: str = DEFAULT_NODE_POINTCUT,
+    home_pointcut: str = DEFAULT_HOME_POINTCUT,
+) -> Document:
+    """Serialize *spec* (plus its weaving pointcuts) to XML."""
+    ns = NAVIGATION_NAMESPACE
+    root = Element(QName(ns, "navigation"), namespaces={None: ns})
+    joinpoints = Element(QName(ns, "joinpoints"))
+    joinpoints.set("pointcut", node_pointcut)
+    joinpoints.set("home-pointcut", home_pointcut)
+    root.append(joinpoints)
+    for family in sorted(spec.access):
+        choice = spec.access[family]
+        access = Element(QName(ns, "access"))
+        access.set("family", family)
+        access.set("kind", choice.kind)
+        if choice.label_attribute:
+            access.set("label", choice.label_attribute)
+        if choice.circular:
+            access.set("circular", "true")
+        if choice.embed_entries:
+            access.set("embed", "true")
+        root.append(access)
+    for node_class in sorted(spec.expose_links):
+        for link_class in spec.expose_links[node_class]:
+            expose = Element(QName(ns, "expose"))
+            expose.set("node-class", node_class)
+            expose.set("link-class", link_class)
+            root.append(expose)
+    for node_class in spec.home_indexes:
+        home = Element(QName(ns, "home-index"))
+        home.set("node-class", node_class)
+        root.append(home)
+    document = Document()
+    document.append(root)
+    return document
+
+
+def spec_from_xml(
+    document: Document | str, *, validate_against: type | None = None
+) -> tuple[NavigationSpec, str, str]:
+    """Parse an XML navigation artifact back into a spec.
+
+    Returns ``(spec, node_pointcut, home_pointcut)``.  The pointcut
+    expressions are parsed with the AOP grammar (malformed ones fail
+    here); when *validate_against* names the renderer class, they must
+    statically match at least one of its method shadows.
+    """
+    if isinstance(document, str):
+        document = parse(document)
+    root = document.root_element
+    if root.name != QName(NAVIGATION_NAMESPACE, "navigation"):
+        raise ValueError(
+            f"not a navigation artifact: root is {root.name.clark()!r}"
+        )
+
+    node_pointcut = DEFAULT_NODE_POINTCUT
+    home_pointcut = DEFAULT_HOME_POINTCUT
+    spec = NavigationSpec()
+    for child in root.child_elements():
+        local = child.name.local
+        if local == "joinpoints":
+            node_pointcut = child.get("pointcut") or node_pointcut
+            home_pointcut = child.get("home-pointcut") or home_pointcut
+        elif local == "access":
+            family = child.get("family")
+            kind = child.get("kind")
+            if not family or not kind:
+                raise ValueError("<access> needs family and kind attributes")
+            spec.access[family] = AccessChoice(
+                kind=kind,
+                label_attribute=child.get("label"),
+                circular=child.get("circular") == "true",
+                embed_entries=child.get("embed") == "true",
+            )
+        elif local == "expose":
+            node_class = child.get("node-class")
+            link_class = child.get("link-class")
+            if not node_class or not link_class:
+                raise ValueError("<expose> needs node-class and link-class")
+            spec.expose(node_class, link_class)
+        elif local == "home-index":
+            node_class = child.get("node-class")
+            if not node_class:
+                raise ValueError("<home-index> needs node-class")
+            spec.index_on_home(node_class)
+        else:
+            raise ValueError(f"unknown navigation element <{local}>")
+
+    for expression in (node_pointcut, home_pointcut):
+        pointcut = parse_pointcut(expression)  # raises on bad syntax
+        if validate_against is not None:
+            shadows = method_shadows(validate_against)
+            if not any(
+                pointcut.matches_shadow(
+                    validate_against, s.name, JoinPointKind.METHOD_EXECUTION
+                )
+                for s in shadows
+            ):
+                raise ValueError(
+                    f"pointcut {expression!r} matches no join point of "
+                    f"{validate_against.__name__}"
+                )
+    return spec, node_pointcut, home_pointcut

@@ -1,0 +1,160 @@
+"""Weaving orchestration: base program + navigation aspect = the site.
+
+The one-call composition of the paper's Figure 6::
+
+    site = build_woven_site(fixture, default_museum_spec("index"))
+
+Changing the access structure is a new spec, not new pages::
+
+    site2 = build_woven_site(fixture, default_museum_spec("indexed-guided-tour"))
+
+The change-impact experiments diff these two builds against the tangled
+equivalents.
+"""
+
+from __future__ import annotations
+
+from repro.aop import Weaver
+from repro.baselines.museum_data import MuseumFixture
+from repro.web import StaticSite
+
+from .aspect import NavigationAspect
+from .navspec import NavigationSpec
+from .renderer import PageRenderer
+
+
+def build_plain_site(fixture: MuseumFixture) -> StaticSite:
+    """The base program alone: a site with no navigation at all."""
+    return PageRenderer(fixture).build_site()
+
+
+def build_woven_site(
+    fixture: MuseumFixture,
+    spec: NavigationSpec,
+    *,
+    weaver: Weaver | None = None,
+) -> StaticSite:
+    """Deploy the navigation aspect, build the site, undeploy.
+
+    The weaver touches :class:`PageRenderer` only for the duration of the
+    build, so concurrent plain builds (or differently-woven builds) never
+    observe each other's navigation.
+    """
+    weaver = weaver or Weaver()
+    renderer = PageRenderer(fixture)
+    aspect = NavigationAspect(spec, fixture)
+    deployment = weaver.deploy(aspect, [PageRenderer])
+    try:
+        return renderer.build_site()
+    finally:
+        weaver.undeploy(deployment)
+
+
+class NavigationWeaver:
+    """A persistent deployment for interactive use.
+
+    Where :func:`build_woven_site` is transactional, this keeps the aspect
+    deployed — rendering individual pages on demand (e.g. for the user
+    agent) with navigation woven in — until :meth:`undeploy`.
+    """
+
+    def __init__(self, fixture: MuseumFixture, spec: NavigationSpec):
+        self._fixture = fixture
+        self._spec = spec
+        self._weaver = Weaver()
+        self._renderer = PageRenderer(fixture)
+        self._aspect: NavigationAspect | None = None
+        self._deployment = None
+
+    @property
+    def aspect(self) -> NavigationAspect:
+        if self._aspect is None:
+            raise RuntimeError("weaver is not deployed")
+        return self._aspect
+
+    @property
+    def renderer(self) -> PageRenderer:
+        return self._renderer
+
+    def deploy(self) -> "NavigationWeaver":
+        if self._deployment is not None:
+            return self
+        self._aspect = NavigationAspect(self._spec, self._fixture)
+        self._deployment = self._weaver.deploy(self._aspect, [PageRenderer])
+        return self
+
+    def undeploy(self) -> None:
+        if self._deployment is not None:
+            self._weaver.undeploy(self._deployment)
+            self._deployment = None
+            self._aspect = None
+
+    def reconfigure(self, spec: NavigationSpec) -> "NavigationWeaver":
+        """Swap the navigation spec: undeploy, replace, redeploy.
+
+        This is the paper's change request as a runtime operation — the
+        base program is untouched throughout.
+        """
+        was_deployed = self._deployment is not None
+        self.undeploy()
+        self._spec = spec
+        if was_deployed:
+            self.deploy()
+        return self
+
+    def build_site(self) -> StaticSite:
+        return self._renderer.build_site()
+
+    def provider(self) -> "LazyWovenProvider":
+        """Serve pages *on demand*, rendering through the live deployment.
+
+        Unlike :meth:`build_site` (which materializes everything), the
+        lazy provider renders a node page only when the user agent asks
+        for it — and because rendering passes through the deployed
+        aspect's join points, a :meth:`reconfigure` between two requests
+        changes the navigation of pages rendered afterwards.
+        """
+        return LazyWovenProvider(self)
+
+    def __enter__(self) -> "NavigationWeaver":
+        return self.deploy()
+
+    def __exit__(self, *exc_info) -> None:
+        self.undeploy()
+
+
+class LazyWovenProvider:
+    """On-demand page provider over a deployed :class:`NavigationWeaver`."""
+
+    def __init__(self, weaver: NavigationWeaver):
+        self._weaver = weaver
+        # URI -> node, computed once from the renderer's inventory.
+        self._nodes = {
+            node.uri: node for node in weaver.renderer.node_inventory()
+        }
+
+    def page(self, uri: str):
+        from repro.hypermedia.errors import NavigationError
+        from repro.navigation import PageAnchor, PageView
+
+        import posixpath
+
+        normalized = posixpath.normpath(uri)
+        renderer = self._weaver.renderer
+        if normalized == "index.html":
+            page = renderer.render_home()
+        elif normalized in self._nodes:
+            page = renderer.render_node(self._nodes[normalized])
+        else:
+            raise NavigationError(f"no page at {uri!r}")
+        from repro.xlink import resolve_uri
+
+        anchors = [
+            PageAnchor(
+                label=a.label,
+                href=posixpath.normpath(resolve_uri(normalized, a.href)),
+                rel=a.rel,
+            )
+            for a in page.anchors()
+        ]
+        return PageView(uri=normalized, title=page.title, anchors=anchors)

@@ -1,0 +1,276 @@
+"""Figures 7–9: the navigation spec as XML artifacts.
+
+The paper's "first stage" separation puts data in ``picasso.xml`` /
+``avignon.xml`` and links in ``links.xml``.  This module writes exactly
+those artifacts from a fixture + :class:`~repro.core.navspec.NavigationSpec`
+— and the linkbase encodes the access structures in pure XLink:
+
+- an **index** is one arc with neither ``from`` nor ``to`` (the XLink
+  "every participant" rule gives the full cross product);
+- a **guided tour** is per-member labels ``m0..mN`` with ``next``/``prev``
+  arcs between adjacent labels;
+- an **indexed guided tour** is both, in the same extended link.
+
+Changing the access structure therefore regenerates *only* ``links.xml``;
+the data documents are byte-identical before and after — the quantity the
+F7–F9 experiment checks.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.museum_data import MuseumFixture
+from repro.hypermedia import Entity, NavigationalContext
+from repro.xmlcore import XLINK_NAMESPACE, Document, Element, QName, build
+
+from .navspec import NavigationSpec
+
+#: Arc roles giving anchors their navigational meaning in the linkbase.
+NAV_ENTRY_ARCROLE = "urn:repro:nav:entry"
+NAV_NEXT_ARCROLE = "urn:repro:nav:next"
+NAV_PREV_ARCROLE = "urn:repro:nav:prev"
+NAV_LINK_ARCROLE = "urn:repro:nav:link"
+
+_ARCROLE_TO_REL = {
+    NAV_ENTRY_ARCROLE: "entry",
+    NAV_NEXT_ARCROLE: "next",
+    NAV_PREV_ARCROLE: "prev",
+    NAV_LINK_ARCROLE: "link",
+}
+
+
+def rel_for_arcrole(arcrole: str | None) -> str:
+    """Map a linkbase arc role to an anchor rel (default ``link``)."""
+    return _ARCROLE_TO_REL.get(arcrole or "", "link")
+
+
+def data_uri_for(entity: Entity) -> str:
+    """The data document URI for an entity — the paper's ``picasso.xml``."""
+    return f"{entity.entity_id}.xml"
+
+
+# -- data documents (Figures 7 and 8) ---------------------------------------
+
+
+def export_entity_document(entity: Entity) -> Document:
+    """One entity as a link-free XML document."""
+    root = Element(entity.cls.name.lower(), {"id": entity.entity_id})
+    for attr_def in entity.cls.attributes:
+        value = entity.get(attr_def.name)
+        if value is not None:
+            root.subelement(attr_def.name, text=str(value))
+    document = Document()
+    document.append(root)
+    return document
+
+
+def export_data_documents(fixture: MuseumFixture) -> dict[str, Document]:
+    """Every painter and painting as its own document, keyed by URI."""
+    documents: dict[str, Document] = {}
+    for class_name in ("Painter", "Painting"):
+        for entity in fixture.store.all(class_name):
+            documents[data_uri_for(entity)] = export_entity_document(entity)
+    return documents
+
+
+# -- the linkbase (Figure 9) ----------------------------------------------------
+
+
+def _xlink_el(name: str, xlink_attrs: dict[str, str]) -> Element:
+    el = Element(name)
+    for attr_name, value in xlink_attrs.items():
+        el.set(QName(XLINK_NAMESPACE, attr_name), value)
+    return el
+
+
+def _entity_label(node) -> str:
+    attrs = node.attributes()
+    return str(attrs.get("title") or attrs.get("name") or node.node_id)
+
+
+def _context_link(
+    context: NavigationalContext, kind: str, *, embed_entries: bool = False
+) -> Element:
+    """One extended link encoding one context and its access structure."""
+    link = _xlink_el(
+        "context",
+        {"type": "extended", "role": "urn:repro:nav:context", "title": context.name},
+    )
+    for position, member in enumerate(context.members):
+        locator = _xlink_el(
+            "member",
+            {
+                "type": "locator",
+                "href": data_uri_for(member.entity),
+                "label": f"m{position}",
+                "title": _entity_label(member),
+            },
+        )
+        link.append(locator)
+    # show/actuate carry the traversal presentation the XLink spec defines:
+    # user-requested replacement is the ordinary hyperlink behaviour; an
+    # embedding index asks the browser to transclude the target.
+    entry_show = "embed" if embed_entries else "replace"
+    if kind in ("index", "indexed-guided-tour"):
+        link.append(
+            _xlink_el(
+                "arc",
+                {
+                    "type": "arc",
+                    "arcrole": NAV_ENTRY_ARCROLE,
+                    "show": entry_show,
+                    "actuate": "onLoad" if embed_entries else "onRequest",
+                },
+            )
+        )
+    if kind in ("guided-tour", "indexed-guided-tour"):
+        for position in range(len(context.members) - 1):
+            link.append(
+                _xlink_el(
+                    "arc",
+                    {
+                        "type": "arc",
+                        "from": f"m{position}",
+                        "to": f"m{position + 1}",
+                        "arcrole": NAV_NEXT_ARCROLE,
+                        "title": "Next",
+                        "show": "replace",
+                        "actuate": "onRequest",
+                    },
+                )
+            )
+            link.append(
+                _xlink_el(
+                    "arc",
+                    {
+                        "type": "arc",
+                        "from": f"m{position + 1}",
+                        "to": f"m{position}",
+                        "arcrole": NAV_PREV_ARCROLE,
+                        "title": "Previous",
+                        "show": "replace",
+                        "actuate": "onRequest",
+                    },
+                )
+            )
+    return link
+
+
+def _link_class_link(fixture: MuseumFixture, link_class_name: str) -> Element:
+    """One extended link carrying every instance of a schema link class."""
+    link_class = fixture.nav.link_class(link_class_name)
+    link = _xlink_el(
+        "linkclass",
+        {
+            "type": "extended",
+            "role": "urn:repro:nav:linkclass",
+            "title": link_class_name,
+        },
+    )
+    label_of: dict[str, str] = {}
+
+    def locator_for(node) -> str:
+        uri = data_uri_for(node.entity)
+        if uri not in label_of:
+            label_of[uri] = f"r{len(label_of)}"
+            link.append(
+                _xlink_el(
+                    "participant",
+                    {
+                        "type": "locator",
+                        "href": uri,
+                        "label": label_of[uri],
+                        "title": _entity_label(node),
+                    },
+                )
+            )
+        return label_of[uri]
+
+    source_class = link_class.source
+    for entity in fixture.store.all(source_class.conceptual_class):
+        source_node = source_class.instantiate(entity, fixture.store)
+        for nav_link in link_class.resolve(source_node):
+            from_label = locator_for(nav_link.source)
+            to_label = locator_for(nav_link.target)
+            link.append(
+                _xlink_el(
+                    "arc",
+                    {
+                        "type": "arc",
+                        "from": from_label,
+                        "to": to_label,
+                        "arcrole": NAV_LINK_ARCROLE,
+                        "title": nav_link.title,
+                    },
+                )
+            )
+    return link
+
+
+def _home_link(fixture: MuseumFixture, spec: NavigationSpec) -> Element | None:
+    if not spec.home_indexes:
+        return None
+    link = _xlink_el(
+        "homelink",
+        {"type": "extended", "role": "urn:repro:nav:home", "title": "home"},
+    )
+    link.append(
+        _xlink_el(
+            "home",
+            {"type": "locator", "href": "home.xml", "label": "home", "title": "Home"},
+        )
+    )
+    position = 0
+    for node_class_name in spec.home_indexes:
+        node_class = fixture.nav.node_class(node_class_name)
+        for entity in fixture.store.all(node_class.conceptual_class):
+            node = node_class.instantiate(entity, fixture.store)
+            label = f"e{position}"
+            position += 1
+            link.append(
+                _xlink_el(
+                    "dest",
+                    {
+                        "type": "locator",
+                        "href": data_uri_for(entity),
+                        "label": label,
+                        "title": _entity_label(node),
+                    },
+                )
+            )
+            link.append(
+                _xlink_el(
+                    "arc",
+                    {
+                        "type": "arc",
+                        "from": "home",
+                        "to": label,
+                        "arcrole": NAV_ENTRY_ARCROLE,
+                    },
+                )
+            )
+    return link
+
+
+def export_linkbase(fixture: MuseumFixture, spec: NavigationSpec) -> Document:
+    """The whole navigation spec as one linkbase document (``links.xml``)."""
+    root = build("links", {}, namespaces={"xlink": XLINK_NAMESPACE})
+    home = _home_link(fixture, spec)
+    if home is not None:
+        root.append(home)
+    contexts = spec.build_contexts(fixture)
+    for family_name, choice in spec.access.items():
+        for context_name in sorted(contexts):
+            if context_name.startswith(f"{family_name}:"):
+                root.append(
+                    _context_link(
+                        contexts[context_name],
+                        choice.kind,
+                        embed_entries=choice.embed_entries,
+                    )
+                )
+    for node_class_name in sorted(spec.expose_links):
+        for link_class_name in spec.expose_links[node_class_name]:
+            root.append(_link_class_link(fixture, link_class_name))
+    document = Document()
+    document.append(root)
+    return document

@@ -1,0 +1,76 @@
+"""OOHDM-style hypermedia design primitives.
+
+The web-design methodologies the paper surveys (HDM, RMM, OOHDM) model
+navigation with a small vocabulary this package implements:
+
+- **conceptual schema** — domain classes and relationships, navigation-free
+  (:mod:`repro.hypermedia.conceptual`, :mod:`~repro.hypermedia.instances`).
+- **nodes and links** — views over classes and relationships
+  (:mod:`repro.hypermedia.nodes`, :mod:`repro.hypermedia.links`).
+- **access structures** — Index, GuidedTour, IndexedGuidedTour, Menu
+  (:mod:`repro.hypermedia.access`; the paper's Figure 2).
+- **navigational contexts** — ordered member sets making "Next" depend on
+  how you arrived (:mod:`repro.hypermedia.context`; OOHDM's contribution).
+"""
+
+from .access import (
+    AccessStructure,
+    Anchor,
+    GuidedTour,
+    Index,
+    IndexedGuidedTour,
+    Menu,
+)
+from .conceptual import (
+    AttributeDef,
+    Cardinality,
+    ConceptualClass,
+    ConceptualSchema,
+    Relationship,
+)
+from .context import (
+    ContextFamily,
+    NavigationalContext,
+    group_by_attribute,
+    group_by_relationship,
+)
+from .errors import (
+    HypermediaError,
+    InstanceError,
+    NavigationError,
+    SchemaError,
+)
+from .instances import Entity, InstanceStore
+from .links import LinkClass, NavLink
+from .nodes import AttributeView, Node, NodeClass
+from .schema import NavigationalSchema
+
+__all__ = [
+    "AccessStructure",
+    "Anchor",
+    "AttributeDef",
+    "AttributeView",
+    "Cardinality",
+    "ConceptualClass",
+    "ConceptualSchema",
+    "ContextFamily",
+    "Entity",
+    "GuidedTour",
+    "HypermediaError",
+    "Index",
+    "IndexedGuidedTour",
+    "InstanceError",
+    "InstanceStore",
+    "LinkClass",
+    "Menu",
+    "NavLink",
+    "NavigationError",
+    "NavigationalContext",
+    "NavigationalSchema",
+    "Node",
+    "NodeClass",
+    "Relationship",
+    "SchemaError",
+    "group_by_attribute",
+    "group_by_relationship",
+]

@@ -1,0 +1,190 @@
+"""Access structures: Index, Guided Tour, Indexed Guided Tour, Menu.
+
+These are the paper's Figure 2 primitives — "alternative ways to navigate"
+— and the pivot of its motivating story: the customer's change request
+turns an **Index** (painter → each painting) into an **Indexed Guided
+Tour** (adding next/previous between paintings), which in the tangled
+implementation forces edits to every node page of the context.
+
+An access structure answers two questions:
+
+- :meth:`AccessStructure.entries` — the anchors on the structure's *own*
+  page (e.g. the index listing).
+- :meth:`AccessStructure.anchors_on` — the anchors the structure
+  contributes to a *member node's* page (e.g. Next/Previous, or the
+  embedded index of Figures 3–4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .errors import NavigationError
+from .nodes import Node
+
+
+@dataclass(frozen=True, slots=True)
+class Anchor:
+    """A rendered traversal opportunity: label + href + its role.
+
+    ``rel`` carries the navigational meaning (``entry``, ``next``,
+    ``prev``, ``index``, ``menu``); renderers and the browser simulator
+    dispatch on it.
+    """
+
+    label: str
+    href: str
+    rel: str = "entry"
+
+    def __str__(self) -> str:
+        return f"[{self.label}]({self.href}; rel={self.rel})"
+
+
+def _label_of(node: Node, attribute: str | None) -> str:
+    if attribute is not None:
+        value = node.get(attribute)
+        if value is not None:
+            return str(value)
+    return node.node_id
+
+
+def _position_of(node: Node, members: Sequence[Node]) -> int:
+    for index, member in enumerate(members):
+        if member == node:
+            return index
+    raise NavigationError(
+        f"{node!r} is not a member of this access structure's context"
+    )
+
+
+@dataclass
+class AccessStructure:
+    """Base class; concrete structures override the two anchor methods."""
+
+    name: str
+    label_attribute: str | None = None
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def entries(self, members: Sequence[Node]) -> list[Anchor]:
+        raise NotImplementedError
+
+    def anchors_on(self, node: Node, members: Sequence[Node]) -> list[Anchor]:
+        raise NotImplementedError
+
+
+@dataclass
+class Index(AccessStructure):
+    """An index: one entry anchor per member (the paper's Figure 2a).
+
+    With ``embed_in_members`` (the tangled sites' style, Figure 3) every
+    member page repeats the index of its siblings; otherwise member pages
+    carry a single ``index`` anchor back to the index page.
+    """
+
+    embed_in_members: bool = True
+    index_uri: str | None = None
+
+    def entries(self, members: Sequence[Node]) -> list[Anchor]:
+        return [
+            Anchor(_label_of(member, self.label_attribute), member.uri, "entry")
+            for member in members
+        ]
+
+    def anchors_on(self, node: Node, members: Sequence[Node]) -> list[Anchor]:
+        _position_of(node, members)  # membership check
+        if self.embed_in_members:
+            return [
+                Anchor(_label_of(member, self.label_attribute), member.uri, "entry")
+                for member in members
+                if member != node
+            ]
+        if self.index_uri is not None:
+            return [Anchor(self.name, self.index_uri, "index")]
+        return []
+
+
+@dataclass
+class GuidedTour(AccessStructure):
+    """A guided tour: next/previous through an ordered member sequence.
+
+    ``circular`` makes the tour wrap around (last → first), a common HDM
+    variant; by default the ends have no next/previous.
+    """
+
+    circular: bool = False
+
+    def entries(self, members: Sequence[Node]) -> list[Anchor]:
+        if not members:
+            return []
+        first = members[0]
+        return [Anchor(_label_of(first, self.label_attribute), first.uri, "start")]
+
+    def anchors_on(self, node: Node, members: Sequence[Node]) -> list[Anchor]:
+        position = _position_of(node, members)
+        anchors: list[Anchor] = []
+        count = len(members)
+        prev_index = position - 1
+        next_index = position + 1
+        if self.circular:
+            prev_index %= count
+            next_index %= count
+        if 0 <= prev_index < count and members[prev_index] != node:
+            anchors.append(Anchor("Previous", members[prev_index].uri, "prev"))
+        if 0 <= next_index < count and members[next_index] != node:
+            anchors.append(Anchor("Next", members[next_index].uri, "next"))
+        return anchors
+
+
+@dataclass
+class IndexedGuidedTour(AccessStructure):
+    """Index plus guided tour (the paper's Figure 2b).
+
+    Member pages carry both the sibling index and Next/Previous — exactly
+    the two bold lines of HTML Figure 4 adds to every page.
+    """
+
+    circular: bool = False
+    embed_in_members: bool = True
+    index_uri: str | None = None
+
+    def __post_init__(self) -> None:
+        self._index = Index(
+            name=self.name,
+            label_attribute=self.label_attribute,
+            embed_in_members=self.embed_in_members,
+            index_uri=self.index_uri,
+        )
+        self._tour = GuidedTour(
+            name=self.name,
+            label_attribute=self.label_attribute,
+            circular=self.circular,
+        )
+
+    def entries(self, members: Sequence[Node]) -> list[Anchor]:
+        return self._index.entries(members)
+
+    def anchors_on(self, node: Node, members: Sequence[Node]) -> list[Anchor]:
+        return self._index.anchors_on(node, members) + self._tour.anchors_on(
+            node, members
+        )
+
+
+@dataclass
+class Menu(AccessStructure):
+    """A fixed menu of anchors, independent of context membership."""
+
+    items: list[Anchor] = field(default_factory=list)
+
+    def add(self, label: str, href: str) -> "Menu":
+        self.items.append(Anchor(label, href, "menu"))
+        return self
+
+    def entries(self, members: Sequence[Node]) -> list[Anchor]:
+        return list(self.items)
+
+    def anchors_on(self, node: Node, members: Sequence[Node]) -> list[Anchor]:
+        return list(self.items)

@@ -1,0 +1,157 @@
+"""The conceptual schema: classes, attributes and relationships.
+
+OOHDM's first design step models the application domain with conventional
+object-oriented primitives, deliberately free of any navigation.  The
+museum example's conceptual schema has ``Painter``, ``Painting`` and
+``Movement`` classes with ``paints`` / ``belongs_to`` relationships; the
+navigational schema (:mod:`repro.hypermedia.nodes`) later *views* these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .errors import SchemaError
+
+
+class Cardinality(str, Enum):
+    """How many targets one source may relate to."""
+
+    ONE = "1"
+    MANY = "*"
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeDef:
+    """One attribute of a conceptual class."""
+
+    name: str
+    type: type = str
+    required: bool = False
+
+    def check(self, value: object) -> None:
+        if value is None:
+            if self.required:
+                raise SchemaError(f"attribute {self.name!r} is required")
+            return
+        if not isinstance(value, self.type):
+            raise SchemaError(
+                f"attribute {self.name!r} expects {self.type.__name__}, "
+                f"got {type(value).__name__}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class Relationship:
+    """A named, directed relationship between two conceptual classes.
+
+    ``inverse`` names the opposite direction when it is navigable too
+    (``paints`` / ``painted_by``); the schema materializes the reverse
+    relationship from it.
+    """
+
+    name: str
+    source: str
+    target: str
+    cardinality: Cardinality = Cardinality.MANY
+    inverse: str | None = None
+
+
+@dataclass
+class ConceptualClass:
+    """A domain class: a name plus attribute definitions."""
+
+    name: str
+    attributes: list[AttributeDef] = field(default_factory=list)
+
+    def attribute(self, name: str) -> AttributeDef:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise SchemaError(f"{self.name} has no attribute {name!r}")
+
+    def attribute_names(self) -> list[str]:
+        return [attr.name for attr in self.attributes]
+
+
+class ConceptualSchema:
+    """The set of conceptual classes and relationships, with validation."""
+
+    def __init__(self) -> None:
+        self._classes: dict[str, ConceptualClass] = {}
+        self._relationships: dict[str, Relationship] = {}
+
+    # -- construction ----------------------------------------------------
+
+    def add_class(
+        self, name: str, attributes: list[AttributeDef | tuple | str] | None = None
+    ) -> ConceptualClass:
+        """Declare a class; attributes may be defs, (name, type) pairs or names."""
+        if name in self._classes:
+            raise SchemaError(f"duplicate conceptual class {name!r}")
+        defs: list[AttributeDef] = []
+        for item in attributes or []:
+            if isinstance(item, AttributeDef):
+                defs.append(item)
+            elif isinstance(item, tuple):
+                defs.append(AttributeDef(*item))
+            else:
+                defs.append(AttributeDef(item))
+        cls = ConceptualClass(name, defs)
+        self._classes[name] = cls
+        return cls
+
+    def add_relationship(
+        self,
+        name: str,
+        source: str,
+        target: str,
+        *,
+        cardinality: Cardinality = Cardinality.MANY,
+        inverse: str | None = None,
+    ) -> Relationship:
+        """Declare a relationship (and its inverse, when named)."""
+        for cls_name in (source, target):
+            if cls_name not in self._classes:
+                raise SchemaError(
+                    f"relationship {name!r} references unknown class {cls_name!r}"
+                )
+        if name in self._relationships:
+            raise SchemaError(f"duplicate relationship {name!r}")
+        relationship = Relationship(name, source, target, cardinality, inverse)
+        self._relationships[name] = relationship
+        if inverse is not None:
+            if inverse in self._relationships:
+                raise SchemaError(f"duplicate relationship {inverse!r}")
+            self._relationships[inverse] = Relationship(
+                inverse, target, source, Cardinality.MANY, name
+            )
+        return relationship
+
+    # -- lookup ------------------------------------------------------------
+
+    def cls(self, name: str) -> ConceptualClass:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise SchemaError(f"unknown conceptual class {name!r}")
+
+    def relationship(self, name: str) -> Relationship:
+        try:
+            return self._relationships[name]
+        except KeyError:
+            raise SchemaError(f"unknown relationship {name!r}")
+
+    def classes(self) -> list[ConceptualClass]:
+        return list(self._classes.values())
+
+    def relationships(self) -> list[Relationship]:
+        return list(self._relationships.values())
+
+    def has_class(self, name: str) -> bool:
+        return name in self._classes
+
+    def relationships_from(self, class_name: str) -> list[Relationship]:
+        """All relationships whose source is *class_name*."""
+        return [r for r in self._relationships.values() if r.source == class_name]

@@ -1,0 +1,19 @@
+"""Errors raised by the hypermedia design model."""
+
+from __future__ import annotations
+
+
+class HypermediaError(Exception):
+    """Base class for hypermedia model errors."""
+
+
+class SchemaError(HypermediaError):
+    """A conceptual or navigational schema is inconsistent."""
+
+
+class InstanceError(HypermediaError):
+    """An entity or relationship instance violates its schema."""
+
+
+class NavigationError(HypermediaError):
+    """A navigation step is impossible (no such node, end of tour, ...)."""

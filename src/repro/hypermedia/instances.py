@@ -1,0 +1,162 @@
+"""Entity instances and relationship instances over a conceptual schema.
+
+The store is the "basic functionality" side of the paper's Figure 6: pure
+domain objects with attribute values and relationship links, containing no
+navigation whatsoever.  Everything navigational is derived from it later.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from .conceptual import Cardinality, ConceptualClass, ConceptualSchema
+from .errors import InstanceError
+
+
+@dataclass
+class Entity:
+    """An instance of a conceptual class."""
+
+    cls: ConceptualClass
+    entity_id: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Attribute value by name (schema-checked at creation time)."""
+        return self.attributes.get(name, default)
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self.attributes[name]
+        except KeyError:
+            raise InstanceError(
+                f"{self.cls.name} {self.entity_id!r} has no value for {name!r}"
+            )
+
+    def __hash__(self) -> int:
+        return hash((self.cls.name, self.entity_id))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Entity):
+            return NotImplemented
+        return (self.cls.name, self.entity_id) == (other.cls.name, other.entity_id)
+
+    def __repr__(self) -> str:
+        return f"<{self.cls.name} {self.entity_id}>"
+
+
+class InstanceStore:
+    """Entities plus relationship links, validated against a schema."""
+
+    def __init__(self, schema: ConceptualSchema):
+        self.schema = schema
+        self._entities: dict[tuple[str, str], Entity] = {}
+        # (relationship, source entity key) -> ordered target keys
+        self._links: dict[tuple[str, tuple[str, str]], list[tuple[str, str]]] = (
+            defaultdict(list)
+        )
+
+    # -- entities -------------------------------------------------------
+
+    def create(self, class_name: str, entity_id: str, **attributes: Any) -> Entity:
+        """Create and register an entity, checking attributes per schema."""
+        cls = self.schema.cls(class_name)
+        key = (class_name, entity_id)
+        if key in self._entities:
+            raise InstanceError(f"duplicate {class_name} id {entity_id!r}")
+        known = set(cls.attribute_names())
+        for name in attributes:
+            if name not in known:
+                raise InstanceError(
+                    f"{class_name} has no attribute {name!r} "
+                    f"(schema declares: {sorted(known)})"
+                )
+        for attr_def in cls.attributes:
+            attr_def.check(attributes.get(attr_def.name))
+        entity = Entity(cls, entity_id, dict(attributes))
+        self._entities[key] = entity
+        return entity
+
+    def get(self, class_name: str, entity_id: str) -> Entity:
+        try:
+            return self._entities[(class_name, entity_id)]
+        except KeyError:
+            raise InstanceError(f"no {class_name} with id {entity_id!r}")
+
+    def all(self, class_name: str) -> list[Entity]:
+        """All entities of a class, in creation order."""
+        self.schema.cls(class_name)  # validate the name
+        return [e for (cls, _), e in self._entities.items() if cls == class_name]
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    # -- relationship links ----------------------------------------------
+
+    def relate(self, source: Entity, relationship_name: str, target: Entity) -> None:
+        """Link two entities through a declared relationship (and inverse)."""
+        relationship = self.schema.relationship(relationship_name)
+        if source.cls.name != relationship.source:
+            raise InstanceError(
+                f"{relationship_name} starts at {relationship.source}, "
+                f"not {source.cls.name}"
+            )
+        if target.cls.name != relationship.target:
+            raise InstanceError(
+                f"{relationship_name} ends at {relationship.target}, "
+                f"not {target.cls.name}"
+            )
+        source_key = (source.cls.name, source.entity_id)
+        target_key = (target.cls.name, target.entity_id)
+        existing = self._links[(relationship_name, source_key)]
+        if relationship.cardinality is Cardinality.ONE and existing:
+            raise InstanceError(
+                f"{relationship_name} is single-valued; "
+                f"{source.entity_id!r} is already linked"
+            )
+        if target_key not in existing:
+            existing.append(target_key)
+        if relationship.inverse is not None:
+            back = self._links[(relationship.inverse, target_key)]
+            if source_key not in back:
+                back.append(source_key)
+
+    def related(self, source: Entity, relationship_name: str) -> list[Entity]:
+        """Entities linked from *source* through the relationship, in order."""
+        self.schema.relationship(relationship_name)
+        source_key = (source.cls.name, source.entity_id)
+        return [
+            self._entities[key]
+            for key in self._links.get((relationship_name, source_key), ())
+        ]
+
+    def related_one(self, source: Entity, relationship_name: str) -> Entity:
+        """The single related entity; raises unless exactly one exists."""
+        found = self.related(source, relationship_name)
+        if len(found) != 1:
+            raise InstanceError(
+                f"{relationship_name} from {source.entity_id!r} has "
+                f"{len(found)} targets, expected exactly 1"
+            )
+        return found[0]
+
+    def bulk_load(
+        self,
+        entities: Iterable[tuple[str, str, dict[str, Any]]],
+        links: Iterable[tuple[tuple[str, str], str, tuple[str, str]]] = (),
+    ) -> None:
+        """Convenience loader: entity rows then link rows.
+
+        ``entities`` rows are ``(class_name, id, attributes)``; ``links``
+        rows are ``((class, id), relationship, (class, id))``.
+        """
+        for class_name, entity_id, attributes in entities:
+            self.create(class_name, entity_id, **attributes)
+        for (src_cls, src_id), relationship_name, (dst_cls, dst_id) in links:
+            self.relate(
+                self.get(src_cls, src_id),
+                relationship_name,
+                self.get(dst_cls, dst_id),
+            )

@@ -1,0 +1,70 @@
+"""Navigational links: views over conceptual relationships.
+
+A :class:`LinkClass` makes one relationship navigable between two node
+classes; resolving it against the instance store yields concrete
+:class:`NavLink` anchors.  The ``arcrole`` mirrors XLink's: when the
+navigational schema is exported as a linkbase, link classes become arcs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import SchemaError
+from .instances import InstanceStore
+from .nodes import Node, NodeClass
+
+
+@dataclass(frozen=True)
+class LinkClass:
+    """A navigable view of a relationship between two node classes."""
+
+    name: str
+    relationship: str
+    source: NodeClass
+    target: NodeClass
+    arcrole: str | None = None
+    title_attribute: str | None = None
+
+    def resolve(self, node: Node) -> list["NavLink"]:
+        """Concrete links leaving *node* through this link class."""
+        if node.node_class.name != self.source.name:
+            raise SchemaError(
+                f"link class {self.name!r} starts at {self.source.name!r} nodes, "
+                f"got {node.node_class.name!r}"
+            )
+        store: InstanceStore = node.store
+        links: list[NavLink] = []
+        for entity in store.related(node.entity, self.relationship):
+            target_node = self.target.instantiate(entity, store)
+            links.append(NavLink(link_class=self, source=node, target=target_node))
+        return links
+
+
+@dataclass(frozen=True)
+class NavLink:
+    """One concrete traversal opportunity between two nodes."""
+
+    link_class: LinkClass
+    source: Node
+    target: Node
+
+    @property
+    def title(self) -> str:
+        """Anchor text: the configured target attribute, or the target id."""
+        attribute = self.link_class.title_attribute
+        if attribute is not None:
+            value = self.target.get(attribute)
+            if value is not None:
+                return str(value)
+        return self.target.node_id
+
+    @property
+    def href(self) -> str:
+        return self.target.uri
+
+    def __repr__(self) -> str:
+        return (
+            f"<NavLink {self.link_class.name}: "
+            f"{self.source.node_id} -> {self.target.node_id}>"
+        )

@@ -1,0 +1,106 @@
+"""Navigational nodes: views over conceptual classes.
+
+OOHDM's nodes "are views of the conceptual classes" — the same painting
+entity may surface different attributes in different node classes, and one
+conceptual model supports many navigational models.  A :class:`NodeClass`
+declares the view (which attributes, under which names, plus computed
+ones); a :class:`Node` is the runtime pairing of that view with an entity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .errors import SchemaError
+from .instances import Entity, InstanceStore
+
+
+@dataclass(frozen=True)
+class AttributeView:
+    """One attribute of a node view.
+
+    ``source`` is an entity attribute name or a callable
+    ``(entity, store) -> value`` for derived attributes.
+    """
+
+    name: str
+    source: str | Callable[[Entity, InstanceStore], Any]
+
+    def value(self, entity: Entity, store: InstanceStore) -> Any:
+        if callable(self.source):
+            return self.source(entity, store)
+        return entity.get(self.source)
+
+
+@dataclass
+class NodeClass:
+    """A node type in the navigational schema: a named view of a class."""
+
+    name: str
+    conceptual_class: str
+    views: list[AttributeView] = field(default_factory=list)
+    #: Pattern for node URIs; ``{id}`` is the entity id.
+    uri_template: str = "{node_class}/{id}.html"
+
+    def view(
+        self, name: str, source: str | Callable[[Entity, InstanceStore], Any] | None = None
+    ) -> "NodeClass":
+        """Add an attribute view (chainable); defaults to same-name passthrough."""
+        self.views.append(AttributeView(name, source if source is not None else name))
+        return self
+
+    def uri_for(self, entity: Entity) -> str:
+        return self.uri_template.format(node_class=self.name, id=entity.entity_id)
+
+    def instantiate(self, entity: Entity, store: InstanceStore) -> "Node":
+        if entity.cls.name != self.conceptual_class:
+            raise SchemaError(
+                f"node class {self.name!r} views {self.conceptual_class!r}, "
+                f"got a {entity.cls.name}"
+            )
+        return Node(node_class=self, entity=entity, store=store)
+
+
+@dataclass
+class Node:
+    """A runtime node: one entity seen through one node class."""
+
+    node_class: NodeClass
+    entity: Entity
+    store: InstanceStore
+
+    @property
+    def node_id(self) -> str:
+        return self.entity.entity_id
+
+    @property
+    def uri(self) -> str:
+        return self.node_class.uri_for(self.entity)
+
+    def attributes(self) -> dict[str, Any]:
+        """The view's attributes evaluated against the entity."""
+        return {
+            view.name: view.value(self.entity, self.store)
+            for view in self.node_class.views
+        }
+
+    def get(self, name: str) -> Any:
+        for view in self.node_class.views:
+            if view.name == name:
+                return view.value(self.entity, self.store)
+        raise SchemaError(f"node class {self.node_class.name!r} has no view {name!r}")
+
+    def __hash__(self) -> int:
+        return hash((self.node_class.name, self.entity))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return (self.node_class.name, self.entity) == (
+            other.node_class.name,
+            other.entity,
+        )
+
+    def __repr__(self) -> str:
+        return f"<Node {self.node_class.name}:{self.node_id}>"

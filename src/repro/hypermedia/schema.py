@@ -1,0 +1,131 @@
+"""The navigational schema: node classes, link classes and context families.
+
+This is OOHDM's second model — built *as a view over* the conceptual
+schema, so different navigational schemas can serve the same domain.  The
+schema also validates itself against the conceptual schema (a node class
+viewing a class that does not exist is a design error, not a runtime one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .conceptual import ConceptualSchema
+from .context import ContextFamily, NavigationalContext
+from .errors import SchemaError
+from .instances import InstanceStore
+from .links import LinkClass
+from .nodes import NodeClass
+
+
+@dataclass
+class NavigationalSchema:
+    """Node classes, link classes and context families over one domain."""
+
+    conceptual: ConceptualSchema
+    node_classes: dict[str, NodeClass] = field(default_factory=dict)
+    link_classes: dict[str, LinkClass] = field(default_factory=dict)
+    context_families: dict[str, ContextFamily] = field(default_factory=dict)
+
+    # -- construction -----------------------------------------------------
+
+    def add_node_class(self, node_class: NodeClass) -> NodeClass:
+        if node_class.name in self.node_classes:
+            raise SchemaError(f"duplicate node class {node_class.name!r}")
+        if not self.conceptual.has_class(node_class.conceptual_class):
+            raise SchemaError(
+                f"node class {node_class.name!r} views unknown conceptual "
+                f"class {node_class.conceptual_class!r}"
+            )
+        self.node_classes[node_class.name] = node_class
+        return node_class
+
+    def add_link_class(self, link_class: LinkClass) -> LinkClass:
+        if link_class.name in self.link_classes:
+            raise SchemaError(f"duplicate link class {link_class.name!r}")
+        relationship = self.conceptual.relationship(link_class.relationship)
+        if link_class.source.conceptual_class != relationship.source:
+            raise SchemaError(
+                f"link class {link_class.name!r}: source node views "
+                f"{link_class.source.conceptual_class!r} but relationship "
+                f"{relationship.name!r} starts at {relationship.source!r}"
+            )
+        if link_class.target.conceptual_class != relationship.target:
+            raise SchemaError(
+                f"link class {link_class.name!r}: target node views "
+                f"{link_class.target.conceptual_class!r} but relationship "
+                f"{relationship.name!r} ends at {relationship.target!r}"
+            )
+        self.link_classes[link_class.name] = link_class
+        return link_class
+
+    def add_context_family(self, family: ContextFamily) -> ContextFamily:
+        if family.name in self.context_families:
+            raise SchemaError(f"duplicate context family {family.name!r}")
+        if family.node_class.name not in self.node_classes:
+            raise SchemaError(
+                f"context family {family.name!r} uses unregistered node "
+                f"class {family.node_class.name!r}"
+            )
+        self.context_families[family.name] = family
+        return family
+
+    # -- lookup -----------------------------------------------------------
+
+    def node_class(self, name: str) -> NodeClass:
+        try:
+            return self.node_classes[name]
+        except KeyError:
+            raise SchemaError(f"unknown node class {name!r}")
+
+    def link_class(self, name: str) -> LinkClass:
+        try:
+            return self.link_classes[name]
+        except KeyError:
+            raise SchemaError(f"unknown link class {name!r}")
+
+    def link_classes_from(self, node_class_name: str) -> list[LinkClass]:
+        """Link classes whose source is the given node class."""
+        return [
+            lc
+            for lc in self.link_classes.values()
+            if lc.source.name == node_class_name
+        ]
+
+    def context_family(self, name: str) -> ContextFamily:
+        try:
+            return self.context_families[name]
+        except KeyError:
+            raise SchemaError(f"unknown context family {name!r}")
+
+    # -- materialization ----------------------------------------------------
+
+    def build_contexts(
+        self, store: InstanceStore
+    ) -> dict[str, NavigationalContext]:
+        """All contexts of all families, keyed ``family:value``."""
+        contexts: dict[str, NavigationalContext] = {}
+        for family in self.context_families.values():
+            contexts.update(family.contexts(store))
+        return contexts
+
+    def validate(self) -> None:
+        """Re-check cross-references (useful after programmatic edits)."""
+        for node_class in self.node_classes.values():
+            if not self.conceptual.has_class(node_class.conceptual_class):
+                raise SchemaError(
+                    f"node class {node_class.name!r} views unknown class "
+                    f"{node_class.conceptual_class!r}"
+                )
+        for link_class in self.link_classes.values():
+            self.conceptual.relationship(link_class.relationship)
+            if link_class.source.name not in self.node_classes:
+                raise SchemaError(
+                    f"link class {link_class.name!r} uses unregistered "
+                    f"source node class {link_class.source.name!r}"
+                )
+            if link_class.target.name not in self.node_classes:
+                raise SchemaError(
+                    f"link class {link_class.name!r} uses unregistered "
+                    f"target node class {link_class.target.name!r}"
+                )

@@ -1,0 +1,33 @@
+"""Measurement: scattering/tangling metrics and change-impact analysis.
+
+Turns the paper's qualitative claims into numbers: how scattered is the
+navigation concern under each architecture, and what does the change
+request actually cost to apply.
+"""
+
+from .change_impact import (
+    ApproachImpact,
+    all_impacts,
+    aspect_impact,
+    tangled_impact,
+    xlink_impact,
+)
+from .concerns import Concern, FileConcerns, classify_file, classify_line
+from .report import format_ratio, format_table
+from .scattering import ScatteringReport, measure_scattering
+
+__all__ = [
+    "ApproachImpact",
+    "Concern",
+    "FileConcerns",
+    "ScatteringReport",
+    "all_impacts",
+    "aspect_impact",
+    "classify_file",
+    "classify_line",
+    "format_ratio",
+    "format_table",
+    "measure_scattering",
+    "tangled_impact",
+    "xlink_impact",
+]

@@ -1,0 +1,118 @@
+"""Experiment-ready change-impact measurements.
+
+The paper's motivating claim, made measurable: apply the customer's change
+request (Index → Indexed Guided Tour) under each architecture and count
+what a developer must touch.
+
+Two views matter and the experiments report both:
+
+- **Authored artifacts** — what a human edits.  Tangled: the pages
+  themselves.  XLink: data documents + ``links.xml``.  Aspect: the
+  navigation spec.
+- **Built pages** — what the browser sees.  These change comparably under
+  every architecture (the user asked for new links, after all); the
+  difference is who regenerates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.museum_data import MuseumFixture
+from repro.baselines.tangled import TangledMuseumSite
+from repro.core import (
+    build_woven_site,
+    default_museum_spec,
+    export_museum_space,
+)
+from repro.core.pipeline import XLinkSiteBuilder
+from repro.web import ChangeImpact, diff_builds
+
+
+@dataclass(frozen=True)
+class ApproachImpact:
+    """Change impact of one approach, in both views."""
+
+    approach: str
+    authored: ChangeImpact
+    built: ChangeImpact
+
+    def row(self) -> tuple:
+        return (
+            self.approach,
+            f"{self.authored.files_touched}/{self.authored.files_total}",
+            self.authored.lines_changed,
+            f"{self.built.files_touched}/{self.built.files_total}",
+            self.built.lines_changed,
+        )
+
+
+def tangled_impact(
+    fixture: MuseumFixture,
+    before: str = "index",
+    after: str = "indexed-guided-tour",
+) -> ApproachImpact:
+    """Tangled architecture: the pages *are* the authored artifacts."""
+    pages_before = {
+        p.path: p.html for p in TangledMuseumSite(fixture, before).build().values()
+    }
+    pages_after = {
+        p.path: p.html for p in TangledMuseumSite(fixture, after).build().values()
+    }
+    impact = diff_builds(pages_before, pages_after)
+    return ApproachImpact("tangled", authored=impact, built=impact)
+
+
+def xlink_impact(
+    fixture: MuseumFixture,
+    before: str = "index",
+    after: str = "indexed-guided-tour",
+) -> ApproachImpact:
+    """XLink architecture: authored = data documents + linkbase."""
+    spec_before = default_museum_spec(before)
+    spec_after = default_museum_spec(after)
+    space_before = export_museum_space(fixture, spec_before)
+    space_after = export_museum_space(fixture, spec_after)
+
+    def space_text(space):
+        from repro.xmlcore import serialize
+
+        return {
+            uri: serialize(space.document(uri), indent="  ")
+            for uri in space.uris()
+        }
+
+    authored = diff_builds(space_text(space_before), space_text(space_after))
+    built = diff_builds(
+        XLinkSiteBuilder(space_before).build().as_text(),
+        XLinkSiteBuilder(space_after).build().as_text(),
+    )
+    return ApproachImpact("xlink", authored=authored, built=built)
+
+
+def aspect_impact(
+    fixture: MuseumFixture,
+    before: str = "index",
+    after: str = "indexed-guided-tour",
+) -> ApproachImpact:
+    """Aspect architecture: authored = the navigation spec (one artifact)."""
+    spec_before = default_museum_spec(before)
+    spec_after = default_museum_spec(after)
+    authored = diff_builds(
+        {"navigation.spec": spec_before.to_text()},
+        {"navigation.spec": spec_after.to_text()},
+    )
+    built = diff_builds(
+        build_woven_site(fixture, spec_before).as_text(),
+        build_woven_site(fixture, spec_after).as_text(),
+    )
+    return ApproachImpact("aspect", authored=authored, built=built)
+
+
+def all_impacts(fixture: MuseumFixture) -> list[ApproachImpact]:
+    """The change request under all three architectures."""
+    return [
+        tangled_impact(fixture),
+        xlink_impact(fixture),
+        aspect_impact(fixture),
+    ]

@@ -1,0 +1,109 @@
+"""Concern classification: which lines of an artifact are *navigation*.
+
+The scattering metrics need to know, per line of markup, whether it
+belongs to the navigation concern (anchors, nav regions) or to content.
+The classifier is deliberately syntactic — it works identically on the
+tangled pages (where anchors sit anywhere) and the separated ones (where
+they are confined to ``<nav>``), which is the comparison's whole point.
+"""
+
+from __future__ import annotations
+
+import re
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Concern(str, Enum):
+    NAVIGATION = "navigation"
+    CONTENT = "content"
+    STRUCTURE = "structure"  # html scaffolding: <html>, <head>, <body>, ...
+
+
+_STRUCTURE_MARKERS = (
+    "<html",
+    "</html",
+    "<head",
+    "</head",
+    "<body",
+    "</body",
+    "<?xml",
+)
+_NAVIGATION_MARKERS = (
+    "<a ",
+    "<a>",
+    "</a>",
+    "<nav",
+    "</nav",
+    # Linkbase artifacts carry navigation as XLink markup.
+    "xlink:type",
+    "xlink:href",
+    "xlink:from",
+    "<links",
+    "</links",
+)
+
+
+def classify_line(line: str, *, in_nav_block: bool) -> Concern:
+    """The concern of one markup line (given whether we are inside <nav>)."""
+    stripped = line.strip()
+    if not stripped:
+        return Concern.STRUCTURE
+    if in_nav_block or any(marker in stripped for marker in _NAVIGATION_MARKERS):
+        return Concern.NAVIGATION
+    if any(stripped.startswith(marker) for marker in _STRUCTURE_MARKERS):
+        return Concern.STRUCTURE
+    # A bare closing tag carries no concern of its own.
+    if re.fullmatch(r"</[\w.:-]+>", stripped):
+        return Concern.STRUCTURE
+    return Concern.CONTENT
+
+
+@dataclass(frozen=True)
+class FileConcerns:
+    """Per-file concern line counts."""
+
+    path: str
+    navigation_lines: int
+    content_lines: int
+    structure_lines: int
+
+    @property
+    def total_lines(self) -> int:
+        return self.navigation_lines + self.content_lines + self.structure_lines
+
+    @property
+    def has_navigation(self) -> bool:
+        return self.navigation_lines > 0
+
+    @property
+    def is_tangled(self) -> bool:
+        """True when navigation and content share the file."""
+        return self.navigation_lines > 0 and self.content_lines > 0
+
+
+def classify_file(path: str, text: str) -> FileConcerns:
+    """Classify every line of one artifact.
+
+    A navigation-spec artifact (first line ``[navigation]``) is pure
+    navigation by construction — every decision line in it is a
+    navigational decision.
+    """
+    if text.startswith("[navigation]"):
+        decision_lines = [l for l in text.splitlines() if l.strip()]
+        return FileConcerns(path, len(decision_lines), 0, 0)
+    navigation = content = structure = 0
+    nav_depth = 0
+    for line in text.splitlines():
+        entering = line.count("<nav")
+        leaving = line.count("</nav")
+        concern = classify_line(line, in_nav_block=nav_depth > 0 or entering > 0)
+        nav_depth += entering - leaving
+        if concern is Concern.NAVIGATION:
+            navigation += 1
+        elif concern is Concern.CONTENT:
+            content += 1
+        else:
+            structure += 1
+    return FileConcerns(path, navigation, content, structure)

@@ -1,0 +1,36 @@
+"""Plain-text table rendering for the experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str | None = None
+) -> str:
+    """Render an aligned ASCII table (the benches print these)."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(widths[i]) for i, value in enumerate(values)).rstrip()
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out: list[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(rule)
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_ratio(numerator: float, denominator: float) -> str:
+    """A 'x.xx×' speedup/blowup factor, guarding the zero denominator."""
+    if denominator == 0:
+        return "n/a"
+    return f"{numerator / denominator:.2f}x"

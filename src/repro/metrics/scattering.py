@@ -1,0 +1,90 @@
+"""Scattering and tangling metrics over a build's artifacts.
+
+Quantifies the paper's premise — "aspects ... wrap concerns that are
+scattered all over the program code" — with the standard concern metrics:
+
+- **CDC** (Concern Diffusion over Components): how many artifacts contain
+  navigation.
+- **CDLOC share**: the fraction of all lines that are navigation.
+- **Tangling ratio**: the fraction of artifacts that *mix* navigation with
+  content (pure-navigation artifacts like ``links.xml`` are separated, not
+  tangled).
+
+A tangled museum site scores CDC ≈ all pages and tangling ≈ 1.0; the
+separated builds confine navigation to one artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .concerns import FileConcerns, classify_file
+
+
+@dataclass
+class ScatteringReport:
+    """Concern metrics for one build (a ``{path: text}`` mapping)."""
+
+    files: list[FileConcerns] = field(default_factory=list)
+
+    @property
+    def total_files(self) -> int:
+        return len(self.files)
+
+    @property
+    def cdc(self) -> int:
+        """Concern Diffusion over Components: files containing navigation."""
+        return sum(1 for f in self.files if f.has_navigation)
+
+    @property
+    def tangled_files(self) -> int:
+        return sum(1 for f in self.files if f.is_tangled)
+
+    @property
+    def tangling_ratio(self) -> float:
+        if not self.files:
+            return 0.0
+        return self.tangled_files / len(self.files)
+
+    @property
+    def navigation_lines(self) -> int:
+        return sum(f.navigation_lines for f in self.files)
+
+    @property
+    def total_lines(self) -> int:
+        return sum(f.total_lines for f in self.files)
+
+    @property
+    def navigation_share(self) -> float:
+        """CDLOC share: navigation lines / all lines."""
+        if self.total_lines == 0:
+            return 0.0
+        return self.navigation_lines / self.total_lines
+
+    def navigation_only_files(self) -> list[str]:
+        """Artifacts that are pure navigation (the separated ideal)."""
+        return [
+            f.path
+            for f in self.files
+            if f.has_navigation and f.content_lines == 0
+        ]
+
+    def row(self, label: str) -> tuple:
+        """A table row for the experiment reports."""
+        return (
+            label,
+            self.total_files,
+            self.cdc,
+            self.tangled_files,
+            f"{self.tangling_ratio:.2f}",
+            self.navigation_lines,
+            f"{self.navigation_share:.2f}",
+        )
+
+
+def measure_scattering(build: dict[str, str]) -> ScatteringReport:
+    """Classify every artifact of a build and aggregate the metrics."""
+    report = ScatteringReport()
+    for path in sorted(build):
+        report.files.append(classify_file(path, build[path]))
+    return report

@@ -1,0 +1,24 @@
+"""Navigation runtime: sessions, history, and a user-agent simulator.
+
+Executes the paper's navigation semantics: movement through an information
+space where "the next page to visit will depend on the previous
+navigation" — see :class:`NavigationSession` for the context-dependent
+``next()``/``previous()`` and :class:`UserAgent` for the browser stand-in.
+"""
+
+from .agent import CallableProvider, PageAnchor, PageProvider, PageView, UserAgent
+from .errors import NavigationError
+from .history import History
+from .session import NavigationSession, Position
+
+__all__ = [
+    "CallableProvider",
+    "History",
+    "NavigationError",
+    "NavigationSession",
+    "PageAnchor",
+    "PageProvider",
+    "PageView",
+    "Position",
+    "UserAgent",
+]

@@ -1,0 +1,133 @@
+"""A user-agent simulator over rendered pages.
+
+The paper laments that "browsers aren't ready to work with XLink yet"; this
+module is the browser substitute: it walks any *page provider* — something
+that maps a URI to a page view with anchors — following links by label or
+rel, with history.  The web site builder and the woven XLink pipeline both
+provide pages, so the same agent exercises tangled and separated sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from .errors import NavigationError
+from .history import History
+
+
+@dataclass(frozen=True)
+class PageAnchor:
+    """An anchor as seen by the user agent."""
+
+    label: str
+    href: str
+    rel: str = "link"
+
+
+@dataclass
+class PageView:
+    """What the agent sees of one page: its URI, title and anchors."""
+
+    uri: str
+    title: str = ""
+    anchors: list[PageAnchor] = field(default_factory=list)
+
+    def anchor_labelled(self, label: str) -> PageAnchor:
+        for anchor in self.anchors:
+            if anchor.label == label:
+                return anchor
+        raise NavigationError(
+            f"page {self.uri!r} has no anchor labelled {label!r} "
+            f"(has: {', '.join(a.label for a in self.anchors) or 'none'})"
+        )
+
+    def anchors_with_rel(self, rel: str) -> list[PageAnchor]:
+        return [a for a in self.anchors if a.rel == rel]
+
+
+class PageProvider(Protocol):
+    """Anything that can serve page views by URI."""
+
+    def page(self, uri: str) -> PageView: ...
+
+
+class UserAgent:
+    """Follows anchors across a page provider, recording the trail."""
+
+    def __init__(self, provider: PageProvider):
+        self._provider = provider
+        self._history: History[PageView] = History()
+
+    @property
+    def current(self) -> PageView:
+        return self._history.current
+
+    @property
+    def history(self) -> History[PageView]:
+        return self._history
+
+    def open(self, uri: str) -> PageView:
+        """Load a page by URI."""
+        page = self._provider.page(uri)
+        self._history.visit(page)
+        return page
+
+    def click(self, label: str) -> PageView:
+        """Follow the anchor with the given label."""
+        anchor = self.current.anchor_labelled(label)
+        return self.open(anchor.href)
+
+    def follow_rel(self, rel: str) -> PageView:
+        """Follow the unique anchor with the given rel (e.g. ``next``)."""
+        anchors = self.current.anchors_with_rel(rel)
+        if not anchors:
+            raise NavigationError(f"page {self.current.uri!r} has no rel={rel!r} anchor")
+        if len(anchors) > 1:
+            raise NavigationError(
+                f"page {self.current.uri!r} has {len(anchors)} rel={rel!r} anchors"
+            )
+        return self.open(anchors[0].href)
+
+    def back(self) -> PageView:
+        return self._history.back()
+
+    def forward(self) -> PageView:
+        return self._history.forward()
+
+    def trail(self) -> list[str]:
+        """URIs visited, oldest first."""
+        return [page.uri for page in self._history.trail()]
+
+    def crawl(
+        self, start: str, *, max_pages: int = 10_000
+    ) -> dict[str, PageView]:
+        """Breadth-first reachability from *start* (does not touch history).
+
+        Useful for site-wide assertions: every anchor target must exist,
+        every page reachable.
+        """
+        seen: dict[str, PageView] = {}
+        frontier = [start]
+        while frontier:
+            uri = frontier.pop(0)
+            if uri in seen:
+                continue
+            if len(seen) >= max_pages:
+                raise NavigationError(f"crawl exceeded {max_pages} pages")
+            page = self._provider.page(uri)
+            seen[uri] = page
+            for anchor in page.anchors:
+                if anchor.href not in seen:
+                    frontier.append(anchor.href)
+        return seen
+
+
+class CallableProvider:
+    """Adapt a plain ``uri -> PageView`` function to the provider protocol."""
+
+    def __init__(self, fn: Callable[[str], PageView]):
+        self._fn = fn
+
+    def page(self, uri: str) -> PageView:
+        return self._fn(uri)

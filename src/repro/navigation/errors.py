@@ -1,0 +1,7 @@
+"""Errors raised by the navigation runtime."""
+
+from __future__ import annotations
+
+from repro.hypermedia.errors import NavigationError
+
+__all__ = ["NavigationError"]

@@ -1,0 +1,68 @@
+"""Browser-style navigation history (back/forward stacks)."""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+from .errors import NavigationError
+
+T = TypeVar("T")
+
+
+class History(Generic[T]):
+    """The familiar back/forward model: visiting clears the forward stack."""
+
+    def __init__(self) -> None:
+        self._back: list[T] = []
+        self._current: T | None = None
+        self._forward: list[T] = []
+
+    @property
+    def current(self) -> T:
+        if self._current is None:
+            raise NavigationError("history is empty")
+        return self._current
+
+    @property
+    def is_empty(self) -> bool:
+        return self._current is None
+
+    def visit(self, item: T) -> None:
+        """Record a new visit; any forward entries are discarded."""
+        if self._current is not None:
+            self._back.append(self._current)
+        self._current = item
+        self._forward.clear()
+
+    def back(self) -> T:
+        """Move back one entry and return it."""
+        if not self._back:
+            raise NavigationError("nothing to go back to")
+        assert self._current is not None
+        self._forward.append(self._current)
+        self._current = self._back.pop()
+        return self._current
+
+    def forward(self) -> T:
+        """Move forward one entry and return it."""
+        if not self._forward:
+            raise NavigationError("nothing to go forward to")
+        assert self._current is not None
+        self._back.append(self._current)
+        self._current = self._forward.pop()
+        return self._current
+
+    def can_go_back(self) -> bool:
+        return bool(self._back)
+
+    def can_go_forward(self) -> bool:
+        return bool(self._forward)
+
+    def trail(self) -> list[T]:
+        """Everything behind and including the current entry, oldest first."""
+        if self._current is None:
+            return []
+        return [*self._back, self._current]
+
+    def __len__(self) -> int:
+        return len(self.trail())

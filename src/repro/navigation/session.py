@@ -1,0 +1,153 @@
+"""Navigation sessions: position, context, and context-dependent movement.
+
+This is the executable form of the paper's §2 example: *where Next goes
+depends on how you got here*.  A session tracks both the current node and
+the current navigational context; ``next()`` asks the context, so Guitar →
+Next yields another Picasso in the by-painter context and another cubist
+painting in the by-movement context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hypermedia.context import NavigationalContext
+from repro.hypermedia.nodes import Node
+from repro.hypermedia.schema import NavigationalSchema
+
+from .errors import NavigationError
+from .history import History
+
+
+@dataclass(frozen=True)
+class Position:
+    """One history entry: a node seen within a context (or none)."""
+
+    node: Node
+    context: NavigationalContext | None = None
+
+    def describe(self) -> str:
+        where = f" in {self.context.name}" if self.context is not None else ""
+        return f"{self.node.node_class.name}:{self.node.node_id}{where}"
+
+
+class NavigationSession:
+    """A user's walk through the navigation space."""
+
+    def __init__(self, schema: NavigationalSchema | None = None):
+        self._schema = schema
+        self._history: History[Position] = History()
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def position(self) -> Position:
+        return self._history.current
+
+    @property
+    def current_node(self) -> Node:
+        return self._history.current.node
+
+    @property
+    def current_context(self) -> NavigationalContext | None:
+        return self._history.current.context
+
+    @property
+    def history(self) -> History[Position]:
+        return self._history
+
+    # -- movement ------------------------------------------------------------
+
+    def visit(self, node: Node, context: NavigationalContext | None = None) -> Position:
+        """Jump to *node*, optionally entering a context.
+
+        When a context is given the node must belong to it — arriving "in"
+        a context you are not a member of is meaningless.
+        """
+        if context is not None and node not in context:
+            raise NavigationError(
+                f"{node!r} is not a member of context {context.name!r}"
+            )
+        position = Position(node, context)
+        self._history.visit(position)
+        return position
+
+    def enter_context(
+        self, context: NavigationalContext, at: Node | None = None
+    ) -> Position:
+        """Enter a context at *at* (default: its first member)."""
+        if at is None:
+            if not context.members:
+                raise NavigationError(f"context {context.name!r} is empty")
+            at = context.members[0]
+        return self.visit(at, context)
+
+    def next(self) -> Position:
+        """Move to the next member of the current context."""
+        context = self._require_context("next")
+        following = context.next_after(self.current_node)
+        if following is None:
+            raise NavigationError(
+                f"no next node after {self.current_node.node_id!r} "
+                f"in context {context.name!r}"
+            )
+        return self.visit(following, context)
+
+    def previous(self) -> Position:
+        """Move to the previous member of the current context."""
+        context = self._require_context("previous")
+        preceding = context.previous_before(self.current_node)
+        if preceding is None:
+            raise NavigationError(
+                f"no previous node before {self.current_node.node_id!r} "
+                f"in context {context.name!r}"
+            )
+        return self.visit(preceding, context)
+
+    def follow(self, link_class_name: str, *, to: str | None = None) -> Position:
+        """Traverse a schema link class from the current node.
+
+        Leaving through a link abandons the current context (you moved to a
+        different information space).  With multiple targets, *to* selects
+        by node id; otherwise a unique target is required.
+        """
+        if self._schema is None:
+            raise NavigationError("session has no navigational schema to follow")
+        link_class = self._schema.link_class(link_class_name)
+        links = link_class.resolve(self.current_node)
+        if to is not None:
+            links = [l for l in links if l.target.node_id == to]
+        if not links:
+            raise NavigationError(
+                f"no {link_class_name!r} link from {self.current_node.node_id!r}"
+                + (f" to {to!r}" if to is not None else "")
+            )
+        if len(links) > 1:
+            choices = ", ".join(l.target.node_id for l in links)
+            raise NavigationError(
+                f"{link_class_name!r} from {self.current_node.node_id!r} is "
+                f"ambiguous; pick one of: {choices}"
+            )
+        return self.visit(links[0].target, None)
+
+    def back(self) -> Position:
+        """Go back in history (restores both node and context)."""
+        return self._history.back()
+
+    def forward(self) -> Position:
+        """Go forward in history."""
+        return self._history.forward()
+
+    def _require_context(self, operation: str) -> NavigationalContext:
+        context = self.current_context
+        if context is None:
+            raise NavigationError(
+                f"{operation}() needs a current context; visit a node "
+                "through a context first (the paper's point: movement "
+                "depends on how you arrived)"
+            )
+        return context
+
+    def trail(self) -> list[str]:
+        """Human-readable history, oldest first."""
+        return [position.describe() for position in self._history.trail()]

@@ -1,0 +1,15 @@
+"""Command-line tools: build, diff and inspect museum sites.
+
+The downstream-user face of the library::
+
+    python -m repro.tools build --mechanism aspect --access index --out site/
+    python -m repro.tools diff  --mechanism tangled
+    python -m repro.tools spec  --access indexed-guided-tour
+    python -m repro.tools artifacts --out artifacts/
+
+See :func:`repro.tools.cli.main`.
+"""
+
+from .cli import main
+
+__all__ = ["main"]

@@ -1,0 +1,154 @@
+"""The ``repro.tools`` command-line interface.
+
+Four subcommands, all operating on the paper's museum (or a synthetic one
+via ``--painters/--paintings``):
+
+- ``build`` — build the site under one architecture and write it to disk.
+- ``diff`` — apply the paper's change request and report the impact.
+- ``spec`` — print the navigation spec artifact for an access structure.
+- ``artifacts`` — write the Figures 7–9 artifacts (data XML + links.xml).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.baselines import TangledMuseumSite, museum_fixture, synthetic_museum
+from repro.core import (
+    NavigationSpec,
+    build_woven_site,
+    build_xlink_site,
+    default_museum_spec,
+    export_museum_space,
+)
+from repro.metrics import all_impacts, format_table
+from repro.xmlcore import serialize
+
+MECHANISMS = ("tangled", "aspect", "xlink")
+
+
+def _fixture(args: argparse.Namespace):
+    if args.painters or args.paintings:
+        return synthetic_museum(args.painters or 4, args.paintings or 5)
+    return museum_fixture()
+
+
+def _spec(args: argparse.Namespace) -> NavigationSpec:
+    if args.spec_file:
+        return NavigationSpec.from_text(Path(args.spec_file).read_text())
+    return default_museum_spec(args.access)
+
+
+def _site_text(fixture, mechanism: str, spec: NavigationSpec) -> dict[str, str]:
+    if mechanism == "tangled":
+        access = next(iter(spec.access.values())).kind
+        if access == "guided-tour":
+            raise SystemExit("the tangled baseline supports index/indexed-guided-tour")
+        pages = TangledMuseumSite(fixture, access).build()
+        return {p.path: p.html for p in pages.values()}
+    if mechanism == "aspect":
+        return build_woven_site(fixture, spec).as_text()
+    if mechanism == "xlink":
+        return build_xlink_site(fixture, spec).as_text()
+    raise SystemExit(f"unknown mechanism {mechanism!r}")
+
+
+def _write_tree(out: Path, files: dict[str, str]) -> int:
+    for path, text in files.items():
+        target = out / path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text if text.endswith("\n") else text + "\n")
+    return len(files)
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    fixture = _fixture(args)
+    spec = _spec(args)
+    files = _site_text(fixture, args.mechanism, spec)
+    count = _write_tree(Path(args.out), files)
+    print(f"wrote {count} pages to {args.out} ({args.mechanism}, {args.access})")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    fixture = _fixture(args)
+    impacts = all_impacts(fixture)
+    if args.mechanism != "all":
+        impacts = [i for i in impacts if i.approach == args.mechanism]
+        if not impacts:
+            raise SystemExit(f"unknown mechanism {args.mechanism!r}")
+    print(
+        format_table(
+            ["approach", "authored files", "authored lines", "built files", "built lines"],
+            [impact.row() for impact in impacts],
+            title="Change impact: index -> indexed-guided-tour",
+        )
+    )
+    return 0
+
+
+def cmd_spec(args: argparse.Namespace) -> int:
+    print(default_museum_spec(args.access).to_text(), end="")
+    return 0
+
+
+def cmd_artifacts(args: argparse.Namespace) -> int:
+    fixture = _fixture(args)
+    spec = _spec(args)
+    space = export_museum_space(fixture, spec)
+    files = {
+        uri: serialize(space.document(uri), indent="  ", xml_declaration=True)
+        for uri in space.uris()
+    }
+    count = _write_tree(Path(args.out), files)
+    print(f"wrote {count} artifacts to {args.out} (data XML + links.xml)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools",
+        description="Build, diff and inspect the museum site three ways.",
+    )
+    parser.add_argument("--painters", type=int, default=0, help="synthetic museum size")
+    parser.add_argument("--paintings", type=int, default=0, help="paintings per painter")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build a site and write it to disk")
+    build.add_argument("--mechanism", choices=MECHANISMS, default="aspect")
+    build.add_argument("--access", default="index")
+    build.add_argument("--spec-file", help="load the navigation spec from a file")
+    build.add_argument("--out", required=True)
+    build.set_defaults(fn=cmd_build)
+
+    diff = sub.add_parser("diff", help="report the change request's impact")
+    diff.add_argument("--mechanism", choices=(*MECHANISMS, "all"), default="all")
+    diff.set_defaults(fn=cmd_diff)
+
+    spec = sub.add_parser("spec", help="print the navigation spec artifact")
+    spec.add_argument("--access", default="index")
+    spec.set_defaults(fn=cmd_spec)
+
+    artifacts = sub.add_parser(
+        "artifacts", help="write the Figures 7-9 artifacts (data + linkbase)"
+    )
+    artifacts.add_argument("--access", default="index")
+    artifacts.add_argument("--spec-file")
+    artifacts.add_argument("--out", required=True)
+    artifacts.set_defaults(fn=cmd_artifacts)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    # `spec`/`diff` have no --spec-file/--access in every subparser; default them.
+    for attr, default in (("spec_file", None), ("access", "index")):
+        if not hasattr(args, attr):
+            setattr(args, attr, default)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

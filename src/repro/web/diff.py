@@ -1,0 +1,121 @@
+"""Change-impact diffing between two site builds.
+
+The paper's argument is quantitative at heart: "such a conceptually simple
+change can be an arduous and tedious work ... this isn't the only page we
+have to modify".  This differ counts exactly that — which files a change
+touches and how many lines it adds/removes — for any two builds (tangled
+before/after, linkbase before/after, woven before/after).
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FileDelta:
+    """The change to one file between two builds."""
+
+    path: str
+    status: str  # "added" | "removed" | "modified"
+    lines_added: int = 0
+    lines_removed: int = 0
+
+    @property
+    def lines_changed(self) -> int:
+        return self.lines_added + self.lines_removed
+
+
+@dataclass
+class ChangeImpact:
+    """The full impact of a change across a site build."""
+
+    deltas: list[FileDelta] = field(default_factory=list)
+    unchanged: list[str] = field(default_factory=list)
+
+    @property
+    def files_touched(self) -> int:
+        return len(self.deltas)
+
+    @property
+    def files_total(self) -> int:
+        return len(self.deltas) + len(self.unchanged)
+
+    @property
+    def lines_added(self) -> int:
+        return sum(d.lines_added for d in self.deltas)
+
+    @property
+    def lines_removed(self) -> int:
+        return sum(d.lines_removed for d in self.deltas)
+
+    @property
+    def lines_changed(self) -> int:
+        return self.lines_added + self.lines_removed
+
+    def touched_paths(self) -> list[str]:
+        return sorted(d.path for d in self.deltas)
+
+    def summary(self) -> str:
+        return (
+            f"{self.files_touched}/{self.files_total} files touched, "
+            f"+{self.lines_added}/-{self.lines_removed} lines"
+        )
+
+
+def diff_builds(before: dict[str, str], after: dict[str, str]) -> ChangeImpact:
+    """Compare two builds given as ``{path: text}`` mappings."""
+    impact = ChangeImpact()
+    for path in sorted(set(before) | set(after)):
+        if path not in after:
+            impact.deltas.append(
+                FileDelta(
+                    path,
+                    "removed",
+                    lines_removed=len(before[path].splitlines()),
+                )
+            )
+            continue
+        if path not in before:
+            impact.deltas.append(
+                FileDelta(path, "added", lines_added=len(after[path].splitlines()))
+            )
+            continue
+        if before[path] == after[path]:
+            impact.unchanged.append(path)
+            continue
+        added, removed = _count_line_changes(before[path], after[path])
+        impact.deltas.append(
+            FileDelta(path, "modified", lines_added=added, lines_removed=removed)
+        )
+    return impact
+
+
+def _count_line_changes(before: str, after: str) -> tuple[int, int]:
+    added = removed = 0
+    matcher = difflib.SequenceMatcher(
+        a=before.splitlines(), b=after.splitlines(), autojunk=False
+    )
+    for tag, i1, i2, j1, j2 in matcher.get_opcodes():
+        if tag in ("replace", "delete"):
+            removed += i2 - i1
+        if tag in ("replace", "insert"):
+            added += j2 - j1
+    return added, removed
+
+
+def unified_diff(
+    before: dict[str, str], after: dict[str, str], path: str, *, context: int = 2
+) -> str:
+    """A unified diff of one file between two builds (for reports)."""
+    return "\n".join(
+        difflib.unified_diff(
+            before.get(path, "").splitlines(),
+            after.get(path, "").splitlines(),
+            fromfile=f"before/{path}",
+            tofile=f"after/{path}",
+            n=context,
+            lineterm="",
+        )
+    )

@@ -1,0 +1,15 @@
+"""Errors raised by the web layer."""
+
+from __future__ import annotations
+
+
+class WebError(Exception):
+    """Base class for web-layer errors."""
+
+
+class StylesheetError(WebError):
+    """A stylesheet rule is missing or misbehaves."""
+
+
+class SiteError(WebError):
+    """A site is inconsistent (duplicate paths, missing pages, ...)."""

@@ -1,0 +1,105 @@
+"""A small HTML document model on top of the XML substrate.
+
+Pages are well-formed XHTML trees (:class:`repro.xmlcore.Element`), so the
+same parser, serializer and differ work on data documents and rendered
+pages alike.  The helpers here keep page construction readable and put
+navigation anchors in one canonical shape: ``<a href rel>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hypermedia.access import Anchor
+from repro.xmlcore import Element, build, serialize
+
+
+def page_skeleton(title: str) -> tuple[Element, Element]:
+    """An ``<html>`` scaffold; returns ``(html, body)``."""
+    body = build("body", {})
+    html = build(
+        "html",
+        {},
+        build("head", {}, build("title", {}, title)),
+        body,
+    )
+    return html, body
+
+
+def heading(level: int, text: str) -> Element:
+    return build(f"h{level}", {}, text)
+
+
+def paragraph(*children: Element | str) -> Element:
+    return build("p", {}, *children)
+
+
+def image(src: str, alt: str) -> Element:
+    return build("img", {"src": src, "alt": alt})
+
+
+def anchor_element(anchor: Anchor) -> Element:
+    """Render an :class:`~repro.hypermedia.access.Anchor` as ``<a>``."""
+    return build("a", {"href": anchor.href, "rel": anchor.rel}, anchor.label)
+
+
+def anchor_list(anchors: list[Anchor]) -> Element:
+    """A ``<ul>`` of anchors — the index listings of Figures 3–4."""
+    items = [build("li", {}, anchor_element(a)) for a in anchors]
+    return build("ul", {}, *items)
+
+
+def nav_block(anchors: list[Anchor]) -> Element:
+    """The navigation region of a page: one ``<nav>`` with all anchors.
+
+    Keeping every navigational element inside a single ``<nav>`` is what
+    lets the weaving pipeline add or replace navigation without touching
+    the content region — the separation the paper is after.
+    """
+    children: list[Element] = []
+    steps = [a for a in anchors if a.rel in ("prev", "next")]
+    entries = [a for a in anchors if a not in steps]
+    if entries:
+        children.append(anchor_list(entries))
+    for step in steps:
+        children.append(paragraph(anchor_element(step)))
+    return build("nav", {}, *children)
+
+
+@dataclass(frozen=True)
+class HtmlPage:
+    """One built page: a site-relative path plus its XHTML tree."""
+
+    path: str
+    tree: Element
+
+    @property
+    def title(self) -> str:
+        title_el = self.tree.find("title")
+        return title_el.text_content() if title_el is not None else ""
+
+    def html(self, *, indent: str | None = "  ") -> str:
+        return serialize(self.tree, indent=indent)
+
+    def anchors(self) -> list[Anchor]:
+        """All anchors in the page, in document order."""
+        return [
+            Anchor(
+                label=a.text_content(),
+                href=a.get("href") or "",
+                rel=a.get("rel") or "link",
+            )
+            for a in self.tree.findall("a")
+        ]
+
+    def content_region(self) -> Element | None:
+        """The page body minus its ``<nav>`` blocks (for content diffs)."""
+        body = self.tree.find("body")
+        if body is None:
+            return None
+        from repro.xmlcore import deep_copy
+
+        clone = deep_copy(body)
+        for nav in list(clone.findall("nav")):
+            nav.detach()
+        return clone

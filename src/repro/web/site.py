@@ -1,0 +1,101 @@
+"""Static sites: a set of built pages, servable to the user agent.
+
+:class:`StaticSite` is the common output format of every pipeline in the
+repo — the tangled baseline, the XLink-separated build and the woven build
+all end as one of these — so the same user agent, crawler and differ work
+on each, which is what makes the comparisons fair.
+"""
+
+from __future__ import annotations
+
+import posixpath
+
+from repro.navigation import PageAnchor, PageView
+from repro.xlink import resolve_uri
+
+from .errors import SiteError
+from .html import HtmlPage
+
+
+class StaticSite:
+    """Pages keyed by site-relative path."""
+
+    def __init__(self) -> None:
+        self._pages: dict[str, HtmlPage] = {}
+
+    def add(self, page: HtmlPage) -> HtmlPage:
+        if page.path in self._pages:
+            raise SiteError(f"duplicate page path {page.path!r}")
+        self._pages[page.path] = page
+        return page
+
+    def replace(self, page: HtmlPage) -> HtmlPage:
+        """Add or overwrite (rebuilds use this)."""
+        self._pages[page.path] = page
+        return page
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def page(self, path: str) -> HtmlPage:
+        try:
+            return self._pages[path]
+        except KeyError:
+            raise SiteError(
+                f"no page at {path!r} (site has {len(self._pages)} pages)"
+            )
+
+    def paths(self) -> list[str]:
+        return sorted(self._pages)
+
+    def pages(self) -> list[HtmlPage]:
+        return [self._pages[path] for path in self.paths()]
+
+    def as_text(self) -> dict[str, str]:
+        """Every page serialized — the differ's input format."""
+        return {path: self._pages[path].html() for path in self.paths()}
+
+    # -- user-agent integration ---------------------------------------------
+
+    def provider(self) -> "SiteProvider":
+        return SiteProvider(self)
+
+    def check_links(self) -> list[str]:
+        """Paths of dangling anchors: href targets that are not pages."""
+        dangling: list[str] = []
+        for page in self.pages():
+            for anchor in page.anchors():
+                href = anchor.href
+                if not href or href.startswith(("http://", "https://", "#")):
+                    continue
+                resolved = posixpath.normpath(resolve_uri(page.path, href))
+                if resolved not in self._pages:
+                    dangling.append(f"{page.path} -> {href}")
+        return dangling
+
+
+class SiteProvider:
+    """Adapts a :class:`StaticSite` to the user agent's page protocol."""
+
+    def __init__(self, site: StaticSite):
+        self._site = site
+
+    def page(self, uri: str) -> PageView:
+        from repro.hypermedia.errors import NavigationError
+
+        normalized = posixpath.normpath(uri)
+        if normalized not in self._site:
+            raise NavigationError(f"no page at {uri!r}")
+        page = self._site.page(normalized)
+        anchors = [
+            PageAnchor(
+                label=anchor.label,
+                href=posixpath.normpath(resolve_uri(normalized, anchor.href)),
+                rel=anchor.rel,
+            )
+            for anchor in page.anchors()
+        ]
+        return PageView(uri=normalized, title=page.title, anchors=anchors)

@@ -1,0 +1,189 @@
+"""An XSL-lite template engine: the *presentation* third of the separation.
+
+The paper credits XML + XSL with separating presentation from data; this
+module provides the working equivalent: a stylesheet is a set of template
+rules, each matching elements by name pattern and producing output nodes.
+Rules call back into the engine (``ctx.apply``) to transform children, so
+document structure drives presentation exactly as in XSLT::
+
+    sheet = Stylesheet()
+
+    @sheet.template("painting")
+    def painting_rule(ctx, el):
+        return [build("article", {},
+                      build("h1", {}, ctx.value_of(el, "title/text()")),
+                      *ctx.apply(el, "year"))]
+
+    html = sheet.transform_to_element(document)
+
+Match patterns are element local names, ``parent/child`` tails, or ``*``;
+the most specific matching rule wins (longer pattern > name > wildcard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.xmlcore import Document, Element, Node, Text, query
+
+from .errors import StylesheetError
+
+RuleFn = Callable[["TransformContext", Element], list[Node] | Node | str | None]
+
+
+@dataclass(frozen=True)
+class TemplateRule:
+    pattern: str
+    fn: RuleFn
+
+    def specificity(self) -> tuple[int, int]:
+        """(path segments, non-wildcard) — higher wins."""
+        segments = self.pattern.count("/") + 1
+        return (segments, 0 if self.pattern.endswith("*") else 1)
+
+    def matches(self, element: Element) -> bool:
+        parts = self.pattern.split("/")
+        node: Element | None = element
+        for part in reversed(parts):
+            if node is None:
+                return False
+            if part != "*" and node.name.local != part:
+                return False
+            parent = node.parent
+            node = parent if isinstance(parent, Element) else None
+        return True
+
+
+class TransformContext:
+    """Handed to rules; carries the engine plus per-run parameters."""
+
+    def __init__(self, stylesheet: "Stylesheet", parameters: dict[str, object]):
+        self._stylesheet = stylesheet
+        self.parameters = parameters
+
+    def apply(self, element: Element, select: str | None = None) -> list[Node]:
+        """Transform child elements (all, or those selected by a path)."""
+        if select is None:
+            children: list[Element] = element.child_elements()
+        else:
+            children = [
+                item for item in query(element, select) if isinstance(item, Element)
+            ]
+        out: list[Node] = []
+        for child in children:
+            out.extend(self._stylesheet.apply_one(self, child))
+        return out
+
+    def value_of(self, element: Element, select: str) -> str:
+        """The string value of a path (first match; '' when empty)."""
+        results = query(element, select)
+        if not results:
+            return ""
+        first = results[0]
+        if isinstance(first, str):
+            return first
+        return first.text_content()
+
+
+class Stylesheet:
+    """A set of template rules with XSLT-like built-in defaults.
+
+    The built-in rules (used when nothing matches) recurse into child
+    elements and copy text through — XSLT's default behaviour, which makes
+    partial stylesheets useful immediately.
+    """
+
+    def __init__(self) -> None:
+        self._rules: list[TemplateRule] = []
+
+    def template(self, pattern: str) -> Callable[[RuleFn], RuleFn]:
+        """Decorator registering a rule for *pattern*."""
+        if not pattern:
+            raise StylesheetError("empty template pattern")
+
+        def register(fn: RuleFn) -> RuleFn:
+            self._rules.append(TemplateRule(pattern, fn))
+            return fn
+
+        return register
+
+    def add_template(self, pattern: str, fn: RuleFn) -> None:
+        """Non-decorator registration."""
+        self.template(pattern)(fn)
+
+    def rule_for(self, element: Element) -> TemplateRule | None:
+        candidates = [rule for rule in self._rules if rule.matches(element)]
+        if not candidates:
+            return None
+        candidates.sort(key=lambda rule: rule.specificity())
+        best = candidates[-1]
+        ties = [c for c in candidates if c.specificity() == best.specificity()]
+        return ties[-1]  # later registration wins among equals, as in XSLT
+
+    # -- execution -----------------------------------------------------------
+
+    def apply_one(self, ctx: TransformContext, element: Element) -> list[Node]:
+        rule = self.rule_for(element)
+        if rule is None:
+            return self._builtin(ctx, element)
+        produced = rule.fn(ctx, element)
+        return _normalize_output(produced)
+
+    def _builtin(self, ctx: TransformContext, element: Element) -> list[Node]:
+        out: list[Node] = []
+        for child in element.children:
+            if isinstance(child, Element):
+                out.extend(self.apply_one(ctx, child))
+            elif isinstance(child, Text):
+                out.append(Text(child.value))
+        return out
+
+    def transform(
+        self,
+        document: Document | Element,
+        parameters: dict[str, object] | None = None,
+    ) -> list[Node]:
+        """Run the stylesheet; returns the produced node list."""
+        root = (
+            document.root_element if isinstance(document, Document) else document
+        )
+        ctx = TransformContext(self, parameters or {})
+        return self.apply_one(ctx, root)
+
+    def transform_to_element(
+        self,
+        document: Document | Element,
+        parameters: dict[str, object] | None = None,
+    ) -> Element:
+        """Run the stylesheet and demand exactly one element result."""
+        produced = [
+            node
+            for node in self.transform(document, parameters)
+            if isinstance(node, Element)
+        ]
+        if len(produced) != 1:
+            raise StylesheetError(
+                f"expected one root element from the stylesheet, got {len(produced)}"
+            )
+        return produced[0]
+
+
+def _normalize_output(produced: list[Node] | Node | str | None) -> list[Node]:
+    if produced is None:
+        return []
+    if isinstance(produced, str):
+        return [Text(produced)]
+    if isinstance(produced, Node):
+        return [produced]
+    out: list[Node] = []
+    for item in produced:
+        if isinstance(item, str):
+            out.append(Text(item))
+        elif isinstance(item, Node):
+            out.append(item)
+        else:
+            raise StylesheetError(
+                f"template produced a {type(item).__name__}, expected nodes/str"
+            )
+    return out

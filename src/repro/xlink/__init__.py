@@ -1,0 +1,92 @@
+"""XLink 1.0: simple and extended links, linkbases, traversal graphs.
+
+The paper's "first stage to separate navigation" is exactly this package:
+data documents stay link-free while a linkbase (Figure 9's ``links.xml``)
+declares locators over them and arcs between them::
+
+    from repro.xlink import UriSpace, LinkbaseSet
+
+    space = UriSpace()
+    space.add("picasso.xml", "<painter id='picasso'>...</painter>")
+    space.add("links.xml", LINKBASE_XML)
+
+    linkbases = LinkbaseSet(space)
+    linkbases.load("links.xml")
+    graph = linkbases.graph()
+    graph.outgoing("picasso.xml")    # -> traversals defined in links.xml
+"""
+
+from .attributes import (
+    ACTUATE,
+    ARCROLE,
+    FROM,
+    HREF,
+    LABEL,
+    LINKBASE_ARCROLE,
+    ROLE,
+    SHOW,
+    TITLE,
+    TO,
+    TYPE,
+    Actuate,
+    Show,
+    XLinkType,
+    xlink_type,
+)
+from .errors import XLinkError, XLinkResolutionError, XLinkSyntaxError
+from .linkbase import Linkbase, LinkbaseSet
+from .model import (
+    Arc,
+    ExtendedLink,
+    Locator,
+    Resource,
+    SimpleLink,
+    Traversal,
+    UriReference,
+)
+from .parse import find_links, parse_extended_link, parse_simple_link
+from .resolver import UriSpace, resolve_uri
+from .traversal import LinkGraph, expand_arcs
+from .validate import Issue, Severity, assert_valid, validate_link, validate_links
+
+__all__ = [
+    "ACTUATE",
+    "ARCROLE",
+    "Actuate",
+    "Arc",
+    "ExtendedLink",
+    "FROM",
+    "HREF",
+    "Issue",
+    "LABEL",
+    "LINKBASE_ARCROLE",
+    "LinkGraph",
+    "Linkbase",
+    "LinkbaseSet",
+    "Locator",
+    "ROLE",
+    "Resource",
+    "SHOW",
+    "Severity",
+    "Show",
+    "SimpleLink",
+    "TITLE",
+    "TO",
+    "TYPE",
+    "Traversal",
+    "UriReference",
+    "UriSpace",
+    "XLinkError",
+    "XLinkResolutionError",
+    "XLinkSyntaxError",
+    "XLinkType",
+    "assert_valid",
+    "expand_arcs",
+    "find_links",
+    "parse_extended_link",
+    "parse_simple_link",
+    "resolve_uri",
+    "validate_link",
+    "validate_links",
+    "xlink_type",
+]

@@ -1,0 +1,104 @@
+"""The XLink global attributes: names, value enumerations, accessors.
+
+Everything XLink says about an element travels in attributes from the
+``http://www.w3.org/1999/xlink`` namespace; this module is the single place
+that knows their names and legal values.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.xmlcore.dom import Element
+from repro.xmlcore.names import XLINK_NAMESPACE, QName
+
+from .errors import XLinkSyntaxError
+
+TYPE = QName(XLINK_NAMESPACE, "type")
+HREF = QName(XLINK_NAMESPACE, "href")
+ROLE = QName(XLINK_NAMESPACE, "role")
+ARCROLE = QName(XLINK_NAMESPACE, "arcrole")
+TITLE = QName(XLINK_NAMESPACE, "title")
+SHOW = QName(XLINK_NAMESPACE, "show")
+ACTUATE = QName(XLINK_NAMESPACE, "actuate")
+LABEL = QName(XLINK_NAMESPACE, "label")
+FROM = QName(XLINK_NAMESPACE, "from")
+TO = QName(XLINK_NAMESPACE, "to")
+
+#: Arc role marking a link as a pointer to another linkbase (XLink §4.4).
+LINKBASE_ARCROLE = "http://www.w3.org/1999/xlink/properties/linkbase"
+
+
+class XLinkType(str, Enum):
+    """Legal values of ``xlink:type``."""
+
+    SIMPLE = "simple"
+    EXTENDED = "extended"
+    LOCATOR = "locator"
+    ARC = "arc"
+    RESOURCE = "resource"
+    TITLE = "title"
+    NONE = "none"
+
+
+class Show(str, Enum):
+    """Legal values of ``xlink:show`` (traversal presentation)."""
+
+    NEW = "new"
+    REPLACE = "replace"
+    EMBED = "embed"
+    OTHER = "other"
+    NONE = "none"
+
+
+class Actuate(str, Enum):
+    """Legal values of ``xlink:actuate`` (traversal timing)."""
+
+    ON_LOAD = "onLoad"
+    ON_REQUEST = "onRequest"
+    OTHER = "other"
+    NONE = "none"
+
+
+def xlink_type(element: Element) -> XLinkType | None:
+    """The element's ``xlink:type``, or None when it has none."""
+    value = element.get(TYPE)
+    if value is None:
+        return None
+    try:
+        return XLinkType(value)
+    except ValueError:
+        raise XLinkSyntaxError(
+            f"illegal xlink:type value {value!r} on <{element.name.clark()}>"
+        )
+
+
+def parse_show(element: Element) -> Show | None:
+    """The element's ``xlink:show``, validated, or None."""
+    value = element.get(SHOW)
+    if value is None:
+        return None
+    try:
+        return Show(value)
+    except ValueError:
+        raise XLinkSyntaxError(f"illegal xlink:show value {value!r}")
+
+
+def parse_actuate(element: Element) -> Actuate | None:
+    """The element's ``xlink:actuate``, validated, or None."""
+    value = element.get(ACTUATE)
+    if value is None:
+        return None
+    try:
+        return Actuate(value)
+    except ValueError:
+        raise XLinkSyntaxError(f"illegal xlink:actuate value {value!r}")
+
+
+def require_ncname_label(value: str, what: str) -> str:
+    """Labels, from and to must be NCNames (XLink §5.1.3)."""
+    from repro.xmlcore.names import is_valid_ncname
+
+    if not is_valid_ncname(value):
+        raise XLinkSyntaxError(f"{what} must be an NCName, got {value!r}")
+    return value

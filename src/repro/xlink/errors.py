@@ -1,0 +1,15 @@
+"""Errors raised by the XLink processor."""
+
+from __future__ import annotations
+
+
+class XLinkError(Exception):
+    """Base class for XLink errors."""
+
+
+class XLinkSyntaxError(XLinkError):
+    """XLink markup violates the spec (bad type value, missing href, ...)."""
+
+
+class XLinkResolutionError(XLinkError):
+    """A locator could not be resolved to a resource."""

@@ -1,0 +1,154 @@
+"""Linkbases: documents whose job is to hold links about *other* documents.
+
+This is the artifact the paper proposes in section 6: ``links.xml`` holds
+the arcs between ``picasso.xml`` and ``avignon.xml`` so the data documents
+contain no navigation at all.  :class:`Linkbase` wraps one such document;
+:class:`LinkbaseSet` loads a closure of linkbases (following arcs with the
+special linkbase arcrole, XLink §4.4) and exposes one merged
+:class:`~repro.xlink.traversal.LinkGraph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xmlcore.dom import Document
+
+from .attributes import LINKBASE_ARCROLE
+from .errors import XLinkResolutionError
+from .model import ExtendedLink, Locator, SimpleLink, Traversal, UriReference
+from .parse import find_links
+from .resolver import UriSpace, resolve_uri
+from .traversal import LinkGraph
+from .validate import Issue, validate_links
+
+
+@dataclass
+class Linkbase:
+    """One linkbase document: its URI, links and expanded graph."""
+
+    uri: str
+    document: Document
+    links: list[SimpleLink | ExtendedLink] = field(default_factory=list)
+
+    @classmethod
+    def from_document(cls, uri: str, document: Document) -> "Linkbase":
+        return cls(uri=uri, document=document, links=find_links(document))
+
+    def extended_links(self) -> list[ExtendedLink]:
+        return [l for l in self.links if isinstance(l, ExtendedLink)]
+
+    def simple_links(self) -> list[SimpleLink]:
+        return [l for l in self.links if isinstance(l, SimpleLink)]
+
+    def graph(self, *, strict: bool = True) -> LinkGraph:
+        """The traversal graph of this linkbase alone, hrefs normalized."""
+        graph = LinkGraph.from_links(self.extended_links(), strict=strict)
+        return _normalize_graph(graph, self.uri)
+
+    def validate(self) -> list[Issue]:
+        return validate_links(self.links)
+
+    def linkbase_references(self) -> list[UriReference]:
+        """Hrefs of further linkbases this one points at (XLink §4.4)."""
+        references: list[UriReference] = []
+        for link in self.links:
+            if isinstance(link, SimpleLink):
+                if link.arcrole == LINKBASE_ARCROLE:
+                    references.append(link.href)
+                continue
+            for traversal in _safe_expansions(link):
+                if traversal.arc.arcrole == LINKBASE_ARCROLE and isinstance(
+                    traversal.end, Locator
+                ):
+                    references.append(traversal.end.href)
+        return references
+
+
+def _safe_expansions(link: ExtendedLink) -> list[Traversal]:
+    from .traversal import expand_arcs
+
+    try:
+        return expand_arcs(link, strict=False)
+    except Exception:  # pragma: no cover - defensive; strict=False cannot raise
+        return []
+
+
+def _normalize_graph(graph: LinkGraph, base_uri: str) -> LinkGraph:
+    """Rewrite relative locator hrefs against the linkbase's own URI.
+
+    Without this, ``picasso.xml`` in a linkbase at ``museum/links.xml``
+    would not compare equal to the canonical ``museum/picasso.xml``.
+    """
+    normalized = LinkGraph()
+    for traversal in graph.traversals:
+        normalized.add(
+            Traversal(
+                start=_normalize_participant(traversal.start, base_uri),
+                end=_normalize_participant(traversal.end, base_uri),
+                arc=traversal.arc,
+                link=traversal.link,
+            )
+        )
+    return normalized
+
+
+def _normalize_participant(participant, base_uri: str):
+    if not isinstance(participant, Locator):
+        return participant
+    resolved = resolve_uri(base_uri, participant.href.uri) if participant.href.uri else base_uri
+    if resolved == participant.href.uri:
+        return participant
+    return Locator(
+        href=UriReference(resolved, participant.href.fragment),
+        label=participant.label,
+        role=participant.role,
+        title=participant.title,
+        element=participant.element,
+    )
+
+
+class LinkbaseSet:
+    """A closure of linkbases over a :class:`~repro.xlink.resolver.UriSpace`."""
+
+    def __init__(self, space: UriSpace):
+        self._space = space
+        self._linkbases: dict[str, Linkbase] = {}
+
+    @property
+    def linkbases(self) -> list[Linkbase]:
+        return [self._linkbases[uri] for uri in sorted(self._linkbases)]
+
+    def load(self, uri: str, *, follow: bool = True, _depth: int = 0) -> Linkbase:
+        """Load the linkbase at *uri*, following linkbase arcs when *follow*.
+
+        Cycles between linkbases are tolerated: an already-loaded URI is
+        returned as-is.
+        """
+        if uri in self._linkbases:
+            return self._linkbases[uri]
+        if _depth > 64:
+            raise XLinkResolutionError("linkbase chain too deep (cycle suspected?)")
+        document = self._space.document(uri)
+        linkbase = Linkbase.from_document(uri, document)
+        self._linkbases[uri] = linkbase
+        if follow:
+            for reference in linkbase.linkbase_references():
+                target = resolve_uri(uri, reference.uri) if reference.uri else uri
+                self.load(target, follow=True, _depth=_depth + 1)
+        return linkbase
+
+    def graph(self, *, strict: bool = True) -> LinkGraph:
+        """The merged traversal graph of every loaded linkbase."""
+        merged = LinkGraph()
+        for linkbase in self.linkbases:
+            for traversal in linkbase.graph(strict=strict).traversals:
+                merged.add(traversal)
+        return merged
+
+    def validate(self) -> list[Issue]:
+        """All issues across every loaded linkbase."""
+        issues: list[Issue] = []
+        for linkbase in self.linkbases:
+            issues.extend(linkbase.validate())
+        return issues

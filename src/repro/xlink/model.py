@@ -1,0 +1,138 @@
+"""The XLink 1.0 data model.
+
+Extended links are the paper's vehicle for separating navigation: a
+``links.xml`` linkbase holds :class:`ExtendedLink` elements whose
+:class:`Locator` children point at the data documents and whose
+:class:`Arc` children say which traversals exist.  Simple links model the
+inline ``<a href>`` case the tangled baseline uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xmlcore.dom import Element
+
+from .attributes import Actuate, Show
+
+
+@dataclass(frozen=True, slots=True)
+class UriReference:
+    """An ``xlink:href`` value split into document URI and fragment pointer."""
+
+    uri: str
+    fragment: str | None = None
+
+    @classmethod
+    def parse(cls, href: str) -> "UriReference":
+        base, _, fragment = href.partition("#")
+        return cls(base, fragment or None)
+
+    def __str__(self) -> str:
+        if self.fragment is None:
+            return self.uri
+        return f"{self.uri}#{self.fragment}"
+
+
+@dataclass(frozen=True, slots=True)
+class SimpleLink:
+    """An ``xlink:type="simple"`` element: one outbound arc, inline start."""
+
+    href: UriReference
+    role: str | None = None
+    arcrole: str | None = None
+    title: str | None = None
+    show: Show | None = None
+    actuate: Actuate | None = None
+    element: Element | None = field(default=None, compare=False)
+
+
+@dataclass(frozen=True, slots=True)
+class Locator:
+    """A remote resource participating in an extended link."""
+
+    href: UriReference
+    label: str | None = None
+    role: str | None = None
+    title: str | None = None
+    element: Element | None = field(default=None, compare=False)
+
+
+@dataclass(frozen=True, slots=True)
+class Resource:
+    """A local (inline) resource participating in an extended link."""
+
+    label: str | None = None
+    role: str | None = None
+    title: str | None = None
+    element: Element | None = field(default=None, compare=False)
+
+
+@dataclass(frozen=True, slots=True)
+class Arc:
+    """A traversal rule between labelled participants.
+
+    Per XLink §5.1.3, a missing ``from`` (or ``to``) stands for *every*
+    labelled participant, so one arc element can denote many traversals.
+    """
+
+    from_label: str | None = None
+    to_label: str | None = None
+    arcrole: str | None = None
+    title: str | None = None
+    show: Show | None = None
+    actuate: Actuate | None = None
+    element: Element | None = field(default=None, compare=False)
+
+
+@dataclass(frozen=True, slots=True)
+class ExtendedLink:
+    """An ``xlink:type="extended"`` element with its participants and arcs."""
+
+    role: str | None = None
+    title: str | None = None
+    locators: tuple[Locator, ...] = field(default=())
+    resources: tuple[Resource, ...] = field(default=())
+    arcs: tuple[Arc, ...] = field(default=())
+    element: Element | None = field(default=None, compare=False)
+
+    def participants(self) -> tuple[Locator | Resource, ...]:
+        """All labelled and unlabelled participants, locators first."""
+        return self.locators + self.resources
+
+    def labels(self) -> set[str]:
+        """The set of labels defined by this link's participants."""
+        return {
+            p.label for p in self.participants() if p.label is not None
+        }
+
+    def participants_for_label(self, label: str | None) -> list[Locator | Resource]:
+        """Participants an arc endpoint denotes: all when *label* is None."""
+        if label is None:
+            return list(self.participants())
+        return [p for p in self.participants() if p.label == label]
+
+
+@dataclass(frozen=True, slots=True)
+class Traversal:
+    """One concrete traversal: an arc applied to a (start, end) pair."""
+
+    start: Locator | Resource
+    end: Locator | Resource
+    arc: Arc
+    link: ExtendedLink
+
+    @property
+    def arcrole(self) -> str | None:
+        return self.arc.arcrole
+
+    def describe(self) -> str:
+        """Human-readable one-liner used by examples and error messages."""
+
+        def side(p: Locator | Resource) -> str:
+            if isinstance(p, Locator):
+                return str(p.href)
+            return f"local:{p.label or '?'}"
+
+        role = f" [{self.arc.arcrole}]" if self.arc.arcrole else ""
+        return f"{side(self.start)} -> {side(self.end)}{role}"

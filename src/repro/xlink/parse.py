@@ -1,0 +1,134 @@
+"""Harvest XLink links from a parsed document.
+
+An XLink processor does not care about element names — only about the
+``xlink:type`` attributes — so any vocabulary (the paper's museum markup,
+our navigation specs) can carry links.
+"""
+
+from __future__ import annotations
+
+from repro.xmlcore.dom import Document, Element
+
+from . import attributes as attrs
+from .attributes import XLinkType, parse_actuate, parse_show, xlink_type
+from .errors import XLinkSyntaxError
+from .model import Arc, ExtendedLink, Locator, Resource, SimpleLink, UriReference
+
+
+def find_links(root: Document | Element) -> list[SimpleLink | ExtendedLink]:
+    """All XLink links in document order under *root*.
+
+    Nested extended links are not descended into (the spec leaves their
+    meaning undefined); everything else is scanned recursively.
+    """
+    links: list[SimpleLink | ExtendedLink] = []
+    start = root.root_element if isinstance(root, Document) else root
+    _scan(start, links)
+    return links
+
+
+def _scan(element: Element, links: list[SimpleLink | ExtendedLink]) -> None:
+    kind = xlink_type(element)
+    if kind is XLinkType.SIMPLE:
+        links.append(parse_simple_link(element))
+        # Simple links may contain further links in their content.
+        for child in element.child_elements():
+            _scan(child, links)
+        return
+    if kind is XLinkType.EXTENDED:
+        links.append(parse_extended_link(element))
+        return
+    for child in element.child_elements():
+        _scan(child, links)
+
+
+def parse_simple_link(element: Element) -> SimpleLink:
+    """Build a :class:`SimpleLink` from an ``xlink:type="simple"`` element."""
+    href = element.get(attrs.HREF)
+    if href is None:
+        raise XLinkSyntaxError(
+            f"simple link <{element.name.clark()}> has no xlink:href"
+        )
+    return SimpleLink(
+        href=UriReference.parse(href),
+        role=element.get(attrs.ROLE),
+        arcrole=element.get(attrs.ARCROLE),
+        title=element.get(attrs.TITLE),
+        show=parse_show(element),
+        actuate=parse_actuate(element),
+        element=element,
+    )
+
+
+def parse_extended_link(element: Element) -> ExtendedLink:
+    """Build an :class:`ExtendedLink` from an ``xlink:type="extended"`` element."""
+    locators: list[Locator] = []
+    resources: list[Resource] = []
+    arcs: list[Arc] = []
+    titles: list[str] = []
+
+    for child in element.child_elements():
+        kind = xlink_type(child)
+        if kind is XLinkType.LOCATOR:
+            href = child.get(attrs.HREF)
+            if href is None:
+                raise XLinkSyntaxError(
+                    f"locator <{child.name.clark()}> has no xlink:href"
+                )
+            label = child.get(attrs.LABEL)
+            if label is not None:
+                attrs.require_ncname_label(label, "xlink:label")
+            locators.append(
+                Locator(
+                    href=UriReference.parse(href),
+                    label=label,
+                    role=child.get(attrs.ROLE),
+                    title=child.get(attrs.TITLE),
+                    element=child,
+                )
+            )
+        elif kind is XLinkType.RESOURCE:
+            label = child.get(attrs.LABEL)
+            if label is not None:
+                attrs.require_ncname_label(label, "xlink:label")
+            resources.append(
+                Resource(
+                    label=label,
+                    role=child.get(attrs.ROLE),
+                    title=child.get(attrs.TITLE),
+                    element=child,
+                )
+            )
+        elif kind is XLinkType.ARC:
+            from_label = child.get(attrs.FROM)
+            to_label = child.get(attrs.TO)
+            if from_label is not None:
+                attrs.require_ncname_label(from_label, "xlink:from")
+            if to_label is not None:
+                attrs.require_ncname_label(to_label, "xlink:to")
+            arcs.append(
+                Arc(
+                    from_label=from_label,
+                    to_label=to_label,
+                    arcrole=child.get(attrs.ARCROLE),
+                    title=child.get(attrs.TITLE),
+                    show=parse_show(child),
+                    actuate=parse_actuate(child),
+                    element=child,
+                )
+            )
+        elif kind is XLinkType.TITLE:
+            titles.append(child.text_content())
+        # xlink:type="none" and unmarked children are ignored per spec.
+
+    title = element.get(attrs.TITLE)
+    if title is None and titles:
+        title = titles[0]
+    return ExtendedLink(
+        role=element.get(attrs.ROLE),
+        title=title,
+        locators=tuple(locators),
+        resources=tuple(resources),
+        arcs=tuple(arcs),
+        element=element,
+    )

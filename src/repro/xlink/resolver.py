@@ -1,0 +1,102 @@
+"""A URI space: resolving hrefs to documents and fragments to elements.
+
+The paper's setting is a web server's document space; offline, we model it
+as an explicit mapping from URIs to parsed documents.  Fragments are
+resolved with the XPointer processor, closing the XLink+XPointer loop the
+paper describes ("XLink determines the document to access and XPointer
+determines the exact point in the document").
+"""
+
+from __future__ import annotations
+
+import posixpath
+
+from repro.xmlcore.dom import Document, Element
+from repro.xmlcore.parser import parse
+from repro.xpointer import resolve_all
+
+from .errors import XLinkResolutionError
+from .model import UriReference
+
+
+def resolve_uri(base: str, reference: str) -> str:
+    """Resolve a relative *reference* against the document URI *base*.
+
+    Covers the relative-path cases a linkbase uses (sibling files,
+    subdirectories, ``..``); absolute URIs and rooted paths pass through.
+    """
+    if not reference:
+        return base
+    if "://" in reference or reference.startswith("/"):
+        return reference
+    directory = posixpath.dirname(base)
+    joined = posixpath.join(directory, reference) if directory else reference
+    return posixpath.normpath(joined)
+
+
+class UriSpace:
+    """An in-memory document space addressable by URI."""
+
+    def __init__(self) -> None:
+        self._documents: dict[str, Document] = {}
+
+    def add(self, uri: str, document: Document | str) -> Document:
+        """Register a document (parsed or as XML text) under *uri*."""
+        if isinstance(document, str):
+            document = parse(document)
+        self._documents[uri] = document
+        return document
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._documents
+
+    def uris(self) -> list[str]:
+        """All registered URIs, sorted."""
+        return sorted(self._documents)
+
+    def document(self, uri: str, *, base: str | None = None) -> Document:
+        """The document at *uri* (resolved against *base* when relative)."""
+        resolved = resolve_uri(base, uri) if base is not None else uri
+        try:
+            return self._documents[resolved]
+        except KeyError:
+            raise XLinkResolutionError(
+                f"no document registered at {resolved!r} "
+                f"(known: {', '.join(self.uris()) or 'none'})"
+            )
+
+    def resolve(
+        self, reference: UriReference | str, *, base: str | None = None
+    ) -> tuple[Document, list[Element]]:
+        """Resolve a URI reference to its document and pointed-to elements.
+
+        Returns the document and the elements its fragment identifies (the
+        whole root element when there is no fragment).
+        """
+        if isinstance(reference, str):
+            reference = UriReference.parse(reference)
+        uri = reference.uri or (base if base is not None else "")
+        if reference.uri:
+            document = self.document(uri, base=base)
+        elif base is not None:
+            document = self.document(base)
+        else:
+            raise XLinkResolutionError(
+                f"cannot resolve same-document reference {reference} without a base"
+            )
+        if reference.fragment is None:
+            return document, [document.root_element]
+        return document, resolve_all(document, reference.fragment)
+
+    def resolve_element(
+        self, reference: UriReference | str, *, base: str | None = None
+    ) -> Element:
+        """Like :meth:`resolve` but demands exactly one element."""
+        document, elements = self.resolve(reference, base=base)
+        if not elements:
+            raise XLinkResolutionError(f"{reference} identifies nothing")
+        if len(elements) > 1:
+            raise XLinkResolutionError(
+                f"{reference} is ambiguous ({len(elements)} elements)"
+            )
+        return elements[0]

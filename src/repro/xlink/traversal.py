@@ -1,0 +1,105 @@
+"""Expand arcs into concrete traversals and build a link graph.
+
+This is where "links in one file" becomes navigable structure: every arc is
+expanded over its from/to label sets (XLink §5.1.3), and the resulting
+traversals are indexed by starting resource so a user agent — or the
+navigation weaver — can ask "where can I go from here?".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .errors import XLinkSyntaxError
+from .model import ExtendedLink, Locator, Resource, Traversal, UriReference
+
+
+def expand_arcs(link: ExtendedLink, *, strict: bool = True) -> list[Traversal]:
+    """All traversals an extended link defines.
+
+    With *strict* on, an arc naming a label that no participant carries is
+    an error (the spec calls the document in error); otherwise such arcs
+    simply contribute no traversals.
+    """
+    traversals: list[Traversal] = []
+    labels = link.labels()
+    seen_pairs: set[tuple[str | None, str | None]] = set()
+    for arc in link.arcs:
+        for side, label in (("from", arc.from_label), ("to", arc.to_label)):
+            if strict and label is not None and label not in labels:
+                raise XLinkSyntaxError(
+                    f"arc {side!r} label {label!r} matches no participant"
+                )
+        pair = (arc.from_label, arc.to_label)
+        if pair in seen_pairs:
+            # Duplicate arcs (same from/to) are flagged by validate(); at
+            # expansion time the second contributes nothing new.
+            continue
+        seen_pairs.add(pair)
+        for start in link.participants_for_label(arc.from_label):
+            for end in link.participants_for_label(arc.to_label):
+                traversals.append(Traversal(start=start, end=end, arc=arc, link=link))
+    return traversals
+
+
+def _resource_key(participant: Locator | Resource) -> str:
+    """A stable identity for graph keying: href for remote, label for local."""
+    if isinstance(participant, Locator):
+        return str(participant.href)
+    return f"local:{participant.label or id(participant.element)}"
+
+
+@dataclass
+class LinkGraph:
+    """Traversals from one or more extended links, indexed by endpoint."""
+
+    traversals: list[Traversal] = field(default_factory=list)
+    _outgoing: dict[str, list[Traversal]] = field(default_factory=lambda: defaultdict(list))
+    _incoming: dict[str, list[Traversal]] = field(default_factory=lambda: defaultdict(list))
+
+    @classmethod
+    def from_links(
+        cls, links: list[ExtendedLink], *, strict: bool = True
+    ) -> "LinkGraph":
+        graph = cls()
+        for link in links:
+            for traversal in expand_arcs(link, strict=strict):
+                graph.add(traversal)
+        return graph
+
+    def add(self, traversal: Traversal) -> None:
+        self.traversals.append(traversal)
+        self._outgoing[_resource_key(traversal.start)].append(traversal)
+        self._incoming[_resource_key(traversal.end)].append(traversal)
+
+    # -- queries --------------------------------------------------------
+
+    def outgoing(self, resource: Locator | Resource | UriReference | str) -> list[Traversal]:
+        """Traversals starting at *resource* (href string, UriReference or participant)."""
+        return list(self._outgoing.get(self._key(resource), ()))
+
+    def incoming(self, resource: Locator | Resource | UriReference | str) -> list[Traversal]:
+        """Traversals ending at *resource*."""
+        return list(self._incoming.get(self._key(resource), ()))
+
+    def outgoing_by_arcrole(
+        self, resource: Locator | Resource | UriReference | str, arcrole: str
+    ) -> list[Traversal]:
+        """Outgoing traversals whose arc carries *arcrole*."""
+        return [t for t in self.outgoing(resource) if t.arc.arcrole == arcrole]
+
+    def resources(self) -> set[str]:
+        """All endpoint keys that participate in at least one traversal."""
+        return set(self._outgoing) | set(self._incoming)
+
+    @staticmethod
+    def _key(resource: Locator | Resource | UriReference | str) -> str:
+        if isinstance(resource, (Locator, Resource)):
+            return _resource_key(resource)
+        if isinstance(resource, UriReference):
+            return str(resource)
+        return resource
+
+    def __len__(self) -> int:
+        return len(self.traversals)

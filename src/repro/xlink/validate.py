@@ -1,0 +1,118 @@
+"""Structural validation of XLink usage.
+
+:func:`validate_link` reports spec violations and suspicious constructs as
+:class:`Issue` records instead of raising, so authoring tools (and our
+tests) can show everything wrong with a linkbase at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .model import ExtendedLink, SimpleLink
+
+
+class Severity(str, Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, slots=True)
+class Issue:
+    severity: Severity
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity.value}: {self.message}"
+
+
+def validate_link(link: SimpleLink | ExtendedLink) -> list[Issue]:
+    """All issues found in one link."""
+    if isinstance(link, SimpleLink):
+        return _validate_simple(link)
+    return _validate_extended(link)
+
+
+def validate_links(links: list[SimpleLink | ExtendedLink]) -> list[Issue]:
+    """All issues across *links*."""
+    issues: list[Issue] = []
+    for link in links:
+        issues.extend(validate_link(link))
+    return issues
+
+
+def _validate_simple(link: SimpleLink) -> list[Issue]:
+    issues: list[Issue] = []
+    if not link.href.uri and link.href.fragment is None:
+        issues.append(Issue(Severity.ERROR, "simple link has an empty href"))
+    return issues
+
+
+def _validate_extended(link: ExtendedLink) -> list[Issue]:
+    issues: list[Issue] = []
+    labels = link.labels()
+
+    # Arcs must reference labels that exist (XLink 5.1.3).
+    for arc in link.arcs:
+        for side, label in (("from", arc.from_label), ("to", arc.to_label)):
+            if label is not None and label not in labels:
+                issues.append(
+                    Issue(
+                        Severity.ERROR,
+                        f"arc xlink:{side}={label!r} matches no participant label",
+                    )
+                )
+
+    # Duplicate from/to pairs: "it is an error to have more than one arc
+    # ... with the same pair" (XLink 5.1.3).
+    seen: set[tuple[str | None, str | None]] = set()
+    for arc in link.arcs:
+        pair = (arc.from_label, arc.to_label)
+        if pair in seen:
+            issues.append(
+                Issue(
+                    Severity.ERROR,
+                    f"duplicate arc from={pair[0]!r} to={pair[1]!r}",
+                )
+            )
+        seen.add(pair)
+
+    # Participants that no arc can ever reach or leave are probably a typo.
+    if link.arcs:
+        used: set[str | None] = set()
+        for arc in link.arcs:
+            used.add(arc.from_label)
+            used.add(arc.to_label)
+        if None not in used:
+            for participant in link.participants():
+                if participant.label is None:
+                    issues.append(
+                        Issue(
+                            Severity.WARNING,
+                            "unlabelled participant can never be traversed "
+                            "(all arcs name explicit labels)",
+                        )
+                    )
+                elif participant.label not in used:
+                    issues.append(
+                        Issue(
+                            Severity.WARNING,
+                            f"participant label {participant.label!r} is used by no arc",
+                        )
+                    )
+    elif link.participants():
+        issues.append(
+            Issue(Severity.WARNING, "extended link defines participants but no arcs")
+        )
+
+    if not link.participants():
+        issues.append(Issue(Severity.WARNING, "extended link has no participants"))
+    return issues
+
+
+def assert_valid(link: SimpleLink | ExtendedLink) -> None:
+    """Raise :class:`ValueError` listing any error-severity issues."""
+    errors = [i for i in validate_link(link) if i.severity is Severity.ERROR]
+    if errors:
+        raise ValueError("; ".join(str(i) for i in errors))

@@ -1,0 +1,89 @@
+"""From-scratch XML substrate: tokenizer, parser, DOM, paths, serializer.
+
+This package stands in for the W3C XML 1.0 stack the paper assumes.  It is
+namespace-aware (Namespaces in XML 1.0) because XLink lives entirely in
+attribute namespaces, and DTD-less by design (IDs via ``xml:id``/``id``).
+
+Quick tour::
+
+    from repro.xmlcore import parse, serialize, build
+
+    doc = parse('<painting id="guitar"><title>Guitar</title></painting>')
+    doc.root_element.find("title").text_content()   # 'Guitar'
+    serialize(doc.root_element)                      # round-trips
+"""
+
+from .builder import ElementMaker, build, comment, pi, text
+from .dom import (
+    CData,
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+    deep_copy,
+    ensure_document,
+    iter_tree,
+)
+from .errors import (
+    XmlError,
+    XmlNamespaceError,
+    XmlSyntaxError,
+    XmlTreeError,
+    XmlWellFormednessError,
+)
+from .names import (
+    XLINK_NAMESPACE,
+    XML_NAMESPACE,
+    XMLNS_NAMESPACE,
+    QName,
+    is_valid_name,
+    is_valid_ncname,
+    qname,
+    split_qname,
+)
+from .parser import parse, parse_element, parse_file
+from .path import XmlPathError, query, query_one
+from .serializer import escape_attribute, escape_text, serialize, write_file
+
+__all__ = [
+    "CData",
+    "Comment",
+    "Document",
+    "Element",
+    "ElementMaker",
+    "Node",
+    "ProcessingInstruction",
+    "QName",
+    "Text",
+    "XLINK_NAMESPACE",
+    "XML_NAMESPACE",
+    "XMLNS_NAMESPACE",
+    "XmlError",
+    "XmlNamespaceError",
+    "XmlPathError",
+    "XmlSyntaxError",
+    "XmlTreeError",
+    "XmlWellFormednessError",
+    "build",
+    "comment",
+    "deep_copy",
+    "ensure_document",
+    "escape_attribute",
+    "escape_text",
+    "is_valid_name",
+    "is_valid_ncname",
+    "iter_tree",
+    "parse",
+    "parse_element",
+    "parse_file",
+    "pi",
+    "qname",
+    "query",
+    "query_one",
+    "serialize",
+    "split_qname",
+    "text",
+    "write_file",
+]

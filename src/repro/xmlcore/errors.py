@@ -1,0 +1,47 @@
+"""Error types raised by the :mod:`repro.xmlcore` substrate.
+
+Every error carries an optional source position (line and column, both
+1-based) so that callers can report *where* a document is malformed, which
+matters once linkbases and navigation specs are hand-edited XML files.
+"""
+
+from __future__ import annotations
+
+
+class XmlError(Exception):
+    """Base class for all XML substrate errors."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.message = message
+        self.line = line
+        self.column = column
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        if self.line is None:
+            return self.message
+        return f"{self.message} (line {self.line}, column {self.column})"
+
+
+class XmlSyntaxError(XmlError):
+    """The raw character stream is not well-formed XML."""
+
+
+class XmlWellFormednessError(XmlError):
+    """Tokens were individually valid but violate a well-formedness rule.
+
+    Examples: mismatched end tag, duplicate attribute, content after the
+    document element, more than one document element.
+    """
+
+
+class XmlNamespaceError(XmlError):
+    """A qualified name uses an undeclared or reserved namespace prefix."""
+
+
+class XmlTreeError(XmlError):
+    """An illegal DOM mutation was attempted.
+
+    Examples: inserting a node that would create a cycle, attaching a
+    document as a child, detaching a node that has no parent.
+    """

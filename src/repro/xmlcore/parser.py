@@ -1,0 +1,218 @@
+"""Assemble tokens into a namespace-resolved DOM.
+
+The parser enforces the well-formedness rules that only make sense with
+tree context (tag matching, one root element, unique expanded attribute
+names) and resolves namespace prefixes against the declaration scope, so
+every :class:`~repro.xmlcore.dom.Element` carries fully expanded
+:class:`~repro.xmlcore.names.QName` values — which is what the XLink layer
+keys on.
+"""
+
+from __future__ import annotations
+
+from .dom import CData, Comment, Document, Element, ProcessingInstruction, Text
+from .errors import XmlNamespaceError, XmlWellFormednessError
+from .names import XML_NAMESPACE, XMLNS_NAMESPACE, QName, split_qname
+from .tokenizer import (
+    CDataToken,
+    CommentToken,
+    DoctypeToken,
+    EndTagToken,
+    PIToken,
+    StartTagToken,
+    TextToken,
+    XmlDeclToken,
+    tokenize,
+)
+
+
+class Parser:
+    """A one-document parser; use :func:`parse` for the common case."""
+
+    def __init__(self, source: str):
+        self._tokens = tokenize(source)
+
+    def parse(self) -> Document:
+        document = Document()
+        # (element, tag-name-as-written) pairs; tag names must match textually.
+        stack: list[tuple[Element, str]] = []
+        seen_root = False
+
+        for index, token in enumerate(self._tokens):
+            if isinstance(token, XmlDeclToken):
+                if index != 0:
+                    raise XmlWellFormednessError(
+                        "XML declaration must come first", token.line, token.column
+                    )
+                if token.encoding:
+                    document.encoding = token.encoding
+                document.standalone = token.standalone
+            elif isinstance(token, DoctypeToken):
+                if seen_root:
+                    raise XmlWellFormednessError(
+                        "DOCTYPE must precede the root element", token.line, token.column
+                    )
+            elif isinstance(token, StartTagToken):
+                if not stack and seen_root:
+                    raise XmlWellFormednessError(
+                        f"content after document element: <{token.name}>",
+                        token.line,
+                        token.column,
+                    )
+                element = self._build_element(token, stack)
+                if stack:
+                    stack[-1][0].append(element)
+                else:
+                    document.append(element)
+                    seen_root = True
+                if not token.self_closing:
+                    stack.append((element, token.name))
+            elif isinstance(token, EndTagToken):
+                if not stack:
+                    raise XmlWellFormednessError(
+                        f"unexpected end tag </{token.name}>", token.line, token.column
+                    )
+                _, open_name = stack.pop()
+                if token.name != open_name:
+                    raise XmlWellFormednessError(
+                        f"end tag </{token.name}> does not match <{open_name}>",
+                        token.line,
+                        token.column,
+                    )
+            elif isinstance(token, (TextToken, CDataToken)):
+                node = CData(token.value) if isinstance(token, CDataToken) else Text(token.value)
+                if stack:
+                    stack[-1][0].append(node)
+                elif token.value.strip():
+                    raise XmlWellFormednessError(
+                        "character data outside the document element",
+                        token.line,
+                        token.column,
+                    )
+            elif isinstance(token, CommentToken):
+                target = stack[-1][0] if stack else document
+                target.append(Comment(token.value))
+            elif isinstance(token, PIToken):
+                target = stack[-1][0] if stack else document
+                target.append(ProcessingInstruction(token.target, token.data))
+            else:  # pragma: no cover - the tokenizer emits no other types
+                raise XmlWellFormednessError(f"unhandled token {token!r}")
+
+        if stack:
+            element, name = stack[-1]
+            raise XmlWellFormednessError(f"unclosed element <{name}>")
+        if not seen_root:
+            raise XmlWellFormednessError("document has no root element")
+        return document
+
+    # -- element construction ----------------------------------------------
+
+    def _build_element(
+        self, token: StartTagToken, stack: list[tuple[Element, str]]
+    ) -> Element:
+        declarations, plain_attrs = self._split_declarations(token)
+        parent = stack[-1][0] if stack else None
+
+        def resolve(prefix: str | None) -> str | None:
+            if prefix in declarations:
+                return declarations[prefix] or None
+            if prefix == "xml":
+                return XML_NAMESPACE
+            if parent is not None:
+                return parent.namespace_for_prefix(prefix)
+            return None
+
+        try:
+            prefix, local = split_qname(token.name)
+        except ValueError as exc:
+            raise XmlWellFormednessError(str(exc), token.line, token.column)
+        namespace = resolve(prefix)
+        if prefix is not None and namespace is None:
+            raise XmlNamespaceError(
+                f"undeclared namespace prefix: {prefix!r}", token.line, token.column
+            )
+        element = Element(
+            QName(namespace, local), prefix=prefix, namespaces=declarations
+        )
+
+        seen: set[QName] = set()
+        for attr_name, value in plain_attrs:
+            try:
+                attr_prefix, attr_local = split_qname(attr_name)
+            except ValueError as exc:
+                raise XmlWellFormednessError(str(exc), token.line, token.column)
+            if attr_prefix is None:
+                # Unprefixed attributes are in no namespace, per the spec.
+                attr_qname = QName(None, attr_local)
+            else:
+                attr_ns = resolve(attr_prefix)
+                if attr_ns is None:
+                    raise XmlNamespaceError(
+                        f"undeclared namespace prefix: {attr_prefix!r}",
+                        token.line,
+                        token.column,
+                    )
+                attr_qname = QName(attr_ns, attr_local)
+            if attr_qname in seen:
+                raise XmlWellFormednessError(
+                    f"duplicate attribute {attr_qname.clark()!r}",
+                    token.line,
+                    token.column,
+                )
+            seen.add(attr_qname)
+            element.set(attr_qname, value)
+        return element
+
+    @staticmethod
+    def _split_declarations(
+        token: StartTagToken,
+    ) -> tuple[dict[str | None, str], list[tuple[str, str]]]:
+        declarations: dict[str | None, str] = {}
+        plain: list[tuple[str, str]] = []
+        for name, value in token.attributes:
+            if name == "xmlns":
+                declarations[None] = value
+            elif name.startswith("xmlns:"):
+                prefix = name[len("xmlns:") :]
+                if prefix == "xmlns":
+                    raise XmlNamespaceError(
+                        "the 'xmlns' prefix cannot be declared", token.line, token.column
+                    )
+                if prefix == "xml" and value != XML_NAMESPACE:
+                    raise XmlNamespaceError(
+                        "the 'xml' prefix is bound to the XML namespace",
+                        token.line,
+                        token.column,
+                    )
+                if not value:
+                    raise XmlNamespaceError(
+                        f"cannot undeclare prefix {prefix!r} (Namespaces 1.0)",
+                        token.line,
+                        token.column,
+                    )
+                if value in (XMLNS_NAMESPACE,):
+                    raise XmlNamespaceError(
+                        "the xmlns namespace cannot be bound to a prefix",
+                        token.line,
+                        token.column,
+                    )
+                declarations[prefix] = value
+            else:
+                plain.append((name, value))
+        return declarations, plain
+
+
+def parse(source: str) -> Document:
+    """Parse an XML string into a :class:`~repro.xmlcore.dom.Document`."""
+    return Parser(source).parse()
+
+
+def parse_element(source: str) -> Element:
+    """Parse an XML string and return its root element."""
+    return parse(source).root_element
+
+
+def parse_file(path: str) -> Document:
+    """Parse the UTF-8 XML file at *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse(handle.read())

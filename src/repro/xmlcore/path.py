@@ -1,0 +1,183 @@
+"""A compact path query language over the DOM.
+
+A pragmatic subset of XPath's abbreviated syntax — enough for stylesheets,
+tests and examples to address into documents without hand-rolled loops:
+
+======================  ====================================================
+``painting``            child elements named ``painting``
+``painting/title``      grandchildren via a child step
+``//painting``          descendants at any depth
+``*``                   any child element
+``.``                   the context node itself
+``@id``                 attribute value (string result)
+``painting[2]``         1-based positional predicate
+``painting[@id='x']``   attribute-equality predicate
+``text()``              concatenated text of the context node
+======================  ====================================================
+
+Name tests match on the *local* name (namespace-agnostic), matching how the
+paper's listings address museum documents; use Clark notation
+(``{uri}local``) for an exact expanded-name match.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .dom import Document, Element, _Container
+from .errors import XmlError
+
+
+class XmlPathError(XmlError):
+    """The path expression is syntactically invalid."""
+
+
+@dataclass(frozen=True, slots=True)
+class _Step:
+    axis: str  # "child" | "descendant" | "self"
+    test: str  # name test, "*", "@name", or "text()"
+    position: int | None = None
+    attr_name: str | None = None
+    attr_value: str | None = None
+
+
+_PREDICATE_RE = re.compile(
+    r"""\[\s*(?:
+        (?P<pos>\d+)
+        |
+        @(?P<aname>[\w.\-:{}/]+)\s*=\s*
+            (?:'(?P<sq>[^']*)'|"(?P<dq>[^"]*)")
+    )\s*\]$""",
+    re.VERBOSE,
+)
+
+
+def _parse_step(text: str, axis: str) -> _Step:
+    position = None
+    attr_name = None
+    attr_value = None
+    match = _PREDICATE_RE.search(text)
+    if match:
+        text = text[: match.start()]
+        if match.group("pos"):
+            position = int(match.group("pos"))
+        else:
+            attr_name = match.group("aname")
+            attr_value = match.group("sq") if match.group("sq") is not None else match.group("dq")
+    if not text:
+        raise XmlPathError("empty step in path expression")
+    return _Step(axis, text, position, attr_name, attr_value)
+
+
+def parse_path(expression: str) -> list[_Step]:
+    """Parse *expression* into a list of steps (exposed for testing)."""
+    if not expression or expression.isspace():
+        raise XmlPathError("empty path expression")
+    steps: list[_Step] = []
+    rest = expression.strip()
+    axis = "child"
+    if rest.startswith("//"):
+        axis = "descendant"
+        rest = rest[2:]
+    elif rest.startswith("/"):
+        raise XmlPathError("absolute paths are not supported; query from a node")
+    while rest:
+        if rest.startswith("//"):
+            axis = "descendant"
+            rest = rest[2:]
+            if not rest:
+                raise XmlPathError("path ends with an axis: nothing to select")
+            continue
+        if rest.startswith("/"):
+            axis = "child"
+            rest = rest[1:]
+            if not rest:
+                raise XmlPathError("path ends with an axis: nothing to select")
+            continue
+        # A step runs to the next '/' that is not inside a predicate.
+        depth = 0
+        cut = len(rest)
+        for index, ch in enumerate(rest):
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == "/" and depth == 0:
+                cut = index
+                break
+        steps.append(_parse_step(rest[:cut], axis))
+        rest = rest[cut:]
+        axis = "child"
+    if not steps:
+        raise XmlPathError(f"no steps in path expression: {expression!r}")
+    return steps
+
+
+def _name_matches(element: Element, test: str) -> bool:
+    if test == "*":
+        return True
+    if test.startswith("{"):
+        return element.name.clark() == test
+    return element.name.local == test
+
+
+def _candidates(node: _Container, step: _Step) -> list[Element]:
+    if step.axis == "self":
+        return [node] if isinstance(node, Element) else []
+    if step.axis == "descendant":
+        return [el for el in node.iter() if _name_matches(el, step.test)]
+    return [el for el in node.child_elements() if _name_matches(el, step.test)]
+
+
+def _apply_predicates(step: _Step, found: list[Element]) -> list[Element]:
+    if step.attr_name is not None:
+        found = [el for el in found if el.get(step.attr_name) == step.attr_value]
+    if step.position is not None:
+        found = [found[step.position - 1]] if 0 < step.position <= len(found) else []
+    return found
+
+
+def query(node: Document | Element, expression: str) -> list[Element | str]:
+    """Evaluate *expression* against *node*; see the module docstring.
+
+    Element steps yield elements; ``@attr`` and ``text()`` terminal steps
+    yield strings.  Results preserve document order and are deduplicated.
+    """
+    steps = parse_path(expression)
+    context: list[Element | _Container] = [node]
+    for index, step in enumerate(steps):
+        is_last = index == len(steps) - 1
+        if step.test.startswith("@"):
+            if not is_last:
+                raise XmlPathError("attribute step must be the last step")
+            results: list[Element | str] = []
+            for item in context:
+                if isinstance(item, Element):
+                    value = item.get(step.test[1:])
+                    if value is not None:
+                        results.append(value)
+            return results
+        if step.test == "text()":
+            if not is_last:
+                raise XmlPathError("text() must be the last step")
+            return [item.text_content() for item in context if isinstance(item, _Container)]
+        if step.test == ".":
+            continue
+        next_context: list[Element] = []
+        seen: set[int] = set()
+        for item in context:
+            if not isinstance(item, _Container):
+                continue
+            for el in _apply_predicates(step, _candidates(item, step)):
+                if id(el) not in seen:
+                    seen.add(id(el))
+                    next_context.append(el)
+        context = list(next_context)
+    return [item for item in context if isinstance(item, Element)]
+
+
+def query_one(node: Document | Element, expression: str) -> Element | str | None:
+    """First result of :func:`query`, or None."""
+    results = query(node, expression)
+    return results[0] if results else None

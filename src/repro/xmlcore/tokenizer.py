@@ -1,0 +1,344 @@
+"""A hand-written XML tokenizer.
+
+Turns a character stream into a flat sequence of markup tokens; the parser
+in :mod:`repro.xmlcore.parser` assembles those into a DOM.  The split keeps
+each half small and independently testable, and mirrors how the paper's
+stack is layered: lexical XML below, namespaces and linking semantics above.
+
+The tokenizer handles the full syntax this library emits or reads: start/end
+/empty tags with attributes, character data with entity and character
+references, CDATA sections, comments, processing instructions, the XML
+declaration, and (skipped) internal-subset-free DOCTYPE declarations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import XmlSyntaxError
+from .names import is_name_char, is_name_start_char
+
+PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """Base token; *line*/*column* point at the first character."""
+
+    line: int
+    column: int
+
+
+@dataclass(frozen=True, slots=True)
+class StartTagToken(Token):
+    name: str
+    attributes: tuple[tuple[str, str], ...] = field(default=())
+    self_closing: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class EndTagToken(Token):
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class TextToken(Token):
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class CDataToken(Token):
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class CommentToken(Token):
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class PIToken(Token):
+    target: str
+    data: str
+
+
+@dataclass(frozen=True, slots=True)
+class XmlDeclToken(Token):
+    version: str
+    encoding: str | None
+    standalone: bool | None
+
+
+@dataclass(frozen=True, slots=True)
+class DoctypeToken(Token):
+    name: str
+
+
+class Tokenizer:
+    """Single-pass tokenizer over an in-memory string."""
+
+    def __init__(self, source: str):
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    # -- low-level cursor ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._source[index] if index < len(self._source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        taken = self._source[self._pos : self._pos + count]
+        for ch in taken:
+            if ch == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return taken
+
+    def _at_end(self) -> bool:
+        return self._pos >= len(self._source)
+
+    def _error(self, message: str) -> XmlSyntaxError:
+        return XmlSyntaxError(message, self._line, self._column)
+
+    def _expect(self, literal: str) -> None:
+        if not self._source.startswith(literal, self._pos):
+            raise self._error(f"expected {literal!r}")
+        self._advance(len(literal))
+
+    def _skip_whitespace(self) -> bool:
+        skipped = False
+        while self._peek() in (" ", "\t", "\r", "\n") and not self._at_end():
+            self._advance()
+            skipped = True
+        return skipped
+
+    def _read_until(self, terminator: str, what: str) -> str:
+        end = self._source.find(terminator, self._pos)
+        if end == -1:
+            raise self._error(f"unterminated {what}")
+        value = self._source[self._pos : end]
+        self._advance(end - self._pos + len(terminator))
+        return value
+
+    def _read_name(self) -> str:
+        start = self._pos
+        if not is_name_start_char(self._peek()) and self._peek() != ":":
+            raise self._error("expected a name")
+        while not self._at_end():
+            ch = self._peek()
+            if is_name_char(ch) or ch == ":":
+                self._advance()
+            else:
+                break
+        return self._source[start : self._pos]
+
+    # -- references ---------------------------------------------------------
+
+    def _read_reference(self) -> str:
+        """Decode one ``&...;`` reference; the leading ``&`` is current."""
+        self._expect("&")
+        if self._peek() == "#":
+            self._advance()
+            if self._peek() in ("x", "X"):
+                self._advance()
+                digits = self._read_until(";", "character reference")
+                try:
+                    code = int(digits, 16)
+                except ValueError:
+                    raise self._error(f"bad hex character reference: {digits!r}")
+            else:
+                digits = self._read_until(";", "character reference")
+                try:
+                    code = int(digits, 10)
+                except ValueError:
+                    raise self._error(f"bad character reference: {digits!r}")
+            try:
+                return chr(code)
+            except (ValueError, OverflowError):
+                raise self._error(f"character reference out of range: {code}")
+        name = self._read_until(";", "entity reference")
+        if name not in PREDEFINED_ENTITIES:
+            raise self._error(f"unknown entity: &{name};")
+        return PREDEFINED_ENTITIES[name]
+
+    # -- token producers ------------------------------------------------------
+
+    def tokens(self) -> list[Token]:
+        """Tokenize the whole input and return the token list."""
+        out: list[Token] = []
+        while not self._at_end():
+            line, column = self._line, self._column
+            if self._peek() == "<":
+                out.append(self._read_markup(line, column))
+            else:
+                out.append(self._read_text(line, column))
+        return out
+
+    def _read_text(self, line: int, column: int) -> TextToken:
+        parts: list[str] = []
+        while not self._at_end() and self._peek() != "<":
+            if self._peek() == "&":
+                parts.append(self._read_reference())
+            elif self._source.startswith("]]>", self._pos):
+                raise self._error("']]>' is not allowed in character data")
+            else:
+                parts.append(self._advance())
+        return TextToken(line, column, "".join(parts))
+
+    def _read_markup(self, line: int, column: int) -> Token:
+        if self._source.startswith("<![CDATA[", self._pos):
+            self._advance(len("<![CDATA["))
+            value = self._read_until("]]>", "CDATA section")
+            return CDataToken(line, column, value)
+        if self._source.startswith("<!--", self._pos):
+            self._advance(4)
+            value = self._read_until("-->", "comment")
+            if "--" in value:
+                raise self._error("'--' is not allowed inside a comment")
+            return CommentToken(line, column, value)
+        if self._source.startswith("<!DOCTYPE", self._pos):
+            return self._read_doctype(line, column)
+        if self._source.startswith("<?", self._pos):
+            return self._read_pi(line, column)
+        if self._source.startswith("</", self._pos):
+            self._advance(2)
+            name = self._read_name()
+            self._skip_whitespace()
+            self._expect(">")
+            return EndTagToken(line, column, name)
+        return self._read_start_tag(line, column)
+
+    def _read_doctype(self, line: int, column: int) -> DoctypeToken:
+        self._advance(len("<!DOCTYPE"))
+        self._skip_whitespace()
+        name = self._read_name()
+        # Skip external id / internal subset without interpreting it; the
+        # library is DTD-less by design (ids use xml:id, see dom.Document).
+        depth = 0
+        while not self._at_end():
+            ch = self._advance()
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == ">" and depth <= 0:
+                return DoctypeToken(line, column, name)
+        raise self._error("unterminated DOCTYPE declaration")
+
+    def _read_pi(self, line: int, column: int) -> Token:
+        self._advance(2)
+        target = self._read_name()
+        had_space = self._skip_whitespace()
+        data = self._read_until("?>", "processing instruction")
+        if target.lower() == "xml":
+            if target != "xml":
+                raise self._error("the XML declaration target must be lowercase 'xml'")
+            return self._parse_xml_decl(line, column, data)
+        if data and not had_space:
+            raise self._error("whitespace required between PI target and data")
+        return PIToken(line, column, target, data)
+
+    def _parse_xml_decl(self, line: int, column: int, data: str) -> XmlDeclToken:
+        pseudo = dict(_parse_pseudo_attributes(data, self._error))
+        version = pseudo.pop("version", None)
+        if version != "1.0":
+            raise self._error(f"unsupported XML version: {version!r}")
+        encoding = pseudo.pop("encoding", None)
+        standalone_text = pseudo.pop("standalone", None)
+        if pseudo:
+            raise self._error(f"unexpected XML declaration attribute: {sorted(pseudo)}")
+        standalone: bool | None = None
+        if standalone_text is not None:
+            if standalone_text not in ("yes", "no"):
+                raise self._error("standalone must be 'yes' or 'no'")
+            standalone = standalone_text == "yes"
+        return XmlDeclToken(line, column, version, encoding, standalone)
+
+    def _read_start_tag(self, line: int, column: int) -> StartTagToken:
+        self._expect("<")
+        name = self._read_name()
+        attributes: list[tuple[str, str]] = []
+        while True:
+            had_space = self._skip_whitespace()
+            ch = self._peek()
+            if ch == ">":
+                self._advance()
+                return StartTagToken(line, column, name, tuple(attributes), False)
+            if self._source.startswith("/>", self._pos):
+                self._advance(2)
+                return StartTagToken(line, column, name, tuple(attributes), True)
+            if self._at_end():
+                raise self._error(f"unterminated start tag <{name}>")
+            if not had_space:
+                raise self._error("whitespace required before attribute")
+            attributes.append(self._read_attribute())
+
+    def _read_attribute(self) -> tuple[str, str]:
+        name = self._read_name()
+        self._skip_whitespace()
+        self._expect("=")
+        self._skip_whitespace()
+        quote = self._peek()
+        if quote not in ("'", '"'):
+            raise self._error("attribute value must be quoted")
+        self._advance()
+        parts: list[str] = []
+        while True:
+            ch = self._peek()
+            if self._at_end():
+                raise self._error(f"unterminated value for attribute {name!r}")
+            if ch == quote:
+                self._advance()
+                break
+            if ch == "<":
+                raise self._error("'<' is not allowed in attribute values")
+            if ch == "&":
+                parts.append(self._read_reference())
+            elif ch in ("\t", "\n", "\r"):
+                # Attribute-value normalization: whitespace becomes a space.
+                self._advance()
+                parts.append(" ")
+            else:
+                parts.append(self._advance())
+        return name, "".join(parts)
+
+
+def _parse_pseudo_attributes(data: str, error):
+    """Parse ``name="value"`` pairs inside an XML declaration."""
+    pos = 0
+    while pos < len(data):
+        while pos < len(data) and data[pos].isspace():
+            pos += 1
+        if pos >= len(data):
+            return
+        eq = data.find("=", pos)
+        if eq == -1:
+            raise error("malformed XML declaration")
+        name = data[pos:eq].strip()
+        rest = data[eq + 1 :].lstrip()
+        consumed = len(data) - len(rest)
+        if not rest or rest[0] not in ("'", '"'):
+            raise error("XML declaration values must be quoted")
+        quote = rest[0]
+        end = rest.find(quote, 1)
+        if end == -1:
+            raise error("unterminated XML declaration value")
+        yield name, rest[1:end]
+        pos = consumed + end + 1
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source* and return the token list."""
+    return Tokenizer(source).tokens()

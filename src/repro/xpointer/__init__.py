@@ -1,0 +1,41 @@
+"""XPointer: addressing into XML documents (shorthand, element(), xpointer()).
+
+The paper pairs XLink with XPointer: "XLink determines the document to
+access and XPointer determines the exact point in the document."  This
+package is that second half::
+
+    from repro.xmlcore import parse
+    from repro.xpointer import resolve
+
+    doc = parse('<m><p id="guitar"><title/></p></m>')
+    resolve(doc, "guitar")                   # shorthand → <p>
+    resolve(doc, "element(guitar/1)")        # child sequence → <title>
+    resolve(doc, "xpointer(//p[@id='guitar'])")
+"""
+
+from .errors import XPointerError, XPointerResolutionError, XPointerSyntaxError
+from .evaluate import resolve, resolve_all
+from .model import (
+    ElementSchemePart,
+    Pointer,
+    SchemePart,
+    ShorthandPointer,
+    XmlnsSchemePart,
+    XPointerSchemePart,
+)
+from .parse import parse_pointer
+
+__all__ = [
+    "ElementSchemePart",
+    "Pointer",
+    "SchemePart",
+    "ShorthandPointer",
+    "XPointerError",
+    "XPointerResolutionError",
+    "XPointerSchemePart",
+    "XPointerSyntaxError",
+    "XmlnsSchemePart",
+    "parse_pointer",
+    "resolve",
+    "resolve_all",
+]

@@ -1,0 +1,19 @@
+"""Errors raised by the XPointer processor."""
+
+from __future__ import annotations
+
+
+class XPointerError(Exception):
+    """Base class for XPointer errors."""
+
+
+class XPointerSyntaxError(XPointerError):
+    """The pointer string does not match the XPointer grammar."""
+
+
+class XPointerResolutionError(XPointerError):
+    """The pointer is well-formed but identifies nothing in the target.
+
+    Raised only by :func:`repro.xpointer.resolve` (the strict API);
+    :func:`repro.xpointer.resolve_all` returns an empty list instead.
+    """

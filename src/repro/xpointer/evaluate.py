@@ -1,0 +1,149 @@
+"""Evaluate parsed pointers against a document.
+
+The ``xpointer()`` scheme reuses the :mod:`repro.xmlcore.path` engine for
+its step syntax, extended with the two rooted forms the spec makes common:
+``id('x')/...`` anchors at the element with that ID, and a leading ``/``
+anchors at the document root.  ``xmlns()`` bindings translate prefixed name
+tests into the Clark notation the path engine matches exactly.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.xmlcore.dom import Document, Element
+
+from .errors import XPointerResolutionError, XPointerSyntaxError
+from .model import (
+    ElementSchemePart,
+    Pointer,
+    ShorthandPointer,
+    XmlnsSchemePart,
+    XPointerSchemePart,
+)
+from .parse import parse_pointer
+
+from repro.xmlcore.path import XmlPathError, query
+
+_ID_CALL_RE = re.compile(r"^id\(\s*(?:'([^']*)'|\"([^\"]*)\")\s*\)\s*(?:/(.*))?$")
+_PREFIXED_NAME_RE = re.compile(r"(?<![\w}])([A-Za-z_][\w.\-]*):(?=[A-Za-z_*])")
+
+
+def resolve_all(document: Document, pointer: Pointer | str) -> list[Element]:
+    """All elements the pointer identifies; empty list when none do."""
+    if isinstance(pointer, str):
+        pointer = parse_pointer(pointer)
+    if pointer.is_shorthand:
+        return _resolve_shorthand(document, pointer.shorthand)
+    bindings: dict[str, str] = {}
+    for part in pointer.parts:
+        if isinstance(part, XmlnsSchemePart):
+            bindings[part.prefix] = part.uri
+            continue
+        if isinstance(part, ElementSchemePart):
+            found = _resolve_element_scheme(document, part)
+        elif isinstance(part, XPointerSchemePart):
+            found = _resolve_xpointer_scheme(document, part, bindings)
+        else:  # pragma: no cover - exhaustive over SchemePart
+            found = []
+        if found:
+            # First part that identifies something wins (XPointer framework).
+            return found
+    return []
+
+
+def resolve(document: Document, pointer: Pointer | str) -> Element:
+    """The single element the pointer identifies (strict).
+
+    Raises :class:`XPointerResolutionError` when the pointer matches nothing
+    or more than one element, which is what link traversal needs: an arc
+    must land somewhere specific.
+    """
+    found = resolve_all(document, pointer)
+    if not found:
+        raise XPointerResolutionError(f"pointer matches nothing: {pointer}")
+    if len(found) > 1:
+        raise XPointerResolutionError(
+            f"pointer is ambiguous ({len(found)} matches): {pointer}"
+        )
+    return found[0]
+
+
+# -- scheme evaluation -------------------------------------------------------
+
+
+def _resolve_shorthand(document: Document, part: ShorthandPointer) -> list[Element]:
+    element = document.element_by_id(part.name)
+    return [element] if element is not None else []
+
+
+def _resolve_element_scheme(
+    document: Document, part: ElementSchemePart
+) -> list[Element]:
+    current: Element
+    sequence = part.child_sequence
+    if part.element_id is not None:
+        anchor = document.element_by_id(part.element_id)
+        if anchor is None:
+            return []
+        current = anchor
+    else:
+        # A leading /1 selects the document element.
+        if not sequence or sequence[0] != 1:
+            return []
+        try:
+            current = document.root_element
+        except Exception:
+            return []
+        sequence = sequence[1:]
+    for ordinal in sequence:
+        children = current.child_elements()
+        if ordinal > len(children):
+            return []
+        current = children[ordinal - 1]
+    return [current]
+
+
+def _resolve_xpointer_scheme(
+    document: Document, part: XPointerSchemePart, bindings: dict[str, str]
+) -> list[Element]:
+    expression = part.expression.strip()
+    context: Document | Element = document
+
+    id_match = _ID_CALL_RE.match(expression)
+    if id_match:
+        wanted = id_match.group(1) if id_match.group(1) is not None else id_match.group(2)
+        anchor = document.element_by_id(wanted)
+        if anchor is None:
+            return []
+        remainder = id_match.group(3)
+        if not remainder:
+            return [anchor]
+        context = anchor
+        expression = remainder
+    elif expression.startswith("/"):
+        expression = expression.lstrip("/")
+        prefixless = "//" + expression if part.expression.startswith("//") else expression
+        expression = prefixless
+        context = document
+
+    expression = _apply_bindings(expression, bindings)
+    try:
+        results = query(context, expression)
+    except XmlPathError as exc:
+        raise XPointerSyntaxError(f"bad xpointer() expression: {exc}") from exc
+    return [item for item in results if isinstance(item, Element)]
+
+
+def _apply_bindings(expression: str, bindings: dict[str, str]) -> str:
+    """Rewrite ``prefix:name`` tests into Clark notation using xmlns() parts."""
+    if not bindings:
+        return expression
+
+    def substitute(match: re.Match[str]) -> str:
+        prefix = match.group(1)
+        if prefix not in bindings:
+            raise XPointerSyntaxError(f"undeclared pointer prefix: {prefix!r}")
+        return "{" + bindings[prefix] + "}"
+
+    return _PREFIXED_NAME_RE.sub(substitute, expression)

@@ -1,0 +1,84 @@
+"""The XPointer pointer model.
+
+A pointer is either a *shorthand* (a bare NCName naming an element by ID) or
+a sequence of *scheme-based pointer parts*.  We implement the three schemes
+the linking layer needs:
+
+- ``element(...)`` — an optional ID followed by a 1-based child sequence,
+  e.g. ``element(guitar/1/2)`` or ``element(/1/3)``.
+- ``xpointer(...)`` — an expression evaluated by :mod:`repro.xmlcore.path`,
+  optionally rooted at ``id('...')`` or at the document root with ``/``.
+- ``xmlns(...)`` — binds a prefix for subsequent ``xpointer()`` parts.
+
+Per the spec, parts are tried left to right and the first one that
+identifies a non-empty result wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class ShorthandPointer:
+    """A bare NCName: the element with that ID."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class ElementSchemePart:
+    """An ``element()`` scheme part: optional ID anchor plus child sequence."""
+
+    element_id: str | None
+    child_sequence: tuple[int, ...]
+
+    def __str__(self) -> str:
+        data = self.element_id or ""
+        if self.child_sequence:
+            data += "/" + "/".join(str(n) for n in self.child_sequence)
+        return f"element({data})"
+
+
+@dataclass(frozen=True, slots=True)
+class XPointerSchemePart:
+    """An ``xpointer()`` scheme part holding a path expression."""
+
+    expression: str
+
+    def __str__(self) -> str:
+        return f"xpointer({self.expression})"
+
+
+@dataclass(frozen=True, slots=True)
+class XmlnsSchemePart:
+    """An ``xmlns()`` part: binds *prefix* to *uri* for later parts."""
+
+    prefix: str
+    uri: str
+
+    def __str__(self) -> str:
+        return f"xmlns({self.prefix}={self.uri})"
+
+
+SchemePart = ElementSchemePart | XPointerSchemePart | XmlnsSchemePart
+
+
+@dataclass(frozen=True, slots=True)
+class Pointer:
+    """A parsed pointer: shorthand or a tuple of scheme parts."""
+
+    shorthand: ShorthandPointer | None = None
+    parts: tuple[SchemePart, ...] = field(default=())
+
+    @property
+    def is_shorthand(self) -> bool:
+        return self.shorthand is not None
+
+    def __str__(self) -> str:
+        if self.shorthand is not None:
+            return str(self.shorthand)
+        return "".join(str(part) for part in self.parts)

@@ -1,0 +1,124 @@
+"""Parse XPointer pointer strings into :class:`~repro.xpointer.model.Pointer`."""
+
+from __future__ import annotations
+
+from repro.xmlcore.names import is_valid_ncname
+
+from .errors import XPointerSyntaxError
+from .model import (
+    ElementSchemePart,
+    Pointer,
+    SchemePart,
+    ShorthandPointer,
+    XmlnsSchemePart,
+    XPointerSchemePart,
+)
+
+_KNOWN_SCHEMES = ("element", "xpointer", "xmlns")
+
+
+def parse_pointer(text: str) -> Pointer:
+    """Parse *text* (the fragment part of a URI reference, unescaped)."""
+    text = text.strip()
+    if not text:
+        raise XPointerSyntaxError("empty pointer")
+    if "(" not in text:
+        if not is_valid_ncname(text):
+            raise XPointerSyntaxError(f"not a valid shorthand pointer: {text!r}")
+        return Pointer(shorthand=ShorthandPointer(text))
+    return Pointer(parts=tuple(_parse_parts(text)))
+
+
+def _parse_parts(text: str) -> list[SchemePart]:
+    parts: list[SchemePart] = []
+    pos = 0
+    while pos < len(text):
+        while pos < len(text) and text[pos].isspace():
+            pos += 1
+        if pos >= len(text):
+            break
+        open_paren = text.find("(", pos)
+        if open_paren == -1:
+            raise XPointerSyntaxError(f"expected a scheme part at: {text[pos:]!r}")
+        scheme = text[pos:open_paren].strip()
+        if not is_valid_ncname(scheme):
+            raise XPointerSyntaxError(f"invalid scheme name: {scheme!r}")
+        data, pos = _read_scheme_data(text, open_paren)
+        parts.append(_build_part(scheme, data))
+    if not parts:
+        raise XPointerSyntaxError(f"no pointer parts in: {text!r}")
+    return parts
+
+
+def _read_scheme_data(text: str, open_paren: int) -> tuple[str, int]:
+    """Read the balanced, circumflex-escaped scheme data after *open_paren*."""
+    depth = 0
+    out: list[str] = []
+    pos = open_paren
+    while pos < len(text):
+        ch = text[pos]
+        if ch == "^":
+            if pos + 1 >= len(text) or text[pos + 1] not in "()^":
+                raise XPointerSyntaxError("'^' must escape '(', ')' or '^'")
+            out.append(text[pos + 1])
+            pos += 2
+            continue
+        if ch == "(":
+            depth += 1
+            if depth > 1:
+                out.append(ch)
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                return "".join(out), pos + 1
+            out.append(ch)
+        else:
+            out.append(ch)
+        pos += 1
+    raise XPointerSyntaxError("unbalanced parentheses in pointer")
+
+
+def _build_part(scheme: str, data: str) -> SchemePart:
+    if scheme == "element":
+        return _parse_element_scheme(data)
+    if scheme == "xpointer":
+        if not data.strip():
+            raise XPointerSyntaxError("empty xpointer() expression")
+        return XPointerSchemePart(data.strip())
+    if scheme == "xmlns":
+        prefix, eq, uri = data.partition("=")
+        if not eq:
+            raise XPointerSyntaxError(f"xmlns() needs prefix=uri, got {data!r}")
+        prefix, uri = prefix.strip(), uri.strip()
+        if not is_valid_ncname(prefix) or not uri:
+            raise XPointerSyntaxError(f"bad xmlns() binding: {data!r}")
+        return XmlnsSchemePart(prefix, uri)
+    raise XPointerSyntaxError(
+        f"unknown scheme {scheme!r} (supported: {', '.join(_KNOWN_SCHEMES)})"
+    )
+
+
+def _parse_element_scheme(data: str) -> ElementSchemePart:
+    data = data.strip()
+    if not data:
+        raise XPointerSyntaxError("empty element() pointer")
+    element_id: str | None = None
+    rest = data
+    if not data.startswith("/"):
+        element_id, slash, tail = data.partition("/")
+        if not is_valid_ncname(element_id):
+            raise XPointerSyntaxError(f"bad NCName in element(): {element_id!r}")
+        rest = "/" + tail if slash else ""
+    sequence: list[int] = []
+    if rest:
+        if not rest.startswith("/"):
+            raise XPointerSyntaxError(f"malformed element() data: {data!r}")
+        for chunk in rest[1:].split("/"):
+            if not chunk.isdigit() or int(chunk) < 1:
+                raise XPointerSyntaxError(
+                    f"child sequence steps must be positive integers: {chunk!r}"
+                )
+            sequence.append(int(chunk))
+    if element_id is None and not sequence:
+        raise XPointerSyntaxError("element() needs an ID or a child sequence")
+    return ElementSchemePart(element_id, tuple(sequence))

@@ -1,0 +1,117 @@
+"""Tests for the textual pointcut language."""
+
+import pytest
+
+from repro.aop import JoinPointKind, PointcutSyntaxError, parse_pointcut
+
+EXEC = JoinPointKind.METHOD_EXECUTION
+
+
+class Node:
+    pass
+
+
+class Index:
+    pass
+
+
+class TestPrimitives:
+    def test_execution(self):
+        pc = parse_pointcut("execution(Node.render)")
+        assert pc.matches_shadow(Node, "render", EXEC)
+
+    def test_quoted_pattern(self):
+        pc = parse_pointcut("execution('Node.render')")
+        assert pc.matches_shadow(Node, "render", EXEC)
+
+    def test_get_and_set(self):
+        assert parse_pointcut("get(Node.pos)").matches_shadow(
+            Node, "pos", JoinPointKind.FIELD_GET
+        )
+        assert parse_pointcut("set(Node.pos)").matches_shadow(
+            Node, "pos", JoinPointKind.FIELD_SET
+        )
+
+    def test_within(self):
+        assert parse_pointcut("within(Node)").matches_shadow(Node, "anything", EXEC)
+
+    def test_target_with_builtin_type(self):
+        pc = parse_pointcut("target(str)")
+        assert pc.has_dynamic_test
+
+    def test_target_with_user_type(self):
+        pc = parse_pointcut("target(Node)", types={"Node": Node})
+        assert pc.matches_shadow(Node, "render", EXEC)
+
+    def test_args_with_types(self):
+        pc = parse_pointcut("args(str, int)")
+        assert pc.has_dynamic_test
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(PointcutSyntaxError):
+            parse_pointcut("target(Mystery)")
+
+
+class TestOperators:
+    def test_and(self):
+        pc = parse_pointcut("execution(Node.*) && !execution(*.render)")
+        assert pc.matches_shadow(Node, "as_html", EXEC)
+        assert not pc.matches_shadow(Node, "render", EXEC)
+
+    def test_or(self):
+        pc = parse_pointcut("execution(Node.a) || execution(Index.b)")
+        assert pc.matches_shadow(Node, "a", EXEC)
+        assert pc.matches_shadow(Index, "b", EXEC)
+
+    def test_precedence_and_binds_tighter(self):
+        # a || b && c parses as a || (b && c)
+        pc = parse_pointcut(
+            "execution(Node.a) || execution(Index.*) && execution(*.b)"
+        )
+        assert pc.matches_shadow(Node, "a", EXEC)
+        assert pc.matches_shadow(Index, "b", EXEC)
+        assert not pc.matches_shadow(Index, "c", EXEC)
+
+    def test_parentheses_override(self):
+        pc = parse_pointcut(
+            "(execution(Node.a) || execution(Index.a)) && execution(*.a)"
+        )
+        assert pc.matches_shadow(Node, "a", EXEC)
+        assert not pc.matches_shadow(Node, "b", EXEC)
+
+    def test_nested_cflow(self):
+        pc = parse_pointcut("cflow(execution(Node.render) || execution(Index.show))")
+        assert pc.has_dynamic_test
+
+    def test_cflowbelow(self):
+        pc = parse_pointcut("cflowbelow(execution(Node.render))")
+        assert pc.has_dynamic_test
+
+    def test_double_negation(self):
+        pc = parse_pointcut("!!execution(Node.render)")
+        assert pc.matches_shadow(Node, "render", EXEC)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "execution()",
+            "execution(Node.render",
+            "mystery(Node.render)",
+            "execution(Node.a) &&",
+            "execution(Node.a) extra",
+            "&& execution(Node.a)",
+            "cflow(execution(Node.a)",
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(PointcutSyntaxError):
+            parse_pointcut(text)
+
+    def test_error_mentions_position_context(self):
+        with pytest.raises(PointcutSyntaxError) as info:
+            parse_pointcut("execution(Node.a) && mystery(b)")
+        assert "mystery" in str(info.value)

@@ -1,0 +1,181 @@
+"""Tests for pointcut matching (static shadows and dynamic residues)."""
+
+from repro.aop import (
+    JoinPoint,
+    JoinPointKind,
+    args,
+    execution,
+    field_get,
+    field_set,
+    target,
+    within,
+)
+from repro.aop.joinpoint import joinpoint_frame
+from repro.aop.pointcut import cflow, cflowbelow
+
+
+class Node:
+    def render(self):
+        pass
+
+    def as_html(self):
+        pass
+
+
+class PaintingNode(Node):
+    def render(self):
+        pass
+
+
+class Unrelated:
+    def render(self):
+        pass
+
+
+EXEC = JoinPointKind.METHOD_EXECUTION
+
+
+def jp_for(cls, name, kind=EXEC, target_obj=None, call_args=()):
+    return JoinPoint(kind, target_obj or cls(), cls, name, tuple(call_args), {})
+
+
+class TestExecutionPatterns:
+    def test_exact_match(self):
+        assert execution("Node.render").matches_shadow(Node, "render", EXEC)
+
+    def test_member_wildcard(self):
+        pc = execution("Node.*")
+        assert pc.matches_shadow(Node, "render", EXEC)
+        assert pc.matches_shadow(Node, "as_html", EXEC)
+
+    def test_class_wildcard(self):
+        assert execution("*.render").matches_shadow(Unrelated, "render", EXEC)
+
+    def test_bare_member_means_any_class(self):
+        assert execution("render").matches_shadow(Node, "render", EXEC)
+
+    def test_subclass_matches_base_pattern(self):
+        assert execution("Node.render").matches_shadow(PaintingNode, "render", EXEC)
+
+    def test_base_does_not_match_subclass_pattern(self):
+        assert not execution("PaintingNode.render").matches_shadow(Node, "render", EXEC)
+
+    def test_qualified_module_pattern(self):
+        pattern = f"{Node.__module__}.Node.render"
+        assert execution(pattern).matches_shadow(Node, "render", EXEC)
+
+    def test_kind_must_match(self):
+        assert not execution("Node.render").matches_shadow(
+            Node, "render", JoinPointKind.FIELD_GET
+        )
+
+    def test_partial_name_wildcards(self):
+        assert execution("Node.as_*").matches_shadow(Node, "as_html", EXEC)
+        assert not execution("Node.as_*").matches_shadow(Node, "render", EXEC)
+
+    def test_no_dynamic_residue(self):
+        assert not execution("Node.render").has_dynamic_test
+
+
+class TestFieldPatterns:
+    def test_get_kind(self):
+        pc = field_get("Node.position")
+        assert pc.matches_shadow(Node, "position", JoinPointKind.FIELD_GET)
+        assert not pc.matches_shadow(Node, "position", JoinPointKind.FIELD_SET)
+
+    def test_set_kind(self):
+        pc = field_set("Node.position")
+        assert pc.matches_shadow(Node, "position", JoinPointKind.FIELD_SET)
+
+
+class TestWithin:
+    def test_class_name(self):
+        assert within("Node").matches_shadow(Node, "anything", EXEC)
+
+    def test_module_pattern(self):
+        assert within(f"{Node.__module__}").matches_shadow(Node, "render", EXEC)
+
+    def test_non_matching(self):
+        assert not within("Painting*").matches_shadow(Unrelated, "render", EXEC)
+
+
+class TestTargetAndArgs:
+    def test_target_dynamic(self):
+        pc = target(PaintingNode)
+        assert pc.matches_dynamic(jp_for(PaintingNode, "render"))
+        assert not pc.matches_dynamic(jp_for(Unrelated, "render"))
+
+    def test_target_static_plausibility(self):
+        pc = target(PaintingNode)
+        assert pc.matches_shadow(Node, "render", EXEC)  # a Node may be a PaintingNode
+        assert not pc.matches_shadow(Unrelated, "render", EXEC)
+
+    def test_args_match(self):
+        pc = args(str, int)
+        assert pc.matches_dynamic(jp_for(Node, "render", call_args=("x", 1)))
+        assert pc.matches_dynamic(jp_for(Node, "render", call_args=("x", 1, "extra")))
+        assert not pc.matches_dynamic(jp_for(Node, "render", call_args=("x",)))
+        assert not pc.matches_dynamic(jp_for(Node, "render", call_args=(1, "x")))
+
+
+class TestCombinators:
+    def test_and(self):
+        pc = execution("Node.*") & ~execution("*.as_html")
+        assert pc.matches_shadow(Node, "render", EXEC)
+        assert not pc.matches_shadow(Node, "as_html", EXEC)
+
+    def test_or(self):
+        pc = execution("Node.render") | execution("Unrelated.render")
+        assert pc.matches_shadow(Node, "render", EXEC)
+        assert pc.matches_shadow(Unrelated, "render", EXEC)
+        assert not pc.matches_shadow(Node, "as_html", EXEC)
+
+    def test_not_static(self):
+        pc = ~execution("Node.render")
+        assert not pc.matches_shadow(Node, "render", EXEC)
+        assert pc.matches_shadow(Node, "as_html", EXEC)
+
+    def test_not_with_dynamic_inner_keeps_shadow(self):
+        pc = ~target(PaintingNode)
+        # Cannot rule the shadow out statically...
+        assert pc.matches_shadow(Node, "render", EXEC)
+        # ...but the dynamic test decides per join point.
+        assert not pc.matches_dynamic(jp_for(PaintingNode, "render"))
+        assert pc.matches_dynamic(jp_for(Unrelated, "render"))
+
+    def test_or_dynamic_requires_full_predicate(self):
+        # Node.render || target(PaintingNode): an Unrelated.render join
+        # point matches neither disjunct dynamically.
+        pc = execution("Node.render") | target(PaintingNode)
+        assert not pc.matches_dynamic(jp_for(Unrelated, "render"))
+        assert pc.matches_dynamic(jp_for(PaintingNode, "as_html"))
+
+
+class TestCflow:
+    def test_cflow_sees_enclosing_frame(self):
+        outer = jp_for(Node, "helper")
+        inner = jp_for(Node, "render")
+        pc = cflow(execution("Node.helper"))
+        with joinpoint_frame(outer):
+            with joinpoint_frame(inner):
+                assert pc.matches_dynamic(inner)
+        assert not pc.matches_dynamic(inner)
+
+    def test_cflow_includes_current_join_point(self):
+        jp = jp_for(Node, "render")
+        pc = cflow(execution("Node.render"))
+        with joinpoint_frame(jp):
+            assert pc.matches_dynamic(jp)
+
+    def test_cflowbelow_excludes_current(self):
+        jp = jp_for(Node, "render")
+        pc = cflowbelow(execution("Node.render"))
+        with joinpoint_frame(jp):
+            assert not pc.matches_dynamic(jp)
+
+    def test_cflowbelow_matches_recursive_frames(self):
+        first = jp_for(Node, "render")
+        second = jp_for(Node, "render")
+        pc = cflowbelow(execution("Node.render"))
+        with joinpoint_frame(first), joinpoint_frame(second):
+            assert pc.matches_dynamic(second)

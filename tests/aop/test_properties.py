@@ -1,0 +1,98 @@
+"""Property-based tests: pointcut boolean algebra laws.
+
+The pointcut combinators must behave like a boolean algebra over join
+point shadows — otherwise composing navigation pointcuts out of smaller
+ones (as the weaving layer does) would be unsound.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.aop import JoinPointKind, execution, field_get, field_set, within
+
+
+class Node:
+    pass
+
+
+class PaintingNode(Node):
+    pass
+
+
+class Index:
+    pass
+
+
+CLASSES = [Node, PaintingNode, Index]
+NAMES = ["render", "as_html", "next", "position"]
+KINDS = list(JoinPointKind)
+
+shadows = st.tuples(
+    st.sampled_from(CLASSES), st.sampled_from(NAMES), st.sampled_from(KINDS)
+)
+
+atomic = st.one_of(
+    st.builds(execution, st.sampled_from(["Node.*", "*.render", "Index.*", "*.as_*"])),
+    st.builds(field_get, st.sampled_from(["Node.position", "*.position"])),
+    st.builds(field_set, st.sampled_from(["Node.position", "*.*"])),
+    st.builds(within, st.sampled_from(["Node", "Painting*", "Index"])),
+)
+
+pointcuts = st.recursive(
+    atomic,
+    lambda children: st.one_of(
+        st.builds(lambda a, b: a & b, children, children),
+        st.builds(lambda a, b: a | b, children, children),
+        st.builds(lambda a: ~a, children),
+    ),
+    max_leaves=8,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(pointcuts, shadows)
+def test_double_negation(pc, shadow):
+    cls, name, kind = shadow
+    assert (~~pc).matches_shadow(cls, name, kind) == pc.matches_shadow(cls, name, kind)
+
+
+@settings(max_examples=300, deadline=None)
+@given(pointcuts, pointcuts, shadows)
+def test_and_is_conjunction(a, b, shadow):
+    cls, name, kind = shadow
+    assert (a & b).matches_shadow(cls, name, kind) == (
+        a.matches_shadow(cls, name, kind) and b.matches_shadow(cls, name, kind)
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(pointcuts, pointcuts, shadows)
+def test_or_is_disjunction(a, b, shadow):
+    cls, name, kind = shadow
+    assert (a | b).matches_shadow(cls, name, kind) == (
+        a.matches_shadow(cls, name, kind) or b.matches_shadow(cls, name, kind)
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(pointcuts, pointcuts, shadows)
+def test_de_morgan(a, b, shadow):
+    cls, name, kind = shadow
+    lhs = ~(a | b)
+    rhs = ~a & ~b
+    assert lhs.matches_shadow(cls, name, kind) == rhs.matches_shadow(cls, name, kind)
+
+
+@settings(max_examples=300, deadline=None)
+@given(pointcuts, shadows)
+def test_static_pointcuts_have_no_residue(pc, shadow):
+    # None of the atoms above carry dynamic tests, so no composition may.
+    assert not pc.has_dynamic_test
+    assert pc.cflow_inner_pointcuts() == []
+
+
+@settings(max_examples=300, deadline=None)
+@given(pointcuts, shadows)
+def test_excluded_middle_on_static_pointcuts(pc, shadow):
+    cls, name, kind = shadow
+    assert (pc | ~pc).matches_shadow(cls, name, kind)
+    assert not (pc & ~pc).matches_shadow(cls, name, kind)

@@ -1,0 +1,88 @@
+"""Tests for the shared museum fixture and the synthetic generator."""
+
+import pytest
+
+from repro.baselines import (
+    MUSEUM_PAINTERS,
+    build_museum_schema,
+    build_museum_store,
+    build_navigational_schema,
+    museum_fixture,
+    synthetic_museum,
+)
+
+
+class TestPaperMuseum:
+    def test_paper_paintings_present(self):
+        store = build_museum_store()
+        for painting_id in ("guitar", "guernica", "avignon"):
+            assert store.get("Painting", painting_id)
+
+    def test_painters_match_catalogue(self):
+        store = build_museum_store()
+        assert {p.entity_id for p in store.all("Painter")} == set(MUSEUM_PAINTERS)
+
+    def test_movements_created_once(self):
+        store = build_museum_store()
+        names = [m.entity_id for m in store.all("Movement")]
+        assert sorted(names) == ["cubism", "surrealism"]
+        assert len(names) == len(set(names))
+
+    def test_inverse_relationships_populated(self):
+        store = build_museum_store()
+        cubism = store.get("Movement", "cubism")
+        works = {p.entity_id for p in store.related(cubism, "includes")}
+        assert {"guitar", "guernica", "avignon", "violin", "clarinet"} == works
+
+    def test_fixture_wires_everything(self):
+        fixture = museum_fixture()
+        fixture.nav.validate()
+        assert len(fixture.contexts()) == 6  # 4 painters + 2 movements
+
+
+class TestAccessParameter:
+    def test_index_by_default(self):
+        fixture = museum_fixture()
+        context = fixture.contexts()["by-painter:picasso"]
+        assert context.access_structure.kind == "Index"
+
+    def test_igt_variant(self):
+        fixture = museum_fixture("indexed-guided-tour")
+        context = fixture.contexts()["by-painter:picasso"]
+        assert context.access_structure.kind == "IndexedGuidedTour"
+
+    def test_unknown_access_rejected(self):
+        with pytest.raises(ValueError):
+            build_navigational_schema(
+                build_museum_schema(), painting_access="teleporter"
+            )
+
+
+class TestSyntheticMuseum:
+    def test_shape(self):
+        fixture = synthetic_museum(3, 4, n_movements=2)
+        assert len(fixture.store.all("Painter")) == 3
+        assert len(fixture.store.all("Painting")) == 12
+        assert len(fixture.store.all("Movement")) == 2
+
+    def test_every_painting_attributed(self):
+        fixture = synthetic_museum(2, 3)
+        for painting in fixture.store.all("Painting"):
+            assert len(fixture.store.related(painting, "painted_by")) == 1
+
+    def test_contexts_cover_every_painting(self):
+        fixture = synthetic_museum(3, 5)
+        by_painter = {
+            name: ctx
+            for name, ctx in fixture.contexts().items()
+            if name.startswith("by-painter:")
+        }
+        members = sum(len(ctx) for ctx in by_painter.values())
+        assert members == 15
+
+    def test_deterministic(self):
+        a = synthetic_museum(2, 2)
+        b = synthetic_museum(2, 2)
+        assert [e.entity_id for e in a.store.all("Painting")] == [
+            e.entity_id for e in b.store.all("Painting")
+        ]

@@ -1,0 +1,91 @@
+"""Tests for the tangled baseline site (Figures 3–4 as generators)."""
+
+import pytest
+
+from repro.baselines import TangledMuseumSite, museum_fixture
+from repro.xmlcore import parse
+
+
+@pytest.fixture(scope="module")
+def fixture():
+    return museum_fixture()
+
+
+class TestSiteShape:
+    def test_page_inventory(self, fixture):
+        pages = TangledMuseumSite(fixture, "index").build()
+        assert len(pages) == 14
+        assert "index.html" in pages
+        assert "painter/picasso.html" in pages
+        assert "painting/guitar.html" in pages
+
+    def test_every_page_is_well_formed_xhtml(self, fixture):
+        for access in ("index", "indexed-guided-tour"):
+            for page in TangledMuseumSite(fixture, access).build().values():
+                parse(page.html)  # raises on malformed markup
+
+    def test_unknown_access_rejected(self, fixture):
+        with pytest.raises(ValueError):
+            TangledMuseumSite(fixture, "menu")
+
+
+class TestFigure3Shape:
+    def test_guitar_page_embeds_sibling_index(self, fixture):
+        pages = TangledMuseumSite(fixture, "index").build()
+        html = pages["painting/guitar.html"].html
+        assert "Guernica" in html
+        assert "Les Demoiselles" in html
+        assert "<h1>Guitar</h1>" in html
+
+    def test_index_page_has_no_tour_links(self, fixture):
+        pages = TangledMuseumSite(fixture, "index").build()
+        assert 'rel="next"' not in pages["painting/guitar.html"].html
+
+    def test_navigation_is_interleaved_with_content(self, fixture):
+        """The tangled property itself: anchors outside any <nav> region."""
+        html = TangledMuseumSite(fixture, "index").build()["painting/guitar.html"].html
+        assert "<nav" not in html
+        assert "<a href=" in html
+
+
+class TestFigure4Shape:
+    def test_tour_links_ordered_by_year(self, fixture):
+        pages = TangledMuseumSite(fixture, "indexed-guided-tour").build()
+        guitar = pages["painting/guitar.html"].html
+        assert 'rel="prev" href="../painting/avignon.html"' in guitar
+        assert 'rel="next" href="../painting/guernica.html"' in guitar
+
+    def test_first_of_tour_has_no_prev(self, fixture):
+        pages = TangledMuseumSite(fixture, "indexed-guided-tour").build()
+        assert 'rel="prev"' not in pages["painting/avignon.html"].html
+
+    def test_last_of_tour_has_no_next(self, fixture):
+        pages = TangledMuseumSite(fixture, "indexed-guided-tour").build()
+        assert 'rel="next"' not in pages["painting/guernica.html"].html
+
+    def test_singleton_contexts_gain_nothing(self, fixture):
+        """Painters with ordered siblings only; the home/painter pages are
+        identical across access structures — the change is confined to
+        painting pages (which is still 9 files)."""
+        before = TangledMuseumSite(fixture, "index").build()
+        after = TangledMuseumSite(fixture, "indexed-guided-tour").build()
+        assert before["index.html"].html == after["index.html"].html
+        assert (
+            before["painter/picasso.html"].html
+            == after["painter/picasso.html"].html
+        )
+
+
+class TestProviderNormalization:
+    def test_relative_links_resolve_across_directories(self, fixture):
+        provider = TangledMuseumSite(fixture, "index").provider()
+        page = provider.page("painting/guitar.html")
+        painter_anchor = next(a for a in page.anchors if a.label == "Pablo Picasso")
+        assert painter_anchor.href == "painter/picasso.html"
+
+    def test_missing_page(self, fixture):
+        from repro.navigation import NavigationError
+
+        provider = TangledMuseumSite(fixture, "index").provider()
+        with pytest.raises(NavigationError):
+            provider.page("painting/ghost.html")

@@ -1,0 +1,83 @@
+"""Tests for the repro.tools command-line interface."""
+
+import pytest
+
+from repro.core import NavigationSpec, default_museum_spec
+from repro.tools import main
+
+
+class TestSpecCommand:
+    def test_prints_artifact(self, capsys):
+        assert main(["spec", "--access", "index"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("[navigation]")
+        assert "access by-painter = index label=title" in out
+
+    def test_round_trips_through_from_text(self, capsys):
+        main(["spec", "--access", "indexed-guided-tour"])
+        out = capsys.readouterr().out
+        spec = NavigationSpec.from_text(out)
+        assert spec.to_text() == default_museum_spec("indexed-guided-tour").to_text()
+
+
+class TestBuildCommand:
+    @pytest.mark.parametrize("mechanism", ["tangled", "aspect", "xlink"])
+    def test_writes_site(self, tmp_path, capsys, mechanism):
+        out = tmp_path / mechanism
+        assert main(["build", "--mechanism", mechanism, "--out", str(out)]) == 0
+        assert (out / "index.html").exists()
+        assert "wrote 14 pages" in capsys.readouterr().out
+
+    def test_spec_file_input(self, tmp_path, capsys):
+        spec_file = tmp_path / "navigation.spec"
+        spec_file.write_text(default_museum_spec("indexed-guided-tour").to_text())
+        out = tmp_path / "site"
+        main(["build", "--mechanism", "aspect", "--spec-file", str(spec_file),
+              "--out", str(out)])
+        guitar = (out / "PaintingNode" / "guitar.html").read_text()
+        assert 'rel="next"' in guitar
+
+    def test_synthetic_size_flags(self, tmp_path, capsys):
+        out = tmp_path / "big"
+        main(["--painters", "2", "--paintings", "3", "build",
+              "--mechanism", "aspect", "--out", str(out)])
+        assert "wrote 9 pages" in capsys.readouterr().out  # 1 + 2 + 6
+
+    def test_tangled_rejects_guided_tour(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["build", "--mechanism", "tangled", "--access", "guided-tour",
+                  "--out", str(tmp_path / "x")])
+
+
+class TestDiffCommand:
+    def test_all_mechanisms_table(self, capsys):
+        assert main(["diff"]) == 0
+        out = capsys.readouterr().out
+        assert "tangled" in out and "xlink" in out and "aspect" in out
+
+    def test_single_mechanism(self, capsys):
+        main(["diff", "--mechanism", "aspect"])
+        out = capsys.readouterr().out
+        assert "aspect" in out and "tangled" not in out
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(SystemExit):
+            main(["diff", "--mechanism", "quantum"])
+
+
+class TestArtifactsCommand:
+    def test_writes_figures_7_to_9(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        assert main(["artifacts", "--out", str(out)]) == 0
+        assert (out / "picasso.xml").exists()
+        assert (out / "avignon.xml").exists()
+        links = (out / "links.xml").read_text()
+        assert 'xlink:type="extended"' in links
+
+    def test_written_artifacts_reparse(self, tmp_path):
+        from repro.xmlcore import parse_file
+
+        out = tmp_path / "artifacts"
+        main(["artifacts", "--access", "indexed-guided-tour", "--out", str(out)])
+        document = parse_file(str(out / "links.xml"))
+        assert document.root_element.name.local == "links"

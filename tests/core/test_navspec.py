@@ -1,0 +1,121 @@
+"""Tests for the navigation specification."""
+
+import pytest
+
+from repro.baselines import museum_fixture
+from repro.core import AccessChoice, NavigationSpec, default_museum_spec
+
+
+@pytest.fixture()
+def fixture():
+    return museum_fixture()
+
+
+class TestAccessChoice:
+    def test_builds_each_kind(self):
+        assert AccessChoice("index").build("x").kind == "Index"
+        assert AccessChoice("guided-tour").build("x").kind == "GuidedTour"
+        assert (
+            AccessChoice("indexed-guided-tour").build("x").kind == "IndexedGuidedTour"
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            AccessChoice("teleport")
+
+    def test_options_forwarded(self):
+        structure = AccessChoice("guided-tour", circular=True).build("x")
+        assert structure.circular
+
+
+class TestSpecContexts:
+    def test_only_selected_families_materialize(self, fixture):
+        spec = NavigationSpec().set_access("by-painter", "index")
+        contexts = spec.build_contexts(fixture)
+        assert all(name.startswith("by-painter:") for name in contexts)
+
+    def test_spec_overrides_schema_access_structure(self, fixture):
+        # The fixture's schema says "index"; the spec says otherwise and wins.
+        spec = NavigationSpec().set_access("by-painter", "indexed-guided-tour")
+        contexts = spec.build_contexts(fixture)
+        assert (
+            contexts["by-painter:picasso"].access_structure.kind
+            == "IndexedGuidedTour"
+        )
+
+    def test_multiple_families(self, fixture):
+        spec = (
+            NavigationSpec()
+            .set_access("by-painter", "index")
+            .set_access("by-movement", "guided-tour")
+        )
+        contexts = spec.build_contexts(fixture)
+        assert "by-painter:picasso" in contexts
+        assert "by-movement:cubism" in contexts
+
+
+class TestAnchors:
+    def test_context_anchors_for_member(self, fixture):
+        spec = default_museum_spec("index")
+        contexts = spec.build_contexts(fixture)
+        guitar = fixture.painting_node("guitar")
+        anchors = spec.anchors_for(guitar, contexts, fixture.nav)
+        rels = [a.rel for a in anchors]
+        assert rels.count("entry") == 2  # sibling index without self
+        assert rels.count("link") == 1   # painted_by
+
+    def test_igt_adds_prev_next(self, fixture):
+        spec = default_museum_spec("indexed-guided-tour")
+        contexts = spec.build_contexts(fixture)
+        guitar = fixture.painting_node("guitar")
+        rels = {a.rel for a in spec.anchors_for(guitar, contexts, fixture.nav)}
+        assert {"prev", "next"} <= rels
+
+    def test_non_member_gets_only_links(self, fixture):
+        spec = default_museum_spec("index")
+        contexts = spec.build_contexts(fixture)
+        picasso = fixture.painter_node("picasso")
+        anchors = spec.anchors_for(picasso, contexts, fixture.nav)
+        assert all(a.rel == "link" for a in anchors)
+        assert len(anchors) == 3  # his paintings
+
+    def test_home_anchors(self, fixture):
+        spec = default_museum_spec("index")
+        labels = [a.label for a in spec.home_anchors(fixture)]
+        assert labels == [
+            "Pablo Picasso",
+            "Georges Braque",
+            "Salvador Dali",
+            "Joan Miro",
+        ]
+
+    def test_anchors_deduplicated(self, fixture):
+        spec = default_museum_spec("index")
+        spec.expose("PaintingNode", "painted_by")  # exposed twice now
+        contexts = spec.build_contexts(fixture)
+        guitar = fixture.painting_node("guitar")
+        anchors = spec.anchors_for(guitar, contexts, fixture.nav)
+        links = [a for a in anchors if a.rel == "link"]
+        assert len(links) == 1
+
+
+class TestSpecAsArtifact:
+    def test_to_text_is_stable(self, fixture):
+        text = default_museum_spec("index").to_text()
+        assert text == default_museum_spec("index").to_text()
+
+    def test_change_request_is_one_line(self):
+        before = default_museum_spec("index").to_text().splitlines()
+        after = default_museum_spec("indexed-guided-tour").to_text().splitlines()
+        assert len(before) == len(after)
+        changed = [
+            (b, a) for b, a in zip(before, after) if b != a
+        ]
+        assert len(changed) == 1
+        assert "index" in changed[0][0] and "indexed-guided-tour" in changed[0][1]
+
+    def test_text_mentions_every_decision(self):
+        text = default_museum_spec("index").to_text()
+        assert "access by-painter = index" in text
+        assert "expose PaintingNode -> painted_by" in text
+        assert "home-index PainterNode" in text

@@ -1,0 +1,41 @@
+"""Tests for the separation policy (declare error in the paper's service)."""
+
+import pytest
+
+from repro.aop import WeavingError
+from repro.core import PageRenderer, SeparationPolicy, check_separation
+
+
+class TestSeparationPolicy:
+    def test_the_base_program_is_clean(self):
+        check_separation(PageRenderer)  # must not raise
+
+    def test_tangled_class_rejected(self):
+        class SneakyRenderer:
+            def render_page(self):
+                pass
+
+            def add_link_to_page(self, href):  # navigation creeping back in
+                pass
+
+        with pytest.raises(WeavingError) as info:
+            check_separation(SneakyRenderer)
+        assert "add_link_to_page" in str(info.value)
+        assert "navigation aspect" in str(info.value)
+
+    def test_extra_shapes_extend_the_policy(self):
+        class Renderer:
+            def emit_breadcrumbs(self):
+                pass
+
+        check_separation(Renderer)  # default policy tolerates it
+        with pytest.raises(WeavingError):
+            check_separation(Renderer, extra_shapes=("execution(*.emit_breadcrumb*)",))
+
+    def test_policy_leaves_no_trace(self):
+        before = dict(PageRenderer.__dict__)
+        check_separation(PageRenderer)
+        assert dict(PageRenderer.__dict__).keys() == before.keys()
+
+    def test_policy_aspect_validates_without_advice(self):
+        SeparationPolicy().validate()

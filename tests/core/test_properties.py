@@ -1,0 +1,65 @@
+"""Property-based tests for the core layer: the spec artifact round-trips."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ACCESS_KINDS, AccessChoice, NavigationSpec
+
+names = st.text(string.ascii_lowercase + "-", min_size=1, max_size=12).filter(
+    lambda s: s.strip("-") == s and s
+)
+
+
+@st.composite
+def specs(draw) -> NavigationSpec:
+    spec = NavigationSpec()
+    for family in draw(st.lists(names, max_size=3, unique=True)):
+        spec.access[family] = AccessChoice(
+            kind=draw(st.sampled_from(ACCESS_KINDS)),
+            label_attribute=draw(st.one_of(st.none(), st.just("title"))),
+            circular=draw(st.booleans()),
+        )
+    for node_class in draw(st.lists(names, max_size=2, unique=True)):
+        for link_class in draw(st.lists(names, min_size=1, max_size=2, unique=True)):
+            spec.expose(node_class, link_class)
+    for home in draw(st.lists(names, max_size=2, unique=True)):
+        spec.index_on_home(home)
+    return spec
+
+
+@settings(max_examples=200, deadline=None)
+@given(specs())
+def test_spec_text_round_trip(spec):
+    """from_text(to_text(spec)) reproduces the spec exactly."""
+    reparsed = NavigationSpec.from_text(spec.to_text())
+    assert reparsed.to_text() == spec.to_text()
+    # Structural equality, not just textual:
+    assert {f: c.kind for f, c in reparsed.access.items()} == {
+        f: c.kind for f, c in spec.access.items()
+    }
+    assert reparsed.expose_links == spec.expose_links
+    assert sorted(reparsed.home_indexes) == sorted(spec.home_indexes)
+
+
+@settings(max_examples=200, deadline=None)
+@given(specs())
+def test_to_text_is_deterministic(spec):
+    assert spec.to_text() == spec.to_text()
+
+
+@settings(max_examples=100, deadline=None)
+@given(specs(), st.sampled_from(ACCESS_KINDS), st.sampled_from(ACCESS_KINDS))
+def test_access_change_is_localized_in_the_artifact(spec, kind_a, kind_b):
+    """Changing one family's access never touches other lines of the spec."""
+    spec.set_access("target-family", kind_a)
+    before = spec.to_text().splitlines()
+    spec.set_access("target-family", kind_b)
+    after = spec.to_text().splitlines()
+    assert len(before) == len(after)
+    differing = [i for i, (b, a) in enumerate(zip(before, after)) if b != a]
+    if kind_a == kind_b:
+        assert differing == []
+    else:
+        assert len(differing) == 1
+        assert "target-family" in before[differing[0]]

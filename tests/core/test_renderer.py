@@ -1,0 +1,60 @@
+"""Tests for the base program: content-only rendering."""
+
+import pytest
+
+from repro.baselines import museum_fixture
+from repro.core import PageRenderer, build_plain_site
+
+
+@pytest.fixture()
+def fixture():
+    return museum_fixture()
+
+
+@pytest.fixture()
+def renderer(fixture):
+    return PageRenderer(fixture)
+
+
+class TestContentOnlyPages:
+    def test_node_page_has_title_and_heading(self, renderer, fixture):
+        page = renderer.render_node(fixture.painting_node("guitar"))
+        assert page.title == "Guitar"
+        assert page.tree.find("h1").text_content() == "Guitar"
+
+    def test_node_page_has_no_anchors(self, renderer, fixture):
+        page = renderer.render_node(fixture.painting_node("guitar"))
+        assert page.anchors() == []
+
+    def test_painting_page_shows_image_and_details(self, renderer, fixture):
+        page = renderer.render_node(fixture.painting_node("guernica"))
+        assert page.tree.find("img") is not None
+        details = page.tree.find("dl").text_content()
+        assert "1937" in details and "cubism" in details
+
+    def test_painter_page_has_no_image(self, renderer, fixture):
+        page = renderer.render_node(fixture.painter_node("picasso"))
+        assert page.tree.find("img") is None
+
+    def test_home_page_is_anchor_free(self, renderer):
+        page = renderer.render_home()
+        assert page.path == "index.html"
+        assert page.anchors() == []
+
+
+class TestSiteAssembly:
+    def test_inventory_covers_all_node_classes(self, renderer):
+        nodes = renderer.node_inventory()
+        classes = {n.node_class.name for n in nodes}
+        assert classes == {"PainterNode", "PaintingNode"}
+        assert len(nodes) == 13  # 4 painters + 9 paintings
+
+    def test_plain_site_is_entirely_anchor_free(self, fixture):
+        site = build_plain_site(fixture)
+        assert len(site) == 14
+        assert sum(len(p.anchors()) for p in site.pages()) == 0
+
+    def test_page_paths_follow_node_uris(self, fixture):
+        site = build_plain_site(fixture)
+        assert "PaintingNode/guitar.html" in site
+        assert "PainterNode/picasso.html" in site

@@ -1,0 +1,87 @@
+"""Tests for the XML navigation artifact with embedded pointcuts (§7)."""
+
+import pytest
+
+from repro.aop import PointcutSyntaxError
+from repro.core import (
+    AccessChoice,
+    NavigationSpec,
+    PageRenderer,
+    default_museum_spec,
+    spec_from_xml,
+    spec_to_xml,
+)
+from repro.xmlcore import serialize
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", ["index", "guided-tour", "indexed-guided-tour"])
+    def test_default_specs_round_trip(self, kind):
+        spec = default_museum_spec(kind)
+        reparsed, __, __ = spec_from_xml(serialize(spec_to_xml(spec)))
+        assert reparsed.to_text() == spec.to_text()
+
+    def test_options_preserved(self):
+        spec = NavigationSpec()
+        spec.access["by-x"] = AccessChoice(
+            "guided-tour", label_attribute=None, circular=True, embed_entries=False
+        )
+        spec.access["by-y"] = AccessChoice("index", embed_entries=True)
+        reparsed, __, __ = spec_from_xml(serialize(spec_to_xml(spec)))
+        assert reparsed.access["by-x"].circular
+        assert reparsed.access["by-x"].label_attribute is None
+        assert reparsed.access["by-y"].embed_entries
+
+    def test_custom_pointcuts_travel(self):
+        spec = default_museum_spec("index")
+        doc = spec_to_xml(spec, node_pointcut="execution(*.render_node)")
+        __, node_pc, home_pc = spec_from_xml(serialize(doc))
+        assert node_pc == "execution(*.render_node)"
+        assert "render_home" in home_pc
+
+
+class TestValidation:
+    def test_pointcuts_checked_against_renderer(self):
+        spec = default_museum_spec("index")
+        doc = spec_to_xml(spec, node_pointcut="execution(Ghost.render)")
+        with pytest.raises(ValueError) as info:
+            spec_from_xml(serialize(doc), validate_against=PageRenderer)
+        assert "matches no join point" in str(info.value)
+
+    def test_malformed_pointcut_rejected(self):
+        spec = default_museum_spec("index")
+        doc = spec_to_xml(spec, node_pointcut="execution(unclosed")
+        with pytest.raises(PointcutSyntaxError):
+            spec_from_xml(serialize(doc))
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ValueError):
+            spec_from_xml("<not-navigation/>")
+
+    def test_missing_attributes_rejected(self):
+        text = (
+            '<navigation xmlns="urn:repro:navigation">'
+            '<access family="by-x"/></navigation>'
+        )
+        with pytest.raises(ValueError):
+            spec_from_xml(text)
+
+    def test_unknown_element_rejected(self):
+        text = (
+            '<navigation xmlns="urn:repro:navigation">'
+            "<teleporter/></navigation>"
+        )
+        with pytest.raises(ValueError):
+            spec_from_xml(text)
+
+
+class TestArtifactUse:
+    def test_loaded_spec_builds_the_site(self):
+        from repro.baselines import museum_fixture
+        from repro.core import build_woven_site
+
+        xml_text = serialize(spec_to_xml(default_museum_spec("indexed-guided-tour")))
+        spec, __, __ = spec_from_xml(xml_text, validate_against=PageRenderer)
+        site = build_woven_site(museum_fixture(), spec)
+        rels = {a.rel for a in site.page("PaintingNode/guitar.html").anchors()}
+        assert "next" in rels

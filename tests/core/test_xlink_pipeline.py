@@ -1,0 +1,226 @@
+"""Tests for the XLink export/import pipeline (Figures 7–9)."""
+
+import pytest
+
+from repro.baselines import museum_fixture
+from repro.core import (
+    NAV_ENTRY_ARCROLE,
+    NAV_NEXT_ARCROLE,
+    build_woven_site,
+    build_xlink_site,
+    default_museum_spec,
+    export_data_documents,
+    export_linkbase,
+    export_museum_space,
+    linkbase_text,
+)
+from repro.navigation import UserAgent
+from repro.xlink import Linkbase, Severity, find_links
+from repro.xmlcore import serialize
+
+
+@pytest.fixture()
+def fixture():
+    return museum_fixture()
+
+
+class TestDataDocuments:
+    def test_one_document_per_entity(self, fixture):
+        documents = export_data_documents(fixture)
+        assert "picasso.xml" in documents and "avignon.xml" in documents
+        assert len(documents) == 13
+
+    def test_figure_7_shape_painter_document(self, fixture):
+        """picasso.xml: painter data, no links (Figure 7)."""
+        doc = export_data_documents(fixture)["picasso.xml"]
+        root = doc.root_element
+        assert root.name.local == "painter"
+        assert root.get("id") == "picasso"
+        assert root.find("name").text_content() == "Pablo Picasso"
+        assert find_links(doc) == []
+
+    def test_figure_8_shape_painting_document(self, fixture):
+        """avignon.xml: painting data, no links (Figure 8)."""
+        root = export_data_documents(fixture)["avignon.xml"].root_element
+        assert root.name.local == "painting"
+        assert root.find("title").text_content() == "Les Demoiselles d'Avignon"
+        assert root.find("year").text_content() == "1907"
+        assert find_links(root) == []
+
+    def test_data_documents_independent_of_access_structure(self, fixture):
+        """The separation promise: the change request leaves data untouched."""
+        before = {
+            uri: serialize(doc)
+            for uri, doc in export_data_documents(fixture).items()
+        }
+        after = {
+            uri: serialize(doc)
+            for uri, doc in export_data_documents(fixture).items()
+        }
+        assert before == after
+
+
+class TestLinkbase:
+    def test_figure_9_links_live_apart_from_data(self, fixture):
+        linkbase_doc = export_linkbase(fixture, default_museum_spec("index"))
+        links = find_links(linkbase_doc)
+        assert links, "linkbase must contain extended links"
+        # Every link in the linkbase is extended (out-of-line), never simple.
+        assert all(type(l).__name__ == "ExtendedLink" for l in links)
+
+    def test_linkbase_validates_cleanly(self, fixture):
+        for kind in ("index", "guided-tour", "indexed-guided-tour"):
+            doc = export_linkbase(fixture, default_museum_spec(kind))
+            lb = Linkbase.from_document("links.xml", doc)
+            errors = [i for i in lb.validate() if i.severity is Severity.ERROR]
+            assert errors == [], kind
+
+    def test_index_encoded_as_open_arc(self, fixture):
+        doc = export_linkbase(fixture, default_museum_spec("index"))
+        lb = Linkbase.from_document("links.xml", doc)
+        context_links = [
+            l for l in lb.extended_links() if l.role == "urn:repro:nav:context"
+        ]
+        assert context_links
+        for link in context_links:
+            (arc,) = link.arcs
+            assert arc.from_label is None and arc.to_label is None
+            assert arc.arcrole == NAV_ENTRY_ARCROLE
+
+    def test_guided_tour_encoded_as_adjacent_arcs(self, fixture):
+        doc = export_linkbase(fixture, default_museum_spec("guided-tour"))
+        lb = Linkbase.from_document("links.xml", doc)
+        picasso = next(
+            l for l in lb.extended_links() if l.title == "by-painter:picasso"
+        )
+        next_arcs = [a for a in picasso.arcs if a.arcrole == NAV_NEXT_ARCROLE]
+        # 3 paintings -> 2 next arcs, each between adjacent member labels.
+        assert [(a.from_label, a.to_label) for a in next_arcs] == [
+            ("m0", "m1"),
+            ("m1", "m2"),
+        ]
+
+    def test_change_request_touches_only_linkbase(self, fixture):
+        space_before = export_museum_space(fixture, default_museum_spec("index"))
+        space_after = export_museum_space(
+            fixture, default_museum_spec("indexed-guided-tour")
+        )
+        assert space_before.uris() == space_after.uris()
+        for uri in space_before.uris():
+            before_text = serialize(space_before.document(uri))
+            after_text = serialize(space_after.document(uri))
+            if uri == "links.xml":
+                assert before_text != after_text
+            else:
+                assert before_text == after_text, uri
+
+    def test_linkbase_text_is_parseable_xml(self, fixture):
+        from repro.xmlcore import parse
+
+        text = linkbase_text(fixture, default_museum_spec("index"))
+        assert parse(text).root_element.name.local == "links"
+
+
+class TestXLinkSite:
+    def test_site_has_page_per_data_document_plus_home(self, fixture):
+        site = build_xlink_site(fixture, default_museum_spec("index"))
+        assert len(site) == 14
+        assert "index.html" in site and "guitar.html" in site
+
+    def test_no_dangling_links(self, fixture):
+        site = build_xlink_site(fixture, default_museum_spec("indexed-guided-tour"))
+        assert site.check_links() == []
+
+    def test_browsing_matches_woven_semantics(self, fixture):
+        """The two composition mechanisms agree on where Next goes."""
+        xlink_site = build_xlink_site(
+            fixture, default_museum_spec("indexed-guided-tour")
+        )
+        woven_site = build_woven_site(
+            fixture, default_museum_spec("indexed-guided-tour")
+        )
+
+        xlink_agent = UserAgent(xlink_site.provider())
+        xlink_agent.open("guitar.html")
+        woven_agent = UserAgent(woven_site.provider())
+        woven_agent.open("PaintingNode/guitar.html")
+
+        assert xlink_agent.follow_rel("next").title == woven_agent.follow_rel(
+            "next"
+        ).title
+
+    def test_anchor_shape_per_access_structure(self, fixture):
+        index_site = build_xlink_site(fixture, default_museum_spec("index"))
+        igt_site = build_xlink_site(
+            fixture, default_museum_spec("indexed-guided-tour")
+        )
+        index_rels = {
+            a.rel for a in index_site.page("guitar.html").anchors()
+        }
+        igt_rels = {a.rel for a in igt_site.page("guitar.html").anchors()}
+        assert "next" not in index_rels
+        assert {"entry", "prev", "next"} <= igt_rels
+
+    def test_painting_pages_show_stylesheet_content(self, fixture):
+        site = build_xlink_site(fixture, default_museum_spec("index"))
+        page = site.page("guernica.html")
+        assert page.tree.find("h1").text_content() == "Guernica"
+        assert "1937" in page.tree.find("dl").text_content()
+
+
+class TestShowAndActuate:
+    def test_tour_arcs_carry_show_replace(self, fixture):
+        doc = export_linkbase(fixture, default_museum_spec("guided-tour"))
+        lb = Linkbase.from_document("links.xml", doc)
+        from repro.xlink import Actuate, Show
+
+        for link in lb.extended_links():
+            for arc in link.arcs:
+                if arc.arcrole == NAV_NEXT_ARCROLE:
+                    assert arc.show is Show.REPLACE
+                    assert arc.actuate is Actuate.ON_REQUEST
+
+    def test_embed_entries_exported_with_show_embed(self, fixture):
+        from repro.core import AccessChoice, NavigationSpec
+        from repro.xlink import Actuate, Show
+
+        spec = NavigationSpec()
+        spec.access["by-painter"] = AccessChoice(
+            "index", label_attribute="title", embed_entries=True
+        )
+        doc = export_linkbase(fixture, spec)
+        lb = Linkbase.from_document("links.xml", doc)
+        entry_arcs = [
+            arc
+            for link in lb.extended_links()
+            for arc in link.arcs
+            if arc.arcrole == NAV_ENTRY_ARCROLE
+        ]
+        assert entry_arcs
+        assert all(a.show is Show.EMBED for a in entry_arcs)
+        assert all(a.actuate is Actuate.ON_LOAD for a in entry_arcs)
+
+    def test_embedded_entries_transcluded_not_linked(self, fixture):
+        from repro.core import AccessChoice, NavigationSpec, XLinkSiteBuilder
+
+        spec = NavigationSpec()
+        spec.access["by-painter"] = AccessChoice(
+            "index", label_attribute="title", embed_entries=True
+        )
+        site = XLinkSiteBuilder(export_museum_space(fixture, spec)).build()
+        guitar = site.page("guitar.html")
+        sources = {a.get("data-source") for a in guitar.tree.findall("aside")}
+        assert sources == {"avignon.xml", "guernica.xml"}
+        assert guitar.anchors() == []  # embeds replace the anchors
+
+    def test_embedded_content_is_one_level_deep(self, fixture):
+        from repro.core import AccessChoice, NavigationSpec, XLinkSiteBuilder
+
+        spec = NavigationSpec()
+        spec.access["by-painter"] = AccessChoice(
+            "index", label_attribute="title", embed_entries=True
+        )
+        site = XLinkSiteBuilder(export_museum_space(fixture, spec)).build()
+        guitar = site.page("guitar.html")
+        for aside in guitar.tree.findall("aside"):
+            assert aside.findall("aside") == []

@@ -1,0 +1,141 @@
+"""Tests for access structures: Index, GuidedTour, IndexedGuidedTour, Menu."""
+
+import pytest
+
+from repro.baselines import museum_fixture
+from repro.hypermedia import (
+    GuidedTour,
+    Index,
+    IndexedGuidedTour,
+    Menu,
+    NavigationError,
+)
+
+
+@pytest.fixture()
+def members():
+    fixture = museum_fixture()
+    # Picasso's paintings ordered by year: avignon (1907), guitar (1913),
+    # guernica (1937).
+    return [
+        fixture.painting_node(pid) for pid in ("avignon", "guitar", "guernica")
+    ]
+
+
+class TestIndex:
+    def test_entries_one_anchor_per_member(self, members):
+        index = Index(name="paintings", label_attribute="title")
+        entries = index.entries(members)
+        assert [a.label for a in entries] == [
+            "Les Demoiselles d'Avignon",
+            "Guitar",
+            "Guernica",
+        ]
+        assert all(a.rel == "entry" for a in entries)
+
+    def test_embedded_index_excludes_self(self, members):
+        index = Index(name="paintings", label_attribute="title")
+        anchors = index.anchors_on(members[1], members)
+        assert [a.label for a in anchors] == ["Les Demoiselles d'Avignon", "Guernica"]
+
+    def test_non_embedded_index_links_back(self, members):
+        index = Index(
+            name="paintings",
+            label_attribute="title",
+            embed_in_members=False,
+            index_uri="paintings/index.html",
+        )
+        anchors = index.anchors_on(members[0], members)
+        assert anchors == [
+            type(anchors[0])("paintings", "paintings/index.html", "index")
+        ]
+
+    def test_label_falls_back_to_node_id(self, members):
+        index = Index(name="paintings")  # no label attribute
+        entries = index.entries(members)
+        assert [a.label for a in entries] == ["avignon", "guitar", "guernica"]
+
+    def test_non_member_rejected(self, members):
+        index = Index(name="paintings")
+        outsider = museum_fixture().painting_node("memory")
+        with pytest.raises(NavigationError):
+            index.anchors_on(outsider, members)
+
+
+class TestGuidedTour:
+    def test_middle_member_has_prev_and_next(self, members):
+        tour = GuidedTour(name="tour")
+        anchors = tour.anchors_on(members[1], members)
+        rels = {a.rel: a.href for a in anchors}
+        assert rels["prev"] == members[0].uri
+        assert rels["next"] == members[2].uri
+
+    def test_first_member_has_no_prev(self, members):
+        tour = GuidedTour(name="tour")
+        rels = [a.rel for a in tour.anchors_on(members[0], members)]
+        assert rels == ["next"]
+
+    def test_last_member_has_no_next(self, members):
+        tour = GuidedTour(name="tour")
+        rels = [a.rel for a in tour.anchors_on(members[2], members)]
+        assert rels == ["prev"]
+
+    def test_circular_tour_wraps(self, members):
+        tour = GuidedTour(name="tour", circular=True)
+        first = {a.rel: a.href for a in tour.anchors_on(members[0], members)}
+        last = {a.rel: a.href for a in tour.anchors_on(members[2], members)}
+        assert first["prev"] == members[2].uri
+        assert last["next"] == members[0].uri
+
+    def test_entry_is_tour_start(self, members):
+        tour = GuidedTour(name="tour", label_attribute="title")
+        (entry,) = tour.entries(members)
+        assert entry.rel == "start"
+        assert entry.href == members[0].uri
+
+    def test_empty_tour_has_no_entry(self):
+        assert GuidedTour(name="tour").entries([]) == []
+
+    def test_singleton_tour_has_no_neighbours(self, members):
+        tour = GuidedTour(name="tour", circular=True)
+        assert tour.anchors_on(members[0], [members[0]]) == []
+
+
+class TestIndexedGuidedTour:
+    def test_combines_index_and_tour_anchors(self, members):
+        igt = IndexedGuidedTour(name="paintings", label_attribute="title")
+        anchors = igt.anchors_on(members[1], members)
+        rels = [a.rel for a in anchors]
+        assert rels == ["entry", "entry", "prev", "next"]
+
+    def test_figure_4_shape_two_extra_anchors(self, members):
+        """The paper's change: IGT adds exactly prev/next over Index."""
+        index = Index(name="paintings", label_attribute="title")
+        igt = IndexedGuidedTour(name="paintings", label_attribute="title")
+        for member in members:
+            plain = index.anchors_on(member, members)
+            extended = igt.anchors_on(member, members)
+            extra = [a for a in extended if a.rel in ("prev", "next")]
+            assert len(extended) == len(plain) + len(extra)
+            assert 1 <= len(extra) <= 2
+
+    def test_entries_match_plain_index(self, members):
+        igt = IndexedGuidedTour(name="paintings", label_attribute="title")
+        index = Index(name="paintings", label_attribute="title")
+        assert igt.entries(members) == index.entries(members)
+
+    def test_circular_variant(self, members):
+        igt = IndexedGuidedTour(name="paintings", circular=True)
+        rels = [a.rel for a in igt.anchors_on(members[0], members)]
+        assert "prev" in rels and "next" in rels
+
+
+class TestMenu:
+    def test_static_items_everywhere(self, members):
+        menu = Menu(name="main").add("Home", "index.html").add("About", "about.html")
+        assert [a.label for a in menu.entries(members)] == ["Home", "About"]
+        assert [a.label for a in menu.anchors_on(members[0], members)] == [
+            "Home",
+            "About",
+        ]
+        assert all(a.rel == "menu" for a in menu.entries(members))

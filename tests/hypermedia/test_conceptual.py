@@ -1,0 +1,141 @@
+"""Tests for the conceptual schema and instance store."""
+
+import pytest
+
+from repro.hypermedia import (
+    Cardinality,
+    ConceptualSchema,
+    InstanceError,
+    InstanceStore,
+    SchemaError,
+)
+from repro.baselines import build_museum_schema, build_museum_store
+
+
+class TestSchemaConstruction:
+    def test_add_class_with_mixed_attribute_forms(self):
+        schema = ConceptualSchema()
+        cls = schema.add_class("Painting", ["title", ("year", int), ("movement", str)])
+        assert cls.attribute_names() == ["title", "year", "movement"]
+
+    def test_duplicate_class_rejected(self):
+        schema = ConceptualSchema()
+        schema.add_class("Painter")
+        with pytest.raises(SchemaError):
+            schema.add_class("Painter")
+
+    def test_relationship_requires_known_classes(self):
+        schema = ConceptualSchema()
+        schema.add_class("Painter")
+        with pytest.raises(SchemaError):
+            schema.add_relationship("paints", "Painter", "Painting")
+
+    def test_inverse_relationship_materialized(self):
+        schema = build_museum_schema()
+        inverse = schema.relationship("painted_by")
+        assert inverse.source == "Painting"
+        assert inverse.target == "Painter"
+        assert inverse.inverse == "paints"
+
+    def test_duplicate_relationship_rejected(self):
+        schema = build_museum_schema()
+        with pytest.raises(SchemaError):
+            schema.add_relationship("paints", "Painter", "Painting")
+
+    def test_relationships_from(self):
+        schema = build_museum_schema()
+        names = {r.name for r in schema.relationships_from("Painting")}
+        assert names == {"painted_by", "belongs_to"}
+
+    def test_unknown_lookups_raise(self):
+        schema = ConceptualSchema()
+        with pytest.raises(SchemaError):
+            schema.cls("Ghost")
+        with pytest.raises(SchemaError):
+            schema.relationship("ghosts")
+
+
+class TestInstanceStore:
+    @pytest.fixture()
+    def store(self):
+        return build_museum_store()
+
+    def test_entities_created_and_fetched(self, store):
+        assert store.get("Painting", "guitar").get("title") == "Guitar"
+
+    def test_all_preserves_creation_order(self, store):
+        ids = [e.entity_id for e in store.all("Painter")]
+        assert ids == ["picasso", "braque", "dali", "miro"]
+
+    def test_duplicate_id_rejected(self, store):
+        with pytest.raises(InstanceError):
+            store.create("Painter", "picasso", name="Again")
+
+    def test_unknown_attribute_rejected(self, store):
+        with pytest.raises(InstanceError):
+            store.create("Painter", "new", name="X", birthplace="Malaga")
+
+    def test_required_attribute_enforced(self, store):
+        with pytest.raises(SchemaError):
+            store.create("Painter", "anon")
+
+    def test_attribute_type_enforced(self, store):
+        with pytest.raises(SchemaError):
+            store.create("Painting", "bad", title="T", year="not-a-year")
+
+    def test_related_follows_relationship(self, store):
+        picasso = store.get("Painter", "picasso")
+        titles = {p.get("title") for p in store.related(picasso, "paints")}
+        assert "Guernica" in titles and len(titles) == 3
+
+    def test_inverse_maintained_automatically(self, store):
+        guitar = store.get("Painting", "guitar")
+        painters = store.related(guitar, "painted_by")
+        assert [p.entity_id for p in painters] == ["picasso"]
+
+    def test_relate_rejects_wrong_classes(self, store):
+        picasso = store.get("Painter", "picasso")
+        dali = store.get("Painter", "dali")
+        with pytest.raises(InstanceError):
+            store.relate(picasso, "paints", dali)
+
+    def test_relate_is_idempotent(self, store):
+        picasso = store.get("Painter", "picasso")
+        guitar = store.get("Painting", "guitar")
+        store.relate(picasso, "paints", guitar)  # already related
+        assert len(store.related(picasso, "paints")) == 3
+
+    def test_single_valued_relationship_enforced(self):
+        schema = ConceptualSchema()
+        schema.add_class("Museum", [("name", str)])
+        schema.add_class("Director", [("name", str)])
+        schema.add_relationship(
+            "directed_by", "Museum", "Director", cardinality=Cardinality.ONE
+        )
+        store = InstanceStore(schema)
+        museum = store.create("Museum", "prado")
+        first = store.create("Director", "d1")
+        second = store.create("Director", "d2")
+        store.relate(museum, "directed_by", first)
+        with pytest.raises(InstanceError):
+            store.relate(museum, "directed_by", second)
+
+    def test_related_one(self, store):
+        guitar = store.get("Painting", "guitar")
+        assert store.related_one(guitar, "painted_by").entity_id == "picasso"
+        picasso = store.get("Painter", "picasso")
+        with pytest.raises(InstanceError):
+            store.related_one(picasso, "paints")
+
+    def test_bulk_load(self):
+        schema = build_museum_schema()
+        store = InstanceStore(schema)
+        store.bulk_load(
+            entities=[
+                ("Painter", "goya", {"name": "Francisco Goya"}),
+                ("Painting", "maja", {"title": "La Maja", "year": 1800}),
+            ],
+            links=[(("Painter", "goya"), "paints", ("Painting", "maja"))],
+        )
+        goya = store.get("Painter", "goya")
+        assert [p.entity_id for p in store.related(goya, "paints")] == ["maja"]

@@ -1,0 +1,144 @@
+"""Tests for navigational contexts and context families (the paper's §2)."""
+
+import pytest
+
+from repro.baselines import museum_fixture
+from repro.hypermedia import (
+    ContextFamily,
+    GuidedTour,
+    NavigationError,
+    NavigationalContext,
+    group_by_attribute,
+    group_by_relationship,
+)
+
+
+@pytest.fixture()
+def fixture():
+    return museum_fixture()
+
+
+@pytest.fixture()
+def contexts(fixture):
+    return fixture.contexts()
+
+
+class TestNavigationalContext:
+    def test_members_ordered_by_year(self, contexts):
+        by_picasso = contexts["by-painter:picasso"]
+        assert [n.node_id for n in by_picasso.members] == [
+            "avignon",
+            "guitar",
+            "guernica",
+        ]
+
+    def test_position(self, contexts, fixture):
+        by_picasso = contexts["by-painter:picasso"]
+        assert by_picasso.position(fixture.painting_node("guitar")) == 1
+
+    def test_next_and_previous(self, contexts, fixture):
+        by_picasso = contexts["by-painter:picasso"]
+        guitar = fixture.painting_node("guitar")
+        assert by_picasso.next_after(guitar).node_id == "guernica"
+        assert by_picasso.previous_before(guitar).node_id == "avignon"
+
+    def test_ends_are_none(self, contexts, fixture):
+        by_picasso = contexts["by-painter:picasso"]
+        assert by_picasso.next_after(fixture.painting_node("guernica")) is None
+        assert by_picasso.previous_before(fixture.painting_node("avignon")) is None
+
+    def test_circular_access_structure_wraps_navigation(self, fixture):
+        members = [
+            fixture.painting_node(pid) for pid in ("avignon", "guitar", "guernica")
+        ]
+        context = NavigationalContext(
+            "loop", members, GuidedTour(name="loop", circular=True)
+        )
+        assert context.next_after(members[-1]) == members[0]
+        assert context.previous_before(members[0]) == members[-1]
+
+    def test_non_member_position_raises(self, contexts, fixture):
+        with pytest.raises(NavigationError):
+            contexts["by-painter:picasso"].position(fixture.painting_node("memory"))
+
+    def test_duplicate_members_removed(self, fixture):
+        guitar = fixture.painting_node("guitar")
+        context = NavigationalContext("dup", [guitar, guitar], GuidedTour(name="d"))
+        assert len(context) == 1
+
+    def test_anchors_delegate_to_access_structure(self, contexts, fixture):
+        by_picasso = contexts["by-painter:picasso"]
+        anchors = by_picasso.anchors_on(fixture.painting_node("guitar"))
+        assert {a.rel for a in anchors} == {"entry"}  # Index by default
+
+    def test_membership_operator(self, contexts, fixture):
+        assert fixture.painting_node("guitar") in contexts["by-painter:picasso"]
+        assert fixture.painting_node("memory") not in contexts["by-painter:picasso"]
+
+
+class TestTheMuseumStory:
+    """The paper's §2: same node, different contexts, different Next."""
+
+    def test_guitar_next_differs_by_arrival_context(self, contexts, fixture):
+        guitar = fixture.painting_node("guitar")
+        via_author = contexts["by-painter:picasso"].next_after(guitar)
+        via_movement = contexts["by-movement:cubism"].next_after(guitar)
+        assert via_author.node_id == "guernica"      # next Picasso by year
+        assert via_movement.node_id == "clarinet"    # next cubist work by year
+        assert via_author != via_movement
+
+    def test_same_painting_is_member_of_both_families(self, contexts, fixture):
+        guitar = fixture.painting_node("guitar")
+        assert guitar in contexts["by-painter:picasso"]
+        assert guitar in contexts["by-movement:cubism"]
+
+
+class TestContextFamilies:
+    def test_one_context_per_partition_value(self, contexts):
+        painters = {k for k in contexts if k.startswith("by-painter:")}
+        assert painters == {
+            "by-painter:picasso",
+            "by-painter:braque",
+            "by-painter:dali",
+            "by-painter:miro",
+        }
+
+    def test_group_by_relationship_partition(self, fixture):
+        partition = group_by_relationship("Painter", "paints")(fixture.store)
+        assert {e.entity_id for e in partition["picasso"]} == {
+            "guitar",
+            "guernica",
+            "avignon",
+        }
+
+    def test_group_by_attribute_partition(self, fixture):
+        partition = group_by_attribute("Painting", "movement")(fixture.store)
+        assert {e.entity_id for e in partition["surrealism"]} == {
+            "memory",
+            "elephants",
+            "harlequin",
+            "constellation",
+        }
+
+    def test_context_for_single_value(self, fixture):
+        family = fixture.nav.context_family("by-painter")
+        context = family.context_for(fixture.store, "dali")
+        assert [n.node_id for n in context.members] == ["memory", "elephants"]
+
+    def test_context_for_unknown_value_raises(self, fixture):
+        family = fixture.nav.context_family("by-painter")
+        with pytest.raises(NavigationError):
+            family.context_for(fixture.store, "goya")
+
+    def test_access_structure_factory_applied(self, fixture):
+        fixture_igt = museum_fixture("indexed-guided-tour")
+        context = fixture_igt.contexts()["by-painter:picasso"]
+        assert context.access_structure.kind == "IndexedGuidedTour"
+
+    def test_empty_partitions_produce_no_contexts(self, fixture):
+        family = ContextFamily(
+            name="empty",
+            node_class=fixture.nav.node_class("PaintingNode"),
+            partition=lambda store: {},
+        )
+        assert family.contexts(fixture.store) == {}

@@ -1,0 +1,112 @@
+"""Tests for navigational nodes and links as views."""
+
+import pytest
+
+from repro.baselines import build_museum_schema, build_museum_store, museum_fixture
+from repro.hypermedia import LinkClass, NodeClass, SchemaError
+
+
+@pytest.fixture()
+def fixture():
+    return museum_fixture()
+
+
+class TestNodeViews:
+    def test_node_exposes_viewed_attributes(self, fixture):
+        guitar = fixture.painting_node("guitar")
+        attrs = guitar.attributes()
+        assert attrs["title"] == "Guitar"
+        assert attrs["year"] == 1913
+
+    def test_computed_view_attribute(self, fixture):
+        guitar = fixture.painting_node("guitar")
+        assert guitar.get("painter") == "Pablo Picasso"
+
+    def test_unviewed_attribute_not_exposed(self, fixture):
+        painter = fixture.painter_node("picasso")
+        with pytest.raises(SchemaError):
+            painter.get("year")
+
+    def test_uri_from_template(self, fixture):
+        guitar = fixture.painting_node("guitar")
+        assert guitar.uri == "PaintingNode/guitar.html"
+
+    def test_custom_uri_template(self):
+        store = build_museum_store()
+        node_class = NodeClass(
+            "P", "Painting", uri_template="museum/{id}/index.html"
+        ).view("title")
+        node = node_class.instantiate(store.get("Painting", "guitar"), store)
+        assert node.uri == "museum/guitar/index.html"
+
+    def test_instantiate_rejects_wrong_class(self, fixture):
+        painting_class = fixture.nav.node_class("PaintingNode")
+        picasso = fixture.store.get("Painter", "picasso")
+        with pytest.raises(SchemaError):
+            painting_class.instantiate(picasso, fixture.store)
+
+    def test_node_equality_is_by_view_and_entity(self, fixture):
+        assert fixture.painting_node("guitar") == fixture.painting_node("guitar")
+        assert fixture.painting_node("guitar") != fixture.painting_node("guernica")
+
+    def test_same_entity_different_node_classes_differ(self, fixture):
+        store = fixture.store
+        other_view = NodeClass("PaintingCard", "Painting").view("title")
+        entity = store.get("Painting", "guitar")
+        a = fixture.nav.node_class("PaintingNode").instantiate(entity, store)
+        b = other_view.instantiate(entity, store)
+        assert a != b
+
+
+class TestLinkClasses:
+    def test_resolve_yields_concrete_links(self, fixture):
+        picasso = fixture.painter_node("picasso")
+        links = fixture.nav.link_class("paints").resolve(picasso)
+        assert {l.target.node_id for l in links} == {"guitar", "guernica", "avignon"}
+
+    def test_link_titles_use_title_attribute(self, fixture):
+        picasso = fixture.painter_node("picasso")
+        links = fixture.nav.link_class("paints").resolve(picasso)
+        assert "Guernica" in {l.title for l in links}
+
+    def test_link_href_is_target_uri(self, fixture):
+        guitar = fixture.painting_node("guitar")
+        (link,) = fixture.nav.link_class("painted_by").resolve(guitar)
+        assert link.href == "PainterNode/picasso.html"
+
+    def test_resolve_rejects_wrong_source(self, fixture):
+        guitar = fixture.painting_node("guitar")
+        with pytest.raises(SchemaError):
+            fixture.nav.link_class("paints").resolve(guitar)
+
+
+class TestNavigationalSchemaValidation:
+    def test_node_class_must_view_known_class(self):
+        from repro.hypermedia import NavigationalSchema
+
+        nav = NavigationalSchema(build_museum_schema())
+        with pytest.raises(SchemaError):
+            nav.add_node_class(NodeClass("SculptureNode", "Sculpture"))
+
+    def test_link_class_endpoints_must_match_relationship(self):
+        from repro.hypermedia import NavigationalSchema
+
+        conceptual = build_museum_schema()
+        nav = NavigationalSchema(conceptual)
+        painter = nav.add_node_class(NodeClass("PainterNode", "Painter"))
+        painting = nav.add_node_class(NodeClass("PaintingNode", "Painting"))
+        with pytest.raises(SchemaError):
+            nav.add_link_class(
+                LinkClass("bad", "paints", source=painting, target=painter)
+            )
+
+    def test_duplicate_registrations_rejected(self, fixture):
+        with pytest.raises(SchemaError):
+            fixture.nav.add_node_class(NodeClass("PaintingNode", "Painting"))
+
+    def test_link_classes_from(self, fixture):
+        names = {lc.name for lc in fixture.nav.link_classes_from("PaintingNode")}
+        assert names == {"painted_by"}
+
+    def test_validate_passes_on_fixture(self, fixture):
+        fixture.nav.validate()

@@ -1,0 +1,71 @@
+"""Property-based tests for the instance store's relational invariants."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hypermedia import ConceptualSchema, InstanceStore
+
+ids = st.text(string.ascii_lowercase, min_size=1, max_size=6)
+
+
+def museum_like_schema() -> ConceptualSchema:
+    schema = ConceptualSchema()
+    schema.add_class("A", [("name", str)])
+    schema.add_class("B", [("name", str)])
+    schema.add_relationship("ab", "A", "B", inverse="ba")
+    return schema
+
+
+@st.composite
+def stores(draw):
+    schema = museum_like_schema()
+    store = InstanceStore(schema)
+    a_ids = draw(st.lists(ids, min_size=1, max_size=6, unique=True))
+    b_ids = draw(st.lists(ids, min_size=1, max_size=6, unique=True))
+    for a in a_ids:
+        store.create("A", a)
+    for b in b_ids:
+        store.create("B", b)
+    n_links = draw(st.integers(0, 12))
+    for __ in range(n_links):
+        a = draw(st.sampled_from(a_ids))
+        b = draw(st.sampled_from(b_ids))
+        store.relate(store.get("A", a), "ab", store.get("B", b))
+    return store
+
+
+@settings(max_examples=150, deadline=None)
+@given(stores())
+def test_inverse_relationship_is_symmetric(store):
+    for a in store.all("A"):
+        for b in store.related(a, "ab"):
+            assert a in store.related(b, "ba")
+    for b in store.all("B"):
+        for a in store.related(b, "ba"):
+            assert b in store.related(a, "ab")
+
+
+@settings(max_examples=150, deadline=None)
+@given(stores())
+def test_related_yields_correct_classes_only(store):
+    for a in store.all("A"):
+        assert all(e.cls.name == "B" for e in store.related(a, "ab"))
+
+
+@settings(max_examples=150, deadline=None)
+@given(stores())
+def test_relate_is_idempotent_under_repetition(store):
+    for a in store.all("A"):
+        targets_before = store.related(a, "ab")
+        for b in targets_before:
+            store.relate(a, "ab", b)  # repeat every existing link
+        assert store.related(a, "ab") == targets_before
+
+
+@settings(max_examples=150, deadline=None)
+@given(stores())
+def test_link_targets_are_unique_and_ordered(store):
+    for a in store.all("A"):
+        targets = store.related(a, "ab")
+        assert len(targets) == len(set(targets))

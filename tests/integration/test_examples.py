@@ -1,0 +1,47 @@
+"""Every example script must run cleanly end to end.
+
+Examples are documentation that executes; a broken example is a broken
+README.  Each test runs one script in-process (so coverage and failures
+point at real lines) with stdout captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (Path(__file__).parent.parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.fixture(autouse=True)
+def quiet_stdout(capsys):
+    yield
+    capsys.readouterr()
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    path = Path(__file__).parent.parent.parent / "examples" / script
+    saved_argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} printed nothing"
+
+
+def test_expected_examples_present():
+    assert {
+        "quickstart.py",
+        "museum_change_request.py",
+        "xlink_separation.py",
+        "context_navigation.py",
+        "aspect_tour.py",
+        "search_vs_navigation.py",
+        "live_weaving.py",
+    } <= set(EXAMPLES)

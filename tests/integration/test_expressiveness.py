@@ -1,0 +1,146 @@
+"""T-Q — §5's question: are aspect tools powerful enough for navigation?
+
+One test per OOHDM primitive the paper enumerates, each asserting the
+primitive is (a) expressed in the separated navigation artifact and
+(b) delivered into pages by the weaver — with the base program unchanged.
+"""
+
+import pytest
+
+from repro.baselines import museum_fixture
+from repro.core import (
+    NavigationSpec,
+    build_plain_site,
+    build_woven_site,
+    default_museum_spec,
+)
+from repro.navigation import NavigationSession, UserAgent
+
+
+@pytest.fixture(scope="module")
+def fixture():
+    return museum_fixture()
+
+
+class TestPrimitiveNodes:
+    """OOHDM: nodes are views of conceptual classes."""
+
+    def test_node_view_selects_attributes(self, fixture):
+        guitar = fixture.painting_node("guitar")
+        assert set(guitar.attributes()) == {"title", "year", "movement", "painter"}
+
+    def test_same_entity_supports_multiple_views(self, fixture):
+        from repro.hypermedia import NodeClass
+
+        card = NodeClass("PaintingCard", "Painting").view("title")
+        node = card.instantiate(
+            fixture.store.get("Painting", "guitar"), fixture.store
+        )
+        assert set(node.attributes()) == {"title"}
+
+
+class TestPrimitiveLinks:
+    """OOHDM: links are views of conceptual relationships."""
+
+    def test_link_class_surfaces_via_spec(self, fixture):
+        site = build_woven_site(fixture, default_museum_spec("index"))
+        page = site.page("PaintingNode/guitar.html")
+        links = [a for a in page.anchors() if a.rel == "link"]
+        assert [l.label for l in links] == ["Pablo Picasso"]
+
+    def test_unexposed_link_class_stays_hidden(self, fixture):
+        spec = NavigationSpec().set_access("by-painter", "index")
+        site = build_woven_site(fixture, spec)
+        page = site.page("PaintingNode/guitar.html")
+        assert all(a.rel != "link" for a in page.anchors())
+
+
+class TestPrimitiveAccessStructures:
+    """OOHDM/HDM: indexes, guided tours, indexed guided tours, menus."""
+
+    def test_index(self, fixture):
+        site = build_woven_site(fixture, default_museum_spec("index"))
+        rels = {a.rel for a in site.page("PaintingNode/guitar.html").anchors()}
+        assert "entry" in rels and "next" not in rels
+
+    def test_guided_tour(self, fixture):
+        site = build_woven_site(fixture, default_museum_spec("guided-tour"))
+        rels = {a.rel for a in site.page("PaintingNode/guitar.html").anchors()}
+        assert "next" in rels and "entry" not in rels
+
+    def test_indexed_guided_tour(self, fixture):
+        site = build_woven_site(
+            fixture, default_museum_spec("indexed-guided-tour")
+        )
+        rels = {a.rel for a in site.page("PaintingNode/guitar.html").anchors()}
+        assert {"entry", "next", "prev"} <= rels
+
+    def test_circular_tour_option(self, fixture):
+        spec = NavigationSpec().set_access(
+            "by-painter", "guided-tour", label_attribute="title", circular=True
+        )
+        site = build_woven_site(fixture, spec)
+        # The *first* painting has a prev only in the circular variant.
+        first = site.page("PaintingNode/avignon.html")
+        assert any(a.rel == "prev" for a in first.anchors())
+
+
+class TestPrimitiveContexts:
+    """OOHDM's contribution: navigational contexts with order."""
+
+    def test_two_families_coexist(self, fixture):
+        spec = (
+            NavigationSpec()
+            .set_access("by-painter", "guided-tour", label_attribute="title")
+            .set_access("by-movement", "guided-tour", label_attribute="title")
+        )
+        contexts = spec.build_contexts(fixture)
+        guitar = fixture.painting_node("guitar")
+        memberships = [name for name, c in contexts.items() if guitar in c]
+        assert sorted(memberships) == ["by-movement:cubism", "by-painter:picasso"]
+
+    def test_context_dependent_next_through_sessions(self, fixture):
+        spec = (
+            NavigationSpec()
+            .set_access("by-painter", "guided-tour")
+            .set_access("by-movement", "guided-tour")
+        )
+        contexts = spec.build_contexts(fixture)
+        guitar = fixture.painting_node("guitar")
+        by_painter = NavigationSession(fixture.nav)
+        by_painter.visit(guitar, contexts["by-painter:picasso"])
+        by_movement = NavigationSession(fixture.nav)
+        by_movement.visit(guitar, contexts["by-movement:cubism"])
+        assert by_painter.next().node.node_id == "guernica"
+        assert by_movement.next().node.node_id == "clarinet"
+
+
+class TestCompositionMechanism:
+    """§5 question 4: functionality and navigation become one program."""
+
+    def test_weaving_is_additive(self, fixture):
+        from repro.xmlcore import serialize
+
+        plain = build_plain_site(fixture)
+        woven = build_woven_site(fixture, default_museum_spec("index"))
+        for path in plain.paths():
+            assert serialize(plain.page(path).content_region()) == serialize(
+                woven.page(path).content_region()
+            )
+
+    def test_weaving_is_reversible(self, fixture):
+        build_woven_site(fixture, default_museum_spec("indexed-guided-tour"))
+        plain = build_plain_site(fixture)
+        assert sum(len(p.anchors()) for p in plain.pages()) == 0
+
+    def test_end_to_end_walkthrough(self, fixture):
+        site = build_woven_site(fixture, default_museum_spec("indexed-guided-tour"))
+        agent = UserAgent(site.provider())
+        agent.open("index.html")
+        agent.click("Pablo Picasso")
+        agent.click("Les Demoiselles d'Avignon")
+        agent.follow_rel("next")   # guitar
+        agent.follow_rel("next")   # guernica
+        assert agent.current.title == "Guernica"
+        agent.back()
+        assert agent.current.title == "Guitar"

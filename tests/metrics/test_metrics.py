@@ -1,0 +1,144 @@
+"""Tests for concern classification, scattering metrics and change impact."""
+
+import pytest
+
+from repro.baselines import TangledMuseumSite, museum_fixture
+from repro.core import default_museum_spec, export_museum_space
+from repro.metrics import (
+    Concern,
+    all_impacts,
+    aspect_impact,
+    classify_file,
+    classify_line,
+    format_ratio,
+    format_table,
+    measure_scattering,
+    tangled_impact,
+    xlink_impact,
+)
+from repro.xmlcore import serialize
+
+
+@pytest.fixture(scope="module")
+def fixture():
+    return museum_fixture()
+
+
+class TestClassifier:
+    def test_anchor_line_is_navigation(self):
+        assert (
+            classify_line('<li><a href="x.html">X</a></li>', in_nav_block=False)
+            is Concern.NAVIGATION
+        )
+
+    def test_nav_region_lines_are_navigation(self):
+        assert classify_line("<p>inside nav</p>", in_nav_block=True) is Concern.NAVIGATION
+
+    def test_xlink_markup_is_navigation(self):
+        line = '<loc xlink:type="locator" xlink:href="p.xml"/>'
+        assert classify_line(line, in_nav_block=False) is Concern.NAVIGATION
+
+    def test_prose_is_content(self):
+        assert classify_line("<p>Guernica, 1937.</p>", in_nav_block=False) is Concern.CONTENT
+
+    def test_scaffolding_is_structure(self):
+        assert classify_line("<html>", in_nav_block=False) is Concern.STRUCTURE
+        assert classify_line("</dl>", in_nav_block=False) is Concern.STRUCTURE
+        assert classify_line("", in_nav_block=False) is Concern.STRUCTURE
+
+    def test_classify_file_tracks_nav_regions(self):
+        text = "<html>\n<nav>\n<p>menu</p>\n</nav>\n<p>content</p>\n</html>"
+        result = classify_file("x.html", text)
+        assert result.navigation_lines == 3
+        assert result.content_lines == 1
+        assert result.is_tangled
+
+
+class TestScattering:
+    def test_tangled_site_scatters_navigation_everywhere(self, fixture):
+        pages = {
+            p.path: p.html for p in TangledMuseumSite(fixture).build().values()
+        }
+        report = measure_scattering(pages)
+        assert report.cdc == report.total_files  # every page has navigation
+        assert report.tangling_ratio == 1.0
+
+    def test_separated_artifacts_confine_navigation(self, fixture):
+        space = export_museum_space(fixture, default_museum_spec("index"))
+        artifacts = {
+            uri: serialize(space.document(uri), indent="  ")
+            for uri in space.uris()
+        }
+        report = measure_scattering(artifacts)
+        assert report.cdc == 1
+        assert report.navigation_only_files() == ["links.xml"]
+        assert report.tangled_files == 0
+
+    def test_navigation_share_bounds(self, fixture):
+        pages = {
+            p.path: p.html for p in TangledMuseumSite(fixture).build().values()
+        }
+        report = measure_scattering(pages)
+        assert 0.0 < report.navigation_share < 1.0
+
+    def test_empty_build(self):
+        report = measure_scattering({})
+        assert report.cdc == 0
+        assert report.tangling_ratio == 0.0
+        assert report.navigation_share == 0.0
+
+
+class TestChangeImpact:
+    def test_tangled_touches_every_painting_page(self, fixture):
+        impact = tangled_impact(fixture)
+        # All 9 painting pages change; painter pages and home do not.
+        assert impact.authored.files_touched == 9
+        assert impact.authored.files_total == 14
+        assert impact.built.files_touched == 9
+
+    def test_xlink_touches_one_authored_artifact(self, fixture):
+        impact = xlink_impact(fixture)
+        assert impact.authored.files_touched == 1
+        assert impact.authored.touched_paths() == ["links.xml"]
+
+    def test_aspect_touches_one_spec_line_pair(self, fixture):
+        impact = aspect_impact(fixture)
+        assert impact.authored.files_touched == 1
+        assert impact.authored.lines_changed == 2  # one line replaced
+
+    def test_built_pages_change_comparably_everywhere(self, fixture):
+        """The separated approaches still deliver the requested links."""
+        impacts = {i.approach: i for i in all_impacts(fixture)}
+        assert impacts["xlink"].built.files_touched == impacts[
+            "aspect"
+        ].built.files_touched
+
+    def test_separated_authored_impact_constant_in_site_size(self):
+        from repro.baselines import synthetic_museum
+
+        small = aspect_impact(synthetic_museum(3, 3))
+        large = aspect_impact(synthetic_museum(10, 10))
+        assert (
+            small.authored.lines_changed == large.authored.lines_changed
+        )
+        # While the tangled impact grows with the number of pages:
+        tangled_small = tangled_impact(synthetic_museum(3, 3))
+        tangled_large = tangled_impact(synthetic_museum(10, 10))
+        assert (
+            tangled_large.authored.files_touched
+            > tangled_small.authored.files_touched
+        )
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "n"], [["tangled", 9], ["aspect", 1]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "tangled" in table and "aspect" in table
+
+    def test_format_ratio(self):
+        assert format_ratio(9, 1) == "9.00x"
+        assert format_ratio(1, 0) == "n/a"

@@ -1,0 +1,113 @@
+"""Tests for the user-agent simulator over the tangled museum site."""
+
+import pytest
+
+from repro.baselines import TangledMuseumSite, museum_fixture
+from repro.navigation import (
+    CallableProvider,
+    NavigationError,
+    PageAnchor,
+    PageView,
+    UserAgent,
+)
+
+
+@pytest.fixture()
+def index_agent():
+    return UserAgent(TangledMuseumSite(museum_fixture(), "index").provider())
+
+
+@pytest.fixture()
+def tour_agent():
+    return UserAgent(
+        TangledMuseumSite(museum_fixture(), "indexed-guided-tour").provider()
+    )
+
+
+class TestBrowsing:
+    def test_open_home(self, index_agent):
+        page = index_agent.open("index.html")
+        assert page.title == "The Museum"
+
+    def test_click_by_label(self, index_agent):
+        index_agent.open("index.html")
+        page = index_agent.click("Pablo Picasso")
+        assert page.uri == "painter/picasso.html"
+
+    def test_relative_hrefs_resolved(self, index_agent):
+        index_agent.open("index.html")
+        index_agent.click("Pablo Picasso")
+        page = index_agent.click("Guitar")
+        assert page.uri == "painting/guitar.html"
+
+    def test_missing_anchor_reports_alternatives(self, index_agent):
+        index_agent.open("index.html")
+        with pytest.raises(NavigationError) as info:
+            index_agent.click("Nonexistent")
+        assert "Pablo Picasso" in str(info.value)
+
+    def test_missing_page_raises(self, index_agent):
+        with pytest.raises(NavigationError):
+            index_agent.open("ghost.html")
+
+    def test_back_and_trail(self, index_agent):
+        index_agent.open("index.html")
+        index_agent.click("Salvador Dali")
+        index_agent.back()
+        assert index_agent.current.uri == "index.html"
+        assert index_agent.trail() == ["index.html"]
+
+
+class TestTourNavigation:
+    def test_follow_rel_next(self, tour_agent):
+        tour_agent.open("painting/avignon.html")
+        assert tour_agent.follow_rel("next").uri == "painting/guitar.html"
+
+    def test_index_site_has_no_next(self, index_agent):
+        index_agent.open("painting/avignon.html")
+        with pytest.raises(NavigationError):
+            index_agent.follow_rel("next")
+
+    def test_tour_chain_walks_in_year_order(self, tour_agent):
+        tour_agent.open("painting/avignon.html")
+        tour_agent.follow_rel("next")
+        page = tour_agent.follow_rel("next")
+        assert page.uri == "painting/guernica.html"
+        with pytest.raises(NavigationError):
+            tour_agent.follow_rel("next")  # end of tour
+
+    def test_prev_rel(self, tour_agent):
+        tour_agent.open("painting/guitar.html")
+        assert tour_agent.follow_rel("prev").uri == "painting/avignon.html"
+
+
+class TestCrawl:
+    def test_whole_site_reachable_from_home(self, index_agent):
+        pages = index_agent.crawl("index.html")
+        # 1 home + 4 painters + 9 paintings
+        assert len(pages) == 14
+
+    def test_crawl_does_not_touch_history(self, index_agent):
+        index_agent.open("index.html")
+        index_agent.crawl("index.html")
+        assert index_agent.trail() == ["index.html"]
+
+    def test_every_anchor_resolves(self, tour_agent):
+        pages = tour_agent.crawl("index.html")
+        for page in pages.values():
+            for anchor in page.anchors:
+                assert anchor.href in pages, f"dangling link in {page.uri}"
+
+    def test_crawl_page_budget(self, index_agent):
+        with pytest.raises(NavigationError):
+            index_agent.crawl("index.html", max_pages=3)
+
+
+class TestCallableProvider:
+    def test_adapts_function(self):
+        def serve(uri: str) -> PageView:
+            return PageView(uri=uri, anchors=[PageAnchor("loop", uri)])
+
+        agent = UserAgent(CallableProvider(serve))
+        agent.open("a.html")
+        assert agent.click("loop").uri == "a.html"

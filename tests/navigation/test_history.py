@@ -1,0 +1,65 @@
+"""Tests for the back/forward history."""
+
+import pytest
+
+from repro.navigation import History, NavigationError
+
+
+class TestHistory:
+    def test_empty_history(self):
+        history = History()
+        assert history.is_empty
+        with pytest.raises(NavigationError):
+            history.current
+
+    def test_visit_sets_current(self):
+        history = History()
+        history.visit("a")
+        assert history.current == "a"
+
+    def test_back_and_forward(self):
+        history = History()
+        for page in ("a", "b", "c"):
+            history.visit(page)
+        assert history.back() == "b"
+        assert history.back() == "a"
+        assert history.forward() == "b"
+        assert history.current == "b"
+
+    def test_back_past_start_raises(self):
+        history = History()
+        history.visit("a")
+        with pytest.raises(NavigationError):
+            history.back()
+
+    def test_forward_without_back_raises(self):
+        history = History()
+        history.visit("a")
+        with pytest.raises(NavigationError):
+            history.forward()
+
+    def test_visit_clears_forward_stack(self):
+        history = History()
+        for page in ("a", "b", "c"):
+            history.visit(page)
+        history.back()
+        history.visit("d")
+        assert not history.can_go_forward()
+        assert history.trail() == ["a", "b", "d"]
+
+    def test_trail_and_len(self):
+        history = History()
+        for page in ("a", "b"):
+            history.visit(page)
+        assert history.trail() == ["a", "b"]
+        assert len(history) == 2
+
+    def test_can_go_flags(self):
+        history = History()
+        history.visit("a")
+        history.visit("b")
+        assert history.can_go_back()
+        assert not history.can_go_forward()
+        history.back()
+        assert not history.can_go_back()
+        assert history.can_go_forward()

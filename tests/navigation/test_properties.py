@@ -1,0 +1,143 @@
+"""Property-based tests for the navigation runtime.
+
+A model-based state machine checks the back/forward history against a
+reference implementation, and context traversal invariants are checked on
+random member sequences.
+"""
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.baselines import synthetic_museum
+from repro.hypermedia import GuidedTour, Index, IndexedGuidedTour, NavigationalContext
+from repro.navigation import History, NavigationError
+
+
+class HistoryModel(RuleBasedStateMachine):
+    """The real History against an obviously-correct list+cursor model."""
+
+    def __init__(self):
+        super().__init__()
+        self.history: History[int] = History()
+        self.entries: list[int] = []
+        self.cursor = -1
+        self.counter = 0
+
+    @rule()
+    def visit(self):
+        self.counter += 1
+        self.history.visit(self.counter)
+        self.entries = self.entries[: self.cursor + 1] + [self.counter]
+        self.cursor = len(self.entries) - 1
+
+    @precondition(lambda self: self.cursor > 0)
+    @rule()
+    def back(self):
+        value = self.history.back()
+        self.cursor -= 1
+        assert value == self.entries[self.cursor]
+
+    @precondition(lambda self: 0 <= self.cursor < len(self.entries) - 1)
+    @rule()
+    def forward(self):
+        value = self.history.forward()
+        self.cursor += 1
+        assert value == self.entries[self.cursor]
+
+    @precondition(lambda self: self.cursor <= 0)
+    @rule()
+    def back_at_start_fails(self):
+        try:
+            self.history.back()
+        except NavigationError:
+            pass
+        else:
+            raise AssertionError("back() should have failed")
+
+    @precondition(lambda self: self.cursor == len(self.entries) - 1)
+    @rule()
+    def forward_at_end_fails(self):
+        try:
+            self.history.forward()
+        except NavigationError:
+            pass
+        else:
+            raise AssertionError("forward() should have failed")
+
+    @invariant()
+    def current_agrees(self):
+        if self.cursor >= 0:
+            assert self.history.current == self.entries[self.cursor]
+            assert self.history.trail() == self.entries[: self.cursor + 1]
+        else:
+            assert self.history.is_empty
+
+
+TestHistoryModel = HistoryModel.TestCase
+
+
+# -- context traversal invariants ---------------------------------------------
+
+
+@st.composite
+def member_lists(draw):
+    n = draw(st.integers(2, 12))
+    fixture = synthetic_museum(1, n)
+    node_class = fixture.nav.node_class("PaintingNode")
+    members = [
+        node_class.instantiate(e, fixture.store)
+        for e in fixture.store.all("Painting")
+    ]
+    return members
+
+
+@settings(max_examples=40, deadline=None)
+@given(member_lists(), st.booleans())
+def test_guided_tour_walk_is_a_permutation(members, circular):
+    context = NavigationalContext(
+        "walk", members, GuidedTour(name="walk", circular=circular)
+    )
+    seen = [members[0]]
+    node = members[0]
+    for __ in range(len(members) - 1):
+        node = context.next_after(node)
+        assert node is not None
+        seen.append(node)
+    assert [n.node_id for n in seen] == [n.node_id for n in members]
+    # The step after the last one: wraps when circular, ends otherwise.
+    following = context.next_after(seen[-1])
+    if circular:
+        assert following == members[0]
+    else:
+        assert following is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(member_lists())
+def test_next_and_previous_are_inverse(members):
+    context = NavigationalContext("ctx", members, GuidedTour(name="ctx"))
+    for node in members[:-1]:
+        assert context.previous_before(context.next_after(node)) == node
+
+
+@settings(max_examples=40, deadline=None)
+@given(member_lists())
+def test_index_anchors_are_members_minus_self(members):
+    structure = Index(name="ctx", label_attribute="title")
+    for node in members:
+        hrefs = {a.href for a in structure.anchors_on(node, members)}
+        expected = {m.uri for m in members if m != node}
+        assert hrefs == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(member_lists())
+def test_igt_anchors_superset_of_index_anchors(members):
+    index = Index(name="ctx", label_attribute="title")
+    igt = IndexedGuidedTour(name="ctx", label_attribute="title")
+    for node in members:
+        index_set = {(a.href, a.rel) for a in index.anchors_on(node, members)}
+        igt_set = {(a.href, a.rel) for a in igt.anchors_on(node, members)}
+        assert index_set <= igt_set
+        extras = igt_set - index_set
+        assert extras and all(rel in ("prev", "next") for __, rel in extras)

@@ -1,0 +1,135 @@
+"""Tests for navigation sessions: the context-dependent semantics of §2."""
+
+import pytest
+
+from repro.baselines import museum_fixture
+from repro.navigation import NavigationError, NavigationSession
+
+
+@pytest.fixture()
+def fixture():
+    return museum_fixture()
+
+
+@pytest.fixture()
+def contexts(fixture):
+    return fixture.contexts()
+
+
+class TestVisiting:
+    def test_visit_without_context(self, fixture):
+        session = NavigationSession(fixture.nav)
+        position = session.visit(fixture.painting_node("guitar"))
+        assert position.context is None
+        assert session.current_node.node_id == "guitar"
+
+    def test_visit_with_context_requires_membership(self, fixture, contexts):
+        session = NavigationSession(fixture.nav)
+        with pytest.raises(NavigationError):
+            session.visit(
+                fixture.painting_node("memory"), contexts["by-painter:picasso"]
+            )
+
+    def test_enter_context_defaults_to_first_member(self, fixture, contexts):
+        session = NavigationSession(fixture.nav)
+        session.enter_context(contexts["by-painter:picasso"])
+        assert session.current_node.node_id == "avignon"
+
+
+class TestContextDependentMovement:
+    def test_next_depends_on_arrival_context(self, fixture, contexts):
+        """The museum story: Guitar's Next differs by how you arrived."""
+        guitar = fixture.painting_node("guitar")
+
+        via_author = NavigationSession(fixture.nav)
+        via_author.visit(guitar, contexts["by-painter:picasso"])
+        assert via_author.next().node.node_id == "guernica"
+
+        via_movement = NavigationSession(fixture.nav)
+        via_movement.visit(guitar, contexts["by-movement:cubism"])
+        assert via_movement.next().node.node_id == "clarinet"
+
+    def test_next_stays_in_context(self, fixture, contexts):
+        session = NavigationSession(fixture.nav)
+        session.visit(fixture.painting_node("guitar"), contexts["by-painter:picasso"])
+        session.next()
+        assert session.current_context.name == "by-painter:picasso"
+
+    def test_previous(self, fixture, contexts):
+        session = NavigationSession(fixture.nav)
+        session.visit(fixture.painting_node("guitar"), contexts["by-painter:picasso"])
+        assert session.previous().node.node_id == "avignon"
+
+    def test_next_at_end_raises(self, fixture, contexts):
+        session = NavigationSession(fixture.nav)
+        session.visit(
+            fixture.painting_node("guernica"), contexts["by-painter:picasso"]
+        )
+        with pytest.raises(NavigationError):
+            session.next()
+
+    def test_next_without_context_raises(self, fixture):
+        session = NavigationSession(fixture.nav)
+        session.visit(fixture.painting_node("guitar"))
+        with pytest.raises(NavigationError) as info:
+            session.next()
+        assert "context" in str(info.value)
+
+
+class TestFollowingLinks:
+    def test_follow_unique_link(self, fixture):
+        session = NavigationSession(fixture.nav)
+        session.visit(fixture.painting_node("guitar"))
+        position = session.follow("painted_by")
+        assert position.node.node_id == "picasso"
+        assert position.context is None  # leaving a context
+
+    def test_follow_ambiguous_link_requires_choice(self, fixture):
+        session = NavigationSession(fixture.nav)
+        session.visit(fixture.painter_node("picasso"))
+        with pytest.raises(NavigationError) as info:
+            session.follow("paints")
+        assert "guernica" in str(info.value)
+
+    def test_follow_with_target_selection(self, fixture):
+        session = NavigationSession(fixture.nav)
+        session.visit(fixture.painter_node("picasso"))
+        assert session.follow("paints", to="guitar").node.node_id == "guitar"
+
+    def test_follow_missing_link_raises(self, fixture):
+        session = NavigationSession(fixture.nav)
+        session.visit(fixture.painter_node("picasso"))
+        with pytest.raises(NavigationError):
+            session.follow("paints", to="memory")  # Dali's, not Picasso's
+
+    def test_follow_drops_context(self, fixture, contexts):
+        session = NavigationSession(fixture.nav)
+        session.visit(fixture.painting_node("guitar"), contexts["by-painter:picasso"])
+        session.follow("painted_by")
+        assert session.current_context is None
+
+    def test_follow_without_schema_raises(self, fixture):
+        session = NavigationSession()  # no schema
+        session.visit(fixture.painting_node("guitar"))
+        with pytest.raises(NavigationError):
+            session.follow("painted_by")
+
+
+class TestHistoryIntegration:
+    def test_back_restores_node_and_context(self, fixture, contexts):
+        session = NavigationSession(fixture.nav)
+        session.visit(fixture.painting_node("guitar"), contexts["by-painter:picasso"])
+        session.next()
+        position = session.back()
+        assert position.node.node_id == "guitar"
+        assert position.context.name == "by-painter:picasso"
+        # next() works again from the restored context.
+        assert session.next().node.node_id == "guernica"
+
+    def test_trail_describes_walk(self, fixture, contexts):
+        session = NavigationSession(fixture.nav)
+        session.visit(fixture.painting_node("guitar"), contexts["by-painter:picasso"])
+        session.next()
+        trail = session.trail()
+        assert len(trail) == 2
+        assert "guitar" in trail[0] and "by-painter:picasso" in trail[0]

@@ -1,0 +1,82 @@
+"""Tests for the HTML page model."""
+
+from repro.hypermedia.access import Anchor
+from repro.web import (
+    HtmlPage,
+    anchor_element,
+    anchor_list,
+    heading,
+    nav_block,
+    page_skeleton,
+    paragraph,
+)
+from repro.xmlcore import parse_element, serialize
+
+
+class TestPageConstruction:
+    def test_skeleton_has_title_and_body(self):
+        html, body = page_skeleton("Guitar")
+        body.append(heading(1, "Guitar"))
+        page = HtmlPage("painting/guitar.html", html)
+        assert page.title == "Guitar"
+        assert page.tree.find("h1").text_content() == "Guitar"
+
+    def test_anchor_element_shape(self):
+        el = anchor_element(Anchor("Guernica", "guernica.html", "entry"))
+        assert serialize(el) == '<a href="guernica.html" rel="entry">Guernica</a>'
+
+    def test_anchor_list(self):
+        ul = anchor_list(
+            [Anchor("A", "a.html"), Anchor("B", "b.html")]
+        )
+        assert len(ul.findall("li")) == 2
+
+    def test_page_anchors_extraction(self):
+        html, body = page_skeleton("T")
+        body.append(anchor_element(Anchor("Next", "n.html", "next")))
+        body.append(paragraph("plain text"))
+        page = HtmlPage("x.html", html)
+        (found,) = page.anchors()
+        assert (found.label, found.href, found.rel) == ("Next", "n.html", "next")
+
+    def test_html_round_trips_through_parser(self):
+        html, body = page_skeleton("Round & Trip")
+        body.append(paragraph("a < b"))
+        page = HtmlPage("x.html", html)
+        reparsed = parse_element(page.html())
+        assert reparsed.find("title").text_content() == "Round & Trip"
+        assert reparsed.find("p").text_content() == "a < b"
+
+
+class TestNavBlock:
+    def test_groups_entries_and_steps(self):
+        nav = nav_block(
+            [
+                Anchor("A", "a.html", "entry"),
+                Anchor("Previous", "p.html", "prev"),
+                Anchor("Next", "n.html", "next"),
+            ]
+        )
+        assert len(nav.findall("ul")) == 1
+        assert len(nav.findall("p")) == 2
+
+    def test_empty_nav_is_empty_element(self):
+        assert serialize(nav_block([])) == "<nav/>"
+
+
+class TestContentRegion:
+    def test_nav_blocks_stripped(self):
+        html, body = page_skeleton("T")
+        body.append(paragraph("content"))
+        body.append(nav_block([Anchor("A", "a.html", "entry")]))
+        page = HtmlPage("x.html", html)
+        region = page.content_region()
+        assert region.findall("nav") == []
+        assert region.text_content() == "content"
+
+    def test_original_tree_not_mutated(self):
+        html, body = page_skeleton("T")
+        body.append(nav_block([Anchor("A", "a.html", "entry")]))
+        page = HtmlPage("x.html", html)
+        page.content_region()
+        assert len(page.tree.findall("nav")) == 1

@@ -1,0 +1,139 @@
+"""Tests for static sites, the site provider and the change-impact differ."""
+
+import pytest
+
+from repro.hypermedia.access import Anchor
+from repro.navigation import UserAgent
+from repro.web import (
+    HtmlPage,
+    SiteError,
+    StaticSite,
+    anchor_element,
+    diff_builds,
+    page_skeleton,
+    paragraph,
+    unified_diff,
+)
+
+
+def make_page(path: str, title: str, anchors: list[Anchor] = ()) -> HtmlPage:
+    html, body = page_skeleton(title)
+    body.append(paragraph(f"Content of {title}"))
+    for anchor in anchors:
+        body.append(anchor_element(anchor))
+    return HtmlPage(path, html)
+
+
+class TestStaticSite:
+    def test_add_and_fetch(self):
+        site = StaticSite()
+        site.add(make_page("index.html", "Home"))
+        assert site.page("index.html").title == "Home"
+
+    def test_duplicate_path_rejected(self):
+        site = StaticSite()
+        site.add(make_page("index.html", "Home"))
+        with pytest.raises(SiteError):
+            site.add(make_page("index.html", "Again"))
+
+    def test_replace_allows_rebuild(self):
+        site = StaticSite()
+        site.add(make_page("index.html", "Home"))
+        site.replace(make_page("index.html", "New Home"))
+        assert site.page("index.html").title == "New Home"
+
+    def test_missing_page_raises(self):
+        with pytest.raises(SiteError):
+            StaticSite().page("ghost.html")
+
+    def test_as_text_is_differ_input(self):
+        site = StaticSite()
+        site.add(make_page("a.html", "A"))
+        text = site.as_text()
+        assert set(text) == {"a.html"}
+        assert "<title>A</title>" in text["a.html"]
+
+    def test_check_links_finds_dangling(self):
+        site = StaticSite()
+        site.add(
+            make_page("a.html", "A", [Anchor("Ghost", "ghost.html", "entry")])
+        )
+        (complaint,) = site.check_links()
+        assert "ghost.html" in complaint
+
+    def test_check_links_resolves_relative(self):
+        site = StaticSite()
+        site.add(
+            make_page(
+                "painting/a.html", "A", [Anchor("Home", "../index.html", "menu")]
+            )
+        )
+        site.add(make_page("index.html", "Home"))
+        assert site.check_links() == []
+
+    def test_external_links_ignored(self):
+        site = StaticSite()
+        site.add(
+            make_page("a.html", "A", [Anchor("W3C", "http://w3.org/", "link")])
+        )
+        assert site.check_links() == []
+
+
+class TestSiteProvider:
+    def test_agent_browses_site(self):
+        site = StaticSite()
+        site.add(make_page("index.html", "Home", [Anchor("A", "a.html", "entry")]))
+        site.add(make_page("a.html", "A"))
+        agent = UserAgent(site.provider())
+        agent.open("index.html")
+        assert agent.click("A").title == "A"
+
+    def test_provider_resolves_relative_hrefs(self):
+        site = StaticSite()
+        site.add(
+            make_page(
+                "painting/g.html", "G", [Anchor("Home", "../index.html", "menu")]
+            )
+        )
+        site.add(make_page("index.html", "Home"))
+        agent = UserAgent(site.provider())
+        agent.open("painting/g.html")
+        assert agent.click("Home").uri == "index.html"
+
+
+class TestDiffBuilds:
+    def test_identical_builds(self):
+        build = {"a.html": "one\ntwo\n"}
+        impact = diff_builds(build, dict(build))
+        assert impact.files_touched == 0
+        assert impact.unchanged == ["a.html"]
+
+    def test_modified_lines_counted(self):
+        before = {"a.html": "one\ntwo\nthree\n"}
+        after = {"a.html": "one\nTWO\nthree\nfour\n"}
+        impact = diff_builds(before, after)
+        (delta,) = impact.deltas
+        assert delta.status == "modified"
+        assert delta.lines_added == 2   # TWO + four
+        assert delta.lines_removed == 1  # two
+
+    def test_added_and_removed_files(self):
+        impact = diff_builds({"old.html": "x\ny\n"}, {"new.html": "z\n"})
+        statuses = {d.path: d.status for d in impact.deltas}
+        assert statuses == {"old.html": "removed", "new.html": "added"}
+        assert impact.lines_removed == 2
+        assert impact.lines_added == 1
+
+    def test_summary_shape(self):
+        impact = diff_builds({"a": "1\n", "b": "1\n"}, {"a": "2\n", "b": "1\n"})
+        assert impact.summary() == "1/2 files touched, +1/-1 lines"
+
+    def test_unified_diff_output(self):
+        text = unified_diff({"a": "one\ntwo"}, {"a": "one\nTWO"}, "a")
+        assert "-two" in text and "+TWO" in text
+
+    def test_touched_paths_sorted(self):
+        impact = diff_builds(
+            {"b": "1", "a": "1", "c": "1"}, {"b": "2", "a": "2", "c": "1"}
+        )
+        assert impact.touched_paths() == ["a", "b"]

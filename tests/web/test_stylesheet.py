@@ -1,0 +1,172 @@
+"""Tests for the XSL-lite template engine."""
+
+import pytest
+
+from repro.web import Stylesheet, StylesheetError
+from repro.xmlcore import build, parse, serialize
+
+PAINTING = parse(
+    """
+<painting id="guitar">
+  <title>Guitar</title>
+  <year>1913</year>
+  <movement>cubism</movement>
+</painting>
+"""
+)
+
+
+class TestBasicRules:
+    def test_single_rule_transforms_root(self):
+        sheet = Stylesheet()
+
+        @sheet.template("painting")
+        def rule(ctx, el):
+            return build("article", {}, ctx.value_of(el, "title/text()"))
+
+        out = sheet.transform_to_element(PAINTING)
+        assert serialize(out) == "<article>Guitar</article>"
+
+    def test_apply_recurses_into_children(self):
+        sheet = Stylesheet()
+
+        @sheet.template("painting")
+        def painting(ctx, el):
+            return build("div", {}, *ctx.apply(el))
+
+        @sheet.template("title")
+        def title(ctx, el):
+            return build("h1", {}, el.text_content())
+
+        @sheet.template("year")
+        def year(ctx, el):
+            return build("time", {}, el.text_content())
+
+        @sheet.template("movement")
+        def movement(ctx, el):
+            return None  # suppress
+
+        out = sheet.transform_to_element(PAINTING)
+        assert serialize(out) == "<div><h1>Guitar</h1><time>1913</time></div>"
+
+    def test_apply_with_select(self):
+        sheet = Stylesheet()
+
+        @sheet.template("painting")
+        def painting(ctx, el):
+            return build("div", {}, *ctx.apply(el, "title"))
+
+        @sheet.template("title")
+        def title(ctx, el):
+            return el.text_content()
+
+        out = sheet.transform_to_element(PAINTING)
+        assert serialize(out) == "<div>Guitar</div>"
+
+    def test_builtin_rule_copies_text_through(self):
+        sheet = Stylesheet()
+
+        @sheet.template("painting")
+        def painting(ctx, el):
+            return build("div", {}, *ctx.apply(el))
+
+        # No rules for children: built-in recursion yields their text.
+        out = sheet.transform_to_element(PAINTING)
+        assert out.text_content() == "Guitar1913cubism"
+
+    def test_string_results_become_text_nodes(self):
+        sheet = Stylesheet()
+
+        @sheet.template("painting")
+        def painting(ctx, el):
+            return "just text"
+
+        (node,) = sheet.transform(PAINTING)
+        assert node.value == "just text"
+
+
+class TestRuleSelection:
+    def test_path_pattern_beats_name_pattern(self):
+        doc = parse("<a><b><title>inner</title></b><title>outer</title></a>")
+        sheet = Stylesheet()
+
+        @sheet.template("a")
+        def a(ctx, el):
+            return build("out", {}, *ctx.apply(el, "//title"))
+
+        @sheet.template("title")
+        def title(ctx, el):
+            return build("plain", {})
+
+        @sheet.template("b/title")
+        def nested_title(ctx, el):
+            return build("nested", {})
+
+        out = sheet.transform_to_element(doc)
+        kinds = [child.name.local for child in out.child_elements()]
+        assert kinds == ["nested", "plain"]
+
+    def test_wildcard_is_least_specific(self):
+        doc = parse("<a><x/><title/></a>")
+        sheet = Stylesheet()
+
+        @sheet.template("a")
+        def a(ctx, el):
+            return build("out", {}, *ctx.apply(el))
+
+        @sheet.template("*")
+        def anything(ctx, el):
+            return build("generic", {})
+
+        @sheet.template("title")
+        def title(ctx, el):
+            return build("special", {})
+
+        out = sheet.transform_to_element(doc)
+        kinds = [child.name.local for child in out.child_elements()]
+        assert kinds == ["generic", "special"]
+
+    def test_later_registration_wins_ties(self):
+        doc = parse("<title/>")
+        sheet = Stylesheet()
+        sheet.add_template("title", lambda ctx, el: build("first", {}))
+        sheet.add_template("title", lambda ctx, el: build("second", {}))
+        assert sheet.transform_to_element(doc).name.local == "second"
+
+
+class TestParameters:
+    def test_parameters_reach_rules(self):
+        sheet = Stylesheet()
+
+        @sheet.template("painting")
+        def rule(ctx, el):
+            return build("div", {"lang": str(ctx.parameters["lang"])})
+
+        out = sheet.transform_to_element(PAINTING, parameters={"lang": "es"})
+        assert out.get("lang") == "es"
+
+
+class TestErrors:
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(StylesheetError):
+            Stylesheet().template("")
+
+    def test_transform_to_element_needs_single_root(self):
+        sheet = Stylesheet()
+
+        @sheet.template("painting")
+        def rule(ctx, el):
+            return [build("a", {}), build("b", {})]
+
+        with pytest.raises(StylesheetError):
+            sheet.transform_to_element(PAINTING)
+
+    def test_bad_rule_output_type_rejected(self):
+        sheet = Stylesheet()
+
+        @sheet.template("painting")
+        def rule(ctx, el):
+            return [42]
+
+        with pytest.raises(StylesheetError):
+            sheet.transform(PAINTING)

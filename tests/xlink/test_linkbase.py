@@ -1,0 +1,136 @@
+"""Tests for linkbases and linkbase sets (including Figure 9's links.xml)."""
+
+import pytest
+
+from repro.xlink import (
+    LINKBASE_ARCROLE,
+    Linkbase,
+    LinkbaseSet,
+    Severity,
+    UriSpace,
+)
+from repro.xmlcore import parse
+
+XLINK = 'xmlns:xlink="http://www.w3.org/1999/xlink"'
+
+# A linkbase in the shape of the paper's Figure 9.
+LINKS_XML = f"""
+<links {XLINK}>
+  <linkset xlink:type="extended">
+    <loc xlink:type="locator" xlink:href="picasso.xml" xlink:label="painter"/>
+    <loc xlink:type="locator" xlink:href="guitar.xml" xlink:label="painting"/>
+    <loc xlink:type="locator" xlink:href="avignon.xml" xlink:label="painting"/>
+    <arc xlink:type="arc" xlink:from="painter" xlink:to="painting"
+         xlink:arcrole="urn:museum:paints"/>
+  </linkset>
+</links>
+"""
+
+
+@pytest.fixture()
+def space() -> UriSpace:
+    space = UriSpace()
+    space.add("picasso.xml", "<painter id='picasso'/>")
+    space.add("guitar.xml", "<painting id='guitar'/>")
+    space.add("avignon.xml", "<painting id='avignon'/>")
+    space.add("links.xml", LINKS_XML)
+    return space
+
+
+class TestLinkbase:
+    def test_links_harvested(self, space):
+        lb = Linkbase.from_document("links.xml", space.document("links.xml"))
+        assert len(lb.extended_links()) == 1
+
+    def test_graph_edges(self, space):
+        lb = Linkbase.from_document("links.xml", space.document("links.xml"))
+        graph = lb.graph()
+        assert len(graph.outgoing("picasso.xml")) == 2
+
+    def test_relative_hrefs_normalized_against_linkbase_uri(self):
+        space = UriSpace()
+        space.add("museum/links.xml", LINKS_XML)
+        lb = Linkbase.from_document(
+            "museum/links.xml", space.document("museum/links.xml")
+        )
+        graph = lb.graph()
+        assert len(graph.outgoing("museum/picasso.xml")) == 2
+        assert graph.outgoing("picasso.xml") == []
+
+    def test_validation_clean(self, space):
+        lb = Linkbase.from_document("links.xml", space.document("links.xml"))
+        assert [i for i in lb.validate() if i.severity is Severity.ERROR] == []
+
+    def test_validation_reports_bad_arc(self):
+        bad = f"""
+        <links {XLINK}>
+          <set xlink:type="extended">
+            <loc xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>
+            <arc xlink:type="arc" xlink:from="a" xlink:to="ghost"/>
+          </set>
+        </links>"""
+        lb = Linkbase.from_document("bad.xml", parse(bad))
+        errors = [i for i in lb.validate() if i.severity is Severity.ERROR]
+        assert len(errors) == 1
+        assert "ghost" in errors[0].message
+
+
+class TestLinkbaseSet:
+    def test_load_builds_merged_graph(self, space):
+        lbs = LinkbaseSet(space)
+        lbs.load("links.xml")
+        assert len(lbs.graph()) == 2
+
+    def test_linkbase_chaining_via_arcrole(self, space):
+        chain = f"""
+        <links {XLINK}>
+          <more xlink:type="simple" xlink:href="links.xml"
+                xlink:arcrole="{LINKBASE_ARCROLE}"/>
+        </links>"""
+        space.add("chain.xml", chain)
+        lbs = LinkbaseSet(space)
+        lbs.load("chain.xml")
+        assert {lb.uri for lb in lbs.linkbases} == {"chain.xml", "links.xml"}
+        assert len(lbs.graph()) == 2
+
+    def test_chaining_through_extended_arc(self, space):
+        chain = f"""
+        <links {XLINK}>
+          <set xlink:type="extended">
+            <loc xlink:type="locator" xlink:href="start.xml" xlink:label="here"/>
+            <loc xlink:type="locator" xlink:href="links.xml" xlink:label="lb"/>
+            <arc xlink:type="arc" xlink:from="here" xlink:to="lb"
+                 xlink:arcrole="{LINKBASE_ARCROLE}"/>
+          </set>
+        </links>"""
+        space.add("chain.xml", chain)
+        lbs = LinkbaseSet(space)
+        lbs.load("chain.xml")
+        assert any(lb.uri == "links.xml" for lb in lbs.linkbases)
+
+    def test_cyclic_chains_terminate(self, space):
+        a = f"""<l {XLINK}><x xlink:type="simple" xlink:href="b.xml"
+                 xlink:arcrole="{LINKBASE_ARCROLE}"/></l>"""
+        b = f"""<l {XLINK}><x xlink:type="simple" xlink:href="a.xml"
+                 xlink:arcrole="{LINKBASE_ARCROLE}"/></l>"""
+        space.add("a.xml", a)
+        space.add("b.xml", b)
+        lbs = LinkbaseSet(space)
+        lbs.load("a.xml")
+        assert {lb.uri for lb in lbs.linkbases} == {"a.xml", "b.xml"}
+
+    def test_no_follow(self, space):
+        chain = f"""
+        <links {XLINK}>
+          <more xlink:type="simple" xlink:href="links.xml"
+                xlink:arcrole="{LINKBASE_ARCROLE}"/>
+        </links>"""
+        space.add("chain.xml", chain)
+        lbs = LinkbaseSet(space)
+        lbs.load("chain.xml", follow=False)
+        assert len(lbs.linkbases) == 1
+
+    def test_set_validation_aggregates(self, space):
+        lbs = LinkbaseSet(space)
+        lbs.load("links.xml")
+        assert [i for i in lbs.validate() if i.severity is Severity.ERROR] == []

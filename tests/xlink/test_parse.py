@@ -1,0 +1,170 @@
+"""Tests for harvesting XLink markup from documents."""
+
+import pytest
+
+from repro.xlink import (
+    Actuate,
+    ExtendedLink,
+    Show,
+    SimpleLink,
+    UriReference,
+    XLinkSyntaxError,
+    find_links,
+    parse_extended_link,
+    parse_simple_link,
+)
+from repro.xmlcore import parse, parse_element
+
+XLINK = 'xmlns:xlink="http://www.w3.org/1999/xlink"'
+
+
+class TestSimpleLinks:
+    def test_minimal_simple_link(self):
+        el = parse_element(f'<a {XLINK} xlink:type="simple" xlink:href="p.xml"/>')
+        link = parse_simple_link(el)
+        assert link.href == UriReference("p.xml")
+
+    def test_href_with_fragment(self):
+        el = parse_element(
+            f'<a {XLINK} xlink:type="simple" xlink:href="p.xml#guitar"/>'
+        )
+        assert parse_simple_link(el).href == UriReference("p.xml", "guitar")
+
+    def test_all_attributes(self):
+        el = parse_element(
+            f'<a {XLINK} xlink:type="simple" xlink:href="p.xml" '
+            'xlink:role="urn:role" xlink:arcrole="urn:arc" xlink:title="T" '
+            'xlink:show="new" xlink:actuate="onRequest"/>'
+        )
+        link = parse_simple_link(el)
+        assert link.role == "urn:role"
+        assert link.arcrole == "urn:arc"
+        assert link.title == "T"
+        assert link.show is Show.NEW
+        assert link.actuate is Actuate.ON_REQUEST
+
+    def test_simple_link_without_href_rejected(self):
+        el = parse_element(f'<a {XLINK} xlink:type="simple"/>')
+        with pytest.raises(XLinkSyntaxError):
+            parse_simple_link(el)
+
+    def test_bad_show_value_rejected(self):
+        el = parse_element(
+            f'<a {XLINK} xlink:type="simple" xlink:href="x" xlink:show="popup"/>'
+        )
+        with pytest.raises(XLinkSyntaxError):
+            parse_simple_link(el)
+
+    def test_bad_type_value_rejected(self):
+        doc = parse(f'<a {XLINK} xlink:type="hyper"/>')
+        with pytest.raises(XLinkSyntaxError):
+            find_links(doc)
+
+
+EXTENDED = f"""
+<links {XLINK} xlink:type="extended" xlink:title="museum links">
+  <loc xlink:type="locator" xlink:href="picasso.xml" xlink:label="painter"/>
+  <loc xlink:type="locator" xlink:href="guitar.xml" xlink:label="painting"/>
+  <loc xlink:type="locator" xlink:href="guernica.xml" xlink:label="painting"/>
+  <local xlink:type="resource" xlink:label="index">Index page</local>
+  <go xlink:type="arc" xlink:from="painter" xlink:to="painting"
+      xlink:arcrole="urn:paints" xlink:show="replace"/>
+  <ttl xlink:type="title">The museum linkbase</ttl>
+  <ignored xlink:type="none"><loc xlink:type="locator" xlink:href="no.xml"/></ignored>
+</links>
+"""
+
+
+class TestExtendedLinks:
+    def test_participants_collected(self):
+        link = parse_extended_link(parse_element(EXTENDED))
+        assert len(link.locators) == 3
+        assert len(link.resources) == 1
+
+    def test_labels(self):
+        link = parse_extended_link(parse_element(EXTENDED))
+        assert link.labels() == {"painter", "painting", "index"}
+
+    def test_arc_attributes(self):
+        link = parse_extended_link(parse_element(EXTENDED))
+        (arc,) = link.arcs
+        assert (arc.from_label, arc.to_label) == ("painter", "painting")
+        assert arc.arcrole == "urn:paints"
+        assert arc.show is Show.REPLACE
+
+    def test_title_element_used_when_no_attribute(self):
+        source = EXTENDED.replace(' xlink:title="museum links"', "")
+        link = parse_extended_link(parse_element(source))
+        assert link.title == "The museum linkbase"
+
+    def test_title_attribute_wins(self):
+        link = parse_extended_link(parse_element(EXTENDED))
+        assert link.title == "museum links"
+
+    def test_type_none_children_skipped(self):
+        link = parse_extended_link(parse_element(EXTENDED))
+        hrefs = {str(l.href) for l in link.locators}
+        assert "no.xml" not in hrefs
+
+    def test_locator_without_href_rejected(self):
+        source = f"""
+        <links {XLINK} xlink:type="extended">
+          <loc xlink:type="locator" xlink:label="x"/>
+        </links>"""
+        with pytest.raises(XLinkSyntaxError):
+            parse_extended_link(parse_element(source))
+
+    def test_bad_label_rejected(self):
+        source = f"""
+        <links {XLINK} xlink:type="extended">
+          <loc xlink:type="locator" xlink:href="x" xlink:label="two words"/>
+        </links>"""
+        with pytest.raises(XLinkSyntaxError):
+            parse_extended_link(parse_element(source))
+
+    def test_resource_element_kept(self):
+        link = parse_extended_link(parse_element(EXTENDED))
+        (resource,) = link.resources
+        assert resource.element.text_content() == "Index page"
+
+
+class TestFindLinks:
+    def test_finds_both_kinds_in_document_order(self):
+        doc = parse(
+            f"""
+        <page {XLINK}>
+          <a xlink:type="simple" xlink:href="one.xml"/>
+          <links xlink:type="extended"/>
+          <deep><a xlink:type="simple" xlink:href="two.xml"/></deep>
+        </page>"""
+        )
+        links = find_links(doc)
+        kinds = [type(l).__name__ for l in links]
+        assert kinds == ["SimpleLink", "ExtendedLink", "SimpleLink"]
+
+    def test_does_not_descend_into_extended_links(self):
+        doc = parse(
+            f"""
+        <page {XLINK}>
+          <links xlink:type="extended">
+            <a xlink:type="simple" xlink:href="inner.xml"/>
+          </links>
+        </page>"""
+        )
+        links = find_links(doc)
+        assert len(links) == 1
+        assert isinstance(links[0], ExtendedLink)
+
+    def test_simple_link_content_is_scanned(self):
+        doc = parse(
+            f"""
+        <page {XLINK}>
+          <a xlink:type="simple" xlink:href="outer.xml">
+            <b xlink:type="simple" xlink:href="inner.xml"/>
+          </a>
+        </page>"""
+        )
+        assert len(find_links(doc)) == 2
+
+    def test_document_without_links(self):
+        assert find_links(parse("<page><p>plain</p></page>")) == []

@@ -1,0 +1,86 @@
+"""Property-based tests for XLink invariants.
+
+The linkbase graph invariants: every traversal connects participants of the
+same link, arc expansion size equals the product of the endpoint label
+populations, and the graph's outgoing/incoming indexes agree with the flat
+traversal list.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xlink import Arc, ExtendedLink, LinkGraph, Locator, UriReference, expand_arcs
+
+labels = st.sampled_from(["painter", "painting", "movement", "hall"])
+uris = st.builds(
+    lambda stem, n: f"{stem}{n}.xml",
+    st.sampled_from(["doc", "page", "node"]),
+    st.integers(0, 9),
+)
+
+
+@st.composite
+def extended_links(draw) -> ExtendedLink:
+    locators = tuple(
+        Locator(href=UriReference(draw(uris)), label=draw(labels))
+        for _ in range(draw(st.integers(1, 6)))
+    )
+    present = sorted({l.label for l in locators})
+    arcs = tuple(
+        Arc(
+            from_label=draw(st.one_of(st.none(), st.sampled_from(present))),
+            to_label=draw(st.one_of(st.none(), st.sampled_from(present))),
+            arcrole=draw(st.one_of(st.none(), st.just("urn:next"))),
+        )
+        for _ in range(draw(st.integers(0, 4)))
+    )
+    return ExtendedLink(locators=locators, arcs=arcs)
+
+
+def population(link: ExtendedLink, label):
+    return len(link.participants_for_label(label))
+
+
+@settings(max_examples=200, deadline=None)
+@given(extended_links())
+def test_expansion_size_is_product_of_label_populations(link):
+    seen: set[tuple] = set()
+    expected = 0
+    for arc in link.arcs:
+        pair = (arc.from_label, arc.to_label)
+        if pair in seen:
+            continue  # duplicates expand once
+        seen.add(pair)
+        expected += population(link, arc.from_label) * population(link, arc.to_label)
+    assert len(expand_arcs(link, strict=False)) == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(extended_links())
+def test_every_traversal_connects_participants_of_its_link(link):
+    participants = set(map(id, link.participants()))
+    for traversal in expand_arcs(link, strict=False):
+        assert id(traversal.start) in participants
+        assert id(traversal.end) in participants
+        assert traversal.link is link
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(extended_links(), max_size=4))
+def test_graph_indexes_agree_with_traversal_list(links):
+    graph = LinkGraph.from_links(links, strict=False)
+    total_out = sum(len(graph.outgoing(key)) for key in graph.resources())
+    total_in = sum(len(graph.incoming(key)) for key in graph.resources())
+    assert total_out == len(graph.traversals)
+    assert total_in == len(graph.traversals)
+
+
+@settings(max_examples=200, deadline=None)
+@given(extended_links())
+def test_arc_endpoints_respect_labels(link):
+    for traversal in expand_arcs(link, strict=False):
+        if traversal.arc.from_label is not None:
+            assert traversal.start.label == traversal.arc.from_label
+        if traversal.arc.to_label is not None:
+            assert traversal.end.label == traversal.arc.to_label

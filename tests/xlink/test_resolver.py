@@ -1,0 +1,91 @@
+"""Tests for URI resolution and the in-memory URI space."""
+
+import pytest
+
+from repro.xlink import UriReference, UriSpace, XLinkResolutionError, resolve_uri
+from repro.xmlcore import parse
+
+
+class TestResolveUri:
+    @pytest.mark.parametrize(
+        ("base", "reference", "expected"),
+        [
+            ("links.xml", "picasso.xml", "picasso.xml"),
+            ("museum/links.xml", "picasso.xml", "museum/picasso.xml"),
+            ("museum/links.xml", "../top.xml", "top.xml"),
+            ("museum/links.xml", "halls/h1.xml", "museum/halls/h1.xml"),
+            ("links.xml", "/absolute.xml", "/absolute.xml"),
+            ("links.xml", "http://w3.org/x", "http://w3.org/x"),
+            ("museum/links.xml", "", "museum/links.xml"),
+        ],
+    )
+    def test_resolution(self, base, reference, expected):
+        assert resolve_uri(base, reference) == expected
+
+
+class TestUriReference:
+    def test_parse_splits_fragment(self):
+        ref = UriReference.parse("picasso.xml#guitar")
+        assert (ref.uri, ref.fragment) == ("picasso.xml", "guitar")
+
+    def test_str_round_trip(self):
+        assert str(UriReference.parse("a.xml#element(x/1)")) == "a.xml#element(x/1)"
+
+    def test_fragment_only(self):
+        ref = UriReference.parse("#guitar")
+        assert ref.uri == ""
+        assert ref.fragment == "guitar"
+
+
+class TestUriSpace:
+    @pytest.fixture()
+    def space(self) -> UriSpace:
+        space = UriSpace()
+        space.add(
+            "picasso.xml",
+            "<painter id='picasso'><painting id='guitar'><title>Guitar</title>"
+            "</painting></painter>",
+        )
+        space.add("museum/hall.xml", "<hall id='h1'/>")
+        return space
+
+    def test_add_accepts_text_and_documents(self, space):
+        doc = parse("<x/>")
+        assert space.add("x.xml", doc) is doc
+        assert "x.xml" in space
+
+    def test_document_lookup(self, space):
+        assert space.document("picasso.xml").root_element.get("id") == "picasso"
+
+    def test_document_lookup_with_base(self, space):
+        doc = space.document("hall.xml", base="museum/links.xml")
+        assert doc.root_element.get("id") == "h1"
+
+    def test_missing_document_raises_with_known_uris(self, space):
+        with pytest.raises(XLinkResolutionError) as info:
+            space.document("ghost.xml")
+        assert "picasso.xml" in str(info.value)
+
+    def test_resolve_without_fragment_returns_root(self, space):
+        _, elements = space.resolve("picasso.xml")
+        assert elements[0].get("id") == "picasso"
+
+    def test_resolve_with_shorthand_fragment(self, space):
+        _, elements = space.resolve("picasso.xml#guitar")
+        assert elements[0].get("id") == "guitar"
+
+    def test_resolve_with_xpointer_fragment(self, space):
+        _, elements = space.resolve("picasso.xml#xpointer(//title)")
+        assert elements[0].text_content() == "Guitar"
+
+    def test_resolve_element_strictness(self, space):
+        with pytest.raises(XLinkResolutionError):
+            space.resolve_element("picasso.xml#missing")
+
+    def test_same_document_reference_needs_base(self, space):
+        with pytest.raises(XLinkResolutionError):
+            space.resolve("#guitar")
+
+    def test_same_document_reference_with_base(self, space):
+        _, elements = space.resolve("#guitar", base="picasso.xml")
+        assert elements[0].get("id") == "guitar"

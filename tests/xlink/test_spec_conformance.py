@@ -1,0 +1,139 @@
+"""Conformance checks against markup shapes from the XLink 1.0 spec itself.
+
+The spec's prose examples (course/student extended links, the remote
+resource fan-out, linkbase chaining) are reproduced here as parse-and-
+expand fixtures, so our processor's reading of the normative data model is
+pinned to the document the paper cites as [7].
+"""
+
+import pytest
+
+from repro.xlink import (
+    Actuate,
+    LinkGraph,
+    Show,
+    UriSpace,
+    XLinkType,
+    expand_arcs,
+    find_links,
+    parse_extended_link,
+    xlink_type,
+)
+from repro.xmlcore import parse, parse_element
+
+XLINK = 'xmlns:xlink="http://www.w3.org/1999/xlink"'
+
+# Adapted from XLink 1.0 §5.1's course-load example: an extended link with
+# several participants per label and one arc over the label pair.
+COURSE_LOAD = f"""
+<courseload {XLINK} xlink:type="extended">
+  <tooltip xlink:type="title">Course Load for Pat Jones</tooltip>
+  <person xlink:type="locator" xlink:href="students/patjones62.xml"
+          xlink:label="student62" xlink:role="http://www.example.com/linkprops/student"
+          xlink:title="Pat Jones"/>
+  <person xlink:type="locator" xlink:href="profs/jaysmith7.xml"
+          xlink:label="prof7" xlink:role="http://www.example.com/linkprops/professor"
+          xlink:title="Dr. Jay Smith"/>
+  <course xlink:type="locator" xlink:href="courses/cs101.xml"
+          xlink:label="CS-101" xlink:title="Computer Science 101"/>
+  <go xlink:type="arc" xlink:from="student62" xlink:to="CS-101"
+      xlink:show="new" xlink:actuate="onRequest"
+      xlink:arcrole="http://www.example.com/linkprops/attends"
+      xlink:title="Pat Jones, attending CS 101"/>
+</courseload>
+"""
+
+
+class TestCourseLoadExample:
+    def test_link_harvested(self):
+        link = parse_extended_link(parse_element(COURSE_LOAD))
+        assert len(link.locators) == 3
+        assert link.title == "Course Load for Pat Jones"
+
+    def test_locator_roles_preserved(self):
+        link = parse_extended_link(parse_element(COURSE_LOAD))
+        student = next(l for l in link.locators if l.label == "student62")
+        assert student.role == "http://www.example.com/linkprops/student"
+        assert student.title == "Pat Jones"
+
+    def test_arc_traversal_semantics(self):
+        link = parse_extended_link(parse_element(COURSE_LOAD))
+        (traversal,) = expand_arcs(link)
+        assert str(traversal.start.href) == "students/patjones62.xml"
+        assert str(traversal.end.href) == "courses/cs101.xml"
+        assert traversal.arc.show is Show.NEW
+        assert traversal.arc.actuate is Actuate.ON_REQUEST
+        assert traversal.arc.arcrole == "http://www.example.com/linkprops/attends"
+
+    def test_label_is_not_an_id(self):
+        """Several participants may share a label (spec §5.1.3)."""
+        doubled = COURSE_LOAD.replace('xlink:label="prof7"', 'xlink:label="student62"')
+        link = parse_extended_link(parse_element(doubled))
+        assert len(link.participants_for_label("student62")) == 2
+        assert len(expand_arcs(link)) == 2
+
+
+class TestSimpleLinkConformance:
+    def test_spec_simple_link_shape(self):
+        # The classic inline link: type, href, optional behaviour attributes.
+        doc = parse(
+            f"""
+        <my:crossReference {XLINK} xmlns:my="http://example.com/"
+            xlink:type="simple" xlink:href="students.xml"
+            xlink:role="http://www.example.com/linkprops/studentlist"
+            xlink:title="Current List of Students"
+            xlink:show="replace" xlink:actuate="onRequest">
+          Current Students
+        </my:crossReference>"""
+        )
+        (link,) = find_links(doc)
+        assert str(link.href) == "students.xml"
+        assert link.show is Show.REPLACE
+        assert link.element.text_content().strip() == "Current Students"
+
+    def test_element_names_are_irrelevant(self):
+        """XLink processors dispatch on xlink:type, never on element names."""
+        for name in ("a", "crossReference", "völlig-beliebig"):
+            el = parse_element(
+                f'<{name} {XLINK} xlink:type="simple" xlink:href="x.xml"/>'
+            )
+            assert xlink_type(el) is XLinkType.SIMPLE
+
+    def test_none_type_disables_processing(self):
+        doc = parse(
+            f"""
+        <page {XLINK}>
+          <a xlink:type="none" xlink:href="not-a-link.xml"/>
+        </page>"""
+        )
+        assert find_links(doc) == []
+
+
+class TestOutOfLineThirdPartyLinks:
+    """§2.3: extended links can link documents that do not know about them —
+    the property the paper's whole proposal rests on."""
+
+    def test_data_documents_need_no_markup(self):
+        space = UriSpace()
+        space.add("students.xml", "<students><student id='pat'/></students>")
+        space.add("courses.xml", "<courses><course id='cs101'/></courses>")
+        space.add(
+            "linkbase.xml",
+            f"""
+            <lb {XLINK}>
+              <set xlink:type="extended">
+                <l xlink:type="locator" xlink:href="students.xml#pat" xlink:label="s"/>
+                <l xlink:type="locator" xlink:href="courses.xml#cs101" xlink:label="c"/>
+                <a xlink:type="arc" xlink:from="s" xlink:to="c"/>
+              </set>
+            </lb>""",
+        )
+        graph = LinkGraph.from_links(
+            [l for l in find_links(space.document("linkbase.xml"))
+             if not hasattr(l, "href")]
+        )
+        (traversal,) = graph.outgoing("students.xml#pat")
+        # The endpoints resolve into documents that carry zero link markup.
+        __, elements = space.resolve(traversal.end.href)
+        assert elements[0].get("id") == "cs101"
+        assert "xlink" not in str(space.document("students.xml").root_element.namespaces)

@@ -1,0 +1,135 @@
+"""Tests for arc expansion and the link graph."""
+
+import pytest
+
+from repro.xlink import (
+    LinkGraph,
+    XLinkSyntaxError,
+    expand_arcs,
+    parse_extended_link,
+)
+from repro.xmlcore import parse_element
+
+XLINK = 'xmlns:xlink="http://www.w3.org/1999/xlink"'
+
+
+def make_link(body: str):
+    return parse_extended_link(
+        parse_element(f'<links {XLINK} xlink:type="extended">{body}</links>')
+    )
+
+
+class TestExpansion:
+    def test_one_to_one(self):
+        link = make_link(
+            '<l xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>'
+            '<l xlink:type="locator" xlink:href="b.xml" xlink:label="b"/>'
+            '<arc xlink:type="arc" xlink:from="a" xlink:to="b"/>'
+        )
+        (traversal,) = expand_arcs(link)
+        assert str(traversal.start.href) == "a.xml"
+        assert str(traversal.end.href) == "b.xml"
+
+    def test_shared_label_fans_out(self):
+        link = make_link(
+            '<l xlink:type="locator" xlink:href="p.xml" xlink:label="painter"/>'
+            '<l xlink:type="locator" xlink:href="g1.xml" xlink:label="painting"/>'
+            '<l xlink:type="locator" xlink:href="g2.xml" xlink:label="painting"/>'
+            '<arc xlink:type="arc" xlink:from="painter" xlink:to="painting"/>'
+        )
+        assert len(expand_arcs(link)) == 2
+
+    def test_missing_from_means_every_participant(self):
+        link = make_link(
+            '<l xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>'
+            '<l xlink:type="locator" xlink:href="b.xml" xlink:label="b"/>'
+            '<arc xlink:type="arc" xlink:to="b"/>'
+        )
+        starts = {str(t.start.href) for t in expand_arcs(link)}
+        assert starts == {"a.xml", "b.xml"}
+
+    def test_missing_both_is_full_cross_product(self):
+        link = make_link(
+            '<l xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>'
+            '<l xlink:type="locator" xlink:href="b.xml" xlink:label="b"/>'
+            '<arc xlink:type="arc"/>'
+        )
+        assert len(expand_arcs(link)) == 4
+
+    def test_local_resources_participate(self):
+        link = make_link(
+            '<r xlink:type="resource" xlink:label="here">content</r>'
+            '<l xlink:type="locator" xlink:href="away.xml" xlink:label="there"/>'
+            '<arc xlink:type="arc" xlink:from="here" xlink:to="there"/>'
+        )
+        (traversal,) = expand_arcs(link)
+        assert traversal.start.label == "here"
+
+    def test_undefined_label_strict_raises(self):
+        link = make_link(
+            '<l xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>'
+            '<arc xlink:type="arc" xlink:from="a" xlink:to="ghost"/>'
+        )
+        with pytest.raises(XLinkSyntaxError):
+            expand_arcs(link)
+
+    def test_undefined_label_lenient_is_empty(self):
+        link = make_link(
+            '<l xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>'
+            '<arc xlink:type="arc" xlink:from="a" xlink:to="ghost"/>'
+        )
+        assert expand_arcs(link, strict=False) == []
+
+    def test_duplicate_arcs_expand_once(self):
+        link = make_link(
+            '<l xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>'
+            '<l xlink:type="locator" xlink:href="b.xml" xlink:label="b"/>'
+            '<arc xlink:type="arc" xlink:from="a" xlink:to="b"/>'
+            '<arc xlink:type="arc" xlink:from="a" xlink:to="b"/>'
+        )
+        assert len(expand_arcs(link)) == 1
+
+
+class TestLinkGraph:
+    def _museum_graph(self) -> LinkGraph:
+        link = make_link(
+            '<l xlink:type="locator" xlink:href="picasso.xml" xlink:label="painter"/>'
+            '<l xlink:type="locator" xlink:href="guitar.xml" xlink:label="painting"/>'
+            '<l xlink:type="locator" xlink:href="guernica.xml" xlink:label="painting"/>'
+            '<arc xlink:type="arc" xlink:from="painter" xlink:to="painting" '
+            'xlink:arcrole="urn:paints"/>'
+            '<arc xlink:type="arc" xlink:from="painting" xlink:to="painter" '
+            'xlink:arcrole="urn:painted-by"/>'
+        )
+        return LinkGraph.from_links([link])
+
+    def test_outgoing_by_href_string(self):
+        graph = self._museum_graph()
+        assert len(graph.outgoing("picasso.xml")) == 2
+
+    def test_incoming(self):
+        graph = self._museum_graph()
+        assert len(graph.incoming("picasso.xml")) == 2
+        assert len(graph.incoming("guitar.xml")) == 1
+
+    def test_outgoing_by_arcrole(self):
+        graph = self._museum_graph()
+        back = graph.outgoing_by_arcrole("guitar.xml", "urn:painted-by")
+        assert len(back) == 1
+        assert str(back[0].end.href) == "picasso.xml"
+
+    def test_resources_enumerated(self):
+        graph = self._museum_graph()
+        assert graph.resources() == {"picasso.xml", "guitar.xml", "guernica.xml"}
+
+    def test_len_counts_traversals(self):
+        assert len(self._museum_graph()) == 4
+
+    def test_unknown_resource_has_no_edges(self):
+        graph = self._museum_graph()
+        assert graph.outgoing("nowhere.xml") == []
+
+    def test_traversal_describe_mentions_endpoints(self):
+        graph = self._museum_graph()
+        text = graph.outgoing("picasso.xml")[0].describe()
+        assert "picasso.xml" in text and "->" in text

@@ -1,0 +1,105 @@
+"""Tests for XLink structural validation."""
+
+import pytest
+
+from repro.xlink import (
+    Severity,
+    assert_valid,
+    parse_extended_link,
+    parse_simple_link,
+    validate_link,
+)
+from repro.xmlcore import parse_element
+
+XLINK = 'xmlns:xlink="http://www.w3.org/1999/xlink"'
+
+
+def extended(body: str):
+    return parse_extended_link(
+        parse_element(f'<links {XLINK} xlink:type="extended">{body}</links>')
+    )
+
+
+def errors_of(link):
+    return [i for i in validate_link(link) if i.severity is Severity.ERROR]
+
+
+def warnings_of(link):
+    return [i for i in validate_link(link) if i.severity is Severity.WARNING]
+
+
+class TestExtendedValidation:
+    def test_clean_link(self):
+        link = extended(
+            '<l xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>'
+            '<l xlink:type="locator" xlink:href="b.xml" xlink:label="b"/>'
+            '<arc xlink:type="arc" xlink:from="a" xlink:to="b"/>'
+        )
+        assert validate_link(link) == []
+
+    def test_arc_to_undefined_label_is_error(self):
+        link = extended(
+            '<l xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>'
+            '<arc xlink:type="arc" xlink:from="a" xlink:to="ghost"/>'
+        )
+        assert any("ghost" in e.message for e in errors_of(link))
+
+    def test_duplicate_arc_is_error(self):
+        link = extended(
+            '<l xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>'
+            '<arc xlink:type="arc" xlink:from="a" xlink:to="a"/>'
+            '<arc xlink:type="arc" xlink:from="a" xlink:to="a"/>'
+        )
+        assert any("duplicate" in e.message for e in errors_of(link))
+
+    def test_unused_label_is_warning(self):
+        link = extended(
+            '<l xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>'
+            '<l xlink:type="locator" xlink:href="b.xml" xlink:label="b"/>'
+            '<l xlink:type="locator" xlink:href="c.xml" xlink:label="unused"/>'
+            '<arc xlink:type="arc" xlink:from="a" xlink:to="b"/>'
+        )
+        assert any("unused" in w.message for w in warnings_of(link))
+
+    def test_unlabelled_participant_with_explicit_arcs_is_warning(self):
+        link = extended(
+            '<l xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>'
+            '<l xlink:type="locator" xlink:href="b.xml"/>'
+            '<arc xlink:type="arc" xlink:from="a" xlink:to="a"/>'
+        )
+        assert warnings_of(link)
+
+    def test_open_arc_uses_every_participant_no_warning(self):
+        link = extended(
+            '<l xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>'
+            '<l xlink:type="locator" xlink:href="b.xml"/>'
+            '<arc xlink:type="arc"/>'
+        )
+        assert warnings_of(link) == []
+
+    def test_participants_without_arcs_is_warning(self):
+        link = extended('<l xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>')
+        assert any("no arcs" in w.message for w in warnings_of(link))
+
+    def test_empty_link_is_warning(self):
+        assert any("no participants" in w.message for w in warnings_of(extended("")))
+
+    def test_assert_valid_raises_on_errors_only(self):
+        noisy = extended('<l xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>')
+        assert_valid(noisy)  # warnings do not raise
+        broken = extended(
+            '<l xlink:type="locator" xlink:href="a.xml" xlink:label="a"/>'
+            '<arc xlink:type="arc" xlink:from="a" xlink:to="ghost"/>'
+        )
+        with pytest.raises(ValueError):
+            assert_valid(broken)
+
+
+class TestSimpleValidation:
+    def test_clean_simple_link(self):
+        el = parse_element(f'<a {XLINK} xlink:type="simple" xlink:href="x.xml"/>')
+        assert validate_link(parse_simple_link(el)) == []
+
+    def test_empty_href_is_error(self):
+        el = parse_element(f'<a {XLINK} xlink:type="simple" xlink:href=""/>')
+        assert errors_of(parse_simple_link(el))

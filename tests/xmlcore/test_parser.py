@@ -1,0 +1,160 @@
+"""Tests for the DOM parser: tree shape, namespaces, well-formedness."""
+
+import pytest
+
+from repro.xmlcore import (
+    Comment,
+    ProcessingInstruction,
+    QName,
+    Text,
+    XLINK_NAMESPACE,
+    XML_NAMESPACE,
+    XmlNamespaceError,
+    XmlWellFormednessError,
+    parse,
+    parse_element,
+)
+
+
+class TestTreeShape:
+    def test_root_element_name(self):
+        doc = parse("<museum/>")
+        assert doc.root_element.name == QName(None, "museum")
+
+    def test_nested_children_in_order(self):
+        root = parse_element("<m><a/><b/><c/></m>")
+        assert [el.name.local for el in root.child_elements()] == ["a", "b", "c"]
+
+    def test_text_nodes_preserved(self):
+        root = parse_element("<t>one<sep/>two</t>")
+        kinds = [type(node).__name__ for node in root.children]
+        assert kinds == ["Text", "Element", "Text"]
+
+    def test_comment_inside_element(self):
+        root = parse_element("<t><!--note--></t>")
+        assert isinstance(root.children[0], Comment)
+        assert root.children[0].value == "note"
+
+    def test_pi_at_document_level(self):
+        doc = parse('<?xml-stylesheet href="x"?><a/>')
+        assert isinstance(doc.children[0], ProcessingInstruction)
+
+    def test_cdata_contributes_to_text_content(self):
+        root = parse_element("<t><![CDATA[a < b]]></t>")
+        assert root.text_content() == "a < b"
+
+    def test_deeply_nested_document(self):
+        source = "<a>" * 200 + "x" + "</a>" * 200
+        root = parse_element(source)
+        depth = 0
+        node = root
+        while node.child_elements():
+            node = node.child_elements()[0]
+            depth += 1
+        assert depth == 199
+
+    def test_xml_declaration_sets_encoding(self):
+        doc = parse('<?xml version="1.0" encoding="ISO-8859-1"?><a/>')
+        assert doc.encoding == "ISO-8859-1"
+
+
+class TestNamespaces:
+    def test_default_namespace_applies_to_elements(self):
+        root = parse_element('<m xmlns="urn:museum"><p/></m>')
+        assert root.name == QName("urn:museum", "m")
+        assert root.child_elements()[0].name == QName("urn:museum", "p")
+
+    def test_default_namespace_does_not_apply_to_attributes(self):
+        root = parse_element('<m xmlns="urn:museum" id="x"/>')
+        assert root.get(QName(None, "id")) == "x"
+
+    def test_prefixed_element(self):
+        root = parse_element('<x:m xmlns:x="urn:museum"/>')
+        assert root.name == QName("urn:museum", "m")
+        assert root.prefix == "x"
+
+    def test_prefixed_attribute(self):
+        root = parse_element(
+            '<a xmlns:xlink="%s" xlink:href="pic.xml"/>' % XLINK_NAMESPACE
+        )
+        assert root.get(QName(XLINK_NAMESPACE, "href")) == "pic.xml"
+
+    def test_inner_declaration_shadows_outer(self):
+        root = parse_element(
+            '<m xmlns:p="urn:one"><inner xmlns:p="urn:two"><p:x/></inner></m>'
+        )
+        x = root.find("x")
+        assert x.name == QName("urn:two", "x")
+
+    def test_default_namespace_can_be_undeclared(self):
+        root = parse_element('<m xmlns="urn:one"><inner xmlns=""><x/></inner></m>')
+        assert root.find("x").name == QName(None, "x")
+
+    def test_xml_prefix_is_implicit(self):
+        root = parse_element('<a xml:lang="es"/>')
+        assert root.get(QName(XML_NAMESPACE, "lang")) == "es"
+
+    def test_undeclared_element_prefix_rejected(self):
+        with pytest.raises(XmlNamespaceError):
+            parse("<x:a/>")
+
+    def test_undeclared_attribute_prefix_rejected(self):
+        with pytest.raises(XmlNamespaceError):
+            parse('<a x:attr="1"/>')
+
+    def test_xmlns_prefix_cannot_be_declared(self):
+        with pytest.raises(XmlNamespaceError):
+            parse('<a xmlns:xmlns="urn:x"/>')
+
+    def test_xml_prefix_must_bind_to_xml_namespace(self):
+        with pytest.raises(XmlNamespaceError):
+            parse('<a xmlns:xml="urn:wrong"/>')
+
+    def test_prefix_undeclaration_rejected(self):
+        with pytest.raises(XmlNamespaceError):
+            parse('<a xmlns:p=""/>')
+
+    def test_same_local_name_different_prefixes_not_duplicate(self):
+        root = parse_element(
+            '<a xmlns:p="urn:one" xmlns:q="urn:two" p:x="1" q:x="2"/>'
+        )
+        assert root.get(QName("urn:one", "x")) == "1"
+        assert root.get(QName("urn:two", "x")) == "2"
+
+    def test_same_expanded_name_via_two_prefixes_is_duplicate(self):
+        with pytest.raises(XmlWellFormednessError):
+            parse('<a xmlns:p="urn:one" xmlns:q="urn:one" p:x="1" q:x="2"/>')
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "<a><b></a></b>",      # mismatched nesting
+            "<a>",                  # unclosed element
+            "</a>",                 # end tag with no start
+            "<a/><b/>",            # two root elements
+            "<a/>text",            # text after root
+            "text<a/>",            # text before root
+            "",                     # empty document
+            "   ",                  # whitespace-only document
+            '<a x="1" x="2"/>',    # duplicate attribute
+            "<a/><!DOCTYPE a>",    # DOCTYPE after root
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(XmlWellFormednessError):
+            parse(source)
+
+    def test_whitespace_around_root_is_fine(self):
+        doc = parse("\n  <a/>\n")
+        assert doc.root_element.name.local == "a"
+
+    def test_comments_outside_root_are_fine(self):
+        doc = parse("<!--before--><a/><!--after-->")
+        assert doc.root_element.name.local == "a"
+
+    def test_error_position_reported(self):
+        with pytest.raises(XmlWellFormednessError) as info:
+            parse("<a>\n\n</b>")
+        assert info.value.line == 3

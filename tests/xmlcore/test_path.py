@@ -1,0 +1,118 @@
+"""Tests for the path query language."""
+
+import pytest
+
+from repro.xmlcore import parse, parse_element, query, query_one
+from repro.xmlcore.path import XmlPathError, parse_path
+
+MUSEUM = """
+<museum>
+  <painter id="picasso">
+    <name>Pablo Picasso</name>
+    <painting id="guitar"><title>Guitar</title><year>1913</year></painting>
+    <painting id="guernica"><title>Guernica</title><year>1937</year></painting>
+  </painter>
+  <painter id="dali">
+    <name>Salvador Dali</name>
+    <painting id="memory"><title>The Persistence of Memory</title><year>1931</year></painting>
+  </painter>
+</museum>
+"""
+
+
+@pytest.fixture()
+def museum():
+    return parse_element(MUSEUM)
+
+
+class TestChildSteps:
+    def test_single_child_step(self, museum):
+        assert len(query(museum, "painter")) == 2
+
+    def test_nested_steps(self, museum):
+        titles = query(museum, "painter/painting/title/text()")
+        assert titles == ["Guitar", "Guernica", "The Persistence of Memory"]
+
+    def test_star_matches_any_child(self, museum):
+        assert len(query(museum, "painter/*")) == 5
+
+    def test_no_match_returns_empty(self, museum):
+        assert query(museum, "sculpture") == []
+
+
+class TestDescendantSteps:
+    def test_leading_descendant_axis(self, museum):
+        assert len(query(museum, "//painting")) == 3
+
+    def test_descendant_in_the_middle(self, museum):
+        years = query(museum, "painter[@id='picasso']//year/text()")
+        assert years == ["1913", "1937"]
+
+    def test_descendant_results_deduplicated(self, museum):
+        # Both painter steps can reach the same painting elements only once.
+        assert len(query(museum, "//painter//painting")) == 3
+
+
+class TestPredicates:
+    def test_positional_predicate_is_one_based(self, museum):
+        second = query_one(museum, "painter[2]")
+        assert second.get("id") == "dali"
+
+    def test_position_out_of_range(self, museum):
+        assert query(museum, "painter[9]") == []
+
+    def test_attribute_predicate(self, museum):
+        el = query_one(museum, "//painting[@id='guernica']")
+        assert el.find("title").text_content() == "Guernica"
+
+    def test_attribute_predicate_double_quotes(self, museum):
+        el = query_one(museum, '//painting[@id="memory"]')
+        assert el is not None
+
+    def test_predicate_applies_per_context_node(self, museum):
+        # painting[1] means "first painting of each painter", so two results.
+        firsts = query(museum, "painter/painting[1]/@id")
+        assert firsts == ["guitar", "memory"]
+
+
+class TestTerminalSteps:
+    def test_attribute_step_returns_strings(self, museum):
+        assert query(museum, "painter/@id") == ["picasso", "dali"]
+
+    def test_attribute_step_skips_missing(self, museum):
+        assert query(museum, "painter/name/@id") == []
+
+    def test_text_step(self, museum):
+        assert query(museum, "painter[1]/name/text()") == ["Pablo Picasso"]
+
+    def test_dot_step_is_identity(self, museum):
+        assert query(museum, "./painter/@id") == ["picasso", "dali"]
+
+
+class TestFromDocument:
+    def test_query_from_document_node(self):
+        doc = parse("<m><a/></m>")
+        assert len(query(doc, "m/a")) == 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "expression",
+        ["", "   ", "/abs", "@id/title", "text()/more", "a//"],
+    )
+    def test_invalid_expressions_rejected(self, expression, museum):
+        with pytest.raises(XmlPathError):
+            query(museum, expression)
+
+    def test_parse_path_exposes_steps(self):
+        steps = parse_path("//painting[@id='x']/title")
+        assert steps[0].axis == "descendant"
+        assert steps[0].attr_name == "id"
+        assert steps[1].test == "title"
+
+
+class TestClarkNameTests:
+    def test_exact_expanded_name_match(self):
+        root = parse_element('<m xmlns:x="urn:x"><x:p/><p/></m>')
+        assert len(query(root, "{urn:x}p")) == 1
+        assert len(query(root, "p")) == 2

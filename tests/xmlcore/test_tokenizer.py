@@ -1,0 +1,162 @@
+"""Tests for the XML tokenizer."""
+
+import pytest
+
+from repro.xmlcore.errors import XmlSyntaxError
+from repro.xmlcore.tokenizer import (
+    CDataToken,
+    CommentToken,
+    DoctypeToken,
+    EndTagToken,
+    PIToken,
+    StartTagToken,
+    TextToken,
+    XmlDeclToken,
+    tokenize,
+)
+
+
+class TestBasicTokens:
+    def test_single_element(self):
+        start, end = tokenize("<a></a>")
+        assert isinstance(start, StartTagToken) and start.name == "a"
+        assert isinstance(end, EndTagToken) and end.name == "a"
+
+    def test_self_closing_tag(self):
+        (token,) = tokenize("<br/>")
+        assert token.self_closing
+
+    def test_self_closing_with_space(self):
+        (token,) = tokenize("<br />")
+        assert token.self_closing
+
+    def test_text_between_tags(self):
+        tokens = tokenize("<a>hello</a>")
+        assert isinstance(tokens[1], TextToken)
+        assert tokens[1].value == "hello"
+
+    def test_attributes_preserved_in_order(self):
+        (token,) = tokenize('<a x="1" y="2" z="3"/>')
+        assert token.attributes == (("x", "1"), ("y", "2"), ("z", "3"))
+
+    def test_single_quoted_attribute(self):
+        (token,) = tokenize("<a x='1'/>")
+        assert token.attributes == (("x", "1"),)
+
+    def test_whitespace_around_equals(self):
+        (token,) = tokenize('<a x = "1"/>')
+        assert token.attributes == (("x", "1"),)
+
+    def test_comment(self):
+        (token,) = tokenize("<!-- a comment -->")
+        assert isinstance(token, CommentToken)
+        assert token.value == " a comment "
+
+    def test_cdata_section(self):
+        tokens = tokenize("<a><![CDATA[<raw> & markup]]></a>")
+        assert isinstance(tokens[1], CDataToken)
+        assert tokens[1].value == "<raw> & markup"
+
+    def test_processing_instruction(self):
+        (token,) = tokenize('<?xml-stylesheet href="s.xsl"?>')
+        assert isinstance(token, PIToken)
+        assert token.target == "xml-stylesheet"
+        assert token.data == 'href="s.xsl"'
+
+    def test_doctype_is_skipped_to_one_token(self):
+        tokens = tokenize("<!DOCTYPE html><a/>")
+        assert isinstance(tokens[0], DoctypeToken)
+        assert tokens[0].name == "html"
+
+
+class TestXmlDeclaration:
+    def test_version_and_encoding(self):
+        tokens = tokenize('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        decl = tokens[0]
+        assert isinstance(decl, XmlDeclToken)
+        assert decl.version == "1.0"
+        assert decl.encoding == "UTF-8"
+
+    def test_standalone_yes(self):
+        tokens = tokenize('<?xml version="1.0" standalone="yes"?><a/>')
+        assert tokens[0].standalone is True
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            tokenize('<?xml version="2.0"?><a/>')
+
+    def test_bad_standalone_value_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            tokenize('<?xml version="1.0" standalone="maybe"?><a/>')
+
+
+class TestReferences:
+    def test_predefined_entities_in_text(self):
+        tokens = tokenize("<a>&lt;&amp;&gt;&quot;&apos;</a>")
+        assert tokens[1].value == "<&>\"'"
+
+    def test_decimal_character_reference(self):
+        tokens = tokenize("<a>&#65;</a>")
+        assert tokens[1].value == "A"
+
+    def test_hex_character_reference(self):
+        tokens = tokenize("<a>&#x1F3A8;</a>")
+        assert tokens[1].value == "\U0001f3a8"
+
+    def test_entity_in_attribute_value(self):
+        (token,) = tokenize('<a title="Tom &amp; Jerry"/>')
+        assert token.attributes == (("title", "Tom & Jerry"),)
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            tokenize("<a>&nbsp;</a>")
+
+    def test_malformed_character_reference_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            tokenize("<a>&#xZZ;</a>")
+
+    def test_out_of_range_character_reference_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            tokenize("<a>&#x110000;</a>")
+
+
+class TestAttributeNormalization:
+    def test_newline_in_attribute_becomes_space(self):
+        (token,) = tokenize('<a title="two\nlines"/>')
+        assert token.attributes == (("title", "two lines"),)
+
+    def test_tab_in_attribute_becomes_space(self):
+        (token,) = tokenize('<a title="a\tb"/>')
+        assert token.attributes == (("a".replace("a", "title"), "a b"),)
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "<a",                       # unterminated start tag
+            "<a x=1/>",                 # unquoted attribute
+            '<a x="1/>',                # unterminated attribute value
+            "<a><!-- comment</a>",      # unterminated comment
+            "<!-- double -- dash -->",  # -- inside comment
+            "<a><![CDATA[oops</a>",     # unterminated CDATA
+            '<a x="<"/>',               # literal < in attribute
+            "<a>]]></a>",               # ]]> in character data
+            '<ax="1"/>',                # missing space before attribute
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(XmlSyntaxError):
+            tokenize(source)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XmlSyntaxError) as info:
+            tokenize("<a>\n<b x=bad/></a>")
+        assert info.value.line == 2
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("<a>\n  <b/>\n</a>")
+        b = tokens[2]
+        assert (b.line, b.column) == (2, 3)

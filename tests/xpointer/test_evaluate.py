@@ -1,0 +1,97 @@
+"""Tests for XPointer evaluation against documents."""
+
+import pytest
+
+from repro.xmlcore import parse
+from repro.xpointer import (
+    XPointerResolutionError,
+    resolve,
+    resolve_all,
+)
+
+DOC = parse(
+    """
+<museum>
+  <painter id="picasso">
+    <name>Pablo Picasso</name>
+    <painting id="guitar"><title>Guitar</title><year>1913</year></painting>
+    <painting id="guernica"><title>Guernica</title></painting>
+  </painter>
+  <hall xml:id="hall-1"><capacity>120</capacity></hall>
+</museum>
+"""
+)
+
+
+class TestShorthand:
+    def test_resolves_plain_id(self):
+        assert resolve(DOC, "guitar").name.local == "painting"
+
+    def test_resolves_xml_id(self):
+        assert resolve(DOC, "hall-1").name.local == "hall"
+
+    def test_missing_id_is_empty(self):
+        assert resolve_all(DOC, "nope") == []
+
+    def test_strict_resolve_raises_on_missing(self):
+        with pytest.raises(XPointerResolutionError):
+            resolve(DOC, "nope")
+
+
+class TestElementScheme:
+    def test_id_anchor(self):
+        assert resolve(DOC, "element(guitar)").get("id") == "guitar"
+
+    def test_id_anchor_with_steps(self):
+        el = resolve(DOC, "element(picasso/2/1)")
+        assert el.text_content() == "Guitar"
+
+    def test_rooted_sequence(self):
+        el = resolve(DOC, "element(/1/1/2)")
+        assert el.get("id") == "guitar"
+
+    def test_rooted_sequence_must_start_at_1(self):
+        assert resolve_all(DOC, "element(/2)") == []
+
+    def test_step_beyond_children_is_empty(self):
+        assert resolve_all(DOC, "element(guitar/9)") == []
+
+    def test_missing_anchor_is_empty(self):
+        assert resolve_all(DOC, "element(nope/1)") == []
+
+
+class TestXPointerScheme:
+    def test_id_function(self):
+        assert resolve(DOC, "xpointer(id('guernica'))").get("id") == "guernica"
+
+    def test_id_function_with_path(self):
+        el = resolve(DOC, "xpointer(id('picasso')/painting[2])")
+        assert el.get("id") == "guernica"
+
+    def test_rooted_path(self):
+        el = resolve(DOC, "xpointer(/museum/painter/name)")
+        assert el.text_content() == "Pablo Picasso"
+
+    def test_descendant_path(self):
+        assert len(resolve_all(DOC, "xpointer(//painting)")) == 2
+
+    def test_attribute_predicate(self):
+        el = resolve(DOC, "xpointer(//painting[@id='guitar'])")
+        assert el.find("year").text_content() == "1913"
+
+    def test_ambiguous_strict_resolution_raises(self):
+        with pytest.raises(XPointerResolutionError):
+            resolve(DOC, "xpointer(//painting)")
+
+    def test_namespace_binding(self):
+        doc = parse('<m xmlns="urn:museum"><p id="x"/></m>')
+        el = resolve(doc, "xmlns(mu=urn:museum)xpointer(//mu:p)")
+        assert el.get("id") == "x"
+
+    def test_first_matching_part_wins(self):
+        el = resolve(DOC, "element(nope) element(guitar)")
+        assert el.get("id") == "guitar"
+
+    def test_earlier_part_shadows_later(self):
+        el = resolve(DOC, "element(guernica) element(guitar)")
+        assert el.get("id") == "guernica"

@@ -1,0 +1,103 @@
+"""Tests for XPointer pointer parsing."""
+
+import pytest
+
+from repro.xpointer import (
+    ElementSchemePart,
+    ShorthandPointer,
+    XPointerSchemePart,
+    XPointerSyntaxError,
+    XmlnsSchemePart,
+    parse_pointer,
+)
+
+
+class TestShorthand:
+    def test_bare_ncname(self):
+        pointer = parse_pointer("guitar")
+        assert pointer.is_shorthand
+        assert pointer.shorthand == ShorthandPointer("guitar")
+
+    def test_whitespace_trimmed(self):
+        assert parse_pointer("  guitar ").shorthand.name == "guitar"
+
+    def test_colon_rejected_in_shorthand(self):
+        with pytest.raises(XPointerSyntaxError):
+            parse_pointer("x:y")
+
+    def test_empty_rejected(self):
+        with pytest.raises(XPointerSyntaxError):
+            parse_pointer("")
+
+
+class TestElementScheme:
+    def test_id_only(self):
+        (part,) = parse_pointer("element(guitar)").parts
+        assert part == ElementSchemePart("guitar", ())
+
+    def test_id_with_child_sequence(self):
+        (part,) = parse_pointer("element(guitar/1/2)").parts
+        assert part == ElementSchemePart("guitar", (1, 2))
+
+    def test_rooted_child_sequence(self):
+        (part,) = parse_pointer("element(/1/3)").parts
+        assert part == ElementSchemePart(None, (1, 3))
+
+    @pytest.mark.parametrize("bad", ["element()", "element(/0)", "element(id/x)",
+                                     "element(1bad)", "element(id//2)"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(XPointerSyntaxError):
+            parse_pointer(bad)
+
+
+class TestXPointerScheme:
+    def test_expression_captured_verbatim(self):
+        (part,) = parse_pointer("xpointer(//painting[@id='x'])").parts
+        assert part == XPointerSchemePart("//painting[@id='x']")
+
+    def test_nested_parentheses_balanced(self):
+        (part,) = parse_pointer("xpointer(id('guitar'))").parts
+        assert part.expression == "id('guitar')"
+
+    def test_circumflex_escapes(self):
+        (part,) = parse_pointer("xpointer(a^)b^^c)").parts
+        assert part.expression == "a)b^c"
+
+    def test_bad_escape_rejected(self):
+        with pytest.raises(XPointerSyntaxError):
+            parse_pointer("xpointer(a^b)")
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(XPointerSyntaxError):
+            parse_pointer("xpointer(id('x')")
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(XPointerSyntaxError):
+            parse_pointer("xpointer()")
+
+
+class TestMultiPart:
+    def test_parts_in_order(self):
+        pointer = parse_pointer("xmlns(m=urn:museum)xpointer(//m:painting)element(g)")
+        kinds = [type(p).__name__ for p in pointer.parts]
+        assert kinds == ["XmlnsSchemePart", "XPointerSchemePart", "ElementSchemePart"]
+
+    def test_whitespace_between_parts(self):
+        pointer = parse_pointer("element(a)  element(b)")
+        assert len(pointer.parts) == 2
+
+    def test_xmlns_binding(self):
+        (part,) = parse_pointer("xmlns(m=urn:museum)").parts
+        assert part == XmlnsSchemePart("m", "urn:museum")
+
+    def test_xmlns_without_equals_rejected(self):
+        with pytest.raises(XPointerSyntaxError):
+            parse_pointer("xmlns(m)")
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(XPointerSyntaxError):
+            parse_pointer("string-range(x)")
+
+    def test_round_trip_str(self):
+        text = "xmlns(m=urn:x)xpointer(//m:p)"
+        assert str(parse_pointer(text)) == text
