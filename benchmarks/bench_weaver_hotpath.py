@@ -1,0 +1,268 @@
+"""Weaver hot path: compiled advice chains vs. the pre-refactor per-call path.
+
+The seed weaver re-partitioned advice by kind and re-evaluated every
+pointcut's dynamic residue on *every* advised call, and pushed a join point
+frame whether or not anything could observe it.  The compiled weaver does
+the partitioning once at deployment time and skips stack bookkeeping for
+statically-matched shadows.  This harness prices both, using a faithful
+reproduction of the seed implementation as the baseline, and writes the
+numbers to ``BENCH_weaver_hotpath.json`` at the repo root so successive
+PRs can track the trajectory.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_weaver_hotpath.py
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import platform
+import sys
+import timeit
+from pathlib import Path
+
+from repro.aop import Aspect, AdviceKind, Weaver, around, before
+from repro.aop.joinpoint import JoinPoint, JoinPointKind, ProceedingJoinPoint, joinpoint_frame
+from repro.aop.weaver import shadow_index
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_weaver_hotpath.json"
+
+
+# -- the seed (pre-refactor) implementation, reproduced as the baseline -------
+
+
+def _legacy_wrap_around(advice, jp, inner):
+    def runner(*args, **kwargs):
+        pjp = ProceedingJoinPoint(jp, inner)
+        pjp.args = args or jp.args
+        pjp.kwargs = kwargs or jp.kwargs
+        return advice.invoke(pjp)
+
+    return runner
+
+
+def _legacy_run_advice_chain(advice, jp, proceed):
+    befores = [a for a in advice if a.kind is AdviceKind.BEFORE]
+    arounds = [a for a in advice if a.kind is AdviceKind.AROUND]
+    returnings = [a for a in advice if a.kind is AdviceKind.AFTER_RETURNING]
+    throwings = [a for a in advice if a.kind is AdviceKind.AFTER_THROWING]
+    finallys = [a for a in advice if a.kind is AdviceKind.AFTER]
+
+    chain = proceed
+    for around_advice in reversed(arounds):
+        chain = _legacy_wrap_around(around_advice, jp, chain)
+
+    for item in befores:
+        item.invoke(jp)
+    try:
+        result = chain(*jp.args, **jp.kwargs)
+    except Exception as exc:
+        jp.result = exc
+        for item in reversed(throwings):
+            item.invoke(jp)
+        for item in reversed(finallys):
+            item.invoke(jp)
+        raise
+    jp.result = result
+    for item in reversed(returnings):
+        item.invoke(jp)
+    for item in reversed(finallys):
+        item.invoke(jp)
+    return result
+
+
+class LegacyWeaver(Weaver):
+    """The seed weaver: per-call partitioning, filtering and frame pushes."""
+
+    @staticmethod
+    def _make_method_wrapper(shadow, advice, *, track_frames=True):
+        original = shadow.original
+
+        @functools.wraps(original)
+        def wrapper(self, *args, **kwargs):
+            jp = JoinPoint(
+                JoinPointKind.METHOD_EXECUTION,
+                self,
+                type(self),
+                shadow.name,
+                args,
+                kwargs,
+            )
+            with joinpoint_frame(jp):
+                applicable = [a for a in advice if a.pointcut.matches_dynamic(jp)]
+                if not applicable:
+                    return original(self, *args, **kwargs)
+
+                def proceed(*call_args, **call_kwargs):
+                    return original(self, *call_args, **call_kwargs)
+
+                return _legacy_run_advice_chain(applicable, jp, proceed)
+
+        wrapper.__woven__ = True
+        wrapper.__woven_original__ = original
+        return wrapper
+
+
+# -- workloads ----------------------------------------------------------------
+
+
+def fresh_node_class():
+    class Node:
+        def render(self):
+            return 42
+
+    return Node
+
+
+class BeforeAspect(Aspect):
+    def __init__(self):
+        self.count = 0
+
+    @before("execution(Node.render)")
+    def note(self, jp):
+        self.count += 1
+
+
+class AroundAspect(Aspect):
+    @around("execution(Node.render)")
+    def wrap(self, jp):
+        return jp.proceed()
+
+
+class TargetedAspect(Aspect):
+    """Carries a dynamic residue so both weavers take the filtering path."""
+
+    def __init__(self, node_cls):
+        from repro.aop import execution, target
+
+        self._pointcut = execution("Node.render") & target(node_cls)
+
+    def advice(self):
+        from repro.aop import Advice
+
+        return [
+            Advice(
+                kind=AdviceKind.BEFORE,
+                pointcut=self._pointcut,
+                function=lambda jp: None,
+            )
+        ]
+
+    def validate(self):
+        pass
+
+
+def time_call(fn, *, repeat=5, number=50_000):
+    """Best-of-N per-call time in nanoseconds."""
+    best = min(timeit.repeat(fn, repeat=repeat, number=number))
+    return best / number * 1e9
+
+
+def bench_advised_call(weaver_cls, aspect_factory):
+    Node = fresh_node_class()
+    weaver = weaver_cls()
+    aspect = aspect_factory(Node)
+    deployment = weaver.deploy(aspect, [Node])
+    node = Node()
+    try:
+        return time_call(node.render)
+    finally:
+        weaver.undeploy(deployment)
+
+
+def bench_deploy_batch(*, use_index):
+    """Deploy 8 aspects over 16 classes (each aspect matches one class)."""
+
+    classes = []
+    aspects = []
+    for i in range(8):
+        namespace = {
+            f"method_{j}": (lambda self, _j=j: _j) for j in range(12)
+        }
+        cls = type(f"Widget{i}", (), namespace)
+        classes.append(cls)
+
+        class WidgetAspect(Aspect):
+            @before(f"execution(Widget{i}.method_0)")
+            def noop(self, jp):
+                pass
+
+        aspects.append(WidgetAspect())
+    # Pad with advice-free classes the aspects never touch (pure scan cost).
+    for i in range(8, 16):
+        namespace = {f"method_{j}": (lambda self, _j=j: _j) for j in range(12)}
+        classes.append(type(f"Widget{i}", (), namespace))
+
+    def run():
+        weaver = Weaver()
+        deployments = []
+        for aspect in aspects:
+            if not use_index:
+                shadow_index.clear()  # the seed rescanned every deploy
+            deployments.append(weaver.deploy(aspect, classes))
+        weaver.undeploy_all()
+
+    shadow_index.clear()
+    best = min(timeit.repeat(run, repeat=3, number=20))
+    return best / 20 * 1e6  # µs per batch
+
+
+def main():
+    Node = fresh_node_class()
+    node = Node()
+    results = {
+        "call_plain_ns": time_call(node.render, number=200_000),
+        "call_static_before_legacy_ns": bench_advised_call(
+            LegacyWeaver, lambda cls: BeforeAspect()
+        ),
+        "call_static_before_compiled_ns": bench_advised_call(
+            Weaver, lambda cls: BeforeAspect()
+        ),
+        "call_static_around_legacy_ns": bench_advised_call(
+            LegacyWeaver, lambda cls: AroundAspect()
+        ),
+        "call_static_around_compiled_ns": bench_advised_call(
+            Weaver, lambda cls: AroundAspect()
+        ),
+        "call_dynamic_target_legacy_ns": bench_advised_call(
+            LegacyWeaver, TargetedAspect
+        ),
+        "call_dynamic_target_compiled_ns": bench_advised_call(
+            Weaver, TargetedAspect
+        ),
+        "deploy_batch_rescan_us": bench_deploy_batch(use_index=False),
+        "deploy_batch_indexed_us": bench_deploy_batch(use_index=True),
+    }
+    speedups = {
+        "static_before": results["call_static_before_legacy_ns"]
+        / results["call_static_before_compiled_ns"],
+        "static_around": results["call_static_around_legacy_ns"]
+        / results["call_static_around_compiled_ns"],
+        "dynamic_target": results["call_dynamic_target_legacy_ns"]
+        / results["call_dynamic_target_compiled_ns"],
+        "deploy_batch": results["deploy_batch_rescan_us"]
+        / results["deploy_batch_indexed_us"],
+    }
+    payload = {
+        "benchmark": "weaver_hotpath",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "results_ns": {k: round(v, 1) for k, v in results.items()},
+        "speedup_vs_seed": {k: round(v, 2) for k, v in speedups.items()},
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    if speedups["static_before"] < 2.0:
+        print(
+            "WARNING: statically-matched advised calls are "
+            f"only {speedups['static_before']:.2f}x the seed weaver",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,23 +58,29 @@ from .pointcut import (
     within,
 )
 from .weaver import (
+    CompiledChain,
     Deployment,
+    ShadowIndex,
     Weaver,
     default_weaver,
     deploy,
+    deploy_all,
     deployed,
     method_shadows,
     run_advice_chain,
+    shadow_index,
     undeploy,
 )
 
 __all__ = [
     "Advice",
     "AdviceKind",
+    "CompiledChain",
     "DeclareError",
     "AopError",
     "Aspect",
     "Deployment",
+    "ShadowIndex",
     "Introduction",
     "IntroductionError",
     "JoinPoint",
@@ -96,6 +102,7 @@ __all__ = [
     "current_stack",
     "default_weaver",
     "deploy",
+    "deploy_all",
     "deployed",
     "execution",
     "field_get",
@@ -104,6 +111,7 @@ __all__ = [
     "method_shadows",
     "parse_pointcut",
     "run_advice_chain",
+    "shadow_index",
     "target",
     "undeploy",
     "within",

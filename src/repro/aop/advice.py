@@ -55,6 +55,18 @@ class Advice:
             aspect=aspect,
         )
 
+    @property
+    def is_static(self) -> bool:
+        """True when the pointcut fully matches at the shadow (no residue).
+
+        Statically-matched advice needs no per-call ``matches_dynamic``
+        check, which is what lets the weaver take its compiled fast path.
+        Uses :meth:`Pointcut.residue_free` rather than ``has_dynamic_test``:
+        ``Not``/``Or`` re-evaluate shadow matches against the runtime class
+        even without a dynamic test, so they must keep the per-call check.
+        """
+        return self.pointcut.residue_free()
+
     def invoke(self, jp) -> Any:
         """Call the advice body (with the owning aspect when bound)."""
         if self.aspect is not None:

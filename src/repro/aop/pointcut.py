@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import fnmatch
 from dataclasses import dataclass
+from functools import cached_property
+
 from .joinpoint import JoinPoint, JoinPointKind, current_stack
 
 
@@ -33,7 +35,28 @@ class Pointcut:
 
     @property
     def has_dynamic_test(self) -> bool:
+        """Whether the pointcut carries a runtime residue.
+
+        Must be stable over the pointcut's lifetime: the weaver samples it
+        once at deployment time to decide between the static fast path and
+        the dynamic (per-call residue) path, and composite pointcuts cache
+        it.
+        """
         return False
+
+    def residue_free(self) -> bool:
+        """True when ``matches_dynamic`` is guaranteed True at a woven shadow.
+
+        This is *stronger* than ``not has_dynamic_test``: :class:`Not` and
+        :class:`Or` report no dynamic test when their children have none,
+        yet their ``matches_dynamic`` re-evaluates the shadow match against
+        the join point's *runtime* class — which can differ from the
+        deploy-time shadow class when a subclass instance reaches an
+        inherited woven method.  Only pointcuts whose ``matches_dynamic``
+        is the trivial base implementation (and conjunctions of those) may
+        skip the per-call residue check entirely.
+        """
+        return type(self).matches_dynamic is Pointcut.matches_dynamic
 
     def cflow_inner_pointcuts(self) -> list["Pointcut"]:
         """Inner pointcuts of any cflow()/cflowbelow() nested in this one.
@@ -250,7 +273,11 @@ class And(Pointcut):
     def matches_dynamic(self, jp: JoinPoint) -> bool:
         return self.left.matches_dynamic(jp) and self.right.matches_dynamic(jp)
 
-    @property
+    def residue_free(self) -> bool:
+        # A conjunction of trivially-true residues is trivially true.
+        return self.left.residue_free() and self.right.residue_free()
+
+    @cached_property
     def has_dynamic_test(self) -> bool:
         return self.left.has_dynamic_test or self.right.has_dynamic_test
 
@@ -282,7 +309,7 @@ class Or(Pointcut):
             jp.cls, jp.name, jp.kind
         ) and self.right.matches_dynamic(jp)
 
-    @property
+    @cached_property
     def has_dynamic_test(self) -> bool:
         return self.left.has_dynamic_test or self.right.has_dynamic_test
 
@@ -311,7 +338,7 @@ class Not(Pointcut):
         ) and self.inner.matches_dynamic(jp)
         return not inner_matches
 
-    @property
+    @cached_property
     def has_dynamic_test(self) -> bool:
         return self.inner.has_dynamic_test
 

@@ -12,12 +12,19 @@ Weaving outline::
     deployment = weaver.deploy(TracingAspect(), [Node, Index], fields={"position"})
     ...                     # advice now runs at matched join points
     weaver.undeploy(deployment)
+
+The hot path is *compiled at deployment time*: each woven shadow carries a
+:class:`CompiledChain` (advice partitioned by kind once, around-nesting
+precomputed), and shadows whose advice is fully static — no ``cflow``,
+``target`` or ``args`` residue, and no cflow entry tracking needed — skip
+the join point stack and per-call pointcut re-evaluation entirely.
 """
 
 from __future__ import annotations
 
 import functools
 import inspect
+import weakref
 from dataclasses import dataclass, field
 from types import FunctionType
 from typing import Any, Callable, Iterable
@@ -30,10 +37,80 @@ from .joinpoint import (
     JoinPoint,
     JoinPointKind,
     ProceedingJoinPoint,
-    joinpoint_frame,
+    pop_frame,
+    push_frame,
 )
 
 _MISSING = object()
+
+
+# -- compiled advice chains ---------------------------------------------------
+
+
+class CompiledChain:
+    """An advice chain partitioned by kind once, executed many times.
+
+    The legacy :func:`run_advice_chain` re-partitioned the advice list into
+    before/around/after buckets on *every* invocation; a compiled chain does
+    that once (at deployment time) and stores each bucket pre-ordered, so
+    calling it only pays for the around-closure nesting and the advice
+    bodies themselves.
+
+    Semantics are identical to the per-call path: before advice runs
+    outermost-first, after advice innermost-first (reversed), around advice
+    nests outermost wrapping the rest, and the exception path runs
+    after-throwing then after (finally) before re-raising.
+    """
+
+    __slots__ = (
+        "advice",
+        "_befores",
+        "_arounds_rev",
+        "_returnings_rev",
+        "_throwings_rev",
+        "_finallys_rev",
+    )
+
+    def __init__(self, advice: Iterable[Advice]):
+        self.advice: tuple[Advice, ...] = tuple(advice)
+        self._befores = tuple(a for a in self.advice if a.kind is AdviceKind.BEFORE)
+        # Arounds are applied innermost-first when building the nesting, and
+        # the three after-flavours run innermost-first: store them reversed.
+        self._arounds_rev = tuple(
+            reversed([a for a in self.advice if a.kind is AdviceKind.AROUND])
+        )
+        self._returnings_rev = tuple(
+            reversed([a for a in self.advice if a.kind is AdviceKind.AFTER_RETURNING])
+        )
+        self._throwings_rev = tuple(
+            reversed([a for a in self.advice if a.kind is AdviceKind.AFTER_THROWING])
+        )
+        self._finallys_rev = tuple(
+            reversed([a for a in self.advice if a.kind is AdviceKind.AFTER])
+        )
+
+    def __call__(self, jp: JoinPoint, proceed: Callable[..., Any]) -> Any:
+        chain = proceed
+        for around_advice in self._arounds_rev:
+            chain = _wrap_around(around_advice, jp, chain)
+
+        for item in self._befores:
+            item.invoke(jp)
+        try:
+            result = chain(*jp.args, **jp.kwargs)
+        except Exception as exc:
+            jp.result = exc
+            for item in self._throwings_rev:
+                item.invoke(jp)
+            for item in self._finallys_rev:
+                item.invoke(jp)
+            raise
+        jp.result = result
+        for item in self._returnings_rev:
+            item.invoke(jp)
+        for item in self._finallys_rev:
+            item.invoke(jp)
+        return result
 
 
 def run_advice_chain(
@@ -42,47 +119,63 @@ def run_advice_chain(
     """Execute *advice* around *proceed* with AspectJ ordering semantics.
 
     Advice is assumed pre-sorted by precedence (lower ``order`` first =
-    outermost).  Before advice runs outermost-first; after advice runs
-    innermost-first (reverse); around advice nests, outermost wrapping the
-    rest.
+    outermost).  This is the legacy one-shot entry point; it compiles a
+    throwaway :class:`CompiledChain` per call.  Woven shadows use a chain
+    compiled once at deployment time instead.
     """
-    befores = [a for a in advice if a.kind is AdviceKind.BEFORE]
-    arounds = [a for a in advice if a.kind is AdviceKind.AROUND]
-    returnings = [a for a in advice if a.kind is AdviceKind.AFTER_RETURNING]
-    throwings = [a for a in advice if a.kind is AdviceKind.AFTER_THROWING]
-    finallys = [a for a in advice if a.kind is AdviceKind.AFTER]
-
-    chain = proceed
-    for around_advice in reversed(arounds):
-        chain = _wrap_around(around_advice, jp, chain)
-
-    for item in befores:
-        item.invoke(jp)
-    try:
-        result = chain(*jp.args, **jp.kwargs)
-    except Exception as exc:
-        jp.result = exc
-        for item in reversed(throwings):
-            item.invoke(jp)
-        for item in reversed(finallys):
-            item.invoke(jp)
-        raise
-    jp.result = result
-    for item in reversed(returnings):
-        item.invoke(jp)
-    for item in reversed(finallys):
-        item.invoke(jp)
-    return result
+    return CompiledChain(advice)(jp, proceed)
 
 
 def _wrap_around(advice: Advice, jp: JoinPoint, inner: Callable[..., Any]):
     def runner(*args: Any, **kwargs: Any) -> Any:
-        pjp = ProceedingJoinPoint(jp, inner)
-        pjp.args = args or jp.args
-        pjp.kwargs = kwargs or jp.kwargs
+        # The caller (the chain entry or an outer proceed()) has already
+        # resolved the intended arguments — possibly an intentionally empty
+        # tuple/dict — so they are taken verbatim.  The old ``args or
+        # jp.args`` fallback silently replayed the original arguments
+        # whenever an outer advice proceeded with falsy ones.
+        pjp = ProceedingJoinPoint.for_chain(jp, inner, args, kwargs)
         return advice.invoke(pjp)
 
     return runner
+
+
+class _ChainSelector:
+    """Per-call residue filtering with memoized sub-chain compilation.
+
+    Shadows whose advice carries dynamic tests (``cflow``, ``target``,
+    ``args``) still need a per-call ``matches_dynamic`` pass — but the
+    surviving subset is usually one of a handful of combinations, so the
+    compiled chain for each subset (keyed by a bitmask over the advice
+    list) is built once and reused.
+    """
+
+    __slots__ = ("advice", "_dynamic_flags", "has_dynamic", "full_chain", "_chains")
+
+    def __init__(self, advice: Iterable[Advice]):
+        self.advice: tuple[Advice, ...] = tuple(advice)
+        self._dynamic_flags = tuple(not a.is_static for a in self.advice)
+        self.has_dynamic = any(self._dynamic_flags)
+        self.full_chain = CompiledChain(self.advice)
+        full_mask = (1 << len(self.advice)) - 1
+        self._chains: dict[int, CompiledChain] = {full_mask: self.full_chain}
+
+    def select(self, jp: JoinPoint) -> CompiledChain | None:
+        """The compiled chain for the advice matching *jp*, or None."""
+        if not self.has_dynamic:
+            # Static advice on a frame-tracked shadow: everything applies.
+            return self.full_chain if self.advice else None
+        mask = 0
+        for index, item in enumerate(self.advice):
+            if not self._dynamic_flags[index] or item.pointcut.matches_dynamic(jp):
+                mask |= 1 << index
+        if not mask:
+            return None
+        chain = self._chains.get(mask)
+        if chain is None:
+            chain = self._chains[mask] = CompiledChain(
+                item for index, item in enumerate(self.advice) if mask >> index & 1
+            )
+        return chain
 
 
 # -- shadows -----------------------------------------------------------------
@@ -99,8 +192,7 @@ class MethodShadow:
     inherited: bool
 
 
-def method_shadows(cls: type) -> list[MethodShadow]:
-    """All weavable method shadows of *cls* (plain functions, no dunders)."""
+def _scan_method_shadows(cls: type) -> tuple[MethodShadow, ...]:
     shadows: list[MethodShadow] = []
     for name in dir(cls):
         if name.startswith("__"):
@@ -115,11 +207,139 @@ def method_shadows(cls: type) -> list[MethodShadow]:
                     inherited=name not in cls.__dict__,
                 )
             )
-    return shadows
+    return tuple(shadows)
+
+
+class ShadowIndex:
+    """Memoized shadow scans, invalidated when the weaver rewrites members.
+
+    ``dir()`` + ``getattr_static`` per member is the dominant cost of
+    deployment planning, and a single :meth:`Weaver.deploy` used to rescan
+    each target up to three times (declare-error check, advice matching,
+    cflow entry instrumentation).  The index computes each class's shadows
+    once and drops the entry — together with every cached subclass entry,
+    since inherited shadows capture base members — whenever the weaver
+    installs or reverts a member on that class.
+
+    Classes mutated *outside* the weaver between two deployments are the
+    caller's responsibility: pass them through :meth:`invalidate` (or
+    :meth:`clear`) before redeploying.
+    """
+
+    def __init__(self) -> None:
+        self._cache: "weakref.WeakKeyDictionary[type, tuple[MethodShadow, ...]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        # cls -> id of the last invalidation that hit it.  Lets a
+        # deployment prove at undeploy time that nobody else rewove the
+        # class in between, making its pre-weave snapshot restorable.
+        self._tokens: "weakref.WeakKeyDictionary[type, int]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._counter = 0
+
+    def shadows(self, cls: type) -> tuple[MethodShadow, ...]:
+        cached = self._cache.get(cls)
+        if cached is None:
+            cached = _scan_method_shadows(cls)
+            self._cache[cls] = cached
+        return cached
+
+    def token(self, cls: type) -> int:
+        """Opaque stamp of the last invalidation that hit *cls* (0 = never)."""
+        return self._tokens.get(cls, 0)
+
+    def invalidate(self, cls: type) -> int:
+        """Drop cached scans of *cls* and of every (live) subclass.
+
+        Walks ``__subclasses__`` transitively rather than the cache keys:
+        a subclass that is not currently cached must still get a fresh
+        token, or a deployment's pre-weave snapshot of it could later be
+        "restored" over a base-class weave it never saw.
+
+        Returns the new invalidation token for *cls*.
+        """
+        self._counter += 1
+        stamp = self._counter
+        seen: set[type] = set()
+        stack = [cls]
+        while stack:
+            klass = stack.pop()
+            if klass in seen:
+                continue
+            seen.add(klass)
+            self._cache.pop(klass, None)
+            self._tokens[klass] = stamp
+            stack.extend(klass.__subclasses__())
+        return stamp
+
+    def restore_after_revert(
+        self,
+        cls: type,
+        shadows: tuple[MethodShadow, ...],
+        *,
+        woven_token: int,
+        pre_token: int,
+    ) -> None:
+        """Reinstate a pre-weave snapshot after an exact undeploy.
+
+        Undeploy restores the class byte-for-byte, so the scan captured
+        before the deployment is valid again — *unless* some other
+        deployment invalidated the class in between (its token would
+        differ from the one this deployment stamped at weave time), in
+        which case this degrades to a plain invalidation and the next
+        deploy rescans.
+        """
+        eligible = self._tokens.get(cls, 0) == woven_token
+        self.invalidate(cls)  # always drop (possibly stale) subclass entries
+        if eligible:
+            self._cache[cls] = shadows
+            self._tokens[cls] = pre_token
+
+    def clear(self) -> None:
+        """Drop everything — scans *and* tokens.
+
+        Clearing tokens makes every outstanding deployment's snapshot
+        ineligible for restore (its woven token can no longer match), so
+        undeploys after a clear degrade to honest rescans — which is the
+        point of clearing after external class mutation.
+        """
+        self._cache.clear()
+        self._tokens.clear()
+
+
+#: Process-wide shadow index shared by every weaver (class mutation by one
+#: weaver must invalidate scans another weaver would otherwise reuse).
+shadow_index = ShadowIndex()
+
+
+def method_shadows(cls: type) -> list[MethodShadow]:
+    """All weavable method shadows of *cls* (plain functions, no dunders).
+
+    Memoized through the module-wide :data:`shadow_index`; the weaver
+    invalidates entries whenever it installs or reverts members.
+    """
+    return list(shadow_index.shadows(cls))
+
+
+#: Count of active deployments — across every weaver — whose advice carries
+#: a ``cflow()``/``cflowbelow()`` residue.  The seed weaver pushed a join
+#: point frame on *every* woven shadow, which is what made cflow residues
+#: from one deployment observe shadows woven by another.  Static fast-path
+#: wrappers preserve that: they check this counter per call (one global int
+#: read) and push frames whenever any cflow watcher is live anywhere, and
+#: skip the stack bookkeeping only when no residue could possibly observe it.
+_cflow_watchers = 0
 
 
 class _WovenField:
-    """A data descriptor turning attribute access into field join points."""
+    """A data descriptor turning attribute access into field join points.
+
+    Get/set advice chains are compiled once at construction.  When every
+    advice is static and no cflow watcher is live anywhere (checked per
+    access via :data:`_cflow_watchers`), access skips the join point stack
+    and residue filtering entirely.
+    """
 
     def __init__(
         self,
@@ -132,6 +352,10 @@ class _WovenField:
         self._get_advice = get_advice
         self._set_advice = set_advice
         self._class_default = class_default
+        self._get_selector = _ChainSelector(get_advice)
+        self._set_selector = _ChainSelector(set_advice)
+        self._get_static = not self._get_selector.has_dynamic
+        self._set_static = not self._set_selector.has_dynamic
 
     def __set_name__(self, owner: type, name: str) -> None:
         self._name = name
@@ -139,7 +363,6 @@ class _WovenField:
     def __get__(self, obj: Any, objtype: type | None = None) -> Any:
         if obj is None:
             return self
-        jp = JoinPoint(JoinPointKind.FIELD_GET, obj, type(obj), self._name)
 
         def read(*_args: Any, **_kwargs: Any) -> Any:
             if self._name in obj.__dict__:
@@ -150,15 +373,41 @@ class _WovenField:
                 f"{type(obj).__name__!r} object has no attribute {self._name!r}"
             )
 
-        with joinpoint_frame(jp):
-            applicable = [
-                a for a in self._get_advice if a.pointcut.matches_dynamic(jp)
-            ]
-            if not applicable:
+        if self._get_static and not _cflow_watchers:
+            if not self._get_advice:
                 return read()
-            return run_advice_chain(applicable, jp, read)
+            jp = JoinPoint(JoinPointKind.FIELD_GET, obj, type(obj), self._name)
+            return self._get_selector.full_chain(jp, read)
+
+        jp = JoinPoint(JoinPointKind.FIELD_GET, obj, type(obj), self._name)
+        token = push_frame(jp)
+        try:
+            chain = self._get_selector.select(jp)
+            if chain is None:
+                return read()
+            return chain(jp, read)
+        finally:
+            pop_frame(token)
 
     def __set__(self, obj: Any, value: Any) -> None:
+        def write(new_value: Any = value) -> None:
+            obj.__dict__[self._name] = new_value
+
+        if self._set_static and not _cflow_watchers:
+            if not self._set_advice:
+                write()
+                return
+            jp = JoinPoint(
+                JoinPointKind.FIELD_SET,
+                obj,
+                type(obj),
+                self._name,
+                args=(value,),
+                value=value,
+            )
+            self._set_selector.full_chain(jp, write)
+            return
+
         jp = JoinPoint(
             JoinPointKind.FIELD_SET,
             obj,
@@ -167,18 +416,15 @@ class _WovenField:
             args=(value,),
             value=value,
         )
-
-        def write(new_value: Any = value) -> None:
-            obj.__dict__[self._name] = new_value
-
-        with joinpoint_frame(jp):
-            applicable = [
-                a for a in self._set_advice if a.pointcut.matches_dynamic(jp)
-            ]
-            if not applicable:
+        token = push_frame(jp)
+        try:
+            chain = self._set_selector.select(jp)
+            if chain is None:
                 write()
                 return
-            run_advice_chain(applicable, jp, write)
+            chain(jp, write)
+        finally:
+            pop_frame(token)
 
 
 # -- deployments --------------------------------------------------------------
@@ -212,6 +458,11 @@ class Deployment:
     members: list[_WovenMember] = field(default_factory=list)
     introductions: list[AppliedIntroduction] = field(default_factory=list)
     active: bool = True
+    #: cls -> (pre-weave shadow snapshot, pre-weave token, post-weave token);
+    #: lets undeploy reinstate the shadow cache instead of forcing a rescan.
+    _cache_state: dict = field(default_factory=dict, repr=False)
+    #: True when this deployment raised the module cflow-watcher count.
+    _tracks_cflow: bool = field(default=False, repr=False)
 
     def woven_signatures(self) -> list[str]:
         """Human-readable list of what this deployment touched."""
@@ -248,10 +499,18 @@ class Weaver:
         targets = list(targets)
         deployment = Deployment(aspect=aspect)
 
+        # Snapshot every target's pre-weave scan (also pre-warming the
+        # cache for the phases below).  Undeploy restores classes exactly,
+        # so these snapshots make deploy/undeploy cycles rescan-free.
+        pre_state = {
+            cls: (shadow_index.shadows(cls), shadow_index.token(cls))
+            for cls in targets
+        }
+
         # declare error: refuse deployment when a forbidden shape exists.
         for declaration in aspect.declarations():
             for cls in targets:
-                for shadow in method_shadows(cls):
+                for shadow in shadow_index.shadows(cls):
                     if declaration.pointcut.matches_shadow(
                         cls, shadow.name, JoinPointKind.METHOD_EXECUTION
                     ):
@@ -260,18 +519,40 @@ class Weaver:
                             f"(declare error matched {cls.__name__}.{shadow.name})"
                         )
 
+        intro_touched: set[type] = set()
         for introduction in aspect.introductions():
             for cls in targets:
                 applied = introduction.apply(cls)
                 if applied is not None:
                     deployment.introductions.append(applied)
+                    intro_touched.add(cls)
+                    # Introduced functions are weavable shadows themselves.
+                    shadow_index.invalidate(cls)
+
+        # cflow() residues need the join point stack populated at their
+        # inner pointcuts' shadows even when no advice runs there; shadows
+        # the residues match get tracking-only wrappers (AspectJ
+        # instruments cflow entry shadows the same way).  While this
+        # deployment is active it also raises :data:`_cflow_watchers`, so
+        # every woven shadow anywhere resumes frame bookkeeping.
+        inner_pointcuts = [
+            inner
+            for a in advice
+            for inner in a.pointcut.cflow_inner_pointcuts()
+        ]
+
+        def tracked(cls: type, name: str, kind: JoinPointKind) -> bool:
+            return any(p.matches_shadow(cls, name, kind) for p in inner_pointcuts)
 
         # Capture every shadow before installing anything, so that weaving
-        # a base class never changes what a subclass shadow captures.
+        # a base class never changes what a subclass shadow captures.  One
+        # (memoized) scan per class covers advice matching and cflow entry
+        # instrumentation.
         method_plan: list[tuple[MethodShadow, list[Advice]]] = []
         field_plan: list[tuple[type, str, list[Advice], list[Advice]]] = []
+        tracking_only: set[tuple[type, str]] = set()
         for cls in targets:
-            for shadow in method_shadows(cls):
+            for shadow in shadow_index.shadows(cls):
                 matching = [
                     a
                     for a in advice
@@ -281,6 +562,13 @@ class Weaver:
                 ]
                 if matching:
                     method_plan.append((shadow, matching))
+                elif inner_pointcuts:
+                    key = (shadow.cls, shadow.name)
+                    if key not in tracking_only and tracked(
+                        cls, shadow.name, JoinPointKind.METHOD_EXECUTION
+                    ):
+                        tracking_only.add(key)
+                        method_plan.append((shadow, []))
             for field_name in fields:
                 getters = [
                     a
@@ -295,34 +583,12 @@ class Weaver:
                 if getters or setters:
                     field_plan.append((cls, field_name, getters, setters))
 
-        # cflow() residues need the join point stack populated at their
-        # inner pointcuts' shadows even when no advice runs there; weave
-        # tracking-only wrappers for those (AspectJ instruments cflow entry
-        # shadows the same way).
-        inner_pointcuts = [
-            inner
-            for a in advice
-            for inner in a.pointcut.cflow_inner_pointcuts()
-        ]
-        if inner_pointcuts:
-            advised = {(shadow.cls, shadow.name) for shadow, _ in method_plan}
-            for cls in targets:
-                for shadow in method_shadows(cls):
-                    if (shadow.cls, shadow.name) in advised:
-                        continue
-                    if any(
-                        inner.matches_shadow(
-                            cls, shadow.name, JoinPointKind.METHOD_EXECUTION
-                        )
-                        for inner in inner_pointcuts
-                    ):
-                        advised.add((shadow.cls, shadow.name))
-                        method_plan.append((shadow, []))
-
+        touched: set[type] = set()
         for shadow, matching in method_plan:
             wrapper = self._make_method_wrapper(shadow, matching)
             previous = shadow.cls.__dict__.get(shadow.name, _MISSING)
             setattr(shadow.cls, shadow.name, wrapper)
+            touched.add(shadow.cls)
             deployment.members.append(
                 _WovenMember(shadow.cls, shadow.name, wrapper, previous)
             )
@@ -334,41 +600,131 @@ class Weaver:
                 default = default._class_default
             descriptor = _WovenField(field_name, getters, setters, default)
             setattr(cls, field_name, descriptor)
+            touched.add(cls)
             deployment.members.append(
                 _WovenMember(cls, field_name, descriptor, previous)
             )
+
+        for cls in touched | intro_touched:
+            woven_token = shadow_index.invalidate(cls)
+            shadows_snapshot, pre_token = pre_state[cls]
+            deployment._cache_state[cls] = (shadows_snapshot, pre_token, woven_token)
 
         if require_match and not deployment.members and not deployment.introductions:
             raise WeavingError(
                 f"aspect {type(aspect).__name__} matched nothing in "
                 f"[{', '.join(t.__name__ for t in targets)}]"
             )
+        if inner_pointcuts:
+            global _cflow_watchers
+            _cflow_watchers += 1
+            deployment._tracks_cflow = True
         self._deployments.append(deployment)
         return deployment
+
+    def deploy_all(
+        self,
+        aspects: Iterable[Aspect],
+        targets: Iterable[type],
+        *,
+        fields: Iterable[str] = (),
+        require_match: bool = True,
+    ) -> list[Deployment]:
+        """Deploy several aspects over the same targets, in order.
+
+        Semantically identical to sequential :meth:`deploy` calls — later
+        aspects wrap earlier ones, and the batch unwinds LIFO like any
+        other deployments — but every aspect plans against the shared
+        memoized :data:`shadow_index`, so classes an earlier aspect did not
+        touch are scanned once for the whole batch instead of once per
+        aspect (the classic O(aspects × classes × members) rescan).
+        """
+        targets = list(targets)
+        return [
+            self.deploy(aspect, targets, fields=fields, require_match=require_match)
+            for aspect in aspects
+        ]
 
     @staticmethod
     def _make_method_wrapper(shadow: MethodShadow, advice: list[Advice]):
         original = shadow.original
+        name = shadow.name
+        selector = _ChainSelector(advice)
 
-        @functools.wraps(original)
-        def wrapper(self, *args: Any, **kwargs: Any) -> Any:
-            jp = JoinPoint(
-                JoinPointKind.METHOD_EXECUTION,
-                self,
-                type(self),
-                shadow.name,
-                args,
-                kwargs,
-            )
-            with joinpoint_frame(jp):
-                applicable = [a for a in advice if a.pointcut.matches_dynamic(jp)]
-                if not applicable:
+        if not advice:
+            # Tracking-only wrapper: a cflow entry shadow with no advice of
+            # its own.  It exists purely to push a join point frame.
+            @functools.wraps(original)
+            def wrapper(self, *args: Any, **kwargs: Any) -> Any:
+                jp = JoinPoint(
+                    JoinPointKind.METHOD_EXECUTION,
+                    self,
+                    type(self),
+                    name,
+                    args,
+                    kwargs,
+                )
+                token = push_frame(jp)
+                try:
                     return original(self, *args, **kwargs)
+                finally:
+                    pop_frame(token)
+
+        elif not selector.has_dynamic:
+            # Static path: every pointcut matched fully at the shadow, so
+            # the precompiled chain runs with no residue filtering.  Frames
+            # are pushed only while some deployment anywhere carries a
+            # cflow residue (exactly when the stack is observable) — the
+            # seed pushed them unconditionally.
+            chain = selector.full_chain
+
+            @functools.wraps(original)
+            def wrapper(self, *args: Any, **kwargs: Any) -> Any:
+                jp = JoinPoint(
+                    JoinPointKind.METHOD_EXECUTION,
+                    self,
+                    type(self),
+                    name,
+                    args,
+                    kwargs,
+                )
 
                 def proceed(*call_args: Any, **call_kwargs: Any) -> Any:
                     return original(self, *call_args, **call_kwargs)
 
-                return run_advice_chain(applicable, jp, proceed)
+                if _cflow_watchers:
+                    token = push_frame(jp)
+                    try:
+                        return chain(jp, proceed)
+                    finally:
+                        pop_frame(token)
+                return chain(jp, proceed)
+
+        else:
+            # Dynamic path: push a frame (cflow may observe this very join
+            # point), filter residues, and run the memoized sub-chain.
+            @functools.wraps(original)
+            def wrapper(self, *args: Any, **kwargs: Any) -> Any:
+                jp = JoinPoint(
+                    JoinPointKind.METHOD_EXECUTION,
+                    self,
+                    type(self),
+                    name,
+                    args,
+                    kwargs,
+                )
+                token = push_frame(jp)
+                try:
+                    chain = selector.select(jp)
+                    if chain is None:
+                        return original(self, *args, **kwargs)
+
+                    def proceed(*call_args: Any, **call_kwargs: Any) -> Any:
+                        return original(self, *call_args, **call_kwargs)
+
+                    return chain(jp, proceed)
+                finally:
+                    pop_frame(token)
 
         wrapper.__woven__ = True  # type: ignore[attr-defined]
         wrapper.__woven_original__ = original  # type: ignore[attr-defined]
@@ -378,10 +734,33 @@ class Weaver:
         """Reverse one deployment (most-recent-first when they overlap)."""
         if not deployment.active:
             return
-        for member in reversed(deployment.members):
-            member.revert()
-        for applied in reversed(deployment.introductions):
-            applied.revert()
+        touched: set[type] = set()
+        try:
+            for member in reversed(deployment.members):
+                member.revert()
+                touched.add(member.cls)
+            for applied in reversed(deployment.introductions):
+                applied.revert()
+                touched.add(applied.cls)
+        except Exception:
+            # Partial revert (e.g. out-of-LIFO undeploy): the classes we
+            # did touch are in an unknown state — force rescans.
+            for cls in touched:
+                shadow_index.invalidate(cls)
+            raise
+        for cls in touched:
+            state = deployment._cache_state.get(cls)
+            if state is None:
+                shadow_index.invalidate(cls)
+            else:
+                snapshot, pre_token, woven_token = state
+                shadow_index.restore_after_revert(
+                    cls, snapshot, woven_token=woven_token, pre_token=pre_token
+                )
+        if deployment._tracks_cflow:
+            global _cflow_watchers
+            _cflow_watchers -= 1
+            deployment._tracks_cflow = False
         deployment.active = False
 
     def undeploy_all(self) -> None:
@@ -404,6 +783,19 @@ def deploy(
     """Deploy on the default weaver; see :meth:`Weaver.deploy`."""
     return default_weaver.deploy(
         aspect, targets, fields=fields, require_match=require_match
+    )
+
+
+def deploy_all(
+    aspects: Iterable[Aspect],
+    targets: Iterable[type],
+    *,
+    fields: Iterable[str] = (),
+    require_match: bool = True,
+) -> list[Deployment]:
+    """Batch-deploy on the default weaver; see :meth:`Weaver.deploy_all`."""
+    return default_weaver.deploy_all(
+        aspects, targets, fields=fields, require_match=require_match
     )
 
 

@@ -48,7 +48,12 @@ from .spec_xml import (
     spec_from_xml,
     spec_to_xml,
 )
-from .weave import NavigationWeaver, build_plain_site, build_woven_site
+from .weave import (
+    NavigationWeaver,
+    build_plain_site,
+    build_woven_site,
+    build_woven_site_many,
+)
 from .xlink_io import (
     NAV_ENTRY_ARCROLE,
     NAV_LINK_ARCROLE,
@@ -84,6 +89,7 @@ __all__ = [
     "build_plain_site",
     "check_separation",
     "build_woven_site",
+    "build_woven_site_many",
     "build_xlink_site",
     "data_uri_for",
     "default_museum_landmarks",

@@ -14,6 +14,8 @@ equivalents.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.aop import Weaver
 from repro.baselines.museum_data import MuseumFixture
 from repro.web import StaticSite
@@ -43,11 +45,31 @@ def build_woven_site(
     weaver = weaver or Weaver()
     renderer = PageRenderer(fixture)
     aspect = NavigationAspect(spec, fixture)
-    deployment = weaver.deploy(aspect, [PageRenderer])
+    (deployment,) = weaver.deploy_all([aspect], [PageRenderer])
     try:
         return renderer.build_site()
     finally:
         weaver.undeploy(deployment)
+
+
+def build_woven_site_many(
+    fixture: MuseumFixture,
+    specs: Iterable[NavigationSpec],
+    *,
+    weaver: Weaver | None = None,
+) -> list[StaticSite]:
+    """Build one site per navigation spec, amortizing weaving costs.
+
+    Each spec gets its own aspect deployment (deployed, built, undeployed
+    in turn), but all of them plan against the weaver's shared shadow
+    index, so the per-deployment member rescan of :class:`PageRenderer`
+    is paid once for the whole batch rather than once per spec.
+    """
+    weaver = weaver or Weaver()
+    sites: list[StaticSite] = []
+    for spec in specs:
+        sites.append(build_woven_site(fixture, spec, weaver=weaver))
+    return sites
 
 
 class NavigationWeaver:
