@@ -18,7 +18,7 @@ is exactly why the tangled change impact is so painful.
 import pytest
 
 from repro.baselines import synthetic_museum
-from repro.core import NavigationSpec, default_museum_spec, export_linkbase
+from repro.core import NavigationSpec, export_linkbase
 from repro.hypermedia import Index
 from repro.web import nav_block
 from repro.xlink import Linkbase

@@ -8,7 +8,7 @@ the tangled architecture — "this isn't the only page we have to modify".
 
 import pytest
 
-from repro.baselines import TangledMuseumSite, museum_fixture, synthetic_museum
+from repro.baselines import TangledMuseumSite, synthetic_museum
 from repro.web import diff_builds
 
 

@@ -10,7 +10,7 @@ size; outgoing() lookups are O(1) after indexing.
 
 import pytest
 
-from repro.baselines import museum_fixture, synthetic_museum
+from repro.baselines import synthetic_museum
 from repro.core import (
     default_museum_spec,
     export_data_documents,

@@ -1,13 +1,16 @@
-"""Weaver hot path: compiled advice chains vs. the pre-refactor per-call path.
+"""Weaver hot path: the seed → compiled → code-generated trajectory.
 
 The seed weaver re-partitioned advice by kind and re-evaluated every
 pointcut's dynamic residue on *every* advised call, and pushed a join point
-frame whether or not anything could observe it.  The compiled weaver does
-the partitioning once at deployment time and skips stack bookkeeping for
-statically-matched shadows.  This harness prices both, using a faithful
-reproduction of the seed implementation as the baseline, and writes the
-numbers to ``BENCH_weaver_hotpath.json`` at the repo root so successive
-PRs can track the trajectory.
+frame whether or not anything could observe it.  PR 1's compiled weaver
+does the partitioning once at deployment time and skips stack bookkeeping
+for statically-matched shadows; PR 2 code-generates a specialized closure
+per shadow over a pooled join point (``REPRO_AOP_CODEGEN``).  This harness
+prices all three tiers — using a faithful reproduction of the seed
+implementation as the baseline — plus the join point pool itself and the
+single-scan batch planner, and writes the numbers to
+``BENCH_weaver_hotpath.json`` at the repo root so successive PRs can track
+the trajectory (and CI can refuse regressions: see ``check_regression.py``).
 
 Run::
 
@@ -16,15 +19,22 @@ Run::
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import json
+import os
 import platform
 import sys
 import timeit
 from pathlib import Path
 
-from repro.aop import Aspect, AdviceKind, Weaver, around, before
-from repro.aop.joinpoint import JoinPoint, JoinPointKind, ProceedingJoinPoint, joinpoint_frame
+from repro.aop import Aspect, AdviceKind, JoinPointPool, Weaver, around, before
+from repro.aop.joinpoint import (
+    JoinPoint,
+    JoinPointKind,
+    ProceedingJoinPoint,
+    joinpoint_frame,
+)
 from repro.aop.weaver import shadow_index
 
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_weaver_hotpath.json"
@@ -160,11 +170,26 @@ def time_call(fn, *, repeat=5, number=50_000):
     return best / number * 1e9
 
 
-def bench_advised_call(weaver_cls, aspect_factory):
+@contextlib.contextmanager
+def codegen_mode(enabled):
+    """Force the wrapper tier for deployments made inside the block."""
+    previous = os.environ.get("REPRO_AOP_CODEGEN")
+    os.environ["REPRO_AOP_CODEGEN"] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_AOP_CODEGEN", None)
+        else:
+            os.environ["REPRO_AOP_CODEGEN"] = previous
+
+
+def bench_advised_call(weaver_cls, aspect_factory, *, codegen=False):
     Node = fresh_node_class()
     weaver = weaver_cls()
     aspect = aspect_factory(Node)
-    deployment = weaver.deploy(aspect, [Node])
+    with codegen_mode(codegen):
+        deployment = weaver.deploy(aspect, [Node])
     node = Node()
     try:
         return time_call(node.render)
@@ -172,15 +197,46 @@ def bench_advised_call(weaver_cls, aspect_factory):
         weaver.undeploy(deployment)
 
 
-def bench_deploy_batch(*, use_index):
-    """Deploy 8 aspects over 16 classes (each aspect matches one class)."""
+def bench_joinpoint_construction(*, pooled):
+    """Price one join point per call: pool acquire/release vs. dataclass.
 
+    This is the "lazy join point" rung in isolation — what every generated
+    static wrapper saves per call by popping a blank slotted instance off
+    the per-shadow free list instead of running the two-level dataclass
+    ``__init__``.
+    """
+    holder = object()
+    args = (1, 2)
+    kwargs = {"a": 3}
+    if pooled:
+        pool = JoinPointPool(JoinPointKind.METHOD_EXECUTION, "render")
+
+        def one():
+            jp = pool.acquire(holder, args, kwargs)
+            pool.release(jp)
+            return jp
+
+    else:
+
+        def one():
+            return JoinPoint(
+                JoinPointKind.METHOD_EXECUTION,
+                holder,
+                object,
+                "render",
+                args,
+                kwargs,
+            )
+
+    return time_call(one, number=100_000)
+
+
+def _batch_fixture():
+    """8 aspects over 16 classes (each aspect matches one class)."""
     classes = []
     aspects = []
     for i in range(8):
-        namespace = {
-            f"method_{j}": (lambda self, _j=j: _j) for j in range(12)
-        }
+        namespace = {f"method_{j}": (lambda self, _j=j: _j) for j in range(12)}
         cls = type(f"Widget{i}", (), namespace)
         classes.append(cls)
 
@@ -194,14 +250,31 @@ def bench_deploy_batch(*, use_index):
     for i in range(8, 16):
         namespace = {f"method_{j}": (lambda self, _j=j: _j) for j in range(12)}
         classes.append(type(f"Widget{i}", (), namespace))
+    return classes, aspects
+
+
+def bench_deploy_batch(*, mode):
+    """Batch-deployment cost under three planning strategies.
+
+    ``rescan``
+        the seed behaviour: every deploy rescans every class.
+    ``indexed``
+        PR 1: sequential deploys over the shared memoized shadow index.
+    ``single_scan``
+        PR 2: ``deploy_all``'s batch planner — one scan per class for the
+        whole batch, woven classes' scans derived instead of rescanned.
+    """
+    classes, aspects = _batch_fixture()
 
     def run():
         weaver = Weaver()
-        deployments = []
-        for aspect in aspects:
-            if not use_index:
-                shadow_index.clear()  # the seed rescanned every deploy
-            deployments.append(weaver.deploy(aspect, classes))
+        if mode == "single_scan":
+            weaver.deploy_all(aspects, classes)
+        else:
+            for aspect in aspects:
+                if mode == "rescan":
+                    shadow_index.clear()  # the seed rescanned every deploy
+                weaver.deploy(aspect, classes)
         weaver.undeploy_all()
 
     shadow_index.clear()
@@ -220,11 +293,17 @@ def main():
         "call_static_before_compiled_ns": bench_advised_call(
             Weaver, lambda cls: BeforeAspect()
         ),
+        "call_static_before_codegen_ns": bench_advised_call(
+            Weaver, lambda cls: BeforeAspect(), codegen=True
+        ),
         "call_static_around_legacy_ns": bench_advised_call(
             LegacyWeaver, lambda cls: AroundAspect()
         ),
         "call_static_around_compiled_ns": bench_advised_call(
             Weaver, lambda cls: AroundAspect()
+        ),
+        "call_static_around_codegen_ns": bench_advised_call(
+            Weaver, lambda cls: AroundAspect(), codegen=True
         ),
         "call_dynamic_target_legacy_ns": bench_advised_call(
             LegacyWeaver, TargetedAspect
@@ -232,18 +311,42 @@ def main():
         "call_dynamic_target_compiled_ns": bench_advised_call(
             Weaver, TargetedAspect
         ),
-        "deploy_batch_rescan_us": bench_deploy_batch(use_index=False),
-        "deploy_batch_indexed_us": bench_deploy_batch(use_index=True),
+        "call_dynamic_target_codegen_ns": bench_advised_call(
+            Weaver, TargetedAspect, codegen=True
+        ),
+        "joinpoint_dataclass_ns": bench_joinpoint_construction(pooled=False),
+        "joinpoint_pooled_ns": bench_joinpoint_construction(pooled=True),
+        "deploy_batch_rescan_us": bench_deploy_batch(mode="rescan"),
+        "deploy_batch_indexed_us": bench_deploy_batch(mode="indexed"),
+        "deploy_batch_single_scan_us": bench_deploy_batch(mode="single_scan"),
     }
     speedups = {
         "static_before": results["call_static_before_legacy_ns"]
         / results["call_static_before_compiled_ns"],
+        "static_before_codegen": results["call_static_before_legacy_ns"]
+        / results["call_static_before_codegen_ns"],
         "static_around": results["call_static_around_legacy_ns"]
         / results["call_static_around_compiled_ns"],
+        "static_around_codegen": results["call_static_around_legacy_ns"]
+        / results["call_static_around_codegen_ns"],
         "dynamic_target": results["call_dynamic_target_legacy_ns"]
         / results["call_dynamic_target_compiled_ns"],
+        "dynamic_target_codegen": results["call_dynamic_target_legacy_ns"]
+        / results["call_dynamic_target_codegen_ns"],
+        "joinpoint_pool": results["joinpoint_dataclass_ns"]
+        / results["joinpoint_pooled_ns"],
         "deploy_batch": results["deploy_batch_rescan_us"]
         / results["deploy_batch_indexed_us"],
+        "deploy_batch_single_scan": results["deploy_batch_rescan_us"]
+        / results["deploy_batch_single_scan_us"],
+    }
+    codegen_over_compiled = {
+        "static_before": results["call_static_before_compiled_ns"]
+        / results["call_static_before_codegen_ns"],
+        "static_around": results["call_static_around_compiled_ns"]
+        / results["call_static_around_codegen_ns"],
+        "dynamic_target": results["call_dynamic_target_compiled_ns"]
+        / results["call_dynamic_target_codegen_ns"],
     }
     payload = {
         "benchmark": "weaver_hotpath",
@@ -251,17 +354,29 @@ def main():
         "platform": platform.platform(),
         "results_ns": {k: round(v, 1) for k, v in results.items()},
         "speedup_vs_seed": {k: round(v, 2) for k, v in speedups.items()},
+        "codegen_over_compiled": {
+            k: round(v, 2) for k, v in codegen_over_compiled.items()
+        },
     }
     OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
+    failed = False
     if speedups["static_before"] < 2.0:
         print(
             "WARNING: statically-matched advised calls are "
             f"only {speedups['static_before']:.2f}x the seed weaver",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if codegen_over_compiled["static_before"] < 1.5:
+        print(
+            "WARNING: codegen static-before is only "
+            f"{codegen_over_compiled['static_before']:.2f}x the compiled tier "
+            "(target: >= 1.5x)",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

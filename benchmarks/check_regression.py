@@ -1,0 +1,93 @@
+"""Fail CI when the weaver hot-path trajectory moves backwards.
+
+Compares a freshly-run ``BENCH_weaver_hotpath.json`` against the committed
+baseline: every ``speedup_vs_seed`` entry of the baseline must still exist
+and must not fall more than the tolerance below its committed value.
+Speedups are ratios against the in-process legacy reproduction, so they
+self-normalize across runner hardware — a noisy CI box slows both sides.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline /tmp/bench-baseline.json --current BENCH_weaver_hotpath.json
+
+The tolerance defaults to 0.15 (15%) and can be overridden with the
+``BENCH_REGRESSION_TOLERANCE`` environment variable or ``--tolerance``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_CURRENT = Path(__file__).resolve().parent.parent / "BENCH_weaver_hotpath.json"
+
+
+def _minor_version(payload: dict) -> str:
+    return ".".join(payload.get("python", "").split(".")[:2])
+
+
+def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Human-readable failure messages (empty when the gate passes)."""
+    failures = []
+    baseline_speedups = baseline.get("speedup_vs_seed", {})
+    current_speedups = current.get("speedup_vs_seed", {})
+    for key, committed in sorted(baseline_speedups.items()):
+        measured = current_speedups.get(key)
+        if measured is None:
+            failures.append(f"{key}: series disappeared from the benchmark")
+            continue
+        floor = committed * (1.0 - tolerance)
+        if measured < floor:
+            failures.append(
+                f"{key}: {measured:.2f}x vs committed {committed:.2f}x "
+                f"(floor {floor:.2f}x at {tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path)
+    parser.add_argument("--current", default=DEFAULT_CURRENT, type=Path)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_REGRESSION_TOLERANCE", "0.15")),
+        help="allowed fractional drop below the committed speedup (default 0.15)",
+    )
+    options = parser.parse_args(argv)
+
+    baseline = json.loads(options.baseline.read_text())
+    current = json.loads(options.current.read_text())
+    base_python, current_python = _minor_version(baseline), _minor_version(current)
+    if base_python != current_python:
+        # Speedup ratios self-normalize across hardware, not across
+        # interpreters: a CPython release can shift the seed and the
+        # optimized path asymmetrically.  Gating across versions would
+        # turn such shifts into permanent false failures, so refuse the
+        # comparison instead of reporting a bogus verdict either way.
+        print(
+            "benchmark regression gate SKIPPED: baseline recorded on "
+            f"python {base_python or '?'}, current run is "
+            f"{current_python or '?'} — re-record the baseline on the "
+            "gate's interpreter to compare",
+            file=sys.stderr,
+        )
+        return 0
+    failures = check(baseline, current, options.tolerance)
+    if failures:
+        print("benchmark regression gate FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  - {line}", file=sys.stderr)
+        return 1
+    names = ", ".join(sorted(baseline.get("speedup_vs_seed", {})))
+    print(f"benchmark regression gate passed ({names})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

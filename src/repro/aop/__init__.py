@@ -22,6 +22,7 @@ introductions and a reversible runtime weaver::
 """
 
 from .advice import Advice, AdviceKind
+from .codegen import codegen_enabled
 from .aspect import (
     Aspect,
     DeclareError,
@@ -42,6 +43,7 @@ from .introduce import Introduction, introduce
 from .joinpoint import (
     JoinPoint,
     JoinPointKind,
+    JoinPointPool,
     ProceedingJoinPoint,
     current_stack,
 )
@@ -85,6 +87,7 @@ __all__ = [
     "IntroductionError",
     "JoinPoint",
     "JoinPointKind",
+    "JoinPointPool",
     "Pointcut",
     "PointcutSyntaxError",
     "ProceedingJoinPoint",
@@ -98,6 +101,7 @@ __all__ = [
     "before",
     "cflow",
     "cflowbelow",
+    "codegen_enabled",
     "declare_error",
     "current_stack",
     "default_weaver",

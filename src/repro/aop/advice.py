@@ -60,12 +60,19 @@ class Advice:
         """True when the pointcut fully matches at the shadow (no residue).
 
         Statically-matched advice needs no per-call ``matches_dynamic``
-        check, which is what lets the weaver take its compiled fast path.
-        Uses :meth:`Pointcut.residue_free` rather than ``has_dynamic_test``:
-        ``Not``/``Or`` re-evaluate shadow matches against the runtime class
-        even without a dynamic test, so they must keep the per-call check.
+        check, which is what lets the weaver generate its allocation-free
+        fast-path wrapper.  Uses :meth:`Pointcut.residue_free` rather than
+        ``has_dynamic_test``: ``Not``/``Or`` re-evaluate shadow matches
+        against the runtime class even without a dynamic test, so they
+        must keep a residue check — though a *class-settled* one that the
+        weaver's residue index memoizes per runtime class rather than
+        re-evaluating per call (see :meth:`Pointcut.residue_parts`).
         """
         return self.pointcut.residue_free()
+
+    def residue_parts(self):
+        """This advice's residue decomposition; see the pointcut method."""
+        return self.pointcut.residue_parts()
 
     def invoke(self, jp) -> Any:
         """Call the advice body (with the owning aspect when bound)."""

@@ -52,7 +52,9 @@ def _advice_decorator(kind: AdviceKind):
 
         def decorator(function: Callable) -> Callable:
             declared = getattr(function, _ADVICE_ATTR, [])
-            declared.append(Advice(kind=kind, pointcut=resolved, function=function, order=order))
+            declared.append(
+                Advice(kind=kind, pointcut=resolved, function=function, order=order)
+            )
             setattr(function, _ADVICE_ATTR, declared)
             return function
 

@@ -1,0 +1,291 @@
+"""Code-generated per-shadow wrappers: the weaver's fastest dispatch tier.
+
+PR 1 compiled advice chains at deploy time (:class:`~repro.aop.weaver.
+CompiledChain`), which removed the per-call re-partitioning but still paid,
+on every advised call, for a dataclass join point construction, a
+``proceed`` closure, and a generic chain dispatch looping over advice
+tuples (most of them empty).  This module removes those too: at ``deploy()``
+time the weaver synthesizes a *specialized closure per shadow* — a template
+rendered to source and ``exec``-compiled once, with the advice callables,
+the original function and the join point pool bound as parameters of a
+factory function (the closure-specialization idiom ``aspectlib`` and
+``namedtuple`` use).
+
+What a generated wrapper inlines:
+
+- the exact before/around/after-returning/after-throwing/after sequence of
+  its advice chain, unrolled — no loops, no :class:`CompiledChain` call,
+  and no exception handler at all when no after-throwing/after advice
+  could observe one;
+- lazy, pooled join point construction: the static fast path pops a blank
+  slotted :class:`~repro.aop.joinpoint.JoinPoint` from a per-shadow
+  :class:`~repro.aop.joinpoint.JoinPointPool` free list and fills four
+  slots, instead of running the dataclass ``__init__`` — the steady state
+  allocates nothing but the call frames;
+- the cflow-watcher check: when any deployment anywhere carries a
+  ``cflow()`` residue, the wrapper delegates to a prebuilt slow path that
+  pushes join point frames and runs the compiled chain, preserving the
+  seed's cross-deployment ``cflow`` semantics exactly.
+
+Shadows whose advice carries a runtime residue (and advice-free cflow
+tracking shadows) keep the weaver's generic closures: their dispatch is
+generic by construction — frame push, then selection through the
+deploy-time :class:`~repro.aop.weaver._ChainSelector`, whose
+per-``(pointcut, class)`` residue masks are memoized so the per-call cost
+is only the genuinely dynamic tests (``target``/``args``/``cflow``) —
+and a specialized template would just duplicate those semantics.
+
+Escape hatch: set ``REPRO_AOP_CODEGEN=0`` in the environment to fall back
+to the generic compiled-chain wrappers (checked at each ``deploy()``, so a
+test can toggle it per deployment).  Generated functions carry their
+source on ``__codegen_source__`` and their pool on ``__joinpoint_pool__``
+for debugging and tests.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Any, Callable, Sequence
+
+from .advice import Advice, AdviceKind
+from .joinpoint import (
+    JoinPoint,
+    JoinPointKind,
+    JoinPointPool,
+    ProceedingJoinPoint,
+    pop_frame,
+    push_frame,
+)
+
+_FILENAME = "<repro.aop.codegen>"
+
+#: Free-list cap mirrored into generated release blocks (keep in sync with
+#: :class:`JoinPointPool`'s default).
+_POOL_CAP = 8
+
+
+def codegen_enabled() -> bool:
+    """Whether deploys synthesize per-shadow wrappers (default: yes).
+
+    Controlled by the ``REPRO_AOP_CODEGEN`` environment variable; ``0``,
+    ``false``, ``no`` and ``off`` disable it.  Read at deploy time, so
+    flipping it affects subsequent deployments, never installed wrappers.
+    """
+    return os.environ.get("REPRO_AOP_CODEGEN", "1").strip().lower() not in {
+        "0",
+        "false",
+        "no",
+        "off",
+    }
+
+
+@functools.lru_cache(maxsize=None)
+def _compiled(source: str):
+    """Compile generated source once per distinct advice shape."""
+    return compile(source, _FILENAME, "exec")
+
+
+def _build(source: str, bindings: dict[str, Any]) -> Callable:
+    namespace: dict[str, Any] = {}
+    exec(_compiled(source), namespace)
+    wrapper = namespace["_factory"](**bindings)
+    wrapper.__codegen_source__ = source
+    return wrapper
+
+
+def _advice_call(index: int, advice: Advice, jp_var: str) -> str:
+    """The inlined invocation expression for one advice."""
+    if advice.aspect is not None:
+        return f"_f{index}(_s{index}, {jp_var})"
+    return f"_f{index}({jp_var})"
+
+
+def _acquire_lines(indent: str) -> list[str]:
+    # Pool invariant: free-list entries are scrubbed, so only the per-call
+    # slots need filling here.  The pop is guarded by try/except rather
+    # than a truthiness check because `if _free: _free.pop()` is not
+    # atomic — another thread can drain the last entry in between, and
+    # `list.pop` itself is.
+    return [
+        f"{indent}try:",
+        f"{indent}    jp = _free.pop()",
+        f"{indent}except IndexError:",
+        f"{indent}    jp = _blank()",
+        f"{indent}jp.target = self",
+        f"{indent}jp.cls = type(self)",
+        f"{indent}jp.args = args",
+        f"{indent}jp.kwargs = kwargs",
+    ]
+
+
+def _release_lines(indent: str) -> list[str]:
+    # Must scrub every mutable slot (the pool invariant _acquire_lines
+    # relies on): advice may have assigned any of them, value included.
+    return [
+        f"{indent}if len(_free) < {_POOL_CAP}:",
+        f"{indent}    jp.target = None",
+        f"{indent}    jp.cls = None",
+        f"{indent}    jp.args = ()",
+        f"{indent}    jp.kwargs = None",
+        f"{indent}    jp.value = None",
+        f"{indent}    jp.result = None",
+        f"{indent}    _free.append(jp)",
+    ]
+
+
+def _static_source(advice: Sequence[Advice]) -> tuple[str, list[str]]:
+    """Source + advice-binding parameter names for a fully-static chain.
+
+    Mirrors :class:`CompiledChain` exactly: before advice outermost-first,
+    arounds nested with the first advice outermost, after-returning /
+    after-throwing / after (finally) innermost-first, and the exception
+    path (present only when it could run advice) doing after-throwing then
+    after before re-raising.
+    """
+    befores = [(i, a) for i, a in enumerate(advice) if a.kind is AdviceKind.BEFORE]
+    arounds = [(i, a) for i, a in enumerate(advice) if a.kind is AdviceKind.AROUND]
+    returnings = [
+        (i, a) for i, a in enumerate(advice) if a.kind is AdviceKind.AFTER_RETURNING
+    ]
+    throwings = [
+        (i, a) for i, a in enumerate(advice) if a.kind is AdviceKind.AFTER_THROWING
+    ]
+    finallys = [(i, a) for i, a in enumerate(advice) if a.kind is AdviceKind.AFTER]
+
+    params = ["_original", "_watchers", "_slow", "_free", "_blank"]
+    if arounds:
+        params.append("_for_chain")
+    for index, item in enumerate(advice):
+        params.append(f"_f{index}")
+        if item.aspect is not None:
+            params.append(f"_s{index}")
+
+    body: list[str] = []
+    body.append(f"def _factory({', '.join(params)}):")
+    body.append("    def wrapper(self, *args, **kwargs):")
+    body.append("        if _watchers.count:")
+    body.append("            return _slow(self, args, kwargs)")
+    body.extend(_acquire_lines("        "))
+    body.append("        try:")
+
+    run = "            "
+    for index, item in befores:
+        body.append(f"{run}{_advice_call(index, item, 'jp')}")
+
+    # Around nesting: runners for all but the outermost advice (each packs
+    # proceed()'s varargs into a fresh ProceedingJoinPoint, exactly like
+    # the compiled chain's _wrap_around), outermost call inlined.
+    if arounds:
+        body.append(f"{run}def _p(*a, **k):")
+        body.append(f"{run}    return _original(self, *a, **k)")
+        inner_name = "_p"
+        for index, item in reversed(arounds[1:]):
+            body.append(f"{run}def _r{index}(*a, **k):")
+            body.append(f"{run}    pjp = _for_chain(jp, {inner_name}, a, k)")
+            body.append(f"{run}    return {_advice_call(index, item, 'pjp')}")
+            inner_name = f"_r{index}"
+        outer_index, outer = arounds[0]
+        call = (
+            f"pjp0 = _for_chain(jp, {inner_name}, jp.args, dict(jp.kwargs))",
+            f"result = {_advice_call(outer_index, outer, 'pjp0')}",
+        )
+    else:
+        call = ("result = _original(self, *jp.args, **jp.kwargs)",)
+
+    if throwings or finallys:
+        body.append(f"{run}try:")
+        for line in call:
+            body.append(f"{run}    {line}")
+        body.append(f"{run}except Exception as exc:")
+        body.append(f"{run}    jp.result = exc")
+        for index, item in reversed(throwings):
+            body.append(f"{run}    {_advice_call(index, item, 'jp')}")
+        for index, item in reversed(finallys):
+            body.append(f"{run}    {_advice_call(index, item, 'jp')}")
+        body.append(f"{run}    raise")
+    else:
+        for line in call:
+            body.append(f"{run}{line}")
+    body.append(f"{run}jp.result = result")
+    for index, item in reversed(returnings):
+        body.append(f"{run}{_advice_call(index, item, 'jp')}")
+    for index, item in reversed(finallys):
+        body.append(f"{run}{_advice_call(index, item, 'jp')}")
+    body.append(f"{run}return result")
+
+    body.append("        finally:")
+    body.extend(_release_lines("            "))
+    body.append("    return wrapper")
+    return "\n".join(body) + "\n", params
+
+
+def _make_slow_path(original: Callable, name: str, chain: Callable) -> Callable:
+    """The frame-pushing fallback a static wrapper takes under cflow watch.
+
+    Identical to the generic compiled wrapper's watcher branch: a plain
+    join point (the frame may outlive the call in captured stack tuples,
+    so it is deliberately *not* pooled), a frame push, the compiled chain.
+    """
+
+    def slow(self: Any, args: tuple, kwargs: dict) -> Any:
+        jp = JoinPoint(
+            JoinPointKind.METHOD_EXECUTION, self, type(self), name, args, kwargs
+        )
+
+        def proceed(*call_args: Any, **call_kwargs: Any) -> Any:
+            return original(self, *call_args, **call_kwargs)
+
+        token = push_frame(jp)
+        try:
+            return chain(jp, proceed)
+        finally:
+            pop_frame(token)
+
+    return slow
+
+
+def generate_method_wrapper(
+    original: Callable,
+    name: str,
+    advice: Sequence[Advice],
+    selector: Any,
+    watchers: Any,
+) -> Callable:
+    """A specialized wrapper for one fully-static method shadow.
+
+    Codegen only targets static chains — that is where specialization
+    buys anything (the dynamic and tracking tiers are generic dispatch by
+    construction: frame push, memoized-mask select, generic chain — so
+    they share the weaver's generic closures instead of duplicating those
+    semantics in a template; their frame join points are never pooled, as
+    a captured ``current_stack()`` may outlive the call).
+
+    *selector* is the deploy-time chain selector (the generated wrapper
+    uses its full chain for the watcher slow path); *watchers* is the
+    weaver's live cflow-watcher counter.  The caller guarantees *advice*
+    is non-empty and residue-free, and stamps
+    ``__woven__``/``__woven_original__`` metadata.
+    """
+    pool = JoinPointPool(JoinPointKind.METHOD_EXECUTION, name, cap=_POOL_CAP)
+    source, params = _static_source(advice)
+    bindings = {
+        "_original": original,
+        "_free": pool.free,
+        "_blank": pool.blank,
+        "_watchers": watchers,
+        "_slow": _make_slow_path(original, name, selector.full_chain),
+    }
+    if "_for_chain" in params:
+        bindings["_for_chain"] = ProceedingJoinPoint.for_chain
+    for index, item in enumerate(advice):
+        bindings[f"_f{index}"] = item.function
+        if item.aspect is not None:
+            bindings[f"_s{index}"] = item.aspect
+    wrapper = _build(source, bindings)
+
+    source = wrapper.__codegen_source__
+    functools.update_wrapper(wrapper, original)
+    wrapper.__codegen_source__ = source
+    wrapper.__joinpoint_pool__ = pool
+    return wrapper

@@ -31,7 +31,9 @@ class Introduction:
     replace: bool = False
 
     def matches(self, cls: type) -> bool:
-        return fnmatch.fnmatchcase(cls.__name__, self.class_pattern) or fnmatch.fnmatchcase(
+        return fnmatch.fnmatchcase(
+            cls.__name__, self.class_pattern
+        ) or fnmatch.fnmatchcase(
             f"{cls.__module__}.{cls.__qualname__}", self.class_pattern
         )
 

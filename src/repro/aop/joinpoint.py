@@ -106,6 +106,83 @@ class ProceedingJoinPoint(JoinPoint):
         return self._proceed(*self.args, **self.kwargs)
 
 
+class JoinPointPool:
+    """A per-shadow free list of slotted :class:`JoinPoint` instances.
+
+    The hot path used to allocate a fresh join point (and run the two-level
+    dataclass ``__init__``, including a ``kwargs`` dict default) on every
+    advised call.  A pool makes the steady state allocation-free: the
+    wrapper pops a blank instance, fills the per-call slots (``target``,
+    ``cls``, ``args``, ``kwargs``) and pushes it back when the call
+    unwinds.  ``kind`` and ``name`` are constant per shadow, so they are
+    stamped once at allocation time and never rewritten.
+
+    Pool invariant: every instance on the free list has been scrubbed by
+    :meth:`release` (``target``/``cls``/``kwargs``/``result``/``value``
+    cleared, ``args`` emptied), so acquired join points never carry state
+    from an earlier call and released references never keep call arguments
+    alive.  Reentrant calls simply allocate past the free list; the cap
+    bounds how many instances an advice storm can park.
+
+    The pool is *not* an identity guarantee: advice that stores a join
+    point beyond the call observes a scrubbed (and possibly re-used)
+    object.  Join points are documented as valid for the duration of their
+    join point only — same as AspectJ's.
+    """
+
+    __slots__ = ("_free", "_kind", "_name", "_cap")
+
+    def __init__(self, kind: JoinPointKind, name: str, cap: int = 8):
+        self._free: list[JoinPoint] = []
+        self._kind = kind
+        self._name = name
+        self._cap = cap
+
+    @property
+    def free(self) -> list[JoinPoint]:
+        """The free list (shared with code-generated wrappers)."""
+        return self._free
+
+    def blank(self) -> JoinPoint:
+        """A new pool-shaped join point: shadow slots stamped, rest blank."""
+        jp = JoinPoint.__new__(JoinPoint)
+        jp.kind = self._kind
+        jp.name = self._name
+        jp.args = ()
+        jp.kwargs = None
+        jp.target = None
+        jp.cls = None
+        jp.value = None
+        jp.result = None
+        return jp
+
+    def acquire(self, target: Any, args: tuple, kwargs: dict | None) -> JoinPoint:
+        """A join point for one call; pair with :meth:`release`."""
+        # try/except rather than `if free:` — the check-then-pop pair is
+        # not atomic under threads, but `list.pop` itself is.
+        try:
+            jp = self._free.pop()
+        except IndexError:
+            jp = self.blank()
+        jp.target = target
+        jp.cls = type(target)
+        jp.args = args
+        jp.kwargs = kwargs
+        return jp
+
+    def release(self, jp: JoinPoint) -> None:
+        """Scrub *jp* and return it to the free list (drops past the cap)."""
+        free = self._free
+        if len(free) < self._cap:
+            jp.target = None
+            jp.cls = None
+            jp.args = ()
+            jp.kwargs = None
+            jp.value = None
+            jp.result = None
+            free.append(jp)
+
+
 _stack: contextvars.ContextVar[tuple[JoinPoint, ...]] = contextvars.ContextVar(
     "repro_aop_joinpoint_stack", default=()
 )

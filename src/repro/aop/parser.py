@@ -78,7 +78,8 @@ class _Parser:
         match = re.match(r"[A-Za-z_][\w]*", self._text[self._pos :])
         if not match:
             raise PointcutSyntaxError(
-                f"expected a pointcut name at ...{self._text[self._pos:self._pos + 20]!r}"
+                "expected a pointcut name at "
+                f"...{self._text[self._pos : self._pos + 20]!r}"
             )
         self._pos += match.end()
         return match.group()

@@ -37,10 +37,14 @@ class Pointcut:
     def has_dynamic_test(self) -> bool:
         """Whether the pointcut carries a runtime residue.
 
-        Must be stable over the pointcut's lifetime: the weaver samples it
-        once at deployment time to decide between the static fast path and
-        the dynamic (per-call residue) path, and composite pointcuts cache
-        it.
+        Must be stable over the pointcut's lifetime *and* truthful: the
+        weaver samples it once at deployment time to decide between the
+        static fast path and the dynamic (per-call residue) path, composite
+        pointcuts cache it, and the residue index memoizes per-class masks
+        for pointcuts that report no dynamic test (see
+        :meth:`residue_parts`).  A custom pointcut whose ``matches_dynamic``
+        inspects anything beyond the join point's class/name/kind **must**
+        return True here.
         """
         return False
 
@@ -57,6 +61,30 @@ class Pointcut:
         skip the per-call residue check entirely.
         """
         return type(self).matches_dynamic is Pointcut.matches_dynamic
+
+    def residue_parts(self) -> tuple["Pointcut | None", "Pointcut | None"]:
+        """Decompose the runtime residue into class-settled and per-call parts.
+
+        Returns ``(class_settled, per_call)`` such that ``matches_dynamic(jp)``
+        is equivalent to evaluating both non-None parts — where the
+        *class-settled* part depends only on the join point's runtime
+        ``(cls, name, kind)`` triple (constant per woven shadow except for
+        the class), so the weaver may evaluate it **once per runtime class**
+        and memoize the verdict in a residue mask index, and the *per-call*
+        part genuinely inspects call state (``cflow``, ``target``, ``args``).
+
+        ``(None, None)`` means the residue is trivially true (the advice is
+        fully statically matched).  The default decomposition classifies the
+        whole pointcut by :meth:`residue_free` / :attr:`has_dynamic_test`;
+        :class:`And` splits recursively so a conjunction like
+        ``~execution(Sub.*) && target(C)`` pays only the ``isinstance`` test
+        per call once its negation half is settled for a class.
+        """
+        if self.residue_free():
+            return (None, None)
+        if not self.has_dynamic_test:
+            return (self, None)
+        return (None, self)
 
     def cflow_inner_pointcuts(self) -> list["Pointcut"]:
         """Inner pointcuts of any cflow()/cflowbelow() nested in this one.
@@ -260,6 +288,15 @@ def cflowbelow(inner: Pointcut) -> Pointcut:
     return Cflow(inner, below=True)
 
 
+def _conjoin(left: "Pointcut | None", right: "Pointcut | None") -> "Pointcut | None":
+    """And-combine two optional residue parts (None = trivially true)."""
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return And(left, right)
+
+
 @dataclass(frozen=True)
 class And(Pointcut):
     left: Pointcut
@@ -276,6 +313,14 @@ class And(Pointcut):
     def residue_free(self) -> bool:
         # A conjunction of trivially-true residues is trivially true.
         return self.left.residue_free() and self.right.residue_free()
+
+    def residue_parts(self) -> tuple[Pointcut | None, Pointcut | None]:
+        # A conjunction splits part-wise: the class-settled halves conjoin
+        # (memoized per class) and only the genuinely-dynamic halves stay
+        # on the per-call path.
+        left_cls, left_call = self.left.residue_parts()
+        right_cls, right_call = self.right.residue_parts()
+        return (_conjoin(left_cls, right_cls), _conjoin(left_call, right_call))
 
     @cached_property
     def has_dynamic_test(self) -> bool:

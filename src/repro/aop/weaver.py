@@ -13,11 +13,15 @@ Weaving outline::
     ...                     # advice now runs at matched join points
     weaver.undeploy(deployment)
 
-The hot path is *compiled at deployment time*: each woven shadow carries a
-:class:`CompiledChain` (advice partitioned by kind once, around-nesting
-precomputed), and shadows whose advice is fully static — no ``cflow``,
-``target`` or ``args`` residue, and no cflow entry tracking needed — skip
-the join point stack and per-call pointcut re-evaluation entirely.
+The hot path is *code-generated at deployment time*: each woven method
+shadow gets a specialized closure (see :mod:`repro.aop.codegen`) that
+inlines its exact advice sequence over a pooled, lazily-constructed
+:class:`~repro.aop.joinpoint.JoinPoint`; shadows whose advice is fully
+static — no ``cflow``, ``target`` or ``args`` residue, and no cflow entry
+tracking needed — skip the join point stack, per-call pointcut
+re-evaluation *and* join point allocation entirely.  Setting
+``REPRO_AOP_CODEGEN=0`` falls back to the generic :class:`CompiledChain`
+wrappers (advice partitioned by kind once, around-nesting precomputed).
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from dataclasses import dataclass, field
 from types import FunctionType
 from typing import Any, Callable, Iterable
 
+from . import codegen
 from .advice import Advice, AdviceKind
 from .aspect import Aspect
 from .errors import WeavingError
@@ -36,6 +41,7 @@ from .introduce import AppliedIntroduction
 from .joinpoint import (
     JoinPoint,
     JoinPointKind,
+    JoinPointPool,
     ProceedingJoinPoint,
     pop_frame,
     push_frame,
@@ -140,34 +146,71 @@ def _wrap_around(advice: Advice, jp: JoinPoint, inner: Callable[..., Any]):
 
 
 class _ChainSelector:
-    """Per-call residue filtering with memoized sub-chain compilation.
+    """Per-call residue filtering over pointcut-level memoized mask indices.
 
-    Shadows whose advice carries dynamic tests (``cflow``, ``target``,
-    ``args``) still need a per-call ``matches_dynamic`` pass — but the
-    surviving subset is usually one of a handful of combinations, so the
-    compiled chain for each subset (keyed by a bitmask over the advice
-    list) is built once and reused.
+    Each advice's residue decomposes (:meth:`Pointcut.residue_parts`) into
+    a *class-settled* part — depending only on the join point's runtime
+    class, so its verdict is computed **once per (pointcut, class)** and
+    cached as a bitmask — and a genuinely *per-call* part (``cflow``,
+    ``target``, ``args`` tests).  A call pays only for the per-call tests
+    of advice its class mask still admits.  The surviving subset is
+    usually one of a handful of combinations, so the compiled chain for
+    each subset (keyed by the advice bitmask) is built once and reused.
+
+    The class-mask cache is weak-keyed (like :class:`ShadowIndex`): a
+    long-lived deployment advising a base class must not pin every
+    ephemeral subclass whose instances pass through the shadow.
     """
 
-    __slots__ = ("advice", "_dynamic_flags", "has_dynamic", "full_chain", "_chains")
+    __slots__ = (
+        "advice",
+        "has_dynamic",
+        "full_chain",
+        "_chains",
+        "_full_mask",
+        "_class_tests",
+        "_call_tests",
+        "_class_masks",
+    )
 
     def __init__(self, advice: Iterable[Advice]):
         self.advice: tuple[Advice, ...] = tuple(advice)
-        self._dynamic_flags = tuple(not a.is_static for a in self.advice)
-        self.has_dynamic = any(self._dynamic_flags)
         self.full_chain = CompiledChain(self.advice)
-        full_mask = (1 << len(self.advice)) - 1
-        self._chains: dict[int, CompiledChain] = {full_mask: self.full_chain}
+        self._full_mask = (1 << len(self.advice)) - 1
+        self._chains: dict[int, CompiledChain] = {self._full_mask: self.full_chain}
+        self._class_tests: list[tuple[int, Any]] = []
+        self._call_tests: list[tuple[int, Any]] = []
+        for index, item in enumerate(self.advice):
+            class_part, call_part = item.residue_parts()
+            if class_part is not None:
+                self._class_tests.append((1 << index, class_part))
+            if call_part is not None:
+                self._call_tests.append((1 << index, call_part))
+        self.has_dynamic = bool(self._class_tests or self._call_tests)
+        self._class_masks: "weakref.WeakKeyDictionary[type, int]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    def class_mask(self, jp: JoinPoint) -> int:
+        """Admissible-advice bits for *jp*'s runtime class (memoized)."""
+        mask = self._class_masks.get(jp.cls)
+        if mask is None:
+            mask = self._full_mask
+            for bit, pointcut in self._class_tests:
+                if not pointcut.matches_dynamic(jp):
+                    mask &= ~bit
+            self._class_masks[jp.cls] = mask
+        return mask
 
     def select(self, jp: JoinPoint) -> CompiledChain | None:
         """The compiled chain for the advice matching *jp*, or None."""
         if not self.has_dynamic:
             # Static advice on a frame-tracked shadow: everything applies.
             return self.full_chain if self.advice else None
-        mask = 0
-        for index, item in enumerate(self.advice):
-            if not self._dynamic_flags[index] or item.pointcut.matches_dynamic(jp):
-                mask |= 1 << index
+        mask = self.class_mask(jp) if self._class_tests else self._full_mask
+        for bit, pointcut in self._call_tests:
+            if mask & bit and not pointcut.matches_dynamic(jp):
+                mask &= ~bit
         if not mask:
             return None
         chain = self._chains.get(mask)
@@ -273,6 +316,17 @@ class ShadowIndex:
             stack.extend(klass.__subclasses__())
         return stamp
 
+    def prime(self, cls: type, shadows: tuple[MethodShadow, ...]) -> None:
+        """Install a scan known to equal what a fresh rescan would produce.
+
+        The batch planner derives each class's post-weave scan from the
+        pre-weave one plus the members it just installed (a pure in-memory
+        update), so the ``dir()`` + ``getattr_static`` walk can be skipped.
+        The caller vouches for exactness; tokens are left as stamped by the
+        preceding :meth:`invalidate`.
+        """
+        self._cache[cls] = shadows
+
     def restore_after_revert(
         self,
         cls: type,
@@ -313,6 +367,77 @@ class ShadowIndex:
 shadow_index = ShadowIndex()
 
 
+class _BatchScans:
+    """One real shadow scan per class for a whole ``deploy_all`` batch.
+
+    Sequential deploys invalidate every class they touch, so aspect *i + 1*
+    used to rescan the classes aspect *i* wove even though the only change
+    is the wrappers the weaver itself just installed.  This view scans each
+    class once (through the shared :data:`shadow_index`) and thereafter
+    *derives* the post-weave scan in memory: a woven member replaces its
+    entry (the wrapper becomes the shadow, no longer inherited), a field
+    descriptor drops any function entry of that name, and everything else
+    is untouched.  Derived scans are primed back into the index, so nested
+    installs across the batch — and the first scan after it — stay
+    rescan-free, making batch deployment O(classes × members) in scan work
+    regardless of the number of aspects.
+
+    Introductions fall back to honest rescans (they add members the
+    derivation does not model), as do subclasses of a touched class (their
+    inherited entries change underneath them).
+    """
+
+    __slots__ = ("_scans",)
+
+    def __init__(self) -> None:
+        self._scans: dict[type, tuple[MethodShadow, ...]] = {}
+
+    def shadows(self, cls: type) -> tuple[MethodShadow, ...]:
+        scan = self._scans.get(cls)
+        if scan is None:
+            scan = self._scans[cls] = shadow_index.shadows(cls)
+        return scan
+
+    def _drop(self, cls: type, *, and_self: bool) -> None:
+        for cached in [
+            k
+            for k in self._scans
+            if (and_self or k is not cls) and issubclass(k, cls)
+        ]:
+            del self._scans[cached]
+
+    def note_introduction(self, cls: type) -> None:
+        """An introduction mutated *cls*: rescan it (and subclasses)."""
+        self._drop(cls, and_self=True)
+
+    def apply_installs(self, cls: type, installed: dict[str, Any]) -> None:
+        """Derive *cls*'s post-weave scan and prime the shared index.
+
+        Called after the weaver invalidated *cls* for this deployment, so
+        the primed entry carries the fresh woven token.
+        """
+        self._drop(cls, and_self=False)
+        old = self._scans.get(cls)
+        if old is None:
+            return  # never scanned this batch (or introduction-reset)
+        derived: list[MethodShadow] = []
+        for entry in old:
+            wrapper = installed.get(entry.name, _MISSING)
+            if wrapper is _MISSING:
+                derived.append(entry)
+            elif isinstance(wrapper, FunctionType):
+                derived.append(
+                    MethodShadow(
+                        cls=cls, name=entry.name, original=wrapper, inherited=False
+                    )
+                )
+            # else: a data descriptor displaced the function — rescans
+            # would not report it, so neither does the derived scan.
+        scan = tuple(derived)
+        self._scans[cls] = scan
+        shadow_index.prime(cls, scan)
+
+
 def method_shadows(cls: type) -> list[MethodShadow]:
     """All weavable method shadows of *cls* (plain functions, no dunders).
 
@@ -322,14 +447,29 @@ def method_shadows(cls: type) -> list[MethodShadow]:
     return list(shadow_index.shadows(cls))
 
 
+class _WatcherCount:
+    """Mutable live count of cflow-watching deployments.
+
+    A one-slot object rather than a module global so that code-generated
+    wrappers (whose globals are their own exec namespace, not this
+    module's) can bind it as a free variable and still observe updates —
+    rebinding a module-level int would leave them reading a stale value.
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+
 #: Count of active deployments — across every weaver — whose advice carries
 #: a ``cflow()``/``cflowbelow()`` residue.  The seed weaver pushed a join
 #: point frame on *every* woven shadow, which is what made cflow residues
 #: from one deployment observe shadows woven by another.  Static fast-path
-#: wrappers preserve that: they check this counter per call (one global int
+#: wrappers preserve that: they check this counter per call (one attribute
 #: read) and push frames whenever any cflow watcher is live anywhere, and
 #: skip the stack bookkeeping only when no residue could possibly observe it.
-_cflow_watchers = 0
+_cflow_watchers = _WatcherCount()
 
 
 class _WovenField:
@@ -338,7 +478,9 @@ class _WovenField:
     Get/set advice chains are compiled once at construction.  When every
     advice is static and no cflow watcher is live anywhere (checked per
     access via :data:`_cflow_watchers`), access skips the join point stack
-    and residue filtering entirely.
+    and residue filtering entirely, and runs the chain over a pooled join
+    point (the dynamic path keeps plain allocation: its frames may outlive
+    the access inside captured stack tuples).
     """
 
     def __init__(
@@ -356,9 +498,15 @@ class _WovenField:
         self._set_selector = _ChainSelector(set_advice)
         self._get_static = not self._get_selector.has_dynamic
         self._set_static = not self._set_selector.has_dynamic
+        self._make_pools()
+
+    def _make_pools(self) -> None:
+        self._get_pool = JoinPointPool(JoinPointKind.FIELD_GET, self._name)
+        self._set_pool = JoinPointPool(JoinPointKind.FIELD_SET, self._name)
 
     def __set_name__(self, owner: type, name: str) -> None:
         self._name = name
+        self._make_pools()
 
     def __get__(self, obj: Any, objtype: type | None = None) -> Any:
         if obj is None:
@@ -373,11 +521,14 @@ class _WovenField:
                 f"{type(obj).__name__!r} object has no attribute {self._name!r}"
             )
 
-        if self._get_static and not _cflow_watchers:
+        if self._get_static and not _cflow_watchers.count:
             if not self._get_advice:
                 return read()
-            jp = JoinPoint(JoinPointKind.FIELD_GET, obj, type(obj), self._name)
-            return self._get_selector.full_chain(jp, read)
+            jp = self._get_pool.acquire(obj, (), {})
+            try:
+                return self._get_selector.full_chain(jp, read)
+            finally:
+                self._get_pool.release(jp)
 
         jp = JoinPoint(JoinPointKind.FIELD_GET, obj, type(obj), self._name)
         token = push_frame(jp)
@@ -393,19 +544,16 @@ class _WovenField:
         def write(new_value: Any = value) -> None:
             obj.__dict__[self._name] = new_value
 
-        if self._set_static and not _cflow_watchers:
+        if self._set_static and not _cflow_watchers.count:
             if not self._set_advice:
                 write()
                 return
-            jp = JoinPoint(
-                JoinPointKind.FIELD_SET,
-                obj,
-                type(obj),
-                self._name,
-                args=(value,),
-                value=value,
-            )
-            self._set_selector.full_chain(jp, write)
+            jp = self._set_pool.acquire(obj, (value,), {})
+            jp.value = value
+            try:
+                self._set_selector.full_chain(jp, write)
+            finally:
+                self._set_pool.release(jp)
             return
 
         jp = JoinPoint(
@@ -469,6 +617,36 @@ class Deployment:
         return sorted(f"{m.cls.__name__}.{m.name}" for m in self.members)
 
 
+def _rollback_partial_weave(deployment: Deployment) -> None:
+    """Best-effort unwind of a deploy that raised mid-weave.
+
+    Reverts whatever the failing deployment already applied (members LIFO,
+    then introductions) and invalidates the touched classes, so a raising
+    :meth:`Weaver.deploy` never leaves class mutations the caller has no
+    deployment handle to undo.  Revert errors are swallowed — the original
+    exception is the one worth propagating, and the invalidation forces
+    honest rescans for anything left inconsistent.
+    """
+    touched: set[type] = set()
+    for member in reversed(deployment.members):
+        touched.add(member.cls)
+        try:
+            member.revert()
+        except Exception:
+            pass
+    for applied in reversed(deployment.introductions):
+        touched.add(applied.cls)
+        try:
+            applied.revert()
+        except Exception:
+            pass
+    deployment.members.clear()
+    deployment.introductions.clear()
+    deployment._cache_state.clear()
+    for cls in touched:
+        shadow_index.invalidate(cls)
+
+
 class Weaver:
     """Deploys aspects into classes and keeps enough state to undo it."""
 
@@ -486,6 +664,7 @@ class Weaver:
         *,
         fields: Iterable[str] = (),
         require_match: bool = True,
+        _scans: "_BatchScans | None" = None,
     ) -> Deployment:
         """Weave *aspect* into *targets*.
 
@@ -493,24 +672,28 @@ class Weaver:
         (Python cannot discover instance attributes statically, so field
         interception is opt-in).  With *require_match*, deploying an aspect
         that matches nothing raises — almost always a pointcut typo.
+
+        ``_scans`` is the :meth:`deploy_all` batch planner's shared scan
+        view; single deployments read the module :data:`shadow_index`
+        directly.
         """
         aspect.validate()
         advice = sorted(aspect.advice(), key=lambda a: a.order)
         targets = list(targets)
         deployment = Deployment(aspect=aspect)
+        scans = _scans if _scans is not None else shadow_index
 
         # Snapshot every target's pre-weave scan (also pre-warming the
         # cache for the phases below).  Undeploy restores classes exactly,
         # so these snapshots make deploy/undeploy cycles rescan-free.
         pre_state = {
-            cls: (shadow_index.shadows(cls), shadow_index.token(cls))
-            for cls in targets
+            cls: (scans.shadows(cls), shadow_index.token(cls)) for cls in targets
         }
 
         # declare error: refuse deployment when a forbidden shape exists.
         for declaration in aspect.declarations():
             for cls in targets:
-                for shadow in shadow_index.shadows(cls):
+                for shadow in scans.shadows(cls):
                     if declaration.pointcut.matches_shadow(
                         cls, shadow.name, JoinPointKind.METHOD_EXECUTION
                     ):
@@ -519,105 +702,139 @@ class Weaver:
                             f"(declare error matched {cls.__name__}.{shadow.name})"
                         )
 
-        intro_touched: set[type] = set()
-        for introduction in aspect.introductions():
+        try:
+            intro_touched: set[type] = set()
+            for introduction in aspect.introductions():
+                for cls in targets:
+                    applied = introduction.apply(cls)
+                    if applied is not None:
+                        deployment.introductions.append(applied)
+                        intro_touched.add(cls)
+                        # Introduced functions are weavable shadows themselves.
+                        shadow_index.invalidate(cls)
+                        if _scans is not None:
+                            _scans.note_introduction(cls)
+
+            # cflow() residues need the join point stack populated at their
+            # inner pointcuts' shadows even when no advice runs there; shadows
+            # the residues match get tracking-only wrappers (AspectJ
+            # instruments cflow entry shadows the same way).  While this
+            # deployment is active it also raises :data:`_cflow_watchers`, so
+            # every woven shadow anywhere resumes frame bookkeeping.
+            inner_pointcuts = [
+                inner
+                for a in advice
+                for inner in a.pointcut.cflow_inner_pointcuts()
+            ]
+
+            def tracked(cls: type, name: str, kind: JoinPointKind) -> bool:
+                return any(p.matches_shadow(cls, name, kind) for p in inner_pointcuts)
+
+            # Capture every shadow before installing anything, so that weaving
+            # a base class never changes what a subclass shadow captures.  One
+            # (memoized) scan per class covers advice matching and cflow entry
+            # instrumentation.
+            method_plan: list[tuple[MethodShadow, list[Advice]]] = []
+            field_plan: list[tuple[type, str, list[Advice], list[Advice]]] = []
+            tracking_only: set[tuple[type, str]] = set()
             for cls in targets:
-                applied = introduction.apply(cls)
-                if applied is not None:
-                    deployment.introductions.append(applied)
-                    intro_touched.add(cls)
-                    # Introduced functions are weavable shadows themselves.
-                    shadow_index.invalidate(cls)
+                for shadow in scans.shadows(cls):
+                    matching = [
+                        a
+                        for a in advice
+                        if a.pointcut.matches_shadow(
+                            cls, shadow.name, JoinPointKind.METHOD_EXECUTION
+                        )
+                    ]
+                    if matching:
+                        method_plan.append((shadow, matching))
+                    elif inner_pointcuts:
+                        key = (shadow.cls, shadow.name)
+                        if key not in tracking_only and tracked(
+                            cls, shadow.name, JoinPointKind.METHOD_EXECUTION
+                        ):
+                            tracking_only.add(key)
+                            method_plan.append((shadow, []))
+                for field_name in fields:
+                    getters = [
+                        a
+                        for a in advice
+                        if a.pointcut.matches_shadow(
+                            cls, field_name, JoinPointKind.FIELD_GET
+                        )
+                    ]
+                    setters = [
+                        a
+                        for a in advice
+                        if a.pointcut.matches_shadow(
+                            cls, field_name, JoinPointKind.FIELD_SET
+                        )
+                    ]
+                    if getters or setters:
+                        field_plan.append((cls, field_name, getters, setters))
 
-        # cflow() residues need the join point stack populated at their
-        # inner pointcuts' shadows even when no advice runs there; shadows
-        # the residues match get tracking-only wrappers (AspectJ
-        # instruments cflow entry shadows the same way).  While this
-        # deployment is active it also raises :data:`_cflow_watchers`, so
-        # every woven shadow anywhere resumes frame bookkeeping.
-        inner_pointcuts = [
-            inner
-            for a in advice
-            for inner in a.pointcut.cflow_inner_pointcuts()
-        ]
+            touched: set[type] = set()
+            for shadow, matching in method_plan:
+                wrapper = self._make_method_wrapper(shadow, matching)
+                previous = shadow.cls.__dict__.get(shadow.name, _MISSING)
+                setattr(shadow.cls, shadow.name, wrapper)
+                touched.add(shadow.cls)
+                deployment.members.append(
+                    _WovenMember(shadow.cls, shadow.name, wrapper, previous)
+                )
 
-        def tracked(cls: type, name: str, kind: JoinPointKind) -> bool:
-            return any(p.matches_shadow(cls, name, kind) for p in inner_pointcuts)
+            for cls, field_name, getters, setters in field_plan:
+                previous = cls.__dict__.get(field_name, _MISSING)
+                default = previous if previous is not _MISSING else _MISSING
+                # A re-weave keeps the original class default.
+                if isinstance(default, _WovenField):
+                    default = default._class_default
+                descriptor = _WovenField(field_name, getters, setters, default)
+                setattr(cls, field_name, descriptor)
+                touched.add(cls)
+                deployment.members.append(
+                    _WovenMember(cls, field_name, descriptor, previous)
+                )
 
-        # Capture every shadow before installing anything, so that weaving
-        # a base class never changes what a subclass shadow captures.  One
-        # (memoized) scan per class covers advice matching and cflow entry
-        # instrumentation.
-        method_plan: list[tuple[MethodShadow, list[Advice]]] = []
-        field_plan: list[tuple[type, str, list[Advice], list[Advice]]] = []
-        tracking_only: set[tuple[type, str]] = set()
-        for cls in targets:
-            for shadow in shadow_index.shadows(cls):
-                matching = [
-                    a
-                    for a in advice
-                    if a.pointcut.matches_shadow(
-                        cls, shadow.name, JoinPointKind.METHOD_EXECUTION
+            for cls in touched | intro_touched:
+                woven_token = shadow_index.invalidate(cls)
+                shadows_snapshot, pre_token = pre_state[cls]
+                deployment._cache_state[cls] = (
+                    shadows_snapshot,
+                    pre_token,
+                    woven_token,
+                )
+            if _scans is not None:
+                installed_by_cls: dict[type, dict[str, Any]] = {}
+                for member in deployment.members:
+                    installed_by_cls.setdefault(member.cls, {})[member.name] = (
+                        member.installed
                     )
-                ]
-                if matching:
-                    method_plan.append((shadow, matching))
-                elif inner_pointcuts:
-                    key = (shadow.cls, shadow.name)
-                    if key not in tracking_only and tracked(
-                        cls, shadow.name, JoinPointKind.METHOD_EXECUTION
-                    ):
-                        tracking_only.add(key)
-                        method_plan.append((shadow, []))
-            for field_name in fields:
-                getters = [
-                    a
-                    for a in advice
-                    if a.pointcut.matches_shadow(cls, field_name, JoinPointKind.FIELD_GET)
-                ]
-                setters = [
-                    a
-                    for a in advice
-                    if a.pointcut.matches_shadow(cls, field_name, JoinPointKind.FIELD_SET)
-                ]
-                if getters or setters:
-                    field_plan.append((cls, field_name, getters, setters))
+                # Bases before subclasses: a touched base drops its subclasses'
+                # derived scans (their inherited entries changed underneath
+                # them), which must happen before — never after — a touched
+                # subclass would prime one.
+                for cls in sorted(touched, key=lambda klass: len(klass.__mro__)):
+                    _scans.apply_installs(cls, installed_by_cls.get(cls, {}))
 
-        touched: set[type] = set()
-        for shadow, matching in method_plan:
-            wrapper = self._make_method_wrapper(shadow, matching)
-            previous = shadow.cls.__dict__.get(shadow.name, _MISSING)
-            setattr(shadow.cls, shadow.name, wrapper)
-            touched.add(shadow.cls)
-            deployment.members.append(
-                _WovenMember(shadow.cls, shadow.name, wrapper, previous)
-            )
-
-        for cls, field_name, getters, setters in field_plan:
-            previous = cls.__dict__.get(field_name, _MISSING)
-            default = previous if previous is not _MISSING else _MISSING
-            if isinstance(default, _WovenField):  # re-weave keeps the original default
-                default = default._class_default
-            descriptor = _WovenField(field_name, getters, setters, default)
-            setattr(cls, field_name, descriptor)
-            touched.add(cls)
-            deployment.members.append(
-                _WovenMember(cls, field_name, descriptor, previous)
-            )
-
-        for cls in touched | intro_touched:
-            woven_token = shadow_index.invalidate(cls)
-            shadows_snapshot, pre_token = pre_state[cls]
-            deployment._cache_state[cls] = (shadows_snapshot, pre_token, woven_token)
-
-        if require_match and not deployment.members and not deployment.introductions:
-            raise WeavingError(
-                f"aspect {type(aspect).__name__} matched nothing in "
-                f"[{', '.join(t.__name__ for t in targets)}]"
-            )
+            if (
+                require_match
+                and not deployment.members
+                and not deployment.introductions
+            ):
+                raise WeavingError(
+                    f"aspect {type(aspect).__name__} matched nothing in "
+                    f"[{', '.join(t.__name__ for t in targets)}]"
+                )
+        except BaseException:
+            # Mid-weave failure (introduction conflict, raising pointcut,
+            # ...): revert what this deployment already applied so the
+            # caller is never left with class mutations it has no handle
+            # to undo.
+            _rollback_partial_weave(deployment)
+            raise
         if inner_pointcuts:
-            global _cflow_watchers
-            _cflow_watchers += 1
+            _cflow_watchers.count += 1
             deployment._tracks_cflow = True
         self._deployments.append(deployment)
         return deployment
@@ -634,100 +851,58 @@ class Weaver:
 
         Semantically identical to sequential :meth:`deploy` calls — later
         aspects wrap earlier ones, and the batch unwinds LIFO like any
-        other deployments — but every aspect plans against the shared
-        memoized :data:`shadow_index`, so classes an earlier aspect did not
-        touch are scanned once for the whole batch instead of once per
-        aspect (the classic O(aspects × classes × members) rescan).
+        other deployments — but the whole batch plans from **one**
+        :class:`ShadowIndex` scan per class (:class:`_BatchScans`): when an
+        aspect weaves a class, the next aspect's plan is *derived* from the
+        installed wrappers instead of rescanning, so nesting installs cost
+        O(classes × members) scan work total regardless of how many aspects
+        stack (the classic O(aspects × classes × members) rescan is gone).
+
+        All-or-nothing: if a later aspect's deploy raises (declare error,
+        pointcut typo with *require_match*, ...), the aspects already
+        installed are undeployed LIFO before the exception propagates —
+        the caller gets no deployment handles back, so partial weaves
+        would be unrecoverable leaks.
         """
         targets = list(targets)
-        return [
-            self.deploy(aspect, targets, fields=fields, require_match=require_match)
-            for aspect in aspects
-        ]
+        batch = _BatchScans()
+        made: list[Deployment] = []
+        try:
+            for aspect in aspects:
+                made.append(
+                    self.deploy(
+                        aspect,
+                        targets,
+                        fields=fields,
+                        require_match=require_match,
+                        _scans=batch,
+                    )
+                )
+        except BaseException:
+            for deployment in reversed(made):
+                self.undeploy(deployment)
+            raise
+        return made
 
     @staticmethod
     def _make_method_wrapper(shadow: MethodShadow, advice: list[Advice]):
-        original = shadow.original
-        name = shadow.name
         selector = _ChainSelector(advice)
-
-        if not advice:
-            # Tracking-only wrapper: a cflow entry shadow with no advice of
-            # its own.  It exists purely to push a join point frame.
-            @functools.wraps(original)
-            def wrapper(self, *args: Any, **kwargs: Any) -> Any:
-                jp = JoinPoint(
-                    JoinPointKind.METHOD_EXECUTION,
-                    self,
-                    type(self),
-                    name,
-                    args,
-                    kwargs,
-                )
-                token = push_frame(jp)
-                try:
-                    return original(self, *args, **kwargs)
-                finally:
-                    pop_frame(token)
-
-        elif not selector.has_dynamic:
-            # Static path: every pointcut matched fully at the shadow, so
-            # the precompiled chain runs with no residue filtering.  Frames
-            # are pushed only while some deployment anywhere carries a
-            # cflow residue (exactly when the stack is observable) — the
-            # seed pushed them unconditionally.
-            chain = selector.full_chain
-
-            @functools.wraps(original)
-            def wrapper(self, *args: Any, **kwargs: Any) -> Any:
-                jp = JoinPoint(
-                    JoinPointKind.METHOD_EXECUTION,
-                    self,
-                    type(self),
-                    name,
-                    args,
-                    kwargs,
-                )
-
-                def proceed(*call_args: Any, **call_kwargs: Any) -> Any:
-                    return original(self, *call_args, **call_kwargs)
-
-                if _cflow_watchers:
-                    token = push_frame(jp)
-                    try:
-                        return chain(jp, proceed)
-                    finally:
-                        pop_frame(token)
-                return chain(jp, proceed)
-
+        # Codegen specializes fully-static chains only; dynamic-residue
+        # and tracking-only shadows are generic dispatch by construction
+        # and share the generic closures in both tiers.
+        if advice and not selector.has_dynamic and codegen.codegen_enabled():
+            wrapper = codegen.generate_method_wrapper(
+                shadow.original, shadow.name, tuple(advice), selector, _cflow_watchers
+            )
         else:
-            # Dynamic path: push a frame (cflow may observe this very join
-            # point), filter residues, and run the memoized sub-chain.
-            @functools.wraps(original)
-            def wrapper(self, *args: Any, **kwargs: Any) -> Any:
-                jp = JoinPoint(
-                    JoinPointKind.METHOD_EXECUTION,
-                    self,
-                    type(self),
-                    name,
-                    args,
-                    kwargs,
-                )
-                token = push_frame(jp)
-                try:
-                    chain = selector.select(jp)
-                    if chain is None:
-                        return original(self, *args, **kwargs)
-
-                    def proceed(*call_args: Any, **call_kwargs: Any) -> Any:
-                        return original(self, *call_args, **call_kwargs)
-
-                    return chain(jp, proceed)
-                finally:
-                    pop_frame(token)
-
+            wrapper = _make_generic_method_wrapper(shadow, advice, selector)
+            # functools.wraps may have copied codegen introspection attrs
+            # from a nested generated original; they describe that one,
+            # not this wrapper.
+            wrapper.__dict__.pop("__codegen_source__", None)
+            wrapper.__dict__.pop("__joinpoint_pool__", None)
         wrapper.__woven__ = True  # type: ignore[attr-defined]
-        wrapper.__woven_original__ = original  # type: ignore[attr-defined]
+        wrapper.__woven_original__ = shadow.original  # type: ignore[attr-defined]
         return wrapper
 
     def undeploy(self, deployment: Deployment) -> None:
@@ -758,8 +933,7 @@ class Weaver:
                     cls, snapshot, woven_token=woven_token, pre_token=pre_token
                 )
         if deployment._tracks_cflow:
-            global _cflow_watchers
-            _cflow_watchers -= 1
+            _cflow_watchers.count -= 1
             deployment._tracks_cflow = False
         deployment.active = False
 
@@ -767,6 +941,97 @@ class Weaver:
         """Reverse every active deployment, most recent first."""
         for deployment in reversed(self.deployments):
             self.undeploy(deployment)
+
+
+def _make_generic_method_wrapper(
+    shadow: MethodShadow, advice: list[Advice], selector: _ChainSelector
+):
+    """The non-codegen wrappers: generic closures over a compiled chain.
+
+    This is the ``REPRO_AOP_CODEGEN=0`` escape hatch (and the reference
+    the generated wrappers are pinned against): same chain, same frame
+    semantics, but one generic closure shape per dispatch tier instead of
+    a specialized one per shadow, and a fresh join point per call.
+    """
+    original = shadow.original
+    name = shadow.name
+
+    if not advice:
+        # Tracking-only wrapper: a cflow entry shadow with no advice of
+        # its own.  It exists purely to push a join point frame.
+        @functools.wraps(original)
+        def wrapper(self, *args: Any, **kwargs: Any) -> Any:
+            jp = JoinPoint(
+                JoinPointKind.METHOD_EXECUTION,
+                self,
+                type(self),
+                name,
+                args,
+                kwargs,
+            )
+            token = push_frame(jp)
+            try:
+                return original(self, *args, **kwargs)
+            finally:
+                pop_frame(token)
+
+    elif not selector.has_dynamic:
+        # Static path: every pointcut matched fully at the shadow, so
+        # the precompiled chain runs with no residue filtering.  Frames
+        # are pushed only while some deployment anywhere carries a
+        # cflow residue (exactly when the stack is observable) — the
+        # seed pushed them unconditionally.
+        chain = selector.full_chain
+
+        @functools.wraps(original)
+        def wrapper(self, *args: Any, **kwargs: Any) -> Any:
+            jp = JoinPoint(
+                JoinPointKind.METHOD_EXECUTION,
+                self,
+                type(self),
+                name,
+                args,
+                kwargs,
+            )
+
+            def proceed(*call_args: Any, **call_kwargs: Any) -> Any:
+                return original(self, *call_args, **call_kwargs)
+
+            if _cflow_watchers.count:
+                token = push_frame(jp)
+                try:
+                    return chain(jp, proceed)
+                finally:
+                    pop_frame(token)
+            return chain(jp, proceed)
+
+    else:
+        # Dynamic path: push a frame (cflow may observe this very join
+        # point), filter residues, and run the memoized sub-chain.
+        @functools.wraps(original)
+        def wrapper(self, *args: Any, **kwargs: Any) -> Any:
+            jp = JoinPoint(
+                JoinPointKind.METHOD_EXECUTION,
+                self,
+                type(self),
+                name,
+                args,
+                kwargs,
+            )
+            token = push_frame(jp)
+            try:
+                chain = selector.select(jp)
+                if chain is None:
+                    return original(self, *args, **kwargs)
+
+                def proceed(*call_args: Any, **call_kwargs: Any) -> Any:
+                    return original(self, *call_args, **call_kwargs)
+
+                return chain(jp, proceed)
+            finally:
+                pop_frame(token)
+
+    return wrapper
 
 
 #: The default process-wide weaver used by :func:`deploy` / :func:`undeploy`.

@@ -53,6 +53,7 @@ from .weave import (
     build_plain_site,
     build_woven_site,
     build_woven_site_many,
+    build_woven_site_stacked,
 )
 from .xlink_io import (
     NAV_ENTRY_ARCROLE,
@@ -90,6 +91,7 @@ __all__ = [
     "check_separation",
     "build_woven_site",
     "build_woven_site_many",
+    "build_woven_site_stacked",
     "build_xlink_site",
     "data_uri_for",
     "default_museum_landmarks",

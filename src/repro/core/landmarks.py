@@ -38,7 +38,7 @@ class LandmarkSpec:
     @classmethod
     def from_text(cls, text: str) -> "LandmarkSpec":
         spec = cls()
-        lines = [l.strip() for l in text.splitlines() if l.strip()]
+        lines = [line.strip() for line in text.splitlines() if line.strip()]
         if not lines or lines[0] != "[landmarks]":
             raise ValueError("landmark spec must start with '[landmarks]'")
         for line in lines[1:]:

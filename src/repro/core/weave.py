@@ -72,6 +72,33 @@ def build_woven_site_many(
     return sites
 
 
+def build_woven_site_stacked(
+    fixture: MuseumFixture,
+    specs: Iterable[NavigationSpec],
+    *,
+    weaver: Weaver | None = None,
+) -> StaticSite:
+    """Build **one** site with several navigation concerns layered at once.
+
+    Where :func:`build_woven_site_many` produces one site per spec, this
+    stacks every spec's aspect over the same renderer — each page carries
+    all of their navigation blocks, later specs wrapping (and therefore
+    appending after) earlier ones.  The batch deploys through
+    :meth:`Weaver.deploy_all`, whose planner derives all the aspects'
+    plans from a single shadow scan of :class:`PageRenderer`, and unwinds
+    LIFO so the renderer is restored exactly.
+    """
+    weaver = weaver or Weaver()
+    renderer = PageRenderer(fixture)
+    aspects = [NavigationAspect(spec, fixture) for spec in specs]
+    deployments = weaver.deploy_all(aspects, [PageRenderer])
+    try:
+        return renderer.build_site()
+    finally:
+        for deployment in reversed(deployments):
+            weaver.undeploy(deployment)
+
+
 class NavigationWeaver:
     """A persistent deployment for interactive use.
 

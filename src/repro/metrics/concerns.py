@@ -91,7 +91,7 @@ def classify_file(path: str, text: str) -> FileConcerns:
     navigational decision.
     """
     if text.startswith("[navigation]"):
-        decision_lines = [l for l in text.splitlines() if l.strip()]
+        decision_lines = [line for line in text.splitlines() if line.strip()]
         return FileConcerns(path, len(decision_lines), 0, 0)
     navigation = content = structure = 0
     nav_depth = 0

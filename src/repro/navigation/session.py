@@ -116,14 +116,14 @@ class NavigationSession:
         link_class = self._schema.link_class(link_class_name)
         links = link_class.resolve(self.current_node)
         if to is not None:
-            links = [l for l in links if l.target.node_id == to]
+            links = [link for link in links if link.target.node_id == to]
         if not links:
             raise NavigationError(
                 f"no {link_class_name!r} link from {self.current_node.node_id!r}"
                 + (f" to {to!r}" if to is not None else "")
             )
         if len(links) > 1:
-            choices = ", ".join(l.target.node_id for l in links)
+            choices = ", ".join(link.target.node_id for link in links)
             raise NavigationError(
                 f"{link_class_name!r} from {self.current_node.node_id!r} is "
                 f"ambiguous; pick one of: {choices}"

@@ -36,10 +36,10 @@ class Linkbase:
         return cls(uri=uri, document=document, links=find_links(document))
 
     def extended_links(self) -> list[ExtendedLink]:
-        return [l for l in self.links if isinstance(l, ExtendedLink)]
+        return [link for link in self.links if isinstance(link, ExtendedLink)]
 
     def simple_links(self) -> list[SimpleLink]:
-        return [l for l in self.links if isinstance(l, SimpleLink)]
+        return [link for link in self.links if isinstance(link, SimpleLink)]
 
     def graph(self, *, strict: bool = True) -> LinkGraph:
         """The traversal graph of this linkbase alone, hrefs normalized."""

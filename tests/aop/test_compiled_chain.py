@@ -7,6 +7,12 @@ These tests pin the semantics: everything observable — ordering, exception
 paths, proceed() argument rewriting, undeploy — must be identical to the
 old re-partition-on-every-call implementation, reproduced here verbatim as
 the reference.
+
+The whole matrix runs twice: once with code-generated per-shadow wrappers
+(the default) and once with ``REPRO_AOP_CODEGEN=0`` (the generic
+compiled-chain wrappers), pinning that generated wrappers are behaviorally
+indistinguishable — including cflow watcher and undeploy-snapshot
+semantics.
 """
 
 import pytest
@@ -31,6 +37,15 @@ from repro.aop import (
     run_advice_chain,
 )
 from repro.aop.weaver import shadow_index
+
+
+@pytest.fixture(autouse=True, params=["codegen", "generic"])
+def _wrapper_tier(request, monkeypatch):
+    """Run every test against both deployment tiers (checked per deploy)."""
+    monkeypatch.setenv(
+        "REPRO_AOP_CODEGEN", "1" if request.param == "codegen" else "0"
+    )
+    return request.param
 
 
 # -- the pre-refactor algorithm, kept as the reference ------------------------

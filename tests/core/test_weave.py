@@ -9,6 +9,7 @@ from repro.core import (
     PageRenderer,
     build_plain_site,
     build_woven_site,
+    build_woven_site_stacked,
     default_museum_spec,
 )
 from repro.navigation import UserAgent
@@ -52,6 +53,17 @@ class TestWovenSite:
         assert not hasattr(PageRenderer.render_node, "__woven__")
         # And a fresh build is navigation-free again.
         assert sum(len(p.anchors()) for p in build_plain_site(fixture).pages()) == 0
+
+    def test_stacked_specs_layer_their_navigation(self, fixture):
+        stacked = build_woven_site_stacked(
+            fixture,
+            [default_museum_spec("index"), default_museum_spec("guided-tour")],
+        )
+        single = build_woven_site(fixture, default_museum_spec("index"))
+        assert stacked.page("index.html").html().count("<nav") == 2
+        assert single.page("index.html").html().count("<nav") == 1
+        # The batch deployment unwound completely.
+        assert not hasattr(PageRenderer.render_node, "__woven__")
 
     def test_browsing_the_woven_site(self, fixture):
         site = build_woven_site(fixture, default_museum_spec("indexed-guided-tour"))

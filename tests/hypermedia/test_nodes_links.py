@@ -62,12 +62,16 @@ class TestLinkClasses:
     def test_resolve_yields_concrete_links(self, fixture):
         picasso = fixture.painter_node("picasso")
         links = fixture.nav.link_class("paints").resolve(picasso)
-        assert {l.target.node_id for l in links} == {"guitar", "guernica", "avignon"}
+        assert {link.target.node_id for link in links} == {
+            "guitar",
+            "guernica",
+            "avignon",
+        }
 
     def test_link_titles_use_title_attribute(self, fixture):
         picasso = fixture.painter_node("picasso")
         links = fixture.nav.link_class("paints").resolve(picasso)
-        assert "Guernica" in {l.title for l in links}
+        assert "Guernica" in {link.title for link in links}
 
     def test_link_href_is_target_uri(self, fixture):
         guitar = fixture.painting_node("guitar")

@@ -46,7 +46,7 @@ class TestPrimitiveLinks:
         site = build_woven_site(fixture, default_museum_spec("index"))
         page = site.page("PaintingNode/guitar.html")
         links = [a for a in page.anchors() if a.rel == "link"]
-        assert [l.label for l in links] == ["Pablo Picasso"]
+        assert [link.label for link in links] == ["Pablo Picasso"]
 
     def test_unexposed_link_class_stays_hidden(self, fixture):
         spec = NavigationSpec().set_access("by-painter", "index")

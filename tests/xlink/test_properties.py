@@ -6,7 +6,6 @@ populations, and the graph's outgoing/incoming indexes agree with the flat
 traversal list.
 """
 
-import string
 
 from hypothesis import given, settings, strategies as st
 

@@ -6,7 +6,6 @@ expand fixtures, so our processor's reading of the normative data model is
 pinned to the document the paper cites as [7].
 """
 
-import pytest
 
 from repro.xlink import (
     Actuate,
@@ -52,7 +51,9 @@ class TestCourseLoadExample:
 
     def test_locator_roles_preserved(self):
         link = parse_extended_link(parse_element(COURSE_LOAD))
-        student = next(l for l in link.locators if l.label == "student62")
+        student = next(
+            loc for loc in link.locators if loc.label == "student62"
+        )
         assert student.role == "http://www.example.com/linkprops/student"
         assert student.title == "Pat Jones"
 

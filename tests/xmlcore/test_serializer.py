@@ -8,7 +8,6 @@ from repro.xmlcore import (
     Element,
     ProcessingInstruction,
     QName,
-    Text,
     XLINK_NAMESPACE,
     XmlTreeError,
     build,
