@@ -31,7 +31,14 @@ def _minor_version(payload: dict) -> str:
 
 
 def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
-    """Human-readable failure messages (empty when the gate passes)."""
+    """Human-readable failure messages (empty when the gate passes).
+
+    Only series committed in the *baseline* are gated: a series that is
+    present in the current run but absent from the baseline is a freshly
+    added benchmark (this PR introduced it), and must never fail the gate
+    — it has no committed floor yet.  :func:`new_series` reports them so
+    the CI log shows what starts being gated once the run is committed.
+    """
     failures = []
     baseline_speedups = baseline.get("speedup_vs_seed", {})
     current_speedups = current.get("speedup_vs_seed", {})
@@ -47,6 +54,14 @@ def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
                 f"(floor {floor:.2f}x at {tolerance:.0%} tolerance)"
             )
     return failures
+
+
+def new_series(baseline: dict, current: dict) -> list[str]:
+    """Series present in the current run but not in the baseline (ungated)."""
+    return sorted(
+        set(current.get("speedup_vs_seed", {}))
+        - set(baseline.get("speedup_vs_seed", {}))
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -84,6 +99,12 @@ def main(argv: list[str] | None = None) -> int:
         for line in failures:
             print(f"  - {line}", file=sys.stderr)
         return 1
+    added = new_series(baseline, current)
+    if added:
+        print(
+            "note: new series not gated this run (no committed floor yet): "
+            + ", ".join(added)
+        )
     names = ", ".join(sorted(baseline.get("speedup_vs_seed", {})))
     print(f"benchmark regression gate passed ({names})")
     return 0

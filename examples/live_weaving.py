@@ -10,7 +10,7 @@ woven independently.
 Run:  python examples/live_weaving.py
 """
 
-from repro.aop import Weaver
+from repro.aop import WeaverRuntime
 from repro.baselines import museum_fixture
 from repro.core import (
     LandmarkAspect,
@@ -29,7 +29,7 @@ def main() -> None:
     # Deploy the landmark aspect FIRST: reconfigure() re-weaves the
     # navigation aspect, and weaving unwinds LIFO — the reconfigured
     # deployment must sit on top of the stack.
-    landmark_weaver = Weaver()
+    landmark_weaver = WeaverRuntime("landmarks")
     landmark_weaver.deploy(
         LandmarkAspect(default_museum_landmarks()), [PageRenderer]
     )

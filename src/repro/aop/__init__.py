@@ -4,9 +4,10 @@ The paper's section 5 asks whether aspect-oriented tools are powerful
 enough to express navigation separately.  This package is our answer
 substrate: join points (method execution, field get/set), a composable
 pointcut language with a textual DSL, five advice kinds, inter-type
-introductions and a reversible runtime weaver::
+introductions and a reversible runtime weaver — held as a first-class
+:class:`WeaverRuntime` you scope, transact against and introspect::
 
-    from repro.aop import Aspect, around, deploy, deployed
+    from repro.aop import Aspect, WeaverRuntime, around
 
     class Timing(Aspect):
         @around("execution(*.render)")
@@ -17,15 +18,25 @@ introductions and a reversible runtime weaver::
             finally:
                 print(jp.signature, perf_counter() - start)
 
-    with deployed(Timing(), [PageRenderer]):
-        renderer.render()
+    runtime = WeaverRuntime("timing")
+    with runtime.transaction([PageRenderer]) as tx:
+        tx.add(Timing())
+        renderer.render()          # advice active
+        tx.undeploy()              # original behaviour restored
+
+The pre-runtime API (``Weaver``, free ``deploy``/``deploy_all``/
+``undeploy``, ``deployed``) still works as deprecation shims over
+:data:`default_runtime`; see :mod:`repro.aop.legacy` for the migration
+table.
 """
 
 from .advice import Advice, AdviceKind
-from .codegen import codegen_enabled
+from .codegen import CodegenCache, codegen_enabled
 from .aspect import (
     Aspect,
+    AspectBuilder,
     DeclareError,
+    FluentAspect,
     after,
     after_returning,
     after_throwing,
@@ -63,26 +74,39 @@ from .weaver import (
     CompiledChain,
     Deployment,
     ShadowIndex,
+    method_shadows,
+    run_advice_chain,
+    shadow_index,
+)
+from .runtime import (
+    DeploymentSet,
+    DeploymentStats,
+    WeaverRuntime,
+    WovenSite,
+    default_runtime,
+)
+from .legacy import (
     Weaver,
     default_weaver,
     deploy,
     deploy_all,
     deployed,
-    method_shadows,
-    run_advice_chain,
-    shadow_index,
     undeploy,
 )
 
 __all__ = [
     "Advice",
     "AdviceKind",
-    "CompiledChain",
-    "DeclareError",
     "AopError",
     "Aspect",
+    "AspectBuilder",
+    "CodegenCache",
+    "CompiledChain",
+    "DeclareError",
     "Deployment",
-    "ShadowIndex",
+    "DeploymentSet",
+    "DeploymentStats",
+    "FluentAspect",
     "Introduction",
     "IntroductionError",
     "JoinPoint",
@@ -91,8 +115,11 @@ __all__ = [
     "Pointcut",
     "PointcutSyntaxError",
     "ProceedingJoinPoint",
+    "ShadowIndex",
     "Weaver",
+    "WeaverRuntime",
     "WeavingError",
+    "WovenSite",
     "after",
     "after_returning",
     "after_throwing",
@@ -102,8 +129,9 @@ __all__ = [
     "cflow",
     "cflowbelow",
     "codegen_enabled",
-    "declare_error",
     "current_stack",
+    "declare_error",
+    "default_runtime",
     "default_weaver",
     "deploy",
     "deploy_all",

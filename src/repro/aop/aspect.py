@@ -25,7 +25,7 @@ weaver's job (:mod:`repro.aop.weaver`).
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 from .advice import Advice, AdviceKind
 from .errors import AopError
@@ -83,9 +83,36 @@ class Aspect:
     Subclasses declare advice with the decorators above and optional
     inter-type *introductions* via :meth:`introductions`.  The class-level
     ``order`` sets precedence for all its advice (lower = outermost).
+
+    Aspects can also be assembled without subclassing at all —
+    :meth:`builder` returns a fluent :class:`AspectBuilder`::
+
+        tracing = (
+            Aspect.builder("Tracing", order=10)
+            .before("execution(Node.render)", lambda jp: log(jp.signature))
+            .around(execution("*.as_html"), time_it)
+            .build()
+        )
     """
 
     order: int = 0
+
+    @classmethod
+    def builder(
+        cls,
+        name: str = "FluentAspect",
+        *,
+        order: int = 0,
+        types: dict[str, type] | None = None,
+    ) -> "AspectBuilder":
+        """A fluent, decorator-free way to assemble an aspect.
+
+        *name* becomes the built aspect's class name (it shows up in
+        weaver errors and introspection); *types* is the type environment
+        for textual pointcuts, and *order* the default precedence for all
+        the builder's advice.
+        """
+        return AspectBuilder(name, order=order, types=types)
 
     @classmethod
     def declared_advice(cls) -> list[Advice]:
@@ -165,13 +192,157 @@ def declare_error(
     return DeclareError(pointcut, message, types=types)
 
 
+class FluentAspect(Aspect):
+    """An aspect assembled by :class:`AspectBuilder` (no subclass, no decorators).
+
+    Advice functions registered through the builder take the join point
+    alone (``lambda jp: ...``) — there is no aspect ``self`` to bind.
+    :meth:`AspectBuilder.build` instantiates a dynamically-named subclass
+    so weaver diagnostics read ``aspect Tracing matched nothing`` rather
+    than ``aspect FluentAspect ...``.
+    """
+
+    def __init__(
+        self,
+        advice: list[Advice],
+        introductions: list["Introduction"],
+        declarations: list[DeclareError],
+        order: int = 0,
+    ):
+        self.order = order
+        self._advice = list(advice)
+        self._introductions = list(introductions)
+        self._declarations = list(declarations)
+
+    def advice(self) -> list[Advice]:
+        # The builder already resolved every advice's order (its own, or
+        # the aspect default) at registration time — an explicit order=0
+        # must stay 0, so no order remapping happens here.
+        return [
+            Advice(
+                kind=item.kind,
+                pointcut=item.pointcut,
+                function=item.function,
+                order=item.order,
+                name=item.name,
+            )
+            for item in self._advice
+        ]
+
+    def introductions(self) -> list["Introduction"]:
+        return list(self._introductions)
+
+    def declarations(self) -> list[DeclareError]:
+        return list(self._declarations)
+
+    def validate(self) -> None:
+        if not self._advice and not self._introductions and not self._declarations:
+            raise AopError(
+                f"aspect {type(self).__name__} declares no advice, no "
+                "introductions and no declarations"
+            )
+
+
+class AspectBuilder:
+    """Fluent construction of an aspect: advice, introductions, declarations.
+
+    Every registration method returns the builder, so a whole aspect reads
+    as one expression; :meth:`build` produces a ready-to-deploy
+    :class:`Aspect` instance.  Pointcuts may be textual (parsed with the
+    builder's type environment) or :class:`Pointcut` objects — including
+    compositions via ``&``/``|``/``~``.
+    """
+
+    def __init__(
+        self,
+        name: str = "FluentAspect",
+        *,
+        order: int = 0,
+        types: dict[str, type] | None = None,
+    ):
+        self._name = name
+        self._order = order
+        self._types = types
+        self._advice: list[Advice] = []
+        self._introductions: list[Introduction] = []
+        self._declarations: list[DeclareError] = []
+
+    def _add(
+        self,
+        kind: AdviceKind,
+        pointcut: Pointcut | str,
+        function: Callable,
+        order: int | None,
+    ) -> "AspectBuilder":
+        self._advice.append(
+            Advice(
+                kind=kind,
+                pointcut=_as_pointcut(pointcut, self._types),
+                function=function,
+                order=self._order if order is None else order,
+            )
+        )
+        return self
+
+    def before(
+        self, pointcut: Pointcut | str, function: Callable, *, order: int | None = None
+    ) -> "AspectBuilder":
+        """Run *function(jp)* before matching join points."""
+        return self._add(AdviceKind.BEFORE, pointcut, function, order)
+
+    def after_returning(
+        self, pointcut: Pointcut | str, function: Callable, *, order: int | None = None
+    ) -> "AspectBuilder":
+        """Run *function(jp)* after normal completion (``jp.result`` set)."""
+        return self._add(AdviceKind.AFTER_RETURNING, pointcut, function, order)
+
+    def after_throwing(
+        self, pointcut: Pointcut | str, function: Callable, *, order: int | None = None
+    ) -> "AspectBuilder":
+        """Run *function(jp)* when the join point raises."""
+        return self._add(AdviceKind.AFTER_THROWING, pointcut, function, order)
+
+    def after(
+        self, pointcut: Pointcut | str, function: Callable, *, order: int | None = None
+    ) -> "AspectBuilder":
+        """Run *function(jp)* on any completion (finally semantics)."""
+        return self._add(AdviceKind.AFTER, pointcut, function, order)
+
+    def around(
+        self, pointcut: Pointcut | str, function: Callable, *, order: int | None = None
+    ) -> "AspectBuilder":
+        """Replace matching join points; *function* must call ``jp.proceed()``."""
+        return self._add(AdviceKind.AROUND, pointcut, function, order)
+
+    def introduce(
+        self, class_pattern: str, name: str, member: Any, *, replace: bool = False
+    ) -> "AspectBuilder":
+        """Add an inter-type introduction (see :class:`Introduction`)."""
+        self._introductions.append(Introduction(class_pattern, name, member, replace))
+        return self
+
+    def declare_error(self, pointcut: Pointcut | str, message: str) -> "AspectBuilder":
+        """Forbid a code shape (see :class:`DeclareError`)."""
+        self._declarations.append(DeclareError(pointcut, message, types=self._types))
+        return self
+
+    def build(self) -> Aspect:
+        """The finished aspect, as an instance of a *name*-d subclass."""
+        aspect_cls = type(self._name, (FluentAspect,), {})
+        return aspect_cls(
+            self._advice, self._introductions, self._declarations, self._order
+        )
+
+
 # Imported at the bottom to avoid a cycle: introduce needs nothing from us,
 # but aspect authors get Introduction through this module's namespace.
 from .introduce import Introduction  # noqa: E402  (re-export for aspect authors)
 
 __all__ = [
     "Aspect",
+    "AspectBuilder",
     "DeclareError",
+    "FluentAspect",
     "Introduction",
     "after",
     "after_returning",

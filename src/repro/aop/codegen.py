@@ -4,7 +4,7 @@ PR 1 compiled advice chains at deploy time (:class:`~repro.aop.weaver.
 CompiledChain`), which removed the per-call re-partitioning but still paid,
 on every advised call, for a dataclass join point construction, a
 ``proceed`` closure, and a generic chain dispatch looping over advice
-tuples (most of them empty).  This module removes those too: at ``deploy()``
+tuples (most of them empty).  This module removes those too: at deploy
 time the weaver synthesizes a *specialized closure per shadow* — a template
 rendered to source and ``exec``-compiled once, with the advice callables,
 the original function and the join point pool bound as parameters of a
@@ -22,10 +22,18 @@ What a generated wrapper inlines:
   :class:`~repro.aop.joinpoint.JoinPointPool` free list and fills four
   slots, instead of running the dataclass ``__init__`` — the steady state
   allocates nothing but the call frames;
-- the cflow-watcher check: when any deployment anywhere carries a
-  ``cflow()`` residue, the wrapper delegates to a prebuilt slow path that
-  pushes join point frames and runs the compiled chain, preserving the
-  seed's cross-deployment ``cflow`` semantics exactly.
+- the cflow-watcher check: when any deployment in the owning runtime
+  carries a ``cflow()`` residue, the wrapper delegates to a prebuilt slow
+  path that pushes join point frames and runs the compiled chain,
+  preserving the seed's cross-deployment ``cflow`` semantics exactly.
+
+*Field* shadows get the same treatment (:func:`generate_field_descriptor`):
+a fully-static woven field deploys as a generated subclass of
+``_WovenField`` whose ``__get__``/``__set__`` inline the advice sequence
+and the backing ``__dict__`` read/write over pooled join points — no
+``read``/``write`` closure allocation and no generic chain dispatch per
+attribute access.  Field-set proceed arguments are honoured positionally
+(``proceed(new_value)``), matching what around advice actually writes.
 
 Shadows whose advice carries a runtime residue (and advice-free cflow
 tracking shadows) keep the weaver's generic closures: their dispatch is
@@ -36,10 +44,14 @@ is only the genuinely dynamic tests (``target``/``args``/``cflow``) —
 and a specialized template would just duplicate those semantics.
 
 Escape hatch: set ``REPRO_AOP_CODEGEN=0`` in the environment to fall back
-to the generic compiled-chain wrappers (checked at each ``deploy()``, so a
+to the generic compiled-chain wrappers (checked at each deploy, so a
 test can toggle it per deployment).  Generated functions carry their
 source on ``__codegen_source__`` and their pool on ``__joinpoint_pool__``
-for debugging and tests.
+(``__joinpoint_pools__`` for field descriptors) for debugging, tests and
+the runtime introspection API.  Compiled template sources are cached per
+advice *shape* in a :class:`CodegenCache` — one per
+:class:`~repro.aop.runtime.WeaverRuntime`, so cache statistics are scoped
+like the rest of the runtime state.
 """
 
 from __future__ import annotations
@@ -80,28 +92,87 @@ def codegen_enabled() -> bool:
     }
 
 
-@functools.lru_cache(maxsize=None)
-def _compiled(source: str):
-    """Compile generated source once per distinct advice shape."""
-    return compile(source, _FILENAME, "exec")
+class CodegenCache:
+    """A per-runtime compile cache for generated wrapper sources.
+
+    Sources are shaped by the advice sequence, not its identity, so a
+    batch deploy of a hundred identically-shaped shadows compiles once.
+    Earlier revisions kept one process-wide ``lru_cache``; giving each
+    :class:`~repro.aop.runtime.WeaverRuntime` its own cache keeps compile
+    *statistics* (how much codegen a runtime performed, how often shapes
+    were shared) scoped with the rest of the runtime state — the code
+    objects themselves are pure functions of the source either way.
+    """
+
+    __slots__ = ("_code", "sources_compiled", "compile_hits", "wrappers_built")
+
+    def __init__(self) -> None:
+        self._code: dict[str, Any] = {}
+        self.sources_compiled = 0
+        self.compile_hits = 0
+        self.wrappers_built = 0
+
+    def code_for(self, source: str):
+        """The compiled code object for *source* (memoized)."""
+        code = self._code.get(source)
+        if code is None:
+            code = self._code[source] = compile(source, _FILENAME, "exec")
+            self.sources_compiled += 1
+        else:
+            self.compile_hits += 1
+        return code
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "sources_compiled": self.sources_compiled,
+            "compile_hits": self.compile_hits,
+            "wrappers_built": self.wrappers_built,
+        }
 
 
-def _build(source: str, bindings: dict[str, Any]) -> Callable:
+#: The default runtime's compile cache (see :class:`CodegenCache`).
+default_cache = CodegenCache()
+
+
+def _build(source: str, bindings: dict[str, Any], cache: CodegenCache) -> Callable:
     namespace: dict[str, Any] = {}
-    exec(_compiled(source), namespace)
+    exec(cache.code_for(source), namespace)
     wrapper = namespace["_factory"](**bindings)
     wrapper.__codegen_source__ = source
+    cache.wrappers_built += 1
     return wrapper
 
 
-def _advice_call(index: int, advice: Advice, jp_var: str) -> str:
+def _advice_call(prefix: str, index: int, advice: Advice, jp_var: str) -> str:
     """The inlined invocation expression for one advice."""
     if advice.aspect is not None:
-        return f"_f{index}(_s{index}, {jp_var})"
-    return f"_f{index}({jp_var})"
+        return f"{prefix}f{index}({prefix}a{index}, {jp_var})"
+    return f"{prefix}f{index}({jp_var})"
 
 
-def _acquire_lines(indent: str) -> list[str]:
+def _advice_params(prefix: str, advice: Sequence[Advice]) -> list[str]:
+    params: list[str] = []
+    for index, item in enumerate(advice):
+        params.append(f"{prefix}f{index}")
+        if item.aspect is not None:
+            params.append(f"{prefix}a{index}")
+    return params
+
+
+def _bind_advice(
+    prefix: str, advice: Sequence[Advice], bindings: dict[str, Any]
+) -> None:
+    for index, item in enumerate(advice):
+        bindings[f"{prefix}f{index}"] = item.function
+        if item.aspect is not None:
+            bindings[f"{prefix}a{index}"] = item.aspect
+
+
+def _by_kind(advice: Sequence[Advice], kind: AdviceKind) -> list[tuple[int, Advice]]:
+    return [(i, a) for i, a in enumerate(advice) if a.kind is kind]
+
+
+def _acquire_lines(indent: str, free: str, blank: str) -> list[str]:
     # Pool invariant: free-list entries are scrubbed, so only the per-call
     # slots need filling here.  The pop is guarded by try/except rather
     # than a truthiness check because `if _free: _free.pop()` is not
@@ -109,89 +180,72 @@ def _acquire_lines(indent: str) -> list[str]:
     # `list.pop` itself is.
     return [
         f"{indent}try:",
-        f"{indent}    jp = _free.pop()",
+        f"{indent}    jp = {free}.pop()",
         f"{indent}except IndexError:",
-        f"{indent}    jp = _blank()",
-        f"{indent}jp.target = self",
-        f"{indent}jp.cls = type(self)",
-        f"{indent}jp.args = args",
-        f"{indent}jp.kwargs = kwargs",
+        f"{indent}    jp = {blank}()",
     ]
 
 
-def _release_lines(indent: str) -> list[str]:
+def _release_lines(indent: str, free: str) -> list[str]:
     # Must scrub every mutable slot (the pool invariant _acquire_lines
     # relies on): advice may have assigned any of them, value included.
     return [
-        f"{indent}if len(_free) < {_POOL_CAP}:",
+        f"{indent}if len({free}) < {_POOL_CAP}:",
         f"{indent}    jp.target = None",
         f"{indent}    jp.cls = None",
         f"{indent}    jp.args = ()",
         f"{indent}    jp.kwargs = None",
         f"{indent}    jp.value = None",
         f"{indent}    jp.result = None",
-        f"{indent}    _free.append(jp)",
+        f"{indent}    {free}.append(jp)",
     ]
 
 
-def _static_source(advice: Sequence[Advice]) -> tuple[str, list[str]]:
-    """Source + advice-binding parameter names for a fully-static chain.
+def _chain_lines(
+    prefix: str,
+    advice: Sequence[Advice],
+    run: str,
+    proceed_lines: list[str],
+    call_lines: tuple[str, ...],
+) -> list[str]:
+    """The unrolled advice chain for one acquire/release envelope.
 
     Mirrors :class:`CompiledChain` exactly: before advice outermost-first,
     arounds nested with the first advice outermost, after-returning /
     after-throwing / after (finally) innermost-first, and the exception
     path (present only when it could run advice) doing after-throwing then
-    after before re-raising.
+    after before re-raising.  *proceed_lines* define the ``_p`` proceed
+    body (only rendered when around advice needs one); *call_lines* bind
+    ``result`` for the no-around case.
     """
-    befores = [(i, a) for i, a in enumerate(advice) if a.kind is AdviceKind.BEFORE]
-    arounds = [(i, a) for i, a in enumerate(advice) if a.kind is AdviceKind.AROUND]
-    returnings = [
-        (i, a) for i, a in enumerate(advice) if a.kind is AdviceKind.AFTER_RETURNING
-    ]
-    throwings = [
-        (i, a) for i, a in enumerate(advice) if a.kind is AdviceKind.AFTER_THROWING
-    ]
-    finallys = [(i, a) for i, a in enumerate(advice) if a.kind is AdviceKind.AFTER]
-
-    params = ["_original", "_watchers", "_slow", "_free", "_blank"]
-    if arounds:
-        params.append("_for_chain")
-    for index, item in enumerate(advice):
-        params.append(f"_f{index}")
-        if item.aspect is not None:
-            params.append(f"_s{index}")
+    befores = _by_kind(advice, AdviceKind.BEFORE)
+    arounds = _by_kind(advice, AdviceKind.AROUND)
+    returnings = _by_kind(advice, AdviceKind.AFTER_RETURNING)
+    throwings = _by_kind(advice, AdviceKind.AFTER_THROWING)
+    finallys = _by_kind(advice, AdviceKind.AFTER)
 
     body: list[str] = []
-    body.append(f"def _factory({', '.join(params)}):")
-    body.append("    def wrapper(self, *args, **kwargs):")
-    body.append("        if _watchers.count:")
-    body.append("            return _slow(self, args, kwargs)")
-    body.extend(_acquire_lines("        "))
-    body.append("        try:")
-
-    run = "            "
     for index, item in befores:
-        body.append(f"{run}{_advice_call(index, item, 'jp')}")
+        body.append(f"{run}{_advice_call(prefix, index, item, 'jp')}")
 
     # Around nesting: runners for all but the outermost advice (each packs
     # proceed()'s varargs into a fresh ProceedingJoinPoint, exactly like
     # the compiled chain's _wrap_around), outermost call inlined.
     if arounds:
-        body.append(f"{run}def _p(*a, **k):")
-        body.append(f"{run}    return _original(self, *a, **k)")
+        body.extend(f"{run}{line}" for line in proceed_lines)
         inner_name = "_p"
         for index, item in reversed(arounds[1:]):
             body.append(f"{run}def _r{index}(*a, **k):")
             body.append(f"{run}    pjp = _for_chain(jp, {inner_name}, a, k)")
-            body.append(f"{run}    return {_advice_call(index, item, 'pjp')}")
+            body.append(f"{run}    return {_advice_call(prefix, index, item, 'pjp')}")
             inner_name = f"_r{index}"
         outer_index, outer = arounds[0]
         call = (
             f"pjp0 = _for_chain(jp, {inner_name}, jp.args, dict(jp.kwargs))",
-            f"result = {_advice_call(outer_index, outer, 'pjp0')}",
+            f"result = {_advice_call(prefix, outer_index, outer, 'pjp0')}",
         )
     else:
-        call = ("result = _original(self, *jp.args, **jp.kwargs)",)
+        call = call_lines
 
     if throwings or finallys:
         body.append(f"{run}try:")
@@ -200,22 +254,59 @@ def _static_source(advice: Sequence[Advice]) -> tuple[str, list[str]]:
         body.append(f"{run}except Exception as exc:")
         body.append(f"{run}    jp.result = exc")
         for index, item in reversed(throwings):
-            body.append(f"{run}    {_advice_call(index, item, 'jp')}")
+            body.append(f"{run}    {_advice_call(prefix, index, item, 'jp')}")
         for index, item in reversed(finallys):
-            body.append(f"{run}    {_advice_call(index, item, 'jp')}")
+            body.append(f"{run}    {_advice_call(prefix, index, item, 'jp')}")
         body.append(f"{run}    raise")
     else:
         for line in call:
             body.append(f"{run}{line}")
     body.append(f"{run}jp.result = result")
     for index, item in reversed(returnings):
-        body.append(f"{run}{_advice_call(index, item, 'jp')}")
+        body.append(f"{run}{_advice_call(prefix, index, item, 'jp')}")
     for index, item in reversed(finallys):
-        body.append(f"{run}{_advice_call(index, item, 'jp')}")
+        body.append(f"{run}{_advice_call(prefix, index, item, 'jp')}")
     body.append(f"{run}return result")
+    return body
 
+
+# -- method wrappers -----------------------------------------------------------
+
+
+def _static_source(advice: Sequence[Advice]) -> tuple[str, list[str]]:
+    """Source + advice-binding parameter names for a fully-static chain."""
+    arounds = _by_kind(advice, AdviceKind.AROUND)
+
+    params = ["_original", "_watchers", "_slow", "_free", "_blank"]
+    if arounds:
+        params.append("_for_chain")
+    params.extend(_advice_params("_", advice))
+
+    body: list[str] = []
+    body.append(f"def _factory({', '.join(params)}):")
+    body.append("    def wrapper(self, *args, **kwargs):")
+    body.append("        if _watchers.count:")
+    body.append("            return _slow(self, args, kwargs)")
+    body.extend(_acquire_lines("        ", "_free", "_blank"))
+    body.append("        jp.target = self")
+    body.append("        jp.cls = type(self)")
+    body.append("        jp.args = args")
+    body.append("        jp.kwargs = kwargs")
+    body.append("        try:")
+    body.extend(
+        _chain_lines(
+            "_",
+            advice,
+            "            ",
+            [
+                "def _p(*a, **k):",
+                "    return _original(self, *a, **k)",
+            ],
+            ("result = _original(self, *jp.args, **jp.kwargs)",),
+        )
+    )
     body.append("        finally:")
-    body.extend(_release_lines("            "))
+    body.extend(_release_lines("            ", "_free"))
     body.append("    return wrapper")
     return "\n".join(body) + "\n", params
 
@@ -251,6 +342,8 @@ def generate_method_wrapper(
     advice: Sequence[Advice],
     selector: Any,
     watchers: Any,
+    *,
+    cache: CodegenCache | None = None,
 ) -> Callable:
     """A specialized wrapper for one fully-static method shadow.
 
@@ -263,10 +356,12 @@ def generate_method_wrapper(
 
     *selector* is the deploy-time chain selector (the generated wrapper
     uses its full chain for the watcher slow path); *watchers* is the
-    weaver's live cflow-watcher counter.  The caller guarantees *advice*
-    is non-empty and residue-free, and stamps
-    ``__woven__``/``__woven_original__`` metadata.
+    owning runtime's live cflow-watcher counter; *cache* its compile
+    cache.  The caller guarantees *advice* is non-empty and residue-free,
+    and stamps ``__woven__``/``__woven_original__`` metadata.
     """
+    if cache is None:
+        cache = default_cache
     pool = JoinPointPool(JoinPointKind.METHOD_EXECUTION, name, cap=_POOL_CAP)
     source, params = _static_source(advice)
     bindings = {
@@ -278,14 +373,206 @@ def generate_method_wrapper(
     }
     if "_for_chain" in params:
         bindings["_for_chain"] = ProceedingJoinPoint.for_chain
-    for index, item in enumerate(advice):
-        bindings[f"_f{index}"] = item.function
-        if item.aspect is not None:
-            bindings[f"_s{index}"] = item.aspect
-    wrapper = _build(source, bindings)
+    _bind_advice("_", advice, bindings)
+    wrapper = _build(source, bindings, cache)
 
     source = wrapper.__codegen_source__
     functools.update_wrapper(wrapper, original)
     wrapper.__codegen_source__ = source
     wrapper.__joinpoint_pool__ = pool
     return wrapper
+
+
+# -- field descriptors ---------------------------------------------------------
+
+
+_GET_READ_LINES = (
+    "try:",
+    "    result = obj.__dict__[_name]",
+    "except KeyError:",
+    "    if _default is _missing:",
+    "        raise AttributeError(",
+    '            f"{type(obj).__name__!r} object has no attribute {_name!r}"',
+    "        ) from None",
+    "    result = _default",
+)
+
+_GET_PROCEED_LINES = [
+    "def _p(*_pa, **_pk):",
+    "    try:",
+    "        return obj.__dict__[_name]",
+    "    except KeyError:",
+    "        if _default is _missing:",
+    "            raise AttributeError(",
+    '                f"{type(obj).__name__!r} object has no attribute "',
+    '                f"{_name!r}"',
+    "            ) from None",
+    "        return _default",
+]
+
+# Mirrors the generic descriptor's ``write(*jp.args, **jp.kwargs)``:
+# positional proceed arguments override the written value, an explicit
+# ``new_value`` keyword is honoured, and the original assignment value is
+# the fallback.
+_SET_WRITE_LINES = (
+    "_wargs = jp.args",
+    "if _wargs:",
+    "    obj.__dict__[_name] = _wargs[0]",
+    "elif jp.kwargs:",
+    '    obj.__dict__[_name] = jp.kwargs.get("new_value", value)',
+    "else:",
+    "    obj.__dict__[_name] = value",
+    "result = None",
+)
+
+_SET_PROCEED_LINES = [
+    "def _p(*_pa, **_pk):",
+    "    if _pa:",
+    "        obj.__dict__[_name] = _pa[0]",
+    "    elif _pk:",
+    '        obj.__dict__[_name] = _pk.get("new_value", value)',
+    "    else:",
+    "        obj.__dict__[_name] = value",
+]
+
+
+def _field_source(
+    get_advice: Sequence[Advice], set_advice: Sequence[Advice]
+) -> tuple[str, list[str]]:
+    """Source + parameter names for a generated woven-field class.
+
+    The factory returns a subclass of the generic ``_WovenField`` whose
+    ``__get__``/``__set__`` inline their (fully static) advice chains over
+    pooled join points; when a cflow watcher is live in the owning
+    runtime, both delegate to the base class, which pushes observable
+    frames.  ``__set_name__`` under a *different* name would desynchronize
+    the bound name/pools, so it degrades the instance back to the generic
+    descriptor class.
+    """
+    params = ["_base", "_missing", "_name", "_default", "_watchers"]
+    if get_advice:
+        params.extend(["_get_free", "_get_blank"])
+    if set_advice:
+        params.extend(["_set_free", "_set_blank"])
+    if _by_kind(get_advice, AdviceKind.AROUND) or _by_kind(
+        set_advice, AdviceKind.AROUND
+    ):
+        params.append("_for_chain")
+    params.extend(_advice_params("_g", get_advice))
+    params.extend(_advice_params("_s", set_advice))
+
+    body: list[str] = []
+    body.append(f"def _factory({', '.join(params)}):")
+    body.append("    class _WovenFieldCodegen(_base):")
+    body.append("        def __set_name__(self, owner, name):")
+    body.append("            if name != _name:")
+    body.append("                self.__class__ = _base")
+    body.append("            _base.__set_name__(self, owner, name)")
+    body.append("")
+    body.append("        def __get__(self, obj, objtype=None):")
+    body.append("            if obj is None:")
+    body.append("                return self")
+    body.append("            if _watchers.count:")
+    body.append("                return _base.__get__(self, obj, objtype)")
+    if not get_advice:
+        for line in _GET_READ_LINES:
+            body.append(f"            {line}")
+        body.append("            return result")
+    else:
+        body.extend(_acquire_lines("            ", "_get_free", "_get_blank"))
+        body.append("            jp.target = obj")
+        body.append("            jp.cls = type(obj)")
+        body.append("            jp.args = ()")
+        body.append("            jp.kwargs = {}")
+        body.append("            try:")
+        body.extend(
+            _chain_lines(
+                "_g",
+                get_advice,
+                "                ",
+                _GET_PROCEED_LINES,
+                _GET_READ_LINES,
+            )
+        )
+        body.append("            finally:")
+        body.extend(_release_lines("                ", "_get_free"))
+    body.append("")
+    body.append("        def __set__(self, obj, value):")
+    body.append("            if _watchers.count:")
+    body.append("                return _base.__set__(self, obj, value)")
+    if not set_advice:
+        body.append("            obj.__dict__[_name] = value")
+    else:
+        body.extend(_acquire_lines("            ", "_set_free", "_set_blank"))
+        body.append("            jp.target = obj")
+        body.append("            jp.cls = type(obj)")
+        body.append("            jp.args = (value,)")
+        body.append("            jp.kwargs = {}")
+        body.append("            jp.value = value")
+        body.append("            try:")
+        body.extend(
+            _chain_lines(
+                "_s",
+                set_advice,
+                "                ",
+                _SET_PROCEED_LINES,
+                _SET_WRITE_LINES,
+            )
+        )
+        body.append("            finally:")
+        body.extend(_release_lines("                ", "_set_free"))
+    body.append("")
+    body.append("    return _WovenFieldCodegen")
+    return "\n".join(body) + "\n", params
+
+
+def generate_field_descriptor(
+    name: str,
+    get_advice: list[Advice],
+    set_advice: list[Advice],
+    class_default: Any,
+    watchers: Any,
+    *,
+    base: type,
+    missing: Any,
+    cache: CodegenCache | None = None,
+):
+    """A specialized data descriptor for one fully-static woven field.
+
+    Returns an instance of a generated subclass of *base* (the generic
+    ``_WovenField``) whose accessors inline the advice chains; the caller
+    guarantees both chains are residue-free.  The descriptor carries
+    ``__codegen_source__`` and ``__joinpoint_pools__`` for debugging and
+    introspection, exactly like generated method wrappers.
+    """
+    if cache is None:
+        cache = default_cache
+    source, params = _field_source(tuple(get_advice), tuple(set_advice))
+    get_pool = JoinPointPool(JoinPointKind.FIELD_GET, name, cap=_POOL_CAP)
+    set_pool = JoinPointPool(JoinPointKind.FIELD_SET, name, cap=_POOL_CAP)
+    bindings: dict[str, Any] = {
+        "_base": base,
+        "_missing": missing,
+        "_name": name,
+        "_default": class_default,
+        "_watchers": watchers,
+    }
+    if get_advice:
+        bindings["_get_free"] = get_pool.free
+        bindings["_get_blank"] = get_pool.blank
+    if set_advice:
+        bindings["_set_free"] = set_pool.free
+        bindings["_set_blank"] = set_pool.blank
+    if "_for_chain" in params:
+        bindings["_for_chain"] = ProceedingJoinPoint.for_chain
+    _bind_advice("_g", get_advice, bindings)
+    _bind_advice("_s", set_advice, bindings)
+    descriptor_cls = _build(source, bindings, cache)
+    descriptor = descriptor_cls(name, get_advice, set_advice, class_default, watchers)
+    # The base __init__ made fresh pools; swap in the ones the generated
+    # accessors actually bound, so introspection reports the live pools.
+    descriptor._get_pool = get_pool
+    descriptor._set_pool = set_pool
+    descriptor.__codegen_source__ = descriptor_cls.__codegen_source__
+    descriptor.__joinpoint_pools__ = {"get": get_pool, "set": set_pool}
+    return descriptor

@@ -1,0 +1,147 @@
+"""Deprecated process-global weaving API, shimmed over the default runtime.
+
+Earlier revisions drove a singleton weaver through free functions; the
+first-class API is :class:`~repro.aop.runtime.WeaverRuntime` (scoped
+state, transactional :class:`~repro.aop.runtime.DeploymentSet` batches,
+introspection).  Everything here delegates to
+:data:`~repro.aop.runtime.default_runtime` so existing call sites keep
+working — and emits a :class:`DeprecationWarning` pointing at the
+replacement:
+
+=====================================  =====================================
+Old call                               New call
+=====================================  =====================================
+``Weaver()``                           ``WeaverRuntime()``
+``deploy(a, targets)``                 ``runtime.deploy(a, targets)``
+``deploy_all(aspects, targets)``       ``runtime.deploy_all(aspects, targets)``
+``undeploy(deployment)``               ``runtime.undeploy(deployment)``
+``with deployed(a, targets): ...``     ``with runtime.transaction(targets) as tx:``
+                                       ``    tx.add(a); ...; tx.undeploy()``
+=====================================  =====================================
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Iterable
+
+from .aspect import Aspect
+from .weaver import Deployment
+from .runtime import DeploymentSet, WeaverRuntime, default_runtime
+
+#: Deprecated alias for :data:`~repro.aop.runtime.default_runtime`.
+default_weaver = default_runtime
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.aop.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class Weaver(WeaverRuntime):
+    """Deprecated: a runtime sharing the default runtime's scoped state.
+
+    The seed's ``Weaver`` instances all read one process-wide shadow index
+    and cflow-watcher count while keeping their own deployment lists; this
+    shim reproduces exactly that by borrowing
+    :data:`~repro.aop.runtime.default_runtime`'s state.  New code should
+    hold a :class:`~repro.aop.runtime.WeaverRuntime` (isolated state) —
+    or use :data:`default_runtime` directly for the process-global
+    behaviour.
+    """
+
+    def __init__(self) -> None:
+        _deprecated("Weaver()", "WeaverRuntime()")
+        super().__init__(
+            "legacy-weaver",
+            shadow_index=default_runtime.shadow_index,
+            watchers=default_runtime.watchers,
+            codegen_cache=default_runtime.codegen_cache,
+        )
+
+
+def deploy(
+    aspect: Aspect,
+    targets: Iterable[type],
+    *,
+    fields: Iterable[str] = (),
+    require_match: bool = True,
+) -> Deployment:
+    """Deprecated: deploy on the default runtime (see :meth:`WeaverRuntime.deploy`)."""
+    _deprecated("deploy()", "WeaverRuntime.deploy() / default_runtime.deploy()")
+    return default_runtime.deploy(
+        aspect, targets, fields=fields, require_match=require_match
+    )
+
+
+def deploy_all(
+    aspects: Iterable[Aspect],
+    targets: Iterable[type],
+    *,
+    fields: Iterable[str] = (),
+    require_match: bool = True,
+) -> list[Deployment]:
+    """Deprecated: batch-deploy on the default runtime.
+
+    See :meth:`WeaverRuntime.transaction` — a
+    :class:`~repro.aop.runtime.DeploymentSet` is the transactional,
+    incrementally-extensible form of this call.
+    """
+    _deprecated("deploy_all()", "WeaverRuntime.transaction()")
+    return default_runtime.deploy_all(
+        aspects, targets, fields=fields, require_match=require_match
+    )
+
+
+def undeploy(deployment: Deployment) -> None:
+    """Deprecated: undeploy from the default runtime."""
+    _deprecated("undeploy()", "WeaverRuntime.undeploy()")
+    default_runtime.undeploy(deployment)
+
+
+class deployed:
+    """Deprecated context manager: aspect woven inside the block, restored after.
+
+    ::
+
+        with deployed(Tracing(), [Node]):
+            site.render()          # advice active
+        site.render()              # original behaviour
+
+    Routed through a :class:`~repro.aop.runtime.DeploymentSet`: a clean
+    exit undeploys strictly (a non-LIFO interleaving still raises), while
+    an exception inside the block *rolls back* — members and
+    introductions unwind best-effort, so the block can never leak grafted
+    members just because the weave order got disturbed mid-flight.
+    """
+
+    def __init__(
+        self,
+        aspect: Aspect,
+        targets: Iterable[type],
+        *,
+        fields: Iterable[str] = (),
+        weaver: WeaverRuntime | None = None,
+    ):
+        _deprecated("deployed()", "WeaverRuntime.transaction()")
+        self._aspect = aspect
+        self._targets = list(targets)
+        self._fields = fields
+        self._runtime = weaver if weaver is not None else default_runtime
+        self._set: DeploymentSet | None = None
+
+    def __enter__(self) -> Deployment:
+        self._set = self._runtime.transaction(self._targets, fields=self._fields)
+        return self._set.add(self._aspect)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._set is None:
+            return
+        if exc_type is not None:
+            self._set.rollback()
+        else:
+            self._set.undeploy()
+        self._set = None

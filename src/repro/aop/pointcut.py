@@ -95,14 +95,50 @@ class Pointcut:
         """
         return []
 
-    def __and__(self, other: "Pointcut") -> "Pointcut":
+    def __and__(self, other: "Pointcut | str") -> "Pointcut":
+        other = _coerce(other)
+        if other is None:
+            return NotImplemented
         return And(self, other)
 
-    def __or__(self, other: "Pointcut") -> "Pointcut":
+    def __or__(self, other: "Pointcut | str") -> "Pointcut":
+        other = _coerce(other)
+        if other is None:
+            return NotImplemented
         return Or(self, other)
+
+    def __rand__(self, other: "Pointcut | str") -> "Pointcut":
+        other = _coerce(other)
+        if other is None:
+            return NotImplemented
+        return And(other, self)
+
+    def __ror__(self, other: "Pointcut | str") -> "Pointcut":
+        other = _coerce(other)
+        if other is None:
+            return NotImplemented
+        return Or(other, self)
 
     def __invert__(self) -> "Pointcut":
         return Not(self)
+
+
+def _coerce(value: "Pointcut | str") -> "Pointcut | None":
+    """Let the fluent operators take textual operands.
+
+    ``execution("Node.render") & "cflow(execution(Index.*))"`` reads like
+    the DSL it abbreviates; strings are parsed with no type environment
+    (use :func:`repro.aop.parser.parse_pointcut` directly when ``target()``
+    or ``args()`` need names resolved).  Non-pointcut, non-string operands
+    return None so the operators fall back to ``NotImplemented``.
+    """
+    if isinstance(value, Pointcut):
+        return value
+    if isinstance(value, str):
+        from .parser import parse_pointcut  # deferred: parser imports us
+
+        return parse_pointcut(value)
+    return None
 
 
 def _split_pattern(pattern: str) -> tuple[str, str]:

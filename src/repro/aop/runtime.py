@@ -1,0 +1,740 @@
+"""First-class weaver runtimes: scoped state, transactions, introspection.
+
+The paper's thesis is that access structures are aspects you can swap
+without touching the base program; this module makes the *weaver itself*
+an object you hold, scope, transact against and inspect — the shape
+AspectJ's per-deployment weaver state and JAsCo's runtime aspect
+containers converge on:
+
+- :class:`WeaverRuntime` — an explicit runtime with isolated
+  :class:`~repro.aop.weaver.ShadowIndex`, cflow-watcher count and codegen
+  cache (the process-global singletons of earlier revisions are simply the
+  *default* runtime, :data:`default_runtime`);
+- :meth:`WeaverRuntime.transaction` — a :class:`DeploymentSet` handle that
+  batches several aspects atomically over one shadow scan per class,
+  supports incremental :meth:`~DeploymentSet.add`, context-manager
+  rollback, and partial :meth:`~DeploymentSet.undeploy`;
+- introspection — :meth:`WeaverRuntime.woven_sites`,
+  :meth:`WeaverRuntime.deployment_stats` and :meth:`WeaverRuntime.stats`
+  (surfaced on the command line as ``repro.tools aop inspect``).
+
+The deprecated process-global API (``Weaver``, free ``deploy`` /
+``deploy_all`` / ``undeploy``, the ``deployed`` context manager) lives in
+:mod:`repro.aop.legacy` as thin shims over :data:`default_runtime`.
+
+::
+
+    runtime = WeaverRuntime("per-audience")
+    with runtime.transaction([PageRenderer]) as tx:
+        tx.add(TourAspect(spec))
+        tx.add(BreadcrumbAspect(spec))   # raises -> both roll back
+    ...                                  # committed: advice is live
+    runtime.undeploy_all()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from . import codegen
+from .advice import Advice
+from .aspect import Aspect
+from .errors import WeavingError
+from .joinpoint import JoinPointKind
+from .weaver import (
+    Deployment,
+    ShadowIndex,
+    _BatchScans,
+    _cflow_watchers,
+    _MISSING,
+    _rollback_partial_weave,
+    _WatcherCount,
+    _WovenField,
+    _WovenMember,
+    make_field_descriptor,
+    make_method_wrapper,
+    shadow_index as _default_shadow_index,
+)
+
+
+class WeaverRuntime:
+    """A scoped aspect-weaving runtime.
+
+    Each runtime owns the state earlier revisions kept in module globals —
+    a :class:`~repro.aop.weaver.ShadowIndex`, a cflow-watcher count and a
+    :class:`~repro.aop.codegen.CodegenCache` — so two runtimes in one
+    process never share scan caches, watcher bookkeeping or compile
+    statistics.  Class *mutation* is still process-global (weaving rewrites
+    class members), so runtimes weaving the same class stack their wrappers
+    and must unwind LIFO across runtimes; the shared
+    :class:`~repro.aop.weaver._TokenBoard` keeps every runtime's scans
+    honest about members another runtime installed.
+    """
+
+    def __init__(
+        self,
+        name: str | None = None,
+        *,
+        shadow_index: ShadowIndex | None = None,
+        watchers: _WatcherCount | None = None,
+        codegen_cache: "codegen.CodegenCache | None" = None,
+    ) -> None:
+        self.name = name or f"runtime-{id(self):x}"
+        self._shadow_index = shadow_index if shadow_index is not None else ShadowIndex()
+        self._watchers = watchers if watchers is not None else _WatcherCount()
+        self._codegen_cache = (
+            codegen_cache if codegen_cache is not None else codegen.CodegenCache()
+        )
+        self._deployments: list[Deployment] = []
+
+    def __repr__(self) -> str:
+        return f"<WeaverRuntime {self.name!r} ({len(self.deployments)} active)>"
+
+    # -- scoped state ---------------------------------------------------------
+
+    @property
+    def shadow_index(self) -> ShadowIndex:
+        """This runtime's (isolated) shadow-scan cache."""
+        return self._shadow_index
+
+    @property
+    def watchers(self) -> _WatcherCount:
+        """This runtime's live cflow-watcher count."""
+        return self._watchers
+
+    @property
+    def codegen_cache(self) -> "codegen.CodegenCache":
+        """This runtime's wrapper-source compile cache (and its stats)."""
+        return self._codegen_cache
+
+    @property
+    def deployments(self) -> list[Deployment]:
+        return [d for d in self._deployments if d.active]
+
+    # -- deployment -----------------------------------------------------------
+
+    def deploy(
+        self,
+        aspect: Aspect,
+        targets: Iterable[type],
+        *,
+        fields: Iterable[str] = (),
+        require_match: bool = True,
+        _scans: _BatchScans | None = None,
+    ) -> Deployment:
+        """Weave *aspect* into *targets*.
+
+        ``fields`` names instance attributes to expose as field join points
+        (Python cannot discover instance attributes statically, so field
+        interception is opt-in).  With *require_match*, deploying an aspect
+        that matches nothing raises — almost always a pointcut typo.
+
+        ``_scans`` is a :class:`DeploymentSet` batch's shared scan view;
+        single deployments read this runtime's shadow index directly.
+        """
+        aspect.validate()
+        advice = sorted(aspect.advice(), key=lambda a: a.order)
+        targets = list(targets)
+        deployment = Deployment(
+            aspect=aspect, _index=self._shadow_index, _watchers=self._watchers
+        )
+        scans = _scans if _scans is not None else self._shadow_index
+        index = self._shadow_index
+
+        # Snapshot every target's pre-weave scan (also pre-warming the
+        # cache for the phases below).  Undeploy restores classes exactly,
+        # so these snapshots make deploy/undeploy cycles rescan-free.
+        pre_state = {cls: (scans.shadows(cls), index.token(cls)) for cls in targets}
+
+        # declare error: refuse deployment when a forbidden shape exists.
+        for declaration in aspect.declarations():
+            for cls in targets:
+                for shadow in scans.shadows(cls):
+                    if declaration.pointcut.matches_shadow(
+                        cls, shadow.name, JoinPointKind.METHOD_EXECUTION
+                    ):
+                        raise WeavingError(
+                            f"{declaration.message} "
+                            f"(declare error matched {cls.__name__}.{shadow.name})"
+                        )
+
+        try:
+            intro_touched: set[type] = set()
+            for introduction in aspect.introductions():
+                for cls in targets:
+                    applied = introduction.apply(cls)
+                    if applied is not None:
+                        deployment.introductions.append(applied)
+                        intro_touched.add(cls)
+                        # Introduced functions are weavable shadows themselves.
+                        index.invalidate(cls)
+                        if _scans is not None:
+                            _scans.note_introduction(cls)
+
+            # cflow() residues need the join point stack populated at their
+            # inner pointcuts' shadows even when no advice runs there; shadows
+            # the residues match get tracking-only wrappers (AspectJ
+            # instruments cflow entry shadows the same way).  While this
+            # deployment is active it also raises the runtime's watcher
+            # count, so every woven shadow in this runtime resumes frame
+            # bookkeeping.
+            inner_pointcuts = [
+                inner for a in advice for inner in a.pointcut.cflow_inner_pointcuts()
+            ]
+
+            def tracked(cls: type, name: str, kind: JoinPointKind) -> bool:
+                return any(p.matches_shadow(cls, name, kind) for p in inner_pointcuts)
+
+            # Capture every shadow before installing anything, so that weaving
+            # a base class never changes what a subclass shadow captures.  One
+            # (memoized) scan per class covers advice matching and cflow entry
+            # instrumentation.
+            method_plan: list[tuple[Any, list[Advice]]] = []
+            field_plan: list[tuple[type, str, list[Advice], list[Advice]]] = []
+            tracking_only: set[tuple[type, str]] = set()
+            for cls in targets:
+                for shadow in scans.shadows(cls):
+                    matching = [
+                        a
+                        for a in advice
+                        if a.pointcut.matches_shadow(
+                            cls, shadow.name, JoinPointKind.METHOD_EXECUTION
+                        )
+                    ]
+                    if matching:
+                        method_plan.append((shadow, matching))
+                    elif inner_pointcuts:
+                        key = (shadow.cls, shadow.name)
+                        if key not in tracking_only and tracked(
+                            cls, shadow.name, JoinPointKind.METHOD_EXECUTION
+                        ):
+                            tracking_only.add(key)
+                            method_plan.append((shadow, []))
+                for field_name in fields:
+                    getters = [
+                        a
+                        for a in advice
+                        if a.pointcut.matches_shadow(
+                            cls, field_name, JoinPointKind.FIELD_GET
+                        )
+                    ]
+                    setters = [
+                        a
+                        for a in advice
+                        if a.pointcut.matches_shadow(
+                            cls, field_name, JoinPointKind.FIELD_SET
+                        )
+                    ]
+                    if getters or setters:
+                        field_plan.append((cls, field_name, getters, setters))
+
+            touched: set[type] = set()
+            for shadow, matching in method_plan:
+                wrapper = self._make_method_wrapper(shadow, matching)
+                previous = shadow.cls.__dict__.get(shadow.name, _MISSING)
+                setattr(shadow.cls, shadow.name, wrapper)
+                touched.add(shadow.cls)
+                deployment.members.append(
+                    _WovenMember(shadow.cls, shadow.name, wrapper, previous)
+                )
+
+            for cls, field_name, getters, setters in field_plan:
+                previous = cls.__dict__.get(field_name, _MISSING)
+                default = previous if previous is not _MISSING else _MISSING
+                # A re-weave keeps the original class default.
+                if isinstance(default, _WovenField):
+                    default = default._class_default
+                descriptor = make_field_descriptor(
+                    field_name,
+                    getters,
+                    setters,
+                    default,
+                    watchers=self._watchers,
+                    codegen_cache=self._codegen_cache,
+                )
+                setattr(cls, field_name, descriptor)
+                touched.add(cls)
+                deployment.members.append(
+                    _WovenMember(cls, field_name, descriptor, previous)
+                )
+
+            for cls in touched | intro_touched:
+                woven_token = index.invalidate(cls)
+                shadows_snapshot, pre_token = pre_state[cls]
+                deployment._cache_state[cls] = (
+                    shadows_snapshot,
+                    pre_token,
+                    woven_token,
+                )
+            if _scans is not None:
+                installed_by_cls: dict[type, dict[str, Any]] = {}
+                for member in deployment.members:
+                    installed_by_cls.setdefault(member.cls, {})[member.name] = (
+                        member.installed
+                    )
+                # Bases before subclasses: a touched base drops its subclasses'
+                # derived scans (their inherited entries changed underneath
+                # them), which must happen before — never after — a touched
+                # subclass would prime one.
+                for cls in sorted(touched, key=lambda klass: len(klass.__mro__)):
+                    _scans.apply_installs(cls, installed_by_cls.get(cls, {}))
+
+            if (
+                require_match
+                and not deployment.members
+                and not deployment.introductions
+            ):
+                raise WeavingError(
+                    f"aspect {type(aspect).__name__} matched nothing in "
+                    f"[{', '.join(t.__name__ for t in targets)}]"
+                )
+        except BaseException:
+            # Mid-weave failure (introduction conflict, raising pointcut,
+            # ...): revert what this deployment already applied so the
+            # caller is never left with class mutations it has no handle
+            # to undo.
+            _rollback_partial_weave(deployment, index)
+            raise
+        if inner_pointcuts:
+            self._watchers.count += 1
+            deployment._tracks_cflow = True
+        self._deployments.append(deployment)
+        return deployment
+
+    def _make_method_wrapper(self, shadow, advice: list[Advice]):
+        return make_method_wrapper(
+            shadow,
+            advice,
+            watchers=self._watchers,
+            codegen_cache=self._codegen_cache,
+        )
+
+    def transaction(
+        self,
+        targets: Iterable[type] | None = None,
+        *,
+        fields: Iterable[str] = (),
+    ) -> "DeploymentSet":
+        """A :class:`DeploymentSet` batching deployments on this runtime.
+
+        ``targets``/``fields`` become the set's defaults; each
+        :meth:`~DeploymentSet.add` may override them.  Used as a context
+        manager, the set commits on clean exit and rolls *everything* back
+        — members and introductions, best-effort — when the block raises.
+        """
+        return DeploymentSet(self, targets, fields=fields)
+
+    def deploy_all(
+        self,
+        aspects: Iterable[Aspect],
+        targets: Iterable[type],
+        *,
+        fields: Iterable[str] = (),
+        require_match: bool = True,
+    ) -> list[Deployment]:
+        """Deploy several aspects over the same targets, in order.
+
+        Semantically identical to sequential :meth:`deploy` calls — later
+        aspects wrap earlier ones, and the batch unwinds LIFO like any
+        other deployments — but the whole batch runs through one
+        :class:`DeploymentSet`, planning from **one** shadow scan per
+        class.  All-or-nothing: if a later aspect's deploy raises (declare
+        error, pointcut typo with *require_match*, ...), the aspects
+        already installed are rolled back before the exception propagates.
+        """
+        tx = self.transaction(targets, fields=fields)
+        try:
+            for aspect in aspects:
+                tx.add(aspect, require_match=require_match)
+        except BaseException:
+            tx.rollback()
+            raise
+        return tx.commit()
+
+    def undeploy(self, deployment: Deployment) -> None:
+        """Reverse one deployment (most-recent-first when they overlap)."""
+        if not deployment.active:
+            return
+        index = (
+            deployment._index if deployment._index is not None else self._shadow_index
+        )
+        watchers = (
+            deployment._watchers
+            if deployment._watchers is not None
+            else self._watchers
+        )
+        touched: set[type] = set()
+        try:
+            for member in reversed(deployment.members):
+                member.revert()
+                touched.add(member.cls)
+            for applied in reversed(deployment.introductions):
+                applied.revert()
+                touched.add(applied.cls)
+        except Exception:
+            # Partial revert (e.g. out-of-LIFO undeploy): the classes we
+            # did touch are in an unknown state — force rescans.
+            for cls in touched:
+                index.invalidate(cls)
+            raise
+        for cls in touched:
+            state = deployment._cache_state.get(cls)
+            if state is None:
+                index.invalidate(cls)
+            else:
+                snapshot, pre_token, woven_token = state
+                index.restore_after_revert(
+                    cls, snapshot, woven_token=woven_token, pre_token=pre_token
+                )
+        if deployment._tracks_cflow:
+            watchers.count -= 1
+            deployment._tracks_cflow = False
+        deployment.active = False
+
+    def undeploy_all(self) -> None:
+        """Reverse every active deployment, most recent first."""
+        for deployment in reversed(self.deployments):
+            self.undeploy(deployment)
+
+    # -- introspection --------------------------------------------------------
+
+    def woven_sites(self) -> list["WovenSite"]:
+        """Every member this runtime's active deployments currently weave.
+
+        One :class:`WovenSite` per installed member, ordered by deployment
+        (oldest first) then install order — the live answer to "what did
+        weaving do to my classes?".
+        """
+        sites: list[WovenSite] = []
+        for position, deployment in enumerate(self.deployments):
+            aspect_name = type(deployment.aspect).__name__
+            for member in deployment.members:
+                sites.append(_describe_member(member, aspect_name, position))
+            for applied in deployment.introductions:
+                sites.append(
+                    WovenSite(
+                        cls=applied.cls,
+                        member=applied.name,
+                        kind="introduction",
+                        tier="introduction",
+                        aspect=aspect_name,
+                        deployment_index=position,
+                    )
+                )
+        return sites
+
+    def deployment_stats(self, deployment: Deployment) -> "DeploymentStats":
+        """Codegen and pool statistics for one deployment."""
+        codegen_sources: dict[str, str] = {}
+        pooled = 0
+        pool_free = 0
+        method_members = 0
+        field_members = 0
+        for member in deployment.members:
+            signature = f"{member.cls.__name__}.{member.name}"
+            installed = member.installed
+            if isinstance(installed, _WovenField):
+                field_members += 1
+            else:
+                method_members += 1
+            source = getattr(installed, "__codegen_source__", None)
+            if source is not None:
+                codegen_sources[signature] = source
+            pool = getattr(installed, "__joinpoint_pool__", None)
+            if pool is not None:
+                pools = [pool]
+            else:
+                pools = list(getattr(installed, "__joinpoint_pools__", {}).values())
+            for pool in pools:
+                pooled += 1
+                pool_free += len(pool.free)
+        return DeploymentStats(
+            aspect=type(deployment.aspect).__name__,
+            active=deployment.active,
+            method_members=method_members,
+            field_members=field_members,
+            introductions=len(deployment.introductions),
+            codegen_sources=codegen_sources,
+            pools=pooled,
+            pooled_joinpoints_free=pool_free,
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """A snapshot of this runtime's scoped state, for dashboards/CLI."""
+        sites = self.woven_sites()
+        tiers: dict[str, int] = {}
+        for site in sites:
+            tiers[site.tier] = tiers.get(site.tier, 0) + 1
+        return {
+            "name": self.name,
+            "deployments": len(self.deployments),
+            "woven_sites": len(sites),
+            "tiers": tiers,
+            "cflow_watchers": self._watchers.count,
+            "codegen_cache": self._codegen_cache.stats(),
+        }
+
+
+@dataclass(frozen=True)
+class WovenSite:
+    """One woven member, as reported by :meth:`WeaverRuntime.woven_sites`."""
+
+    cls: type
+    member: str
+    #: ``"method"``, ``"field"`` or ``"introduction"``.
+    kind: str
+    #: Dispatch tier: ``"codegen"``, ``"generic"``, ``"tracking"``,
+    #: ``"field-codegen"``, ``"field-generic"`` or ``"introduction"``.
+    tier: str
+    aspect: str
+    deployment_index: int
+    #: Line count of the generated wrapper source (codegen tiers only).
+    codegen_lines: int | None = None
+
+    @property
+    def signature(self) -> str:
+        return f"{self.cls.__name__}.{self.member}"
+
+
+@dataclass(frozen=True)
+class DeploymentStats:
+    """Per-deployment codegen/pool statistics."""
+
+    aspect: str
+    active: bool
+    method_members: int
+    field_members: int
+    introductions: int
+    #: signature -> generated wrapper source.
+    codegen_sources: dict[str, str]
+    pools: int
+    pooled_joinpoints_free: int
+
+
+def _describe_member(member: _WovenMember, aspect: str, position: int) -> WovenSite:
+    installed = member.installed
+    source = getattr(installed, "__codegen_source__", None)
+    lines = source.count("\n") if isinstance(source, str) else None
+    if isinstance(installed, _WovenField):
+        tier = "field-codegen" if source is not None else "field-generic"
+        kind = "field"
+    else:
+        kind = "method"
+        if source is not None:
+            tier = "codegen"
+        elif getattr(installed, "__woven_advice_count__", None) == 0:
+            tier = "tracking"
+        else:
+            tier = "generic"
+    return WovenSite(
+        cls=member.cls,
+        member=member.name,
+        kind=kind,
+        tier=tier,
+        aspect=aspect,
+        deployment_index=position,
+        codegen_lines=lines,
+    )
+
+
+@dataclass
+class _SetEntry:
+    """One :meth:`DeploymentSet.add`'s recipe plus its live deployment."""
+
+    aspect: Aspect
+    targets: list[type]
+    fields: tuple[str, ...]
+    require_match: bool
+    deployment: Deployment
+
+
+class DeploymentSet:
+    """A transactional batch of deployments on one runtime.
+
+    Subsumes the old ``deploy_all``: every :meth:`add` weaves immediately
+    but plans through one shared scan view (one real shadow scan per class
+    for the whole set, however many aspects stack), and the set as a whole
+    is the unit of atomicity —
+
+    - as a context manager, a raising block triggers :meth:`rollback`,
+      which unwinds members *and introductions* best-effort, while a clean
+      exit commits (the deployments stay live);
+    - :meth:`undeploy` reverses the whole set — or a *subset*: the set
+      unwinds LIFO down to the oldest targeted deployment, then re-weaves
+      the survivors in their original order (their
+      :class:`~repro.aop.weaver.Deployment` handles are refreshed in
+      :attr:`deployments`).
+
+    A set never spans runtimes; :meth:`WeaverRuntime.transaction` is the
+    only constructor callers need.
+    """
+
+    def __init__(
+        self,
+        runtime: WeaverRuntime,
+        targets: Iterable[type] | None = None,
+        *,
+        fields: Iterable[str] = (),
+    ) -> None:
+        self._runtime = runtime
+        self._default_targets = list(targets) if targets is not None else None
+        self._default_fields = tuple(fields)
+        self._batch = _BatchScans(runtime.shadow_index)
+        self._entries: list[_SetEntry] = []
+        self._committed = False
+
+    def __repr__(self) -> str:
+        state = "committed" if self._committed else "open"
+        return (
+            f"<DeploymentSet {state}, {len(self.deployments)} deployments "
+            f"on {self._runtime.name!r}>"
+        )
+
+    @property
+    def deployments(self) -> list[Deployment]:
+        """The set's live deployment handles, oldest first."""
+        return [e.deployment for e in self._entries if e.deployment.active]
+
+    @property
+    def committed(self) -> bool:
+        return self._committed
+
+    def add(
+        self,
+        aspect: Aspect,
+        targets: Iterable[type] | None = None,
+        *,
+        fields: Iterable[str] | None = None,
+        require_match: bool = True,
+    ) -> Deployment:
+        """Weave one more aspect into the set (immediately, but revocably).
+
+        ``targets``/``fields`` default to the set's; the deployment plans
+        through the set's shared scan view, so stacking N aspects over the
+        same classes costs one real scan per class total.
+        """
+        if targets is None:
+            if self._default_targets is None:
+                raise WeavingError(
+                    "DeploymentSet.add: no targets given and the transaction "
+                    "declared no default targets"
+                )
+            targets = self._default_targets
+        resolved_fields = self._default_fields if fields is None else tuple(fields)
+        deployment = self._runtime.deploy(
+            aspect,
+            targets,
+            fields=resolved_fields,
+            require_match=require_match,
+            _scans=self._batch,
+        )
+        self._entries.append(
+            _SetEntry(
+                aspect=aspect,
+                targets=list(targets),
+                fields=resolved_fields,
+                require_match=require_match,
+                deployment=deployment,
+            )
+        )
+        return deployment
+
+    def commit(self) -> list[Deployment]:
+        """Seal the set: its deployments stay live; returns their handles."""
+        self._committed = True
+        return self.deployments
+
+    def rollback(self) -> None:
+        """Best-effort LIFO unwind of everything the set deployed.
+
+        Unlike a strict :meth:`undeploy`, rollback keeps going when a
+        member revert fails (e.g. someone outside the set re-wove a class
+        after us): the failing member is skipped, its class is invalidated
+        for honest rescans, and — crucially — *introductions still
+        revert*, so a raising ``with`` block never leaks grafted members.
+        """
+        index = self._runtime.shadow_index
+        watchers = self._runtime.watchers
+        self._batch = _BatchScans(index)  # derived scans describe dead wrappers
+        for entry in reversed(self._entries):
+            deployment = entry.deployment
+            if not deployment.active:
+                continue
+            try:
+                self._runtime.undeploy(deployment)
+            except Exception:
+                # Strict undeploy refused (non-LIFO interleaving): fall
+                # back to the forgiving unwind and keep rolling back.
+                _rollback_partial_weave(deployment, index)
+                if deployment._tracks_cflow:
+                    watchers.count -= 1
+                    deployment._tracks_cflow = False
+                deployment.active = False
+        self._entries.clear()
+
+    def undeploy(self, deployments: Iterable[Deployment] | None = None) -> None:
+        """Reverse the whole set, or just *deployments* (a subset of it).
+
+        A partial undeploy unwinds the set LIFO down to the oldest targeted
+        deployment — strictly, so an interleaved weave by someone else
+        still raises — then re-weaves the unwound survivors in their
+        original order through a fresh batch scan.  Survivor handles are
+        refreshed; read them back from :attr:`deployments`.
+        """
+        # Any unweave invalidates the set's derived scans (they describe
+        # wrappers that no longer exist); later add()s must re-plan fresh.
+        self._batch = _BatchScans(self._runtime.shadow_index)
+        active = [e for e in self._entries if e.deployment.active]
+        if deployments is None:
+            for entry in reversed(active):
+                self._runtime.undeploy(entry.deployment)
+            self._entries = [e for e in self._entries if e.deployment.active]
+            return
+        targeted = set(deployments)
+        known = {e.deployment for e in active}
+        unknown = targeted - known
+        if unknown:
+            raise WeavingError(
+                "DeploymentSet.undeploy: deployment(s) not active in this set: "
+                + ", ".join(sorted(type(d.aspect).__name__ for d in unknown))
+            )
+        if not targeted:
+            return
+        oldest = min(i for i, e in enumerate(active) if e.deployment in targeted)
+        unwound = active[oldest:]
+        for entry in reversed(unwound):
+            self._runtime.undeploy(entry.deployment)
+        survivors = [e for e in unwound if e.deployment not in targeted]
+        self._entries = [
+            e for e in self._entries if e.deployment.active or e in survivors
+        ]
+        for entry in survivors:
+            entry.deployment = self._runtime.deploy(
+                entry.aspect,
+                entry.targets,
+                fields=entry.fields,
+                require_match=entry.require_match,
+                _scans=self._batch,
+            )
+
+    def __enter__(self) -> "DeploymentSet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None and not self._committed:
+            self.rollback()
+        else:
+            self.commit()
+
+
+#: The process-default runtime.  The deprecated free functions and every
+#: legacy ``Weaver()`` operate on this runtime's state, which is why the
+#: seed's cross-weaver semantics (shared scan cache, cross-deployment
+#: cflow observation) still hold for them.
+default_runtime = WeaverRuntime(
+    "default",
+    shadow_index=_default_shadow_index,
+    watchers=_cflow_watchers,
+    codegen_cache=codegen.default_cache,
+)

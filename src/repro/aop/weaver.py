@@ -1,17 +1,21 @@
-"""The weaver: composes aspects with base classes at deployment time.
+"""Weaving mechanism: shadows, compiled chains, woven members.
 
-This is Figure 1 of the paper made concrete: the *aspect weaver* takes the
-basic-functionality program (ordinary classes) and separately-specified
-aspects, and produces the combined behaviour — here by installing wrappers
-on matched method shadows and data descriptors on matched fields, all
-reversibly (:meth:`Weaver.undeploy` restores the original program).
+This module is the *mechanism* layer of the weaver — everything a
+deployment needs to rewrite classes reversibly:
 
-Weaving outline::
+- shadow scanning and the memoized :class:`ShadowIndex` (scans are
+  validated against a process-wide token board, so one runtime's weave
+  invalidates every other runtime's cached scan of the same class);
+- compiled advice chains (:class:`CompiledChain`) and the per-shadow
+  residue selector (:class:`_ChainSelector`);
+- the woven-member bookkeeping (:class:`Deployment`, :class:`_WovenMember`)
+  and the wrapper/descriptor factories that pick a dispatch tier.
 
-    weaver = Weaver()
-    deployment = weaver.deploy(TracingAspect(), [Node, Index], fields={"position"})
-    ...                     # advice now runs at matched join points
-    weaver.undeploy(deployment)
+The *policy* layer — scoped :class:`~repro.aop.runtime.WeaverRuntime`
+instances, transactional :class:`~repro.aop.runtime.DeploymentSet` batches
+and introspection — lives in :mod:`repro.aop.runtime`; the deprecated
+process-global API (``Weaver``, ``deploy``/``deploy_all``/``undeploy``,
+``deployed``) lives in :mod:`repro.aop.legacy`.
 
 The hot path is *code-generated at deployment time*: each woven method
 shadow gets a specialized closure (see :mod:`repro.aop.codegen`) that
@@ -27,7 +31,6 @@ wrappers (advice partitioned by kind once, around-nesting precomputed).
 from __future__ import annotations
 
 import functools
-import inspect
 import weakref
 from dataclasses import dataclass, field
 from types import FunctionType
@@ -236,71 +239,64 @@ class MethodShadow:
 
 
 def _scan_method_shadows(cls: type) -> tuple[MethodShadow, ...]:
-    shadows: list[MethodShadow] = []
-    for name in dir(cls):
-        if name.startswith("__"):
-            continue
-        static = inspect.getattr_static(cls, name)
-        if isinstance(static, FunctionType):
-            shadows.append(
-                MethodShadow(
-                    cls=cls,
-                    name=name,
-                    original=static,
-                    inherited=name not in cls.__dict__,
-                )
-            )
-    return tuple(shadows)
+    """One vectorized pass over the MRO's ``__dict__``s.
+
+    The seed scan ran ``dir()`` + ``inspect.getattr_static`` once *per
+    member name*, re-walking the MRO for every name.  A single pass over
+    each class dict in MRO order (most-derived first, first definition
+    wins) visits every member exactly once and needs no per-name MRO
+    search; names are sorted afterwards to preserve the ``dir()``-order
+    contract of the old scan.  Members reachable only through the
+    metaclass are not scanned (they never were join point shadows in
+    practice — accessing them through an instance fails anyway).
+    """
+    found: dict[str, Any] = {}
+    for klass in cls.__mro__:
+        for name, member in klass.__dict__.items():
+            if name.startswith("__") or name in found:
+                continue
+            found[name] = member
+    own = cls.__dict__
+    return tuple(
+        MethodShadow(cls=cls, name=name, original=member, inherited=name not in own)
+        for name, member in sorted(found.items())
+        if isinstance(member, FunctionType)
+    )
 
 
-class ShadowIndex:
-    """Memoized shadow scans, invalidated when the weaver rewrites members.
+class _TokenBoard:
+    """Process-wide per-class invalidation stamps shared by every runtime.
 
-    ``dir()`` + ``getattr_static`` per member is the dominant cost of
-    deployment planning, and a single :meth:`Weaver.deploy` used to rescan
-    each target up to three times (declare-error check, advice matching,
-    cflow entry instrumentation).  The index computes each class's shadows
-    once and drops the entry — together with every cached subclass entry,
-    since inherited shadows capture base members — whenever the weaver
-    installs or reverts a member on that class.
-
-    Classes mutated *outside* the weaver between two deployments are the
-    caller's responsibility: pass them through :meth:`invalidate` (or
-    :meth:`clear`) before redeploying.
+    Scan *caches* are per-:class:`ShadowIndex` (each
+    :class:`~repro.aop.runtime.WeaverRuntime` owns one), but class
+    *mutation* is process-global: when runtime A rewrites a member of a
+    class, runtime B's cached scan of it is stale.  The board is the
+    cross-runtime signal — every invalidation stamps the class (and its
+    live subclasses) with a fresh monotonic token, and every index
+    validates its cached entries against the board at lookup time.  The
+    counter is never reset: a re-used stamp could make an outstanding
+    deployment's pre-weave snapshot look restorable when it is not.
     """
 
+    __slots__ = ("_tokens", "_counter")
+
     def __init__(self) -> None:
-        self._cache: "weakref.WeakKeyDictionary[type, tuple[MethodShadow, ...]]" = (
-            weakref.WeakKeyDictionary()
-        )
-        # cls -> id of the last invalidation that hit it.  Lets a
-        # deployment prove at undeploy time that nobody else rewove the
-        # class in between, making its pre-weave snapshot restorable.
         self._tokens: "weakref.WeakKeyDictionary[type, int]" = (
             weakref.WeakKeyDictionary()
         )
         self._counter = 0
 
-    def shadows(self, cls: type) -> tuple[MethodShadow, ...]:
-        cached = self._cache.get(cls)
-        if cached is None:
-            cached = _scan_method_shadows(cls)
-            self._cache[cls] = cached
-        return cached
-
     def token(self, cls: type) -> int:
-        """Opaque stamp of the last invalidation that hit *cls* (0 = never)."""
+        """The stamp of the last invalidation that hit *cls* (0 = never)."""
         return self._tokens.get(cls, 0)
 
-    def invalidate(self, cls: type) -> int:
-        """Drop cached scans of *cls* and of every (live) subclass.
+    def bump(self, cls: type) -> int:
+        """Stamp *cls* and every (live) subclass with a fresh token.
 
-        Walks ``__subclasses__`` transitively rather than the cache keys:
-        a subclass that is not currently cached must still get a fresh
-        token, or a deployment's pre-weave snapshot of it could later be
-        "restored" over a base-class weave it never saw.
-
-        Returns the new invalidation token for *cls*.
+        Walks ``__subclasses__`` transitively rather than any cache's keys:
+        a subclass nobody has scanned yet must still get a fresh token, or
+        a deployment's pre-weave snapshot of it could later be "restored"
+        over a base-class weave it never saw.  Returns *cls*'s new token.
         """
         self._counter += 1
         stamp = self._counter
@@ -311,21 +307,85 @@ class ShadowIndex:
             if klass in seen:
                 continue
             seen.add(klass)
-            self._cache.pop(klass, None)
             self._tokens[klass] = stamp
             stack.extend(klass.__subclasses__())
         return stamp
+
+    def restore(self, cls: type, token: int) -> None:
+        """Reinstate an earlier stamp after an exact byte-for-byte revert."""
+        self._tokens[cls] = token
+
+    def clear(self) -> None:
+        """Forget every stamp (the counter keeps running; see class docs).
+
+        Outstanding deployments' snapshots become ineligible for restore —
+        their woven token (>= 1) can no longer match the board — so
+        undeploys after a clear degrade to honest rescans, which is the
+        point of clearing after external class mutation.
+        """
+        self._tokens.clear()
+
+
+#: The process-wide invalidation board every :class:`ShadowIndex` validates
+#: its cached scans against (class mutation by one runtime must invalidate
+#: scans another runtime would otherwise reuse).
+_token_board = _TokenBoard()
+
+
+class ShadowIndex:
+    """Memoized shadow scans, invalidated when a weaver rewrites members.
+
+    Scanning is the dominant cost of deployment planning, and a single
+    deploy used to rescan each target up to three times (declare-error
+    check, advice matching, cflow entry instrumentation).  The index
+    computes each class's shadows once and records the class's
+    :class:`_TokenBoard` stamp alongside; a cached entry is served only
+    while its stamp still matches the board, so a weave by *any* runtime —
+    this one or another — forces an honest rescan here.
+
+    Classes mutated *outside* any weaver between two deployments are the
+    caller's responsibility: pass them through :meth:`invalidate` (or
+    :meth:`clear`) before redeploying.
+    """
+
+    def __init__(self) -> None:
+        self._cache: (
+            "weakref.WeakKeyDictionary[type, tuple[int, tuple[MethodShadow, ...]]]"
+        ) = weakref.WeakKeyDictionary()
+
+    def shadows(self, cls: type) -> tuple[MethodShadow, ...]:
+        token = _token_board.token(cls)
+        entry = self._cache.get(cls)
+        if entry is not None and entry[0] == token:
+            return entry[1]
+        scan = _scan_method_shadows(cls)
+        self._cache[cls] = (token, scan)
+        return scan
+
+    def token(self, cls: type) -> int:
+        """Opaque stamp of the last invalidation that hit *cls* (0 = never)."""
+        return _token_board.token(cls)
+
+    def invalidate(self, cls: type) -> int:
+        """Stamp *cls* and every (live) subclass stale, process-wide.
+
+        Every runtime's cached scans of the stamped classes self-invalidate
+        at their next lookup.  Returns the new invalidation token for
+        *cls*.
+        """
+        self._cache.pop(cls, None)
+        return _token_board.bump(cls)
 
     def prime(self, cls: type, shadows: tuple[MethodShadow, ...]) -> None:
         """Install a scan known to equal what a fresh rescan would produce.
 
         The batch planner derives each class's post-weave scan from the
         pre-weave one plus the members it just installed (a pure in-memory
-        update), so the ``dir()`` + ``getattr_static`` walk can be skipped.
-        The caller vouches for exactness; tokens are left as stamped by the
-        preceding :meth:`invalidate`.
+        update), so the scan walk can be skipped.  The caller vouches for
+        exactness; the entry is recorded under the class's current board
+        stamp (as left by the preceding :meth:`invalidate`).
         """
-        self._cache[cls] = shadows
+        self._cache[cls] = (_token_board.token(cls), shadows)
 
     def restore_after_revert(
         self,
@@ -338,71 +398,76 @@ class ShadowIndex:
         """Reinstate a pre-weave snapshot after an exact undeploy.
 
         Undeploy restores the class byte-for-byte, so the scan captured
-        before the deployment is valid again — *unless* some other
-        deployment invalidated the class in between (its token would
-        differ from the one this deployment stamped at weave time), in
-        which case this degrades to a plain invalidation and the next
-        deploy rescans.
+        before the deployment is valid again — *unless* someone else
+        (another deployment, any runtime) invalidated the class in between
+        (the board stamp would differ from the one this deployment stamped
+        at weave time), in which case this degrades to a plain
+        invalidation and the next deploy rescans.  Restoring the
+        *pre-weave* stamp also revalidates other runtimes' scans taken
+        before this deployment wove — the class bytes they describe are
+        back.
         """
-        eligible = self._tokens.get(cls, 0) == woven_token
-        self.invalidate(cls)  # always drop (possibly stale) subclass entries
+        eligible = _token_board.token(cls) == woven_token
+        _token_board.bump(cls)  # subclass entries are stale everywhere
         if eligible:
-            self._cache[cls] = shadows
-            self._tokens[cls] = pre_token
+            _token_board.restore(cls, pre_token)
+            self._cache[cls] = (pre_token, shadows)
+        else:
+            self._cache.pop(cls, None)
 
     def clear(self) -> None:
-        """Drop everything — scans *and* tokens.
+        """Drop this index's scans *and* every board stamp.
 
-        Clearing tokens makes every outstanding deployment's snapshot
+        Clearing stamps makes every outstanding deployment's snapshot
         ineligible for restore (its woven token can no longer match), so
         undeploys after a clear degrade to honest rescans — which is the
         point of clearing after external class mutation.
         """
         self._cache.clear()
-        self._tokens.clear()
+        _token_board.clear()
 
 
-#: Process-wide shadow index shared by every weaver (class mutation by one
-#: weaver must invalidate scans another weaver would otherwise reuse).
+#: The default runtime's shadow index.  Every legacy ``Weaver()`` plans
+#: through this one (the seed had a single process-wide index); scoped
+#: :class:`~repro.aop.runtime.WeaverRuntime` instances own their own.
 shadow_index = ShadowIndex()
 
 
 class _BatchScans:
-    """One real shadow scan per class for a whole ``deploy_all`` batch.
+    """One real shadow scan per class for a whole batch deployment.
 
     Sequential deploys invalidate every class they touch, so aspect *i + 1*
     used to rescan the classes aspect *i* wove even though the only change
     is the wrappers the weaver itself just installed.  This view scans each
-    class once (through the shared :data:`shadow_index`) and thereafter
-    *derives* the post-weave scan in memory: a woven member replaces its
-    entry (the wrapper becomes the shadow, no longer inherited), a field
-    descriptor drops any function entry of that name, and everything else
-    is untouched.  Derived scans are primed back into the index, so nested
-    installs across the batch — and the first scan after it — stay
-    rescan-free, making batch deployment O(classes × members) in scan work
-    regardless of the number of aspects.
+    class once (through the owning runtime's :class:`ShadowIndex`) and
+    thereafter *derives* the post-weave scan in memory: a woven member
+    replaces its entry (the wrapper becomes the shadow, no longer
+    inherited), a field descriptor drops any function entry of that name,
+    and everything else is untouched.  Derived scans are primed back into
+    the index, so nested installs across the batch — and the first scan
+    after it — stay rescan-free, making batch deployment
+    O(classes × members) in scan work regardless of the number of aspects.
 
     Introductions fall back to honest rescans (they add members the
     derivation does not model), as do subclasses of a touched class (their
     inherited entries change underneath them).
     """
 
-    __slots__ = ("_scans",)
+    __slots__ = ("_index", "_scans")
 
-    def __init__(self) -> None:
+    def __init__(self, index: ShadowIndex) -> None:
+        self._index = index
         self._scans: dict[type, tuple[MethodShadow, ...]] = {}
 
     def shadows(self, cls: type) -> tuple[MethodShadow, ...]:
         scan = self._scans.get(cls)
         if scan is None:
-            scan = self._scans[cls] = shadow_index.shadows(cls)
+            scan = self._scans[cls] = self._index.shadows(cls)
         return scan
 
     def _drop(self, cls: type, *, and_self: bool) -> None:
         for cached in [
-            k
-            for k in self._scans
-            if (and_self or k is not cls) and issubclass(k, cls)
+            k for k in self._scans if (and_self or k is not cls) and issubclass(k, cls)
         ]:
             del self._scans[cached]
 
@@ -435,14 +500,14 @@ class _BatchScans:
             # would not report it, so neither does the derived scan.
         scan = tuple(derived)
         self._scans[cls] = scan
-        shadow_index.prime(cls, scan)
+        self._index.prime(cls, scan)
 
 
 def method_shadows(cls: type) -> list[MethodShadow]:
     """All weavable method shadows of *cls* (plain functions, no dunders).
 
-    Memoized through the module-wide :data:`shadow_index`; the weaver
-    invalidates entries whenever it installs or reverts members.
+    Memoized through the default runtime's :data:`shadow_index`; weavers
+    invalidate entries whenever they install or revert members.
     """
     return list(shadow_index.shadows(cls))
 
@@ -462,13 +527,16 @@ class _WatcherCount:
         self.count = 0
 
 
-#: Count of active deployments — across every weaver — whose advice carries
-#: a ``cflow()``/``cflowbelow()`` residue.  The seed weaver pushed a join
-#: point frame on *every* woven shadow, which is what made cflow residues
-#: from one deployment observe shadows woven by another.  Static fast-path
-#: wrappers preserve that: they check this counter per call (one attribute
-#: read) and push frames whenever any cflow watcher is live anywhere, and
-#: skip the stack bookkeeping only when no residue could possibly observe it.
+#: The default runtime's cflow-watcher count: active deployments — across
+#: every legacy ``Weaver`` — whose advice carries a ``cflow()`` /
+#: ``cflowbelow()`` residue.  The seed weaver pushed a join point frame on
+#: *every* woven shadow, which is what made cflow residues from one
+#: deployment observe shadows woven by another.  Static fast-path wrappers
+#: preserve that: they check this counter per call (one attribute read) and
+#: push frames whenever any cflow watcher is live anywhere in their
+#: runtime, and skip the stack bookkeeping only when no residue could
+#: possibly observe it.  Scoped runtimes own their own count — that is the
+#: isolation the runtime API promises.
 _cflow_watchers = _WatcherCount()
 
 
@@ -476,11 +544,14 @@ class _WovenField:
     """A data descriptor turning attribute access into field join points.
 
     Get/set advice chains are compiled once at construction.  When every
-    advice is static and no cflow watcher is live anywhere (checked per
-    access via :data:`_cflow_watchers`), access skips the join point stack
-    and residue filtering entirely, and runs the chain over a pooled join
-    point (the dynamic path keeps plain allocation: its frames may outlive
-    the access inside captured stack tuples).
+    advice is static and no cflow watcher is live in the owning runtime
+    (checked per access), access skips the join point stack and residue
+    filtering entirely, and runs the chain over a pooled join point (the
+    dynamic path keeps plain allocation: its frames may outlive the access
+    inside captured stack tuples).  Fully-static fields normally deploy as
+    a code-generated subclass (see :func:`codegen.generate_field_descriptor`)
+    whose accessors inline the chain; this class is the
+    ``REPRO_AOP_CODEGEN=0`` escape hatch and the dynamic-path fallback.
     """
 
     def __init__(
@@ -489,11 +560,13 @@ class _WovenField:
         get_advice: list[Advice],
         set_advice: list[Advice],
         class_default: Any = _MISSING,
+        watchers: _WatcherCount | None = None,
     ):
         self._name = name
         self._get_advice = get_advice
         self._set_advice = set_advice
         self._class_default = class_default
+        self._watchers = watchers if watchers is not None else _cflow_watchers
         self._get_selector = _ChainSelector(get_advice)
         self._set_selector = _ChainSelector(set_advice)
         self._get_static = not self._get_selector.has_dynamic
@@ -521,7 +594,7 @@ class _WovenField:
                 f"{type(obj).__name__!r} object has no attribute {self._name!r}"
             )
 
-        if self._get_static and not _cflow_watchers.count:
+        if self._get_static and not self._watchers.count:
             if not self._get_advice:
                 return read()
             jp = self._get_pool.acquire(obj, (), {})
@@ -544,7 +617,7 @@ class _WovenField:
         def write(new_value: Any = value) -> None:
             obj.__dict__[self._name] = new_value
 
-        if self._set_static and not _cflow_watchers.count:
+        if self._set_static and not self._watchers.count:
             if not self._set_advice:
                 write()
                 return
@@ -598,9 +671,13 @@ class _WovenMember:
             setattr(self.cls, self.name, self.previous)
 
 
-@dataclass
+@dataclass(eq=False)
 class Deployment:
-    """A reversible record of one aspect woven into a set of classes."""
+    """A reversible record of one aspect woven into a set of classes.
+
+    Identity semantics (``eq=False``): a deployment is a mutable record of
+    what one weave did, usable as a set/dict key by handle.
+    """
 
     aspect: Aspect
     members: list[_WovenMember] = field(default_factory=list)
@@ -609,23 +686,28 @@ class Deployment:
     #: cls -> (pre-weave shadow snapshot, pre-weave token, post-weave token);
     #: lets undeploy reinstate the shadow cache instead of forcing a rescan.
     _cache_state: dict = field(default_factory=dict, repr=False)
-    #: True when this deployment raised the module cflow-watcher count.
+    #: True when this deployment raised its runtime's cflow-watcher count.
     _tracks_cflow: bool = field(default=False, repr=False)
+    #: The shadow index and watcher count of the runtime that wove this
+    #: deployment — undeploy must restore exactly the state it disturbed,
+    #: whichever runtime object performs it.
+    _index: ShadowIndex | None = field(default=None, repr=False)
+    _watchers: _WatcherCount | None = field(default=None, repr=False)
 
     def woven_signatures(self) -> list[str]:
         """Human-readable list of what this deployment touched."""
         return sorted(f"{m.cls.__name__}.{m.name}" for m in self.members)
 
 
-def _rollback_partial_weave(deployment: Deployment) -> None:
+def _rollback_partial_weave(deployment: Deployment, index: ShadowIndex) -> None:
     """Best-effort unwind of a deploy that raised mid-weave.
 
     Reverts whatever the failing deployment already applied (members LIFO,
     then introductions) and invalidates the touched classes, so a raising
-    :meth:`Weaver.deploy` never leaves class mutations the caller has no
-    deployment handle to undo.  Revert errors are swallowed — the original
-    exception is the one worth propagating, and the invalidation forces
-    honest rescans for anything left inconsistent.
+    deploy never leaves class mutations the caller has no deployment
+    handle to undo.  Revert errors are swallowed — the original exception
+    is the one worth propagating, and the invalidation forces honest
+    rescans for anything left inconsistent.
     """
     touched: set[type] = set()
     for member in reversed(deployment.members):
@@ -644,307 +726,85 @@ def _rollback_partial_weave(deployment: Deployment) -> None:
     deployment.introductions.clear()
     deployment._cache_state.clear()
     for cls in touched:
-        shadow_index.invalidate(cls)
+        index.invalidate(cls)
 
 
-class Weaver:
-    """Deploys aspects into classes and keeps enough state to undo it."""
+# -- wrapper and descriptor factories -----------------------------------------
 
-    def __init__(self) -> None:
-        self._deployments: list[Deployment] = []
 
-    @property
-    def deployments(self) -> list[Deployment]:
-        return [d for d in self._deployments if d.active]
+def make_method_wrapper(
+    shadow: MethodShadow,
+    advice: list[Advice],
+    *,
+    watchers: _WatcherCount,
+    codegen_cache: "codegen.CodegenCache | None" = None,
+):
+    """The wrapper for one method shadow, in the fastest eligible tier."""
+    selector = _ChainSelector(advice)
+    # Codegen specializes fully-static chains only; dynamic-residue
+    # and tracking-only shadows are generic dispatch by construction
+    # and share the generic closures in both tiers.
+    if advice and not selector.has_dynamic and codegen.codegen_enabled():
+        wrapper = codegen.generate_method_wrapper(
+            shadow.original,
+            shadow.name,
+            tuple(advice),
+            selector,
+            watchers,
+            cache=codegen_cache,
+        )
+    else:
+        wrapper = _make_generic_method_wrapper(shadow, advice, selector, watchers)
+        # functools.wraps may have copied codegen introspection attrs
+        # from a nested generated original; they describe that one,
+        # not this wrapper.
+        wrapper.__dict__.pop("__codegen_source__", None)
+        wrapper.__dict__.pop("__joinpoint_pool__", None)
+    wrapper.__woven__ = True  # type: ignore[attr-defined]
+    wrapper.__woven_original__ = shadow.original  # type: ignore[attr-defined]
+    wrapper.__woven_advice_count__ = len(advice)  # type: ignore[attr-defined]
+    return wrapper
 
-    def deploy(
-        self,
-        aspect: Aspect,
-        targets: Iterable[type],
-        *,
-        fields: Iterable[str] = (),
-        require_match: bool = True,
-        _scans: "_BatchScans | None" = None,
-    ) -> Deployment:
-        """Weave *aspect* into *targets*.
 
-        ``fields`` names instance attributes to expose as field join points
-        (Python cannot discover instance attributes statically, so field
-        interception is opt-in).  With *require_match*, deploying an aspect
-        that matches nothing raises — almost always a pointcut typo.
+def make_field_descriptor(
+    name: str,
+    get_advice: list[Advice],
+    set_advice: list[Advice],
+    class_default: Any,
+    *,
+    watchers: _WatcherCount,
+    codegen_cache: "codegen.CodegenCache | None" = None,
+) -> _WovenField:
+    """The data descriptor for one woven field, in the fastest eligible tier.
 
-        ``_scans`` is the :meth:`deploy_all` batch planner's shared scan
-        view; single deployments read the module :data:`shadow_index`
-        directly.
-        """
-        aspect.validate()
-        advice = sorted(aspect.advice(), key=lambda a: a.order)
-        targets = list(targets)
-        deployment = Deployment(aspect=aspect)
-        scans = _scans if _scans is not None else shadow_index
-
-        # Snapshot every target's pre-weave scan (also pre-warming the
-        # cache for the phases below).  Undeploy restores classes exactly,
-        # so these snapshots make deploy/undeploy cycles rescan-free.
-        pre_state = {
-            cls: (scans.shadows(cls), shadow_index.token(cls)) for cls in targets
-        }
-
-        # declare error: refuse deployment when a forbidden shape exists.
-        for declaration in aspect.declarations():
-            for cls in targets:
-                for shadow in scans.shadows(cls):
-                    if declaration.pointcut.matches_shadow(
-                        cls, shadow.name, JoinPointKind.METHOD_EXECUTION
-                    ):
-                        raise WeavingError(
-                            f"{declaration.message} "
-                            f"(declare error matched {cls.__name__}.{shadow.name})"
-                        )
-
-        try:
-            intro_touched: set[type] = set()
-            for introduction in aspect.introductions():
-                for cls in targets:
-                    applied = introduction.apply(cls)
-                    if applied is not None:
-                        deployment.introductions.append(applied)
-                        intro_touched.add(cls)
-                        # Introduced functions are weavable shadows themselves.
-                        shadow_index.invalidate(cls)
-                        if _scans is not None:
-                            _scans.note_introduction(cls)
-
-            # cflow() residues need the join point stack populated at their
-            # inner pointcuts' shadows even when no advice runs there; shadows
-            # the residues match get tracking-only wrappers (AspectJ
-            # instruments cflow entry shadows the same way).  While this
-            # deployment is active it also raises :data:`_cflow_watchers`, so
-            # every woven shadow anywhere resumes frame bookkeeping.
-            inner_pointcuts = [
-                inner
-                for a in advice
-                for inner in a.pointcut.cflow_inner_pointcuts()
-            ]
-
-            def tracked(cls: type, name: str, kind: JoinPointKind) -> bool:
-                return any(p.matches_shadow(cls, name, kind) for p in inner_pointcuts)
-
-            # Capture every shadow before installing anything, so that weaving
-            # a base class never changes what a subclass shadow captures.  One
-            # (memoized) scan per class covers advice matching and cflow entry
-            # instrumentation.
-            method_plan: list[tuple[MethodShadow, list[Advice]]] = []
-            field_plan: list[tuple[type, str, list[Advice], list[Advice]]] = []
-            tracking_only: set[tuple[type, str]] = set()
-            for cls in targets:
-                for shadow in scans.shadows(cls):
-                    matching = [
-                        a
-                        for a in advice
-                        if a.pointcut.matches_shadow(
-                            cls, shadow.name, JoinPointKind.METHOD_EXECUTION
-                        )
-                    ]
-                    if matching:
-                        method_plan.append((shadow, matching))
-                    elif inner_pointcuts:
-                        key = (shadow.cls, shadow.name)
-                        if key not in tracking_only and tracked(
-                            cls, shadow.name, JoinPointKind.METHOD_EXECUTION
-                        ):
-                            tracking_only.add(key)
-                            method_plan.append((shadow, []))
-                for field_name in fields:
-                    getters = [
-                        a
-                        for a in advice
-                        if a.pointcut.matches_shadow(
-                            cls, field_name, JoinPointKind.FIELD_GET
-                        )
-                    ]
-                    setters = [
-                        a
-                        for a in advice
-                        if a.pointcut.matches_shadow(
-                            cls, field_name, JoinPointKind.FIELD_SET
-                        )
-                    ]
-                    if getters or setters:
-                        field_plan.append((cls, field_name, getters, setters))
-
-            touched: set[type] = set()
-            for shadow, matching in method_plan:
-                wrapper = self._make_method_wrapper(shadow, matching)
-                previous = shadow.cls.__dict__.get(shadow.name, _MISSING)
-                setattr(shadow.cls, shadow.name, wrapper)
-                touched.add(shadow.cls)
-                deployment.members.append(
-                    _WovenMember(shadow.cls, shadow.name, wrapper, previous)
-                )
-
-            for cls, field_name, getters, setters in field_plan:
-                previous = cls.__dict__.get(field_name, _MISSING)
-                default = previous if previous is not _MISSING else _MISSING
-                # A re-weave keeps the original class default.
-                if isinstance(default, _WovenField):
-                    default = default._class_default
-                descriptor = _WovenField(field_name, getters, setters, default)
-                setattr(cls, field_name, descriptor)
-                touched.add(cls)
-                deployment.members.append(
-                    _WovenMember(cls, field_name, descriptor, previous)
-                )
-
-            for cls in touched | intro_touched:
-                woven_token = shadow_index.invalidate(cls)
-                shadows_snapshot, pre_token = pre_state[cls]
-                deployment._cache_state[cls] = (
-                    shadows_snapshot,
-                    pre_token,
-                    woven_token,
-                )
-            if _scans is not None:
-                installed_by_cls: dict[type, dict[str, Any]] = {}
-                for member in deployment.members:
-                    installed_by_cls.setdefault(member.cls, {})[member.name] = (
-                        member.installed
-                    )
-                # Bases before subclasses: a touched base drops its subclasses'
-                # derived scans (their inherited entries changed underneath
-                # them), which must happen before — never after — a touched
-                # subclass would prime one.
-                for cls in sorted(touched, key=lambda klass: len(klass.__mro__)):
-                    _scans.apply_installs(cls, installed_by_cls.get(cls, {}))
-
-            if (
-                require_match
-                and not deployment.members
-                and not deployment.introductions
-            ):
-                raise WeavingError(
-                    f"aspect {type(aspect).__name__} matched nothing in "
-                    f"[{', '.join(t.__name__ for t in targets)}]"
-                )
-        except BaseException:
-            # Mid-weave failure (introduction conflict, raising pointcut,
-            # ...): revert what this deployment already applied so the
-            # caller is never left with class mutations it has no handle
-            # to undo.
-            _rollback_partial_weave(deployment)
-            raise
-        if inner_pointcuts:
-            _cflow_watchers.count += 1
-            deployment._tracks_cflow = True
-        self._deployments.append(deployment)
-        return deployment
-
-    def deploy_all(
-        self,
-        aspects: Iterable[Aspect],
-        targets: Iterable[type],
-        *,
-        fields: Iterable[str] = (),
-        require_match: bool = True,
-    ) -> list[Deployment]:
-        """Deploy several aspects over the same targets, in order.
-
-        Semantically identical to sequential :meth:`deploy` calls — later
-        aspects wrap earlier ones, and the batch unwinds LIFO like any
-        other deployments — but the whole batch plans from **one**
-        :class:`ShadowIndex` scan per class (:class:`_BatchScans`): when an
-        aspect weaves a class, the next aspect's plan is *derived* from the
-        installed wrappers instead of rescanning, so nesting installs cost
-        O(classes × members) scan work total regardless of how many aspects
-        stack (the classic O(aspects × classes × members) rescan is gone).
-
-        All-or-nothing: if a later aspect's deploy raises (declare error,
-        pointcut typo with *require_match*, ...), the aspects already
-        installed are undeployed LIFO before the exception propagates —
-        the caller gets no deployment handles back, so partial weaves
-        would be unrecoverable leaks.
-        """
-        targets = list(targets)
-        batch = _BatchScans()
-        made: list[Deployment] = []
-        try:
-            for aspect in aspects:
-                made.append(
-                    self.deploy(
-                        aspect,
-                        targets,
-                        fields=fields,
-                        require_match=require_match,
-                        _scans=batch,
-                    )
-                )
-        except BaseException:
-            for deployment in reversed(made):
-                self.undeploy(deployment)
-            raise
-        return made
-
-    @staticmethod
-    def _make_method_wrapper(shadow: MethodShadow, advice: list[Advice]):
-        selector = _ChainSelector(advice)
-        # Codegen specializes fully-static chains only; dynamic-residue
-        # and tracking-only shadows are generic dispatch by construction
-        # and share the generic closures in both tiers.
-        if advice and not selector.has_dynamic and codegen.codegen_enabled():
-            wrapper = codegen.generate_method_wrapper(
-                shadow.original, shadow.name, tuple(advice), selector, _cflow_watchers
-            )
-        else:
-            wrapper = _make_generic_method_wrapper(shadow, advice, selector)
-            # functools.wraps may have copied codegen introspection attrs
-            # from a nested generated original; they describe that one,
-            # not this wrapper.
-            wrapper.__dict__.pop("__codegen_source__", None)
-            wrapper.__dict__.pop("__joinpoint_pool__", None)
-        wrapper.__woven__ = True  # type: ignore[attr-defined]
-        wrapper.__woven_original__ = shadow.original  # type: ignore[attr-defined]
-        return wrapper
-
-    def undeploy(self, deployment: Deployment) -> None:
-        """Reverse one deployment (most-recent-first when they overlap)."""
-        if not deployment.active:
-            return
-        touched: set[type] = set()
-        try:
-            for member in reversed(deployment.members):
-                member.revert()
-                touched.add(member.cls)
-            for applied in reversed(deployment.introductions):
-                applied.revert()
-                touched.add(applied.cls)
-        except Exception:
-            # Partial revert (e.g. out-of-LIFO undeploy): the classes we
-            # did touch are in an unknown state — force rescans.
-            for cls in touched:
-                shadow_index.invalidate(cls)
-            raise
-        for cls in touched:
-            state = deployment._cache_state.get(cls)
-            if state is None:
-                shadow_index.invalidate(cls)
-            else:
-                snapshot, pre_token, woven_token = state
-                shadow_index.restore_after_revert(
-                    cls, snapshot, woven_token=woven_token, pre_token=pre_token
-                )
-        if deployment._tracks_cflow:
-            _cflow_watchers.count -= 1
-            deployment._tracks_cflow = False
-        deployment.active = False
-
-    def undeploy_all(self) -> None:
-        """Reverse every active deployment, most recent first."""
-        for deployment in reversed(self.deployments):
-            self.undeploy(deployment)
+    Fully-static get/set chains deploy as a code-generated
+    :class:`_WovenField` subclass whose accessors inline the advice
+    sequence over pooled join points (same ``REPRO_AOP_CODEGEN=0`` escape
+    hatch as method wrappers); anything carrying a runtime residue keeps
+    the generic descriptor.
+    """
+    static = not _ChainSelector(get_advice).has_dynamic and not _ChainSelector(
+        set_advice
+    ).has_dynamic
+    if static and (get_advice or set_advice) and codegen.codegen_enabled():
+        return codegen.generate_field_descriptor(
+            name,
+            list(get_advice),
+            list(set_advice),
+            class_default,
+            watchers,
+            base=_WovenField,
+            missing=_MISSING,
+            cache=codegen_cache,
+        )
+    return _WovenField(name, get_advice, set_advice, class_default, watchers)
 
 
 def _make_generic_method_wrapper(
-    shadow: MethodShadow, advice: list[Advice], selector: _ChainSelector
+    shadow: MethodShadow,
+    advice: list[Advice],
+    selector: _ChainSelector,
+    watchers: _WatcherCount,
 ):
     """The non-codegen wrappers: generic closures over a compiled chain.
 
@@ -978,8 +838,8 @@ def _make_generic_method_wrapper(
     elif not selector.has_dynamic:
         # Static path: every pointcut matched fully at the shadow, so
         # the precompiled chain runs with no residue filtering.  Frames
-        # are pushed only while some deployment anywhere carries a
-        # cflow residue (exactly when the stack is observable) — the
+        # are pushed only while some deployment in this runtime carries
+        # a cflow residue (exactly when the stack is observable) — the
         # seed pushed them unconditionally.
         chain = selector.full_chain
 
@@ -997,7 +857,7 @@ def _make_generic_method_wrapper(
             def proceed(*call_args: Any, **call_kwargs: Any) -> Any:
                 return original(self, *call_args, **call_kwargs)
 
-            if _cflow_watchers.count:
+            if watchers.count:
                 token = push_frame(jp)
                 try:
                     return chain(jp, proceed)
@@ -1032,73 +892,3 @@ def _make_generic_method_wrapper(
                 pop_frame(token)
 
     return wrapper
-
-
-#: The default process-wide weaver used by :func:`deploy` / :func:`undeploy`.
-default_weaver = Weaver()
-
-
-def deploy(
-    aspect: Aspect,
-    targets: Iterable[type],
-    *,
-    fields: Iterable[str] = (),
-    require_match: bool = True,
-) -> Deployment:
-    """Deploy on the default weaver; see :meth:`Weaver.deploy`."""
-    return default_weaver.deploy(
-        aspect, targets, fields=fields, require_match=require_match
-    )
-
-
-def deploy_all(
-    aspects: Iterable[Aspect],
-    targets: Iterable[type],
-    *,
-    fields: Iterable[str] = (),
-    require_match: bool = True,
-) -> list[Deployment]:
-    """Batch-deploy on the default weaver; see :meth:`Weaver.deploy_all`."""
-    return default_weaver.deploy_all(
-        aspects, targets, fields=fields, require_match=require_match
-    )
-
-
-def undeploy(deployment: Deployment) -> None:
-    """Undeploy from the default weaver."""
-    default_weaver.undeploy(deployment)
-
-
-class deployed:
-    """Context manager: aspect woven inside the block, restored after.
-
-    ::
-
-        with deployed(Tracing(), [Node]):
-            site.render()          # advice active
-        site.render()              # original behaviour
-    """
-
-    def __init__(
-        self,
-        aspect: Aspect,
-        targets: Iterable[type],
-        *,
-        fields: Iterable[str] = (),
-        weaver: Weaver | None = None,
-    ):
-        self._aspect = aspect
-        self._targets = list(targets)
-        self._fields = fields
-        self._weaver = weaver or default_weaver
-        self._deployment: Deployment | None = None
-
-    def __enter__(self) -> Deployment:
-        self._deployment = self._weaver.deploy(
-            self._aspect, self._targets, fields=self._fields
-        )
-        return self._deployment
-
-    def __exit__(self, *exc_info) -> None:
-        if self._deployment is not None:
-            self._weaver.undeploy(self._deployment)

@@ -50,6 +50,7 @@ from .spec_xml import (
 )
 from .weave import (
     NavigationWeaver,
+    build_audience_sites,
     build_plain_site,
     build_woven_site,
     build_woven_site_many,
@@ -87,6 +88,7 @@ __all__ = [
     "PageRenderer",
     "SeparationPolicy",
     "XLinkSiteBuilder",
+    "build_audience_sites",
     "build_plain_site",
     "check_separation",
     "build_woven_site",

@@ -65,7 +65,9 @@ class LandmarkAspect(Aspect):
         self.spec = spec
         self.pages_decorated = 0
 
-    @around("execution(PageRenderer.render_node) || execution(PageRenderer.render_home)")
+    @around(
+        "execution(PageRenderer.render_node) || execution(PageRenderer.render_home)"
+    )
     def add_landmarks(self, jp) -> HtmlPage:
         page: HtmlPage = jp.proceed()
         anchors = [

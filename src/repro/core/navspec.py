@@ -106,7 +106,9 @@ class NavigationSpec:
         lines = ["[navigation]"]
         for family in sorted(self.access):
             choice = self.access[family]
-            options = f" label={choice.label_attribute}" if choice.label_attribute else ""
+            options = (
+                f" label={choice.label_attribute}" if choice.label_attribute else ""
+            )
             if choice.circular:
                 options += " circular"
             lines.append(f"access {family} = {choice.kind}{options}")

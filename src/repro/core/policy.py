@@ -25,7 +25,7 @@ class SeparationPolicy(Aspect):
 
     Deploy it against the base-program classes in a test or CI hook::
 
-        Weaver().deploy(SeparationPolicy(), [PageRenderer], require_match=False)
+        WeaverRuntime().deploy(SeparationPolicy(), [PageRenderer], require_match=False)
 
     A clean base program deploys (and un-deploys) without effect; one that
     has grown an ``add_link``-style method fails loudly with the member
@@ -47,10 +47,10 @@ class SeparationPolicy(Aspect):
 
 def check_separation(*classes: type, extra_shapes: tuple[str, ...] = ()) -> None:
     """One-call policy check: raises :class:`~repro.aop.WeavingError` on violation."""
-    from repro.aop import Weaver
+    from repro.aop import WeaverRuntime
 
-    weaver = Weaver()
-    deployment = weaver.deploy(
+    runtime = WeaverRuntime("separation-check")
+    deployment = runtime.deploy(
         SeparationPolicy(extra_shapes), list(classes), require_match=False
     )
-    weaver.undeploy(deployment)
+    runtime.undeploy(deployment)

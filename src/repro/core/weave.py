@@ -9,15 +9,19 @@ Changing the access structure is a new spec, not new pages::
     site2 = build_woven_site(fixture, default_museum_spec("indexed-guided-tour"))
 
 The change-impact experiments diff these two builds against the tangled
-equivalents.
+equivalents.  Every builder here weaves through a scoped
+:class:`~repro.aop.WeaverRuntime` and a transactional
+:class:`~repro.aop.DeploymentSet`, so a build that raises mid-weave rolls
+back completely — the renderer class is never left half-woven.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Mapping
 
-from repro.aop import Weaver
+from repro.aop import WeaverRuntime
 from repro.baselines.museum_data import MuseumFixture
+from repro.navigation import AudienceBundle
 from repro.web import StaticSite
 
 from .aspect import NavigationAspect
@@ -34,38 +38,32 @@ def build_woven_site(
     fixture: MuseumFixture,
     spec: NavigationSpec,
     *,
-    weaver: Weaver | None = None,
+    weaver: WeaverRuntime | None = None,
 ) -> StaticSite:
     """Deploy the navigation aspect, build the site, undeploy.
 
     The weaver touches :class:`PageRenderer` only for the duration of the
     build, so concurrent plain builds (or differently-woven builds) never
-    observe each other's navigation.
+    observe each other's navigation.  An exception anywhere in the block
+    rolls the transaction back, introductions included.
     """
-    weaver = weaver or Weaver()
-    renderer = PageRenderer(fixture)
-    aspect = NavigationAspect(spec, fixture)
-    (deployment,) = weaver.deploy_all([aspect], [PageRenderer])
-    try:
-        return renderer.build_site()
-    finally:
-        weaver.undeploy(deployment)
+    return build_woven_site_stacked(fixture, [spec], weaver=weaver)
 
 
 def build_woven_site_many(
     fixture: MuseumFixture,
     specs: Iterable[NavigationSpec],
     *,
-    weaver: Weaver | None = None,
+    weaver: WeaverRuntime | None = None,
 ) -> list[StaticSite]:
     """Build one site per navigation spec, amortizing weaving costs.
 
     Each spec gets its own aspect deployment (deployed, built, undeployed
-    in turn), but all of them plan against the weaver's shared shadow
+    in turn), but all of them plan against the runtime's shared shadow
     index, so the per-deployment member rescan of :class:`PageRenderer`
     is paid once for the whole batch rather than once per spec.
     """
-    weaver = weaver or Weaver()
+    weaver = weaver or WeaverRuntime("woven-site-many")
     sites: list[StaticSite] = []
     for spec in specs:
         sites.append(build_woven_site(fixture, spec, weaver=weaver))
@@ -76,27 +74,62 @@ def build_woven_site_stacked(
     fixture: MuseumFixture,
     specs: Iterable[NavigationSpec],
     *,
-    weaver: Weaver | None = None,
+    weaver: WeaverRuntime | None = None,
 ) -> StaticSite:
     """Build **one** site with several navigation concerns layered at once.
 
     Where :func:`build_woven_site_many` produces one site per spec, this
     stacks every spec's aspect over the same renderer — each page carries
     all of their navigation blocks, later specs wrapping (and therefore
-    appending after) earlier ones.  The batch deploys through
-    :meth:`Weaver.deploy_all`, whose planner derives all the aspects'
-    plans from a single shadow scan of :class:`PageRenderer`, and unwinds
-    LIFO so the renderer is restored exactly.
+    appending after) earlier ones.  The stack is one
+    :class:`~repro.aop.DeploymentSet` transaction: the planner derives all
+    the aspects' plans from a single shadow scan of :class:`PageRenderer`,
+    a mid-stack failure rolls the whole set back, and the ``finally``
+    undeploy restores the renderer exactly.
     """
-    weaver = weaver or Weaver()
+    weaver = weaver or WeaverRuntime("woven-site")
     renderer = PageRenderer(fixture)
-    aspects = [NavigationAspect(spec, fixture) for spec in specs]
-    deployments = weaver.deploy_all(aspects, [PageRenderer])
-    try:
-        return renderer.build_site()
-    finally:
-        for deployment in reversed(deployments):
-            weaver.undeploy(deployment)
+    with weaver.transaction([PageRenderer]) as tx:
+        for spec in specs:
+            tx.add(NavigationAspect(spec, fixture))
+        try:
+            return renderer.build_site()
+        finally:
+            tx.undeploy()
+
+
+def build_audience_sites(
+    fixture: MuseumFixture,
+    bundles: Iterable[AudienceBundle],
+    *,
+    specs_by_access: Mapping[str, NavigationSpec] | None = None,
+) -> dict[str, StaticSite]:
+    """One stacked site per audience bundle, each in its own scoped runtime.
+
+    This is the ROADMAP's "per-audience navigation bundles" scenario: the
+    same base program serves several audiences, each seeing a different
+    *stack* of access structures (say, guided tour + index for visitors,
+    index only for curators), and every audience's weave is isolated in
+    its own :class:`~repro.aop.WeaverRuntime` — separate scan caches,
+    watcher counts and codegen statistics, one transaction per audience.
+
+    ``specs_by_access`` maps access-structure names to prebuilt specs;
+    unknown names fall back to :func:`default_museum_spec`.
+    """
+    from .navspec import default_museum_spec
+
+    resolved: dict[str, NavigationSpec] = dict(specs_by_access or {})
+    sites: dict[str, StaticSite] = {}
+    for bundle in bundles:
+        specs = [
+            resolved.get(access) or default_museum_spec(access)
+            for access in bundle.access_structures
+        ]
+        runtime = WeaverRuntime(f"audience-{bundle.name}")
+        sites[bundle.name] = build_woven_site_stacked(
+            fixture, specs, weaver=runtime
+        )
+    return sites
 
 
 class NavigationWeaver:
@@ -104,13 +137,14 @@ class NavigationWeaver:
 
     Where :func:`build_woven_site` is transactional, this keeps the aspect
     deployed — rendering individual pages on demand (e.g. for the user
-    agent) with navigation woven in — until :meth:`undeploy`.
+    agent) with navigation woven in — until :meth:`undeploy`.  Backed by
+    its own scoped :class:`~repro.aop.WeaverRuntime`.
     """
 
     def __init__(self, fixture: MuseumFixture, spec: NavigationSpec):
         self._fixture = fixture
         self._spec = spec
-        self._weaver = Weaver()
+        self._runtime = WeaverRuntime("navigation-weaver")
         self._renderer = PageRenderer(fixture)
         self._aspect: NavigationAspect | None = None
         self._deployment = None
@@ -125,16 +159,21 @@ class NavigationWeaver:
     def renderer(self) -> PageRenderer:
         return self._renderer
 
+    @property
+    def runtime(self) -> WeaverRuntime:
+        """The scoped runtime backing this weaver (introspection entry)."""
+        return self._runtime
+
     def deploy(self) -> "NavigationWeaver":
         if self._deployment is not None:
             return self
         self._aspect = NavigationAspect(self._spec, self._fixture)
-        self._deployment = self._weaver.deploy(self._aspect, [PageRenderer])
+        self._deployment = self._runtime.deploy(self._aspect, [PageRenderer])
         return self
 
     def undeploy(self) -> None:
         if self._deployment is not None:
-            self._weaver.undeploy(self._deployment)
+            self._runtime.undeploy(self._deployment)
             self._deployment = None
             self._aspect = None
 
@@ -178,9 +217,7 @@ class LazyWovenProvider:
     def __init__(self, weaver: NavigationWeaver):
         self._weaver = weaver
         # URI -> node, computed once from the renderer's inventory.
-        self._nodes = {
-            node.uri: node for node in weaver.renderer.node_inventory()
-        }
+        self._nodes = {node.uri: node for node in weaver.renderer.node_inventory()}
 
     def page(self, uri: str):
         from repro.hypermedia.errors import NavigationError

@@ -7,12 +7,15 @@ navigation" — see :class:`NavigationSession` for the context-dependent
 """
 
 from .agent import CallableProvider, PageAnchor, PageProvider, PageView, UserAgent
+from .audience import DEFAULT_AUDIENCES, AudienceBundle
 from .errors import NavigationError
 from .history import History
 from .session import NavigationSession, Position
 
 __all__ = [
+    "AudienceBundle",
     "CallableProvider",
+    "DEFAULT_AUDIENCES",
     "History",
     "NavigationError",
     "NavigationSession",

@@ -1,0 +1,40 @@
+"""Audience bundles: named stacks of access structures.
+
+The paper's point is that access structures are swappable artifacts; the
+ROADMAP's production scenario is serving *several audiences at once*, each
+with its own stack of them (a visitor wants the guided tour layered over
+the index; a curator just wants the index).  An
+:class:`AudienceBundle` names such a stack without knowing how specs are
+built — :func:`repro.core.weave.build_audience_sites` resolves the names
+to :class:`~repro.core.navspec.NavigationSpec` instances and weaves each
+bundle in its own scoped :class:`~repro.aop.WeaverRuntime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AudienceBundle:
+    """One audience's navigation, as a stack of access-structure names.
+
+    ``access_structures`` are layered in order: later entries wrap (and so
+    render after) earlier ones, exactly like aspects in a
+    :class:`~repro.aop.DeploymentSet`.
+    """
+
+    name: str
+    access_structures: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.access_structures:
+            raise ValueError(f"audience bundle {self.name!r} stacks no structures")
+
+
+#: Stock bundles for the museum scenario.
+DEFAULT_AUDIENCES: tuple[AudienceBundle, ...] = (
+    AudienceBundle("visitor", ("index", "guided-tour")),
+    AudienceBundle("curator", ("index",)),
+    AudienceBundle("tour-only", ("guided-tour",)),
+)

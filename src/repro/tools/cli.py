@@ -1,12 +1,15 @@
 """The ``repro.tools`` command-line interface.
 
-Four subcommands, all operating on the paper's museum (or a synthetic one
+Five subcommands, all operating on the paper's museum (or a synthetic one
 via ``--painters/--paintings``):
 
 - ``build`` — build the site under one architecture and write it to disk.
 - ``diff`` — apply the paper's change request and report the impact.
 - ``spec`` — print the navigation spec artifact for an access structure.
 - ``artifacts`` — write the Figures 7–9 artifacts (data XML + links.xml).
+- ``aop inspect`` — weave the navigation stack in a scoped runtime and
+  report every woven site, its dispatch tier, and the runtime's codegen
+  statistics (``--source Class.member`` dumps a generated wrapper).
 """
 
 from __future__ import annotations
@@ -15,9 +18,12 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.aop import WeaverRuntime
 from repro.baselines import TangledMuseumSite, museum_fixture, synthetic_museum
 from repro.core import (
+    NavigationAspect,
     NavigationSpec,
+    PageRenderer,
     build_woven_site,
     build_xlink_site,
     default_museum_spec,
@@ -81,11 +87,82 @@ def cmd_diff(args: argparse.Namespace) -> int:
             raise SystemExit(f"unknown mechanism {args.mechanism!r}")
     print(
         format_table(
-            ["approach", "authored files", "authored lines", "built files", "built lines"],
+            [
+                "approach",
+                "authored files",
+                "authored lines",
+                "built files",
+                "built lines",
+            ],
             [impact.row() for impact in impacts],
             title="Change impact: index -> indexed-guided-tour",
         )
     )
+    return 0
+
+
+def cmd_aop_inspect(args: argparse.Namespace) -> int:
+    """Weave the requested navigation stack and report what weaving did.
+
+    Deploys one :class:`NavigationAspect` per stacked access structure
+    into a scoped runtime (one transaction, one shadow scan of the
+    renderer), prints every woven site with its dispatch tier, then rolls
+    the whole set back — the renderer class leaves this command exactly as
+    it entered.
+    """
+    fixture = _fixture(args)
+    accesses = [a.strip() for a in args.stack.split(",") if a.strip()]
+    if not accesses:
+        raise SystemExit("aop inspect: --stack names no access structures")
+    runtime = WeaverRuntime("aop-inspect")
+    with runtime.transaction([PageRenderer]) as tx:
+        for access in accesses:
+            tx.add(NavigationAspect(default_museum_spec(access), fixture))
+        try:
+            sites = runtime.woven_sites()
+            print(
+                format_table(
+                    ["site", "kind", "tier", "aspect", "deployment"],
+                    [
+                        [
+                            site.signature,
+                            site.kind,
+                            site.tier,
+                            site.aspect,
+                            str(site.deployment_index),
+                        ]
+                        for site in sites
+                    ],
+                    title=f"Woven sites: {' + '.join(accesses)}",
+                )
+            )
+            stats = runtime.stats()
+            cache = stats["codegen_cache"]
+            print(
+                f"runtime {stats['name']!r}: {stats['deployments']} deployments, "
+                f"{stats['woven_sites']} woven sites, "
+                f"{stats['cflow_watchers']} cflow watchers"
+            )
+            print(
+                f"codegen cache: {cache['sources_compiled']} sources compiled, "
+                f"{cache['compile_hits']} shape hits, "
+                f"{cache['wrappers_built']} wrappers built"
+            )
+            if args.source:
+                for deployment in runtime.deployments:
+                    per = runtime.deployment_stats(deployment)
+                    source = per.codegen_sources.get(args.source)
+                    if source is not None:
+                        print(f"--- generated source for {args.source} ---")
+                        print(source, end="")
+                        break
+                else:
+                    raise SystemExit(
+                        f"aop inspect: no generated wrapper for {args.source!r} "
+                        "(dynamic-residue shadows stay generic)"
+                    )
+        finally:
+            tx.undeploy()
     return 0
 
 
@@ -113,7 +190,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Build, diff and inspect the museum site three ways.",
     )
     parser.add_argument("--painters", type=int, default=0, help="synthetic museum size")
-    parser.add_argument("--paintings", type=int, default=0, help="paintings per painter")
+    parser.add_argument(
+        "--paintings", type=int, default=0, help="paintings per painter"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     build = sub.add_parser("build", help="build a site and write it to disk")
@@ -138,6 +217,22 @@ def build_parser() -> argparse.ArgumentParser:
     artifacts.add_argument("--spec-file")
     artifacts.add_argument("--out", required=True)
     artifacts.set_defaults(fn=cmd_artifacts)
+
+    aop = sub.add_parser("aop", help="inspect the aspect-weaving runtime")
+    aop_sub = aop.add_subparsers(dest="aop_command", required=True)
+    inspect = aop_sub.add_parser(
+        "inspect", help="weave a navigation stack and report the woven sites"
+    )
+    inspect.add_argument(
+        "--stack",
+        default="index",
+        help="comma-separated access structures to stack (e.g. index,guided-tour)",
+    )
+    inspect.add_argument(
+        "--source",
+        help="dump the generated wrapper source for one site (Class.member)",
+    )
+    inspect.set_defaults(fn=cmd_aop_inspect)
     return parser
 
 

@@ -81,3 +81,35 @@ class TestArtifactsCommand:
         main(["artifacts", "--access", "indexed-guided-tour", "--out", str(out)])
         document = parse_file(str(out / "links.xml"))
         assert document.root_element.name.local == "links"
+
+
+class TestAopInspectCommand:
+    def test_reports_woven_sites_and_tiers(self, capsys):
+        from repro.core import PageRenderer
+
+        assert main(["aop", "inspect", "--stack", "index,guided-tour"]) == 0
+        out = capsys.readouterr().out
+        assert "PageRenderer.render_node" in out
+        assert "PageRenderer.render_home" in out
+        assert "NavigationAspect" in out
+        assert "codegen cache:" in out
+        assert "2 deployments" in out
+        # The inspection transaction unwound completely.
+        assert not hasattr(PageRenderer.render_node, "__woven__")
+
+    def test_dumps_generated_source(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_AOP_CODEGEN", "1")
+        assert main(
+            ["aop", "inspect", "--source", "PageRenderer.render_node"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "generated source for PageRenderer.render_node" in out
+        assert "def wrapper(self, *args, **kwargs):" in out
+
+    def test_unknown_source_site_fails(self):
+        with pytest.raises(SystemExit, match="no generated wrapper"):
+            main(["aop", "inspect", "--source", "PageRenderer.nope"])
+
+    def test_empty_stack_fails(self):
+        with pytest.raises(SystemExit, match="names no access structures"):
+            main(["aop", "inspect", "--stack", " , "])

@@ -186,3 +186,33 @@ class TestFailureInjection:
         # The try/finally in build_woven_site must have undeployed.
         assert not hasattr(PageRenderer.render_node, "__woven__")
         assert sum(len(p.anchors()) for p in build_plain_site(fixture).pages()) == 0
+
+
+class TestAudienceSites:
+    def test_each_audience_gets_its_stack(self, fixture):
+        from repro.core import build_audience_sites
+        from repro.navigation import DEFAULT_AUDIENCES, AudienceBundle
+
+        sites = build_audience_sites(fixture, DEFAULT_AUDIENCES)
+        assert set(sites) == {"visitor", "curator", "tour-only"}
+        # One <nav> block per stacked access structure.
+        assert sites["visitor"].page("index.html").html().count("<nav") == 2
+        assert sites["curator"].page("index.html").html().count("<nav") == 1
+        # Every audience's runtime unwound: the renderer is clean.
+        assert not hasattr(PageRenderer.render_node, "__woven__")
+        # And bundles must name at least one structure.
+        with pytest.raises(ValueError, match="stacks no structures"):
+            AudienceBundle("empty", ())
+
+    def test_prebuilt_specs_are_reused(self, fixture):
+        from repro.core import build_audience_sites
+        from repro.navigation import AudienceBundle
+
+        spec = default_museum_spec("indexed-guided-tour")
+        sites = build_audience_sites(
+            fixture,
+            [AudienceBundle("power-user", ("indexed-guided-tour",))],
+            specs_by_access={"indexed-guided-tour": spec},
+        )
+        page = sites["power-user"].page("PaintingNode/guitar.html").html()
+        assert 'rel="next"' in page
