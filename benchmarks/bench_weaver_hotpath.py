@@ -98,7 +98,7 @@ class LegacyWeaver(WeaverRuntime):
     """The seed weaver: per-call partitioning, filtering and frame pushes."""
 
     @staticmethod
-    def _make_method_wrapper(shadow, advice, *, track_frames=True):
+    def _make_method_wrapper(shadow, advice, scope=None):
         original = shadow.original
 
         @functools.wraps(original)
@@ -175,6 +175,17 @@ class AroundAspect(Aspect):
         return jp.proceed()
 
 
+class SecondBeforeAspect(Aspect):
+    """A second static before aspect, for stacked-deployment pricing."""
+
+    def __init__(self):
+        self.count = 0
+
+    @before("execution(Node.render)")
+    def note(self, jp):
+        self.count += 1
+
+
 class TargetedAspect(Aspect):
     """Carries a dynamic residue so both weavers take the filtering path."""
 
@@ -225,6 +236,47 @@ def bench_advised_call(weaver_cls, aspect_factory, *, codegen=False):
     with codegen_mode(codegen):
         deployment = weaver.deploy(aspect, [Node])
     node = Node()
+    try:
+        return time_call(node.render)
+    finally:
+        weaver.undeploy(deployment)
+
+
+def bench_stacked_advised_call(weaver_cls, *, codegen=False):
+    """Two static before aspects stacked on one shadow (two deployments).
+
+    Prices the wrapper-over-wrapper composition the audience scenarios
+    lean on: the outer deployment's wrapper proceeds into the inner one.
+    """
+    Node = fresh_node_class()
+    weaver = weaver_cls()
+    with codegen_mode(codegen):
+        first = weaver.deploy(BeforeAspect(), [Node])
+        second = weaver.deploy(SecondBeforeAspect(), [Node])
+    node = Node()
+    try:
+        return time_call(node.render)
+    finally:
+        weaver.undeploy(second)
+        weaver.undeploy(first)
+
+
+def bench_instance_scoped_call(*, scoped):
+    """Instance-scoped dispatch: the scoped chain, or unscoped passthrough.
+
+    Deploys a static before aspect scoped to one instance (codegen tier:
+    marker-attribute dispatch with exact-signature forwarding).  With
+    ``scoped`` the advised instance is timed — chain cost plus dispatch —
+    otherwise a *different* instance of the same class is timed through
+    the same wrapper: the near-plain passthrough every unscoped receiver
+    pays while any instance-scoped deployment is live on its class.
+    """
+    Node = fresh_node_class()
+    weaver = WeaverRuntime()
+    scoped_node, unscoped_node = Node(), Node()
+    with codegen_mode(True):
+        deployment = weaver.deploy(BeforeAspect(), [Node], instances=[scoped_node])
+    node = scoped_node if scoped else unscoped_node
     try:
         return time_call(node.render)
     finally:
@@ -440,6 +492,12 @@ def main():
         "call_dynamic_target_codegen_ns": bench_advised_call(
             WeaverRuntime, TargetedAspect, codegen=True
         ),
+        "call_stacked_before_legacy_ns": bench_stacked_advised_call(LegacyWeaver),
+        "call_stacked_before_codegen_ns": bench_stacked_advised_call(
+            WeaverRuntime, codegen=True
+        ),
+        "call_instance_scoped_before_ns": bench_instance_scoped_call(scoped=True),
+        "call_unscoped_passthrough_ns": bench_instance_scoped_call(scoped=False),
         "field_get_generic_ns": bench_field_access(codegen=False, write=False),
         "field_get_codegen_ns": bench_field_access(codegen=True, write=False),
         "field_set_generic_ns": bench_field_access(codegen=False, write=True),
@@ -465,6 +523,18 @@ def main():
         / results["call_dynamic_target_compiled_ns"],
         "dynamic_target_codegen": results["call_dynamic_target_legacy_ns"]
         / results["call_dynamic_target_codegen_ns"],
+        "stacked_before_codegen": results["call_stacked_before_legacy_ns"]
+        / results["call_stacked_before_codegen_ns"],
+        # The seed had no instance scoping: getting per-instance advice
+        # meant weaving the class, so the class-wide legacy advised call
+        # is the honest baseline for the scoped chain.
+        "instance_scoped_before": results["call_static_before_legacy_ns"]
+        / results["call_instance_scoped_before_ns"],
+        # < 1 by design: this series prices the dispatch *overhead* an
+        # unscoped instance pays (plain-call time over passthrough time);
+        # committing it gates the passthrough against regressions.
+        "instance_unscoped_passthrough": results["call_plain_ns"]
+        / results["call_unscoped_passthrough_ns"],
         # The field and scan baselines are the *generic/seed* in-process
         # paths (the pre-codegen descriptor chain, the dir()+getattr_static
         # scan), so these ratios self-normalize like the rest.
@@ -524,6 +594,16 @@ def main():
                 file=sys.stderr,
             )
             failed = True
+    passthrough_ratio = (
+        results["call_unscoped_passthrough_ns"] / results["call_plain_ns"]
+    )
+    if passthrough_ratio > 3.0:
+        print(
+            "WARNING: unscoped-instance passthrough is "
+            f"{passthrough_ratio:.2f}x a plain call (target: <= 3x)",
+            file=sys.stderr,
+        )
+        failed = True
     return 1 if failed else 0
 
 

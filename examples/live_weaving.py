@@ -7,6 +7,13 @@ navigation spec between two requests changes what the *next* page shows.
 The landmark aspect is composed on top, showing two navigation concerns
 woven independently.
 
+The second act serves **two audiences at once** from one live process:
+an :class:`AudienceServer` weaves one renderer *instance* per audience
+(instance-scoped deployments over the shared ``PageRenderer`` class), so
+a visitor browsing the guided tour and a curator browsing the bare index
+get different navigation from the same base program, concurrently — and
+reconfiguring one audience leaves the other's pages untouched.
+
 Run:  python examples/live_weaving.py
 """
 
@@ -19,7 +26,7 @@ from repro.core import (
     default_museum_landmarks,
     default_museum_spec,
 )
-from repro.navigation import UserAgent
+from repro.navigation import AudienceBundle, AudienceServer, UserAgent
 
 
 def main() -> None:
@@ -59,6 +66,41 @@ def main() -> None:
     print("\nafter undeploy, the base program renders no anchors:")
     plain = PageRenderer(fixture).render_node(fixture.painting_node("guitar"))
     print("  anchors:", plain.anchors())
+
+    serve_two_audiences(fixture)
+
+
+def serve_two_audiences(fixture) -> None:
+    """Two audiences, one live process, one woven renderer class."""
+    print("\n== serving two audiences live (instance-scoped weaving) ==\n")
+    bundles = [
+        AudienceBundle("visitor", ("index", "guided-tour")),
+        AudienceBundle("curator", ("index",)),
+    ]
+    with AudienceServer(fixture, bundles) as server:
+        visitor = UserAgent(server.provider("visitor"))
+        curator = UserAgent(server.provider("curator"))
+
+        # Interleaved requests; each audience sees only its own stack.
+        visitor_page = visitor.open("PaintingNode/guitar.html")
+        curator_page = curator.open("PaintingNode/guitar.html")
+        print("visitor sees Guitar with:")
+        for anchor in visitor_page.anchors:
+            print(f"  [{anchor.rel:9}] {anchor.label}")
+        print("curator sees the same page with:")
+        for anchor in curator_page.anchors:
+            print(f"  [{anchor.rel:9}] {anchor.label}")
+
+        print("\n-- the curators want the tour too; visitors unchanged --\n")
+        server.reconfigure("curator", ("indexed-guided-tour",))
+        print("curator's next request follows the tour:")
+        print("  next ->", curator.open("PaintingNode/guitar.html").uri, end="")
+        print(" ->", curator.follow_rel("next").uri)
+        print("visitor still sees", len(visitor.open(visitor_page.uri).anchors),
+              "anchors (unchanged)")
+
+    plain = PageRenderer(fixture).render_node(fixture.painting_node("guitar"))
+    print("\nserver closed; the base program renders no anchors:", plain.anchors())
 
 
 if __name__ == "__main__":

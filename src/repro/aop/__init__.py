@@ -73,6 +73,7 @@ from .pointcut import (
 from .weaver import (
     CompiledChain,
     Deployment,
+    InstanceScope,
     ShadowIndex,
     method_shadows,
     run_advice_chain,
@@ -107,6 +108,7 @@ __all__ = [
     "DeploymentSet",
     "DeploymentStats",
     "FluentAspect",
+    "InstanceScope",
     "Introduction",
     "IntroductionError",
     "JoinPoint",

@@ -57,6 +57,8 @@ like the rest of the runtime state.
 from __future__ import annotations
 
 import functools
+import inspect
+import keyword
 import os
 from typing import Any, Callable, Sequence
 
@@ -71,6 +73,17 @@ from .joinpoint import (
 )
 
 _FILENAME = "<repro.aop.codegen>"
+
+#: Scope-marker class default while any cflow watcher is live in a runtime
+#: using the marker's class.  The scoped dispatch templates read the marker
+#: with ONE attribute load: ``None`` means "unscoped receiver, no watcher —
+#: call the original plain", this sentinel means "unscoped receiver but
+#: frames are observable — take the slow path", and anything else is the
+#: owning scope (a member instance's stamp).  The weaver's marker-default
+#: board flips installed defaults between ``None`` and this object on
+#: watcher-count transitions, which is what keeps the passthrough at a
+#: single load instead of marker *plus* watcher reads per call.
+WATCHED = object()
 
 #: Free-list cap mirrored into generated release blocks (keep in sync with
 #: :class:`JoinPointPool`'s default).
@@ -273,6 +286,194 @@ def _chain_lines(
 # -- method wrappers -----------------------------------------------------------
 
 
+#: Parameter names the wrapper templates use themselves; an original whose
+#: signature collides falls back to the ``*args, **kwargs`` packing shape.
+_RESERVED_PARAM_NAMES = frozenset(
+    {
+        "self",
+        "jp",
+        "result",
+        "exc",
+        "value",
+        "a",
+        "k",
+        "pjp",
+        "pjp0",
+        "wrapper",
+        "type",
+        "id",
+        "len",
+        "dict",
+        "Exception",
+        "IndexError",
+        "AttributeError",
+    }
+)
+
+
+def _render_signature(original: Callable):
+    """Re-render *original*'s parameter list for an exact-signature wrapper.
+
+    Returns ``(params_src, forward_src, args_tuple_src, bindings)`` — the
+    wrapper's parameter list, the argument list forwarding a passthrough
+    call, the source of the positional-args tuple the chain binds as
+    ``jp.args``, and default-value factory bindings — or ``None`` when the
+    signature cannot be reproduced faithfully (varargs, keyword-only or
+    positional-only parameters, reserved/private names), in which case the
+    caller falls back to ``*args, **kwargs`` packing.  The receiver is
+    always rendered as ``self``, whatever the original calls it.
+    """
+    try:
+        signature = inspect.signature(original)
+    except (TypeError, ValueError):
+        return None
+    params = list(signature.parameters.values())
+    if not params:
+        return None
+    names: list[str] = []
+    pieces: list[str] = []
+    bindings: dict[str, Any] = {}
+    for index, param in enumerate(params):
+        if param.kind is not inspect.Parameter.POSITIONAL_OR_KEYWORD:
+            return None
+        if index == 0:
+            continue  # the receiver
+        name = param.name
+        if (
+            name.startswith("_")
+            or name in _RESERVED_PARAM_NAMES
+            or keyword.iskeyword(name)
+            or not name.isidentifier()
+        ):
+            return None
+        if param.default is inspect.Parameter.empty:
+            pieces.append(name)
+        else:
+            binding = f"_dflt{index}"
+            bindings[binding] = param.default
+            pieces.append(f"{name}={binding}")
+        names.append(name)
+    params_src = ", ".join(["self", *pieces])
+    forward_src = ", ".join(["self", *names])
+    args_tuple_src = "(" + "".join(f"{name}, " for name in names) + ")"
+    return params_src, forward_src, args_tuple_src, bindings
+
+
+def _scoped_static_source(
+    advice: Sequence[Advice],
+    marker: str | None,
+    sig,
+) -> tuple[str, list[str]]:
+    """Source for an instance-scoped dispatch wrapper (fully-static chain).
+
+    The wrapper is the shadow's *router*: one membership test sends
+    unscoped receivers straight to ``_original`` (a near-plain fast path —
+    with *marker* dispatch and a renderable signature, a watcher read, an
+    attribute load and a plain call), and scoped receivers into the same
+    pooled inlined chain a class-wide generated wrapper runs.  ``marker``
+    is the scope's instance-marker attribute name (None = id dispatch
+    over the bound ``_scope_ids`` set); ``sig`` is
+    :func:`_render_signature`'s rendering of the original (None =
+    ``*args, **kwargs`` packing).
+
+    Frames stay observable while cflow watchers are live — for *every*
+    call through the shadow, unscoped receivers included, exactly like a
+    class-wide woven shadow (the slow path re-tests membership under the
+    pushed frame).  Marker dispatch pays for that with a single load: the
+    class default the weaver installs for the marker flips between
+    ``None`` (no watcher — plain passthrough) and :data:`WATCHED` on
+    watcher transitions, so only the scoped branch ever reads
+    ``_watchers.count``.  Id dispatch (no marker) reads the count first
+    instead.
+
+    With a renderable signature, the join point observes the call in
+    canonical positional form: ``jp.args`` holds every bound parameter
+    (defaults filled in, keywords bound) and ``jp.kwargs`` is empty —
+    the AspectJ-style normalization a compiled shadow signature implies.
+    The packing shape (and the generic tier) keep the caller's raw
+    args/kwargs split.
+    """
+    arounds = _by_kind(advice, AdviceKind.AROUND)
+    params = ["_original", "_watchers", "_slow", "_free", "_blank"]
+    if marker is None:
+        params.append("_scope_ids")
+    else:
+        params.append("_watched")
+    if sig is not None:
+        params_src, forward_src, args_tuple_src, bindings = sig
+        params.extend(sorted(bindings))
+        run_params_src = forward_src  # defaults already bound by wrapper
+    else:
+        params_src = "self, *args, **kwargs"
+        forward_src = "self, *args, **kwargs"
+        args_tuple_src = None
+        run_params_src = "self, *args, **kwargs"
+    if arounds:
+        params.append("_for_chain")
+    params.extend(_advice_params("_", advice))
+
+    if sig is not None:
+        slow_call = f"_slow(self, {args_tuple_src}, {{}})"
+    else:
+        slow_call = "_slow(self, args, kwargs)"
+
+    body: list[str] = []
+    body.append(f"def _factory({', '.join(params)}):")
+    # The chain lives in its own function: a CPython call initializes
+    # frame space for every local and cell the code object declares, so
+    # folding the chain into the dispatcher would tax the unscoped
+    # passthrough for locals it never touches (~10 ns — a third of a
+    # plain call).  The scoped branch pays one extra call instead.
+    body.append(f"    def _run({run_params_src}):")
+    if marker is not None:
+        body.append(f"        if _watchers.count or self.{marker} is _watched:")
+    else:
+        body.append("        if _watchers.count:")
+    body.append(f"            return {slow_call}")
+    body.extend(_acquire_lines("        ", "_free", "_blank"))
+    body.append("        jp.target = self")
+    body.append("        jp.cls = type(self)")
+    if sig is not None:
+        body.append(f"        jp.args = {args_tuple_src}")
+        body.append("        jp.kwargs = {}")
+    else:
+        body.append("        jp.args = args")
+        body.append("        jp.kwargs = kwargs")
+    # Always proceed from jp.args/jp.kwargs (not the _run locals): a
+    # before advice that rewrites jp.args must steer the call, exactly as
+    # it does through the generic chain and the class-wide template.
+    call_lines = ("result = _original(self, *jp.args, **jp.kwargs)",)
+    body.append("        try:")
+    body.extend(
+        _chain_lines(
+            "_",
+            advice,
+            "            ",
+            [
+                "def _p(*a, **k):",
+                "    return _original(self, *a, **k)",
+            ],
+            call_lines,
+        )
+    )
+    body.append("        finally:")
+    body.extend(_release_lines("            ", "_free"))
+    body.append("")
+    body.append(f"    def wrapper({params_src}):")
+    if marker is not None:
+        body.append(f"        if self.{marker} is None:")
+        body.append(f"            return _original({forward_src})")
+        body.append(f"        return _run({forward_src})")
+    else:
+        body.append("        if id(self) not in _scope_ids:")
+        body.append("            if _watchers.count:")
+        body.append(f"                return {slow_call}")
+        body.append(f"            return _original({forward_src})")
+        body.append(f"        return _run({forward_src})")
+    body.append("    return wrapper")
+    return "\n".join(body) + "\n", params
+
+
 def _static_source(advice: Sequence[Advice]) -> tuple[str, list[str]]:
     """Source + advice-binding parameter names for a fully-static chain."""
     arounds = _by_kind(advice, AdviceKind.AROUND)
@@ -336,6 +537,46 @@ def _make_slow_path(original: Callable, name: str, chain: Callable) -> Callable:
     return slow
 
 
+def _make_scoped_slow_path(
+    original: Callable, name: str, chain: Callable, scope: Any, marker: str | None
+) -> Callable:
+    """The frame-pushing fallback a scoped wrapper takes under cflow watch.
+
+    Every call through the shadow pushes an observable frame while any
+    watcher is live — unscoped receivers too, exactly like a class-wide
+    woven shadow — and membership is re-tested under the frame to route
+    scoped receivers into the chain.  The re-test mirrors the fast path's
+    *dispatch semantics*: a marker wrapper follows the instance stamp
+    (so e.g. a ``copy.copy`` of a member, which carries the stamp, is
+    advised consistently whether or not a watcher is live), an id
+    wrapper follows the scope's id set.
+    """
+    ids = scope.ids
+
+    def slow(self: Any, args: tuple, kwargs: dict) -> Any:
+        jp = JoinPoint(
+            JoinPointKind.METHOD_EXECUTION, self, type(self), name, args, kwargs
+        )
+        token = push_frame(jp)
+        try:
+            if marker is not None:
+                stamp = getattr(self, marker, None)
+                member = stamp is not None and stamp is not WATCHED
+            else:
+                member = id(self) in ids
+            if not member:
+                return original(self, *args, **kwargs)
+
+            def proceed(*call_args: Any, **call_kwargs: Any) -> Any:
+                return original(self, *call_args, **call_kwargs)
+
+            return chain(jp, proceed)
+        finally:
+            pop_frame(token)
+
+    return slow
+
+
 def generate_method_wrapper(
     original: Callable,
     name: str,
@@ -344,6 +585,7 @@ def generate_method_wrapper(
     watchers: Any,
     *,
     cache: CodegenCache | None = None,
+    scope: Any = None,
 ) -> Callable:
     """A specialized wrapper for one fully-static method shadow.
 
@@ -359,11 +601,18 @@ def generate_method_wrapper(
     owning runtime's live cflow-watcher counter; *cache* its compile
     cache.  The caller guarantees *advice* is non-empty and residue-free,
     and stamps ``__woven__``/``__woven_original__`` metadata.
+
+    With an :class:`~repro.aop.weaver.InstanceScope`, the generated
+    wrapper is the shadow's dispatch: unscoped receivers take a near-plain
+    passthrough (marker-attribute test + exact-signature forwarding when
+    possible), scoped receivers run the inlined chain.  A marker-dispatch
+    wrapper advertises its marker attribute on ``__scope_marker__`` so the
+    deployment registers the class-level default on the weaver's
+    marker-default board (which flips it with cflow-watcher state).
     """
     if cache is None:
         cache = default_cache
     pool = JoinPointPool(JoinPointKind.METHOD_EXECUTION, name, cap=_POOL_CAP)
-    source, params = _static_source(advice)
     bindings = {
         "_original": original,
         "_free": pool.free,
@@ -371,6 +620,22 @@ def generate_method_wrapper(
         "_watchers": watchers,
         "_slow": _make_slow_path(original, name, selector.full_chain),
     }
+    marker = None
+    if scope is None:
+        source, params = _static_source(advice)
+    else:
+        marker = scope.attr if scope.markable else None
+        sig = _render_signature(original)
+        source, params = _scoped_static_source(advice, marker, sig)
+        if sig is not None:
+            bindings.update(sig[3])
+        if marker is None:
+            bindings["_scope_ids"] = scope.ids
+        else:
+            bindings["_watched"] = WATCHED
+        bindings["_slow"] = _make_scoped_slow_path(
+            original, name, selector.full_chain, scope, marker
+        )
     if "_for_chain" in params:
         bindings["_for_chain"] = ProceedingJoinPoint.for_chain
     _bind_advice("_", advice, bindings)
@@ -378,8 +643,15 @@ def generate_method_wrapper(
 
     source = wrapper.__codegen_source__
     functools.update_wrapper(wrapper, original)
+    # update_wrapper merged the original's __dict__ — when the original is
+    # itself a woven wrapper (stacked deployments), its introspection
+    # attrs describe *it*, not this wrapper.
+    wrapper.__dict__.pop("__scope_marker__", None)
+    wrapper.__dict__.pop("__woven_scope__", None)
     wrapper.__codegen_source__ = source
     wrapper.__joinpoint_pool__ = pool
+    if marker is not None:
+        wrapper.__scope_marker__ = marker
     return wrapper
 
 

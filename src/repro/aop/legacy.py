@@ -69,11 +69,16 @@ def deploy(
     *,
     fields: Iterable[str] = (),
     require_match: bool = True,
+    instances=None,
 ) -> Deployment:
     """Deprecated: deploy on the default runtime (see :meth:`WeaverRuntime.deploy`)."""
     _deprecated("deploy()", "WeaverRuntime.deploy() / default_runtime.deploy()")
     return default_runtime.deploy(
-        aspect, targets, fields=fields, require_match=require_match
+        aspect,
+        targets,
+        fields=fields,
+        require_match=require_match,
+        instances=instances,
     )
 
 

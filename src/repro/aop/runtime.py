@@ -44,10 +44,13 @@ from .errors import WeavingError
 from .joinpoint import JoinPointKind
 from .weaver import (
     Deployment,
+    InstanceScope,
     ShadowIndex,
     _BatchScans,
     _cflow_watchers,
+    _marker_defaults,
     _MISSING,
+    _release_marker_state,
     _rollback_partial_weave,
     _WatcherCount,
     _WovenField,
@@ -121,6 +124,7 @@ class WeaverRuntime:
         *,
         fields: Iterable[str] = (),
         require_match: bool = True,
+        instances: "Iterable[Any] | InstanceScope | None" = None,
         _scans: _BatchScans | None = None,
     ) -> Deployment:
         """Weave *aspect* into *targets*.
@@ -130,14 +134,36 @@ class WeaverRuntime:
         interception is opt-in).  With *require_match*, deploying an aspect
         that matches nothing raises — almost always a pointcut typo.
 
+        ``instances`` narrows the deployment to an *instance scope*: the
+        woven members become per-shadow dispatchers that run advice only
+        for receivers in the scope (an iterable of instances, or a shared
+        :class:`~repro.aop.weaver.InstanceScope`), while every other
+        instance falls through to the previous member near-plain.  Scoped
+        deployments stack with class-wide ones in deployment order (a
+        class-wide chain deployed later wraps the instance dispatch) and
+        unwind LIFO like any other deployment.  Aspects carrying
+        introductions cannot be instance-scoped — introductions graft
+        class members.
+
         ``_scans`` is a :class:`DeploymentSet` batch's shared scan view;
         single deployments read this runtime's shadow index directly.
         """
         aspect.validate()
         advice = sorted(aspect.advice(), key=lambda a: a.order)
         targets = list(targets)
+        scope = InstanceScope.resolve(instances)
+        introductions = list(aspect.introductions())
+        if scope is not None and introductions:
+            raise WeavingError(
+                f"aspect {type(aspect).__name__} declares introductions, "
+                "which graft class members and cannot be instance-scoped; "
+                "deploy it class-wide instead"
+            )
         deployment = Deployment(
-            aspect=aspect, _index=self._shadow_index, _watchers=self._watchers
+            aspect=aspect,
+            scope=scope,
+            _index=self._shadow_index,
+            _watchers=self._watchers,
         )
         scans = _scans if _scans is not None else self._shadow_index
         index = self._shadow_index
@@ -161,7 +187,7 @@ class WeaverRuntime:
 
         try:
             intro_touched: set[type] = set()
-            for introduction in aspect.introductions():
+            for introduction in introductions:
                 for cls in targets:
                     applied = introduction.apply(cls)
                     if applied is not None:
@@ -230,8 +256,18 @@ class WeaverRuntime:
                         field_plan.append((cls, field_name, getters, setters))
 
             touched: set[type] = set()
+            marker_classes: set[type] = set()
             for shadow, matching in method_plan:
-                wrapper = self._make_method_wrapper(shadow, matching)
+                wrapper = self._make_method_wrapper(shadow, matching, scope)
+                marker = getattr(wrapper, "__scope_marker__", None)
+                if marker is not None and shadow.cls not in marker_classes:
+                    # Marker dispatch reads `self.<marker>`; unscoped
+                    # instances must find the class-level default, which
+                    # the marker-default board owns (it flips it between
+                    # None and WATCHED on cflow-watcher transitions).
+                    marker_classes.add(shadow.cls)
+                    _marker_defaults.register(shadow.cls, marker, self._watchers)
+                    deployment._marker_sites.append((shadow.cls, marker))
                 previous = shadow.cls.__dict__.get(shadow.name, _MISSING)
                 setattr(shadow.cls, shadow.name, wrapper)
                 touched.add(shadow.cls)
@@ -252,12 +288,17 @@ class WeaverRuntime:
                     default,
                     watchers=self._watchers,
                     codegen_cache=self._codegen_cache,
+                    scope=scope,
                 )
                 setattr(cls, field_name, descriptor)
                 touched.add(cls)
                 deployment.members.append(
                     _WovenMember(cls, field_name, descriptor, previous)
                 )
+
+            if marker_classes:
+                scope._acquire_markers()
+                deployment._holds_markers = True
 
             for cls in touched | intro_touched:
                 woven_token = index.invalidate(cls)
@@ -297,17 +338,20 @@ class WeaverRuntime:
             _rollback_partial_weave(deployment, index)
             raise
         if inner_pointcuts:
-            self._watchers.count += 1
+            self._watchers.watch()
             deployment._tracks_cflow = True
         self._deployments.append(deployment)
         return deployment
 
-    def _make_method_wrapper(self, shadow, advice: list[Advice]):
+    def _make_method_wrapper(
+        self, shadow, advice: list[Advice], scope: InstanceScope | None = None
+    ):
         return make_method_wrapper(
             shadow,
             advice,
             watchers=self._watchers,
             codegen_cache=self._codegen_cache,
+            scope=scope,
         )
 
     def transaction(
@@ -387,8 +431,9 @@ class WeaverRuntime:
                 index.restore_after_revert(
                     cls, snapshot, woven_token=woven_token, pre_token=pre_token
                 )
+        _release_marker_state(deployment)
         if deployment._tracks_cflow:
-            watchers.count -= 1
+            watchers.unwatch()
             deployment._tracks_cflow = False
         deployment.active = False
 
@@ -410,7 +455,9 @@ class WeaverRuntime:
         for position, deployment in enumerate(self.deployments):
             aspect_name = type(deployment.aspect).__name__
             for member in deployment.members:
-                sites.append(_describe_member(member, aspect_name, position))
+                sites.append(
+                    _describe_member(member, aspect_name, position, deployment.scope)
+                )
             for applied in deployment.introductions:
                 sites.append(
                     WovenSite(
@@ -449,6 +496,7 @@ class WeaverRuntime:
             for pool in pools:
                 pooled += 1
                 pool_free += len(pool.free)
+        scope = deployment.scope
         return DeploymentStats(
             aspect=type(deployment.aspect).__name__,
             active=deployment.active,
@@ -458,6 +506,7 @@ class WeaverRuntime:
             codegen_sources=codegen_sources,
             pools=pooled,
             pooled_joinpoints_free=pool_free,
+            scope_instances=len(scope) if scope is not None else None,
         )
 
     def stats(self) -> dict[str, Any]:
@@ -469,6 +518,7 @@ class WeaverRuntime:
         return {
             "name": self.name,
             "deployments": len(self.deployments),
+            "instance_scoped": sum(1 for d in self.deployments if d.scope is not None),
             "woven_sites": len(sites),
             "tiers": tiers,
             "cflow_watchers": self._watchers.count,
@@ -491,6 +541,13 @@ class WovenSite:
     deployment_index: int
     #: Line count of the generated wrapper source (codegen tiers only).
     codegen_lines: int | None = None
+    #: Live instance count of the deployment's scope (None = class-wide).
+    scope_instances: int | None = None
+
+    @property
+    def scoped(self) -> bool:
+        """Whether this site belongs to an instance-scoped deployment."""
+        return self.scope_instances is not None
 
     @property
     def signature(self) -> str:
@@ -510,9 +567,16 @@ class DeploymentStats:
     codegen_sources: dict[str, str]
     pools: int
     pooled_joinpoints_free: int
+    #: Live instance count of the deployment's scope (None = class-wide).
+    scope_instances: int | None = None
 
 
-def _describe_member(member: _WovenMember, aspect: str, position: int) -> WovenSite:
+def _describe_member(
+    member: _WovenMember,
+    aspect: str,
+    position: int,
+    scope: InstanceScope | None = None,
+) -> WovenSite:
     installed = member.installed
     source = getattr(installed, "__codegen_source__", None)
     lines = source.count("\n") if isinstance(source, str) else None
@@ -535,6 +599,7 @@ def _describe_member(member: _WovenMember, aspect: str, position: int) -> WovenS
         aspect=aspect,
         deployment_index=position,
         codegen_lines=lines,
+        scope_instances=len(scope) if scope is not None else None,
     )
 
 
@@ -547,6 +612,9 @@ class _SetEntry:
     fields: tuple[str, ...]
     require_match: bool
     deployment: Deployment
+    #: The resolved instance scope (None = class-wide).  Survivor
+    #: re-weaves pass the *same* scope object, so membership persists.
+    scope: InstanceScope | None = None
 
 
 class DeploymentSet:
@@ -607,12 +675,16 @@ class DeploymentSet:
         *,
         fields: Iterable[str] | None = None,
         require_match: bool = True,
+        instances: "Iterable[Any] | InstanceScope | None" = None,
     ) -> Deployment:
         """Weave one more aspect into the set (immediately, but revocably).
 
         ``targets``/``fields`` default to the set's; the deployment plans
         through the set's shared scan view, so stacking N aspects over the
-        same classes costs one real scan per class total.
+        same classes costs one real scan per class total.  ``instances``
+        narrows the deployment to an instance scope exactly as in
+        :meth:`WeaverRuntime.deploy`; a partial :meth:`undeploy` re-weaves
+        surviving scoped deployments with their original scope objects.
         """
         if targets is None:
             if self._default_targets is None:
@@ -622,11 +694,13 @@ class DeploymentSet:
                 )
             targets = self._default_targets
         resolved_fields = self._default_fields if fields is None else tuple(fields)
+        scope = InstanceScope.resolve(instances)
         deployment = self._runtime.deploy(
             aspect,
             targets,
             fields=resolved_fields,
             require_match=require_match,
+            instances=scope,
             _scans=self._batch,
         )
         self._entries.append(
@@ -636,6 +710,7 @@ class DeploymentSet:
                 fields=resolved_fields,
                 require_match=require_match,
                 deployment=deployment,
+                scope=scope,
             )
         )
         return deployment
@@ -668,7 +743,7 @@ class DeploymentSet:
                 # back to the forgiving unwind and keep rolling back.
                 _rollback_partial_weave(deployment, index)
                 if deployment._tracks_cflow:
-                    watchers.count -= 1
+                    watchers.unwatch()
                     deployment._tracks_cflow = False
                 deployment.active = False
         self._entries.clear()
@@ -715,6 +790,7 @@ class DeploymentSet:
                 entry.targets,
                 fields=entry.fields,
                 require_match=entry.require_match,
+                instances=entry.scope,
                 _scans=self._batch,
             )
 

@@ -31,6 +31,7 @@ wrappers (advice partitioned by kind once, around-nesting precomputed).
 from __future__ import annotations
 
 import functools
+import itertools
 import weakref
 from dataclasses import dataclass, field
 from types import FunctionType
@@ -519,12 +520,93 @@ class _WatcherCount:
     wrappers (whose globals are their own exec namespace, not this
     module's) can bind it as a free variable and still observe updates —
     rebinding a module-level int would leave them reading a stale value.
+
+    Cflow deployments raise/lower the count through :meth:`watch` /
+    :meth:`unwatch`, which also flip every registered scope-marker class
+    default between ``None`` and :data:`codegen.WATCHED` on 0↔1
+    transitions — that flip is what lets marker-dispatched scoped
+    wrappers route unscoped receivers with a single attribute load while
+    staying frame-correct under cflow observation.
     """
 
     __slots__ = ("count",)
 
     def __init__(self) -> None:
         self.count = 0
+
+    def watch(self) -> None:
+        """A cflow-carrying deployment went live."""
+        self.count += 1
+        if self.count == 1:
+            _marker_defaults.refresh(self)
+
+    def unwatch(self) -> None:
+        """A cflow-carrying deployment unwound."""
+        self.count -= 1
+        if self.count == 0:
+            _marker_defaults.refresh(self)
+
+
+class _MarkerDefaults:
+    """Process-wide registry of scope-marker class defaults.
+
+    A marker-dispatched scoped wrapper reads ``self.<marker>`` once per
+    call; the *class-level* default it falls back to for unscoped
+    receivers is owned here, not by any deployment: ``None`` while no
+    registered watcher count is live (fast passthrough) and
+    :data:`codegen.WATCHED` while one is (frames must be pushed, so the
+    wrapper takes its slow path).  Sites are refcounted per
+    ``(class, attr)`` — several deployments (even across runtimes) may
+    dispatch through one scope's marker — and the default is recomputed
+    over *every* watcher object registered on the site, so a runtime
+    sharing a scope with a cflow-watching runtime degrades to the slow
+    (correct) path rather than skipping frames.  Classes are held weakly.
+    """
+
+    def __init__(self) -> None:
+        self._by_class: (
+            "weakref.WeakKeyDictionary[type, dict[str, list]]"
+        ) = weakref.WeakKeyDictionary()
+
+    def _value(self, watcher_set: set) -> Any:
+        return codegen.WATCHED if any(w.count for w in watcher_set) else None
+
+    def register(self, cls: type, attr: str, watchers: _WatcherCount) -> None:
+        """One more deployment dispatches through ``cls.<attr>``."""
+        sites = self._by_class.setdefault(cls, {})
+        entry = sites.get(attr)
+        if entry is None:
+            entry = sites[attr] = [0, set()]
+        entry[0] += 1
+        entry[1].add(watchers)
+        setattr(cls, attr, self._value(entry[1]))
+
+    def unregister(self, cls: type, attr: str) -> None:
+        """A dispatching deployment unwound; drop the default at zero."""
+        sites = self._by_class.get(cls)
+        if sites is None:
+            return
+        entry = sites.get(attr)
+        if entry is None:
+            return
+        entry[0] -= 1
+        if entry[0] <= 0:
+            del sites[attr]
+            try:
+                delattr(cls, attr)
+            except AttributeError:
+                pass
+
+    def refresh(self, watchers: _WatcherCount) -> None:
+        """A watcher transition: recompute the sites *watchers* is on."""
+        for cls, sites in list(self._by_class.items()):
+            for attr, (_, watcher_set) in list(sites.items()):
+                if watchers in watcher_set:
+                    setattr(cls, attr, self._value(watcher_set))
+
+
+#: The marker-default board (see :class:`_MarkerDefaults`).
+_marker_defaults = _MarkerDefaults()
 
 
 #: The default runtime's cflow-watcher count: active deployments — across
@@ -538,6 +620,166 @@ class _WatcherCount:
 #: possibly observe it.  Scoped runtimes own their own count — that is the
 #: isolation the runtime API promises.
 _cflow_watchers = _WatcherCount()
+
+
+# -- instance scopes ----------------------------------------------------------
+
+
+class InstanceScope:
+    """A weakref-keyed set of instances one deployment's advice covers.
+
+    Weaving rewrites *classes*; an instance scope narrows a deployment so
+    its advice fires only for calls whose receiver is a member of the
+    scope — every other instance falls straight through to the member the
+    class had before this deployment wove (a near-plain fast path).  The
+    scope never pins its members: each is held by a weakref whose callback
+    drops the entry, so an instance that dies simply leaves the scope.
+
+    Dispatch membership is tested one of two ways:
+
+    - **marker dispatch** (the codegen tier, when every member has a
+      ``__dict__``): the scope owns a unique marker attribute name; the
+      deployment registers a class default for it (on the
+      :class:`_MarkerDefaults` board, which flips it with cflow-watcher
+      state) and stamps each member instance with an instance-dict
+      entry, so the generated wrapper's test is a single attribute load.
+      Markers exist only while marker-dispatched deployments are live
+      (acquire/release below) and die with the deployment — or with the
+      instance.  The stamp *is* the dispatch: copying a member instance
+      copies its ``__dict__`` stamp, so the copy is advised until
+      :meth:`discard` strips it (or :meth:`add` adopts it).
+    - **id dispatch** (the generic tier, ``__slots__`` members,
+      unrenderable signatures): ``id(obj)`` membership in a live set the
+      weakref callbacks keep honest.
+
+    Scopes are mutable (``add``/``discard``) and shared freely across
+    deployments — a :class:`~repro.aop.runtime.DeploymentSet` partial
+    undeploy re-weaves survivors with their original scope objects, so
+    membership survives the re-weave untouched.
+    """
+
+    _counter = itertools.count(1)
+
+    __slots__ = ("attr", "markable", "_ids", "_refs", "_pinned", "_marker_users")
+
+    def __init__(self, instances: Iterable[Any] = ()) -> None:
+        #: The marker attribute name (unique per scope, never reused).
+        self.attr = f"_aop_scope_{next(InstanceScope._counter)}"
+        #: Whether every member can carry the instance marker.
+        self.markable = True
+        self._ids: set[int] = set()
+        self._refs: dict[int, weakref.ref] = {}
+        #: Members that cannot be weakly referenced (``__slots__`` without
+        #: ``__weakref__``): pinned strongly until discarded.
+        self._pinned: dict[int, Any] = {}
+        self._marker_users = 0
+        for obj in instances:
+            self.add(obj)
+
+    @classmethod
+    def resolve(
+        cls, instances: "Iterable[Any] | InstanceScope | None"
+    ) -> "InstanceScope | None":
+        """Coerce a deploy-time ``instances=`` argument to a scope (or None)."""
+        if instances is None:
+            return None
+        if isinstance(instances, InstanceScope):
+            return instances
+        return cls(instances)
+
+    def __repr__(self) -> str:
+        return f"<InstanceScope {self.attr} ({len(self._ids)} instances)>"
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, obj: Any) -> bool:
+        return id(obj) in self._ids
+
+    @property
+    def ids(self) -> set[int]:
+        """The live member-id set (the object id-dispatch wrappers gate on)."""
+        return self._ids
+
+    def instances(self) -> list[Any]:
+        """The scope's live members (weakrefs dereferenced)."""
+        return self._live_members()
+
+    def add(self, obj: Any) -> None:
+        """Admit *obj* to the scope (idempotent, effective immediately)."""
+        oid = id(obj)
+        if oid in self._ids:
+            return
+        if not hasattr(obj, "__dict__"):
+            if self._marker_users:
+                raise WeavingError(
+                    f"cannot add a {type(obj).__name__!r} instance (no "
+                    "__dict__) to a marker-dispatched scope; undeploy and "
+                    "redeploy to switch the scope to id dispatch"
+                )
+            self.markable = False
+        ids, refs = self._ids, self._refs
+
+        def _drop(_ref: weakref.ref, oid: int = oid) -> None:
+            ids.discard(oid)
+            refs.pop(oid, None)
+
+        try:
+            refs[oid] = weakref.ref(obj, _drop)
+        except TypeError:
+            # No __weakref__ slot: pin strongly (id reuse after an
+            # untracked death would otherwise scope a stranger).
+            self._pinned[oid] = obj
+        ids.add(oid)
+        if self._marker_users and self.markable:
+            setattr(obj, self.attr, self)
+
+    def discard(self, obj: Any) -> None:
+        """Remove *obj* from the scope (idempotent, effective immediately).
+
+        Also strips a stray marker stamp from a non-member: copying a
+        member instance copies its ``__dict__`` — stamp included — so the
+        copy is advised by marker dispatch until it is discarded here (or
+        adopted with :meth:`add`).
+        """
+        oid = id(obj)
+        self._ids.discard(oid)
+        self._refs.pop(oid, None)
+        self._pinned.pop(oid, None)
+        if self.markable:
+            try:
+                delattr(obj, self.attr)
+            except AttributeError:
+                pass
+
+    # -- marker lifecycle (driven by deploy/undeploy) --------------------------
+
+    def _live_members(self) -> list[Any]:
+        """Every current member object: dereferenced weakrefs plus pinned."""
+        alive = []
+        for ref in list(self._refs.values()):
+            obj = ref()
+            if obj is not None:
+                alive.append(obj)
+        alive.extend(list(self._pinned.values()))
+        return alive
+
+    def _acquire_markers(self) -> None:
+        """A marker-dispatched deployment went live: stamp every member."""
+        self._marker_users += 1
+        if self._marker_users == 1:
+            for obj in self._live_members():
+                setattr(obj, self.attr, self)
+
+    def _release_markers(self) -> None:
+        """A marker-dispatched deployment unwound; unstamp at zero users."""
+        self._marker_users -= 1
+        if self._marker_users == 0:
+            for obj in self._live_members():
+                try:
+                    delattr(obj, self.attr)
+                except AttributeError:
+                    pass
 
 
 class _WovenField:
@@ -561,12 +803,14 @@ class _WovenField:
         set_advice: list[Advice],
         class_default: Any = _MISSING,
         watchers: _WatcherCount | None = None,
+        scope: InstanceScope | None = None,
     ):
         self._name = name
         self._get_advice = get_advice
         self._set_advice = set_advice
         self._class_default = class_default
         self._watchers = watchers if watchers is not None else _cflow_watchers
+        self._scope = scope
         self._get_selector = _ChainSelector(get_advice)
         self._set_selector = _ChainSelector(set_advice)
         self._get_static = not self._get_selector.has_dynamic
@@ -594,6 +838,16 @@ class _WovenField:
                 f"{type(obj).__name__!r} object has no attribute {self._name!r}"
             )
 
+        if self._scope is not None and id(obj) not in self._scope.ids:
+            if not self._watchers.count:
+                return read()
+            jp = JoinPoint(JoinPointKind.FIELD_GET, obj, type(obj), self._name)
+            token = push_frame(jp)
+            try:
+                return read()
+            finally:
+                pop_frame(token)
+
         if self._get_static and not self._watchers.count:
             if not self._get_advice:
                 return read()
@@ -616,6 +870,25 @@ class _WovenField:
     def __set__(self, obj: Any, value: Any) -> None:
         def write(new_value: Any = value) -> None:
             obj.__dict__[self._name] = new_value
+
+        if self._scope is not None and id(obj) not in self._scope.ids:
+            if not self._watchers.count:
+                write()
+                return
+            jp = JoinPoint(
+                JoinPointKind.FIELD_SET,
+                obj,
+                type(obj),
+                self._name,
+                args=(value,),
+                value=value,
+            )
+            token = push_frame(jp)
+            try:
+                write()
+                return
+            finally:
+                pop_frame(token)
 
         if self._set_static and not self._watchers.count:
             if not self._set_advice:
@@ -683,11 +956,17 @@ class Deployment:
     members: list[_WovenMember] = field(default_factory=list)
     introductions: list[AppliedIntroduction] = field(default_factory=list)
     active: bool = True
+    #: The instance scope this deployment is narrowed to (None = class-wide).
+    scope: InstanceScope | None = None
     #: cls -> (pre-weave shadow snapshot, pre-weave token, post-weave token);
     #: lets undeploy reinstate the shadow cache instead of forcing a rescan.
     _cache_state: dict = field(default_factory=dict, repr=False)
     #: True when this deployment raised its runtime's cflow-watcher count.
     _tracks_cflow: bool = field(default=False, repr=False)
+    #: True while this deployment holds its scope's instance markers.
+    _holds_markers: bool = field(default=False, repr=False)
+    #: ``(cls, attr)`` marker class defaults this deployment registered.
+    _marker_sites: list = field(default_factory=list, repr=False)
     #: The shadow index and watcher count of the runtime that wove this
     #: deployment — undeploy must restore exactly the state it disturbed,
     #: whichever runtime object performs it.
@@ -697,6 +976,23 @@ class Deployment:
     def woven_signatures(self) -> list[str]:
         """Human-readable list of what this deployment touched."""
         return sorted(f"{m.cls.__name__}.{m.name}" for m in self.members)
+
+
+def _release_marker_state(deployment: Deployment) -> None:
+    """Drop a deployment's scope-marker residue (stamps + class defaults).
+
+    Shared by strict undeploy and the forgiving rollback unwind, so the
+    marker lifecycle cannot drift between the two paths: the scope's
+    instance stamps are released (last user removes them) and every
+    marker class default this deployment registered is unregistered from
+    the board (refcounted — shared sites survive).
+    """
+    if deployment._holds_markers and deployment.scope is not None:
+        deployment.scope._release_markers()
+        deployment._holds_markers = False
+    for cls, attr in deployment._marker_sites:
+        _marker_defaults.unregister(cls, attr)
+    deployment._marker_sites.clear()
 
 
 def _rollback_partial_weave(deployment: Deployment, index: ShadowIndex) -> None:
@@ -725,6 +1021,7 @@ def _rollback_partial_weave(deployment: Deployment, index: ShadowIndex) -> None:
     deployment.members.clear()
     deployment.introductions.clear()
     deployment._cache_state.clear()
+    _release_marker_state(deployment)
     for cls in touched:
         index.invalidate(cls)
 
@@ -738,8 +1035,20 @@ def make_method_wrapper(
     *,
     watchers: _WatcherCount,
     codegen_cache: "codegen.CodegenCache | None" = None,
+    scope: InstanceScope | None = None,
 ):
-    """The wrapper for one method shadow, in the fastest eligible tier."""
+    """The wrapper for one method shadow, in the fastest eligible tier.
+
+    With an instance *scope*, the wrapper is a per-shadow dispatch: a
+    membership test routes scoped receivers into the advice chain and
+    every other instance straight into ``shadow.original`` (the member the
+    class had before this deployment — possibly an earlier deployment's
+    wrapper, which is how class-wide and instance-scoped deployments
+    compose).  The codegen tier fuses the test into the generated wrapper
+    (marker attribute when the scope allows it, exact signature when
+    renderable); the generic tier gates its usual closures on scope-id
+    membership.
+    """
     selector = _ChainSelector(advice)
     # Codegen specializes fully-static chains only; dynamic-residue
     # and tracking-only shadows are generic dispatch by construction
@@ -752,18 +1061,58 @@ def make_method_wrapper(
             selector,
             watchers,
             cache=codegen_cache,
+            scope=scope,
         )
     else:
         wrapper = _make_generic_method_wrapper(shadow, advice, selector, watchers)
-        # functools.wraps may have copied codegen introspection attrs
-        # from a nested generated original; they describe that one,
+        if scope is not None:
+            wrapper = _scope_gate_wrapper(wrapper, shadow, scope.ids, watchers)
+        # functools.wraps may have copied codegen/scope introspection
+        # attrs from a nested generated original; they describe that one,
         # not this wrapper.
         wrapper.__dict__.pop("__codegen_source__", None)
         wrapper.__dict__.pop("__joinpoint_pool__", None)
+        wrapper.__dict__.pop("__scope_marker__", None)
+    wrapper.__dict__.pop("__woven_scope__", None)
     wrapper.__woven__ = True  # type: ignore[attr-defined]
     wrapper.__woven_original__ = shadow.original  # type: ignore[attr-defined]
     wrapper.__woven_advice_count__ = len(advice)  # type: ignore[attr-defined]
+    if scope is not None:
+        wrapper.__woven_scope__ = scope  # type: ignore[attr-defined]
     return wrapper
+
+
+def _scope_gate_wrapper(
+    inner: Callable, shadow: MethodShadow, ids: set[int], watchers: _WatcherCount
+):
+    """Gate a generic wrapper on scope membership (id dispatch).
+
+    The generic tier keeps its existing closures (tracking, static,
+    dynamic) untouched; scoping just prepends the membership test, so the
+    semantics matrices pinned against the generic tier stay valid verbatim
+    for the scoped branch.  While a cflow watcher is live, unscoped calls
+    still push an observable frame — the shadow executes either way, and
+    a class-wide woven shadow would expose it to ``cflow()`` residues.
+    """
+    original = shadow.original
+    name = shadow.name
+
+    @functools.wraps(original)
+    def dispatch(self: Any, *args: Any, **kwargs: Any) -> Any:
+        if id(self) not in ids:
+            if not watchers.count:
+                return original(self, *args, **kwargs)
+            jp = JoinPoint(
+                JoinPointKind.METHOD_EXECUTION, self, type(self), name, args, kwargs
+            )
+            token = push_frame(jp)
+            try:
+                return original(self, *args, **kwargs)
+            finally:
+                pop_frame(token)
+        return inner(self, *args, **kwargs)
+
+    return dispatch
 
 
 def make_field_descriptor(
@@ -774,6 +1123,7 @@ def make_field_descriptor(
     *,
     watchers: _WatcherCount,
     codegen_cache: "codegen.CodegenCache | None" = None,
+    scope: InstanceScope | None = None,
 ) -> _WovenField:
     """The data descriptor for one woven field, in the fastest eligible tier.
 
@@ -781,8 +1131,14 @@ def make_field_descriptor(
     :class:`_WovenField` subclass whose accessors inline the advice
     sequence over pooled join points (same ``REPRO_AOP_CODEGEN=0`` escape
     hatch as method wrappers); anything carrying a runtime residue keeps
-    the generic descriptor.
+    the generic descriptor.  Instance-scoped fields always deploy the
+    generic descriptor with an id-dispatch gate: unscoped instances get a
+    plain ``__dict__`` read/write, scoped instances run the chains.
     """
+    if scope is not None:
+        return _WovenField(
+            name, get_advice, set_advice, class_default, watchers, scope=scope
+        )
     static = not _ChainSelector(get_advice).has_dynamic and not _ChainSelector(
         set_advice
     ).has_dynamic

@@ -22,6 +22,7 @@ from typing import Iterable, Mapping
 from repro.aop import WeaverRuntime
 from repro.baselines.museum_data import MuseumFixture
 from repro.navigation import AudienceBundle
+from repro.navigation.serving import LazyWovenProvider
 from repro.web import StaticSite
 
 from .aspect import NavigationAspect
@@ -103,33 +104,36 @@ def build_audience_sites(
     bundles: Iterable[AudienceBundle],
     *,
     specs_by_access: Mapping[str, NavigationSpec] | None = None,
+    weaver: WeaverRuntime | None = None,
 ) -> dict[str, StaticSite]:
-    """One stacked site per audience bundle, each in its own scoped runtime.
+    """One stacked site per audience bundle — one runtime, one class scan.
 
     This is the ROADMAP's "per-audience navigation bundles" scenario: the
     same base program serves several audiences, each seeing a different
     *stack* of access structures (say, guided tour + index for visitors,
-    index only for curators), and every audience's weave is isolated in
-    its own :class:`~repro.aop.WeaverRuntime` — separate scan caches,
-    watcher counts and codegen statistics, one transaction per audience.
+    index only for curators).  Every bundle weaves one
+    :class:`PageRenderer` *instance* through instance-scoped deployments,
+    so the whole batch lives in a single :class:`~repro.aop.WeaverRuntime`
+    and a single transactional deployment set: one shadow scan of the
+    renderer class covers every audience, all the stacks are deployed
+    side by side (earlier revisions had to deploy → build → undeploy each
+    audience sequentially), and the ``finally`` undeploy restores the
+    class exactly.
 
     ``specs_by_access`` maps access-structure names to prebuilt specs;
-    unknown names fall back to :func:`default_museum_spec`.
+    each unresolved name is built once via :func:`default_museum_spec` and
+    shared across every bundle that stacks it.
     """
-    from .navspec import default_museum_spec
+    from repro.navigation.serving import AudienceServer
 
-    resolved: dict[str, NavigationSpec] = dict(specs_by_access or {})
-    sites: dict[str, StaticSite] = {}
-    for bundle in bundles:
-        specs = [
-            resolved.get(access) or default_museum_spec(access)
-            for access in bundle.access_structures
-        ]
-        runtime = WeaverRuntime(f"audience-{bundle.name}")
-        sites[bundle.name] = build_woven_site_stacked(
-            fixture, specs, weaver=runtime
-        )
-    return sites
+    weaver = weaver or WeaverRuntime("audience-sites")
+    with AudienceServer(
+        fixture, bundles, specs_by_access=specs_by_access, runtime=weaver
+    ) as server:
+        return {
+            audience: server.renderer(audience).build_site()
+            for audience in server.audiences()
+        }
 
 
 class NavigationWeaver:
@@ -193,54 +197,20 @@ class NavigationWeaver:
     def build_site(self) -> StaticSite:
         return self._renderer.build_site()
 
-    def provider(self) -> "LazyWovenProvider":
+    def provider(self) -> LazyWovenProvider:
         """Serve pages *on demand*, rendering through the live deployment.
 
         Unlike :meth:`build_site` (which materializes everything), the
-        lazy provider renders a node page only when the user agent asks
-        for it — and because rendering passes through the deployed
-        aspect's join points, a :meth:`reconfigure` between two requests
-        changes the navigation of pages rendered afterwards.
+        lazy provider (:class:`~repro.navigation.serving.LazyWovenProvider`)
+        renders a node page only when the user agent asks for it — and
+        because rendering passes through the deployed aspect's join
+        points, a :meth:`reconfigure` between two requests changes the
+        navigation of pages rendered afterwards.
         """
-        return LazyWovenProvider(self)
+        return LazyWovenProvider(self._renderer)
 
     def __enter__(self) -> "NavigationWeaver":
         return self.deploy()
 
     def __exit__(self, *exc_info) -> None:
         self.undeploy()
-
-
-class LazyWovenProvider:
-    """On-demand page provider over a deployed :class:`NavigationWeaver`."""
-
-    def __init__(self, weaver: NavigationWeaver):
-        self._weaver = weaver
-        # URI -> node, computed once from the renderer's inventory.
-        self._nodes = {node.uri: node for node in weaver.renderer.node_inventory()}
-
-    def page(self, uri: str):
-        from repro.hypermedia.errors import NavigationError
-        from repro.navigation import PageAnchor, PageView
-
-        import posixpath
-
-        normalized = posixpath.normpath(uri)
-        renderer = self._weaver.renderer
-        if normalized == "index.html":
-            page = renderer.render_home()
-        elif normalized in self._nodes:
-            page = renderer.render_node(self._nodes[normalized])
-        else:
-            raise NavigationError(f"no page at {uri!r}")
-        from repro.xlink import resolve_uri
-
-        anchors = [
-            PageAnchor(
-                label=a.label,
-                href=posixpath.normpath(resolve_uri(normalized, a.href)),
-                rel=a.rel,
-            )
-            for a in page.anchors()
-        ]
-        return PageView(uri=normalized, title=page.title, anchors=anchors)

@@ -1,22 +1,41 @@
-"""Navigation runtime: sessions, history, and a user-agent simulator.
+"""Navigation runtime: sessions, history, a user agent, and live serving.
 
 Executes the paper's navigation semantics: movement through an information
 space where "the next page to visit will depend on the previous
 navigation" — see :class:`NavigationSession` for the context-dependent
 ``next()``/``previous()`` and :class:`UserAgent` for the browser stand-in.
+
+The serving layer (:mod:`repro.navigation.serving`) turns the paper's
+"navigation is a swappable aspect" claim into a live multi-audience
+process: an :class:`AudienceServer` holds one instance-scoped navigation
+stack per :class:`AudienceBundle` over a single woven renderer class,
+serves lazy per-audience page providers concurrently, and reconfigures
+one audience's navigation without disturbing the others::
+
+    with AudienceServer(fixture, DEFAULT_AUDIENCES) as server:
+        visitor = UserAgent(server.provider("visitor"))
+        curator = UserAgent(server.provider("curator"))
+        visitor.open("index.html")      # tour + index navigation
+        curator.open("index.html")      # index only — same live process
+        server.reconfigure("curator", ("indexed-guided-tour",))
+
+(See ``examples/live_weaving.py`` for the full walkthrough.)
 """
 
 from .agent import CallableProvider, PageAnchor, PageProvider, PageView, UserAgent
 from .audience import DEFAULT_AUDIENCES, AudienceBundle
 from .errors import NavigationError
 from .history import History
+from .serving import AudienceServer, LazyWovenProvider, normalize_page_uri
 from .session import NavigationSession, Position
 
 __all__ = [
     "AudienceBundle",
+    "AudienceServer",
     "CallableProvider",
     "DEFAULT_AUDIENCES",
     "History",
+    "LazyWovenProvider",
     "NavigationError",
     "NavigationSession",
     "PageAnchor",
@@ -24,4 +43,5 @@ __all__ = [
     "PageView",
     "Position",
     "UserAgent",
+    "normalize_page_uri",
 ]

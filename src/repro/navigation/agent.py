@@ -82,7 +82,9 @@ class UserAgent:
         """Follow the unique anchor with the given rel (e.g. ``next``)."""
         anchors = self.current.anchors_with_rel(rel)
         if not anchors:
-            raise NavigationError(f"page {self.current.uri!r} has no rel={rel!r} anchor")
+            raise NavigationError(
+                f"page {self.current.uri!r} has no rel={rel!r} anchor"
+            )
         if len(anchors) > 1:
             raise NavigationError(
                 f"page {self.current.uri!r} has {len(anchors)} rel={rel!r} anchors"
@@ -99,9 +101,7 @@ class UserAgent:
         """URIs visited, oldest first."""
         return [page.uri for page in self._history.trail()]
 
-    def crawl(
-        self, start: str, *, max_pages: int = 10_000
-    ) -> dict[str, PageView]:
+    def crawl(self, start: str, *, max_pages: int = 10_000) -> dict[str, PageView]:
         """Breadth-first reachability from *start* (does not touch history).
 
         Useful for site-wide assertions: every anchor target must exist,

@@ -1,0 +1,297 @@
+"""Live multi-audience serving over instance-scoped weaving.
+
+The paper's claim is that navigation is a swappable aspect over an
+untouched base program; the production question is serving *several
+audiences at once* from one live process.  Class-level weaving cannot do
+that — two differently-configured navigation stacks woven into the shared
+renderer class would both fire on every page.  Instance-scoped
+deployments (:meth:`repro.aop.WeaverRuntime.deploy` with ``instances=``)
+can: every audience gets its own renderer *instance*, its navigation
+aspects are scoped to exactly that instance, and all the deployments stay
+live side by side in **one** runtime woven from **one** class scan.
+
+:class:`AudienceServer` is that arrangement held as an object::
+
+    from repro.navigation import AudienceServer, UserAgent
+
+    with AudienceServer(fixture, DEFAULT_AUDIENCES) as server:
+        visitor = UserAgent(server.provider("visitor"))
+        curator = UserAgent(server.provider("curator"))
+        visitor.open("index.html")          # tour + index navigation
+        curator.open("index.html")          # index only — same process
+        server.reconfigure("curator", ("indexed-guided-tour",))
+        curator.open("index.html")          # new nav; visitor untouched
+
+Pages render on demand through :class:`LazyWovenProvider`, so a
+:meth:`~AudienceServer.reconfigure` between two requests changes what the
+*next* page shows — for that audience only.  Reconfiguration rides the
+runtime's transactional machinery: the audience's deployments are
+partially undeployed (survivors re-weave with their original instance
+scopes, so the other audiences' pages stay byte-identical) and the new
+stack is added to the same deployment set.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from typing import Any, Iterable, Mapping
+
+from repro.aop import Deployment, WeaverRuntime
+
+from .agent import PageAnchor, PageView
+from .audience import DEFAULT_AUDIENCES, AudienceBundle
+from .errors import NavigationError
+
+
+def normalize_page_uri(uri: str) -> str:
+    """The site-relative normal form providers key their page maps by.
+
+    Collapses ``.``/``..`` segments and strips any leading slashes, so
+    rooted (``/index.html``) and explicitly-relative (``./rooms/r1.html``)
+    spellings of the same page resolve to one key.  References escaping
+    the site root (``../outside.html``) are left intact — they miss the
+    page map and surface as :class:`NavigationError`, not as a silent
+    remap.
+    """
+    normalized = posixpath.normpath(uri.strip())
+    while normalized.startswith("/"):
+        normalized = normalized[1:]
+    if normalized in ("", "."):
+        return "index.html"
+    return normalized
+
+
+class LazyWovenProvider:
+    """On-demand page provider over a live woven renderer.
+
+    Unlike a materialized site build, a page is rendered only when the
+    user agent asks for it — and because rendering passes through the
+    renderer's deployed join points, reconfiguring the weave between two
+    requests changes the navigation of pages rendered afterwards.
+
+    Accepts a :class:`~repro.core.renderer.PageRenderer` (or anything
+    exposing the same ``render_home``/``render_node``/``node_inventory``
+    surface, including a ``.renderer``-bearing wrapper like
+    :class:`~repro.core.weave.NavigationWeaver`).
+    """
+
+    def __init__(self, renderer: Any):
+        renderer = getattr(renderer, "renderer", renderer)
+        self._renderer = renderer
+        # Normalized URI -> node, computed once from the inventory.
+        self._nodes = {
+            normalize_page_uri(node.uri): node for node in renderer.node_inventory()
+        }
+
+    def page(self, uri: str) -> PageView:
+        from repro.xlink import resolve_uri
+
+        normalized = normalize_page_uri(uri)
+        if normalized == "index.html":
+            page = self._renderer.render_home()
+        elif normalized in self._nodes:
+            page = self._renderer.render_node(self._nodes[normalized])
+        else:
+            raise NavigationError(f"no page at {uri!r}")
+        anchors = [
+            PageAnchor(
+                label=a.label,
+                href=normalize_page_uri(resolve_uri(normalized, a.href)),
+                rel=a.rel,
+            )
+            for a in page.anchors()
+        ]
+        return PageView(uri=normalized, title=page.title, anchors=anchors)
+
+
+class AudienceServer:
+    """Serve every audience's navigation live from one woven process.
+
+    One :class:`~repro.aop.WeaverRuntime`, one transactional
+    :class:`~repro.aop.DeploymentSet`, one shadow scan of the renderer
+    class: each audience bundle gets a private renderer instance and one
+    instance-scoped :class:`~repro.core.aspect.NavigationAspect`
+    deployment per stacked access structure.  All audiences' deployments
+    are live simultaneously; the per-shadow dispatch routes each render
+    call to the receiving renderer's own navigation stack.
+
+    ``specs_by_access`` maps access-structure names to prebuilt specs;
+    unresolved names are built once via
+    :func:`~repro.core.navspec.default_museum_spec` and shared across
+    every bundle that stacks them.
+    """
+
+    def __init__(
+        self,
+        fixture: Any,
+        bundles: Iterable[AudienceBundle] | None = None,
+        *,
+        specs_by_access: Mapping[str, Any] | None = None,
+        runtime: WeaverRuntime | None = None,
+    ):
+        from repro.core import PageRenderer
+
+        self._fixture = fixture
+        self._specs: dict[str, Any] = dict(specs_by_access or {})
+        self._runtime = (
+            runtime if runtime is not None else WeaverRuntime("audience-server")
+        )
+        self._bundles: dict[str, AudienceBundle] = {}
+        self._renderers: dict[str, Any] = {}
+        self._aspects: dict[str, list[Any]] = {}
+        self._providers: dict[str, LazyWovenProvider] = {}
+        self._closed = False
+        self._tx = self._runtime.transaction([PageRenderer])
+        try:
+            for bundle in bundles if bundles is not None else DEFAULT_AUDIENCES:
+                if bundle.name in self._renderers:
+                    raise NavigationError(
+                        f"duplicate audience bundle {bundle.name!r}"
+                    )
+                self._renderers[bundle.name] = PageRenderer(fixture)
+                self._weave(bundle)
+        except BaseException:
+            self._tx.rollback()
+            raise
+        self._tx.commit()
+
+    # -- construction helpers --------------------------------------------------
+
+    def _spec_for(self, access: str) -> Any:
+        from repro.core.navspec import default_museum_spec
+
+        spec = self._specs.get(access)
+        if spec is None:
+            spec = self._specs[access] = default_museum_spec(access)
+        return spec
+
+    def _weave(self, bundle: AudienceBundle) -> None:
+        from repro.core import NavigationAspect
+
+        renderer = self._renderers[bundle.name]
+        # Build every aspect first: an unknown access-structure name (or a
+        # broken spec) must fail before any deployment is touched.
+        aspects = [
+            NavigationAspect(self._spec_for(access), self._fixture)
+            for access in bundle.access_structures
+        ]
+        added: list[Any] = []
+        try:
+            for aspect in aspects:
+                self._tx.add(aspect, instances=[renderer])
+                added.append(aspect)
+        except BaseException:
+            # Unwind the partial stack so the audience is never left with
+            # deployments no bookkeeping entry tracks.
+            partial = set(map(id, added))
+            live = [d for d in self._tx.deployments if id(d.aspect) in partial]
+            if live:
+                self._tx.undeploy(live)
+            raise
+        self._bundles[bundle.name] = bundle
+        self._aspects[bundle.name] = aspects
+
+    def _require(self, audience: str) -> None:
+        if self._closed:
+            raise NavigationError("audience server is closed")
+        if audience not in self._bundles:
+            raise NavigationError(
+                f"no audience {audience!r} "
+                f"(serving: {', '.join(sorted(self._bundles)) or 'none'})"
+            )
+
+    # -- the serving surface ---------------------------------------------------
+
+    @property
+    def runtime(self) -> WeaverRuntime:
+        """The scoped runtime holding every audience's deployments."""
+        return self._runtime
+
+    def audiences(self) -> list[str]:
+        """The audiences currently served, in registration order."""
+        return list(self._bundles)
+
+    def bundle(self, audience: str) -> AudienceBundle:
+        """The bundle *audience* is currently configured with."""
+        self._require(audience)
+        return self._bundles[audience]
+
+    def renderer(self, audience: str) -> Any:
+        """The audience's private (woven) renderer instance."""
+        self._require(audience)
+        return self._renderers[audience]
+
+    def deployments(self, audience: str) -> list[Deployment]:
+        """The audience's live deployment handles, oldest first.
+
+        Looked up by aspect identity rather than cached: a partial
+        undeploy (another audience reconfiguring) re-weaves survivors and
+        refreshes their handles.
+        """
+        self._require(audience)
+        aspects = set(map(id, self._aspects[audience]))
+        return [d for d in self._tx.deployments if id(d.aspect) in aspects]
+
+    def provider(self, audience: str) -> LazyWovenProvider:
+        """A lazy per-audience page provider (created once, then cached).
+
+        Pages render concurrently with every other audience's — each
+        render passes through the shared class's dispatch wrappers and
+        runs only the receiving renderer's navigation stack.
+        """
+        self._require(audience)
+        provider = self._providers.get(audience)
+        if provider is None:
+            provider = self._providers[audience] = LazyWovenProvider(
+                self._renderers[audience]
+            )
+        return provider
+
+    def reconfigure(
+        self, audience: str, bundle: AudienceBundle | Iterable[str]
+    ) -> None:
+        """Swap one audience's navigation stack without disturbing the rest.
+
+        *bundle* is an :class:`AudienceBundle` or a bare iterable of
+        access-structure names.  The audience's deployments are undeployed
+        through the set (LIFO unwind, survivors re-woven with their
+        original instance scopes) and the new stack is added in their
+        place; the audience keeps its renderer instance, so existing
+        providers and agents see the new navigation on their next request.
+
+        Failure-safe: the new bundle's specs are resolved *before* the old
+        stack is disturbed (an unknown access-structure name raises with
+        the audience untouched), and if weaving the new stack fails anyway
+        the previous stack is re-woven before the exception propagates.
+        """
+        self._require(audience)
+        if not isinstance(bundle, AudienceBundle):
+            bundle = AudienceBundle(audience, tuple(bundle))
+        for access in bundle.access_structures:
+            self._spec_for(access)
+        previous = self._bundles[audience]
+        old = self.deployments(audience)
+        if old:
+            self._tx.undeploy(old)
+        try:
+            self._weave(bundle)
+        except BaseException:
+            self._weave(previous)
+            raise
+
+    def close(self) -> None:
+        """Undeploy every audience's stack and release the renderer class."""
+        if self._closed:
+            return
+        self._closed = True
+        self._tx.undeploy()
+
+    def __enter__(self) -> "AudienceServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<AudienceServer {state}, audiences={self.audiences()!r}>"

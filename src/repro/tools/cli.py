@@ -101,16 +101,71 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_woven_sites(runtime: WeaverRuntime, title: str) -> None:
+    print(
+        format_table(
+            ["site", "kind", "tier", "scope", "aspect", "deployment"],
+            [
+                [
+                    site.signature,
+                    site.kind,
+                    site.tier,
+                    f"{site.scope_instances} inst" if site.scoped else "class",
+                    site.aspect,
+                    str(site.deployment_index),
+                ]
+                for site in runtime.woven_sites()
+            ],
+            title=title,
+        )
+    )
+
+
+def _print_runtime_stats(runtime: WeaverRuntime) -> None:
+    stats = runtime.stats()
+    cache = stats["codegen_cache"]
+    print(
+        f"runtime {stats['name']!r}: {stats['deployments']} deployments "
+        f"({stats['instance_scoped']} instance-scoped), "
+        f"{stats['woven_sites']} woven sites, "
+        f"{stats['cflow_watchers']} cflow watchers"
+    )
+    print(
+        f"codegen cache: {cache['sources_compiled']} sources compiled, "
+        f"{cache['compile_hits']} shape hits, "
+        f"{cache['wrappers_built']} wrappers built"
+    )
+
+
+def _print_source(runtime: WeaverRuntime, signature: str) -> None:
+    for deployment in runtime.deployments:
+        per = runtime.deployment_stats(deployment)
+        source = per.codegen_sources.get(signature)
+        if source is not None:
+            print(f"--- generated source for {signature} ---")
+            print(source, end="")
+            return
+    raise SystemExit(
+        f"aop inspect: no generated wrapper for {signature!r} "
+        "(dynamic-residue shadows stay generic)"
+    )
+
+
 def cmd_aop_inspect(args: argparse.Namespace) -> int:
     """Weave the requested navigation stack and report what weaving did.
 
     Deploys one :class:`NavigationAspect` per stacked access structure
     into a scoped runtime (one transaction, one shadow scan of the
-    renderer), prints every woven site with its dispatch tier, then rolls
-    the whole set back — the renderer class leaves this command exactly as
-    it entered.
+    renderer), prints every woven site with its dispatch tier and scope,
+    then rolls the whole set back — the renderer class leaves this
+    command exactly as it entered.  With ``--audiences``, an
+    :class:`~repro.navigation.AudienceServer` is stood up instead and
+    every audience's *instance-scoped* deployments are reported per
+    scope (instance count, tiers, codegen stats).
     """
     fixture = _fixture(args)
+    if args.audiences:
+        return _aop_inspect_audiences(args, fixture)
     accesses = [a.strip() for a in args.stack.split(",") if a.strip()]
     if not accesses:
         raise SystemExit("aop inspect: --stack names no access structures")
@@ -119,50 +174,65 @@ def cmd_aop_inspect(args: argparse.Namespace) -> int:
         for access in accesses:
             tx.add(NavigationAspect(default_museum_spec(access), fixture))
         try:
-            sites = runtime.woven_sites()
-            print(
-                format_table(
-                    ["site", "kind", "tier", "aspect", "deployment"],
-                    [
-                        [
-                            site.signature,
-                            site.kind,
-                            site.tier,
-                            site.aspect,
-                            str(site.deployment_index),
-                        ]
-                        for site in sites
-                    ],
-                    title=f"Woven sites: {' + '.join(accesses)}",
-                )
-            )
-            stats = runtime.stats()
-            cache = stats["codegen_cache"]
-            print(
-                f"runtime {stats['name']!r}: {stats['deployments']} deployments, "
-                f"{stats['woven_sites']} woven sites, "
-                f"{stats['cflow_watchers']} cflow watchers"
-            )
-            print(
-                f"codegen cache: {cache['sources_compiled']} sources compiled, "
-                f"{cache['compile_hits']} shape hits, "
-                f"{cache['wrappers_built']} wrappers built"
-            )
+            _print_woven_sites(runtime, f"Woven sites: {' + '.join(accesses)}")
+            _print_runtime_stats(runtime)
             if args.source:
-                for deployment in runtime.deployments:
-                    per = runtime.deployment_stats(deployment)
-                    source = per.codegen_sources.get(args.source)
-                    if source is not None:
-                        print(f"--- generated source for {args.source} ---")
-                        print(source, end="")
-                        break
-                else:
-                    raise SystemExit(
-                        f"aop inspect: no generated wrapper for {args.source!r} "
-                        "(dynamic-residue shadows stay generic)"
-                    )
+                _print_source(runtime, args.source)
         finally:
             tx.undeploy()
+    return 0
+
+
+def _aop_inspect_audiences(args: argparse.Namespace, fixture) -> int:
+    """Stand up a live audience server and report its per-scope rows."""
+    from repro.navigation import DEFAULT_AUDIENCES, AudienceServer
+
+    names = [a.strip() for a in args.audiences.split(",") if a.strip()]
+    stock = {bundle.name: bundle for bundle in DEFAULT_AUDIENCES}
+    unknown = [name for name in names if name not in stock]
+    if unknown:
+        raise SystemExit(
+            f"aop inspect: unknown audience(s) {', '.join(unknown)} "
+            f"(stock bundles: {', '.join(stock)})"
+        )
+    bundles = [stock[name] for name in names]
+    with AudienceServer(fixture, bundles) as server:
+        runtime = server.runtime
+        rows = []
+        for audience in server.audiences():
+            bundle = server.bundle(audience)
+            for deployment in server.deployments(audience):
+                per = runtime.deployment_stats(deployment)
+                rows.append(
+                    [
+                        audience,
+                        "+".join(bundle.access_structures),
+                        per.aspect,
+                        f"{per.scope_instances} inst",
+                        str(per.method_members),
+                        str(len(per.codegen_sources)),
+                        str(per.pools),
+                    ]
+                )
+        print(
+            format_table(
+                [
+                    "audience",
+                    "stack",
+                    "aspect",
+                    "scope",
+                    "methods",
+                    "codegen",
+                    "pools",
+                ],
+                rows,
+                title=f"Instance scopes: {' + '.join(names)}",
+            )
+        )
+        _print_woven_sites(runtime, "Woven sites (all audiences)")
+        _print_runtime_stats(runtime)
+        if args.source:
+            _print_source(runtime, args.source)
     return 0
 
 
@@ -231,6 +301,13 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument(
         "--source",
         help="dump the generated wrapper source for one site (Class.member)",
+    )
+    inspect.add_argument(
+        "--audiences",
+        help=(
+            "serve these stock audience bundles live (comma-separated, e.g. "
+            "visitor,curator) and report per-scope rows instead of --stack"
+        ),
     )
     inspect.set_defaults(fn=cmd_aop_inspect)
     return parser

@@ -44,9 +44,7 @@ class StaticSite:
         try:
             return self._pages[path]
         except KeyError:
-            raise SiteError(
-                f"no page at {path!r} (site has {len(self._pages)} pages)"
-            )
+            raise SiteError(f"no page at {path!r} (site has {len(self._pages)} pages)")
 
     def paths(self) -> list[str]:
         return sorted(self._pages)

@@ -145,9 +145,7 @@ class Stylesheet:
         parameters: dict[str, object] | None = None,
     ) -> list[Node]:
         """Run the stylesheet; returns the produced node list."""
-        root = (
-            document.root_element if isinstance(document, Document) else document
-        )
+        root = document.root_element if isinstance(document, Document) else document
         ctx = TransformContext(self, parameters or {})
         return self.apply_one(ctx, root)
 

@@ -1,0 +1,271 @@
+"""The live multi-audience serving layer and its URI handling.
+
+Covers the acceptance bar for instance-scoped serving: two audiences with
+different access-structure stacks render concurrently from one process
+over the shared renderer class (one runtime, one class scan), a
+``reconfigure`` of one audience leaves the other's pages byte-identical,
+and the lazy provider resolves rooted/explicitly-relative URI spellings
+instead of raising.  The threaded smoke test drives both providers from
+concurrent threads and asserts navigation never bleeds across audiences.
+"""
+
+import threading
+
+import pytest
+
+import repro.aop.weaver as weaver_mod
+from repro.baselines import museum_fixture
+from repro.core import PageRenderer, build_audience_sites, default_museum_spec
+from repro.navigation import (
+    AudienceBundle,
+    AudienceServer,
+    NavigationError,
+    UserAgent,
+    normalize_page_uri,
+)
+
+
+@pytest.fixture()
+def fixture():
+    return museum_fixture()
+
+
+VISITOR_CURATOR = [
+    AudienceBundle("visitor", ("index", "guided-tour")),
+    AudienceBundle("curator", ("index",)),
+]
+
+
+class TestNormalizePageUri:
+    @pytest.mark.parametrize(
+        ("raw", "expected"),
+        [
+            ("index.html", "index.html"),
+            ("/index.html", "index.html"),
+            ("//index.html", "index.html"),
+            ("./index.html", "index.html"),
+            ("./PaintingNode/guitar.html", "PaintingNode/guitar.html"),
+            ("/PaintingNode/guitar.html", "PaintingNode/guitar.html"),
+            ("PainterNode/../PaintingNode/guitar.html", "PaintingNode/guitar.html"),
+            ("", "index.html"),
+            ("/", "index.html"),
+            (".", "index.html"),
+        ],
+    )
+    def test_normal_forms(self, raw, expected):
+        assert normalize_page_uri(raw) == expected
+
+    def test_root_escapes_are_not_remapped(self):
+        assert normalize_page_uri("../outside.html") == "../outside.html"
+
+
+class TestLazyProviderUris:
+    def test_rooted_and_dot_relative_uris_resolve(self, fixture):
+        with AudienceServer(fixture, VISITOR_CURATOR) as server:
+            provider = server.provider("visitor")
+            plain = provider.page("PaintingNode/guitar.html")
+            rooted = provider.page("/PaintingNode/guitar.html")
+            dotted = provider.page("./PaintingNode/guitar.html")
+            assert plain.uri == rooted.uri == dotted.uri
+            assert plain.anchors == rooted.anchors == dotted.anchors
+            assert provider.page("/index.html").uri == "index.html"
+
+    def test_unknown_pages_still_raise(self, fixture):
+        with AudienceServer(fixture, VISITOR_CURATOR) as server:
+            provider = server.provider("curator")
+            with pytest.raises(NavigationError):
+                provider.page("ghost.html")
+            with pytest.raises(NavigationError):
+                provider.page("../outside.html")
+
+
+class TestAudienceServer:
+    def test_audiences_serve_concurrently_from_one_runtime(self, fixture):
+        reference = build_audience_sites(fixture, VISITOR_CURATOR)
+        with AudienceServer(fixture, VISITOR_CURATOR) as server:
+            assert server.audiences() == ["visitor", "curator"]
+            # Interleave the two audiences' requests: every page must
+            # equal the audience's materialized reference site.
+            for path in reference["visitor"].paths():
+                visitor_page = server.provider("visitor").page(path)
+                curator_page = server.provider("curator").page(path)
+                assert visitor_page.uri == curator_page.uri == path
+                ref_v = {
+                    (a.label, a.rel)
+                    for a in UserAgent(reference["visitor"].provider())
+                    .open(path)
+                    .anchors
+                }
+                ref_c = {
+                    (a.label, a.rel)
+                    for a in UserAgent(reference["curator"].provider())
+                    .open(path)
+                    .anchors
+                }
+                assert {(a.label, a.rel) for a in visitor_page.anchors} == ref_v
+                assert {(a.label, a.rel) for a in curator_page.anchors} == ref_c
+        # The shared class left the server exactly as it entered.
+        assert not hasattr(PageRenderer.render_node, "__woven__")
+
+    def test_one_runtime_one_class_scan(self, fixture, monkeypatch):
+        scans = []
+        real_scan = weaver_mod._scan_method_shadows
+
+        def counting_scan(cls):
+            scans.append(cls)
+            return real_scan(cls)
+
+        monkeypatch.setattr(weaver_mod, "_scan_method_shadows", counting_scan)
+        with AudienceServer(fixture, VISITOR_CURATOR) as server:
+            assert scans.count(PageRenderer) == 1
+            assert server.runtime.stats()["instance_scoped"] == 3
+
+    def test_reconfigure_leaves_other_audience_byte_identical(self, fixture):
+        with AudienceServer(fixture, VISITOR_CURATOR) as server:
+            visitor = server.renderer("visitor")
+            before = [visitor.render_home().html()] + [
+                visitor.render_node(node).html()
+                for node in visitor.node_inventory()
+            ]
+            curator_agent = UserAgent(server.provider("curator"))
+            assert curator_agent.open("PaintingNode/guitar.html").anchors_with_rel(
+                "next"
+            ) == []
+
+            server.reconfigure("curator", ("indexed-guided-tour",))
+
+            after = [visitor.render_home().html()] + [
+                visitor.render_node(node).html()
+                for node in visitor.node_inventory()
+            ]
+            assert before == after
+            page = curator_agent.open("PaintingNode/guitar.html")
+            assert len(page.anchors_with_rel("next")) == 1
+            assert server.bundle("curator").access_structures == (
+                "indexed-guided-tour",
+            )
+
+    def test_reconfigure_accepts_bundles_and_validates_names(self, fixture):
+        with AudienceServer(fixture, VISITOR_CURATOR) as server:
+            server.reconfigure("visitor", AudienceBundle("visitor", ("index",)))
+            assert server.bundle("visitor").access_structures == ("index",)
+            with pytest.raises(NavigationError, match="no audience"):
+                server.reconfigure("stranger", ("index",))
+            with pytest.raises(NavigationError, match="no audience"):
+                server.provider("stranger")
+
+    def test_specs_resolved_once_and_shared(self, fixture, monkeypatch):
+        import repro.core.navspec as navspec_mod
+
+        calls = []
+        real = navspec_mod.default_museum_spec
+
+        def counting(access):
+            calls.append(access)
+            return real(access)
+
+        monkeypatch.setattr(navspec_mod, "default_museum_spec", counting)
+        bundles = [
+            AudienceBundle("a", ("index",)),
+            AudienceBundle("b", ("index", "guided-tour")),
+            AudienceBundle("c", ("index",)),
+        ]
+        sites = build_audience_sites(fixture, bundles)
+        # Each access-structure name resolved exactly once, however many
+        # bundles stack it.
+        assert sorted(calls) == ["guided-tour", "index"]
+        assert set(sites) == {"a", "b", "c"}
+
+    def test_prebuilt_specs_are_honoured(self, fixture):
+        spec = default_museum_spec("indexed-guided-tour")
+        with AudienceServer(
+            fixture,
+            [AudienceBundle("power", ("indexed-guided-tour",))],
+            specs_by_access={"indexed-guided-tour": spec},
+        ) as server:
+            agent = UserAgent(server.provider("power"))
+            page = agent.open("PaintingNode/guitar.html")
+            assert len(page.anchors_with_rel("next")) == 1
+
+    def test_failed_reconfigure_leaves_the_audience_intact(self, fixture):
+        """An unknown access-structure name must not strip the audience."""
+        with AudienceServer(fixture, VISITOR_CURATOR) as server:
+            before = sorted(
+                (a.label, a.rel)
+                for a in server.provider("curator").page("index.html").anchors
+            )
+            with pytest.raises(ValueError):
+                server.reconfigure("curator", ("index", "no-such-structure"))
+            assert server.bundle("curator").access_structures == ("index",)
+            after = sorted(
+                (a.label, a.rel)
+                for a in server.provider("curator").page("index.html").anchors
+            )
+            assert before == after
+            assert len(server.deployments("curator")) == 1
+
+    def test_duplicate_bundle_names_are_rejected(self, fixture):
+        from repro.core import PageRenderer
+
+        with pytest.raises(NavigationError, match="duplicate audience"):
+            AudienceServer(
+                fixture,
+                [
+                    AudienceBundle("visitor", ("index",)),
+                    AudienceBundle("visitor", ("guided-tour",)),
+                ],
+            )
+        # The constructor rolled its transaction back.
+        assert not hasattr(PageRenderer.render_node, "__woven__")
+
+    def test_closed_server_refuses_service(self, fixture):
+        server = AudienceServer(fixture, VISITOR_CURATOR)
+        server.close()
+        server.close()  # idempotent
+        with pytest.raises(NavigationError, match="closed"):
+            server.provider("visitor")
+        assert not hasattr(PageRenderer.render_node, "__woven__")
+
+
+class TestConcurrentAudiences:
+    def test_threaded_renders_never_bleed_across_audiences(self, fixture):
+        """Two audiences render interleaved from threads; navs stay apart."""
+        with AudienceServer(fixture, VISITOR_CURATOR) as server:
+            # Single-threaded reference renders per audience.
+            paths = ["index.html", "PaintingNode/guitar.html"]
+            expected = {
+                audience: {
+                    path: sorted(
+                        (a.label, a.rel)
+                        for a in server.provider(audience).page(path).anchors
+                    )
+                    for path in paths
+                }
+                for audience in ("visitor", "curator")
+            }
+            errors: list[BaseException] = []
+            start = threading.Barrier(4)
+
+            def hammer(audience: str) -> None:
+                try:
+                    provider = server.provider(audience)
+                    start.wait()
+                    for _ in range(40):
+                        for path in paths:
+                            got = sorted(
+                                (a.label, a.rel)
+                                for a in provider.page(path).anchors
+                            )
+                            assert got == expected[audience][path]
+                except BaseException as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=hammer, args=(audience,))
+                for audience in ("visitor", "curator", "visitor", "curator")
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
