@@ -64,6 +64,69 @@ def new_series(baseline: dict, current: dict) -> list[str]:
     )
 
 
+def delta_rows(baseline: dict, current: dict) -> list[tuple[str, str, str, str, str]]:
+    """Per-series ``(series, committed, current, delta, gated)`` rows.
+
+    Covers every ``speedup_vs_seed`` series (these gate; higher is better)
+    and every raw ``results_ns`` series (informational; lower is better,
+    so the delta sign is the raw relative change — a positive ns delta
+    reads as "slower").  Series missing on either side show ``—`` and a
+    ``new``/``gone`` delta, so a freshly added benchmark — e.g. the
+    request-path ``serve_page_ns`` — is *reported* before it ever gates.
+    """
+    rows: list[tuple[str, str, str, str, str]] = []
+    for section, gated in (("speedup_vs_seed", "yes"), ("results_ns", "no")):
+        committed_map = baseline.get(section, {})
+        measured_map = current.get(section, {})
+        unit = "x" if section == "speedup_vs_seed" else ""
+        for name in sorted(set(committed_map) | set(measured_map)):
+            committed = committed_map.get(name)
+            measured = measured_map.get(name)
+            if committed is None:
+                delta = "new"
+            elif measured is None:
+                delta = "gone"
+            elif committed == 0:
+                delta = "n/a"
+            else:
+                delta = f"{(measured - committed) / committed:+.1%}"
+            rows.append(
+                (
+                    f"{section}.{name}",
+                    "—" if committed is None else f"{committed:g}{unit}",
+                    "—" if measured is None else f"{measured:g}{unit}",
+                    delta,
+                    gated if committed is not None else "not yet",
+                )
+            )
+    return rows
+
+
+_HEADERS = ("series", "committed", "current", "delta", "gated")
+
+
+def format_delta_table(rows: list[tuple[str, str, str, str, str]]) -> str:
+    """The delta rows as an aligned plain-text table."""
+    from repro.metrics import format_table
+
+    return format_table(list(_HEADERS), rows)
+
+
+def format_delta_markdown(rows: list[tuple[str, str, str, str, str]]) -> str:
+    """The delta rows as a GitHub job-summary markdown table."""
+    lines = [
+        "### Weaver hot-path deltas vs committed baseline",
+        "",
+        "Speedup series gate (higher is better); raw ns series are "
+        "informational (positive delta = slower).",
+        "",
+        "| " + " | ".join(_HEADERS) + " |",
+        "| " + " | ".join(["---"] * len(_HEADERS)) + " |",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    return "\n".join(lines) + "\n"
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True, type=Path)
@@ -74,10 +137,27 @@ def main(argv: list[str] | None = None) -> int:
         default=float(os.environ.get("BENCH_REGRESSION_TOLERANCE", "0.15")),
         help="allowed fractional drop below the committed speedup (default 0.15)",
     )
+    parser.add_argument(
+        "--summary",
+        type=Path,
+        default=None,
+        help=(
+            "append the per-series delta table as markdown to this file "
+            "(defaults to $GITHUB_STEP_SUMMARY when set — the CI job summary)"
+        ),
+    )
     options = parser.parse_args(argv)
 
     baseline = json.loads(options.baseline.read_text())
     current = json.loads(options.current.read_text())
+    rows = delta_rows(baseline, current)
+    print(format_delta_table(rows))
+    summary_path = options.summary
+    if summary_path is None and os.environ.get("GITHUB_STEP_SUMMARY"):
+        summary_path = Path(os.environ["GITHUB_STEP_SUMMARY"])
+    if summary_path is not None:
+        with summary_path.open("a") as handle:
+            handle.write(format_delta_markdown(rows))
     base_python, current_python = _minor_version(baseline), _minor_version(current)
     if base_python != current_python:
         # Speedup ratios self-normalize across hardware, not across

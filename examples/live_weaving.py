@@ -14,6 +14,12 @@ a visitor browsing the guided tour and a curator browsing the bare index
 get different navigation from the same base program, concurrently — and
 reconfiguring one audience leaves the other's pages untouched.
 
+The third act puts the whole thing behind **real HTTP**: a threaded WSGI
+server over the audience server, driven here with ``urllib``.  Each
+session gets its own scope tier (private renderer + breadcrumb trail),
+and a live ``POST /-/reconfigure/curator`` changes only the curator's
+next response.
+
 Run:  python examples/live_weaving.py
 """
 
@@ -101,6 +107,59 @@ def serve_two_audiences(fixture) -> None:
 
     plain = PageRenderer(fixture).render_node(fixture.painting_node("guitar"))
     print("\nserver closed; the base program renders no anchors:", plain.anchors())
+
+    serve_over_http(fixture)
+
+
+def serve_over_http(fixture) -> None:
+    """Act three: the same arrangement behind a real HTTP server."""
+    import threading
+    import urllib.request
+
+    from repro.navigation import NavigationApp
+    from repro.navigation.http import make_wsgi_server
+
+    print("\n== serving over HTTP (threaded WSGI, per-session scopes) ==\n")
+    bundles = [
+        AudienceBundle("visitor", ("index", "guided-tour")),
+        AudienceBundle("curator", ("index",)),
+    ]
+    with AudienceServer(fixture, bundles) as server:
+        app = NavigationApp(server)
+        httpd = make_wsgi_server(app)  # port 0: ephemeral
+        base = "http://127.0.0.1:%d" % httpd.server_address[1]
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        print("serving at", base)
+
+        def get(path, session):
+            request = urllib.request.Request(base + path)
+            request.add_header("X-Repro-Session", session)
+            with urllib.request.urlopen(request) as response:
+                return response.read().decode("utf-8")
+
+        page = "/visitor/PaintingNode/guitar.html"
+        print("visitor GET", page, "->", 'rel="next"' in get(page, "alice"), "(tour)")
+        page = "/curator/PaintingNode/guitar.html"
+        print("curator GET", page, "->", 'rel="next"' in get(page, "bob"), "(tour)")
+
+        print("\n-- POST /-/reconfigure/curator: indexed-guided-tour --\n")
+        request = urllib.request.Request(
+            base + "/-/reconfigure/curator",
+            data=b"indexed-guided-tour",
+            method="POST",
+        )
+        urllib.request.urlopen(request).read()
+        print("curator GET", page, "->", 'rel="next"' in get(page, "bob"), "(tour)")
+        get("/visitor/index.html", "alice")  # alice browses on; her trail grows
+        visitor_page = get("/visitor/PaintingNode/guitar.html", "alice")
+        print(
+            "alice's second visit shows her own breadcrumb trail:",
+            'class="breadcrumbs"' in visitor_page,
+        )
+        httpd.shutdown()
+        httpd.server_close()
+        app.close()
 
 
 if __name__ == "__main__":

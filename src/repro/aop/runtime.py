@@ -510,17 +510,39 @@ class WeaverRuntime:
         )
 
     def stats(self) -> dict[str, Any]:
-        """A snapshot of this runtime's scoped state, for dashboards/CLI."""
+        """A snapshot of this runtime's scoped state, for dashboards/CLI.
+
+        Scope-aware: beyond the per-deployment count, ``scopes`` reports
+        the *distinct* live :class:`~repro.aop.weaver.InstanceScope`
+        objects and their total member instances (a scope shared by
+        several deployments — an audience's whole stack — counts once),
+        and ``pools`` aggregates every deployment's join point pools.
+        The HTTP serving front exposes this verbatim at ``GET /-/stats``.
+        """
         sites = self.woven_sites()
         tiers: dict[str, int] = {}
         for site in sites:
             tiers[site.tier] = tiers.get(site.tier, 0) + 1
+        pools = 0
+        pool_free = 0
+        scopes: dict[int, Any] = {}
+        for deployment in self.deployments:
+            per = self.deployment_stats(deployment)
+            pools += per.pools
+            pool_free += per.pooled_joinpoints_free
+            if deployment.scope is not None:
+                scopes[id(deployment.scope)] = deployment.scope
         return {
             "name": self.name,
             "deployments": len(self.deployments),
             "instance_scoped": sum(1 for d in self.deployments if d.scope is not None),
+            "scopes": {
+                "count": len(scopes),
+                "instances": sum(len(scope) for scope in scopes.values()),
+            },
             "woven_sites": len(sites),
             "tiers": tiers,
+            "pools": {"count": pools, "free_joinpoints": pool_free},
             "cflow_watchers": self._watchers.count,
             "codegen_cache": self._codegen_cache.stats(),
         }

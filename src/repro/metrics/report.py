@@ -6,7 +6,10 @@ from typing import Sequence
 
 
 def format_table(
-    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str | None = None
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
 ) -> str:
     """Render an aligned ASCII table (the benches print these)."""
     cells = [[str(value) for value in row] for row in rows]
@@ -16,7 +19,9 @@ def format_table(
             widths[index] = max(widths[index], len(value))
 
     def line(values: Sequence[str]) -> str:
-        return "  ".join(value.ljust(widths[i]) for i, value in enumerate(values)).rstrip()
+        return "  ".join(
+            value.ljust(widths[i]) for i, value in enumerate(values)
+        ).rstrip()
 
     rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
     out: list[str] = []

@@ -63,11 +63,7 @@ class ScatteringReport:
 
     def navigation_only_files(self) -> list[str]:
         """Artifacts that are pure navigation (the separated ideal)."""
-        return [
-            f.path
-            for f in self.files
-            if f.has_navigation and f.content_lines == 0
-        ]
+        return [f.path for f in self.files if f.has_navigation and f.content_lines == 0]
 
     def row(self, label: str) -> tuple:
         """A table row for the experiment reports."""

@@ -19,6 +19,14 @@ one audience's navigation without disturbing the others::
         curator.open("index.html")      # index only — same live process
         server.reconfigure("curator", ("indexed-guided-tour",))
 
+The HTTP front (:mod:`repro.navigation.http`) puts that process behind a
+threaded WSGI server — ``GET /{audience}/{page_uri}`` with one *session
+scope* per connected user (private renderer + :class:`BreadcrumbAspect`
+trail, idle eviction) and a live management surface
+(``POST /-/reconfigure/{audience}``, ``GET /-/stats``)::
+
+    python -m repro.tools serve --audiences visitor,curator
+
 (See ``examples/live_weaving.py`` for the full walkthrough.)
 """
 
@@ -26,16 +34,25 @@ from .agent import CallableProvider, PageAnchor, PageProvider, PageView, UserAge
 from .audience import DEFAULT_AUDIENCES, AudienceBundle
 from .errors import NavigationError
 from .history import History
+from .http import NavigationApp, serve
 from .serving import AudienceServer, LazyWovenProvider, normalize_page_uri
-from .session import NavigationSession, Position
+from .session import (
+    BreadcrumbAspect,
+    BreadcrumbTrail,
+    NavigationSession,
+    Position,
+)
 
 __all__ = [
     "AudienceBundle",
     "AudienceServer",
+    "BreadcrumbAspect",
+    "BreadcrumbTrail",
     "CallableProvider",
     "DEFAULT_AUDIENCES",
     "History",
     "LazyWovenProvider",
+    "NavigationApp",
     "NavigationError",
     "NavigationSession",
     "PageAnchor",
@@ -44,4 +61,5 @@ __all__ = [
     "Position",
     "UserAgent",
     "normalize_page_uri",
+    "serve",
 ]

@@ -1,0 +1,493 @@
+"""An HTTP serving front over :class:`~repro.navigation.serving.AudienceServer`.
+
+The ROADMAP's production rung: the live multi-audience process behind a
+real (threaded WSGI) HTTP server.  ``GET /{audience}/{page_uri}`` renders
+the page through that audience's instance-scoped navigation stack — one
+woven renderer class, every audience's stack live simultaneously — and
+every *session* gets a second scope tier of its own:
+
+- the session's private renderer instance is adopted into the audience's
+  persistent :class:`~repro.aop.InstanceScope`, so it rides the
+  audience's navigation (and any live ``reconfigure`` of it);
+- session-private concerns — the :class:`~repro.navigation.session.\
+BreadcrumbAspect` trail — deploy into a per-session scope layered on
+  top, so two users of one audience each see only their own footsteps;
+- sessions idle past the timeout are evicted: their trail deployment
+  unwinds (releasing the scope's marker defaults) and their renderer is
+  discarded from the audience scope.
+
+Sessions are identified by the ``repro_session`` cookie (minted on the
+first response) or an explicit ``X-Repro-Session`` request header.
+
+The management surface lives under ``/-/``:
+
+- ``GET /-/stats`` — scope-aware :meth:`~repro.aop.WeaverRuntime.stats`
+  (dispatch tiers, join point pools, codegen counters) plus per-audience
+  scope sizes and live session counts, as JSON;
+- ``POST /-/reconfigure/{audience}`` — swap one audience's stack while
+  requests are in flight (body: comma-separated access-structure names,
+  or JSON ``{"access_structures": [...]}``); every other audience's — and
+  every live session's trail — next response is unchanged.
+
+Run it::
+
+    python -m repro.tools serve --audiences visitor,curator --port 8000
+
+or embed it: :class:`NavigationApp` is a plain WSGI callable, and
+:func:`make_wsgi_server` binds it under a threaded ``wsgiref`` server
+(one OS thread per in-flight request — genuine request concurrency over
+the instance-scope dispatchers and join point pools).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from socketserver import ThreadingMixIn
+from typing import Any, Callable, Iterable
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+from repro.aop import InstanceScope
+
+from .audience import DEFAULT_AUDIENCES, AudienceBundle
+from .errors import NavigationError
+from .serving import AudienceServer, build_node_map, resolve_page_target
+from .session import BreadcrumbAspect
+
+#: The session cookie the app mints on a cookieless request.
+SESSION_COOKIE = "repro_session"
+
+#: Request header overriding the cookie (handy for scripted clients).
+SESSION_HEADER = "HTTP_X_REPRO_SESSION"
+
+
+class SessionCapacityError(RuntimeError):
+    """No capacity for another session scope (served as ``503``)."""
+
+
+class _MethodNotAllowed(Exception):
+    """Wrong HTTP method for a known route (served as ``405`` + Allow)."""
+
+    def __init__(self, method: str, allowed: str):
+        super().__init__(f"method {method} not allowed here (use {allowed})")
+        self.allowed = allowed
+
+
+@dataclass
+class ServingSession:
+    """One authenticated session's scope tier, held by the app."""
+
+    sid: str
+    audience: str
+    #: The session's private renderer (a member of the audience scope).
+    renderer: Any
+    #: The per-session scope the trail deployment dispatches through.
+    scope: InstanceScope
+    #: The session's trail aspect (undeployed on eviction, by identity).
+    breadcrumbs: BreadcrumbAspect
+    #: Last request time, by the app's clock; eviction compares this.
+    last_seen: float
+    #: Pages served to this session (observability for ``/-/stats``).
+    requests: int = 0
+
+
+class NavigationApp:
+    """A WSGI application serving every audience — and every user — live.
+
+    One :class:`~repro.navigation.serving.AudienceServer` underneath; the
+    app adds the HTTP routing and the per-session scope tier.  Renders
+    are lock-free and run concurrently across server threads; session
+    bookkeeping (open/evict) and weave mutations are serialized by the
+    app's lock over the server's.
+
+    ``session_idle_timeout`` seconds without a request evicts a session
+    (checked opportunistically on every request, or explicitly via
+    :meth:`evict_idle`).  ``max_sessions`` bounds the live scope tier —
+    every session costs a renderer instance plus a weave deployment, so a
+    client that never replays its cookie must not grow the stack without
+    limit; at the cap (after evicting every idle session) new sessions
+    are refused with ``503``.  ``clock`` is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        server: AudienceServer,
+        *,
+        session_idle_timeout: float = 600.0,
+        max_sessions: int = 512,
+        breadcrumb_limit: int = 8,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        from repro.core import PageRenderer
+
+        self._server = server
+        self._idle_timeout = session_idle_timeout
+        self._max_sessions = max_sessions
+        self._breadcrumb_limit = breadcrumb_limit
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._sessions: dict[tuple[str, str], ServingSession] = {}
+        self._evicted_total = 0
+        #: Pages served by sessions since evicted (live counts add to it).
+        self._served_by_evicted = 0
+        self._sid_counter = itertools.count(1)
+        # Normalized URI -> node: fixture-level, identical for every
+        # renderer instance, so one inventory pass serves all sessions.
+        self._nodes = build_node_map(PageRenderer(server.fixture))
+
+    # -- the WSGI surface ------------------------------------------------------
+
+    def __call__(self, environ, start_response) -> list[bytes]:
+        try:
+            status, headers, body = self._route(environ)
+        except NavigationError as exc:
+            status, headers, body = _text_response("404 Not Found", str(exc))
+        except SessionCapacityError as exc:
+            status, headers, body = _text_response(
+                "503 Service Unavailable", str(exc)
+            )
+        except _MethodNotAllowed as exc:
+            status, headers, body = _text_response(
+                "405 Method Not Allowed", str(exc)
+            )
+            headers.append(("Allow", exc.allowed))
+        start_response(status, headers)
+        return [body]
+
+    def _route(self, environ) -> tuple[str, list[tuple[str, str]], bytes]:
+        method = environ.get("REQUEST_METHOD", "GET")
+        path = environ.get("PATH_INFO", "/") or "/"
+        if path == "/":
+            return self._front_door(method)
+        if path == "/-/stats":
+            _require_method(method, "GET")
+            return _json_response("200 OK", self.stats())
+        if path.startswith("/-/reconfigure/"):
+            _require_method(method, "POST")
+            return self._reconfigure(environ, path[len("/-/reconfigure/") :])
+        if path.startswith("/-/"):
+            raise NavigationError(f"no management endpoint at {path!r}")
+        audience, _, page_uri = path.lstrip("/").partition("/")
+        # Existence before method: 405 asserts the resource exists, so a
+        # POST to an unknown audience must 404 like its GET would.
+        self._require_audience(audience)
+        _require_method(method, "GET")
+        return self._page(environ, audience, page_uri)
+
+    def _front_door(self, method: str):
+        _require_method(method, "GET")
+        lines = ["<html><head><title>Audiences</title></head><body><ul>"]
+        for audience in self._server.audiences():
+            stack = "+".join(self._server.bundle(audience).access_structures)
+            lines.append(
+                f'<li><a href="/{audience}/index.html">{audience}</a>'
+                f" ({stack})</li>"
+            )
+        lines.append("</ul></body></html>")
+        body = "\n".join(lines).encode("utf-8")
+        return "200 OK", _html_headers(body), body
+
+    def _require_audience(self, audience: str) -> None:
+        if audience not in self._server.audiences():
+            raise NavigationError(
+                f"no audience {audience!r} "
+                f"(serving: {', '.join(self._server.audiences()) or 'none'})"
+            )
+
+    def _page(self, environ, audience: str, page_uri: str):
+        # Resolve the page *before* touching the session tier: a request
+        # that will 404 must not cost a renderer + weave deployment.
+        _, node = resolve_page_target(self._nodes, page_uri)
+        session, minted = self._session_for(environ, audience)
+        if node is None:
+            page = session.renderer.render_home()
+        else:
+            page = session.renderer.render_node(node)
+        body = page.html().encode("utf-8")
+        headers = _html_headers(body)
+        if minted:
+            headers.append(
+                ("Set-Cookie", f"{SESSION_COOKIE}={session.sid}; Path=/")
+            )
+        headers.append(("X-Repro-Audience", audience))
+        headers.append(("X-Repro-Session", session.sid))
+        return "200 OK", headers, body
+
+    def _reconfigure(self, environ, audience: str):
+        # ValueError -> 400 only here: a malformed body or an unknown
+        # access-structure name is the client's fault (and the audience's
+        # old stack stays intact — reconfigure is atomic), while a
+        # ValueError anywhere else in the request path is a server bug
+        # and must surface as a 500.  Unknown audiences raise
+        # NavigationError -> 404 (the route names a resource).
+        try:
+            names = _parse_reconfigure_body(environ)
+            self._server.reconfigure(audience, names)
+        except ValueError as exc:
+            return _text_response("400 Bad Request", str(exc))
+        return _json_response(
+            "200 OK",
+            {
+                "audience": audience,
+                "access_structures": list(
+                    self._server.bundle(audience).access_structures
+                ),
+            },
+        )
+
+    # -- the session tier ------------------------------------------------------
+
+    def _session_for(self, environ, audience: str) -> tuple[ServingSession, bool]:
+        sid = environ.get(SESSION_HEADER) or _cookie_sid(environ)
+        now = self._clock()
+        with self._lock:
+            self._evict_idle_locked(now)
+            minted = sid is None
+            if minted:
+                sid = f"s{next(self._sid_counter)}-{uuid.uuid4().hex[:12]}"
+            session = self._sessions.get((sid, audience))
+            if session is None:
+                if len(self._sessions) >= self._max_sessions:
+                    raise SessionCapacityError(
+                        f"{len(self._sessions)} live sessions (cap "
+                        f"{self._max_sessions}); retry with an existing "
+                        "session cookie or after the idle timeout"
+                    )
+                session = self._open_session_locked(sid, audience, now)
+            session.last_seen = now
+            session.requests += 1
+            return session, minted
+
+    def _open_session_locked(
+        self, sid: str, audience: str, now: float
+    ) -> ServingSession:
+        renderer = self._server.adopt_renderer(audience)
+        scope = InstanceScope([renderer])
+        breadcrumbs = BreadcrumbAspect(limit=self._breadcrumb_limit)
+        try:
+            self._server.deploy_scoped(breadcrumbs, scope, audience=audience)
+        except BaseException:
+            self._server.release_renderer(audience, renderer)
+            raise
+        session = ServingSession(
+            sid=sid,
+            audience=audience,
+            renderer=renderer,
+            scope=scope,
+            breadcrumbs=breadcrumbs,
+            last_seen=now,
+        )
+        self._sessions[(sid, audience)] = session
+        return session
+
+    def _close_session_locked(self, session: ServingSession) -> None:
+        self._sessions.pop((session.sid, session.audience), None)
+        # Unwinding the trail deployment releases the session scope's
+        # marker state (class defaults + instance stamps); discarding the
+        # renderer strips the audience scope's stamp, so the instance is
+        # back to plain rendering.
+        self._server.undeploy_scoped(session.breadcrumbs)
+        self._server.release_renderer(session.audience, session.renderer)
+        self._evicted_total += 1
+        self._served_by_evicted += session.requests
+
+    def _evict_idle_locked(self, now: float) -> list[ServingSession]:
+        if self._idle_timeout is None:
+            return []
+        expired = [
+            session
+            for session in self._sessions.values()
+            if now - session.last_seen > self._idle_timeout
+        ]
+        for session in expired:
+            self._close_session_locked(session)
+        return expired
+
+    def evict_idle(self, *, now: float | None = None) -> int:
+        """Evict every session idle past the timeout; returns the count."""
+        with self._lock:
+            return len(
+                self._evict_idle_locked(self._clock() if now is None else now)
+            )
+
+    def sessions(self) -> list[ServingSession]:
+        """The live sessions (snapshot, newest bookkeeping included)."""
+        with self._lock:
+            return list(self._sessions.values())
+
+    def close(self) -> None:
+        """Evict every session (the underlying server stays open)."""
+        with self._lock:
+            for session in list(self._sessions.values()):
+                self._close_session_locked(session)
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """The management snapshot served at ``GET /-/stats``."""
+        with self._lock:
+            by_audience: dict[str, int] = {}
+            for session in self._sessions.values():
+                by_audience[session.audience] = (
+                    by_audience.get(session.audience, 0) + 1
+                )
+            sessions = {
+                "active": len(self._sessions),
+                "evicted_total": self._evicted_total,
+                "by_audience": by_audience,
+                # Monotonic: evicted sessions' counts are accumulated, so
+                # the total never drops when the idle timeout fires.
+                "requests": self._served_by_evicted
+                + sum(s.requests for s in self._sessions.values()),
+            }
+        audiences = {
+            audience: {
+                "access_structures": list(
+                    self._server.bundle(audience).access_structures
+                ),
+                "scope_instances": len(self._server.scope(audience)),
+            }
+            for audience in self._server.audiences()
+        }
+        return {
+            "audiences": audiences,
+            "sessions": sessions,
+            "runtime": self._server.runtime.stats(),
+        }
+
+
+# -- WSGI plumbing -------------------------------------------------------------
+
+
+def _require_method(method: str, expected: str) -> None:
+    if method != expected:
+        raise _MethodNotAllowed(method, expected)
+
+
+def _cookie_sid(environ) -> str | None:
+    for part in environ.get("HTTP_COOKIE", "").split(";"):
+        name, _, value = part.strip().partition("=")
+        if name == SESSION_COOKIE and value:
+            return value
+    return None
+
+
+def _parse_reconfigure_body(environ) -> list[str]:
+    try:
+        length = int(environ.get("CONTENT_LENGTH") or 0)
+    except ValueError:
+        length = 0
+    raw = environ["wsgi.input"].read(length).decode("utf-8") if length else ""
+    raw = raw.strip()
+    if raw.startswith("{"):
+        payload = json.loads(raw)
+        names = payload.get("access_structures")
+        if not isinstance(names, list) or not names:
+            raise ValueError(
+                'reconfigure body must carry {"access_structures": [...]}'
+            )
+        return [str(name) for name in names]
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    if not names:
+        raise ValueError(
+            "reconfigure body names no access structures "
+            "(send e.g. 'index,guided-tour')"
+        )
+    return names
+
+
+def _html_headers(body: bytes) -> list[tuple[str, str]]:
+    return [
+        ("Content-Type", "text/html; charset=utf-8"),
+        ("Content-Length", str(len(body))),
+    ]
+
+
+def _json_response(status: str, payload: Any):
+    body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+    headers = [
+        ("Content-Type", "application/json"),
+        ("Content-Length", str(len(body))),
+    ]
+    return status, headers, body
+
+
+def _text_response(status: str, message: str):
+    body = (message + "\n").encode("utf-8")
+    headers = [
+        ("Content-Type", "text/plain; charset=utf-8"),
+        ("Content-Length", str(len(body))),
+    ]
+    return status, headers, body
+
+
+class ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+    """``wsgiref`` with one thread per in-flight request."""
+
+    daemon_threads = True
+
+
+class _QuietHandler(WSGIRequestHandler):
+    """Suppress per-request access logging (CI logs stay readable)."""
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+
+def make_wsgi_server(
+    app: NavigationApp,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    quiet: bool = True,
+) -> WSGIServer:
+    """Bind *app* under a threaded WSGI server (``port=0``: ephemeral).
+
+    Returns the listening server; call ``serve_forever()`` on it (or
+    drive it from a thread in tests) and ``server_close()`` when done.
+    """
+    return make_server(
+        host,
+        port,
+        app,
+        server_class=ThreadingWSGIServer,
+        handler_class=_QuietHandler if quiet else WSGIRequestHandler,
+    )
+
+
+def serve(
+    fixture: Any,
+    bundles: Iterable[AudienceBundle] | None = None,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    session_idle_timeout: float = 600.0,
+    quiet: bool = True,
+    ready: Callable[[WSGIServer], None] | None = None,
+) -> None:
+    """Stand up the whole stack and serve until interrupted.
+
+    Weaves every bundle into one live :class:`AudienceServer`, wraps it in
+    a :class:`NavigationApp`, binds the threaded WSGI server and blocks in
+    ``serve_forever()``.  *ready* (if given) is called with the bound
+    server before serving starts — the CLI uses it to print the ephemeral
+    port.  Teardown unwinds every session and the audience stacks, so the
+    renderer class leaves the process exactly as it entered.
+    """
+    bundles = list(bundles) if bundles is not None else list(DEFAULT_AUDIENCES)
+    with AudienceServer(fixture, bundles) as server:
+        app = NavigationApp(server, session_idle_timeout=session_idle_timeout)
+        httpd = make_wsgi_server(app, host, port, quiet=quiet)
+        if ready is not None:
+            ready(httpd)
+        try:
+            httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            httpd.server_close()
+            app.close()

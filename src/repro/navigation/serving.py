@@ -34,9 +34,11 @@ stack is added to the same deployment set.
 from __future__ import annotations
 
 import posixpath
+import threading
 from typing import Any, Iterable, Mapping
+from urllib.parse import unquote
 
-from repro.aop import Deployment, WeaverRuntime
+from repro.aop import Aspect, Deployment, InstanceScope, WeaverRuntime
 
 from .agent import PageAnchor, PageView
 from .audience import DEFAULT_AUDIENCES, AudienceBundle
@@ -46,19 +48,59 @@ from .errors import NavigationError
 def normalize_page_uri(uri: str) -> str:
     """The site-relative normal form providers key their page maps by.
 
-    Collapses ``.``/``..`` segments and strips any leading slashes, so
-    rooted (``/index.html``) and explicitly-relative (``./rooms/r1.html``)
-    spellings of the same page resolve to one key.  References escaping
-    the site root (``../outside.html``) are left intact — they miss the
-    page map and surface as :class:`NavigationError`, not as a silent
-    remap.
+    Decodes percent-encoded segments (``rooms%2Fr1.html``), folds
+    Windows-style backslashes to ``/``, collapses ``.``/``..`` segments
+    and strips any leading slashes, so rooted (``/index.html``),
+    explicitly-relative (``./rooms/r1.html``) and escaped spellings of the
+    same page resolve to one key.  References escaping the site root
+    (``../outside.html``) are left intact — they miss the page map and
+    surface as :class:`NavigationError`, not as a silent remap.
+
+    Deliberate tradeoff: the HTTP front's ``PATH_INFO`` arrives with one
+    WSGI decode already applied, so over HTTP this adds a second decode —
+    double-encoded spellings (``%2567uitar``) alias to the same page.
+    The page map is the only authority here (there are no path-keyed
+    ACLs), escapes past the site root still miss it after any number of
+    decodes, and provider-side callers hand in raw node URIs that need
+    the decode — so one normal form for both surfaces wins over
+    boundary-split decoding.
     """
-    normalized = posixpath.normpath(uri.strip())
+    decoded = unquote(uri.strip()).replace("\\", "/")
+    normalized = posixpath.normpath(decoded)
     while normalized.startswith("/"):
         normalized = normalized[1:]
     if normalized in ("", "."):
         return "index.html"
     return normalized
+
+
+def build_node_map(renderer: Any) -> "dict[str, Any]":
+    """Normalized URI -> node for everything *renderer* serves.
+
+    The one page-map builder both serving surfaces key off — the
+    in-process :class:`LazyWovenProvider` and the HTTP front — so page
+    keys cannot drift between them.
+    """
+    renderer = getattr(renderer, "renderer", renderer)
+    return {
+        normalize_page_uri(node.uri): node for node in renderer.node_inventory()
+    }
+
+
+def resolve_page_target(nodes: Mapping[str, Any], uri: str) -> "tuple[str, Any]":
+    """``(normalized_uri, node)`` for *uri*; ``node=None`` means the home page.
+
+    Raises :class:`NavigationError` when the page is not in the map —
+    shared by every serving surface so lookup/404 semantics stay
+    identical.
+    """
+    normalized = normalize_page_uri(uri)
+    if normalized == "index.html":
+        return normalized, None
+    node = nodes.get(normalized)
+    if node is None:
+        raise NavigationError(f"no page at {uri!r}")
+    return normalized, node
 
 
 class LazyWovenProvider:
@@ -79,20 +121,16 @@ class LazyWovenProvider:
         renderer = getattr(renderer, "renderer", renderer)
         self._renderer = renderer
         # Normalized URI -> node, computed once from the inventory.
-        self._nodes = {
-            normalize_page_uri(node.uri): node for node in renderer.node_inventory()
-        }
+        self._nodes = build_node_map(renderer)
 
     def page(self, uri: str) -> PageView:
         from repro.xlink import resolve_uri
 
-        normalized = normalize_page_uri(uri)
-        if normalized == "index.html":
+        normalized, node = resolve_page_target(self._nodes, uri)
+        if node is None:
             page = self._renderer.render_home()
-        elif normalized in self._nodes:
-            page = self._renderer.render_node(self._nodes[normalized])
         else:
-            raise NavigationError(f"no page at {uri!r}")
+            page = self._renderer.render_node(node)
         anchors = [
             PageAnchor(
                 label=a.label,
@@ -119,6 +157,17 @@ class AudienceServer:
     unresolved names are built once via
     :func:`~repro.core.navspec.default_museum_spec` and shared across
     every bundle that stacks them.
+
+    **Two scope tiers.**  Each audience's deployments share one
+    *persistent* :class:`~repro.aop.InstanceScope` (created with the
+    audience's renderer and kept across :meth:`reconfigure`), so extra
+    renderer instances adopted into the audience — one per connected
+    session, see :mod:`repro.navigation.http` — ride the audience's
+    navigation stack the moment they are added.  Session-private concerns
+    (breadcrumb trails) deploy through :meth:`deploy_scoped` into their
+    own per-session scopes, layered over the audience tier in the same
+    transactional deployment set.  All weave *mutations* are serialized
+    on an internal lock; renders stay lock-free and concurrent.
     """
 
     def __init__(
@@ -138,9 +187,14 @@ class AudienceServer:
         )
         self._bundles: dict[str, AudienceBundle] = {}
         self._renderers: dict[str, Any] = {}
+        self._scopes: dict[str, InstanceScope] = {}
         self._aspects: dict[str, list[Any]] = {}
+        #: id(aspect) -> (aspect, resolved scope, audience or None) for
+        #: live deploy_scoped deployments.
+        self._session_aspects: dict[int, tuple[Aspect, InstanceScope, str | None]] = {}
         self._providers: dict[str, LazyWovenProvider] = {}
         self._closed = False
+        self._lock = threading.RLock()
         self._tx = self._runtime.transaction([PageRenderer])
         try:
             for bundle in bundles if bundles is not None else DEFAULT_AUDIENCES:
@@ -148,7 +202,9 @@ class AudienceServer:
                     raise NavigationError(
                         f"duplicate audience bundle {bundle.name!r}"
                     )
-                self._renderers[bundle.name] = PageRenderer(fixture)
+                renderer = PageRenderer(fixture)
+                self._renderers[bundle.name] = renderer
+                self._scopes[bundle.name] = InstanceScope([renderer])
                 self._weave(bundle)
         except BaseException:
             self._tx.rollback()
@@ -168,7 +224,7 @@ class AudienceServer:
     def _weave(self, bundle: AudienceBundle) -> None:
         from repro.core import NavigationAspect
 
-        renderer = self._renderers[bundle.name]
+        scope = self._scopes[bundle.name]
         # Build every aspect first: an unknown access-structure name (or a
         # broken spec) must fail before any deployment is touched.
         aspects = [
@@ -178,7 +234,7 @@ class AudienceServer:
         added: list[Any] = []
         try:
             for aspect in aspects:
-                self._tx.add(aspect, instances=[renderer])
+                self._tx.add(aspect, instances=scope)
                 added.append(aspect)
         except BaseException:
             # Unwind the partial stack so the audience is never left with
@@ -207,9 +263,24 @@ class AudienceServer:
         """The scoped runtime holding every audience's deployments."""
         return self._runtime
 
+    @property
+    def fixture(self) -> Any:
+        """The content fixture every renderer instance serves from."""
+        return self._fixture
+
     def audiences(self) -> list[str]:
         """The audiences currently served, in registration order."""
         return list(self._bundles)
+
+    def scope(self, audience: str) -> InstanceScope:
+        """The audience's persistent instance scope.
+
+        Every deployment of the audience's stack dispatches through this
+        one scope — across reconfigures — so a renderer adopted into it is
+        advised by whatever the audience's *current* stack is.
+        """
+        self._require(audience)
+        return self._scopes[audience]
 
     def bundle(self, audience: str) -> AudienceBundle:
         """The bundle *audience* is currently configured with."""
@@ -247,6 +318,83 @@ class AudienceServer:
             )
         return provider
 
+    # -- the session tier ------------------------------------------------------
+
+    def adopt_renderer(self, audience: str) -> Any:
+        """A fresh renderer instance riding *audience*'s navigation stack.
+
+        The instance joins the audience's persistent scope, so the stack's
+        marker dispatch stamps it immediately — its very first render
+        carries the audience's navigation, and a later
+        :meth:`reconfigure` of the audience re-skins it along with every
+        other member.  One is adopted per connected session (see
+        :mod:`repro.navigation.http`); pair with :meth:`release_renderer`.
+        """
+        from repro.core import PageRenderer
+
+        with self._lock:
+            self._require(audience)
+            renderer = PageRenderer(self._fixture)
+            self._scopes[audience].add(renderer)
+            return renderer
+
+    def release_renderer(self, audience: str, renderer: Any) -> None:
+        """Evict an adopted renderer from the audience's scope.
+
+        Discarding strips the scope's marker stamp, so the instance falls
+        back to plain (navigation-free) rendering; idempotent, and safe
+        after :meth:`close`.
+        """
+        with self._lock:
+            scope = self._scopes.get(audience)
+            if scope is not None:
+                scope.discard(renderer)
+
+    def deploy_scoped(
+        self,
+        aspect: Aspect,
+        instances: "Iterable[Any] | InstanceScope",
+        *,
+        audience: str | None = None,
+    ) -> Deployment:
+        """Layer a session-private aspect over the audience tier.
+
+        Deploys *aspect* into the server's transactional set, scoped to
+        *instances* (typically one session's adopted renderer).  The
+        deployment stacks over whatever is already live and unwinds with
+        the set; undo it with :meth:`undeploy_scoped` — by aspect, because
+        a reconfigure re-weaves survivors and refreshes their handles.
+
+        *instances* is resolved to one :class:`~repro.aop.InstanceScope`
+        up front (a bare iterable is consumed exactly once) and that same
+        scope object rides every re-weave, so membership mutated after
+        deployment survives reconfigures.  ``audience`` (when known) lets
+        :meth:`reconfigure` re-stack only the *targeted* audience's
+        session aspects instead of every session in the process.
+        """
+        with self._lock:
+            if self._closed:
+                raise NavigationError("audience server is closed")
+            scope = InstanceScope.resolve(instances)
+            deployment = self._tx.add(aspect, instances=scope)
+            self._session_aspects[id(aspect)] = (aspect, scope, audience)
+            return deployment
+
+    def undeploy_scoped(self, aspect: Aspect) -> None:
+        """Unwind a session aspect deployed via :meth:`deploy_scoped`.
+
+        Looked up by aspect identity (handles are refreshed whenever a
+        reconfigure re-weaves the stack above it); a no-op when the aspect
+        is not live — eviction after :meth:`close` must not raise.
+        """
+        with self._lock:
+            self._session_aspects.pop(id(aspect), None)
+            if self._closed:
+                return
+            live = [d for d in self._tx.deployments if d.aspect is aspect]
+            if live:
+                self._tx.undeploy(live)
+
     def reconfigure(
         self, audience: str, bundle: AudienceBundle | Iterable[str]
     ) -> None:
@@ -264,27 +412,56 @@ class AudienceServer:
         the audience untouched), and if weaving the new stack fails anyway
         the previous stack is re-woven before the exception propagates.
         """
-        self._require(audience)
-        if not isinstance(bundle, AudienceBundle):
-            bundle = AudienceBundle(audience, tuple(bundle))
-        for access in bundle.access_structures:
-            self._spec_for(access)
-        previous = self._bundles[audience]
-        old = self.deployments(audience)
-        if old:
-            self._tx.undeploy(old)
-        try:
-            self._weave(bundle)
-        except BaseException:
-            self._weave(previous)
-            raise
+        with self._lock:
+            self._require(audience)
+            if not isinstance(bundle, AudienceBundle):
+                bundle = AudienceBundle(audience, tuple(bundle))
+            for access in bundle.access_structures:
+                self._spec_for(access)
+            previous = self._bundles[audience]
+            old = self.deployments(audience)
+            # Session aspects always stack *above* every audience's
+            # navigation (they are deployed after the constructor wove
+            # the audiences).  Re-weaving the new stack appends it to the
+            # top of the transaction, so the *targeted* audience's session
+            # deployments are unwound here and re-added afterwards —
+            # keeping the documented order (audience tier below, session
+            # tier above) stable across reconfigures for its live
+            # sessions.  Other audiences' sessions are left to the partial
+            # undeploy's survivor re-weave (they end up above the new
+            # stack regardless, since they were deployed after every
+            # audience's initial weave).
+            restacked = [
+                entry
+                for entry in self._session_aspects.values()
+                if entry[2] in (None, audience)
+            ]
+            restack_ids = {id(entry[0]) for entry in restacked}
+            sessions = [
+                d
+                for d in self._tx.deployments
+                if id(d.aspect) in restack_ids
+            ]
+            if old or sessions:
+                self._tx.undeploy([*old, *sessions])
+            try:
+                self._weave(bundle)
+            except BaseException:
+                self._weave(previous)
+                raise
+            finally:
+                # Both on success and on a rolled-back failure, the
+                # audience's sessions return to the top of the stack.
+                for aspect, scope, _ in restacked:
+                    self._tx.add(aspect, instances=scope)
 
     def close(self) -> None:
         """Undeploy every audience's stack and release the renderer class."""
-        if self._closed:
-            return
-        self._closed = True
-        self._tx.undeploy()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._tx.undeploy()
 
     def __enter__(self) -> "AudienceServer":
         return self

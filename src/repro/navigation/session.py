@@ -5,12 +5,23 @@ depends on how you got here*.  A session tracks both the current node and
 the current navigational context; ``next()`` asks the context, so Guitar →
 Next yields another Picasso in the by-painter context and another cubist
 painting in the by-movement context.
+
+The per-user half of that example lives here too:
+:class:`BreadcrumbAspect` is a *session* navigation concern — a trail of
+the pages one user visited, woven over that user's private renderer
+instance (an instance-scoped deployment, see
+:mod:`repro.navigation.http`), so two users browsing the same audience
+from one live process each see only their own footsteps.
 """
 
 from __future__ import annotations
 
+import posixpath
+import threading
 from dataclasses import dataclass
 
+from repro.aop import Aspect, around
+from repro.hypermedia.access import Anchor
 from repro.hypermedia.context import NavigationalContext
 from repro.hypermedia.nodes import Node
 from repro.hypermedia.schema import NavigationalSchema
@@ -151,3 +162,111 @@ class NavigationSession:
     def trail(self) -> list[str]:
         """Human-readable history, oldest first."""
         return [position.describe() for position in self._history.trail()]
+
+
+class BreadcrumbTrail:
+    """A bounded, per-user trail of rendered pages (oldest first).
+
+    Revisiting a page moves it to the end instead of duplicating it; the
+    trail keeps at most *limit* entries, dropping the oldest.  Mutations
+    are serialized on an internal lock: renders are lock-free and
+    concurrent in the serving layer, so one session fetching pages in
+    parallel must not lose trail entries to a read-rebuild-replace race.
+    """
+
+    def __init__(self, limit: int = 8):
+        if limit < 1:
+            raise ValueError("breadcrumb trail limit must be >= 1")
+        self._limit = limit
+        self._lock = threading.Lock()
+        self._entries: list[tuple[str, str]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[tuple[str, str]]:
+        """``(path, title)`` pairs, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def paths(self) -> list[str]:
+        return [path for path, _ in self.entries()]
+
+    def record(self, path: str, title: str) -> list[tuple[str, str]]:
+        """Atomically push ``(path, title)``; returns the *prior* crumbs.
+
+        The returned entries exclude *path* itself — exactly the trail a
+        page being rendered should display (where you were, not where you
+        are).  One lock hold covers read-and-push, so two concurrent
+        renders from the same session cannot overwrite each other.
+        """
+        with self._lock:
+            crumbs = [e for e in self._entries if e[0] != path]
+            self._entries = crumbs + [(path, title)]
+            if len(self._entries) > self._limit:
+                del self._entries[: len(self._entries) - self._limit]
+            return crumbs
+
+    def push(self, path: str, title: str) -> None:
+        self.record(path, title)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class BreadcrumbAspect(Aspect):
+    """Weaves one user's breadcrumb trail into the pages they render.
+
+    A *session* navigation concern: where :class:`NavigationAspect` is
+    per-audience (what the site offers), the breadcrumb trail is per-user
+    (where *you* have been).  Deployed instance-scoped over one session's
+    private renderer, the advice fires only for that user's renders — the
+    audience's other sessions, and the audience's shared renderer, never
+    see this trail.
+
+    The trail block is a ``<nav class="breadcrumbs">`` appended after the
+    page content (and after whatever audience navigation wrapped it),
+    listing the *previously* visited pages with hrefs relativized to the
+    rendered page's path.
+    """
+
+    def __init__(self, *, limit: int = 8, trail: BreadcrumbTrail | None = None):
+        self.trail = trail if trail is not None else BreadcrumbTrail(limit)
+        self._count_lock = threading.Lock()
+        #: Join point observations, useful for tests and /-/stats.
+        self.pages_advised: int = 0
+
+    @around("execution(PageRenderer.render_node)")
+    def trail_node(self, jp):
+        return self._stamp(jp.proceed())
+
+    @around("execution(PageRenderer.render_home)")
+    def trail_home(self, jp):
+        return self._stamp(jp.proceed())
+
+    def _stamp(self, page):
+        # Renders run lock-free and concurrent; the counter must not lose
+        # increments to an interleaved read-modify-write.
+        with self._count_lock:
+            self.pages_advised += 1
+        crumbs = self.trail.record(page.path, page.title or page.path)
+        if not crumbs:
+            return page
+        body = page.tree.find("body")
+        if body is None:
+            return page
+        from repro.web import anchor_list
+        from repro.xmlcore import build
+
+        directory = posixpath.dirname(page.path)
+        anchors = [
+            Anchor(
+                label=title,
+                href=posixpath.relpath(path, directory or "."),
+                rel="breadcrumb",
+            )
+            for path, title in crumbs
+        ]
+        body.append(build("nav", {"class": "breadcrumbs"}, anchor_list(anchors)))
+        return page

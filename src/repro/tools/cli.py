@@ -1,6 +1,6 @@
 """The ``repro.tools`` command-line interface.
 
-Five subcommands, all operating on the paper's museum (or a synthetic one
+Six subcommands, all operating on the paper's museum (or a synthetic one
 via ``--painters/--paintings``):
 
 - ``build`` — build the site under one architecture and write it to disk.
@@ -10,6 +10,8 @@ via ``--painters/--paintings``):
 - ``aop inspect`` — weave the navigation stack in a scoped runtime and
   report every woven site, its dispatch tier, and the runtime's codegen
   statistics (``--source Class.member`` dumps a generated wrapper).
+- ``serve`` — serve every audience live over HTTP (threaded WSGI, one
+  instance-scoped stack per audience, one scope tier per session).
 """
 
 from __future__ import annotations
@@ -124,10 +126,13 @@ def _print_woven_sites(runtime: WeaverRuntime, title: str) -> None:
 def _print_runtime_stats(runtime: WeaverRuntime) -> None:
     stats = runtime.stats()
     cache = stats["codegen_cache"]
+    scopes = stats["scopes"]
     print(
         f"runtime {stats['name']!r}: {stats['deployments']} deployments "
-        f"({stats['instance_scoped']} instance-scoped), "
+        f"({stats['instance_scoped']} instance-scoped over {scopes['count']} "
+        f"scopes / {scopes['instances']} instances), "
         f"{stats['woven_sites']} woven sites, "
+        f"{stats['pools']['count']} join point pools, "
         f"{stats['cflow_watchers']} cflow watchers"
     )
     print(
@@ -236,6 +241,55 @@ def _aop_inspect_audiences(args: argparse.Namespace, fixture) -> int:
     return 0
 
 
+def _resolve_bundles(names_csv: str):
+    from repro.navigation import DEFAULT_AUDIENCES
+
+    names = [name.strip() for name in names_csv.split(",") if name.strip()]
+    if not names:
+        raise SystemExit("serve: --audiences names no bundles")
+    stock = {bundle.name: bundle for bundle in DEFAULT_AUDIENCES}
+    unknown = [name for name in names if name not in stock]
+    if unknown:
+        raise SystemExit(
+            f"serve: unknown audience(s) {', '.join(unknown)} "
+            f"(stock bundles: {', '.join(stock)})"
+        )
+    return [stock[name] for name in names]
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the museum live: every audience's stack, every session's trail.
+
+    Binds :class:`~repro.navigation.NavigationApp` under a threaded
+    ``wsgiref`` server and blocks until interrupted.  ``--port 0`` picks
+    an ephemeral port; the bound address is printed (and flushed) before
+    serving starts, so scripted callers — the CI smoke job — can parse
+    it.
+    """
+    from repro.navigation import serve
+
+    fixture = _fixture(args)
+    bundles = _resolve_bundles(args.audiences)
+
+    def ready(httpd) -> None:
+        host, port = httpd.server_address[:2]
+        print(
+            f"serving audiences [{args.audiences}] on http://{host}:{port}/ "
+            f"(session idle timeout: {args.session_ttl:g}s)",
+            flush=True,
+        )
+
+    serve(
+        fixture,
+        bundles,
+        host=args.host,
+        port=args.port,
+        session_idle_timeout=args.session_ttl,
+        ready=ready,
+    )
+    return 0
+
+
 def cmd_spec(args: argparse.Namespace) -> int:
     print(default_museum_spec(args.access).to_text(), end="")
     return 0
@@ -287,6 +341,26 @@ def build_parser() -> argparse.ArgumentParser:
     artifacts.add_argument("--spec-file")
     artifacts.add_argument("--out", required=True)
     artifacts.set_defaults(fn=cmd_artifacts)
+
+    serve = sub.add_parser(
+        "serve", help="serve every audience live over HTTP (threaded WSGI)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8000, help="0 binds an ephemeral port"
+    )
+    serve.add_argument(
+        "--audiences",
+        default="visitor,curator",
+        help="comma-separated stock bundles to serve (e.g. visitor,curator)",
+    )
+    serve.add_argument(
+        "--session-ttl",
+        type=float,
+        default=600.0,
+        help="seconds of idleness before a session's scope is evicted",
+    )
+    serve.set_defaults(fn=cmd_serve)
 
     aop = sub.add_parser("aop", help="inspect the aspect-weaving runtime")
     aop_sub = aop.add_subparsers(dest="aop_command", required=True)

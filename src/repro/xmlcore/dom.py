@@ -349,7 +349,10 @@ class Element(_Container):
         raise XmlTreeError("element not found among parent's children")
 
     def __repr__(self) -> str:
-        return f"<Element {self.name.clark()} attrs={len(self._attributes)} children={len(self._children)}>"
+        return (
+            f"<Element {self.name.clark()} attrs={len(self._attributes)} "
+            f"children={len(self._children)}>"
+        )
 
 
 class Text(Node):

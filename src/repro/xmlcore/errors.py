@@ -11,7 +11,9 @@ from __future__ import annotations
 class XmlError(Exception):
     """Base class for all XML substrate errors."""
 
-    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+    def __init__(
+        self, message: str, line: int | None = None, column: int | None = None
+    ):
         self.message = message
         self.line = line
         self.column = column

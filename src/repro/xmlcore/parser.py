@@ -50,7 +50,9 @@ class Parser:
             elif isinstance(token, DoctypeToken):
                 if seen_root:
                     raise XmlWellFormednessError(
-                        "DOCTYPE must precede the root element", token.line, token.column
+                        "DOCTYPE must precede the root element",
+                        token.line,
+                        token.column,
                     )
             elif isinstance(token, StartTagToken):
                 if not stack and seen_root:
@@ -80,7 +82,11 @@ class Parser:
                         token.column,
                     )
             elif isinstance(token, (TextToken, CDataToken)):
-                node = CData(token.value) if isinstance(token, CDataToken) else Text(token.value)
+                node = (
+                    CData(token.value)
+                    if isinstance(token, CDataToken)
+                    else Text(token.value)
+                )
                 if stack:
                     stack[-1][0].append(node)
                 elif token.value.strip():
@@ -176,7 +182,9 @@ class Parser:
                 prefix = name[len("xmlns:") :]
                 if prefix == "xmlns":
                     raise XmlNamespaceError(
-                        "the 'xmlns' prefix cannot be declared", token.line, token.column
+                        "the 'xmlns' prefix cannot be declared",
+                        token.line,
+                        token.column,
                     )
                 if prefix == "xml" and value != XML_NAMESPACE:
                     raise XmlNamespaceError(

@@ -64,7 +64,11 @@ def _parse_step(text: str, axis: str) -> _Step:
             position = int(match.group("pos"))
         else:
             attr_name = match.group("aname")
-            attr_value = match.group("sq") if match.group("sq") is not None else match.group("dq")
+            attr_value = (
+                match.group("sq")
+                if match.group("sq") is not None
+                else match.group("dq")
+            )
     if not text:
         raise XmlPathError("empty step in path expression")
     return _Step(axis, text, position, attr_name, attr_value)
@@ -161,7 +165,9 @@ def query(node: Document | Element, expression: str) -> list[Element | str]:
         if step.test == "text()":
             if not is_last:
                 raise XmlPathError("text() must be the last step")
-            return [item.text_content() for item in context if isinstance(item, _Container)]
+            return [
+                item.text_content() for item in context if isinstance(item, _Container)
+            ]
         if step.test == ".":
             continue
         next_context: list[Element] = []

@@ -24,11 +24,7 @@ from .names import XML_NAMESPACE, QName
 
 def escape_text(value: str) -> str:
     """Escape character data (also protects the ``]]>`` pitfall)."""
-    return (
-        value.replace("&", "&amp;")
-        .replace("<", "&lt;")
-        .replace(">", "&gt;")
-    )
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
 
 
 def escape_attribute(value: str) -> str:

@@ -297,11 +297,7 @@ class TestResidueMaskIndex:
         class Painting(Node):
             pass
 
-        pointcut = (
-            execution("Node.render")
-            & ~execution("Painting.*")
-            & target(Node)
-        )
+        pointcut = execution("Node.render") & ~execution("Painting.*") & target(Node)
         class_part, call_part = pointcut.residue_parts()
         assert class_part is not None and isinstance(class_part, Not)
         assert call_part is not None
@@ -556,9 +552,7 @@ class TestGeneratedWrapperMetadata:
             assert wrapper.__doc__ == "The docstring."
             assert wrapper.__woven__
             assert wrapper.__woven_original__ is wrapper.__wrapped__
-            assert "def wrapper(self, *args, **kwargs):" in (
-                wrapper.__codegen_source__
-            )
+            assert "def wrapper(self, *args, **kwargs):" in wrapper.__codegen_source__
 
     def test_exceptionless_chains_generate_no_handler(self):
         class Target:

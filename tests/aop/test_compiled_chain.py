@@ -42,9 +42,7 @@ from repro.aop.weaver import shadow_index
 @pytest.fixture(autouse=True, params=["codegen", "generic"])
 def _wrapper_tier(request, monkeypatch):
     """Run every test against both deployment tiers (checked per deploy)."""
-    monkeypatch.setenv(
-        "REPRO_AOP_CODEGEN", "1" if request.param == "codegen" else "0"
-    )
+    monkeypatch.setenv("REPRO_AOP_CODEGEN", "1" if request.param == "codegen" else "0")
     return request.param
 
 

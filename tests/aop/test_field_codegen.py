@@ -25,7 +25,9 @@ from repro.aop import (
 )
 from repro.aop.weaver import _WovenField
 
-BOTH_TIERS = pytest.mark.parametrize("codegen", [True, False], ids=["codegen", "generic"])
+BOTH_TIERS = pytest.mark.parametrize(
+    "codegen", [True, False], ids=["codegen", "generic"]
+)
 
 
 @pytest.fixture()

@@ -26,9 +26,7 @@ from repro.aop import (
 
 @pytest.fixture(params=["codegen", "generic"])
 def tier(request, monkeypatch):
-    monkeypatch.setenv(
-        "REPRO_AOP_CODEGEN", "1" if request.param == "codegen" else "0"
-    )
+    monkeypatch.setenv("REPRO_AOP_CODEGEN", "1" if request.param == "codegen" else "0")
     return request.param
 
 

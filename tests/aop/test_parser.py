@@ -65,9 +65,7 @@ class TestOperators:
 
     def test_precedence_and_binds_tighter(self):
         # a || b && c parses as a || (b && c)
-        pc = parse_pointcut(
-            "execution(Node.a) || execution(Index.*) && execution(*.b)"
-        )
+        pc = parse_pointcut("execution(Node.a) || execution(Index.*) && execution(*.b)")
         assert pc.matches_shadow(Node, "a", EXEC)
         assert pc.matches_shadow(Index, "b", EXEC)
         assert not pc.matches_shadow(Index, "c", EXEC)

@@ -84,9 +84,7 @@ class TestPoolThreadStress:
             except BaseException as exc:  # pragma: no cover - failure path
                 errors.append(exc)
 
-        pack = [
-            threading.Thread(target=worker, args=(n,)) for n in range(threads)
-        ]
+        pack = [threading.Thread(target=worker, args=(n,)) for n in range(threads)]
         for thread in pack:
             thread.start()
         for thread in pack:

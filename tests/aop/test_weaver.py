@@ -348,7 +348,10 @@ class TestIntroductions:
             def introductions(self):
                 return [
                     Introduction(
-                        "Account", "deposit", lambda self, amount: "replaced", replace=True
+                        "Account",
+                        "deposit",
+                        lambda self, amount: "replaced",
+                        replace=True,
                     )
                 ]
 

@@ -99,9 +99,7 @@ class TestAopInspectCommand:
 
     def test_dumps_generated_source(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_AOP_CODEGEN", "1")
-        assert main(
-            ["aop", "inspect", "--source", "PageRenderer.render_node"]
-        ) == 0
+        assert main(["aop", "inspect", "--source", "PageRenderer.render_node"]) == 0
         out = capsys.readouterr().out
         assert "generated source for PageRenderer.render_node" in out
         assert "def wrapper(self, *args, **kwargs):" in out
@@ -113,3 +111,64 @@ class TestAopInspectCommand:
     def test_empty_stack_fails(self):
         with pytest.raises(SystemExit, match="names no access structures"):
             main(["aop", "inspect", "--stack", " , "])
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        from repro.tools.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--port", "0"])
+        assert args.fn.__name__ == "cmd_serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.audiences == "visitor,curator"
+        assert args.session_ttl == 600.0
+
+    def test_unknown_audience_fails(self):
+        with pytest.raises(SystemExit, match="unknown audience"):
+            main(["serve", "--port", "0", "--audiences", "visitor,stranger"])
+
+    def test_serves_requests_end_to_end(self, capsys):
+        """Boot the real CLI stack on an ephemeral port and request a page."""
+        import threading
+        import unittest.mock
+        import urllib.request
+
+        import repro.navigation as nav_mod
+        from repro.core import PageRenderer
+
+        real_serve = nav_mod.serve
+        came_up = threading.Event()
+        bound = {}
+
+        def capturing_serve(fixture, bundles=None, *, ready=None, **kwargs):
+            # Wrap the CLI's ready hook to also capture the bound server,
+            # so the test can learn the ephemeral port and shut it down.
+            def ready_hook(httpd):
+                if ready is not None:
+                    ready(httpd)
+                bound["httpd"] = httpd
+                came_up.set()
+
+            return real_serve(fixture, bundles, ready=ready_hook, **kwargs)
+
+        def run():
+            # cmd_serve does `from repro.navigation import serve`, so the
+            # patch intercepts the CLI's real call path.
+            with unittest.mock.patch.object(nav_mod, "serve", capturing_serve):
+                main(["serve", "--port", "0"])
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert came_up.wait(10), "server never came up"
+        port = bound["httpd"].server_address[1]
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/visitor/index.html"
+            ) as response:
+                assert response.status == 200
+                assert "The Museum" in response.read().decode("utf-8")
+        finally:
+            bound["httpd"].shutdown()
+            thread.join(10)
+        assert not hasattr(PageRenderer.render_node, "__woven__")

@@ -83,7 +83,9 @@ class TestComposition:
             LandmarkAspect(default_museum_landmarks()),
             NavigationAspect(default_museum_spec("index"), fixture),
         )
-        page_one = {(a.label, a.rel) for a in one.page("PaintingNode/guitar.html").anchors()}
+        page_one = {
+            (a.label, a.rel) for a in one.page("PaintingNode/guitar.html").anchors()
+        }
         page_other = {
             (a.label, a.rel) for a in other.page("PaintingNode/guitar.html").anchors()
         }
@@ -91,7 +93,9 @@ class TestComposition:
 
     def test_each_aspect_separately_removable(self, fixture):
         landmarks_only = build_with(fixture, LandmarkAspect(default_museum_landmarks()))
-        rels = {a.rel for a in landmarks_only.page("PaintingNode/guitar.html").anchors()}
+        rels = {
+            a.rel for a in landmarks_only.page("PaintingNode/guitar.html").anchors()
+        }
         assert rels == {"landmark"}
         plain = build_plain_site(fixture)
         assert sum(len(p.anchors()) for p in plain.pages()) == 0

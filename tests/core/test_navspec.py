@@ -108,9 +108,7 @@ class TestSpecAsArtifact:
         before = default_museum_spec("index").to_text().splitlines()
         after = default_museum_spec("indexed-guided-tour").to_text().splitlines()
         assert len(before) == len(after)
-        changed = [
-            (b, a) for b, a in zip(before, after) if b != a
-        ]
+        changed = [(b, a) for b, a in zip(before, after) if b != a]
         assert len(changed) == 1
         assert "index" in changed[0][0] and "indexed-guided-tour" in changed[0][1]
 

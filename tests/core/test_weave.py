@@ -120,9 +120,7 @@ class TestNavigationWeaver:
             before = weaver.build_site()
             weaver.reconfigure(default_museum_spec("indexed-guided-tour"))
             after = weaver.build_site()
-        rels_before = {
-            a.rel for p in before.pages() for a in p.anchors()
-        }
+        rels_before = {a.rel for p in before.pages() for a in p.anchors()}
         rels_after = {a.rel for p in after.pages() for a in p.anchors()}
         assert "next" not in rels_before
         assert "next" in rels_after

@@ -151,12 +151,8 @@ class TestXLinkSite:
 
     def test_anchor_shape_per_access_structure(self, fixture):
         index_site = build_xlink_site(fixture, default_museum_spec("index"))
-        igt_site = build_xlink_site(
-            fixture, default_museum_spec("indexed-guided-tour")
-        )
-        index_rels = {
-            a.rel for a in index_site.page("guitar.html").anchors()
-        }
+        igt_site = build_xlink_site(fixture, default_museum_spec("indexed-guided-tour"))
+        index_rels = {a.rel for a in index_site.page("guitar.html").anchors()}
         igt_rels = {a.rel for a in igt_site.page("guitar.html").anchors()}
         assert "next" not in index_rels
         assert {"entry", "prev", "next"} <= igt_rels

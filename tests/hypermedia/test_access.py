@@ -17,9 +17,7 @@ def members():
     fixture = museum_fixture()
     # Picasso's paintings ordered by year: avignon (1907), guitar (1913),
     # guernica (1937).
-    return [
-        fixture.painting_node(pid) for pid in ("avignon", "guitar", "guernica")
-    ]
+    return [fixture.painting_node(pid) for pid in ("avignon", "guitar", "guernica")]
 
 
 class TestIndex:

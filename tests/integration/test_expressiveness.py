@@ -33,9 +33,7 @@ class TestPrimitiveNodes:
         from repro.hypermedia import NodeClass
 
         card = NodeClass("PaintingCard", "Painting").view("title")
-        node = card.instantiate(
-            fixture.store.get("Painting", "guitar"), fixture.store
-        )
+        node = card.instantiate(fixture.store.get("Painting", "guitar"), fixture.store)
         assert set(node.attributes()) == {"title"}
 
 
@@ -69,9 +67,7 @@ class TestPrimitiveAccessStructures:
         assert "next" in rels and "entry" not in rels
 
     def test_indexed_guided_tour(self, fixture):
-        site = build_woven_site(
-            fixture, default_museum_spec("indexed-guided-tour")
-        )
+        site = build_woven_site(fixture, default_museum_spec("indexed-guided-tour"))
         rels = {a.rel for a in site.page("PaintingNode/guitar.html").anchors()}
         assert {"entry", "next", "prev"} <= rels
 

@@ -72,7 +72,8 @@ class TestSharedSemantics:
                 pages = agent.crawl("index.html")
                 for page in pages.values():
                     for anchor in page.anchors:
-                        assert anchor.href in pages, f"{name}: {page.uri} -> {anchor.href}"
+                        href = anchor.href
+                        assert href in pages, f"{name}: {page.uri} -> {href}"
 
 
 class TestDifferences:

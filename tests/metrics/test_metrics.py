@@ -32,14 +32,16 @@ class TestClassifier:
         )
 
     def test_nav_region_lines_are_navigation(self):
-        assert classify_line("<p>inside nav</p>", in_nav_block=True) is Concern.NAVIGATION
+        line = "<p>inside nav</p>"
+        assert classify_line(line, in_nav_block=True) is Concern.NAVIGATION
 
     def test_xlink_markup_is_navigation(self):
         line = '<loc xlink:type="locator" xlink:href="p.xml"/>'
         assert classify_line(line, in_nav_block=False) is Concern.NAVIGATION
 
     def test_prose_is_content(self):
-        assert classify_line("<p>Guernica, 1937.</p>", in_nav_block=False) is Concern.CONTENT
+        line = "<p>Guernica, 1937.</p>"
+        assert classify_line(line, in_nav_block=False) is Concern.CONTENT
 
     def test_scaffolding_is_structure(self):
         assert classify_line("<html>", in_nav_block=False) is Concern.STRUCTURE
@@ -56,9 +58,7 @@ class TestClassifier:
 
 class TestScattering:
     def test_tangled_site_scatters_navigation_everywhere(self, fixture):
-        pages = {
-            p.path: p.html for p in TangledMuseumSite(fixture).build().values()
-        }
+        pages = {p.path: p.html for p in TangledMuseumSite(fixture).build().values()}
         report = measure_scattering(pages)
         assert report.cdc == report.total_files  # every page has navigation
         assert report.tangling_ratio == 1.0
@@ -75,9 +75,7 @@ class TestScattering:
         assert report.tangled_files == 0
 
     def test_navigation_share_bounds(self, fixture):
-        pages = {
-            p.path: p.html for p in TangledMuseumSite(fixture).build().values()
-        }
+        pages = {p.path: p.html for p in TangledMuseumSite(fixture).build().values()}
         report = measure_scattering(pages)
         assert 0.0 < report.navigation_share < 1.0
 
@@ -118,9 +116,7 @@ class TestChangeImpact:
 
         small = aspect_impact(synthetic_museum(3, 3))
         large = aspect_impact(synthetic_museum(10, 10))
-        assert (
-            small.authored.lines_changed == large.authored.lines_changed
-        )
+        assert small.authored.lines_changed == large.authored.lines_changed
         # While the tangled impact grows with the number of pages:
         tangled_small = tangled_impact(synthetic_museum(3, 3))
         tangled_large = tangled_impact(synthetic_museum(10, 10))
@@ -132,9 +128,7 @@ class TestChangeImpact:
 
 class TestReporting:
     def test_format_table_alignment(self):
-        table = format_table(
-            ["name", "n"], [["tangled", 9], ["aspect", 1]], title="T"
-        )
+        table = format_table(["name", "n"], [["tangled", 9], ["aspect", 1]], title="T")
         lines = table.splitlines()
         assert lines[0] == "T"
         assert "tangled" in table and "aspect" in table

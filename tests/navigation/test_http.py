@@ -1,0 +1,547 @@
+"""The HTTP serving front and its per-session scope tier.
+
+Covers the acceptance bar for serving: routing over
+:class:`NavigationApp` (audiences, pages, management endpoints), cookie /
+header session identity, the two-level scope hierarchy (a session's
+renderer rides the audience scope while its breadcrumb trail weaves in a
+private session scope), idle-timeout eviction that releases marker state,
+live ``reconfigure`` through the management surface, and — the
+concurrency suite — N threads with one session each interleaved with a
+mid-flight reconfigure, asserting per-session breadcrumb isolation and
+marker-default release after eviction.
+"""
+
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.aop import codegen
+from repro.baselines import museum_fixture
+from repro.core import PageRenderer
+from repro.navigation import (
+    AudienceBundle,
+    AudienceServer,
+    BreadcrumbAspect,
+    BreadcrumbTrail,
+    NavigationApp,
+)
+from repro.navigation.http import SESSION_COOKIE, make_wsgi_server
+
+VISITOR_CURATOR = [
+    AudienceBundle("visitor", ("index", "guided-tour")),
+    AudienceBundle("curator", ("index",)),
+]
+
+GUITAR = "PaintingNode/guitar.html"
+
+
+@pytest.fixture()
+def fixture():
+    return museum_fixture()
+
+
+@pytest.fixture()
+def served(fixture):
+    with AudienceServer(fixture, VISITOR_CURATOR) as server:
+        app = NavigationApp(server)
+        try:
+            yield server, app
+        finally:
+            app.close()
+
+
+def call(app, path, *, method="GET", sid=None, cookie=None, body=None):
+    """Drive the WSGI callable directly; returns (status, headers, text)."""
+    payload = body.encode() if isinstance(body, str) else (body or b"")
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "CONTENT_LENGTH": str(len(payload)),
+        "wsgi.input": io.BytesIO(payload),
+    }
+    if sid is not None:
+        environ["HTTP_X_REPRO_SESSION"] = sid
+    if cookie is not None:
+        environ["HTTP_COOKIE"] = cookie
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+        captured["headers"] = headers
+
+    chunks = app(environ, start_response)
+    text = b"".join(chunks).decode("utf-8")
+    return int(captured["status"].split()[0]), dict(captured["headers"]), text
+
+
+class TestRouting:
+    def test_front_door_lists_audiences(self, served):
+        _, app = served
+        status, headers, text = call(app, "/")
+        assert status == 200
+        assert "/visitor/index.html" in text and "/curator/index.html" in text
+        assert headers["Content-Type"].startswith("text/html")
+
+    def test_audiences_render_their_own_stacks(self, served):
+        _, app = served
+        status, _, visitor = call(app, f"/visitor/{GUITAR}", sid="a")
+        assert status == 200 and 'rel="next"' in visitor
+        status, _, curator = call(app, f"/curator/{GUITAR}", sid="b")
+        assert status == 200 and 'rel="next"' not in curator
+
+    def test_bare_and_rooted_audience_paths_serve_home(self, served):
+        _, app = served
+        for path in ("/visitor", "/visitor/", "/visitor/index.html"):
+            status, _, text = call(app, path, sid="a")
+            assert status == 200 and "<title>The Museum</title>" in text
+
+    def test_percent_encoded_page_paths_resolve(self, served):
+        _, app = served
+        status, _, text = call(app, "/visitor/PaintingNode%2Fguitar.html", sid="a")
+        assert status == 200 and "Guitar" in text
+
+    def test_unknown_audience_and_page_404(self, served):
+        _, app = served
+        assert call(app, "/stranger/index.html")[0] == 404
+        assert call(app, "/visitor/ghost.html", sid="a")[0] == 404
+        assert call(app, "/-/ghost")[0] == 404
+
+    def test_wrong_methods_get_405_with_allow(self, served):
+        _, app = served
+        status, headers, _ = call(app, "/visitor/index.html", method="POST", sid="a")
+        assert status == 405 and headers["Allow"] == "GET"
+        assert call(app, "/-/stats", method="POST")[0] == 405
+        status, headers, _ = call(app, "/-/reconfigure/visitor", method="GET")
+        assert status == 405 and headers["Allow"] == "POST"
+
+    def test_unknown_audience_404s_before_method_check(self, served):
+        """405 asserts the resource exists; a missing audience never does."""
+        _, app = served
+        assert call(app, "/stranger/index.html", method="POST")[0] == 404
+        assert call(app, "/stranger/index.html", method="DELETE")[0] == 404
+
+
+class TestSessions:
+    def test_cookie_minted_once_and_honoured(self, served):
+        _, app = served
+        status, headers, _ = call(app, "/visitor/index.html")
+        assert status == 200
+        cookie = headers["Set-Cookie"]
+        assert cookie.startswith(f"{SESSION_COOKIE}=")
+        sid = cookie.split(";")[0].split("=", 1)[1]
+        status, headers, _ = call(
+            app, f"/visitor/{GUITAR}", cookie=f"{SESSION_COOKIE}={sid}"
+        )
+        assert status == 200 and "Set-Cookie" not in headers
+        assert len(app.sessions()) == 1
+
+    def test_sessions_get_private_breadcrumb_trails(self, served):
+        _, app = served
+        call(app, "/visitor/index.html", sid="alice")
+        _, _, alice = call(app, f"/visitor/{GUITAR}", sid="alice")
+        _, _, bob = call(app, f"/visitor/{GUITAR}", sid="bob")
+        assert "breadcrumbs" in alice  # alice was at home first
+        assert "breadcrumbs" not in bob  # bob's first page has no trail
+        # The audience's shared renderer never carries anyone's trail.
+        server, _ = served
+        base = server.renderer("visitor")
+        node = server.fixture.painting_node("guitar")
+        assert "breadcrumbs" not in base.render_node(node).html()
+
+    def test_one_cookie_spans_audiences_with_separate_scopes(self, served):
+        _, app = served
+        call(app, "/visitor/index.html", sid="alice")
+        call(app, "/curator/index.html", sid="alice")
+        sessions = app.sessions()
+        assert {s.audience for s in sessions} == {"visitor", "curator"}
+        assert len({id(s.renderer) for s in sessions}) == 2
+
+    def test_session_renderers_join_the_audience_scope(self, served):
+        server, app = served
+        assert len(server.scope("visitor")) == 1  # the audience renderer
+        call(app, "/visitor/index.html", sid="alice")
+        call(app, "/visitor/index.html", sid="bob")
+        assert len(server.scope("visitor")) == 3
+        stats = server.runtime.stats()
+        # Audience scopes (one per audience, shared by each stack) plus
+        # one session scope per live session.
+        assert stats["scopes"]["count"] == len(VISITOR_CURATOR) + 2
+        assert stats["instance_scoped"] == stats["deployments"]
+
+
+class TestSessionCosts:
+    def test_404s_do_not_open_sessions(self, served):
+        """A request that will 404 must not cost a renderer + deployment."""
+        _, app = served
+        assert call(app, "/visitor/ghost.html", sid="nobody")[0] == 404
+        assert call(app, "/visitor/rooms%2Fnope.html")[0] == 404
+        assert app.sessions() == []
+
+    def test_session_cap_refuses_with_503(self, fixture):
+        with AudienceServer(fixture, VISITOR_CURATOR) as server:
+            app = NavigationApp(server, max_sessions=2)
+            assert call(app, "/visitor/index.html", sid="a")[0] == 200
+            assert call(app, "/visitor/index.html", sid="b")[0] == 200
+            status, _, text = call(app, "/visitor/index.html", sid="c")
+            assert status == 503 and "cap" in text
+            # Existing sessions keep being served at the cap.
+            assert call(app, "/visitor/index.html", sid="a")[0] == 200
+            assert len(app.sessions()) == 2
+            app.close()
+
+    def test_cap_admits_again_after_idle_eviction(self, fixture):
+        clock = [0.0]
+        with AudienceServer(fixture, VISITOR_CURATOR) as server:
+            app = NavigationApp(
+                server,
+                max_sessions=1,
+                session_idle_timeout=100.0,
+                clock=lambda: clock[0],
+            )
+            assert call(app, "/visitor/index.html", sid="a")[0] == 200
+            assert call(app, "/visitor/index.html", sid="b")[0] == 503
+            clock[0] = 200.0  # a went idle; b takes the slot
+            assert call(app, "/visitor/index.html", sid="b")[0] == 200
+            app.close()
+
+
+class TestEviction:
+    def test_idle_sessions_are_evicted_and_marker_state_released(self, fixture):
+        clock = [0.0]
+        with AudienceServer(fixture, VISITOR_CURATOR) as server:
+            app = NavigationApp(
+                server, session_idle_timeout=100.0, clock=lambda: clock[0]
+            )
+            call(app, f"/visitor/{GUITAR}", sid="alice")
+            (session,) = app.sessions()
+            marker = session.scope.attr
+            renderer = session.renderer
+            # Codegen tier: the session scope's marker default is live on
+            # the class and its stamp on the instance (the generic tier
+            # dispatches on ids and never stamps).
+            if codegen.codegen_enabled():
+                assert hasattr(PageRenderer, marker)
+                assert marker in vars(renderer)
+            clock[0] = 101.0
+            assert app.evict_idle() == 1
+            assert app.sessions() == []
+            # Marker default gone from the class, stamp gone from the
+            # instance, renderer out of the audience scope.
+            assert not hasattr(PageRenderer, marker)
+            assert marker not in vars(renderer)
+            assert renderer not in server.scope("visitor")
+            assert len(server.scope("visitor")) == 1
+            # The evicted renderer is back to plain rendering.
+            node = fixture.painting_node("guitar")
+            assert "<nav>" not in renderer.render_node(node).html()
+            app.close()
+
+    def test_requests_evict_opportunistically_and_reopen_fresh(self, fixture):
+        clock = [0.0]
+        with AudienceServer(fixture, VISITOR_CURATOR) as server:
+            app = NavigationApp(
+                server, session_idle_timeout=100.0, clock=lambda: clock[0]
+            )
+            call(app, "/visitor/index.html", sid="alice")
+            call(app, f"/visitor/{GUITAR}", sid="alice")
+            clock[0] = 500.0
+            # Alice comes back long after the timeout: her old scope was
+            # evicted in passing and the new session starts trail-less.
+            _, _, text = call(app, f"/visitor/{GUITAR}", sid="alice")
+            assert "breadcrumbs" not in text
+            stats = app.stats()
+            assert stats["sessions"]["evicted_total"] == 1
+            assert stats["sessions"]["active"] == 1
+            # The served-request total is monotonic across evictions: two
+            # requests from the evicted session plus one from the fresh one.
+            assert stats["sessions"]["requests"] == 3
+            app.close()
+
+
+class TestManagementSurface:
+    def test_stats_reports_scopes_sessions_and_pools(self, served):
+        _, app = served
+        call(app, f"/visitor/{GUITAR}", sid="alice")
+        status, headers, text = call(app, "/-/stats")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        stats = json.loads(text)
+        assert stats["audiences"]["visitor"]["access_structures"] == [
+            "index",
+            "guided-tour",
+        ]
+        assert stats["audiences"]["visitor"]["scope_instances"] == 2
+        assert stats["sessions"]["active"] == 1
+        assert stats["sessions"]["by_audience"] == {"visitor": 1}
+        runtime = stats["runtime"]
+        assert runtime["instance_scoped"] == runtime["deployments"]
+        # Pool counters ride the generated wrappers; the generic tier
+        # reports the aggregate keys with no per-shadow pools behind them.
+        if codegen.codegen_enabled():
+            assert runtime["pools"]["count"] >= 1
+        else:
+            assert runtime["pools"]["count"] >= 0
+        assert runtime["scopes"]["instances"] >= 3
+
+    def test_reconfigure_changes_only_the_target_audience(self, served):
+        _, app = served
+        call(app, "/visitor/index.html", sid="alice")
+        status, _, text = call(
+            app, "/-/reconfigure/curator", method="POST", body="indexed-guided-tour"
+        )
+        assert status == 200
+        assert json.loads(text)["access_structures"] == ["indexed-guided-tour"]
+        _, _, curator = call(app, f"/curator/{GUITAR}", sid="bob")
+        assert 'rel="next"' in curator
+        # Visitor stack — and alice's live trail — are untouched.
+        _, _, visitor = call(app, f"/visitor/{GUITAR}", sid="alice")
+        assert 'rel="next"' in visitor and "breadcrumbs" in visitor
+
+    def test_reconfigure_keeps_session_trails_above_audience_nav(self, served):
+        """Live sessions keep the documented stacking across reconfigures.
+
+        Session aspects deploy above the audience tier, so the breadcrumb
+        block renders *after* the audience's navigation.  A reconfigure of
+        the session's own audience re-weaves both tiers; the order must
+        not invert for existing sessions (nor differ from fresh ones).
+        """
+        _, app = served
+        call(app, "/visitor/index.html", sid="alice")
+
+        def block_order(html):
+            return html.index("<nav>") < html.index('<nav class="breadcrumbs"')
+
+        _, _, before = call(app, f"/visitor/{GUITAR}", sid="alice")
+        assert block_order(before)
+        call(
+            app,
+            "/-/reconfigure/visitor",
+            method="POST",
+            body="index,guided-tour",
+        )
+        _, _, after = call(app, f"/visitor/{GUITAR}", sid="alice")
+        assert block_order(after), "reconfigure inverted the scope tiers"
+        # A session opened after the reconfigure renders the same order.
+        call(app, "/visitor/index.html", sid="carol")
+        _, _, fresh = call(app, f"/visitor/{GUITAR}", sid="carol")
+        assert block_order(fresh)
+
+    def test_reconfigure_restacks_only_the_target_audiences_sessions(
+        self, served, monkeypatch
+    ):
+        """Other audiences' session aspects are not explicitly re-added."""
+        server, app = served
+        call(app, "/visitor/index.html", sid="alice")
+        call(app, "/curator/index.html", sid="bob")
+        added = []
+        real_add = server._tx.add
+
+        def counting_add(aspect, *args, **kwargs):
+            added.append(type(aspect).__name__)
+            return real_add(aspect, *args, **kwargs)
+
+        monkeypatch.setattr(server._tx, "add", counting_add)
+        server.reconfigure("curator", ("indexed-guided-tour",))
+        # One NavigationAspect for the new stack + exactly one breadcrumb
+        # re-stack (bob's); alice's visitor session is never re-added.
+        assert added.count("BreadcrumbAspect") == 1
+
+    def test_deploy_scoped_resolves_one_shot_iterables_once(self, served):
+        """A generator argument must not yield an empty scope later."""
+        server, app = served
+        renderer = server.adopt_renderer("visitor")
+        aspect = BreadcrumbAspect()
+        deployment = server.deploy_scoped(
+            aspect, (r for r in [renderer]), audience="visitor"
+        )
+        assert deployment.scope is not None and len(deployment.scope) == 1
+        server.reconfigure("visitor", ("index",))
+        (live,) = [d for d in server.runtime.deployments if d.aspect is aspect]
+        # The re-woven deployment rides the same resolved scope object.
+        assert live.scope is deployment.scope and len(live.scope) == 1
+        server.undeploy_scoped(aspect)
+        server.release_renderer("visitor", renderer)
+
+    def test_reconfigure_accepts_json_bodies(self, served):
+        _, app = served
+        status, _, _ = call(
+            app,
+            "/-/reconfigure/curator",
+            method="POST",
+            body=json.dumps({"access_structures": ["guided-tour"]}),
+        )
+        assert status == 200
+        _, _, curator = call(app, f"/curator/{GUITAR}", sid="bob")
+        assert 'rel="next"' in curator
+
+    def test_bad_reconfigure_requests_leave_the_stack_intact(self, served):
+        server, app = served
+        assert call(app, "/-/reconfigure/stranger", method="POST", body="index")[
+            0
+        ] == 404
+        assert call(app, "/-/reconfigure/curator", method="POST", body="")[0] == 400
+        status, _, _ = call(
+            app, "/-/reconfigure/curator", method="POST", body="no-such-structure"
+        )
+        assert status == 400
+        assert server.bundle("curator").access_structures == ("index",)
+        assert call(app, f"/curator/{GUITAR}", sid="bob")[0] == 200
+
+
+class TestSessionScopeConcurrency:
+    """The satellite suite: N session threads, a reconfigure mid-flight."""
+
+    def test_threaded_sessions_stay_isolated_across_reconfigure(self, fixture):
+        paintings = [
+            "PaintingNode/guitar.html",
+            "PaintingNode/guernica.html",
+            "PaintingNode/violin.html",
+            "PaintingNode/memory.html",
+            "PaintingNode/elephants.html",
+            "PaintingNode/harlequin.html",
+        ]
+        with AudienceServer(fixture, VISITOR_CURATOR) as server:
+            app = NavigationApp(server)
+            errors: list[BaseException] = []
+            start = threading.Barrier(len(paintings) + 1)
+
+            def browse(index: int, own_page: str) -> None:
+                sid = f"user{index}"
+                audience = "visitor" if index % 2 == 0 else "curator"
+                try:
+                    start.wait()
+                    for _ in range(25):
+                        status, _, _ = call(app, f"/{audience}/index.html", sid=sid)
+                        assert status == 200
+                        status, _, _ = call(app, f"/{audience}/{own_page}", sid=sid)
+                        assert status == 200
+                except BaseException as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=browse, args=(i, page))
+                for i, page in enumerate(paintings)
+            ]
+            for thread in threads:
+                thread.start()
+            start.wait()
+            # Mid-flight: swap the curator stack while every session is
+            # hammering its audience.
+            call(
+                app,
+                "/-/reconfigure/curator",
+                method="POST",
+                body="indexed-guided-tour",
+            )
+            for thread in threads:
+                thread.join()
+            assert errors == []
+
+            # Per-session breadcrumb isolation: each trail only ever saw
+            # its own session's pages — never another session's painting.
+            sessions = {s.sid: s for s in app.sessions()}
+            assert len(sessions) == len(paintings)
+            for i, own_page in enumerate(paintings):
+                trail = sessions[f"user{i}"].breadcrumbs.trail.paths()
+                others = set(paintings) - {own_page}
+                assert not (set(trail) & others), (i, trail)
+                assert set(trail) <= {"index.html", own_page}
+
+            # Quiesced: the reconfigure took effect for curator sessions
+            # without touching visitor ones.
+            _, _, curator = call(app, "/curator/PaintingNode/guitar.html", sid="user1")
+            assert 'rel="next"' in curator
+            _, _, visitor = call(app, "/visitor/PaintingNode/guitar.html", sid="user0")
+            assert 'rel="next"' in visitor and "breadcrumbs" in visitor
+
+            # Evict everyone: every session marker default is released.
+            markers = [s.scope.attr for s in app.sessions()]
+            renderers = [s.renderer for s in app.sessions()]
+            app.close()
+            for marker in markers:
+                assert not hasattr(PageRenderer, marker)
+            for renderer in renderers:
+                # No stray scope stamps left on the evicted instances.
+                stamps = [k for k in vars(renderer) if k.startswith("_aop_scope_")]
+                assert stamps == []
+            assert len(server.scope("visitor")) == 1
+            assert len(server.scope("curator")) == 1
+        assert not hasattr(PageRenderer.render_node, "__woven__")
+
+
+class TestOverRealSockets:
+    def test_threaded_wsgi_server_serves_concurrent_sessions(self, fixture):
+        with AudienceServer(fixture, VISITOR_CURATOR) as server:
+            app = NavigationApp(server)
+            httpd = make_wsgi_server(app)
+            port = httpd.server_address[1]
+            thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+            thread.start()
+            base = f"http://127.0.0.1:{port}"
+
+            def get(path, sid):
+                request = urllib.request.Request(base + path)
+                request.add_header("X-Repro-Session", sid)
+                with urllib.request.urlopen(request) as response:
+                    return response.status, response.read().decode("utf-8")
+
+            try:
+                status, visitor = get(f"/visitor/{GUITAR}", "alice")
+                assert status == 200 and 'rel="next"' in visitor
+                status, curator = get(f"/curator/{GUITAR}", "bob")
+                assert status == 200 and 'rel="next"' not in curator
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    get("/visitor/ghost.html", "alice")
+                assert excinfo.value.code == 404
+            finally:
+                httpd.shutdown()
+                httpd.server_close()
+                app.close()
+        assert not hasattr(PageRenderer.render_node, "__woven__")
+
+
+class TestBreadcrumbTrail:
+    def test_trail_bounds_and_deduplicates(self):
+        trail = BreadcrumbTrail(3)
+        for path in ("a", "b", "c", "b", "d"):
+            trail.push(path, path.upper())
+        # "b" moved to the end on revisit; the bound evicted "a".
+        assert trail.paths() == ["c", "b", "d"]
+        assert trail.entries()[-1] == ("d", "D")
+        trail.clear()
+        assert len(trail) == 0
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BreadcrumbTrail(0)
+
+    def test_record_returns_prior_crumbs_atomically(self):
+        trail = BreadcrumbTrail(4)
+        assert trail.record("a", "A") == []
+        assert trail.record("b", "B") == [("a", "A")]
+        # Revisiting excludes the page itself from its own crumbs.
+        assert trail.record("a", "A") == [("b", "B")]
+        assert trail.paths() == ["b", "a"]
+
+    def test_concurrent_records_lose_no_entries(self):
+        trail = BreadcrumbTrail(64)
+        start = threading.Barrier(4)
+
+        def hammer(prefix):
+            start.wait()
+            for n in range(8):
+                trail.record(f"{prefix}{n}", prefix)
+
+        threads = [
+            threading.Thread(target=hammer, args=(p,)) for p in "wxyz"
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Every distinct page survived the interleaving.
+        assert len(trail) == 32

@@ -50,6 +50,14 @@ class TestNormalizePageUri:
             ("", "index.html"),
             ("/", "index.html"),
             (".", "index.html"),
+            # Percent-encoded spellings decode before the page-map lookup.
+            ("PaintingNode%2Fguitar.html", "PaintingNode/guitar.html"),
+            ("/PaintingNode/gu%69tar.html", "PaintingNode/guitar.html"),
+            ("%2Findex.html", "index.html"),
+            # Windows-style backslashes fold to forward slashes.
+            ("PaintingNode\\guitar.html", "PaintingNode/guitar.html"),
+            ("\\PaintingNode\\guitar.html", "PaintingNode/guitar.html"),
+            ("rooms%5Cr1.html", "rooms/r1.html"),
         ],
     )
     def test_normal_forms(self, raw, expected):
@@ -57,6 +65,12 @@ class TestNormalizePageUri:
 
     def test_root_escapes_are_not_remapped(self):
         assert normalize_page_uri("../outside.html") == "../outside.html"
+
+    def test_encoded_root_escapes_are_not_remapped(self):
+        # %2e%2e decodes to ".." — a dressed-up escape must still miss the
+        # page map rather than silently resolve inside the site.
+        assert normalize_page_uri("%2e%2e/outside.html") == "../outside.html"
+        assert normalize_page_uri("..\\outside.html") == "../outside.html"
 
 
 class TestLazyProviderUris:
@@ -69,6 +83,15 @@ class TestLazyProviderUris:
             assert plain.uri == rooted.uri == dotted.uri
             assert plain.anchors == rooted.anchors == dotted.anchors
             assert provider.page("/index.html").uri == "index.html"
+
+    def test_percent_encoded_and_backslash_uris_resolve(self, fixture):
+        with AudienceServer(fixture, VISITOR_CURATOR) as server:
+            provider = server.provider("visitor")
+            plain = provider.page("PaintingNode/guitar.html")
+            encoded = provider.page("PaintingNode%2Fguitar.html")
+            backslashed = provider.page("PaintingNode\\guitar.html")
+            assert plain.uri == encoded.uri == backslashed.uri
+            assert plain.anchors == encoded.anchors == backslashed.anchors
 
     def test_unknown_pages_still_raise(self, fixture):
         with AudienceServer(fixture, VISITOR_CURATOR) as server:

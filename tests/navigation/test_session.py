@@ -62,9 +62,7 @@ class TestContextDependentMovement:
 
     def test_next_at_end_raises(self, fixture, contexts):
         session = NavigationSession(fixture.nav)
-        session.visit(
-            fixture.painting_node("guernica"), contexts["by-painter:picasso"]
-        )
+        session.visit(fixture.painting_node("guernica"), contexts["by-painter:picasso"])
         with pytest.raises(NavigationError):
             session.next()
 

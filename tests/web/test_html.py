@@ -26,9 +26,7 @@ class TestPageConstruction:
         assert serialize(el) == '<a href="guernica.html" rel="entry">Guernica</a>'
 
     def test_anchor_list(self):
-        ul = anchor_list(
-            [Anchor("A", "a.html"), Anchor("B", "b.html")]
-        )
+        ul = anchor_list([Anchor("A", "a.html"), Anchor("B", "b.html")])
         assert len(ul.findall("li")) == 2
 
     def test_page_anchors_extraction(self):

@@ -55,27 +55,21 @@ class TestStaticSite:
 
     def test_check_links_finds_dangling(self):
         site = StaticSite()
-        site.add(
-            make_page("a.html", "A", [Anchor("Ghost", "ghost.html", "entry")])
-        )
+        site.add(make_page("a.html", "A", [Anchor("Ghost", "ghost.html", "entry")]))
         (complaint,) = site.check_links()
         assert "ghost.html" in complaint
 
     def test_check_links_resolves_relative(self):
         site = StaticSite()
         site.add(
-            make_page(
-                "painting/a.html", "A", [Anchor("Home", "../index.html", "menu")]
-            )
+            make_page("painting/a.html", "A", [Anchor("Home", "../index.html", "menu")])
         )
         site.add(make_page("index.html", "Home"))
         assert site.check_links() == []
 
     def test_external_links_ignored(self):
         site = StaticSite()
-        site.add(
-            make_page("a.html", "A", [Anchor("W3C", "http://w3.org/", "link")])
-        )
+        site.add(make_page("a.html", "A", [Anchor("W3C", "http://w3.org/", "link")]))
         assert site.check_links() == []
 
 
@@ -91,9 +85,7 @@ class TestSiteProvider:
     def test_provider_resolves_relative_hrefs(self):
         site = StaticSite()
         site.add(
-            make_page(
-                "painting/g.html", "G", [Anchor("Home", "../index.html", "menu")]
-            )
+            make_page("painting/g.html", "G", [Anchor("Home", "../index.html", "menu")])
         )
         site.add(make_page("index.html", "Home"))
         agent = UserAgent(site.provider())

@@ -51,9 +51,7 @@ class TestCourseLoadExample:
 
     def test_locator_roles_preserved(self):
         link = parse_extended_link(parse_element(COURSE_LOAD))
-        student = next(
-            loc for loc in link.locators if loc.label == "student62"
-        )
+        student = next(loc for loc in link.locators if loc.label == "student62")
         assert student.role == "http://www.example.com/linkprops/student"
         assert student.title == "Pat Jones"
 
@@ -137,4 +135,5 @@ class TestOutOfLineThirdPartyLinks:
         # The endpoints resolve into documents that carry zero link markup.
         __, elements = space.resolve(traversal.end.href)
         assert elements[0].get("id") == "cs101"
-        assert "xlink" not in str(space.document("students.xml").root_element.namespaces)
+        namespaces = space.document("students.xml").root_element.namespaces
+        assert "xlink" not in str(namespaces)

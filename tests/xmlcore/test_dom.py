@@ -188,9 +188,7 @@ class TestNamespaceScope:
         assert inner.namespace_for_prefix("x") == "urn:x"
 
     def test_shadowed_prefix_not_reported(self):
-        root = parse_element(
-            '<m xmlns:x="urn:outer"><inner xmlns:x="urn:inner"/></m>'
-        )
+        root = parse_element('<m xmlns:x="urn:outer"><inner xmlns:x="urn:inner"/></m>')
         inner = root.find("inner")
         assert inner.namespace_for_prefix("x") == "urn:inner"
         assert inner.prefix_for_namespace("urn:outer") is None

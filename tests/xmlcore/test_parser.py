@@ -115,9 +115,7 @@ class TestNamespaces:
             parse('<a xmlns:p=""/>')
 
     def test_same_local_name_different_prefixes_not_duplicate(self):
-        root = parse_element(
-            '<a xmlns:p="urn:one" xmlns:q="urn:two" p:x="1" q:x="2"/>'
-        )
+        root = parse_element('<a xmlns:p="urn:one" xmlns:q="urn:two" p:x="1" q:x="2"/>')
         assert root.get(QName("urn:one", "x")) == "1"
         assert root.get(QName("urn:two", "x")) == "2"
 

@@ -69,7 +69,11 @@ def infoset(el: Element):
         children.append("".join(pending_text))
     # Adjacent text nodes merge on reparse; empty text disappears.
     children = [c for c in children if c != ""]
-    return (el.name.clark(), tuple(sorted((k.clark(), v) for k, v in el.attributes.items())), tuple(children))
+    return (
+        el.name.clark(),
+        tuple(sorted((k.clark(), v) for k, v in el.attributes.items())),
+        tuple(children),
+    )
 
 
 # -- properties -------------------------------------------------------------
