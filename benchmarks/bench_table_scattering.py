@@ -13,7 +13,9 @@ from repro.xmlcore import serialize
 
 
 def tangled_build(fixture):
-    return {p.path: p.html for p in TangledMuseumSite(fixture, "index").build().values()}
+    return {
+        p.path: p.html for p in TangledMuseumSite(fixture, "index").build().values()
+    }
 
 
 def xlink_artifacts(fixture):

@@ -71,8 +71,9 @@ def delta_rows(baseline: dict, current: dict) -> list[tuple[str, str, str, str, 
     and every raw ``results_ns`` series (informational; lower is better,
     so the delta sign is the raw relative change — a positive ns delta
     reads as "slower").  Series missing on either side show ``—`` and a
-    ``new``/``gone`` delta, so a freshly added benchmark — e.g. the
-    request-path ``serve_page_ns`` — is *reported* before it ever gates.
+    ``new``/``gone`` delta, so a freshly added benchmark is *reported*
+    before it ever gates — the path the request-path ``serve_page``
+    series took before it was committed to ``speedup_vs_seed``.
     """
     rows: list[tuple[str, str, str, str, str]] = []
     for section, gated in (("speedup_vs_seed", "yes"), ("results_ns", "no")):

@@ -47,7 +47,9 @@ def main() -> None:
 
     # ---------------------------------------------------------------- F3/F4
     section("F3/F4 - Figures 3-4: the tangled Guitar page, before and after")
-    before = {p.path: p.html for p in TangledMuseumSite(fixture, "index").build().values()}
+    before = {
+        p.path: p.html for p in TangledMuseumSite(fixture, "index").build().values()
+    }
     after = {
         p.path: p.html
         for p in TangledMuseumSite(fixture, "indexed-guided-tour").build().values()
@@ -76,7 +78,13 @@ def main() -> None:
     print()
     print(
         format_table(
-            ["approach", "authored files", "authored lines", "built files", "built lines"],
+            [
+                "approach",
+                "authored files",
+                "authored lines",
+                "built files",
+                "built lines",
+            ],
             rows,
         )
     )
@@ -121,7 +129,9 @@ def main() -> None:
             ],
         )
     )
-    print(f"\npure-navigation artifacts (xlink): {xlink_report.navigation_only_files()}")
+    print(
+        f"\npure-navigation artifacts (xlink): {xlink_report.navigation_only_files()}"
+    )
 
     # ------------------------------------------------------------------- F6
     section("F6 - Figure 6: build-time cost of the separation")
@@ -187,7 +197,9 @@ def main() -> None:
     rows = []
     for n in (10, 100, 1000):
         big = synthetic_museum(1, n)
-        spec = NavigationSpec().set_access("by-painter", "index", label_attribute="title")
+        spec = NavigationSpec().set_access(
+            "by-painter", "index", label_attribute="title"
+        )
         (context,) = spec.build_contexts(big).values()
         middle = context.members[n // 2]
         index_anchors = Index(name="x", label_attribute="title").anchors_on(
@@ -196,7 +208,11 @@ def main() -> None:
         tour_anchors = GuidedTour(name="x").anchors_on(middle, context.members)
         rows.append((n, len(index_anchors), len(tour_anchors)))
     print()
-    print(format_table(["context size", "Index anchors O(n)", "GuidedTour anchors O(1)"], rows))
+    print(
+        format_table(
+            ["context size", "Index anchors O(n)", "GuidedTour anchors O(1)"], rows
+        )
+    )
 
     print("\nDone.  See EXPERIMENTS.md for the paper-vs-measured record.")
 

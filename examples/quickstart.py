@@ -34,9 +34,25 @@ def build_library() -> MuseumFixture:
         entities=[
             ("Author", "cervantes", {"name": "Miguel de Cervantes"}),
             ("Author", "garcia-marquez", {"name": "Gabriel Garcia Marquez"}),
-            ("Book", "quijote", {"title": "Don Quijote", "year": 1605, "genre": "novel"}),
-            ("Book", "novelas", {"title": "Novelas Ejemplares", "year": 1613, "genre": "short-stories"}),
-            ("Book", "soledad", {"title": "Cien Anos de Soledad", "year": 1967, "genre": "novel"}),
+            (
+                "Book",
+                "quijote",
+                {"title": "Don Quijote", "year": 1605, "genre": "novel"},
+            ),
+            (
+                "Book",
+                "novelas",
+                {
+                    "title": "Novelas Ejemplares",
+                    "year": 1613,
+                    "genre": "short-stories",
+                },
+            ),
+            (
+                "Book",
+                "soledad",
+                {"title": "Cien Anos de Soledad", "year": 1967, "genre": "novel"},
+            ),
         ],
         links=[
             (("Author", "cervantes"), "writes", ("Book", "quijote")),

@@ -17,7 +17,14 @@ Run:  python examples/search_vs_navigation.py
 from repro.baselines import museum_fixture
 from repro.hypermedia.access import Anchor
 from repro.navigation import UserAgent
-from repro.web import HtmlPage, StaticSite, anchor_element, heading, page_skeleton, paragraph
+from repro.web import (
+    HtmlPage,
+    StaticSite,
+    anchor_element,
+    heading,
+    page_skeleton,
+    paragraph,
+)
 
 
 def build_search_site(fixture, query: str, page_size: int = 3) -> StaticSite:

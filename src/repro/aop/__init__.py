@@ -31,6 +31,17 @@ table.
 """
 
 from .advice import Advice, AdviceKind
+from .analysis import (
+    AopLintWarning,
+    Diagnostic,
+    PlanEntry,
+    analyze_concurrency,
+    analyze_deployment,
+    analyze_plan,
+    analyze_runtime,
+    verify_codegen_templates,
+    verify_wrapper_source,
+)
 from .codegen import CodegenCache, codegen_enabled
 from .aspect import (
     Aspect,
@@ -99,6 +110,7 @@ __all__ = [
     "Advice",
     "AdviceKind",
     "AopError",
+    "AopLintWarning",
     "Aspect",
     "AspectBuilder",
     "CodegenCache",
@@ -107,6 +119,7 @@ __all__ = [
     "Deployment",
     "DeploymentSet",
     "DeploymentStats",
+    "Diagnostic",
     "FluentAspect",
     "InstanceScope",
     "Introduction",
@@ -114,6 +127,7 @@ __all__ = [
     "JoinPoint",
     "JoinPointKind",
     "JoinPointPool",
+    "PlanEntry",
     "Pointcut",
     "PointcutSyntaxError",
     "ProceedingJoinPoint",
@@ -125,6 +139,10 @@ __all__ = [
     "after",
     "after_returning",
     "after_throwing",
+    "analyze_concurrency",
+    "analyze_deployment",
+    "analyze_plan",
+    "analyze_runtime",
     "args",
     "around",
     "before",
@@ -148,5 +166,7 @@ __all__ = [
     "shadow_index",
     "target",
     "undeploy",
+    "verify_codegen_templates",
+    "verify_wrapper_source",
     "within",
 ]

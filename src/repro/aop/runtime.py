@@ -698,6 +698,7 @@ class DeploymentSet:
         fields: Iterable[str] | None = None,
         require_match: bool = True,
         instances: "Iterable[Any] | InstanceScope | None" = None,
+        lint: str | None = None,
     ) -> Deployment:
         """Weave one more aspect into the set (immediately, but revocably).
 
@@ -707,6 +708,15 @@ class DeploymentSet:
         narrows the deployment to an instance scope exactly as in
         :meth:`WeaverRuntime.deploy`; a partial :meth:`undeploy` re-weaves
         surviving scoped deployments with their original scope objects.
+
+        ``lint`` opts this add into the static analyzer
+        (:mod:`repro.aop.analysis`) *before* anything is woven:
+        ``"warn"`` surfaces every finding as an
+        :class:`~repro.aop.analysis.AopLintWarning`; ``"error"``
+        additionally refuses to deploy (raising :class:`WeavingError`)
+        when an error-severity finding exists — e.g. a typo'd pointcut
+        that matches nothing even though the aspect as a whole would
+        survive ``require_match``.
         """
         if targets is None:
             if self._default_targets is None:
@@ -717,6 +727,17 @@ class DeploymentSet:
             targets = self._default_targets
         resolved_fields = self._default_fields if fields is None else tuple(fields)
         scope = InstanceScope.resolve(instances)
+        if lint is not None:
+            from .analysis import lint_gate
+
+            lint_gate(
+                aspect,
+                targets,
+                fields=resolved_fields,
+                instances=scope,
+                mode=lint,
+                index=self._runtime.shadow_index,
+            )
         deployment = self._runtime.deploy(
             aspect,
             targets,

@@ -40,15 +40,19 @@ def build_woven_site(
     spec: NavigationSpec,
     *,
     weaver: WeaverRuntime | None = None,
+    lint: str | None = None,
 ) -> StaticSite:
     """Deploy the navigation aspect, build the site, undeploy.
 
     The weaver touches :class:`PageRenderer` only for the duration of the
     build, so concurrent plain builds (or differently-woven builds) never
     observe each other's navigation.  An exception anywhere in the block
-    rolls the transaction back, introductions included.
+    rolls the transaction back, introductions included.  ``lint`` opts
+    the weave into the static analyzer (see
+    :meth:`~repro.aop.DeploymentSet.add`): ``"error"`` refuses to build
+    when the plan carries an error-severity finding.
     """
-    return build_woven_site_stacked(fixture, [spec], weaver=weaver)
+    return build_woven_site_stacked(fixture, [spec], weaver=weaver, lint=lint)
 
 
 def build_woven_site_many(
@@ -76,6 +80,7 @@ def build_woven_site_stacked(
     specs: Iterable[NavigationSpec],
     *,
     weaver: WeaverRuntime | None = None,
+    lint: str | None = None,
 ) -> StaticSite:
     """Build **one** site with several navigation concerns layered at once.
 
@@ -92,7 +97,7 @@ def build_woven_site_stacked(
     renderer = PageRenderer(fixture)
     with weaver.transaction([PageRenderer]) as tx:
         for spec in specs:
-            tx.add(NavigationAspect(spec, fixture))
+            tx.add(NavigationAspect(spec, fixture), lint=lint)
         try:
             return renderer.build_site()
         finally:
@@ -105,6 +110,7 @@ def build_audience_sites(
     *,
     specs_by_access: Mapping[str, NavigationSpec] | None = None,
     weaver: WeaverRuntime | None = None,
+    lint: str | None = None,
 ) -> dict[str, StaticSite]:
     """One stacked site per audience bundle — one runtime, one class scan.
 
@@ -128,7 +134,7 @@ def build_audience_sites(
 
     weaver = weaver or WeaverRuntime("audience-sites")
     with AudienceServer(
-        fixture, bundles, specs_by_access=specs_by_access, runtime=weaver
+        fixture, bundles, specs_by_access=specs_by_access, runtime=weaver, lint=lint
     ) as server:
         return {
             audience: server.renderer(audience).build_site()

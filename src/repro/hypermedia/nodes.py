@@ -44,7 +44,9 @@ class NodeClass:
     uri_template: str = "{node_class}/{id}.html"
 
     def view(
-        self, name: str, source: str | Callable[[Entity, InstanceStore], Any] | None = None
+        self,
+        name: str,
+        source: str | Callable[[Entity, InstanceStore], Any] | None = None,
     ) -> "NodeClass":
         """Add an attribute view (chainable); defaults to same-name passthrough."""
         self.views.append(AttributeView(name, source if source is not None else name))

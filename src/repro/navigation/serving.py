@@ -49,26 +49,30 @@ def normalize_page_uri(uri: str) -> str:
     """The site-relative normal form providers key their page maps by.
 
     Decodes percent-encoded segments (``rooms%2Fr1.html``), folds
-    Windows-style backslashes to ``/``, collapses ``.``/``..`` segments
-    and strips any leading slashes, so rooted (``/index.html``),
+    Windows-style backslashes to ``/``, strips any leading slashes and
+    collapses ``.``/``..`` segments, so rooted (``/index.html``),
     explicitly-relative (``./rooms/r1.html``) and escaped spellings of the
-    same page resolve to one key.  References escaping the site root
-    (``../outside.html``) are left intact — they miss the page map and
-    surface as :class:`NavigationError`, not as a silent remap.
+    same page resolve to one key.  References escaping the site root —
+    plain (``../outside.html``), rooted (``/../outside.html``) or dressed
+    up in percent-encoding (``%2e%2e%2foutside.html``) — are rejected
+    with :class:`NavigationError` *after* decoding, so no encoded escape
+    can silently remap to an in-site page: slashes are stripped before
+    ``..`` segments collapse, which keeps a rooted escape's ``..`` in the
+    normal form where the guard sees it.
 
     Deliberate tradeoff: the HTTP front's ``PATH_INFO`` arrives with one
     WSGI decode already applied, so over HTTP this adds a second decode —
     double-encoded spellings (``%2567uitar``) alias to the same page.
     The page map is the only authority here (there are no path-keyed
-    ACLs), escapes past the site root still miss it after any number of
+    ACLs), escapes past the site root are rejected after any number of
     decodes, and provider-side callers hand in raw node URIs that need
     the decode — so one normal form for both surfaces wins over
     boundary-split decoding.
     """
     decoded = unquote(uri.strip()).replace("\\", "/")
-    normalized = posixpath.normpath(decoded)
-    while normalized.startswith("/"):
-        normalized = normalized[1:]
+    normalized = posixpath.normpath(decoded.lstrip("/"))
+    if normalized == ".." or normalized.startswith("../"):
+        raise NavigationError(f"page URI {uri!r} escapes the site root")
     if normalized in ("", "."):
         return "index.html"
     return normalized
@@ -177,10 +181,15 @@ class AudienceServer:
         *,
         specs_by_access: Mapping[str, Any] | None = None,
         runtime: WeaverRuntime | None = None,
+        lint: str | None = None,
     ):
         from repro.core import PageRenderer
 
         self._fixture = fixture
+        # None, "warn" or "error": passed to every DeploymentSet.add this
+        # server performs (audience stacks and session aspects alike), so
+        # a serving process can refuse statically-broken weaves up front.
+        self._lint = lint
         self._specs: dict[str, Any] = dict(specs_by_access or {})
         self._runtime = (
             runtime if runtime is not None else WeaverRuntime("audience-server")
@@ -234,7 +243,7 @@ class AudienceServer:
         added: list[Any] = []
         try:
             for aspect in aspects:
-                self._tx.add(aspect, instances=scope)
+                self._tx.add(aspect, instances=scope, lint=self._lint)
                 added.append(aspect)
         except BaseException:
             # Unwind the partial stack so the audience is never left with
@@ -376,7 +385,7 @@ class AudienceServer:
             if self._closed:
                 raise NavigationError("audience server is closed")
             scope = InstanceScope.resolve(instances)
-            deployment = self._tx.add(aspect, instances=scope)
+            deployment = self._tx.add(aspect, instances=scope, lint=self._lint)
             self._session_aspects[id(aspect)] = (aspect, scope, audience)
             return deployment
 

@@ -1,7 +1,7 @@
 """The ``repro.tools`` command-line interface.
 
-Six subcommands, all operating on the paper's museum (or a synthetic one
-via ``--painters/--paintings``):
+Seven subcommands, all operating on the paper's museum (or a synthetic
+one via ``--painters/--paintings``):
 
 - ``build`` — build the site under one architecture and write it to disk.
 - ``diff`` — apply the paper's change request and report the impact.
@@ -10,6 +10,9 @@ via ``--painters/--paintings``):
 - ``aop inspect`` — weave the navigation stack in a scoped runtime and
   report every woven site, its dispatch tier, and the runtime's codegen
   statistics (``--source Class.member`` dumps a generated wrapper).
+- ``aop lint`` — statically analyze the weave plan behind example
+  scripts (or an explicit ``--stack``) and verify every generated
+  wrapper template, without deploying anything; the CI lint gate.
 - ``serve`` — serve every audience live over HTTP (threaded WSGI, one
   instance-scoped stack per audience, one scope tier per session).
 """
@@ -241,6 +244,127 @@ def _aop_inspect_audiences(args: argparse.Namespace, fixture) -> int:
     return 0
 
 
+def _scan_access_names(paths: list[str]) -> tuple[list[str], int]:
+    """AST-scan example scripts for the access structures they weave.
+
+    Collects string literals from ``default_museum_spec("...")`` calls,
+    :class:`~repro.navigation.AudienceBundle` access tuples, and
+    ``.set_access(ctx, "kind")`` spec edits — the three ways the shipped
+    examples name an access structure.  Returns the sorted unique names
+    and how many files were scanned.
+    """
+    import ast
+
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py" and path.exists():
+            files.append(path)
+        else:
+            raise SystemExit(
+                f"aop lint: {raw} is neither a directory nor a .py file"
+            )
+    names: set[str] = set()
+    for file in files:
+        tree = ast.parse(file.read_text(), filename=str(file))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                callee = func.id
+            elif isinstance(func, ast.Attribute):
+                callee = func.attr
+            else:
+                continue
+            literals: list[ast.expr] = []
+            if callee == "default_museum_spec" and node.args:
+                literals = [node.args[0]]
+            elif callee == "AudienceBundle" and len(node.args) >= 2:
+                arg = node.args[1]
+                if isinstance(arg, (ast.Tuple, ast.List)):
+                    literals = list(arg.elts)
+            elif callee == "set_access" and len(node.args) >= 2:
+                literals = [node.args[1]]
+            for literal in literals:
+                if isinstance(literal, ast.Constant) and isinstance(
+                    literal.value, str
+                ):
+                    names.add(literal.value)
+    return sorted(names), len(files)
+
+
+def cmd_aop_lint(args: argparse.Namespace) -> int:
+    """Statically analyze weave plans — nothing is deployed.
+
+    Resolves the access structures the given example scripts weave (or an
+    explicit ``--stack``), builds their navigation stack as a *plan*, and
+    runs the full :mod:`repro.aop.analysis` battery over it: weave-plan
+    lint, the advisory concurrency scan, and (unless ``--no-codegen``)
+    source verification of every generated wrapper template shape.
+    Findings print one per line with their stable ``APLxxx`` codes; the
+    exit status is 1 when any error-severity finding exists (``--strict``
+    fails on warnings and advisories too).
+    """
+    from repro.aop.analysis import (
+        analyze_concurrency,
+        analyze_deployment,
+        enumerate_template_sources,
+        verify_wrapper_source,
+    )
+    from repro.core.navspec import ACCESS_KINDS
+
+    scanned = 0
+    if args.stack:
+        names = [a.strip() for a in args.stack.split(",") if a.strip()]
+        if not names:
+            raise SystemExit("aop lint: --stack names no access structures")
+    elif args.paths:
+        names, scanned = _scan_access_names(args.paths)
+        if not names:
+            raise SystemExit(
+                "aop lint: the given paths weave no access structures"
+            )
+    else:
+        names = list(ACCESS_KINDS)
+    unknown = [name for name in names if name not in ACCESS_KINDS]
+    if unknown:
+        raise SystemExit(
+            f"aop lint: unknown access structure(s) {', '.join(unknown)} "
+            f"(known: {', '.join(ACCESS_KINDS)})"
+        )
+    fixture = _fixture(args)
+    aspects = [
+        NavigationAspect(default_museum_spec(name), fixture) for name in names
+    ]
+    diagnostics = analyze_deployment(aspects, [PageRenderer])
+    diagnostics += analyze_concurrency(aspects)
+    shapes = 0
+    if not args.no_codegen:
+        for label, source in enumerate_template_sources():
+            shapes += 1
+            diagnostics += verify_wrapper_source(source, label=label)
+    for diagnostic in diagnostics:
+        print(diagnostic.format())
+    summary = (
+        f"{len(aspects)} aspect(s) over PageRenderer [{'+'.join(names)}], "
+        f"{shapes} codegen template shapes verified"
+    )
+    if scanned:
+        summary += f", {scanned} file(s) scanned"
+    if diagnostics:
+        errors = sum(1 for d in diagnostics if d.severity == "error")
+        print(
+            f"aop lint: {len(diagnostics)} finding(s), {errors} error(s) "
+            f"({summary})"
+        )
+        return 1 if errors or args.strict else 0
+    print(f"aop lint: no findings ({summary})")
+    return 0
+
+
 def _resolve_bundles(names_csv: str):
     from repro.navigation import DEFAULT_AUDIENCES
 
@@ -384,6 +508,29 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     inspect.set_defaults(fn=cmd_aop_inspect)
+    lint = aop_sub.add_parser(
+        "lint", help="statically analyze weave plans without deploying"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="example scripts or directories to scan for woven access structures",
+    )
+    lint.add_argument(
+        "--stack",
+        help="comma-separated access structures to analyze instead of scanning",
+    )
+    lint.add_argument(
+        "--no-codegen",
+        action="store_true",
+        help="skip the generated-template source verification",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on any finding, not just error-severity ones",
+    )
+    lint.set_defaults(fn=cmd_aop_lint)
     return parser
 
 

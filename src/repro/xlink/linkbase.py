@@ -96,7 +96,11 @@ def _normalize_graph(graph: LinkGraph, base_uri: str) -> LinkGraph:
 def _normalize_participant(participant, base_uri: str):
     if not isinstance(participant, Locator):
         return participant
-    resolved = resolve_uri(base_uri, participant.href.uri) if participant.href.uri else base_uri
+    resolved = (
+        resolve_uri(base_uri, participant.href.uri)
+        if participant.href.uri
+        else base_uri
+    )
     if resolved == participant.href.uri:
         return participant
     return Locator(

@@ -55,8 +55,12 @@ class LinkGraph:
     """Traversals from one or more extended links, indexed by endpoint."""
 
     traversals: list[Traversal] = field(default_factory=list)
-    _outgoing: dict[str, list[Traversal]] = field(default_factory=lambda: defaultdict(list))
-    _incoming: dict[str, list[Traversal]] = field(default_factory=lambda: defaultdict(list))
+    _outgoing: dict[str, list[Traversal]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+    _incoming: dict[str, list[Traversal]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
 
     @classmethod
     def from_links(
@@ -75,11 +79,15 @@ class LinkGraph:
 
     # -- queries --------------------------------------------------------
 
-    def outgoing(self, resource: Locator | Resource | UriReference | str) -> list[Traversal]:
+    def outgoing(
+        self, resource: Locator | Resource | UriReference | str
+    ) -> list[Traversal]:
         """Traversals starting at *resource* (href string, UriReference or participant)."""
         return list(self._outgoing.get(self._key(resource), ()))
 
-    def incoming(self, resource: Locator | Resource | UriReference | str) -> list[Traversal]:
+    def incoming(
+        self, resource: Locator | Resource | UriReference | str
+    ) -> list[Traversal]:
         """Traversals ending at *resource*."""
         return list(self._incoming.get(self._key(resource), ()))
 

@@ -112,7 +112,9 @@ def _resolve_xpointer_scheme(
 
     id_match = _ID_CALL_RE.match(expression)
     if id_match:
-        wanted = id_match.group(1) if id_match.group(1) is not None else id_match.group(2)
+        wanted = (
+            id_match.group(1) if id_match.group(1) is not None else id_match.group(2)
+        )
         anchor = document.element_by_id(wanted)
         if anchor is None:
             return []
@@ -123,7 +125,9 @@ def _resolve_xpointer_scheme(
         expression = remainder
     elif expression.startswith("/"):
         expression = expression.lstrip("/")
-        prefixless = "//" + expression if part.expression.startswith("//") else expression
+        prefixless = (
+            "//" + expression if part.expression.startswith("//") else expression
+        )
         expression = prefixless
         context = document
 

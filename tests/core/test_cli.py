@@ -1,5 +1,7 @@
 """Tests for the repro.tools command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.core import NavigationSpec, default_museum_spec
@@ -111,6 +113,41 @@ class TestAopInspectCommand:
     def test_empty_stack_fails(self):
         with pytest.raises(SystemExit, match="names no access structures"):
             main(["aop", "inspect", "--stack", " , "])
+
+
+class TestAopLintCommand:
+    EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+    def test_shipped_examples_have_zero_findings(self, capsys):
+        from repro.core import PageRenderer
+
+        assert main(["aop", "lint", str(self.EXAMPLES)]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+        assert "codegen template shapes verified" in out
+        assert "file(s) scanned" in out
+        # The analyzer never deploys.
+        assert not hasattr(PageRenderer.render_node, "__woven__")
+
+    def test_explicit_stack_mode(self, capsys):
+        assert main(["aop", "lint", "--stack", "index,guided-tour"]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+        assert "index+guided-tour" in out
+
+    def test_default_lints_every_stock_structure(self, capsys):
+        assert main(["aop", "lint", "--no-codegen"]) == 0
+        out = capsys.readouterr().out
+        assert "0 codegen template shapes" in out
+        assert "indexed-guided-tour" in out
+
+    def test_unknown_access_structure_fails(self):
+        with pytest.raises(SystemExit, match="unknown access structure"):
+            main(["aop", "lint", "--stack", "index,no-such-structure"])
+
+    def test_nonexistent_path_fails(self):
+        with pytest.raises(SystemExit, match="neither a directory"):
+            main(["aop", "lint", "no/such/path.txt"])
 
 
 class TestServeCommand:

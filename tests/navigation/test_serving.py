@@ -63,14 +63,31 @@ class TestNormalizePageUri:
     def test_normal_forms(self, raw, expected):
         assert normalize_page_uri(raw) == expected
 
-    def test_root_escapes_are_not_remapped(self):
-        assert normalize_page_uri("../outside.html") == "../outside.html"
-
-    def test_encoded_root_escapes_are_not_remapped(self):
-        # %2e%2e decodes to ".." — a dressed-up escape must still miss the
-        # page map rather than silently resolve inside the site.
-        assert normalize_page_uri("%2e%2e/outside.html") == "../outside.html"
-        assert normalize_page_uri("..\\outside.html") == "../outside.html"
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "../outside.html",
+            "..",
+            "../../outside.html",
+            "PainterNode/../../outside.html",
+            # %2e%2e decodes to ".." — a dressed-up escape must be
+            # rejected after decoding, not remapped or passed through.
+            "%2e%2e/outside.html",
+            "%2e%2e%2foutside.html",
+            "..%2Foutside.html",
+            "..\\outside.html",
+            "%2e%2e%5coutside.html",
+            # Rooted escapes: normpath on the rooted form would swallow
+            # the ".." ("/../x" -> "/x") and silently remap the page
+            # inside the site — the original bypass this guard closes.
+            "/../outside.html",
+            "/%2e%2e/outside.html",
+            "%2F..%2Foutside.html",
+        ],
+    )
+    def test_root_escapes_are_rejected(self, raw):
+        with pytest.raises(NavigationError, match="escapes the site root"):
+            normalize_page_uri(raw)
 
 
 class TestLazyProviderUris:
