@@ -346,7 +346,7 @@ def bench_joinpoint_construction(*, pooled):
     return time_call(one, number=100_000)
 
 
-def bench_serve_page(*, legacy):
+def bench_serve_page(*, legacy, cached=False):
     """Price one served page: the HTTP request path vs the seed's serving.
 
     ``legacy`` is the seed's only serving story: one *class-wide* weave of
@@ -355,9 +355,13 @@ def bench_serve_page(*, legacy):
     tier, and necessarily one audience per process.  The current path is a
     full :class:`~repro.navigation.NavigationApp` request: WSGI routing,
     session lookup, instance-scope dispatch through the audience *and*
-    session tiers, the breadcrumb trail, then the same render+serialize.
-    Both sides are dominated by rendering, so the ratio prices what the
-    multi-audience/multi-session machinery costs per request.
+    session tiers, the breadcrumb trail, then the same render+serialize —
+    with the skeleton cache *disabled*, so the series keeps pricing the
+    render path as the cache tier evolves.
+
+    ``cached`` prices the same request with the weave-epoch page cache on
+    and warm: an epoch read, a cache hit, a fresh trail fragment and the
+    skeleton splice, instead of a render.
     """
     import io
 
@@ -386,11 +390,17 @@ def bench_serve_page(*, legacy):
             for deployment in reversed(deployments):
                 weaver.undeploy(deployment)
 
-    from repro.navigation import AudienceBundle, AudienceServer, NavigationApp
+    from repro.navigation import (
+        AudienceBundle,
+        AudienceServer,
+        NavigationApp,
+        ServingConfig,
+    )
 
     bundles = [AudienceBundle("visitor", ("index", "guided-tour"))]
+    config = ServingConfig(cache_enabled=cached)
     with codegen_mode(True):
-        with AudienceServer(fixture, bundles) as server:
+        with AudienceServer(fixture, bundles, config=config) as server:
             app = NavigationApp(server)
             environ = {
                 "REQUEST_METHOD": "GET",
@@ -406,8 +416,12 @@ def bench_serve_page(*, legacy):
             def one():
                 return app(environ, start_response)
 
-            one()  # open the session outside the timed region
+            # Open the session — and, when cached, install the skeleton
+            # under the live epoch — outside the timed region.
+            one()
             try:
+                if cached:
+                    return time_call(one, repeat=3, number=10_000)
                 return time_call(one, repeat=3, number=500)
             finally:
                 app.close()
@@ -571,6 +585,7 @@ def main():
         "field_set_codegen_ns": bench_field_access(codegen=True, write=True),
         "serve_page_legacy_ns": bench_serve_page(legacy=True),
         "serve_page_ns": bench_serve_page(legacy=False),
+        "serve_page_cached_ns": bench_serve_page(legacy=False, cached=True),
         "joinpoint_dataclass_ns": bench_joinpoint_construction(pooled=False),
         "joinpoint_pooled_ns": bench_joinpoint_construction(pooled=True),
         "shadow_scan_legacy_us": bench_shadow_scan(legacy=True),
@@ -624,6 +639,11 @@ def main():
         # the request path has settled; expect ~1.0 — instance-scoped
         # serving should stay render-dominated, not dispatch-dominated.
         "serve_page": results["serve_page_legacy_ns"] / results["serve_page_ns"],
+        # The weave-epoch skeleton cache against the uncached request
+        # path on a warm repeat: an epoch read + LRU hit + trail splice
+        # instead of a full render+serialize.  Target: >= 50x.
+        "serve_page_cached": results["serve_page_ns"]
+        / results["serve_page_cached_ns"],
     }
     codegen_over_compiled = {
         "static_before": results["call_static_before_compiled_ns"]
@@ -676,6 +696,15 @@ def main():
         print(
             "WARNING: unscoped-instance passthrough is "
             f"{passthrough_ratio:.2f}x a plain call (target: <= 3x)",
+            file=sys.stderr,
+        )
+        failed = True
+    if speedups["serve_page_cached"] < 50.0:
+        print(
+            "WARNING: a warm cached page request is only "
+            f"{speedups['serve_page_cached']:.1f}x the uncached request "
+            "path (target: >= 50x — a hit must cost an epoch read, an LRU "
+            "lookup and a trail splice, never a render)",
             file=sys.stderr,
         )
         failed = True

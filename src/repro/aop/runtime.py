@@ -90,6 +90,8 @@ class WeaverRuntime:
             codegen_cache if codegen_cache is not None else codegen.CodegenCache()
         )
         self._deployments: list[Deployment] = []
+        # Monotonic weave-mutation counter; see the weave_epoch property.
+        self._weave_epoch = 0
 
     def __repr__(self) -> str:
         return f"<WeaverRuntime {self.name!r} ({len(self.deployments)} active)>"
@@ -114,6 +116,35 @@ class WeaverRuntime:
     @property
     def deployments(self) -> list[Deployment]:
         return [d for d in self._deployments if d.active]
+
+    @property
+    def weave_epoch(self) -> int:
+        """A monotonic counter of this runtime's weave mutations.
+
+        Advances on every successful :meth:`deploy` and :meth:`undeploy`
+        — the only operations that change what this runtime's woven
+        members compute — in lockstep with the
+        :class:`~repro.aop.weaver._TokenBoard` stamps those operations
+        produce.  For a fixed set of inputs, anything derived from woven
+        output (a rendered page, a serialized site) is reusable exactly
+        while the epoch it was recorded under is still current; the
+        serving layer's page cache keys on it.  Never reset, so an epoch
+        value can never come back around to alias a different weave
+        state.
+        """
+        return self._weave_epoch
+
+    def advance_epoch(self) -> int:
+        """Advance the weave epoch by hand; returns the new value.
+
+        For layers that compose several deploy/undeploy calls into one
+        logical mutation (the serving layer's ``reconfigure``) and need
+        a fresh epoch *fence* at a point where no individual weave has
+        happened yet — marking everything derived so far as superseded
+        before the mutation begins, and again after it completes.
+        """
+        self._weave_epoch += 1
+        return self._weave_epoch
 
     # -- deployment -----------------------------------------------------------
 
@@ -336,10 +367,14 @@ class WeaverRuntime:
             # caller is never left with class mutations it has no handle
             # to undo.
             _rollback_partial_weave(deployment, index)
+            # The revert is best-effort; advance the epoch so nothing
+            # cached across the failed weave is ever trusted.
+            self._weave_epoch += 1
             raise
         if inner_pointcuts:
             self._watchers.watch()
             deployment._tracks_cflow = True
+        self._weave_epoch += 1
         self._deployments.append(deployment)
         return deployment
 
@@ -436,6 +471,7 @@ class WeaverRuntime:
             watchers.unwatch()
             deployment._tracks_cflow = False
         deployment.active = False
+        self._weave_epoch += 1
 
     def undeploy_all(self) -> None:
         """Reverse every active deployment, most recent first."""
@@ -534,6 +570,7 @@ class WeaverRuntime:
                 scopes[id(deployment.scope)] = deployment.scope
         return {
             "name": self.name,
+            "weave_epoch": self._weave_epoch,
             "deployments": len(self.deployments),
             "instance_scoped": sum(1 for d in self.deployments if d.scope is not None),
             "scopes": {
@@ -789,6 +826,7 @@ class DeploymentSet:
                     watchers.unwatch()
                     deployment._tracks_cflow = False
                 deployment.active = False
+                self._runtime._weave_epoch += 1
         self._entries.clear()
 
     def undeploy(self, deployments: Iterable[Deployment] | None = None) -> None:

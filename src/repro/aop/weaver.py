@@ -287,6 +287,18 @@ class _TokenBoard:
         )
         self._counter = 0
 
+    @property
+    def counter(self) -> int:
+        """The monotonic stamp counter (the board-wide invalidation clock).
+
+        Every :meth:`bump` advances it, so reading it cheaply answers "has
+        *any* class been invalidated since I last looked?" — the signal
+        the serving layer's weave epochs derive from: a cached artifact
+        recorded under an older counter value may describe classes a
+        weaver has since rewritten.
+        """
+        return self._counter
+
     def token(self, cls: type) -> int:
         """The stamp of the last invalidation that hit *cls* (0 = never)."""
         return self._tokens.get(cls, 0)

@@ -130,11 +130,16 @@ def build_audience_sites(
     each unresolved name is built once via :func:`default_museum_spec` and
     shared across every bundle that stacks it.
     """
+    from repro.navigation.config import ServingConfig
     from repro.navigation.serving import AudienceServer
 
     weaver = weaver or WeaverRuntime("audience-sites")
     with AudienceServer(
-        fixture, bundles, specs_by_access=specs_by_access, runtime=weaver, lint=lint
+        fixture,
+        bundles,
+        specs_by_access=specs_by_access,
+        runtime=weaver,
+        config=ServingConfig(lint=lint),
     ) as server:
         return {
             audience: server.renderer(audience).build_site()

@@ -32,10 +32,17 @@ trail, idle eviction) and a live management surface
 
 from .agent import CallableProvider, PageAnchor, PageProvider, PageView, UserAgent
 from .audience import DEFAULT_AUDIENCES, AudienceBundle
+from .cache import CachedSkeleton, PageCache, page_cache_enabled
+from .config import ServingConfig
 from .errors import NavigationError
 from .history import History
 from .http import NavigationApp, serve
-from .serving import AudienceServer, LazyWovenProvider, normalize_page_uri
+from .serving import (
+    AudienceServer,
+    LazyWovenProvider,
+    SessionTier,
+    normalize_page_uri,
+)
 from .session import (
     BreadcrumbAspect,
     BreadcrumbTrail,
@@ -48,6 +55,7 @@ __all__ = [
     "AudienceServer",
     "BreadcrumbAspect",
     "BreadcrumbTrail",
+    "CachedSkeleton",
     "CallableProvider",
     "DEFAULT_AUDIENCES",
     "History",
@@ -56,10 +64,14 @@ __all__ = [
     "NavigationError",
     "NavigationSession",
     "PageAnchor",
+    "PageCache",
     "PageProvider",
     "PageView",
     "Position",
+    "ServingConfig",
+    "SessionTier",
     "UserAgent",
     "normalize_page_uri",
+    "page_cache_enabled",
     "serve",
 ]

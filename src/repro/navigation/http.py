@@ -51,18 +51,33 @@ from socketserver import ThreadingMixIn
 from typing import Any, Callable, Iterable
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
-from repro.aop import InstanceScope
+from repro.web import compose_page
 
 from .audience import DEFAULT_AUDIENCES, AudienceBundle
+from .cache import CachedSkeleton
+from .config import ServingConfig
 from .errors import NavigationError
-from .serving import AudienceServer, build_node_map, resolve_page_target
-from .session import BreadcrumbAspect
+from .serving import (
+    _UNSET,
+    AudienceServer,
+    SessionTier,
+    _deprecated,
+    build_node_map,
+    resolve_page_target,
+)
+from .session import BreadcrumbAspect, breadcrumb_fragment
 
 #: The session cookie the app mints on a cookieless request.
 SESSION_COOKIE = "repro_session"
 
 #: Request header overriding the cookie (handy for scripted clients).
 SESSION_HEADER = "HTTP_X_REPRO_SESSION"
+
+#: Request header controlling the page cache; send ``bypass`` to force a
+#: full render through the session's own woven renderer.  Responses echo
+#: the cache outcome in the same header: ``hit``, ``miss``, ``bypass``
+#: or ``off``.
+CACHE_HEADER = "HTTP_X_REPRO_CACHE"
 
 
 class SessionCapacityError(RuntimeError):
@@ -83,16 +98,24 @@ class ServingSession:
 
     sid: str
     audience: str
-    #: The session's private renderer (a member of the audience scope).
-    renderer: Any
-    #: The per-session scope the trail deployment dispatches through.
-    scope: InstanceScope
-    #: The session's trail aspect (undeployed on eviction, by identity).
+    #: The session's scope tier handle (renderer + scope + deployments).
+    tier: SessionTier
+    #: The session's trail aspect (undeployed on eviction, via the tier).
     breadcrumbs: BreadcrumbAspect
     #: Last request time, by the app's clock; eviction compares this.
     last_seen: float
     #: Pages served to this session (observability for ``/-/stats``).
     requests: int = 0
+
+    @property
+    def renderer(self) -> Any:
+        """The session's private renderer (a member of the audience scope)."""
+        return self.tier.renderer
+
+    @property
+    def scope(self) -> Any:
+        """The per-session scope the trail deployment dispatches through."""
+        return self.tier.scope
 
 
 class NavigationApp:
@@ -104,30 +127,55 @@ class NavigationApp:
     bookkeeping (open/evict) and weave mutations are serialized by the
     app's lock over the server's.
 
-    ``session_idle_timeout`` seconds without a request evicts a session
-    (checked opportunistically on every request, or explicitly via
-    :meth:`evict_idle`).  ``max_sessions`` bounds the live scope tier —
-    every session costs a renderer instance plus a weave deployment, so a
-    client that never replays its cookie must not grow the stack without
-    limit; at the cap (after evicting every idle session) new sessions
-    are refused with ``503``.  ``clock`` is injectable for tests.
+    Session policy comes from a :class:`~repro.navigation.config.
+    ServingConfig` (default: the server's own): ``session_idle_timeout``
+    seconds without a request evicts a session (checked opportunistically
+    on every request, or explicitly via :meth:`evict_idle`);
+    ``max_sessions`` bounds the live scope tier — every session costs a
+    renderer instance plus a weave deployment, so a client that never
+    replays its cookie must not grow the stack without limit; at the cap
+    (after evicting every idle session) new sessions are refused with
+    ``503``.  The old per-knob keyword arguments still work as
+    deprecated shims.  ``clock`` is injectable for tests.
+
+    When the server's page-cache tier is on, ``GET`` responses assemble
+    from a cached audience-level skeleton plus the session's freshly
+    rendered breadcrumb fragment (see :mod:`repro.navigation.cache`);
+    the ``X-Repro-Cache`` response header reports ``hit``/``miss``/
+    ``bypass``/``off``, and sending ``X-Repro-Cache: bypass`` forces a
+    full render through the session's own woven renderer.
     """
 
     def __init__(
         self,
         server: AudienceServer,
+        config: ServingConfig | None = None,
         *,
-        session_idle_timeout: float = 600.0,
-        max_sessions: int = 512,
-        breadcrumb_limit: int = 8,
+        session_idle_timeout: Any = _UNSET,
+        max_sessions: Any = _UNSET,
+        breadcrumb_limit: Any = _UNSET,
         clock: Callable[[], float] = time.monotonic,
     ):
         from repro.core import PageRenderer
 
         self._server = server
-        self._idle_timeout = session_idle_timeout
-        self._max_sessions = max_sessions
-        self._breadcrumb_limit = breadcrumb_limit
+        if config is None:
+            config = server.config
+        for name, value in (
+            ("session_idle_timeout", session_idle_timeout),
+            ("max_sessions", max_sessions),
+            ("breadcrumb_limit", breadcrumb_limit),
+        ):
+            if value is not _UNSET:
+                _deprecated(
+                    f"NavigationApp({name}=...)",
+                    f"NavigationApp(config=ServingConfig({name}=...))",
+                )
+                config = config.replace(**{name: value})
+        self._config = config
+        self._idle_timeout = config.session_idle_timeout
+        self._max_sessions = config.max_sessions
+        self._breadcrumb_limit = config.breadcrumb_limit
         self._clock = clock
         self._lock = threading.Lock()
         self._sessions: dict[tuple[str, str], ServingSession] = {}
@@ -138,6 +186,11 @@ class NavigationApp:
         # Normalized URI -> node: fixture-level, identical for every
         # renderer instance, so one inventory pass serves all sessions.
         self._nodes = build_node_map(PageRenderer(server.fixture))
+
+    @property
+    def config(self) -> ServingConfig:
+        """The effective serving configuration (shims already folded in)."""
+        return self._config
 
     # -- the WSGI surface ------------------------------------------------------
 
@@ -201,13 +254,55 @@ class NavigationApp:
     def _page(self, environ, audience: str, page_uri: str):
         # Resolve the page *before* touching the session tier: a request
         # that will 404 must not cost a renderer + weave deployment.
-        _, node = resolve_page_target(self._nodes, page_uri)
+        normalized, node = resolve_page_target(self._nodes, page_uri)
         session, minted = self._session_for(environ, audience)
-        if node is None:
-            page = session.renderer.render_home()
+        bypass = environ.get(CACHE_HEADER, "").strip().lower() == "bypass"
+        cache = None if bypass else self._server.page_cache(audience)
+        if cache is None:
+            # Full render through the session's own woven renderer: the
+            # audience stack *and* the session's trail aspect both fire.
+            if node is None:
+                page = session.renderer.render_home()
+            else:
+                page = session.renderer.render_node(node)
+            text = page.html()
+            outcome = "bypass" if bypass else "off"
         else:
-            page = session.renderer.render_node(node)
-        body = page.html().encode("utf-8")
+            # Cached path: the skeleton is audience-level (rendered
+            # through the audience's shared renderer, which no session
+            # scope advises — nothing session-variant can leak into it)
+            # and the trail block is rendered fresh per request, then
+            # spliced over the skeleton's slot.  The epoch is snapshotted
+            # *before* the render: a weave mutation landing mid-render
+            # moves the audience to a newer epoch, so the skeleton we
+            # install stays keyed under the superseded one and no later
+            # request can hit it.
+            epoch = self._server.weave_epoch(audience)
+            entry = cache.get(normalized, epoch)
+            if entry is None:
+                outcome = "miss"
+                renderer = self._server.renderer(audience)
+                if node is None:
+                    page = renderer.render_home()
+                else:
+                    page = renderer.render_node(node)
+                skeleton, _ = page.skeleton_html()
+                entry = CachedSkeleton(
+                    skeleton=skeleton,
+                    title=page.title or page.path,
+                    path=page.path,
+                )
+                cache.put(normalized, epoch, entry)
+            else:
+                outcome = "hit"
+            # Same (path, title) the trail aspect would have recorded on
+            # a live render, so hit, miss and bypass grow the trail
+            # identically.
+            crumbs = session.breadcrumbs.trail.record(entry.path, entry.title)
+            text = compose_page(
+                entry.skeleton, breadcrumb_fragment(crumbs, entry.path)
+            )
+        body = text.encode("utf-8")
         headers = _html_headers(body)
         if minted:
             headers.append(
@@ -215,6 +310,7 @@ class NavigationApp:
             )
         headers.append(("X-Repro-Audience", audience))
         headers.append(("X-Repro-Session", session.sid))
+        headers.append(("X-Repro-Cache", outcome))
         return "200 OK", headers, body
 
     def _reconfigure(self, environ, audience: str):
@@ -265,19 +361,17 @@ class NavigationApp:
     def _open_session_locked(
         self, sid: str, audience: str, now: float
     ) -> ServingSession:
-        renderer = self._server.adopt_renderer(audience)
-        scope = InstanceScope([renderer])
+        tier = self._server.session_tier(audience)
         breadcrumbs = BreadcrumbAspect(limit=self._breadcrumb_limit)
         try:
-            self._server.deploy_scoped(breadcrumbs, scope, audience=audience)
+            tier.deploy(breadcrumbs)
         except BaseException:
-            self._server.release_renderer(audience, renderer)
+            tier.close()
             raise
         session = ServingSession(
             sid=sid,
             audience=audience,
-            renderer=renderer,
-            scope=scope,
+            tier=tier,
             breadcrumbs=breadcrumbs,
             last_seen=now,
         )
@@ -286,12 +380,10 @@ class NavigationApp:
 
     def _close_session_locked(self, session: ServingSession) -> None:
         self._sessions.pop((session.sid, session.audience), None)
-        # Unwinding the trail deployment releases the session scope's
-        # marker state (class defaults + instance stamps); discarding the
-        # renderer strips the audience scope's stamp, so the instance is
-        # back to plain rendering.
-        self._server.undeploy_scoped(session.breadcrumbs)
-        self._server.release_renderer(session.audience, session.renderer)
+        # Closing the tier unwinds the trail deployment (releasing the
+        # session scope's marker state) and discards the renderer from
+        # the audience scope, so the instance is back to plain rendering.
+        session.tier.close()
         self._evicted_total += 1
         self._served_by_evicted += session.requests
 
@@ -344,15 +436,18 @@ class NavigationApp:
                 "requests": self._served_by_evicted
                 + sum(s.requests for s in self._sessions.values()),
             }
-        audiences = {
-            audience: {
+        audiences = {}
+        for audience in self._server.audiences():
+            cache = self._server.page_cache(audience)
+            audiences[audience] = {
                 "access_structures": list(
                     self._server.bundle(audience).access_structures
                 ),
                 "scope_instances": len(self._server.scope(audience)),
+                "weave_epoch": self._server.weave_epoch(audience),
+                "cache": {"enabled": cache is not None}
+                | (cache.stats() if cache is not None else {}),
             }
-            for audience in self._server.audiences()
-        }
         return {
             "audiences": audiences,
             "sessions": sessions,
@@ -465,22 +560,33 @@ def serve(
     *,
     host: str = "127.0.0.1",
     port: int = 8000,
-    session_idle_timeout: float = 600.0,
+    config: ServingConfig | None = None,
+    session_idle_timeout: Any = _UNSET,
     quiet: bool = True,
     ready: Callable[[WSGIServer], None] | None = None,
 ) -> None:
     """Stand up the whole stack and serve until interrupted.
 
-    Weaves every bundle into one live :class:`AudienceServer`, wraps it in
-    a :class:`NavigationApp`, binds the threaded WSGI server and blocks in
+    Weaves every bundle into one live :class:`AudienceServer` (built with
+    *config* — session policy, lint mode and the page-cache tier in one
+    :class:`~repro.navigation.config.ServingConfig`), wraps it in a
+    :class:`NavigationApp`, binds the threaded WSGI server and blocks in
     ``serve_forever()``.  *ready* (if given) is called with the bound
     server before serving starts — the CLI uses it to print the ephemeral
     port.  Teardown unwinds every session and the audience stacks, so the
     renderer class leaves the process exactly as it entered.
     """
+    if config is None:
+        config = ServingConfig()
+    if session_idle_timeout is not _UNSET:
+        _deprecated(
+            "serve(session_idle_timeout=...)",
+            "serve(config=ServingConfig(session_idle_timeout=...))",
+        )
+        config = config.replace(session_idle_timeout=session_idle_timeout)
     bundles = list(bundles) if bundles is not None else list(DEFAULT_AUDIENCES)
-    with AudienceServer(fixture, bundles) as server:
-        app = NavigationApp(server, session_idle_timeout=session_idle_timeout)
+    with AudienceServer(fixture, bundles, config=config) as server:
+        app = NavigationApp(server)
         httpd = make_wsgi_server(app, host, port, quiet=quiet)
         if ready is not None:
             ready(httpd)

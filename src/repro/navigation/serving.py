@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import posixpath
 import threading
+import warnings
 from typing import Any, Iterable, Mapping
 from urllib.parse import unquote
 
@@ -42,7 +43,21 @@ from repro.aop import Aspect, Deployment, InstanceScope, WeaverRuntime
 
 from .agent import PageAnchor, PageView
 from .audience import DEFAULT_AUDIENCES, AudienceBundle
+from .cache import PageCache
+from .config import ServingConfig
 from .errors import NavigationError
+
+#: Sentinel distinguishing "not passed" from an explicit ``None`` in the
+#: deprecated keyword shims.
+_UNSET: Any = object()
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.navigation.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def normalize_page_uri(uri: str) -> str:
@@ -168,9 +183,9 @@ class AudienceServer:
     renderer instances adopted into the audience — one per connected
     session, see :mod:`repro.navigation.http` — ride the audience's
     navigation stack the moment they are added.  Session-private concerns
-    (breadcrumb trails) deploy through :meth:`deploy_scoped` into their
-    own per-session scopes, layered over the audience tier in the same
-    transactional deployment set.  All weave *mutations* are serialized
+    (breadcrumb trails) deploy through a :meth:`session_tier` handle into
+    their own per-session scopes, layered over the audience tier in the
+    same transactional deployment set.  All weave *mutations* are serialized
     on an internal lock; renders stay lock-free and concurrent.
     """
 
@@ -181,15 +196,28 @@ class AudienceServer:
         *,
         specs_by_access: Mapping[str, Any] | None = None,
         runtime: WeaverRuntime | None = None,
-        lint: str | None = None,
+        config: ServingConfig | None = None,
+        lint: Any = _UNSET,
     ):
         from repro.core import PageRenderer
 
         self._fixture = fixture
+        if config is None:
+            config = ServingConfig()
+        if lint is not _UNSET:
+            _deprecated(
+                "AudienceServer(lint=...)",
+                "AudienceServer(config=ServingConfig(lint=...))",
+            )
+            config = config.replace(lint=lint)
+        self._config = config
         # None, "warn" or "error": passed to every DeploymentSet.add this
         # server performs (audience stacks and session aspects alike), so
         # a serving process can refuse statically-broken weaves up front.
-        self._lint = lint
+        self._lint = config.lint
+        # Read once: flipping REPRO_PAGE_CACHE affects servers built
+        # afterwards, never this one's live caches.
+        self._cache_active = config.cache_active()
         self._specs: dict[str, Any] = dict(specs_by_access or {})
         self._runtime = (
             runtime if runtime is not None else WeaverRuntime("audience-server")
@@ -198,8 +226,14 @@ class AudienceServer:
         self._renderers: dict[str, Any] = {}
         self._scopes: dict[str, InstanceScope] = {}
         self._aspects: dict[str, list[Any]] = {}
+        #: Audience -> snapshot of the runtime's weave epoch taken after
+        #: the last mutation touching that audience's stack; the page
+        #: cache keys on it (readers snapshot it lock-free).
+        self._epochs: dict[str, int] = {}
+        #: Audience -> skeleton cache (``None`` when the tier is off).
+        self._caches: dict[str, PageCache | None] = {}
         #: id(aspect) -> (aspect, resolved scope, audience or None) for
-        #: live deploy_scoped deployments.
+        #: live session-tier deployments.
         self._session_aspects: dict[int, tuple[Aspect, InstanceScope, str | None]] = {}
         self._providers: dict[str, LazyWovenProvider] = {}
         self._closed = False
@@ -215,6 +249,10 @@ class AudienceServer:
                 self._renderers[bundle.name] = renderer
                 self._scopes[bundle.name] = InstanceScope([renderer])
                 self._weave(bundle)
+                self._epochs[bundle.name] = self._runtime.weave_epoch
+                self._caches[bundle.name] = (
+                    PageCache(config.cache_pages) if self._cache_active else None
+                )
         except BaseException:
             self._tx.rollback()
             raise
@@ -265,12 +303,33 @@ class AudienceServer:
                 f"(serving: {', '.join(sorted(self._bundles)) or 'none'})"
             )
 
+    def _bump_epoch(self, audience: str | None) -> None:
+        """Move *audience* (or every audience) to a fresh weave epoch.
+
+        Callers hold ``self._lock``.  The fresh value is strictly newer
+        than anything a concurrent reader can have snapshotted, so every
+        skeleton cached before — or rendered across — the mutation is
+        unreachable the moment this returns; the stale generation is
+        reclaimed from the cache eagerly.
+        """
+        fresh = self._runtime.advance_epoch()
+        for name in [audience] if audience is not None else list(self._bundles):
+            self._epochs[name] = fresh
+            cache = self._caches.get(name)
+            if cache is not None:
+                cache.drop_stale(fresh)
+
     # -- the serving surface ---------------------------------------------------
 
     @property
     def runtime(self) -> WeaverRuntime:
         """The scoped runtime holding every audience's deployments."""
         return self._runtime
+
+    @property
+    def config(self) -> ServingConfig:
+        """The serving configuration this server was built with."""
+        return self._config
 
     @property
     def fixture(self) -> Any:
@@ -327,18 +386,48 @@ class AudienceServer:
             )
         return provider
 
+    # -- the cache tier --------------------------------------------------------
+
+    def weave_epoch(self, audience: str) -> int:
+        """The epoch *audience*'s stack is currently at (lock-free read).
+
+        A snapshot of :attr:`~repro.aop.WeaverRuntime.weave_epoch` taken
+        under the server lock after the last mutation that touched this
+        audience — ``reconfigure``, a scoped session deployment, or
+        ``close``.  A skeleton rendered and cached under epoch *e* is
+        valid exactly while this still returns *e*.
+        """
+        self._require(audience)
+        return self._epochs[audience]
+
+    def page_cache(self, audience: str) -> PageCache | None:
+        """The audience's skeleton cache, or ``None`` when the tier is off.
+
+        Off when the server's config disables it or the
+        ``REPRO_PAGE_CACHE`` environment escape hatch was set at
+        construction time.
+        """
+        self._require(audience)
+        return self._caches.get(audience)
+
     # -- the session tier ------------------------------------------------------
 
-    def adopt_renderer(self, audience: str) -> Any:
-        """A fresh renderer instance riding *audience*'s navigation stack.
+    def session_tier(self, audience: str) -> "SessionTier":
+        """Open a session scope tier over *audience*'s live stack.
 
-        The instance joins the audience's persistent scope, so the stack's
-        marker dispatch stamps it immediately — its very first render
-        carries the audience's navigation, and a later
-        :meth:`reconfigure` of the audience re-skins it along with every
-        other member.  One is adopted per connected session (see
-        :mod:`repro.navigation.http`); pair with :meth:`release_renderer`.
+        Adopts a fresh private renderer into the audience's persistent
+        scope and pairs it with a per-session
+        :class:`~repro.aop.InstanceScope`; the returned
+        :class:`SessionTier` deploys session-private aspects through
+        :meth:`SessionTier.deploy` and unwinds everything — deployments
+        and the renderer's scope membership — in one
+        :meth:`SessionTier.close` (or ``with`` block).
         """
+        with self._lock:
+            renderer = self._adopt_renderer(audience)
+            return SessionTier(self, audience, renderer, InstanceScope([renderer]))
+
+    def _adopt_renderer(self, audience: str) -> Any:
         from repro.core import PageRenderer
 
         with self._lock:
@@ -347,17 +436,73 @@ class AudienceServer:
             self._scopes[audience].add(renderer)
             return renderer
 
-    def release_renderer(self, audience: str, renderer: Any) -> None:
-        """Evict an adopted renderer from the audience's scope.
-
-        Discarding strips the scope's marker stamp, so the instance falls
-        back to plain (navigation-free) rendering; idempotent, and safe
-        after :meth:`close`.
-        """
+    def _release_renderer(self, audience: str, renderer: Any) -> None:
         with self._lock:
             scope = self._scopes.get(audience)
             if scope is not None:
                 scope.discard(renderer)
+
+    def _deploy_scoped(
+        self,
+        aspect: Aspect,
+        instances: "Iterable[Any] | InstanceScope",
+        *,
+        audience: str | None = None,
+    ) -> Deployment:
+        with self._lock:
+            if self._closed:
+                raise NavigationError("audience server is closed")
+            scope = InstanceScope.resolve(instances)
+            deployment = self._tx.add(aspect, instances=scope, lint=self._lint)
+            self._session_aspects[id(aspect)] = (aspect, scope, audience)
+            # Cached skeletons render through the audience's *shared*
+            # renderer, so a scoped deployment only supersedes them when
+            # that renderer is a scope member.  A purely session-scoped
+            # deploy (the common case: every new session's breadcrumb
+            # tier) leaves the cache warm.  With no target audience we
+            # can't tell whose skeletons the scope touches — bump all.
+            if audience is None or self._renderers[audience] in scope:
+                self._bump_epoch(audience)
+            return deployment
+
+    def _undeploy_scoped(self, aspect: Aspect) -> None:
+        with self._lock:
+            entry = self._session_aspects.pop(id(aspect), None)
+            if self._closed:
+                return
+            live = [d for d in self._tx.deployments if d.aspect is aspect]
+            if live:
+                self._tx.undeploy(live)
+            if live or entry is not None:
+                # Mirror the deploy-side rule: a deployment that never
+                # covered the audience's shared renderer never reached a
+                # cached skeleton, so undeploying it leaves the cache
+                # coherent.  Unknown target → conservative bump of all.
+                audience = entry[2] if entry is not None else None
+                if audience is None or self._renderers[audience] in entry[1]:
+                    self._bump_epoch(audience)
+
+    def adopt_renderer(self, audience: str) -> Any:
+        """Deprecated: use :meth:`session_tier` (adopt + scope in one handle).
+
+        A fresh renderer instance riding *audience*'s navigation stack:
+        the instance joins the audience's persistent scope, so the
+        stack's marker dispatch stamps it immediately and a later
+        :meth:`reconfigure` re-skins it along with every other member.
+        Pair with :meth:`release_renderer`.
+        """
+        _deprecated("AudienceServer.adopt_renderer", "session_tier")
+        return self._adopt_renderer(audience)
+
+    def release_renderer(self, audience: str, renderer: Any) -> None:
+        """Deprecated: use :meth:`SessionTier.close`.
+
+        Evicts an adopted renderer from the audience's scope, stripping
+        the scope's marker stamp so the instance falls back to plain
+        rendering; idempotent, and safe after :meth:`close`.
+        """
+        _deprecated("AudienceServer.release_renderer", "SessionTier.close")
+        self._release_renderer(audience, renderer)
 
     def deploy_scoped(
         self,
@@ -366,43 +511,29 @@ class AudienceServer:
         *,
         audience: str | None = None,
     ) -> Deployment:
-        """Layer a session-private aspect over the audience tier.
+        """Deprecated: use :meth:`SessionTier.deploy`.
 
-        Deploys *aspect* into the server's transactional set, scoped to
-        *instances* (typically one session's adopted renderer).  The
-        deployment stacks over whatever is already live and unwinds with
-        the set; undo it with :meth:`undeploy_scoped` — by aspect, because
-        a reconfigure re-weaves survivors and refreshes their handles.
-
-        *instances* is resolved to one :class:`~repro.aop.InstanceScope`
-        up front (a bare iterable is consumed exactly once) and that same
-        scope object rides every re-weave, so membership mutated after
-        deployment survives reconfigures.  ``audience`` (when known) lets
-        :meth:`reconfigure` re-stack only the *targeted* audience's
-        session aspects instead of every session in the process.
+        Layers a session-private aspect over the audience tier: deploys
+        *aspect* into the server's transactional set, scoped to
+        *instances* (resolved to one :class:`~repro.aop.InstanceScope`
+        up front — a bare iterable is consumed exactly once — and that
+        same scope object rides every re-weave).  ``audience`` (when
+        known) lets :meth:`reconfigure` re-stack only the targeted
+        audience's session aspects; undo with :meth:`undeploy_scoped`.
         """
-        with self._lock:
-            if self._closed:
-                raise NavigationError("audience server is closed")
-            scope = InstanceScope.resolve(instances)
-            deployment = self._tx.add(aspect, instances=scope, lint=self._lint)
-            self._session_aspects[id(aspect)] = (aspect, scope, audience)
-            return deployment
+        _deprecated("AudienceServer.deploy_scoped", "SessionTier.deploy")
+        return self._deploy_scoped(aspect, instances, audience=audience)
 
     def undeploy_scoped(self, aspect: Aspect) -> None:
-        """Unwind a session aspect deployed via :meth:`deploy_scoped`.
+        """Deprecated: use :meth:`SessionTier.undeploy` (or ``close``).
 
-        Looked up by aspect identity (handles are refreshed whenever a
-        reconfigure re-weaves the stack above it); a no-op when the aspect
-        is not live — eviction after :meth:`close` must not raise.
+        Unwinds a session aspect deployed via :meth:`deploy_scoped`,
+        looked up by aspect identity (handles are refreshed whenever a
+        reconfigure re-weaves the stack above it); a no-op when the
+        aspect is not live — eviction after :meth:`close` must not raise.
         """
-        with self._lock:
-            self._session_aspects.pop(id(aspect), None)
-            if self._closed:
-                return
-            live = [d for d in self._tx.deployments if d.aspect is aspect]
-            if live:
-                self._tx.undeploy(live)
+        _deprecated("AudienceServer.undeploy_scoped", "SessionTier.undeploy")
+        self._undeploy_scoped(aspect)
 
     def reconfigure(
         self, audience: str, bundle: AudienceBundle | Iterable[str]
@@ -427,6 +558,10 @@ class AudienceServer:
                 bundle = AudienceBundle(audience, tuple(bundle))
             for access in bundle.access_structures:
                 self._spec_for(access)
+            # Epoch fence *before* the first weave mutation: requests
+            # that snapshotted the pre-reconfigure epoch can no longer
+            # install skeletons under a key any later reader will hit.
+            self._bump_epoch(audience)
             previous = self._bundles[audience]
             old = self.deployments(audience)
             # Session aspects always stack *above* every audience's
@@ -463,12 +598,20 @@ class AudienceServer:
                 # audience's sessions return to the top of the stack.
                 for aspect, scope, _ in restacked:
                     self._tx.add(aspect, instances=scope)
+                # Closing fence: anything rendered *during* the swap was
+                # keyed under the opening fence's epoch and dies here, so
+                # the first post-reconfigure request re-renders.
+                self._bump_epoch(audience)
 
     def close(self) -> None:
         """Undeploy every audience's stack and release the renderer class."""
         with self._lock:
             if self._closed:
                 return
+            self._bump_epoch(None)
+            for cache in self._caches.values():
+                if cache is not None:
+                    cache.clear()
             self._closed = True
             self._tx.undeploy()
 
@@ -481,3 +624,106 @@ class AudienceServer:
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
         return f"<AudienceServer {state}, audiences={self.audiences()!r}>"
+
+
+class SessionTier:
+    """One session's scope tier over an audience's live stack, as a handle.
+
+    Returned by :meth:`AudienceServer.session_tier`: owns a freshly
+    adopted private renderer (a member of the audience's persistent
+    scope, so it rides the audience's navigation and any live
+    reconfigure of it) plus a per-session
+    :class:`~repro.aop.InstanceScope` for session-private concerns.
+    :meth:`deploy` layers an aspect over the audience tier scoped to
+    this session; :meth:`close` — or leaving a ``with`` block — unwinds
+    every tier deployment *and* the renderer's scope membership
+    together, replacing the four-call adopt/deploy/undeploy/release
+    dance of the old surface.
+    """
+
+    def __init__(
+        self,
+        server: AudienceServer,
+        audience: str,
+        renderer: Any,
+        scope: InstanceScope,
+    ):
+        self._server = server
+        self._audience = audience
+        self._renderer = renderer
+        self._scope = scope
+        self._aspects: list[Aspect] = []
+        self._closed = False
+
+    @property
+    def audience(self) -> str:
+        return self._audience
+
+    @property
+    def renderer(self) -> Any:
+        """The session's private renderer (member of the audience scope)."""
+        return self._renderer
+
+    @property
+    def scope(self) -> InstanceScope:
+        """The per-session scope tier deployments dispatch through."""
+        return self._scope
+
+    def aspects(self) -> list[Aspect]:
+        """This tier's live aspects, oldest first."""
+        return list(self._aspects)
+
+    def deploy(
+        self, aspect: Aspect, instances: "Iterable[Any] | InstanceScope | None" = None
+    ) -> Deployment:
+        """Deploy *aspect* scoped to this session (default: the tier scope).
+
+        Stacks over the audience tier in the server's transactional set;
+        closed tiers refuse.  The deployment is owned by the tier —
+        :meth:`close` unwinds it — or undo it early with
+        :meth:`undeploy`.
+        """
+        if self._closed:
+            raise NavigationError(
+                f"session tier over {self._audience!r} is closed"
+            )
+        deployment = self._server._deploy_scoped(
+            aspect,
+            self._scope if instances is None else instances,
+            audience=self._audience,
+        )
+        self._aspects.append(aspect)
+        return deployment
+
+    def undeploy(self, aspect: Aspect) -> None:
+        """Unwind one tier deployment early (by aspect identity)."""
+        self._server._undeploy_scoped(aspect)
+        self._aspects = [a for a in self._aspects if a is not aspect]
+
+    def close(self) -> None:
+        """Unwind the whole tier: every deployment, then the renderer.
+
+        LIFO over the tier's aspects, then the renderer leaves the
+        audience scope (stripping its marker stamp, back to plain
+        rendering).  Idempotent, and safe after the server closed.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for aspect in reversed(self._aspects):
+            self._server._undeploy_scoped(aspect)
+        self._aspects.clear()
+        self._server._release_renderer(self._audience, self._renderer)
+
+    def __enter__(self) -> "SessionTier":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"<SessionTier {state}, audience={self._audience!r}, "
+            f"aspects={len(self._aspects)}>"
+        )

@@ -215,6 +215,48 @@ class BreadcrumbTrail:
             self._entries.clear()
 
 
+def breadcrumb_nav(crumbs: "list[tuple[str, str]]", path: str):
+    """The trail ``<nav>`` for a page at *path*, given prior *crumbs*.
+
+    ``None`` when there is nothing to show (first visit).  One builder for
+    both trail producers — :class:`BreadcrumbAspect` appends the element
+    into the rendered tree, while the serving layer's cache-hit path
+    serializes it standalone as the per-request fragment — so the two can
+    never drift apart.
+    """
+    if not crumbs:
+        return None
+    from repro.web import TRAIL_NAV_CLASS, anchor_list
+    from repro.xmlcore import build
+
+    directory = posixpath.dirname(path)
+    anchors = [
+        Anchor(
+            label=title,
+            href=posixpath.relpath(crumb_path, directory or "."),
+            rel="breadcrumb",
+        )
+        for crumb_path, title in crumbs
+    ]
+    return build("nav", {"class": TRAIL_NAV_CLASS}, anchor_list(anchors))
+
+
+def breadcrumb_fragment(crumbs: "list[tuple[str, str]]", path: str) -> str:
+    """:func:`breadcrumb_nav` serialized compactly (``""`` when empty).
+
+    Exactly the fragment :meth:`~repro.web.html.HtmlPage.skeleton_html`
+    lifts out of a rendered page, so skeleton-plus-fragment assembly
+    produces the same bytes whether the fragment came from a live render
+    (cache miss) or straight from the session's trail (cache hit).
+    """
+    nav = breadcrumb_nav(crumbs, path)
+    if nav is None:
+        return ""
+    from repro.xmlcore import serialize
+
+    return serialize(nav)
+
+
 class BreadcrumbAspect(Aspect):
     """Weaves one user's breadcrumb trail into the pages they render.
 
@@ -251,22 +293,11 @@ class BreadcrumbAspect(Aspect):
         with self._count_lock:
             self.pages_advised += 1
         crumbs = self.trail.record(page.path, page.title or page.path)
-        if not crumbs:
+        nav = breadcrumb_nav(crumbs, page.path)
+        if nav is None:
             return page
         body = page.tree.find("body")
         if body is None:
             return page
-        from repro.web import anchor_list
-        from repro.xmlcore import build
-
-        directory = posixpath.dirname(page.path)
-        anchors = [
-            Anchor(
-                label=title,
-                href=posixpath.relpath(path, directory or "."),
-                rel="breadcrumb",
-            )
-            for path, title in crumbs
-        ]
-        body.append(build("nav", {"class": "breadcrumbs"}, anchor_list(anchors)))
+        body.append(nav)
         return page

@@ -390,16 +390,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
     serving starts, so scripted callers — the CI smoke job — can parse
     it.
     """
-    from repro.navigation import serve
+    from repro.navigation import ServingConfig, serve
 
     fixture = _fixture(args)
     bundles = _resolve_bundles(args.audiences)
+    config = ServingConfig(
+        session_idle_timeout=args.session_ttl,
+        cache_enabled=not args.no_cache,
+        cache_pages=args.cache_pages,
+    )
 
     def ready(httpd) -> None:
         host, port = httpd.server_address[:2]
+        cache = "on" if config.cache_active() else "off"
         print(
             f"serving audiences [{args.audiences}] on http://{host}:{port}/ "
-            f"(session idle timeout: {args.session_ttl:g}s)",
+            f"(session idle timeout: {args.session_ttl:g}s, "
+            f"page cache: {cache})",
             flush=True,
         )
 
@@ -408,7 +415,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         bundles,
         host=args.host,
         port=args.port,
-        session_idle_timeout=args.session_ttl,
+        config=config,
         ready=ready,
     )
     return 0
@@ -483,6 +490,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=600.0,
         help="seconds of idleness before a session's scope is evicted",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve every page by full render (disable the skeleton cache)",
+    )
+    serve.add_argument(
+        "--cache-pages",
+        type=int,
+        default=256,
+        help="per-audience page-cache capacity (LRU-evicted past this)",
     )
     serve.set_defaults(fn=cmd_serve)
 

@@ -12,12 +12,16 @@ demands: concurrent requests against two audiences and two sessions
   own pages),
 - a live ``POST /-/reconfigure/{audience}`` changes only the targeted
   audience's next response,
+- the skeleton cache serves warm repeats as hits, re-renders (never a
+  stale page) after a reconfigure, and splices only the requesting
+  session's breadcrumb fragment into a cached skeleton,
 - the child process exits cleanly with no traceback on stderr.
 
-Run under both wrapper tiers in CI::
+Run under both wrapper tiers in CI (and once with the page cache off)::
 
     REPRO_AOP_CODEGEN=1 python -m repro.tools.serve_smoke
     REPRO_AOP_CODEGEN=0 python -m repro.tools.serve_smoke
+    REPRO_PAGE_CACHE=0 python -m repro.tools.serve_smoke
 
 Exit status 0 on success; any failure prints the offending evidence and
 exits 1.  ``--requests`` trims the storm for quick local runs.
@@ -49,11 +53,21 @@ def _check(condition: bool, message: str) -> None:
 
 
 def _get(base: str, path: str, sid: str | None = None) -> tuple[int, str]:
+    status, _, body = _get_full(base, path, sid)
+    return status, body
+
+
+def _get_full(base: str, path: str, sid: str | None = None):
+    """``(status, headers, body)`` — headers are case-insensitive."""
     request = urllib.request.Request(base + path)
     if sid is not None:
         request.add_header("X-Repro-Session", sid)
     with urllib.request.urlopen(request, timeout=10) as response:
-        return response.status, response.read().decode("utf-8")
+        return (
+            response.status,
+            response.headers,
+            response.read().decode("utf-8"),
+        )
 
 
 def _post(base: str, path: str, body: str) -> tuple[int, str]:
@@ -194,6 +208,60 @@ def drive(base: str, requests_per_session: int) -> None:
         f"scope membership too small: {runtime['scopes']}",
     )
 
+    # Phase 5: the skeleton cache end to end — warm repeats hit, a
+    # reconfigure re-renders (never a stale page), and a cached skeleton
+    # carries only the requesting session's breadcrumb fragment.
+    cache_stats = stats["audiences"]["visitor"]["cache"]
+    if not cache_stats["enabled"]:
+        # The REPRO_PAGE_CACHE=0 leg: every response is a full render
+        # and says so.
+        status, headers, _ = _get_full(base, f"/visitor/{GUITAR}", "smoke-v1")
+        _check(
+            headers.get("X-Repro-Cache") == "off",
+            f"cache disabled but outcome is {headers.get('X-Repro-Cache')!r}",
+        )
+        return
+    epoch_before = stats["audiences"]["visitor"]["weave_epoch"]
+    _, h1, body1 = _get_full(base, f"/visitor/{GUITAR}", "smoke-v1")
+    _, h2, body2 = _get_full(base, f"/visitor/{GUITAR}", "smoke-v1")
+    _check(
+        h2.get("X-Repro-Cache") == "hit",
+        f"warm repeat not served from cache ({h2.get('X-Repro-Cache')!r})",
+    )
+    _check(body1 == body2, "a cache hit changed the page bytes")
+    status, _ = _post(base, "/-/reconfigure/visitor", "index")
+    _check(status == 200, f"visitor reconfigure returned {status}")
+    _, h3, body3 = _get_full(base, f"/visitor/{GUITAR}", "smoke-v1")
+    _check(
+        h3.get("X-Repro-Cache") == "miss",
+        "post-reconfigure request was not re-rendered "
+        f"({h3.get('X-Repro-Cache')!r})",
+    )
+    _check(
+        'rel="next"' not in body3,
+        "reconfigured visitor still shows the tour — stale cached skeleton",
+    )
+    status, raw = _get(base, "/-/stats")
+    after = json.loads(raw)["audiences"]["visitor"]
+    _check(
+        after["weave_epoch"] > epoch_before,
+        f"reconfigure left the weave epoch at {after['weave_epoch']}",
+    )
+    _check(after["cache"]["hits"] >= 1, f"no cache hits counted: {after['cache']}")
+    # smoke-v2 fetches the page smoke-v1 just cached: a hit whose trail
+    # block must name only v2's own history (violin, never guernica).
+    _, h4, body4 = _get_full(base, f"/visitor/{GUITAR}", "smoke-v2")
+    _check(
+        h4.get("X-Repro-Cache") == "hit",
+        f"v2's fetch of a cached page missed ({h4.get('X-Repro-Cache')!r})",
+    )
+    hrefs = breadcrumb_hrefs(body4)
+    _check(hrefs, "smoke-v2's trail missing from the cached page")
+    _check(
+        not any("guernica" in href for href in hrefs),
+        f"session bleed on the cache-hit path: v1's page in v2's trail {hrefs}",
+    )
+
 
 def _read_banner(
     child: subprocess.Popen, *, timeout: float
@@ -287,7 +355,10 @@ def main(argv: list[str] | None = None) -> int:
         print("serve-smoke FAILED: traceback on child stderr:", file=sys.stderr)
         print(stderr, file=sys.stderr)
         return 1
-    print("serve-smoke passed: two audiences, concurrent sessions, zero bleed")
+    print(
+        "serve-smoke passed: two audiences, concurrent sessions, "
+        "cache-coherent reconfigures, zero bleed"
+    )
     return 0
 
 

@@ -8,9 +8,12 @@ Pages are well-formed XHTML over :mod:`repro.xmlcore`; sites serve the
 from .diff import ChangeImpact, FileDelta, diff_builds, unified_diff
 from .errors import SiteError, StylesheetError, WebError
 from .html import (
+    TRAIL_NAV_CLASS,
+    TRAIL_SLOT,
     HtmlPage,
     anchor_element,
     anchor_list,
+    compose_page,
     heading,
     image,
     nav_block,
@@ -24,6 +27,8 @@ __all__ = [
     "ChangeImpact",
     "FileDelta",
     "HtmlPage",
+    "TRAIL_NAV_CLASS",
+    "TRAIL_SLOT",
     "SiteError",
     "SiteProvider",
     "StaticSite",
@@ -34,6 +39,7 @@ __all__ = [
     "WebError",
     "anchor_element",
     "anchor_list",
+    "compose_page",
     "diff_builds",
     "heading",
     "image",

@@ -11,7 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hypermedia.access import Anchor
-from repro.xmlcore import Element, build, serialize
+from repro.xmlcore import Element, build, comment, serialize
+
+#: Class attribute marking the per-session breadcrumb trail ``<nav>`` — the
+#: only session-variant region of a rendered page (everything else is
+#: deterministic for a fixed audience, page and deployment state).
+TRAIL_NAV_CLASS = "breadcrumbs"
+
+#: The placeholder the skeleton serializer emits where the trail block
+#: sat.  :func:`compose_page` splices a per-request fragment over it.
+TRAIL_SLOT = "<!--repro:trail-->"
 
 
 def page_skeleton(title: str) -> tuple[Element, Element]:
@@ -66,6 +75,18 @@ def nav_block(anchors: list[Anchor]) -> Element:
     return build("nav", {}, *children)
 
 
+def compose_page(skeleton: str, fragment: str) -> str:
+    """Splice a per-request trail *fragment* into a cached *skeleton*.
+
+    The inverse of :meth:`HtmlPage.skeleton_html`: the skeleton's
+    :data:`TRAIL_SLOT` is replaced by the fragment (or removed when the
+    request has no trail to show).  Plain string surgery — this is the
+    serving hot path's entire per-request serialization cost on a cache
+    hit.
+    """
+    return skeleton.replace(TRAIL_SLOT, fragment, 1)
+
+
 @dataclass(frozen=True)
 class HtmlPage:
     """One built page: a site-relative path plus its XHTML tree."""
@@ -91,6 +112,46 @@ class HtmlPage:
             )
             for a in self.tree.findall("a")
         ]
+
+    def skeleton_html(self, *, indent: str | None = "  ") -> tuple[str, str]:
+        """Serialize this page split into ``(skeleton, trail_fragment)``.
+
+        The skeleton is the full page with the session-variant trail
+        block (the ``<nav class="breadcrumbs">``, if any) lifted out and
+        :data:`TRAIL_SLOT` emitted in its place — at the end of ``<body>``
+        when the page carries no trail, so a cached skeleton always has a
+        splice point.  The fragment is the lifted trail serialized
+        compactly (``""`` when absent).  ``compose_page(skeleton,
+        fragment)`` reassembles the page; the tree is restored before
+        returning, so splitting never mutates the page for later readers.
+        """
+        body = self.tree.find("body")
+        if body is None:
+            return serialize(self.tree, indent=indent), ""
+        trail = next(
+            (
+                nav
+                for nav in body.findall("nav")
+                if nav.get("class") == TRAIL_NAV_CLASS
+            ),
+            None,
+        )
+        if trail is None:
+            slot_index = len(body.children)
+            fragment = ""
+        else:
+            slot_index = body.child_index(trail)
+            body.remove(trail)
+            fragment = serialize(trail)
+        slot = comment("repro:trail")
+        body.insert(slot_index, slot)
+        try:
+            skeleton = serialize(self.tree, indent=indent)
+        finally:
+            body.remove(slot)
+            if trail is not None:
+                body.insert(slot_index, trail)
+        return skeleton, fragment
 
     def content_region(self) -> Element | None:
         """The page body minus its ``<nav>`` blocks (for content diffs)."""

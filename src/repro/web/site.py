@@ -56,6 +56,19 @@ class StaticSite:
         """Every page serialized — the differ's input format."""
         return {path: self._pages[path].html() for path in self.paths()}
 
+    def as_skeletons(self) -> dict[str, tuple[str, str]]:
+        """Every page as ``(skeleton, trail_fragment)`` pairs.
+
+        The page-cache entry format (see
+        :meth:`~repro.web.html.HtmlPage.skeleton_html`): each skeleton
+        carries the trail slot where session-variant content splices in.
+        A materialized build in this form can prewarm a serving cache —
+        and lets tests assert that ``compose_page(skeleton, fragment)``
+        reassembles every page (identically up to serialization
+        whitespace around the spliced trail region).
+        """
+        return {path: self._pages[path].skeleton_html() for path in self.paths()}
+
     # -- user-agent integration ---------------------------------------------
 
     def provider(self) -> "SiteProvider":
