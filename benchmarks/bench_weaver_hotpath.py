@@ -19,6 +19,7 @@ Run::
 
 from __future__ import annotations
 
+import asyncio
 import contextlib
 import functools
 import inspect
@@ -427,6 +428,81 @@ def bench_serve_page(*, legacy, cached=False):
                 app.close()
 
 
+def bench_serve_async(*, requests=800):
+    """Per-request latency through the ASGI front, in-process — p50/p99 in µs.
+
+    Drives the :class:`~repro.navigation.AsgiNavigationApp` callable
+    directly on an event loop (no TCP, no HTTP parsing), so the series
+    prices exactly what the async front adds over ``respond()``: scope →
+    environ translation, the executor hop for the sync render path, and
+    the response message plumbing.  Committed as raw microsecond series
+    (informational, not gated): absolute percentiles are too
+    hardware-dependent to floor, but the trajectory across PRs is worth
+    tracking next to ``serve_page_ns``.
+    """
+    import time
+
+    from repro.baselines import museum_fixture
+    from repro.navigation import (
+        AsgiNavigationApp,
+        AudienceBundle,
+        AudienceServer,
+        NavigationApp,
+        ServingConfig,
+    )
+    from repro.navigation.http import quantile
+
+    fixture = museum_fixture()
+    bundles = [AudienceBundle("visitor", ("index", "guided-tour"))]
+    with codegen_mode(True):
+        with AudienceServer(fixture, bundles, config=ServingConfig()) as server:
+            app = NavigationApp(server)
+            asgi = AsgiNavigationApp(app)
+
+            async def one():
+                scope = {
+                    "type": "http",
+                    "http_version": "1.1",
+                    "method": "GET",
+                    "path": "/visitor/PaintingNode/guitar.html",
+                    "raw_path": b"/visitor/PaintingNode/guitar.html",
+                    "query_string": b"",
+                    "headers": [(b"x-repro-session", b"bench")],
+                }
+                messages = [
+                    {"type": "http.request", "body": b"", "more_body": False}
+                ]
+
+                async def receive():
+                    if messages:
+                        return messages.pop(0)
+                    return {"type": "http.disconnect"}
+
+                async def send(message):
+                    if message["type"] == "http.response.start":
+                        assert message["status"] == 200, message["status"]
+
+                await asgi(scope, receive, send)
+
+            async def drive():
+                # Warm-up opens the session and fills the page cache, so
+                # the timed region prices the steady-state request.
+                for _ in range(50):
+                    await one()
+                samples = []
+                for _ in range(requests):
+                    started = time.perf_counter()
+                    await one()
+                    samples.append((time.perf_counter() - started) * 1e6)
+                return samples
+
+            try:
+                samples = sorted(asyncio.run(drive()))
+            finally:
+                app.close()
+    return quantile(samples, 0.5), quantile(samples, 0.99)
+
+
 def _legacy_scan_method_shadows(cls):
     """The seed scan: ``dir()`` + ``getattr_static`` per member name."""
     shadows = []
@@ -594,6 +670,9 @@ def main():
         "deploy_batch_indexed_us": bench_deploy_batch(mode="indexed"),
         "deploy_batch_single_scan_us": bench_deploy_batch(mode="single_scan"),
     }
+    serve_async_p50, serve_async_p99 = bench_serve_async()
+    results["serve_async_p50_us"] = serve_async_p50
+    results["serve_async_p99_us"] = serve_async_p99
     speedups = {
         "static_before": results["call_static_before_legacy_ns"]
         / results["call_static_before_compiled_ns"],

@@ -932,18 +932,20 @@ def enumerate_template_sources() -> list[tuple[str, str]]:
             _shape_advice([AdviceKind.BEFORE, AdviceKind.AROUND], bound=False),
         ),
     ]
-    marker = "_aop_scope_0"
     sig = _render_signature(_sample_original)
     assert sig is not None  # the sample is renderable by construction
     sources: list[tuple[str, str]] = []
     for label, advice in shapes:
         sources.append((f"method/{label}/static", _static_source(advice)[0]))
-        for scope_label, scope_marker in (("marker", marker), ("id", None)):
+        # Marker templates render the fixed marker slot — the source is
+        # scope-independent by design (the real marker is retargeted into
+        # the compiled code per wrapper), so one shape per mix suffices.
+        for scope_label, marked in (("marker", True), ("id", False)):
             for sig_label, rendered in (("sig", sig), ("packed", None)):
                 sources.append(
                     (
                         f"method/{label}/scoped-{scope_label}-{sig_label}",
-                        _scoped_static_source(advice, scope_marker, rendered)[0],
+                        _scoped_static_source(advice, marked, rendered)[0],
                     )
                 )
     field_shapes: list[tuple[str, Sequence[AdviceKind], Sequence[AdviceKind]]] = [

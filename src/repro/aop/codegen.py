@@ -74,6 +74,16 @@ from .joinpoint import (
 
 _FILENAME = "<repro.aop.codegen>"
 
+#: Placeholder attribute name scoped templates render for the scope's
+#: instance marker.  The marker name is per-scope (``_aop_scope_N``), so
+#: baking it into the template would force a fresh compile for every
+#: scope; rendering this fixed slot instead keeps the source — and the
+#: compiled code cached per advice *shape* — scope-independent, and the
+#: real marker is substituted into a cheap per-wrapper clone of the code
+#: object (:func:`_retarget_code`).  Session scopes, created per
+#: connected user, therefore never pay a compile.
+_MARKER_SLOT = "_aop_marker_slot"
+
 #: Scope-marker class default while any cflow watcher is live in a runtime
 #: using the marker's class.  The scoped dispatch templates read the marker
 #: with ONE attribute load: ``None`` means "unscoped receiver, no watcher —
@@ -117,13 +127,20 @@ class CodegenCache:
     objects themselves are pure functions of the source either way.
     """
 
-    __slots__ = ("_code", "sources_compiled", "compile_hits", "wrappers_built")
+    __slots__ = (
+        "_code",
+        "sources_compiled",
+        "compile_hits",
+        "wrappers_built",
+        "markers_retargeted",
+    )
 
     def __init__(self) -> None:
         self._code: dict[str, Any] = {}
         self.sources_compiled = 0
         self.compile_hits = 0
         self.wrappers_built = 0
+        self.markers_retargeted = 0
 
     def code_for(self, source: str):
         """The compiled code object for *source* (memoized)."""
@@ -135,11 +152,25 @@ class CodegenCache:
             self.compile_hits += 1
         return code
 
+    def code_for_marker(self, source: str, marker: str):
+        """*source*'s compiled code with its marker slot aimed at *marker*.
+
+        The compile is shared across scopes (the source renders the fixed
+        :data:`_MARKER_SLOT` placeholder); only the cheap code-object
+        clone is per-marker.  Retargets are deliberately *not* cached —
+        markers are per-scope and scopes churn with sessions, so a
+        per-marker cache would grow without bound, while a retarget costs
+        tuple rebuilds rather than a parse.
+        """
+        self.markers_retargeted += 1
+        return _retarget_code(self.code_for(source), marker)
+
     def stats(self) -> dict[str, int]:
         return {
             "sources_compiled": self.sources_compiled,
             "compile_hits": self.compile_hits,
             "wrappers_built": self.wrappers_built,
+            "markers_retargeted": self.markers_retargeted,
         }
 
 
@@ -147,9 +178,46 @@ class CodegenCache:
 default_cache = CodegenCache()
 
 
-def _build(source: str, bindings: dict[str, Any], cache: CodegenCache) -> Callable:
+def _retarget_code(code, marker: str):
+    """A clone of *code* with :data:`_MARKER_SLOT` renamed to *marker*.
+
+    Attribute loads resolve through ``co_names``, so renaming the slot
+    there (recursively, through nested function code objects in
+    ``co_consts``) redirects every ``self.<slot>`` load without touching
+    the bytecode — the resulting wrapper is byte-identical to one whose
+    source had *marker* baked in.  Code objects that never mention the
+    slot are returned untouched.
+    """
+    names = code.co_names
+    consts = code.co_consts
+    new_names = tuple(marker if name == _MARKER_SLOT else name for name in names)
+    new_consts = tuple(
+        _retarget_code(const, marker) if isinstance(const, type(code)) else const
+        for const in consts
+    )
+    if new_names == names and new_consts == consts:
+        return code
+    return code.replace(co_names=new_names, co_consts=new_consts)
+
+
+def _build(
+    source: str,
+    bindings: dict[str, Any],
+    cache: CodegenCache,
+    *,
+    marker: str | None = None,
+) -> Callable:
+    if marker is None:
+        code = cache.code_for(source)
+    else:
+        # Scoped marker dispatch: the compile is shared per advice shape;
+        # the marker attribute is aimed per wrapper.  The recorded source
+        # shows the *real* marker so `aop inspect --source` and the
+        # analysis battery see exactly what executes.
+        code = cache.code_for_marker(source, marker)
+        source = source.replace(_MARKER_SLOT, marker)
     namespace: dict[str, Any] = {}
-    exec(cache.code_for(source), namespace)
+    exec(code, namespace)
     wrapper = namespace["_factory"](**bindings)
     wrapper.__codegen_source__ = source
     cache.wrappers_built += 1
@@ -361,20 +429,22 @@ def _render_signature(original: Callable):
 
 def _scoped_static_source(
     advice: Sequence[Advice],
-    marker: str | None,
+    marked: bool,
     sig,
 ) -> tuple[str, list[str]]:
     """Source for an instance-scoped dispatch wrapper (fully-static chain).
 
     The wrapper is the shadow's *router*: one membership test sends
     unscoped receivers straight to ``_original`` (a near-plain fast path —
-    with *marker* dispatch and a renderable signature, a watcher read, an
+    with marker dispatch and a renderable signature, a watcher read, an
     attribute load and a plain call), and scoped receivers into the same
-    pooled inlined chain a class-wide generated wrapper runs.  ``marker``
-    is the scope's instance-marker attribute name (None = id dispatch
-    over the bound ``_scope_ids`` set); ``sig`` is
-    :func:`_render_signature`'s rendering of the original (None =
-    ``*args, **kwargs`` packing).
+    pooled inlined chain a class-wide generated wrapper runs.  ``marked``
+    selects marker dispatch — the membership test is an attribute load of
+    the fixed :data:`_MARKER_SLOT` placeholder, retargeted to the owning
+    scope's real marker at build time so one compiled shape serves every
+    scope (False = id dispatch over the bound ``_scope_ids`` set);
+    ``sig`` is :func:`_render_signature`'s rendering of the original
+    (None = ``*args, **kwargs`` packing).
 
     Frames stay observable while cflow watchers are live — for *every*
     call through the shadow, unscoped receivers included, exactly like a
@@ -395,7 +465,7 @@ def _scoped_static_source(
     """
     arounds = _by_kind(advice, AdviceKind.AROUND)
     params = ["_original", "_watchers", "_slow", "_free", "_blank"]
-    if marker is None:
+    if not marked:
         params.append("_scope_ids")
     else:
         params.append("_watched")
@@ -425,8 +495,10 @@ def _scoped_static_source(
     # passthrough for locals it never touches (~10 ns — a third of a
     # plain call).  The scoped branch pays one extra call instead.
     body.append(f"    def _run({run_params_src}):")
-    if marker is not None:
-        body.append(f"        if _watchers.count or self.{marker} is _watched:")
+    if marked:
+        body.append(
+            f"        if _watchers.count or self.{_MARKER_SLOT} is _watched:"
+        )
     else:
         body.append("        if _watchers.count:")
     body.append(f"            return {slow_call}")
@@ -460,8 +532,8 @@ def _scoped_static_source(
     body.extend(_release_lines("            ", "_free"))
     body.append("")
     body.append(f"    def wrapper({params_src}):")
-    if marker is not None:
-        body.append(f"        if self.{marker} is None:")
+    if marked:
+        body.append(f"        if self.{_MARKER_SLOT} is None:")
         body.append(f"            return _original({forward_src})")
         body.append(f"        return _run({forward_src})")
     else:
@@ -626,7 +698,7 @@ def generate_method_wrapper(
     else:
         marker = scope.attr if scope.markable else None
         sig = _render_signature(original)
-        source, params = _scoped_static_source(advice, marker, sig)
+        source, params = _scoped_static_source(advice, marker is not None, sig)
         if sig is not None:
             bindings.update(sig[3])
         if marker is None:
@@ -639,7 +711,7 @@ def generate_method_wrapper(
     if "_for_chain" in params:
         bindings["_for_chain"] = ProceedingJoinPoint.for_chain
     _bind_advice("_", advice, bindings)
-    wrapper = _build(source, bindings, cache)
+    wrapper = _build(source, bindings, cache, marker=marker)
 
     source = wrapper.__codegen_source__
     functools.update_wrapper(wrapper, original)

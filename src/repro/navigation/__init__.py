@@ -31,6 +31,7 @@ trail, idle eviction) and a live management surface
 """
 
 from .agent import CallableProvider, PageAnchor, PageProvider, PageView, UserAgent
+from .asgi import AsgiHttpServer, AsgiNavigationApp, serve_async
 from .audience import DEFAULT_AUDIENCES, AudienceBundle
 from .cache import CachedSkeleton, PageCache, page_cache_enabled
 from .config import ServingConfig
@@ -48,9 +49,12 @@ from .session import (
     BreadcrumbTrail,
     NavigationSession,
     Position,
+    SessionRecord,
 )
 
 __all__ = [
+    "AsgiHttpServer",
+    "AsgiNavigationApp",
     "AudienceBundle",
     "AudienceServer",
     "BreadcrumbAspect",
@@ -69,9 +73,11 @@ __all__ = [
     "PageView",
     "Position",
     "ServingConfig",
+    "SessionRecord",
     "SessionTier",
     "UserAgent",
     "normalize_page_uri",
     "page_cache_enabled",
     "serve",
+    "serve_async",
 ]

@@ -46,9 +46,10 @@ import json
 import threading
 import time
 import uuid
+from collections import deque
 from dataclasses import dataclass
 from socketserver import ThreadingMixIn
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Mapping
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
 from repro.web import compose_page
@@ -65,7 +66,7 @@ from .serving import (
     build_node_map,
     resolve_page_target,
 )
-from .session import BreadcrumbAspect, breadcrumb_fragment
+from .session import BreadcrumbAspect, SessionRecord, breadcrumb_fragment
 
 #: The session cookie the app mints on a cookieless request.
 SESSION_COOKIE = "repro_session"
@@ -82,6 +83,54 @@ CACHE_HEADER = "HTTP_X_REPRO_CACHE"
 
 class SessionCapacityError(RuntimeError):
     """No capacity for another session scope (served as ``503``)."""
+
+
+def quantile(sorted_values: "list[float]", q: float) -> float:
+    """The *q*-quantile of pre-sorted *sorted_values* (nearest-rank).
+
+    ``0.0`` on an empty list — callers report latency summaries for
+    windows that may not have seen a request yet.
+    """
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+class LatencyWindow:
+    """A bounded rolling window of request latencies, in microseconds.
+
+    One per audience on the serving app: every successful page response
+    records its service time, and :meth:`summary` folds the window into
+    the ``count``/``p50``/``p99`` triple ``/-/stats`` publishes — so a
+    load harness reads its results from the management surface instead of
+    scraping stdout.  The count is lifetime (monotonic); the percentiles
+    cover the last *size* requests.  Mutations are lock-serialized:
+    renders run concurrently across server threads.
+    """
+
+    def __init__(self, size: int = 512):
+        if size < 1:
+            raise ValueError("latency window size must be >= 1")
+        self._lock = threading.Lock()
+        self._window: deque[float] = deque(maxlen=size)
+        self._count = 0
+
+    def record(self, elapsed_us: float) -> None:
+        with self._lock:
+            self._window.append(elapsed_us)
+            self._count += 1
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            count = self._count
+            window = sorted(self._window)
+        return {
+            "count": count,
+            "window": len(window),
+            "p50_us": round(quantile(window, 0.50), 1),
+            "p99_us": round(quantile(window, 0.99), 1),
+        }
 
 
 class _MethodNotAllowed(Exception):
@@ -183,6 +232,11 @@ class NavigationApp:
         #: Pages served by sessions since evicted (live counts add to it).
         self._served_by_evicted = 0
         self._sid_counter = itertools.count(1)
+        # Per-audience request counters and rolling latency windows; the
+        # /-/stats latency summary the load harness reads comes from here.
+        self._latency: dict[str, LatencyWindow] = {
+            audience: LatencyWindow() for audience in server.audiences()
+        }
         # Normalized URI -> node: fixture-level, identical for every
         # renderer instance, so one inventory pass serves all sessions.
         self._nodes = build_node_map(PageRenderer(server.fixture))
@@ -195,21 +249,32 @@ class NavigationApp:
     # -- the WSGI surface ------------------------------------------------------
 
     def __call__(self, environ, start_response) -> list[bytes]:
+        status, headers, body = self.respond(environ)
+        start_response(status, headers)
+        return [body]
+
+    def respond(self, environ) -> tuple[str, list[tuple[str, str]], bytes]:
+        """The transport-neutral request surface: environ in, response out.
+
+        Takes a WSGI-shaped environ dict and returns the complete
+        ``(status, headers, body)`` triple with the routing errors already
+        mapped to their HTTP statuses.  Both fronts route through here —
+        :meth:`__call__` adds the WSGI calling convention on top, and the
+        ASGI front (:mod:`repro.navigation.asgi`) runs it on a worker
+        thread under its event loop — so the two cannot drift apart.
+        """
         try:
-            status, headers, body = self._route(environ)
+            return self._route(environ)
         except NavigationError as exc:
-            status, headers, body = _text_response("404 Not Found", str(exc))
+            return _text_response("404 Not Found", str(exc))
         except SessionCapacityError as exc:
-            status, headers, body = _text_response(
-                "503 Service Unavailable", str(exc)
-            )
+            return _text_response("503 Service Unavailable", str(exc))
         except _MethodNotAllowed as exc:
             status, headers, body = _text_response(
                 "405 Method Not Allowed", str(exc)
             )
             headers.append(("Allow", exc.allowed))
-        start_response(status, headers)
-        return [body]
+            return status, headers, body
 
     def _route(self, environ) -> tuple[str, list[tuple[str, str]], bytes]:
         method = environ.get("REQUEST_METHOD", "GET")
@@ -219,6 +284,19 @@ class NavigationApp:
         if path == "/-/stats":
             _require_method(method, "GET")
             return _json_response("200 OK", self.stats())
+        if path == "/-/sessions":
+            _require_method(method, "GET")
+            return _json_response(
+                "200 OK",
+                {
+                    "sessions": [
+                        record.to_dict() for record in self.snapshot_sessions()
+                    ]
+                },
+            )
+        if path == "/-/sessions/restore":
+            _require_method(method, "POST")
+            return self._restore_sessions(environ)
         if path.startswith("/-/reconfigure/"):
             _require_method(method, "POST")
             return self._reconfigure(environ, path[len("/-/reconfigure/") :])
@@ -252,6 +330,7 @@ class NavigationApp:
             )
 
     def _page(self, environ, audience: str, page_uri: str):
+        started = time.perf_counter()
         # Resolve the page *before* touching the session tier: a request
         # that will 404 must not cost a renderer + weave deployment.
         normalized, node = resolve_page_target(self._nodes, page_uri)
@@ -311,6 +390,7 @@ class NavigationApp:
         headers.append(("X-Repro-Audience", audience))
         headers.append(("X-Repro-Session", session.sid))
         headers.append(("X-Repro-Cache", outcome))
+        self._latency[audience].record((time.perf_counter() - started) * 1e6)
         return "200 OK", headers, body
 
     def _reconfigure(self, environ, audience: str):
@@ -411,6 +491,90 @@ class NavigationApp:
         with self._lock:
             return list(self._sessions.values())
 
+    # -- session portability ---------------------------------------------------
+
+    def snapshot_sessions(self) -> list[SessionRecord]:
+        """Every live session as a portable :class:`SessionRecord`.
+
+        Plain data — the cluster front (or a draining worker's ``SIGTERM``
+        handler) serializes these, and another worker restores them via
+        :meth:`restore_session` with the trails byte-for-byte intact.
+        Also served at ``GET /-/sessions``.
+        """
+        with self._lock:
+            return [
+                SessionRecord(
+                    sid=session.sid,
+                    audience=session.audience,
+                    trail=tuple(session.breadcrumbs.trail.entries()),
+                    last_seen=session.last_seen,
+                    requests=session.requests,
+                )
+                for session in self._sessions.values()
+            ]
+
+    def restore_session(self, record: SessionRecord) -> ServingSession:
+        """Restore a snapshotted session into this app's scope tier.
+
+        Opens the session's scope tier if ``(sid, audience)`` is not
+        already live (same path a cookie-bearing request takes: capacity
+        check, private renderer, session-scoped trail deployment), then
+        replaces its breadcrumb trail with the record's — so the next
+        page this session renders shows exactly the crumbs it would have
+        on the worker it left.  ``last_seen`` is stamped from *this*
+        app's clock (monotonic clocks don't travel between processes)
+        and the record's request count is carried over.
+
+        Raises :class:`~repro.navigation.errors.NavigationError` for an
+        unknown audience and :class:`SessionCapacityError` at the session
+        cap — the HTTP surface maps them to 404/503 as usual.
+        """
+        now = self._clock()
+        with self._lock:
+            self._evict_idle_locked(now)
+            if record.audience not in self._server.audiences():
+                raise NavigationError(
+                    f"cannot restore session {record.sid!r}: no audience "
+                    f"{record.audience!r}"
+                )
+            session = self._sessions.get((record.sid, record.audience))
+            if session is None:
+                if len(self._sessions) >= self._max_sessions:
+                    raise SessionCapacityError(
+                        f"cannot restore session {record.sid!r}: "
+                        f"{len(self._sessions)} live sessions (cap "
+                        f"{self._max_sessions})"
+                    )
+                session = self._open_session_locked(
+                    record.sid, record.audience, now
+                )
+                session.requests = record.requests
+            session.last_seen = now
+            session.breadcrumbs.trail.restore(record.trail)
+            return session
+
+    def _restore_sessions(self, environ):
+        # Mirrors _reconfigure's error split: a malformed body is the
+        # client's fault (400); capacity is 503 per the session-tier
+        # contract.  Restores are per-record best-effort so one bad
+        # record cannot strand the rest of a draining worker's sessions —
+        # the response reports both sides.
+        try:
+            records = _parse_restore_body(environ)
+        except ValueError as exc:
+            return _text_response("400 Bad Request", str(exc))
+        restored, errors = [], []
+        for record in records:
+            try:
+                self.restore_session(record)
+            except (NavigationError, SessionCapacityError) as exc:
+                errors.append({"sid": record.sid, "error": str(exc)})
+            else:
+                restored.append(record.sid)
+        return _json_response(
+            "200 OK", {"restored": restored, "errors": errors}
+        )
+
     def close(self) -> None:
         """Evict every session (the underlying server stays open)."""
         with self._lock:
@@ -439,12 +603,15 @@ class NavigationApp:
         audiences = {}
         for audience in self._server.audiences():
             cache = self._server.page_cache(audience)
+            latency = self._latency[audience].summary()
             audiences[audience] = {
                 "access_structures": list(
                     self._server.bundle(audience).access_structures
                 ),
                 "scope_instances": len(self._server.scope(audience)),
                 "weave_epoch": self._server.weave_epoch(audience),
+                "requests": latency.pop("count"),
+                "latency": latency,
                 "cache": {"enabled": cache is not None}
                 | (cache.stats() if cache is not None else {}),
             }
@@ -493,6 +660,32 @@ def _parse_reconfigure_body(environ) -> list[str]:
             "(send e.g. 'index,guided-tour')"
         )
     return names
+
+
+def _parse_restore_body(environ) -> list[SessionRecord]:
+    try:
+        length = int(environ.get("CONTENT_LENGTH") or 0)
+    except ValueError:
+        length = 0
+    raw = environ["wsgi.input"].read(length).decode("utf-8") if length else ""
+    raw = raw.strip()
+    if not raw:
+        raise ValueError(
+            'restore body must carry {"sessions": [...]} or a JSON list '
+            "of session records"
+        )
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"restore body is not JSON: {exc}") from exc
+    if isinstance(payload, Mapping):
+        payload = payload.get("sessions")
+    if not isinstance(payload, list):
+        raise ValueError(
+            'restore body must carry {"sessions": [...]} or a JSON list '
+            "of session records"
+        )
+    return [SessionRecord.from_dict(item) for item in payload]
 
 
 def _html_headers(body: bytes) -> list[tuple[str, str]]:
@@ -564,6 +757,7 @@ def serve(
     session_idle_timeout: Any = _UNSET,
     quiet: bool = True,
     ready: Callable[[WSGIServer], None] | None = None,
+    on_drain: Callable[[NavigationApp], None] | None = None,
 ) -> None:
     """Stand up the whole stack and serve until interrupted.
 
@@ -573,8 +767,12 @@ def serve(
     :class:`NavigationApp`, binds the threaded WSGI server and blocks in
     ``serve_forever()``.  *ready* (if given) is called with the bound
     server before serving starts — the CLI uses it to print the ephemeral
-    port.  Teardown unwinds every session and the audience stacks, so the
-    renderer class leaves the process exactly as it entered.
+    port.  *on_drain* (if given) is called with the still-live app after
+    the listener closes but before the sessions unwind — the CLI's
+    graceful-shutdown hook snapshots every live
+    :class:`~repro.navigation.session.SessionRecord` there.  Teardown
+    unwinds every session and the audience stacks, so the renderer class
+    leaves the process exactly as it entered.
     """
     if config is None:
         config = ServingConfig()
@@ -596,4 +794,6 @@ def serve(
             pass
         finally:
             httpd.server_close()
+            if on_drain is not None:
+                on_drain(app)
             app.close()

@@ -16,9 +16,11 @@ from one live process each see only their own footsteps.
 
 from __future__ import annotations
 
+import json
 import posixpath
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
 
 from repro.aop import Aspect, around
 from repro.hypermedia.access import Anchor
@@ -214,6 +216,22 @@ class BreadcrumbTrail:
         with self._lock:
             self._entries.clear()
 
+    def restore(self, entries: "Iterable[tuple[str, str]]") -> None:
+        """Atomically replace the trail with *entries* (oldest first).
+
+        The restore half of session portability: a
+        :class:`SessionRecord`'s trail snapshot becomes this trail's
+        exact state, so the next rendered page shows the same crumbs it
+        would have on the worker the session left.  Entries beyond the
+        trail's limit drop from the *old* end, matching what
+        :meth:`record` would have converged to.
+        """
+        replacement = [(str(path), str(title)) for path, title in entries]
+        if len(replacement) > self._limit:
+            replacement = replacement[len(replacement) - self._limit :]
+        with self._lock:
+            self._entries = replacement
+
 
 def breadcrumb_nav(crumbs: "list[tuple[str, str]]", path: str):
     """The trail ``<nav>`` for a page at *path*, given prior *crumbs*.
@@ -301,3 +319,88 @@ class BreadcrumbAspect(Aspect):
             return page
         body.append(nav)
         return page
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """A serializable snapshot of one serving session — plain data only.
+
+    The portable form of a session's state: its id, audience, breadcrumb
+    trail and bookkeeping counters, with no object graph attached.  A
+    worker snapshots its live sessions into records (on ``SIGTERM`` drain
+    or via ``GET /-/sessions``), hands them across a process boundary as
+    JSON, and the receiving worker restores each into a fresh
+    :class:`~repro.navigation.serving.SessionTier` — the trail picks up
+    byte-for-byte where it left off, which is what lets the cluster
+    front rebalance sessions across workers and survive worker restarts.
+
+    ``last_seen`` is the *snapshotting* process's clock
+    (``time.monotonic``-based, so meaningless across processes); restore
+    stamps the session with the restoring app's own clock and keeps this
+    value purely informational.
+    """
+
+    sid: str
+    audience: str
+    #: ``(path, title)`` crumbs, oldest first — the trail's exact state.
+    trail: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+    #: Last-seen clock reading on the worker that snapshotted the session.
+    last_seen: float = 0.0
+    #: Pages served to the session before the snapshot (restored so the
+    #: cluster's request totals survive a rebalance).
+    requests: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.sid:
+            raise ValueError("session record needs a non-empty sid")
+        if not self.audience:
+            raise ValueError("session record needs a non-empty audience")
+        normalized = tuple(
+            (str(path), str(title)) for path, title in self.trail
+        )
+        object.__setattr__(self, "trail", normalized)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready mapping (lists for the trail pairs)."""
+        return {
+            "sid": self.sid,
+            "audience": self.audience,
+            "trail": [[path, title] for path, title in self.trail],
+            "last_seen": self.last_seen,
+            "requests": self.requests,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SessionRecord":
+        """Rebuild a record from :meth:`to_dict`'s shape (validated)."""
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"session record must be a mapping, not {payload!r}")
+        try:
+            sid = payload["sid"]
+            audience = payload["audience"]
+        except KeyError as exc:
+            raise ValueError(f"session record is missing {exc.args[0]!r}") from None
+        trail_raw = payload.get("trail", [])
+        if not isinstance(trail_raw, (list, tuple)):
+            raise ValueError(f"session record trail must be a list: {trail_raw!r}")
+        trail = []
+        for entry in trail_raw:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise ValueError(
+                    f"trail entries are (path, title) pairs, not {entry!r}"
+                )
+            trail.append((str(entry[0]), str(entry[1])))
+        return cls(
+            sid=str(sid),
+            audience=str(audience),
+            trail=tuple(trail),
+            last_seen=float(payload.get("last_seen", 0.0)),
+            requests=int(payload.get("requests", 0)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "SessionRecord":
+        return cls.from_dict(json.loads(text))

@@ -381,17 +381,144 @@ def _resolve_bundles(names_csv: str):
     return [stock[name] for name in names]
 
 
+def _snapshot_writer(args: argparse.Namespace):
+    """The graceful-shutdown hook: snapshot live sessions to ``--snapshot``.
+
+    Returns ``None`` when no snapshot path was given.  The written file
+    is the ``{"sessions": [...]}`` document ``POST /-/sessions/restore``
+    accepts, so a supervisor can feed a retired worker's sessions
+    straight into its replacement.
+    """
+    if not args.snapshot:
+        return None
+    import json
+
+    target = Path(args.snapshot)
+
+    def on_drain(app) -> None:
+        records = app.snapshot_sessions()
+        target.write_text(
+            json.dumps(
+                {"sessions": [record.to_dict() for record in records]},
+                indent=2,
+            )
+            + "\n"
+        )
+        print(
+            f"serve: snapshotted {len(records)} session(s) to {target}",
+            flush=True,
+        )
+
+    return on_drain
+
+
+def _banner(args: argparse.Namespace, config, host: str, port: int, front: str):
+    cache = "on" if config.cache_active() else "off"
+    print(
+        f"serving audiences [{args.audiences}] on http://{host}:{port}/ "
+        f"({front}, session idle timeout: {args.session_ttl:g}s, "
+        f"page cache: {cache})",
+        flush=True,
+    )
+
+
+def _cmd_serve_asgi(args: argparse.Namespace, fixture, bundles, config) -> int:
+    """One asyncio worker: the ASGI front with a true close-then-drain."""
+    import asyncio
+    import signal
+
+    from repro.navigation import serve_async
+
+    async def run() -> None:
+        shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, shutdown.set)
+
+        def ready(httpd) -> None:
+            host, port = httpd.address
+            _banner(args, config, host, port, "asgi")
+
+        await serve_async(
+            fixture,
+            bundles,
+            host=args.host,
+            port=args.port,
+            config=config,
+            ready=ready,
+            shutdown=shutdown,
+            on_drain=_snapshot_writer(args),
+        )
+
+    asyncio.run(run())
+    return 0
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    """The multi-process cluster: N workers behind the hashing front."""
+    import asyncio
+    import signal
+
+    from repro.navigation.asgi import AsgiHttpServer
+    from repro.navigation.cluster import ClusterFront, WorkerPool
+
+    _resolve_bundles(args.audiences)  # fail fast before spawning anything
+    pool = WorkerPool(
+        args.workers,
+        audiences=args.audiences,
+        asgi_workers=args.asgi,
+    )
+
+    async def run() -> None:
+        shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, shutdown.set)
+        httpd = AsgiHttpServer(ClusterFront(pool), args.host, args.port)
+        await httpd.start()
+        host, port = httpd.address
+        print(
+            f"serving audiences [{args.audiences}] on http://{host}:{port}/ "
+            f"(cluster front, {args.workers} worker(s): "
+            f"{', '.join(pool.names())})",
+            flush=True,
+        )
+        serving = asyncio.ensure_future(httpd.serve_forever())
+        await shutdown.wait()
+        serving.cancel()
+        httpd.close()
+        await httpd.drain(timeout=5.0)
+        await httpd.aclose()
+
+    pool.start()
+    try:
+        asyncio.run(run())
+    finally:
+        pool.stop()
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve the museum live: every audience's stack, every session's trail.
 
-    Binds :class:`~repro.navigation.NavigationApp` under a threaded
-    ``wsgiref`` server and blocks until interrupted.  ``--port 0`` picks
-    an ephemeral port; the bound address is printed (and flushed) before
-    serving starts, so scripted callers — the CI smoke job — can parse
-    it.
+    Three fronts over the same :class:`~repro.navigation.NavigationApp`
+    surface: the default threaded ``wsgiref`` server, ``--asgi`` for the
+    single-process asyncio front, and ``--workers N`` for the
+    multi-process cluster (a consistent-hashing reverse proxy over N
+    serving children; sessions migrate between workers as portable
+    records).  ``--port 0`` picks an ephemeral port; the bound address
+    is printed (and flushed) before serving starts, so scripted callers
+    — the CI smoke jobs — can parse it.  ``SIGTERM`` shuts down
+    gracefully: stop accepting, drain, snapshot live sessions to
+    ``--snapshot`` (if given), exit 0.
     """
+    import signal
+    import threading
+
     from repro.navigation import ServingConfig, serve
 
+    if args.workers:
+        return _cmd_serve_cluster(args)
     fixture = _fixture(args)
     bundles = _resolve_bundles(args.audiences)
     config = ServingConfig(
@@ -399,17 +526,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_enabled=not args.no_cache,
         cache_pages=args.cache_pages,
     )
+    if args.asgi:
+        return _cmd_serve_asgi(args, fixture, bundles, config)
 
     def ready(httpd) -> None:
         host, port = httpd.server_address[:2]
-        cache = "on" if config.cache_active() else "off"
-        print(
-            f"serving audiences [{args.audiences}] on http://{host}:{port}/ "
-            f"(session idle timeout: {args.session_ttl:g}s, "
-            f"page cache: {cache})",
-            flush=True,
-        )
+        _banner(args, config, host, port, "wsgi")
 
+    def on_sigterm(signum, frame) -> None:
+        # The WSGI loop's graceful exit path is its KeyboardInterrupt
+        # handler (listener closes, sessions snapshot, stacks unwind,
+        # exit 0); route SIGTERM through the same path.
+        raise KeyboardInterrupt
+
+    if threading.current_thread() is threading.main_thread():
+        # signal.signal is main-thread-only; embedded runs (tests drive
+        # ``main()`` from a worker thread) just forgo SIGTERM handling.
+        signal.signal(signal.SIGTERM, on_sigterm)
     serve(
         fixture,
         bundles,
@@ -417,6 +550,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         config=config,
         ready=ready,
+        on_drain=_snapshot_writer(args),
     )
     return 0
 
@@ -501,6 +635,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="per-audience page-cache capacity (LRU-evicted past this)",
+    )
+    serve.add_argument(
+        "--asgi",
+        action="store_true",
+        help="serve under the single-process asyncio/ASGI front",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "run a multi-process cluster: N serving workers behind a "
+            "consistent-hashing front (0 = single process)"
+        ),
+    )
+    serve.add_argument(
+        "--snapshot",
+        help=(
+            "on graceful shutdown, write live session records (JSON) here; "
+            "feed the file to POST /-/sessions/restore to resume them"
+        ),
     )
     serve.set_defaults(fn=cmd_serve)
 

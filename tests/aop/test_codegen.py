@@ -567,3 +567,83 @@ class TestGeneratedWrapperMetadata:
         with deployed(A(), [Target]):
             source = Target.__dict__["op"].__codegen_source__
         assert "except Exception" not in source
+
+
+class TestMarkerSlotSharing:
+    """Scoped marker templates compile once per advice shape, not per scope.
+
+    The marker attribute name is per-scope; session scopes are created per
+    connected user, so a per-scope compile would tax session churn with a
+    parse each.  The template renders a fixed marker slot instead and the
+    real marker is retargeted into a cheap clone of the compiled code.
+    """
+
+    def _scoped_pair(self):
+        from repro.aop import InstanceScope, WeaverRuntime
+
+        Target = fresh_target()
+
+        def make_aspect():
+            class Trail(Aspect):
+                def __init__(self):
+                    self.seen = []
+
+                @before("execution(Target.op)")
+                def note(self, jp):
+                    self.seen.append(jp.target)
+
+            return Trail()
+
+        runtime = WeaverRuntime("marker-slot-test")
+        return runtime, Target, make_aspect
+
+    def test_second_scope_reuses_the_compiled_shape(self):
+        runtime, Target, make_aspect = self._scoped_pair()
+        one, two = Target(), Target()
+        with runtime.transaction([Target]) as tx:
+            tx.add(make_aspect(), instances=[one])
+            compiled_once = runtime.codegen_cache.sources_compiled
+            retargets = runtime.codegen_cache.markers_retargeted
+            tx.add(make_aspect(), instances=[two])
+            stats = runtime.codegen_cache.stats()
+            assert stats["sources_compiled"] == compiled_once
+            assert stats["compile_hits"] >= 1
+            assert stats["markers_retargeted"] > retargets
+            tx.undeploy()
+
+    def test_each_scope_dispatches_on_its_own_marker(self):
+        from repro.aop import InstanceScope
+
+        runtime, Target, make_aspect = self._scoped_pair()
+        one, two, outsider = Target(), Target(), Target()
+        scope_a, scope_b = InstanceScope([one]), InstanceScope([two])
+        a, b = make_aspect(), make_aspect()
+        with runtime.transaction([Target]) as tx:
+            tx.add(a, instances=scope_a)
+            tx.add(b, instances=scope_b)
+            one.op()
+            two.op()
+            outsider.op()
+            assert a.seen == [one]
+            assert b.seen == [two]
+            # The recorded source names the scope's *real* marker (the
+            # compiled slot was retargeted), so inspection stays faithful.
+            wrapper = Target.__dict__["op"]
+            assert scope_b.attr in wrapper.__codegen_source__
+            assert "_aop_marker_slot" not in wrapper.__codegen_source__
+            tx.undeploy()
+
+    def test_session_churn_never_recompiles(self):
+        runtime, Target, make_aspect = self._scoped_pair()
+        with runtime.transaction([Target]) as tx:
+            tx.add(make_aspect(), instances=[Target()])
+            compiled = runtime.codegen_cache.sources_compiled
+            for _ in range(5):
+                instance = Target()
+                aspect = make_aspect()
+                deployment = tx.add(aspect, instances=[instance])
+                instance.op()
+                assert aspect.seen == [instance]
+                tx.undeploy([deployment])
+            assert runtime.codegen_cache.sources_compiled == compiled
+            tx.undeploy()

@@ -1,0 +1,217 @@
+"""The serving cluster: hash ring, worker pool, front routing, failover.
+
+The ring suite is pure-unit (determinism, coverage, minimal disruption).
+The pool suite is the real thing — child ``repro.tools serve`` processes
+behind a :class:`ClusterFront` — so it runs the whole cluster story in
+one sequential scenario to pay the spawn cost once: sticky routing,
+aggregate management surface, reconfigure fan-out, and the acceptance
+move — retiring a session's owner and watching the session resume on
+another worker with its breadcrumb trail intact.
+"""
+
+import asyncio
+import collections
+import json
+
+import pytest
+
+from repro.navigation.cluster import (
+    ClusterError,
+    ClusterFront,
+    HashRing,
+    WorkerPool,
+)
+
+GUITAR = "PaintingNode/guitar.html"
+
+
+class TestHashRing:
+    def test_owner_is_deterministic_and_total(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        keys = [f"session-{n}" for n in range(100)]
+        owners = {key: ring.owner(key) for key in keys}
+        assert owners == {key: ring.owner(key) for key in keys}
+        assert set(owners.values()) <= {"w0", "w1", "w2"}
+
+    def test_load_spreads_across_members(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        counts = collections.Counter(
+            ring.owner(f"session-{n}") for n in range(300)
+        )
+        # Uniform enough: every member owns a meaningful share.
+        assert set(counts) == {"w0", "w1", "w2"}
+        assert min(counts.values()) >= 30
+
+    def test_removal_remaps_only_the_removed_members_keys(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        keys = [f"session-{n}" for n in range(200)]
+        before = {key: ring.owner(key) for key in keys}
+        ring.remove("w1")
+        for key in keys:
+            if before[key] != "w1":
+                assert ring.owner(key) == before[key], key
+            else:
+                assert ring.owner(key) in ("w0", "w2")
+
+    def test_adding_a_member_back_restores_the_mapping(self):
+        ring = HashRing(["w0", "w1"])
+        before = {f"s{n}": ring.owner(f"s{n}") for n in range(50)}
+        ring.remove("w0")
+        ring.add("w0")
+        assert {key: ring.owner(key) for key in before} == before
+
+    def test_membership_bookkeeping(self):
+        ring = HashRing()
+        assert len(ring) == 0
+        ring.add("w0")
+        ring.add("w0")  # idempotent
+        assert ring.members == ("w0",) and "w0" in ring
+        with pytest.raises(KeyError):
+            ring.remove("ghost")
+        ring.remove("w0")
+        with pytest.raises(ClusterError):
+            ring.owner("anything")
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+
+def front_call(front, path, *, method="GET", sid=None, body=b""):
+    """Drive the ClusterFront ASGI callable directly."""
+    headers = [(b"host", b"cluster-test")]
+    if sid is not None:
+        headers.append((b"x-repro-session", sid.encode()))
+    scope = {
+        "type": "http",
+        "http_version": "1.1",
+        "method": method,
+        "path": path,
+        "raw_path": path.encode(),
+        "query_string": b"",
+        "headers": headers,
+    }
+    messages = [{"type": "http.request", "body": body, "more_body": False}]
+
+    async def receive():
+        return messages.pop(0) if messages else {"type": "http.disconnect"}
+
+    captured = {"body": b""}
+
+    async def send(message):
+        if message["type"] == "http.response.start":
+            captured["status"] = message["status"]
+            captured["headers"] = {
+                name.decode(): value.decode()
+                for name, value in message["headers"]
+            }
+        else:
+            captured["body"] += message.get("body", b"")
+
+    asyncio.run(front(scope, receive, send))
+    return captured["status"], captured["headers"], captured["body"].decode()
+
+
+class TestClusterEndToEnd:
+    def test_the_full_cluster_story(self):
+        with WorkerPool(2) as pool:
+            front = ClusterFront(pool)
+
+            # -- sticky consistent-hash routing --------------------------------
+            assert pool.names() == ("w0", "w1")
+            routed = {}
+            for n in range(8):
+                sid = f"rider-{n}"
+                status, headers, _ = front_call(
+                    front, "/visitor/index.html", sid=sid
+                )
+                assert status == 200
+                routed[sid] = headers["X-Repro-Worker"]
+                assert routed[sid] == pool.owner_of(sid).name
+            # Replays land on the same worker every time.
+            for sid, worker in routed.items():
+                _, headers, _ = front_call(
+                    front, "/visitor/index.html", sid=sid
+                )
+                assert headers["X-Repro-Worker"] == worker
+            assert set(routed.values()) == {"w0", "w1"}, (
+                "8 sessions all hashed onto one worker — ring is degenerate"
+            )
+
+            # A cookieless request gets a minted cookie from the front.
+            status, headers, _ = front_call(front, "/visitor/index.html")
+            assert status == 200
+            assert headers["Set-Cookie"].startswith("repro_session=")
+
+            # -- aggregate management surface ----------------------------------
+            status, _, text = front_call(front, "/-/stats")
+            assert status == 200
+            stats = json.loads(text)
+            assert stats["cluster"]["workers"] == 2
+            assert stats["cluster"]["sessions"] == len(routed) + 1
+            per_worker = [
+                worker_stats["sessions"]["active"]
+                for worker_stats in stats["workers"].values()
+            ]
+            assert sum(per_worker) == len(routed) + 1
+            assert all(count > 0 for count in per_worker)
+
+            # -- reconfigure fans out to every worker --------------------------
+            status, _, text = front_call(
+                front,
+                "/-/reconfigure/curator",
+                method="POST",
+                body=b"indexed-guided-tour",
+            )
+            assert status == 200
+            fanned = json.loads(text)["workers"]
+            assert set(fanned) == {"w0", "w1"}
+            for result in fanned.values():
+                assert result["access_structures"] == ["indexed-guided-tour"]
+            status, _, text = front_call(
+                front, f"/curator/{GUITAR}", sid="rider-0"
+            )
+            assert status == 200 and 'rel="next"' in text
+
+            # -- retirement migrates sessions, trails intact -------------------
+            traveler = "rider-0"
+            for page in (GUITAR, "PaintingNode/guernica.html"):
+                status, _, _ = front_call(
+                    front, f"/visitor/{page}", sid=traveler
+                )
+                assert status == 200
+            old_owner = pool.owner_of(traveler).name
+            migrated = pool.retire_worker(old_owner)
+            assert migrated >= 1  # at least the traveler moved
+            assert pool.names() == tuple(
+                name for name in ("w0", "w1") if name != old_owner
+            )
+            status, headers, text = front_call(
+                front, "/visitor/PaintingNode/violin.html", sid=traveler
+            )
+            assert status == 200
+            assert headers["X-Repro-Worker"] != old_owner
+            # The trail survived the move: every page from the old worker
+            # shows up as a crumb on the new one.
+            assert 'class="breadcrumbs"' in text
+            for crumb in ("index.html", "guitar.html", "guernica.html"):
+                assert crumb in text, f"lost {crumb} in the migration"
+
+            # Sessions of the surviving worker kept their own trails too.
+            survivors = [
+                sid
+                for sid, worker in routed.items()
+                if worker != old_owner and sid != traveler
+            ]
+            if survivors:
+                _, _, text = front_call(
+                    front, f"/visitor/{GUITAR}", sid=survivors[0]
+                )
+                assert "index.html" in text  # their home-page crumb
+
+    def test_retiring_an_unknown_worker_raises(self):
+        pool = WorkerPool(1)
+        with pytest.raises(KeyError):
+            pool.retire_worker("ghost")
+
+    def test_pool_rejects_degenerate_sizes(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)

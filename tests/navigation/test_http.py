@@ -28,6 +28,9 @@ from repro.navigation import (
     BreadcrumbAspect,
     BreadcrumbTrail,
     NavigationApp,
+    NavigationError,
+    ServingConfig,
+    SessionRecord,
 )
 from repro.navigation.http import SESSION_COOKIE, make_wsgi_server
 
@@ -545,3 +548,232 @@ class TestBreadcrumbTrail:
             thread.join()
         # Every distinct page survived the interleaving.
         assert len(trail) == 32
+
+
+WALK = ["index.html", f"{GUITAR}", "PaintingNode/guernica.html"]
+
+
+def fresh_app(fixture, config=None):
+    """A second live stack, as another worker process would build it."""
+    server = AudienceServer(fixture, VISITOR_CURATOR, config=config)
+    return server, NavigationApp(server)
+
+
+class TestSessionPortability:
+    """SessionRecord round-trips: snapshot on one app, restore on another.
+
+    The cluster acceptance bar in miniature: a session moved across
+    workers must render its next page byte-for-byte as it would have on
+    the worker it left — including after the receiving worker
+    reconfigured the audience's stack.
+    """
+
+    def walk(self, app, sid):
+        for page in WALK:
+            assert call(app, f"/visitor/{page}", sid=sid)[0] == 200
+
+    def test_snapshot_captures_live_trails(self, served):
+        _, app = served
+        self.walk(app, "alice")
+        (record,) = app.snapshot_sessions()
+        assert record.sid == "alice" and record.audience == "visitor"
+        assert record.requests == len(WALK)
+        assert [path for path, _ in record.trail] == [
+            "index.html",
+            "PaintingNode/guitar.html",
+            "PaintingNode/guernica.html",
+        ]
+
+    def test_restored_session_renders_byte_identical_pages(self, served, fixture):
+        server_a, app_a = served
+        self.walk(app_a, "alice")
+        (record,) = app_a.snapshot_sessions()
+        server_b, app_b = fresh_app(fixture)
+        try:
+            # Ship the record as JSON, exactly as the cluster front does.
+            app_b.restore_session(
+                type(record).from_json(record.to_json())
+            )
+            status_a, _, page_a = call(
+                app_a, "/visitor/PaintingNode/harlequin.html", sid="alice"
+            )
+            status_b, _, page_b = call(
+                app_b, "/visitor/PaintingNode/harlequin.html", sid="alice"
+            )
+            assert status_a == status_b == 200
+            assert page_a == page_b
+            assert 'class="breadcrumbs"' in page_b
+        finally:
+            app_b.close()
+            server_b.close()
+
+    def test_restore_after_reconfigure_matches_native_sessions(
+        self, served, fixture
+    ):
+        """Restoring into a re-woven stack keeps the trail byte-for-byte.
+
+        The receiving worker may have reconfigured the audience since the
+        snapshot was taken; the restored session must render exactly like
+        a session that had walked the same pages natively on that worker.
+        """
+        _, app_a = served
+        self.walk(app_a, "alice")
+        (record,) = app_a.snapshot_sessions()
+        server_b, app_b = fresh_app(fixture)
+        try:
+            server_b.reconfigure("visitor", ("indexed-guided-tour",))
+            app_b.restore_session(record)
+            self.walk(app_b, "native")
+            _, _, restored = call(
+                app_b, "/visitor/PaintingNode/harlequin.html", sid="alice"
+            )
+            _, _, native = call(
+                app_b, "/visitor/PaintingNode/harlequin.html", sid="native"
+            )
+            assert restored == native
+            assert 'class="breadcrumbs"' in restored
+        finally:
+            app_b.close()
+            server_b.close()
+
+    def test_restore_into_a_live_session_replaces_its_trail(self, served):
+        _, app = served
+        self.walk(app, "alice")
+        (record,) = app.snapshot_sessions()
+        # Alice keeps browsing; a (stale) restore rewinds her trail.
+        call(app, "/visitor/PaintingNode/memory.html", sid="alice")
+        app.restore_session(record)
+        (after,) = app.snapshot_sessions()
+        assert after.trail == record.trail
+        assert len(app.sessions()) == 1
+
+    def test_restore_validates_audience_and_capacity(self, served, fixture):
+        from repro.navigation.http import SessionCapacityError
+
+        _, app = served
+        with pytest.raises(NavigationError):
+            app.restore_session(
+                SessionRecord(sid="ghost", audience="stranger")
+            )
+        server_b, app_b = fresh_app(
+            fixture, config=ServingConfig(max_sessions=1)
+        )
+        try:
+            call(app_b, "/visitor/index.html", sid="resident")
+            with pytest.raises(SessionCapacityError):
+                app_b.restore_session(
+                    SessionRecord(sid="migrant", audience="visitor")
+                )
+        finally:
+            app_b.close()
+            server_b.close()
+
+    def test_sessions_endpoint_publishes_records(self, served):
+        _, app = served
+        self.walk(app, "alice")
+        status, headers, text = call(app, "/-/sessions")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        (payload,) = json.loads(text)["sessions"]
+        record = SessionRecord.from_dict(payload)
+        assert record == app.snapshot_sessions()[0]
+
+    def test_restore_endpoint_round_trips_the_sessions_payload(
+        self, served, fixture
+    ):
+        _, app_a = served
+        self.walk(app_a, "alice")
+        call(app_a, "/curator/index.html", sid="bob")
+        _, _, snapshot = call(app_a, "/-/sessions")
+        server_b, app_b = fresh_app(fixture)
+        try:
+            status, _, text = call(
+                app_b, "/-/sessions/restore", method="POST", body=snapshot
+            )
+            assert status == 200
+            result = json.loads(text)
+            assert sorted(result["restored"]) == ["alice", "bob"]
+            assert result["errors"] == []
+            assert app_b.snapshot_sessions()[0].trail
+        finally:
+            app_b.close()
+            server_b.close()
+
+    def test_restore_endpoint_is_per_record_best_effort(self, served):
+        _, app = served
+        body = json.dumps(
+            {
+                "sessions": [
+                    {"sid": "ok", "audience": "visitor"},
+                    {"sid": "lost", "audience": "stranger"},
+                ]
+            }
+        )
+        status, _, text = call(
+            app, "/-/sessions/restore", method="POST", body=body
+        )
+        assert status == 200
+        result = json.loads(text)
+        assert result["restored"] == ["ok"]
+        assert result["errors"][0]["sid"] == "lost"
+        assert "stranger" in result["errors"][0]["error"]
+
+    def test_restore_endpoint_rejects_malformed_bodies(self, served):
+        _, app = served
+        assert call(app, "/-/sessions/restore", method="POST")[0] == 400
+        assert (
+            call(
+                app, "/-/sessions/restore", method="POST", body="not json"
+            )[0]
+            == 400
+        )
+        assert (
+            call(
+                app,
+                "/-/sessions/restore",
+                method="POST",
+                body=json.dumps({"sessions": [{"sid": "s"}]}),
+            )[0]
+            == 400
+        )
+        assert call(app, "/-/sessions/restore", method="GET")[0] == 405
+
+
+class TestLatencyStats:
+    def test_stats_publish_per_audience_request_latency(self, served):
+        _, app = served
+        for _ in range(3):
+            call(app, f"/visitor/{GUITAR}", sid="alice")
+        call(app, f"/curator/{GUITAR}", sid="bob")
+        stats = json.loads(call(app, "/-/stats")[2])
+        visitor = stats["audiences"]["visitor"]
+        assert visitor["requests"] == 3
+        assert visitor["latency"]["window"] == 3
+        assert visitor["latency"]["p50_us"] > 0
+        assert visitor["latency"]["p99_us"] >= visitor["latency"]["p50_us"]
+        assert stats["audiences"]["curator"]["requests"] == 1
+
+    def test_latency_window_is_bounded_but_count_is_lifetime(self):
+        from repro.navigation.http import LatencyWindow
+
+        window = LatencyWindow(size=4)
+        for n in range(10):
+            window.record(float(n))
+        summary = window.summary()
+        assert summary["count"] == 10
+        assert summary["window"] == 4
+        # Only the last four samples (6..9) survive in the window.
+        assert summary["p50_us"] == 7.0
+        assert summary["p99_us"] == 9.0
+
+    def test_quantiles_of_an_empty_window_are_zero(self):
+        from repro.navigation.http import LatencyWindow, quantile
+
+        assert quantile([], 0.5) == 0.0
+        summary = LatencyWindow().summary()
+        assert summary == {
+            "count": 0,
+            "window": 0,
+            "p50_us": 0.0,
+            "p99_us": 0.0,
+        }

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.baselines import museum_fixture
-from repro.navigation import NavigationError, NavigationSession
+from repro.navigation import (
+    BreadcrumbTrail,
+    NavigationError,
+    NavigationSession,
+    SessionRecord,
+)
 
 
 @pytest.fixture()
@@ -131,3 +136,70 @@ class TestHistoryIntegration:
         trail = session.trail()
         assert len(trail) == 2
         assert "guitar" in trail[0] and "by-painter:picasso" in trail[0]
+
+
+class TestSessionRecord:
+    """The portable snapshot: plain data, strict validation, JSON-stable."""
+
+    def test_json_round_trip_is_exact(self):
+        record = SessionRecord(
+            sid="alice",
+            audience="visitor",
+            trail=(("a.html", "A"), ("b.html", "B")),
+            last_seen=12.5,
+            requests=3,
+        )
+        assert SessionRecord.from_json(record.to_json()) == record
+
+    def test_trail_normalizes_to_string_pairs(self):
+        record = SessionRecord(
+            sid="s", audience="visitor", trail=[["a.html", "A"]]
+        )
+        assert record.trail == (("a.html", "A"),)
+
+    def test_empty_identity_is_rejected(self):
+        with pytest.raises(ValueError):
+            SessionRecord(sid="", audience="visitor")
+        with pytest.raises(ValueError):
+            SessionRecord(sid="s", audience="")
+
+    def test_from_dict_validates_shape(self):
+        with pytest.raises(ValueError, match="mapping"):
+            SessionRecord.from_dict(["not", "a", "mapping"])
+        with pytest.raises(ValueError, match="audience"):
+            SessionRecord.from_dict({"sid": "s"})
+        with pytest.raises(ValueError, match="pairs"):
+            SessionRecord.from_dict(
+                {"sid": "s", "audience": "visitor", "trail": [["lonely"]]}
+            )
+
+    def test_bookkeeping_defaults_are_optional_in_payloads(self):
+        record = SessionRecord.from_dict({"sid": "s", "audience": "visitor"})
+        assert record.trail == ()
+        assert record.last_seen == 0.0
+        assert record.requests == 0
+
+
+class TestTrailRestore:
+    def test_restore_replaces_the_trail_exactly(self):
+        trail = BreadcrumbTrail(8)
+        trail.push("old.html", "Old")
+        trail.restore([("a.html", "A"), ("b.html", "B")])
+        assert trail.entries() == [("a.html", "A"), ("b.html", "B")]
+
+    def test_restore_truncates_from_the_old_end(self):
+        trail = BreadcrumbTrail(2)
+        trail.restore([("a", "A"), ("b", "B"), ("c", "C")])
+        # Same convergence record() would reach: the oldest entries drop.
+        assert trail.paths() == ["b", "c"]
+
+    def test_round_trip_through_a_record_is_lossless(self):
+        source = BreadcrumbTrail(8)
+        for path in ("a", "b", "c"):
+            source.push(path, path.upper())
+        record = SessionRecord(
+            sid="s", audience="visitor", trail=tuple(source.entries())
+        )
+        target = BreadcrumbTrail(8)
+        target.restore(SessionRecord.from_json(record.to_json()).trail)
+        assert target.entries() == source.entries()
