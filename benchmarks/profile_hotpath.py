@@ -1,0 +1,231 @@
+"""Profile the advised-call hot path, tier by tier.
+
+Where ``bench_weaver_hotpath.py`` prices each interception tier as a single
+number, this harness answers *where the nanoseconds go*: it deploys the
+same observation-only aspect through every tier the interpreter supports
+(compiled wrappers, generated wrappers, and the ``sys.monitoring`` tier on
+3.12+), times the advised call, and runs the call loop under ``cProfile``
+so the per-function breakdown of each tier's dispatch is visible side by
+side.  The summary table is the per-tier ns breakdown; the per-tier
+profile tables attribute the overhead to advice bodies, pool operations
+and (for the monitor tier) the PY_START/PY_RETURN callbacks.
+
+The two tool stacks coexist — ``cProfile`` holds ``sys.monitoring``'s
+reserved profiler tool id on 3.12+ while the weaver claims a free id of
+its own — but the monitor tier's callbacks never appear as frames in the
+profile: another tool's callbacks are invisible to the profile hook, so
+their cost is attributed to the advised method's own self-time.  The
+monitor tier's table therefore shows *no* dispatch frames at all and an
+inflated ``render`` self-time — which is the residue-free property,
+exactly as a production profiler would see it.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/profile_hotpath.py
+
+``--smoke`` (used by CI's bench job) runs a few hundred calls per tier,
+asserts every expected tier actually engaged, prints only the summary
+table, and exits non-zero if any tier fell back to another one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import contextlib
+import os
+import pstats
+import sys
+import timeit
+from pathlib import Path
+
+from repro.aop import Aspect, WeaverRuntime, before, monitor_supported
+from repro.metrics import format_table
+
+
+class ObservationAspect(Aspect):
+    """The same observation-only shape every tier accepts."""
+
+    def __init__(self):
+        self.count = 0
+
+    @before("execution(Node.render)")
+    def note(self, jp):
+        self.count += 1
+
+
+def fresh_node_class():
+    class Node:
+        def render(self):
+            return 42
+
+    return Node
+
+
+# Tier name -> (REPRO_AOP_CODEGEN, REPRO_AOP_MONITOR).  The monitor tier
+# keeps codegen on: shadows the planner pins to wrappers should land on
+# the fastest wrapper tier, exactly as in production.
+_TIER_ENV = {
+    "compiled": ("0", "0"),
+    "codegen": ("1", "0"),
+    "monitor": ("1", "1"),
+}
+
+
+def available_tiers():
+    tiers = ["compiled", "codegen"]
+    if monitor_supported():
+        tiers.append("monitor")
+    return tiers
+
+
+@contextlib.contextmanager
+def tier_env(tier):
+    codegen, monitor = _TIER_ENV[tier]
+    saved = {
+        name: os.environ.get(name)
+        for name in ("REPRO_AOP_CODEGEN", "REPRO_AOP_MONITOR")
+    }
+    os.environ["REPRO_AOP_CODEGEN"] = codegen
+    os.environ["REPRO_AOP_MONITOR"] = monitor
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+def time_call(fn, *, number):
+    best = min(timeit.repeat(fn, repeat=5, number=number))
+    return best / number * 1e9
+
+
+def profile_rows(profiler, *, top):
+    """The hottest ``top`` functions as ``(function, ncalls, ms, ns/call)``."""
+    stats = pstats.Stats(profiler)
+    entries = []
+    for (filename, lineno, funcname), row in stats.stats.items():
+        ncalls, _, tottime, _, _ = row
+        if not ncalls:
+            continue
+        where = "~" if filename == "~" else Path(filename).name
+        label = f"{where}:{lineno}({funcname})" if lineno else f"{where}({funcname})"
+        entries.append((tottime, ncalls, label))
+    entries.sort(reverse=True)
+    return [
+        (label, ncalls, f"{tottime * 1e3:.2f}", f"{tottime / ncalls * 1e9:.0f}")
+        for tottime, ncalls, label in entries[:top]
+    ]
+
+
+def run_tier(tier, *, calls, top):
+    """Deploy through one tier; return (ns_per_call, engaged, profile rows)."""
+    Node = fresh_node_class()
+    weaver = WeaverRuntime()
+    aspect = ObservationAspect()
+    with tier_env(tier):
+        deployment = weaver.deploy(aspect, [Node])
+    node = Node()
+    monitor_engaged = bool(deployment.monitor_sites)
+    engaged = monitor_engaged if tier == "monitor" else not monitor_engaged
+    try:
+        ns = time_call(node.render, number=calls)
+        render = node.render
+        profiler = cProfile.Profile()
+        profiler.enable()
+        for _ in range(calls):
+            render()
+        profiler.disable()
+        return ns, engaged, profile_rows(profiler, top=top)
+    finally:
+        weaver.undeploy(deployment)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--calls",
+        type=int,
+        default=50_000,
+        help="advised calls per tier, for both timing and profiling",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=12,
+        help="profile rows to print per tier",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "CI mode: a few hundred calls per tier, summary table only, "
+            "non-zero exit if a tier fell back"
+        ),
+    )
+    options = parser.parse_args(argv)
+    calls = 400 if options.smoke else options.calls
+
+    Node = fresh_node_class()
+    plain_ns = time_call(Node().render, number=calls)
+
+    summary = [("plain", f"{plain_ns:.1f}", "—", "1.00x", "—")]
+    profiles = []
+    fallbacks = []
+    for tier in available_tiers():
+        ns, engaged, rows = run_tier(tier, calls=calls, top=options.top)
+        if not engaged:
+            fallbacks.append(tier)
+        summary.append(
+            (
+                tier,
+                f"{ns:.1f}",
+                f"{ns - plain_ns:.1f}",
+                f"{ns / plain_ns:.2f}x",
+                "yes" if engaged else "FELL BACK",
+            )
+        )
+        profiles.append((tier, rows))
+
+    print(
+        format_table(
+            ["tier", "ns/call", "overhead ns", "vs plain", "engaged"],
+            summary,
+            title=f"Advised observation-only call by tier ({calls} calls)",
+        )
+    )
+    if not monitor_supported():
+        print(
+            "\nmonitor tier skipped: sys.monitoring needs python 3.12+ "
+            f"(running {sys.version.split()[0]})"
+        )
+    if not options.smoke:
+        for tier, rows in profiles:
+            print()
+            print(
+                format_table(
+                    ["function", "ncalls", "total ms", "ns/call"],
+                    rows,
+                    title=f"cProfile: {tier} tier",
+                )
+            )
+            if tier == "monitor":
+                print(
+                    "(monitoring callbacks are invisible to cProfile; "
+                    "their cost lands in the advised method's self-time)"
+                )
+    if fallbacks:
+        print(
+            "profile_hotpath FAILED: tier(s) did not engage: "
+            + ", ".join(fallbacks),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

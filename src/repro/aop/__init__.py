@@ -43,6 +43,7 @@ from .analysis import (
     verify_wrapper_source,
 )
 from .codegen import CodegenCache, codegen_enabled
+from .monitor import MonitorBridge, monitor_enabled, monitor_supported
 from .aspect import (
     Aspect,
     AspectBuilder,
@@ -127,6 +128,7 @@ __all__ = [
     "JoinPoint",
     "JoinPointKind",
     "JoinPointPool",
+    "MonitorBridge",
     "PlanEntry",
     "Pointcut",
     "PointcutSyntaxError",
@@ -161,6 +163,8 @@ __all__ = [
     "field_set",
     "introduce",
     "method_shadows",
+    "monitor_enabled",
+    "monitor_supported",
     "parse_pointcut",
     "run_advice_chain",
     "shadow_index",

@@ -34,7 +34,15 @@ with stable codes:
   of the deployment;
 - ``APL006 introduction-conflict`` — an introduction (without
   ``replace=True``) whose member name already exists on a matching
-  target, or collides with an earlier introduction in the same plan.
+  target, or collides with an earlier introduction in the same plan;
+- ``APL007 monitor-tier-pinned`` (advisory) — observation-only,
+  residue-free advice that *could* dispatch from the zero-wrapper
+  ``sys.monitoring`` tier but is pinned to a wrapper tier by the plan
+  itself: an instance scope, a generator/inherited member, or stacking
+  above an earlier wrapper-tier deployment on the same shadow.
+  Environment gating (interpreter < 3.12, ``REPRO_AOP_MONITOR=0``) is
+  deliberately *not* flagged — it is not a property of the plan, and
+  diagnostics stay identical across the CI interpreter matrix.
 
 **Codegen source verification** (``APL1xx``) —
 :func:`verify_codegen_templates` renders every generated-wrapper template
@@ -78,6 +86,7 @@ from dataclasses import dataclass
 from types import FunctionType
 from typing import Any, Iterable, Sequence
 
+from . import monitor as _monitor
 from .advice import Advice, AdviceKind
 from .aspect import Aspect
 from .codegen import (
@@ -232,6 +241,10 @@ def analyze_plan(
     # cls -> function members introduced earlier (they are weavable
     # shadows for this and later entries, exactly as in deploy()).
     introduced_functions: dict[type, set[str]] = {}
+    # (entry position, cls, member) -> (aspect name, advice group): the
+    # per-shadow method-execution groups each entry would weave — the
+    # tier planner's unit of work, read back by the APL007 pass.
+    method_groups: dict[tuple[int, type, str], tuple[str, list[Advice]]] = {}
 
     for position, entry in enumerate(entries):
         aspect = entry.aspect
@@ -307,6 +320,10 @@ def analyze_plan(
                 chains.setdefault((cls, name, kind), []).append(
                     (position, aspect_name, item)
                 )
+                if kind is JoinPointKind.METHOD_EXECUTION:
+                    method_groups.setdefault(
+                        (position, cls, name), (aspect_name, [])
+                    )[1].append(item)
                 signature = _signature(cls, name)
                 if per_call is not None and signature in hot:
                     diags.append(
@@ -351,6 +368,7 @@ def analyze_plan(
                 )
 
     diags.extend(_lint_chains(chains))
+    diags.extend(_lint_monitor_pins(entries, method_groups, index))
     return diags
 
 
@@ -428,6 +446,74 @@ def _lint_chains(
                         aspect=name_b,
                     )
                 )
+    return diags
+
+
+def _lint_monitor_pins(
+    entries: Sequence[PlanEntry],
+    groups: dict[tuple[int, type, str], tuple[str, list[Advice]]],
+    index: ShadowIndex,
+) -> list[Diagnostic]:
+    """APL007: monitor-material advice the plan pins to a wrapper tier.
+
+    Walks each entry's per-shadow advice groups in deployment order,
+    mirroring :meth:`WeaverRuntime.deploy`'s tier planner: a group whose
+    advice is observation-only and residue-free would dispatch from
+    ``sys.monitoring`` with zero wrapper frames — unless the plan itself
+    forbids it.  Only *actionable plan* properties are flagged (instance
+    scope, stacking above a wrapper-tier group); shadow-shape obstacles
+    (generators, inherited members, defaulted parameters) are inherent
+    to the advised code and stay silent, and whether the host
+    interpreter actually has ``sys.monitoring`` is an environment
+    question the analyzer deliberately ignores, so findings are stable
+    across the CI interpreter matrix.
+    """
+    diags: list[Diagnostic] = []
+    # Shadows some earlier group claims with a wrapper: the tier planner
+    # refuses to monitor a shadow whose member is already a woven
+    # wrapper (the registration would fire beneath it out of order).
+    wrapper_below: set[tuple[type, str]] = set()
+    for (position, cls, name), (aspect_name, group) in groups.items():
+        site_key = (cls, name)
+        if _monitor.advice_obstacle(group) is not None:
+            wrapper_below.add(site_key)
+            continue
+        shadow = next((s for s in index.shadows(cls) if s.name == name), None)
+        if shadow is not None and _monitor.shadow_obstacle(shadow) is not None:
+            # The member's own shape (generator body, inherited code
+            # object, defaulted parameters, ...) rules the monitor tier
+            # out.  That is inherent to the advised code, not something
+            # reordering or rescoping the plan could fix, so it is not
+            # worth an advisory — but the group still installs a
+            # wrapper, which pins later groups on the same shadow.
+            wrapper_below.add(site_key)
+            continue
+        entry = entries[position]
+        if entry.scope is not None:
+            reason = "instance-scoped deployments dispatch through wrapper markers"
+        elif site_key in wrapper_below:
+            reason = (
+                "it stacks above an earlier wrapper-tier deployment "
+                "on the same shadow"
+            )
+        else:
+            continue  # takes the monitor tier wherever it is supported
+        wrapper_below.add(site_key)
+        signature = _signature(cls, name)
+        diags.append(
+            Diagnostic(
+                code="APL007",
+                name="monitor-tier-pinned",
+                severity=SEVERITY_ADVISORY,
+                message=(
+                    "observation-only static advice on "
+                    f"{signature} is eligible for the zero-wrapper "
+                    f"monitor tier but stays on a wrapper tier: {reason}"
+                ),
+                site=signature,
+                aspect=aspect_name,
+            )
+        )
     return diags
 
 

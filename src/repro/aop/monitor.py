@@ -1,0 +1,618 @@
+"""The zero-wrapper observation tier: ``sys.monitoring`` interception.
+
+The codegen tier bottoms out at the cost of one wrapper frame per advised
+call — the wrapper *is* a Python function, so even a fully-static before
+advice pays frame setup, argument forwarding and a closure call.  The
+pypy-sc lineage the roadmap cites weaves at the interpreter level with no
+wrapper frames at all; CPython 3.12+ ``sys.monitoring`` (PEP 669) is the
+closest user-space analogue: a tool registers callbacks for
+``PY_START``/``PY_RETURN``/``PY_UNWIND`` events and masks them *per code
+object*, so only the advised shadows' code raises events and every other
+method of a monitored class runs at true plain-call cost.
+
+This tier intercepts the eligible subset of advice only:
+
+- **observation-only kinds** — ``before``, ``after_returning`` and
+  ``after`` (finally).  ``around`` needs a proceed closure and
+  ``after_throwing`` rewrites the exception path; both keep their wrapper
+  tier.
+- **static residue** — every pointcut :meth:`~Pointcut.residue_free`, so
+  no per-call ``matches_dynamic`` is needed.
+- **class-wide** — instance scopes dispatch through marker attributes on
+  the wrapper tiers.
+- **plain Python bodies** — generators/coroutines defer execution past
+  the call, and inherited members share their code object with the
+  defining class, so both stay on wrappers.
+
+Dispatch runs from a flat per-code-object table: ``PY_START`` recovers
+the receiver and arguments from the live frame, runs the before advice
+over a pooled join point (pushing a join point frame when a cflow watcher
+is live — exactly when the wrapper slow path would), and ``PY_RETURN`` /
+``PY_UNWIND`` run the after flavours with the wrapper tiers' ordering
+semantics.  Deployments stack on one code object in deployment order
+(newest outermost), and monitor-tier shadows compose freely with
+codegen/generic wrappers on other members of the same class.
+
+``REPRO_AOP_MONITOR=0`` disables the tier; unset, it is auto-on wherever
+``sys.monitoring`` exists (3.12+) and off below.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import TYPE_CHECKING, Any, Iterable
+
+from .advice import Advice, AdviceKind
+from .joinpoint import JoinPointKind, JoinPointPool, pop_frame, push_frame
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .weaver import MethodShadow, _WatcherCount
+
+#: Advice kinds that only observe a call (no proceed closure, no
+#: exception rewriting) and so can dispatch from monitoring events.
+OBSERVATION_KINDS = frozenset(
+    {AdviceKind.BEFORE, AdviceKind.AFTER_RETURNING, AdviceKind.AFTER}
+)
+
+_CO_GENERATOR = 0x20
+_CO_COROUTINE = 0x80
+_CO_ASYNC_GENERATOR = 0x200
+_CO_VARARGS = 0x04
+_CO_VARKEYWORDS = 0x08
+_DEFERRED = _CO_GENERATOR | _CO_COROUTINE | _CO_ASYNC_GENERATOR
+
+_TOOL_RANGE = range(6)  # sys.monitoring tool ids 0..5
+
+#: Free-list cap, shared with the generated wrappers' inlined release.
+_POOL_CAP = 8
+
+
+def monitor_supported() -> bool:
+    """Whether this interpreter has ``sys.monitoring`` (CPython 3.12+)."""
+    return hasattr(sys, "monitoring")
+
+
+def monitor_enabled() -> bool:
+    """The ``REPRO_AOP_MONITOR`` knob: auto-on where supported.
+
+    Mirrors :func:`~repro.aop.codegen.codegen_enabled`'s parsing —
+    ``0``/``false``/``no``/``off`` (any case) disable the tier — except
+    the default is *supported-gated* rather than a constant: unset means
+    on under 3.12+ and off below, so the same configuration deploys the
+    fastest eligible tier everywhere.
+    """
+    if not monitor_supported():
+        return False
+    raw = os.environ.get("REPRO_AOP_MONITOR")
+    if raw is None:
+        return True
+    return raw.strip().lower() not in {"0", "false", "no", "off"}
+
+
+def advice_obstacle(advice: Iterable[Advice]) -> str | None:
+    """Why this advice list can *never* take the monitor tier (None = could).
+
+    Checks the advice-shape half of eligibility — the half
+    :mod:`repro.aop.analysis` can evaluate statically.  Advice that
+    passes here is "monitor material"; whether it actually deploys there
+    also depends on :func:`shadow_obstacle`, the environment and the
+    deployment's scope (see ``APL007``).
+    """
+    advice = list(advice)
+    if not advice:
+        return "no advice matches the shadow"
+    for item in advice:
+        if item.kind not in OBSERVATION_KINDS:
+            return (
+                f"{item.kind.value} advice needs a wrapper "
+                "(proceed closure / exception rewrite)"
+            )
+        if not item.pointcut.residue_free():
+            return "dynamic pointcut residue is evaluated per call"
+    return None
+
+
+def shadow_obstacle(shadow: "MethodShadow") -> str | None:
+    """Why this shadow's code object cannot be monitored (None = it can)."""
+    original = shadow.original
+    code = getattr(original, "__code__", None)
+    if code is None:
+        return "the member has no Python code object"
+    if getattr(original, "__woven__", False):
+        # A woven wrapper's code object comes from a shared codegen
+        # template (or a shared generic closure): monitoring it would
+        # fire for every shadow compiled from the same shape.
+        return "the member is already a woven wrapper (stack through it)"
+    if code.co_flags & _DEFERRED:
+        return "generator/coroutine bodies execute after the call returns"
+    if shadow.inherited:
+        return "an inherited member shares its code object with the base class"
+    if code.co_argcount < 1:
+        return "the member takes no receiver parameter"
+    if getattr(original, "__defaults__", None) or getattr(
+        original, "__kwdefaults__", None
+    ):
+        # By PY_START the interpreter has already materialized default
+        # values into the frame, so ``jp.args`` could not distinguish
+        # caller-supplied arguments from defaulted ones — an observable
+        # divergence from the wrapper tiers, which see the raw call.
+        return "default parameter values are bound before PY_START fires"
+    return None
+
+
+def pin_reason(
+    shadow: "MethodShadow",
+    advice: Iterable[Advice],
+    *,
+    scoped: bool = False,
+) -> str | None:
+    """Why monitor-material advice stays on a wrapper tier right now.
+
+    Returns None either when the advice would deploy to the monitor tier,
+    *or* when it is not monitor material at all (see
+    :func:`advice_obstacle`) — this function reports only the "eligible
+    but pinned" cases the ``APL007`` diagnostic surfaces.
+    """
+    if advice_obstacle(advice) is not None:
+        return None
+    if not monitor_supported():
+        return (
+            "sys.monitoring is unavailable on this interpreter "
+            f"({sys.version_info.major}.{sys.version_info.minor} < 3.12)"
+        )
+    if not monitor_enabled():
+        return "REPRO_AOP_MONITOR disables the monitor tier"
+    if scoped:
+        return "instance-scoped deployments dispatch through wrapper markers"
+    return shadow_obstacle(shadow)
+
+
+def _bound(advice: Advice):
+    """The advice body as a ready-to-call ``f(jp)`` callable.
+
+    Prebinding the aspect here (the codegen tier inlines the same
+    ``f(aspect, jp)`` pair into its generated source) keeps the per-call
+    dispatch to one bound-method call instead of ``Advice.invoke``'s
+    attribute loads and aspect branch.
+    """
+    if advice.aspect is not None:
+        return advice.function.__get__(advice.aspect)
+    return advice.function
+
+
+class _MonitorEntry:
+    """One deployment's advice on one monitored code object."""
+
+    __slots__ = ("befores", "returnings_rev", "finallys_rev", "aspect_name")
+
+    def __init__(self, advice: Iterable[Advice], aspect_name: str) -> None:
+        advice = tuple(advice)
+        self.befores = tuple(
+            _bound(a) for a in advice if a.kind is AdviceKind.BEFORE
+        )
+        self.returnings_rev = tuple(
+            _bound(a)
+            for a in reversed(advice)
+            if a.kind is AdviceKind.AFTER_RETURNING
+        )
+        self.finallys_rev = tuple(
+            _bound(a) for a in reversed(advice) if a.kind is AdviceKind.AFTER
+        )
+        self.aspect_name = aspect_name
+
+    @property
+    def has_exit(self) -> bool:
+        return bool(self.returnings_rev or self.finallys_rev)
+
+
+class _CodeSite:
+    """The flat dispatch record for one monitored code object.
+
+    ``stack`` holds one :class:`_MonitorEntry` per stacked deployment,
+    oldest first — the same order wrapper nesting produces (the newest
+    deployment's wrapper is outermost), so before advice runs newest
+    entry first and the after flavours oldest entry first.
+    """
+
+    __slots__ = (
+        "cls",
+        "name",
+        "self_name",
+        "pos_names",
+        "vararg_name",
+        "kwonly_names",
+        "varkw_name",
+        "simple",
+        "pool",
+        "acquire",
+        "release",
+        "free",
+        "blank",
+        "stack",
+        "has_exit",
+        "fast_befores",
+    )
+
+    def __init__(self, cls: type, name: str, code: Any) -> None:
+        self.cls = cls
+        self.name = name
+        varnames = code.co_varnames
+        argcount = code.co_argcount
+        kwonlycount = code.co_kwonlyargcount
+        self.self_name = varnames[0]
+        self.pos_names = varnames[1:argcount]
+        self.kwonly_names = varnames[argcount : argcount + kwonlycount]
+        index = argcount + kwonlycount
+        self.vararg_name = None
+        if code.co_flags & _CO_VARARGS:
+            self.vararg_name = varnames[index]
+            index += 1
+        self.varkw_name = varnames[index] if code.co_flags & _CO_VARKEYWORDS else None
+        #: Receiver-only signature: the dominant case, dispatched without
+        #: touching the frame locals beyond the receiver itself.
+        self.simple = not (
+            self.pos_names
+            or self.kwonly_names
+            or self.vararg_name
+            or self.varkw_name
+        )
+        self.pool = JoinPointPool(JoinPointKind.METHOD_EXECUTION, name)
+        self.acquire = self.pool.acquire
+        self.release = self.pool.release
+        # The free list and blank factory, bound flat for the inlined
+        # acquire in the dispatch fast path (same surface the generated
+        # wrappers bind as closure cells).
+        self.free = self.pool.free
+        self.blank = self.pool.blank
+        self.stack: list[_MonitorEntry] = []
+        self.has_exit = False
+        self.fast_befores: tuple | None = None
+
+    def refresh(self) -> None:
+        self.has_exit = any(entry.has_exit for entry in self.stack)
+        # One before-only deployment is the overwhelmingly common shape
+        # (BreadcrumbAspect-style observation): dispatch it without the
+        # stack-walk machinery.
+        self.fast_befores = (
+            self.stack[0].befores
+            if len(self.stack) == 1 and not self.has_exit
+            else None
+        )
+
+
+class MonitorRegistration:
+    """A deployment's revocable claim on one monitored shadow."""
+
+    __slots__ = ("_bridge", "_code", "_entry", "cls", "name", "advice_count")
+
+    def __init__(
+        self,
+        bridge: "MonitorBridge",
+        code: Any,
+        entry: _MonitorEntry,
+        cls: type,
+        name: str,
+        advice_count: int,
+    ) -> None:
+        self._bridge = bridge
+        self._code = code
+        self._entry = entry
+        self.cls = cls
+        self.name = name
+        self.advice_count = advice_count
+
+    @property
+    def aspect_name(self) -> str:
+        return self._entry.aspect_name
+
+    @property
+    def signature(self) -> str:
+        return f"{self.cls.__name__}.{self.name}"
+
+    def release(self) -> None:
+        """Detach this deployment's advice (idempotent).
+
+        When the last stacked entry of a code object goes, its local
+        events are cleared; when the last code object goes, the bridge
+        frees its tool id — undeploying the final monitor-tier
+        deployment leaves ``sys.monitoring`` exactly as found.
+        """
+        self._bridge._remove(self._code, self._entry)
+
+
+class MonitorBridge:
+    """One runtime's ``sys.monitoring`` tool: table, callbacks, tool id.
+
+    The tool id is acquired lazily on the first attached shadow and freed
+    when the last registration releases, so a runtime that never routes a
+    shadow here never touches ``sys.monitoring`` — and six runtimes with
+    live monitor deployments exhaust the id space gracefully: the seventh
+    simply keeps its shadows on the wrapper tiers.
+    """
+
+    def __init__(self, name: str, watchers: "_WatcherCount") -> None:
+        self._name = name
+        self._watchers = watchers
+        self._tool_id: int | None = None
+        #: code object -> :class:`_CodeSite` (the flat dispatch table).
+        self._table: dict[Any, _CodeSite] = {}
+        #: id(frame) -> (jp, cflow token, site, unwind floor) for calls
+        #: whose exit the callbacks must observe.
+        self._live: dict[int, tuple] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def attach(
+        self, shadow: "MethodShadow", advice: Iterable[Advice]
+    ) -> MonitorRegistration | None:
+        """Route one shadow's advice through monitoring events.
+
+        Returns None — leaving the caller to fall back to a wrapper tier —
+        when no tool id is free or the code object is already monitored
+        for a *different* site (two class members sharing one function
+        would cross-advise each other).
+        """
+        advice = list(advice)
+        code = shadow.original.__code__
+        site = self._table.get(code)
+        if site is not None:
+            if (site.cls, site.name) != (shadow.cls, shadow.name):
+                return None
+        else:
+            if not self._ensure_tool():
+                return None
+            site = _CodeSite(shadow.cls, shadow.name, code)
+            self._table[code] = site
+        entry = _MonitorEntry(advice, type(advice[0].aspect).__name__ if advice[0].aspect is not None else "<unbound>")
+        site.stack.append(entry)
+        site.refresh()
+        self._arm(code, site)
+        return MonitorRegistration(
+            self, code, entry, shadow.cls, shadow.name, len(advice)
+        )
+
+    def _remove(self, code: Any, entry: _MonitorEntry) -> None:
+        site = self._table.get(code)
+        if site is None or entry not in site.stack:
+            return
+        site.stack.remove(entry)
+        if site.stack:
+            site.refresh()
+            self._arm(code, site)
+            return
+        del self._table[code]
+        if self._tool_id is not None:
+            sys.monitoring.set_local_events(self._tool_id, code, 0)
+        if not self._table:
+            self._release_tool()
+
+    def _arm(self, code: Any, site: _CodeSite) -> None:
+        """Set the code object's local events to exactly what it needs.
+
+        ``PY_RETURN`` is armed only when something must observe the exit:
+        the site carries after/finally advice, a cflow watcher is live
+        (the pushed join point frame must be popped on return), or a call
+        is in flight that may have pushed one.  A before-only site in a
+        watcher-free runtime pays for a single ``PY_START`` event — the
+        difference is ~50 ns of C→Python callback per call.
+        """
+        monitoring = sys.monitoring
+        events = monitoring.events.PY_START
+        if site.has_exit or self._watchers.count or self._live:
+            events |= monitoring.events.PY_RETURN
+        monitoring.set_local_events(self._tool_id, code, events)
+
+    def refresh_events(self) -> None:
+        """Re-arm every site after a cflow-watcher 0↔1 transition."""
+        if self._tool_id is None:
+            return
+        for code, site in self._table.items():
+            self._arm(code, site)
+
+    def _ensure_tool(self) -> bool:
+        if self._tool_id is not None:
+            return True
+        if not monitor_supported():
+            return False
+        monitoring = sys.monitoring
+        for tool in _TOOL_RANGE:
+            if monitoring.get_tool(tool) is not None:
+                continue
+            try:
+                monitoring.use_tool_id(tool, f"repro-aop:{self._name}")
+            except ValueError:
+                continue  # raced another tool; try the next id
+            self._tool_id = tool
+            events = monitoring.events
+            monitoring.register_callback(tool, events.PY_START, self._on_start)
+            monitoring.register_callback(tool, events.PY_RETURN, self._on_return)
+            monitoring.register_callback(tool, events.PY_UNWIND, self._on_unwind)
+            # PY_UNWIND is not a local event, so it runs tool-global
+            # while any site is monitored; the callback's first check
+            # (`not self._live`) keeps the tax on unrelated exception
+            # unwinds to one dict bool.
+            monitoring.set_events(tool, events.PY_UNWIND)
+            # Watcher 0↔1 transitions re-arm PY_RETURN on before-only
+            # sites (the pushed cflow frame must be popped on return);
+            # subscribed only while the tool is held, so the shared
+            # watcher count never accumulates dead bridges.
+            self._watchers.subscribe(self.refresh_events)
+            return True
+        return False
+
+    def _release_tool(self) -> None:
+        if self._tool_id is None:
+            return
+        monitoring = sys.monitoring
+        events = monitoring.events
+        tool = self._tool_id
+        self._tool_id = None
+        self._watchers.unsubscribe(self.refresh_events)
+        monitoring.set_events(tool, 0)
+        monitoring.register_callback(tool, events.PY_START, None)
+        monitoring.register_callback(tool, events.PY_RETURN, None)
+        monitoring.register_callback(tool, events.PY_UNWIND, None)
+        monitoring.free_tool_id(tool)
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _on_start(self, code: Any, _offset: int) -> None:
+        site = self._table.get(code)
+        if site is None:
+            return
+        frame = sys._getframe(1)
+        locs = frame.f_locals
+        target = locs[site.self_name]
+        if not isinstance(target, site.cls):
+            # A code object is not a member: class factories hand the
+            # *same* code to every class they create, so a sibling
+            # class's calls raise this event too.  The wrapper tiers
+            # advise exactly one class member; the receiver check is the
+            # monitor tier's equivalent.
+            return
+        if site.simple:
+            args = ()
+            kwargs = {}
+        else:
+            args = tuple([locs[name] for name in site.pos_names])
+            if site.vararg_name is not None:
+                args += locs[site.vararg_name]
+            kwargs = (
+                {name: locs[name] for name in site.kwonly_names}
+                if site.kwonly_names
+                else {}
+            )
+            if site.varkw_name is not None:
+                kwargs.update(locs[site.varkw_name])
+        fast = site.fast_befores
+        if fast is not None and not self._watchers.count:
+            # Single before-only deployment, no cflow watcher: inline the
+            # pool acquire (the pop is atomic; see JoinPointPool.acquire)
+            # and skip the stack walk and exit bookkeeping entirely.
+            try:
+                jp = site.free.pop()
+            except IndexError:
+                jp = site.blank()
+            jp.target = target
+            jp.cls = type(target)
+            jp.args = args
+            jp.kwargs = kwargs
+            try:
+                for call in fast:
+                    call(jp)
+            except BaseException:
+                # floor 1 == past the only entry: PY_UNWIND just pops
+                # nothing and releases the join point.
+                self._live[id(frame)] = (jp, None, site, 1)
+                raise
+            free = site.free
+            if len(free) < _POOL_CAP:  # scrub per the pool invariant
+                jp.target = None
+                jp.cls = None
+                jp.args = ()
+                jp.kwargs = None
+                jp.value = None
+                jp.result = None
+                free.append(jp)
+            return
+        jp = site.acquire(target, args, kwargs)
+        token = push_frame(jp) if self._watchers.count else None
+        stack = site.stack
+        index = len(stack)
+        try:
+            while index:  # newest deployment's befores first (outermost)
+                index -= 1
+                for call in stack[index].befores:
+                    call(jp)
+        except BaseException:
+            # A before raised: the monitored frame unwinds with the
+            # exception before its body runs.  Deployments *outer* to
+            # the raising one (newer; indices above `index`) still run
+            # their finallys on PY_UNWIND, exactly as their wrappers
+            # would around a raising inner wrapper.
+            self._live[id(frame)] = (jp, token, site, index + 1)
+            raise
+        if token is not None or site.has_exit:
+            self._live[id(frame)] = (jp, token, site, 0)
+        else:
+            site.release(jp)
+
+    def _on_return(self, code: Any, _offset: int, retval: Any) -> None:
+        live = self._live
+        if not live:
+            return
+        frame = sys._getframe(1)
+        info = live.pop(id(frame), None)
+        if info is None:
+            return
+        jp, token, site, _floor = info  # a returning frame ran every before
+        jp.result = retval
+        stack = site.stack
+        index = 0
+        try:
+            while index < len(stack):  # oldest (innermost) exits first
+                entry = stack[index]
+                index += 1
+                for call in entry.returnings_rev:
+                    call(jp)
+                for call in entry.finallys_rev:
+                    call(jp)
+        except BaseException as exc:
+            # An after advice raised: outer deployments still run their
+            # finallys (their wrappers would see the exception from the
+            # nested call), then the exception propagates.
+            jp.result = exc
+            while index < len(stack):
+                entry = stack[index]
+                index += 1
+                for call in entry.finallys_rev:
+                    call(jp)
+            raise
+        finally:
+            if token is not None:
+                pop_frame(token)
+            site.release(jp)
+
+    def _on_unwind(self, code: Any, _offset: int, exc: BaseException) -> None:
+        live = self._live
+        if not live:
+            return
+        frame = sys._getframe(1)
+        info = live.pop(id(frame), None)
+        if info is None:
+            return
+        jp, token, site, floor = info
+        jp.result = exc
+        stack = site.stack
+        index = floor
+        try:
+            while index < len(stack):
+                entry = stack[index]
+                index += 1
+                for call in entry.finallys_rev:
+                    call(jp)
+        finally:
+            if token is not None:
+                pop_frame(token)
+            site.release(jp)
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def tool_id(self) -> int | None:
+        return self._tool_id
+
+    def sites(self) -> list[_CodeSite]:
+        return list(self._table.values())
+
+    def stats(self) -> dict[str, Any]:
+        """A JSON-serializable snapshot for ``stats()`` / ``/-/stats``."""
+        return {
+            "supported": monitor_supported(),
+            "enabled": monitor_enabled(),
+            "tool_id": self._tool_id,
+            "code_objects": len(self._table),
+            "stacked_entries": sum(len(s.stack) for s in self._table.values()),
+            "in_flight": len(self._live),
+        }

@@ -37,7 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable
 
-from . import codegen
+from . import codegen, monitor
 from .advice import Advice
 from .aspect import Aspect
 from .errors import WeavingError
@@ -92,6 +92,10 @@ class WeaverRuntime:
         self._deployments: list[Deployment] = []
         # Monotonic weave-mutation counter; see the weave_epoch property.
         self._weave_epoch = 0
+        # The sys.monitoring bridge, created lazily on the first shadow
+        # the tier planner routes there — a runtime that never weaves
+        # monitor-eligible advice never claims a monitoring tool id.
+        self._monitor: "monitor.MonitorBridge | None" = None
 
     def __repr__(self) -> str:
         return f"<WeaverRuntime {self.name!r} ({len(self.deployments)} active)>"
@@ -288,7 +292,25 @@ class WeaverRuntime:
 
             touched: set[type] = set()
             marker_classes: set[type] = set()
+            # Tier planner: observation-only, residue-free, class-wide
+            # advice on a monitorable code object dispatches from
+            # sys.monitoring events — no wrapper member is installed at
+            # all.  Everything else (around/throwing advice, dynamic
+            # residue, instance scopes, tracking-only shadows, inherited
+            # or generator members) takes the wrapper tiers below, and
+            # the two compose freely on one class.
+            use_monitor = scope is None and monitor.monitor_enabled()
             for shadow, matching in method_plan:
+                if (
+                    use_monitor
+                    and matching
+                    and monitor.advice_obstacle(matching) is None
+                    and monitor.shadow_obstacle(shadow) is None
+                ):
+                    registration = self._monitor_bridge().attach(shadow, matching)
+                    if registration is not None:
+                        deployment.monitor_sites.append(registration)
+                        continue
                 wrapper = self._make_method_wrapper(shadow, matching, scope)
                 marker = getattr(wrapper, "__scope_marker__", None)
                 if marker is not None and shadow.cls not in marker_classes:
@@ -356,6 +378,7 @@ class WeaverRuntime:
                 require_match
                 and not deployment.members
                 and not deployment.introductions
+                and not deployment.monitor_sites
             ):
                 raise WeavingError(
                     f"aspect {type(aspect).__name__} matched nothing in "
@@ -377,6 +400,11 @@ class WeaverRuntime:
         self._weave_epoch += 1
         self._deployments.append(deployment)
         return deployment
+
+    def _monitor_bridge(self) -> "monitor.MonitorBridge":
+        if self._monitor is None:
+            self._monitor = monitor.MonitorBridge(self.name, self._watchers)
+        return self._monitor
 
     def _make_method_wrapper(
         self, shadow, advice: list[Advice], scope: InstanceScope | None = None
@@ -466,6 +494,9 @@ class WeaverRuntime:
                 index.restore_after_revert(
                     cls, snapshot, woven_token=woven_token, pre_token=pre_token
                 )
+        for registration in reversed(deployment.monitor_sites):
+            registration.release()
+        deployment.monitor_sites.clear()
         _release_marker_state(deployment)
         if deployment._tracks_cflow:
             watchers.unwatch()
@@ -493,6 +524,17 @@ class WeaverRuntime:
             for member in deployment.members:
                 sites.append(
                     _describe_member(member, aspect_name, position, deployment.scope)
+                )
+            for registration in deployment.monitor_sites:
+                sites.append(
+                    WovenSite(
+                        cls=registration.cls,
+                        member=registration.name,
+                        kind="method",
+                        tier="monitor",
+                        aspect=aspect_name,
+                        deployment_index=position,
+                    )
                 )
             for applied in deployment.introductions:
                 sites.append(
@@ -538,6 +580,7 @@ class WeaverRuntime:
             active=deployment.active,
             method_members=method_members,
             field_members=field_members,
+            monitor_members=len(deployment.monitor_sites),
             introductions=len(deployment.introductions),
             codegen_sources=codegen_sources,
             pools=pooled,
@@ -582,6 +625,18 @@ class WeaverRuntime:
             "pools": {"count": pools, "free_joinpoints": pool_free},
             "cflow_watchers": self._watchers.count,
             "codegen_cache": self._codegen_cache.stats(),
+            "monitor": (
+                self._monitor.stats()
+                if self._monitor is not None
+                else {
+                    "supported": monitor.monitor_supported(),
+                    "enabled": monitor.monitor_enabled(),
+                    "tool_id": None,
+                    "code_objects": 0,
+                    "stacked_entries": 0,
+                    "in_flight": 0,
+                }
+            ),
         }
 
 
@@ -593,8 +648,9 @@ class WovenSite:
     member: str
     #: ``"method"``, ``"field"`` or ``"introduction"``.
     kind: str
-    #: Dispatch tier: ``"codegen"``, ``"generic"``, ``"tracking"``,
-    #: ``"field-codegen"``, ``"field-generic"`` or ``"introduction"``.
+    #: Dispatch tier: ``"monitor"``, ``"codegen"``, ``"generic"``,
+    #: ``"tracking"``, ``"field-codegen"``, ``"field-generic"`` or
+    #: ``"introduction"``.
     tier: str
     aspect: str
     deployment_index: int
@@ -628,6 +684,8 @@ class DeploymentStats:
     pooled_joinpoints_free: int
     #: Live instance count of the deployment's scope (None = class-wide).
     scope_instances: int | None = None
+    #: Shadows advised through sys.monitoring (no installed member).
+    monitor_members: int = 0
 
 
 def _describe_member(

@@ -541,22 +541,39 @@ class _WatcherCount:
     staying frame-correct under cflow observation.
     """
 
-    __slots__ = ("count",)
+    __slots__ = ("count", "_listeners")
 
     def __init__(self) -> None:
         self.count = 0
+        #: Callbacks fired on 0↔1 transitions — the monitor tier re-arms
+        #: its per-code PY_RETURN events here (see MonitorBridge._arm).
+        self._listeners: list = []
+
+    def subscribe(self, callback) -> None:
+        self._listeners.append(callback)
+
+    def unsubscribe(self, callback) -> None:
+        try:
+            self._listeners.remove(callback)
+        except ValueError:
+            pass
+
+    def _notify(self) -> None:
+        _marker_defaults.refresh(self)
+        for callback in list(self._listeners):
+            callback()
 
     def watch(self) -> None:
         """A cflow-carrying deployment went live."""
         self.count += 1
         if self.count == 1:
-            _marker_defaults.refresh(self)
+            self._notify()
 
     def unwatch(self) -> None:
         """A cflow-carrying deployment unwound."""
         self.count -= 1
         if self.count == 0:
-            _marker_defaults.refresh(self)
+            self._notify()
 
 
 class _MarkerDefaults:
@@ -967,6 +984,10 @@ class Deployment:
     aspect: Aspect
     members: list[_WovenMember] = field(default_factory=list)
     introductions: list[AppliedIntroduction] = field(default_factory=list)
+    #: Monitor-tier registrations (:class:`~repro.aop.monitor.
+    #: MonitorRegistration`): shadows this deployment advises through
+    #: ``sys.monitoring`` events instead of an installed wrapper member.
+    monitor_sites: list = field(default_factory=list)
     active: bool = True
     #: The instance scope this deployment is narrowed to (None = class-wide).
     scope: InstanceScope | None = None
@@ -987,7 +1008,10 @@ class Deployment:
 
     def woven_signatures(self) -> list[str]:
         """Human-readable list of what this deployment touched."""
-        return sorted(f"{m.cls.__name__}.{m.name}" for m in self.members)
+        return sorted(
+            [f"{m.cls.__name__}.{m.name}" for m in self.members]
+            + [r.signature for r in self.monitor_sites]
+        )
 
 
 def _release_marker_state(deployment: Deployment) -> None:
@@ -1030,6 +1054,12 @@ def _rollback_partial_weave(deployment: Deployment, index: ShadowIndex) -> None:
             applied.revert()
         except Exception:
             pass
+    for registration in reversed(deployment.monitor_sites):
+        try:
+            registration.release()
+        except Exception:
+            pass
+    deployment.monitor_sites.clear()
     deployment.members.clear()
     deployment.introductions.clear()
     deployment._cache_state.clear()

@@ -21,7 +21,10 @@ scope tier per session; this module scales that across *processes*:
   worker's sessions are snapshotted as portable
   :class:`~repro.navigation.session.SessionRecord`\\ s and restored into
   their new ring owners, so a browsing user's breadcrumb trail survives
-  the worker swap byte-for-byte.
+  the worker swap byte-for-byte.  A worker that dies *unexpectedly* is
+  respawned under its own ring name the next time a request routes to
+  it (bounded retries, exponential backoff); only when the respawns are
+  exhausted does the name leave the ring and its sessions remap.
 
 Sessions are sticky by construction (same sid, same worker) which is
 what keeps each session's scope tier — its private renderer and trail
@@ -41,6 +44,7 @@ import signal
 import subprocess
 import sys
 import threading
+import time
 import uuid
 from bisect import bisect_right
 from typing import Any, Iterable, Mapping
@@ -304,7 +308,7 @@ class WorkerProcess:
 
 
 class WorkerPool:
-    """Spawn, route to, rebalance, and retire a set of serving workers."""
+    """Spawn, route to, rebalance, revive, and retire serving workers."""
 
     def __init__(
         self,
@@ -315,34 +319,44 @@ class WorkerPool:
         env: Mapping[str, str] | None = None,
         replicas: int = 64,
         spawn_timeout: float = 30.0,
+        restart_limit: int = 3,
+        restart_backoff: float = 0.25,
     ):
         if count < 1:
             raise ValueError("a worker pool needs at least one worker")
         self._lock = threading.Lock()
         self.ring = HashRing(replicas=replicas)
         self.workers: dict[str, WorkerProcess] = {}
+        self.restarts: dict[str, int] = {}
         self._names = itertools.count()
         self._audiences = audiences
         self._asgi_workers = asgi_workers
         self._env = env
         self._spawn_timeout = spawn_timeout
         self._initial_count = count
+        self._restart_limit = restart_limit
+        self._restart_backoff = restart_backoff
+        self._revive_lock = threading.Lock()
+        self._sleep = time.sleep
 
     def start(self) -> None:
         for _ in range(self._initial_count):
             self.add_worker()
 
-    def add_worker(self) -> WorkerProcess:
-        """Spawn one more worker and add it to the ring."""
-        with self._lock:
-            name = f"w{next(self._names)}"
-        worker = WorkerProcess(
+    def _new_worker(self, name: str) -> WorkerProcess:
+        return WorkerProcess(
             name,
             audiences=self._audiences,
             asgi=self._asgi_workers,
             env=self._env,
             spawn_timeout=self._spawn_timeout,
         )
+
+    def add_worker(self) -> WorkerProcess:
+        """Spawn one more worker and add it to the ring."""
+        with self._lock:
+            name = f"w{next(self._names)}"
+        worker = self._new_worker(name)
         worker.spawn()
         with self._lock:
             self.workers[name] = worker
@@ -351,7 +365,60 @@ class WorkerPool:
 
     def owner_of(self, sid: str) -> WorkerProcess:
         with self._lock:
+            name = self.ring.owner(sid)
+            worker = self.workers[name]
+        if worker.alive:
+            return worker
+        revived = self.revive_worker(name)
+        if revived is not None:
+            return revived
+        # The name left the ring; the sid now hashes to a survivor
+        # (or the ring is empty, and owner() raises ClusterError —
+        # which the front turns into a 503).
+        with self._lock:
             return self.workers[self.ring.owner(sid)]
+
+    def revive_worker(self, name: str) -> WorkerProcess | None:
+        """Replace a dead worker's process, keeping its ring identity.
+
+        A worker that died *unexpectedly* (crash, OOM kill) took its
+        session tier with it; what can still be saved is the routing
+        identity.  Respawning under the same name keeps every sid that
+        hashed to the casualty hashing to its replacement — the sticky
+        mapping and every *other* worker's sessions are untouched, and
+        affected visitors restart from a fresh session instead of
+        503ing forever.  Spawn attempts are bounded with exponential
+        backoff; when they are exhausted the name is removed from the
+        ring so its sessions remap to the survivors.  Returns the
+        replacement, or ``None`` when the name was given up on (or was
+        already retired by someone else).
+        """
+        with self._revive_lock:
+            with self._lock:
+                current = self.workers.get(name)
+            if current is None or current.alive:
+                # Retired, or another thread revived it while this one
+                # waited on the revive lock.
+                return current
+            current.kill()  # reap; a no-op when the child is fully gone
+            for attempt in range(self._restart_limit):
+                if attempt:
+                    self._sleep(self._restart_backoff * 2 ** (attempt - 1))
+                replacement = self._new_worker(name)
+                try:
+                    replacement.spawn()
+                except ClusterError:
+                    continue
+                with self._lock:
+                    self.workers[name] = replacement
+                    self.ring.add(name)  # idempotent: the name never left
+                    self.restarts[name] = self.restarts.get(name, 0) + 1
+                return replacement
+            with self._lock:
+                self.workers.pop(name, None)
+                if name in self.ring:
+                    self.ring.remove(name)
+            return None
 
     def names(self) -> tuple[str, ...]:
         with self._lock:

@@ -143,6 +143,16 @@ def _print_runtime_stats(runtime: WeaverRuntime) -> None:
         f"{cache['compile_hits']} shape hits, "
         f"{cache['wrappers_built']} wrappers built"
     )
+    mon = stats["monitor"]
+    if mon["supported"]:
+        tool = mon["tool_id"] if mon["tool_id"] is not None else "-"
+        print(
+            f"monitor tier: {'on' if mon['enabled'] else 'off'}, "
+            f"tool id {tool}, {mon['code_objects']} monitored code objects "
+            f"({mon['stacked_entries']} stacked deployments)"
+        )
+    else:
+        print("monitor tier: unsupported (needs sys.monitoring, CPython 3.12+)")
 
 
 def _print_source(runtime: WeaverRuntime, signature: str) -> None:

@@ -31,6 +31,10 @@ import repro.aop.weaver as weaver_mod
 @pytest.fixture(autouse=True)
 def _codegen_on(monkeypatch):
     monkeypatch.setenv("REPRO_AOP_CODEGEN", "1")
+    # This suite asserts the *generated wrapper* surface (sources, pools,
+    # metadata); the monitor tier — auto-on under 3.12+ — would intercept
+    # eligible observation advice with no wrapper to inspect at all.
+    monkeypatch.setenv("REPRO_AOP_MONITOR", "0")
 
 
 def fresh_target():

@@ -8,12 +8,18 @@ paths, proceed() argument rewriting, undeploy — must be identical to the
 old re-partition-on-every-call implementation, reproduced here verbatim as
 the reference.
 
-The whole matrix runs twice: once with code-generated per-shadow wrappers
-(the default) and once with ``REPRO_AOP_CODEGEN=0`` (the generic
-compiled-chain wrappers), pinning that generated wrappers are behaviorally
-indistinguishable — including cflow watcher and undeploy-snapshot
-semantics.
+The whole matrix runs three times: with code-generated per-shadow
+wrappers (the default), with ``REPRO_AOP_CODEGEN=0`` (the generic
+compiled-chain wrappers), and — on CPython 3.12+ — with
+``REPRO_AOP_MONITOR=1``, where eligible observation-only advice
+dispatches from ``sys.monitoring`` events with no wrapper frame at all
+while everything else (around/throwing, dynamic residue) composes with
+it through codegen wrappers on the same class.  All three tiers must be
+behaviorally indistinguishable — including ordering, exception paths,
+cflow watcher and undeploy-snapshot semantics.
 """
+
+import sys
 
 import pytest
 
@@ -39,10 +45,27 @@ from repro.aop import (
 from repro.aop.weaver import shadow_index
 
 
-@pytest.fixture(autouse=True, params=["codegen", "generic"])
+MONITOR_TIER = pytest.param(
+    "monitor",
+    marks=pytest.mark.skipif(
+        sys.version_info < (3, 12),
+        reason="monitor tier needs sys.monitoring (CPython 3.12+)",
+    ),
+)
+
+
+@pytest.fixture(autouse=True, params=["codegen", "generic", MONITOR_TIER])
 def _wrapper_tier(request, monkeypatch):
-    """Run every test against both deployment tiers (checked per deploy)."""
-    monkeypatch.setenv("REPRO_AOP_CODEGEN", "1" if request.param == "codegen" else "0")
+    """Run every test against all three deployment tiers (checked per deploy).
+
+    The wrapper-tier params pin ``REPRO_AOP_MONITOR=0`` explicitly — the
+    knob is auto-on under 3.12+, and these tests must exercise the
+    wrappers they name.  The monitor param keeps codegen on, so
+    monitor-ineligible advice in the same test composes through codegen
+    wrappers exactly as it would in production.
+    """
+    monkeypatch.setenv("REPRO_AOP_CODEGEN", "0" if request.param == "generic" else "1")
+    monkeypatch.setenv("REPRO_AOP_MONITOR", "1" if request.param == "monitor" else "0")
     return request.param
 
 
@@ -623,7 +646,7 @@ class TestDeployAll:
         assert "op" not in TargetB.__dict__ or TargetB().op() == "base"
         assert TargetB().op() == "base"
 
-    def test_deploy_all_undeploy_all_restores_originals(self):
+    def test_deploy_all_undeploy_all_restores_originals(self, _wrapper_tier):
         class Target:
             def op(self):
                 return 1
@@ -645,16 +668,24 @@ class TestDeployAll:
                 pass
 
         weaver = Weaver()
-        weaver.deploy_all([A(), B()], [Target])
-        assert Target.__dict__["op"] is not original_op
-        assert Target.__dict__["other"] is not original_other
+        deployments = weaver.deploy_all([A(), B()], [Target])
+        if _wrapper_tier == "monitor":
+            # The monitor tier never touches the class dict: the members
+            # stay the originals and the advice lives in registrations.
+            assert Target.__dict__["op"] is original_op
+            assert Target.__dict__["other"] is original_other
+            assert all(d.monitor_sites and not d.members for d in deployments)
+        else:
+            assert Target.__dict__["op"] is not original_op
+            assert Target.__dict__["other"] is not original_other
         weaver.undeploy_all()
         assert Target.__dict__["op"] is original_op
         assert Target.__dict__["other"] is original_other
+        assert all(not d.monitor_sites for d in deployments)
 
 
 class TestShadowIndex:
-    def test_index_reflects_weaver_mutations(self):
+    def test_index_reflects_weaver_mutations(self, _wrapper_tier):
         class Target:
             def op(self):
                 return 1
@@ -672,10 +703,18 @@ class TestShadowIndex:
         weaver = Weaver()
         deployment = weaver.deploy(A(), [Target])
         woven = {s.name: s.original for s in method_shadows(Target)}
-        # The index was invalidated: a rescan sees the wrapper as the
-        # shadow (so a later deployment nests around it).
-        assert getattr(Target.__dict__["op"], "__woven__", False)
-        assert woven["op"] is Target.__dict__["op"]
+        if _wrapper_tier == "monitor":
+            # No member installed, so the scan still sees the original —
+            # a later deployment stacks in the registration table rather
+            # than nesting a wrapper around one.
+            assert deployment.monitor_sites
+            assert not getattr(Target.__dict__["op"], "__woven__", False)
+            assert woven["op"] is Target.__dict__["op"]
+        else:
+            # The index was invalidated: a rescan sees the wrapper as the
+            # shadow (so a later deployment nests around it).
+            assert getattr(Target.__dict__["op"], "__woven__", False)
+            assert woven["op"] is Target.__dict__["op"]
         weaver.undeploy(deployment)
         restored = {s.name: s.original for s in method_shadows(Target)}
         assert restored["op"] is Target.__dict__["op"]
@@ -703,7 +742,7 @@ class TestShadowIndex:
         assert log == ["ping-advised"]
         assert not hasattr(Target, "ping")
 
-    def test_subclass_entries_invalidated_with_base(self):
+    def test_subclass_entries_invalidated_with_base(self, _wrapper_tier):
         from repro.aop import method_shadows
 
         class Base:
@@ -723,10 +762,17 @@ class TestShadowIndex:
 
         weaver = Weaver()
         deployment = weaver.deploy(A(), [Base])
-        # Weaving Base must invalidate Sub's cached scan too: Sub inherits
-        # the wrapper now.
         sub_shadow = {s.name: s.original for s in method_shadows(Sub)}
-        assert getattr(sub_shadow["op"], "__woven__", False)
+        if _wrapper_tier == "monitor":
+            # No member mutated, so Sub's scan needs no invalidation —
+            # but Sub inherits Base's monitored code object, so the
+            # advice covers subclass calls exactly as a wrapper would.
+            assert deployment.monitor_sites
+            assert not hasattr(sub_shadow["op"], "__woven__")
+        else:
+            # Weaving Base must invalidate Sub's cached scan too: Sub
+            # inherits the wrapper now.
+            assert getattr(sub_shadow["op"], "__woven__", False)
         weaver.undeploy(deployment)
         sub_shadow = {s.name: s.original for s in method_shadows(Sub)}
         assert not hasattr(sub_shadow["op"], "__woven__")
@@ -791,7 +837,13 @@ class TestShadowIndex:
         from repro.aop import method_shadows
 
         originals = {s.name: s.original for s in method_shadows(Target)}
-        assert getattr(originals["bar"], "__woven__", False)
+        if second.monitor_sites:
+            # Monitor tier: neither deployment installed a member, so no
+            # snapshot can go stale — `bar` is advised via registration.
+            assert [r.name for r in second.monitor_sites] == ["bar"]
+            assert not first.monitor_sites  # released by the undeploy
+        else:
+            assert getattr(originals["bar"], "__woven__", False)
         assert not hasattr(originals["foo"], "__woven__")
         weaver.undeploy(second)
         assert not hasattr(Target.__dict__["foo"], "__woven__")

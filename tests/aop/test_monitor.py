@@ -1,0 +1,759 @@
+"""The zero-wrapper monitor tier: eligibility, parity, lifecycle.
+
+The three-tier behavioral parity matrix lives in
+``test_compiled_chain.py`` (every advice-semantics test runs under
+codegen, generic and monitor).  This file pins what is *specific* to the
+``sys.monitoring`` tier: the deploy-time tier planner's eligibility
+rules, zero-wrapper interception (no member installed, siblings
+unmonitored), receiver recovery from the live frame, exception-path
+event semantics, cflow-watcher parity, composition with codegen wrappers
+on one class, transaction rollback / partial undeploy, and the tool-id
+lifecycle (events restored, id released).
+"""
+
+import sys
+
+import pytest
+
+from repro.aop import (
+    Aspect,
+    DeploymentSet,
+    WeaverRuntime,
+    WeavingError,
+    after,
+    after_returning,
+    after_throwing,
+    around,
+    before,
+    cflow,
+    current_stack,
+    execution,
+    monitor_enabled,
+    monitor_supported,
+)
+from repro.aop import monitor as monitor_mod
+
+needs_monitoring = pytest.mark.skipif(
+    sys.version_info < (3, 12),
+    reason="monitor tier needs sys.monitoring (CPython 3.12+)",
+)
+
+
+@pytest.fixture(autouse=True)
+def _monitor_on(monkeypatch):
+    monkeypatch.setenv("REPRO_AOP_MONITOR", "1")
+    monkeypatch.setenv("REPRO_AOP_CODEGEN", "1")
+
+
+@pytest.fixture(autouse=True)
+def _release_leaked_tools():
+    """Free any repro-aop tool ids a failing test left claimed.
+
+    A test that fails before its ``undeploy`` leaves its runtime's tool
+    id registered; without this, one failure cascades into every later
+    lifecycle assertion in the module.
+    """
+    yield
+    if not monitor_supported():
+        return
+    events = sys.monitoring.events
+    for tool in range(6):
+        if str(sys.monitoring.get_tool(tool) or "").startswith("repro-aop:"):
+            sys.monitoring.set_events(tool, 0)
+            for event in (events.PY_START, events.PY_RETURN, events.PY_UNWIND):
+                sys.monitoring.register_callback(tool, event, None)
+            sys.monitoring.free_tool_id(tool)
+
+
+def fresh_node():
+    class Node:
+        def render(self):
+            return "node!"
+
+        def sibling(self):
+            return "plain"
+
+    return Node
+
+
+def observation_aspect(log, cls_name="Node", member="render"):
+    class Obs(Aspect):
+        @before(f"execution({cls_name}.{member})")
+        def pre(self, jp):
+            log.append(("before", jp.args, dict(jp.kwargs)))
+
+        @after_returning(f"execution({cls_name}.{member})")
+        def post(self, jp):
+            log.append(("returning", jp.result))
+
+        @after(f"execution({cls_name}.{member})")
+        def fin(self, jp):
+            log.append(("finally",))
+
+    return Obs()
+
+
+def _repro_tool_ids():
+    if not monitor_supported():
+        return []
+    return [
+        tool
+        for tool in range(6)
+        if str(sys.monitoring.get_tool(tool) or "").startswith("repro-aop:")
+    ]
+
+
+class TestKnob:
+    def test_supported_tracks_interpreter(self):
+        assert monitor_supported() == hasattr(sys, "monitoring")
+
+    def test_enabled_defaults_to_supported(self, monkeypatch):
+        monkeypatch.delenv("REPRO_AOP_MONITOR", raising=False)
+        assert monitor_enabled() == monitor_supported()
+
+    @pytest.mark.parametrize("value", ["0", "false", "No", " OFF "])
+    def test_disabling_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_AOP_MONITOR", value)
+        assert not monitor_enabled()
+
+    def test_disabled_deploy_uses_wrappers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AOP_MONITOR", "0")
+        Node = fresh_node()
+        log = []
+        runtime = WeaverRuntime("knob-off")
+        deployment = runtime.deploy(observation_aspect(log), [Node])
+        assert not deployment.monitor_sites
+        assert deployment.members
+        assert Node().render() == "node!"
+        assert [e[0] for e in log] == ["before", "returning", "finally"]
+        runtime.undeploy_all()
+
+
+@needs_monitoring
+class TestTierPlanner:
+    def test_observation_advice_installs_no_member(self):
+        Node = fresh_node()
+        original = Node.__dict__["render"]
+        log = []
+        runtime = WeaverRuntime("planner")
+        deployment = runtime.deploy(observation_aspect(log), [Node])
+        assert [r.signature for r in deployment.monitor_sites] == ["Node.render"]
+        assert not deployment.members
+        assert Node.__dict__["render"] is original  # zero wrapper frames
+        assert Node().render() == "node!"
+        assert log == [
+            ("before", (), {}),
+            ("returning", "node!"),
+            ("finally",),
+        ]
+        runtime.undeploy(deployment)
+        assert not deployment.monitor_sites
+
+    def test_monitor_site_satisfies_require_match(self):
+        Node = fresh_node()
+        runtime = WeaverRuntime("require-match")
+        log = []
+        deployment = runtime.deploy(
+            observation_aspect(log), [Node], require_match=True
+        )
+        assert deployment.monitor_sites
+        runtime.undeploy_all()
+
+    def test_around_advice_stays_on_wrappers(self):
+        Node = fresh_node()
+
+        class Around(Aspect):
+            @around("execution(Node.render)")
+            def wrap(self, jp):
+                return jp.proceed()
+
+        runtime = WeaverRuntime("around")
+        deployment = runtime.deploy(Around(), [Node])
+        assert not deployment.monitor_sites
+        assert deployment.members
+        runtime.undeploy_all()
+
+    def test_after_throwing_stays_on_wrappers(self):
+        Node = fresh_node()
+
+        class Throwing(Aspect):
+            @after_throwing("execution(Node.render)")
+            def caught(self, jp):
+                pass
+
+        runtime = WeaverRuntime("throwing")
+        deployment = runtime.deploy(Throwing(), [Node])
+        assert not deployment.monitor_sites
+        assert deployment.members
+        runtime.undeploy_all()
+
+    def test_dynamic_residue_stays_on_wrappers(self):
+        Node = fresh_node()
+
+        class Dynamic(Aspect):
+            @before(execution("Node.render") & cflow(execution("Node.sibling")))
+            def pre(self, jp):
+                pass
+
+        runtime = WeaverRuntime("dynamic")
+        deployment = runtime.deploy(Dynamic(), [Node])
+        assert not deployment.monitor_sites
+        runtime.undeploy_all()
+
+    def test_instance_scope_stays_on_wrappers(self):
+        Node = fresh_node()
+        node = Node()
+        log = []
+        runtime = WeaverRuntime("scoped")
+        deployment = runtime.deploy(
+            observation_aspect(log), [Node], instances=[node]
+        )
+        assert not deployment.monitor_sites
+        assert deployment.members
+        runtime.undeploy_all()
+
+    def test_generator_member_stays_on_wrappers(self):
+        class Node:
+            def stream(self):
+                yield 1
+
+        class Obs(Aspect):
+            @before("execution(Node.stream)")
+            def pre(self, jp):
+                pass
+
+        runtime = WeaverRuntime("generator")
+        deployment = runtime.deploy(Obs(), [Node])
+        assert not deployment.monitor_sites
+        assert deployment.members
+        runtime.undeploy_all()
+
+    def test_defaulted_parameters_stay_on_wrappers(self):
+        class Node:
+            def render(self, suffix="!"):
+                return f"node{suffix}"
+
+        seen = []
+
+        class Obs(Aspect):
+            @before("execution(Node.render)")
+            def pre(self, jp):
+                seen.append(jp.args)
+
+        runtime = WeaverRuntime("defaults")
+        deployment = runtime.deploy(Obs(), [Node])
+        # By PY_START the frame already holds suffix="!", so the monitor
+        # tier could not tell a defaulted call from render("!") — the
+        # planner pins the shadow to a wrapper, which sees the raw call.
+        assert not deployment.monitor_sites
+        assert deployment.members
+        Node().render()
+        assert seen == [()]
+        runtime.undeploy_all()
+
+    def test_inherited_member_stays_on_wrappers(self):
+        class Base:
+            def render(self):
+                return "base"
+
+        class Sub(Base):
+            pass
+
+        class Obs(Aspect):
+            @before("execution(Sub.render)")
+            def pre(self, jp):
+                pass
+
+        runtime = WeaverRuntime("inherited")
+        deployment = runtime.deploy(Obs(), [Sub])
+        # Sub shares Base's code object; monitoring it would advise Base
+        # calls too, so the planner pins the shadow to a wrapper.
+        assert not deployment.monitor_sites
+        assert deployment.members
+        runtime.undeploy_all()
+
+    def test_stacking_above_a_wrapper_stays_on_wrappers(self):
+        Node = fresh_node()
+        log = []
+
+        class Around(Aspect):
+            @around("execution(Node.render)")
+            def wrap(self, jp):
+                log.append("around")
+                return jp.proceed()
+
+        runtime = WeaverRuntime("stack-over-wrapper")
+        first = runtime.deploy(Around(), [Node])
+        second = runtime.deploy(observation_aspect(log), [Node])
+        # The shadow is already a woven wrapper: registering the monitor
+        # beneath it would run the newer advice innermost, out of order.
+        assert not second.monitor_sites
+        assert second.members
+        Node().render()
+        assert [e[0] if isinstance(e, tuple) else e for e in log] == [
+            "before",
+            "around",
+            "returning",
+            "finally",
+        ]
+        runtime.undeploy(second)
+        runtime.undeploy(first)
+
+    def test_shared_code_object_falls_back_and_stays_isolated(self):
+        NodeA = fresh_node()
+        NodeB = fresh_node()
+        assert NodeA.render.__code__ is NodeB.render.__code__
+        log_a, log_b = [], []
+        runtime = WeaverRuntime("shared-code")
+        dep_a = runtime.deploy(observation_aspect(log_a), [NodeA])
+        dep_b = runtime.deploy(observation_aspect(log_b), [NodeB])
+        assert dep_a.monitor_sites
+        # One site per code object: the second claim falls back to a
+        # wrapper rather than cross-advising NodeA's calls.
+        assert not dep_b.monitor_sites and dep_b.members
+        NodeA().render()
+        NodeB().render()
+        # The receiver guard keeps NodeA's registration silent for
+        # NodeB's calls even though they share the monitored code.
+        assert [e[0] for e in log_a] == ["before", "returning", "finally"]
+        assert [e[0] for e in log_b] == ["before", "returning", "finally"]
+        runtime.undeploy_all()
+
+
+@needs_monitoring
+class TestDispatch:
+    def test_arguments_recovered_from_frame(self):
+        class Node:
+            def render(self, a, b, *extra, flag, **rest):
+                return (a, b, extra, flag, rest)
+
+        seen = []
+
+        class Obs(Aspect):
+            @before("execution(Node.render)")
+            def pre(self, jp):
+                seen.append((jp.target, jp.args, dict(jp.kwargs)))
+
+        runtime = WeaverRuntime("argv")
+        deployment = runtime.deploy(Obs(), [Node])
+        assert deployment.monitor_sites
+        node = Node()
+        node.render(1, 2, 3, flag=True, extra_kw="x")
+        target, args, kwargs = seen[0]
+        assert target is node
+        assert args == (1, 2, 3)
+        assert kwargs == {"flag": True, "extra_kw": "x"}
+        runtime.undeploy_all()
+
+    def test_stacked_deployments_order_like_wrappers(self):
+        Node = fresh_node()
+        log = []
+
+        def tagger(tag):
+            class Tagged(Aspect):
+                @before("execution(Node.render)")
+                def pre(self, jp):
+                    log.append(f"{tag}:before")
+
+                @after_returning("execution(Node.render)")
+                def post(self, jp):
+                    log.append(f"{tag}:returning")
+
+                @after("execution(Node.render)")
+                def fin(self, jp):
+                    log.append(f"{tag}:finally")
+
+            Tagged.__name__ = tag
+            return Tagged()
+
+        runtime = WeaverRuntime("stacked")
+        runtime.deploy(tagger("inner"), [Node])
+        runtime.deploy(tagger("outer"), [Node])
+        Node().render()
+        # Newest deployment outermost — identical to nested wrappers.
+        assert log == [
+            "outer:before",
+            "inner:before",
+            "inner:returning",
+            "inner:finally",
+            "outer:returning",
+            "outer:finally",
+        ]
+        runtime.undeploy_all()
+
+    def test_escaping_exception_runs_finally_not_returning(self):
+        class Node:
+            def boom(self):
+                raise ValueError("boom")
+
+        log = []
+
+        class Obs(Aspect):
+            @before("execution(Node.boom)")
+            def pre(self, jp):
+                log.append("before")
+
+            @after_returning("execution(Node.boom)")
+            def post(self, jp):
+                log.append("returning")
+
+            @after("execution(Node.boom)")
+            def fin(self, jp):
+                log.append(("finally", type(jp.result).__name__))
+
+        runtime = WeaverRuntime("escape")
+        deployment = runtime.deploy(Obs(), [Node])
+        assert deployment.monitor_sites
+        with pytest.raises(ValueError):
+            Node().boom()
+        assert log == ["before", ("finally", "ValueError")]
+        runtime.undeploy_all()
+
+    def test_internally_caught_exception_is_invisible(self):
+        class Node:
+            def safe(self):
+                try:
+                    raise KeyError("inner")
+                except KeyError:
+                    return "caught"
+
+        log = []
+
+        class Obs(Aspect):
+            @after_returning("execution(Node.safe)")
+            def post(self, jp):
+                log.append(("returning", jp.result))
+
+            @after("execution(Node.safe)")
+            def fin(self, jp):
+                log.append("finally")
+
+        runtime = WeaverRuntime("caught")
+        deployment = runtime.deploy(Obs(), [Node])
+        assert deployment.monitor_sites
+        assert Node().safe() == "caught"
+        # PY_UNWIND (not RAISE) drives the exception path: an exception
+        # the body handles itself never reaches the advice.
+        assert log == [("returning", "caught"), "finally"]
+        runtime.undeploy_all()
+
+    def test_raising_before_skips_body_and_inner_advice(self):
+        Node = fresh_node()
+        log = []
+        calls = []
+        original = Node.render
+
+        def counting(self):
+            calls.append(1)
+            return original(self)
+
+        Node.render = counting
+
+        def tagger(tag, explode=False):
+            class Tagged(Aspect):
+                @before("execution(Node.render)")
+                def pre(self, jp):
+                    log.append(f"{tag}:before")
+                    if explode:
+                        raise RuntimeError("veto")
+
+                @after("execution(Node.render)")
+                def fin(self, jp):
+                    log.append(f"{tag}:finally")
+
+            Tagged.__name__ = tag
+            return Tagged()
+
+        runtime = WeaverRuntime("veto")
+        runtime.deploy(tagger("inner", explode=True), [Node])
+        runtime.deploy(tagger("outer"), [Node])
+        with pytest.raises(RuntimeError, match="veto"):
+            Node().render()
+        # The inner deployment's before vetoed the call: the body never
+        # ran, the raising deployment's own finally is skipped, and the
+        # deployments outer to it still observe the unwind — exactly the
+        # nesting wrappers produce.
+        assert calls == []
+        assert log == ["outer:before", "inner:before", "outer:finally"]
+        runtime.undeploy_all()
+
+    def test_raising_after_advice_propagates_to_caller(self):
+        Node = fresh_node()
+        log = []
+
+        class Obs(Aspect):
+            @after_returning("execution(Node.render)")
+            def post(self, jp):
+                log.append("returning")
+                raise RuntimeError("post-hoc")
+
+            @after("execution(Node.render)")
+            def fin(self, jp):
+                log.append("finally")
+
+        runtime = WeaverRuntime("after-raise")
+        deployment = runtime.deploy(Obs(), [Node])
+        assert deployment.monitor_sites
+        with pytest.raises(RuntimeError, match="post-hoc"):
+            Node().render()
+        assert log == ["returning"]
+        runtime.undeploy_all()
+
+    def test_joinpoints_are_pooled(self):
+        Node = fresh_node()
+        log = []
+        runtime = WeaverRuntime("pool")
+        deployment = runtime.deploy(observation_aspect(log), [Node])
+        (registration,) = deployment.monitor_sites
+        node = Node()
+        for _ in range(5):
+            node.render()
+        (site,) = runtime._monitor.sites()
+        assert len(site.pool.free) == 1  # one jp, released every call
+        runtime.undeploy_all()
+
+
+@needs_monitoring
+class TestCflowParity:
+    def test_monitor_sites_push_frames_while_watchers_live(self):
+        Node = fresh_node()
+        depths = []
+
+        class Crumb(Aspect):
+            @before("execution(Node.render)")
+            def pre(self, jp):
+                depths.append(len(current_stack()))
+
+        class Flow(Aspect):
+            @before(execution("Node.render") & cflow(execution("Node.sibling")))
+            def pre(self, jp):
+                pass
+
+        runtime = WeaverRuntime("cflow-parity")
+        crumb = runtime.deploy(Crumb(), [Node])
+        assert crumb.monitor_sites
+        Node().render()
+        # No watcher live: the static fast path skips frame bookkeeping,
+        # exactly like the wrapper tiers.
+        assert depths == [0]
+        flow = runtime.deploy(Flow(), [Node])
+        assert runtime.watchers.count == 1
+        Node().render()
+        # Watcher live: the monitor callback pushes a frame for its
+        # site, and the dynamic-residue wrapper stacked on the same
+        # shadow pushes its own — depth 2, byte-identical to what two
+        # stacked wrapper deployments report.
+        assert depths == [0, 2]
+        runtime.undeploy(flow)
+        Node().render()
+        assert depths == [0, 2, 0]
+        runtime.undeploy_all()
+
+    def test_cflow_residue_sees_monitor_tier_entry_shadow(self):
+        Node = fresh_node()
+        log = []
+
+        class Crumb(Aspect):
+            @before("execution(Node.sibling)")
+            def pre(self, jp):
+                log.append("crumb")
+
+        class Flow(Aspect):
+            # render() in the control flow of sibling() — but sibling is
+            # advised through the monitor tier, so its frame must come
+            # from the monitor callback, not a tracking wrapper.
+            @before(execution("Node.render") & cflow(execution("Node.sibling")))
+            def pre(self, jp):
+                log.append("inflow")
+
+        class Chatty(fresh_node()):
+            pass
+
+        def sibling_calls_render(self):
+            return Node.render(self)
+
+        Node.sibling = sibling_calls_render
+        runtime = WeaverRuntime("cflow-entry")
+        crumb = runtime.deploy(Crumb(), [Node])
+        assert crumb.monitor_sites
+        runtime.deploy(Flow(), [Node])
+        node = Node()
+        node.render()
+        assert "inflow" not in log
+        node.sibling()
+        assert log.count("inflow") == 1 and log.count("crumb") == 1
+        runtime.undeploy_all()
+
+
+@needs_monitoring
+class TestComposition:
+    def test_monitor_and_codegen_tiers_on_one_class(self):
+        Node = fresh_node()
+        log = []
+
+        class Mixed(Aspect):
+            @before("execution(Node.render)")
+            def observe(self, jp):
+                log.append("observe")
+
+            @around("execution(Node.sibling)")
+            def wrap(self, jp):
+                log.append("around")
+                return jp.proceed()
+
+        runtime = WeaverRuntime("mixed")
+        deployment = runtime.deploy(Mixed(), [Node])
+        assert [r.name for r in deployment.monitor_sites] == ["render"]
+        assert [m.name for m in deployment.members] == ["sibling"]
+        node = Node()
+        assert node.render() == "node!"
+        assert node.sibling() == "plain"
+        assert log == ["observe", "around"]
+        tiers = runtime.stats()["tiers"]
+        assert tiers == {"monitor": 1, "codegen": 1}
+        stats = runtime.deployment_stats(deployment)
+        assert stats.monitor_members == 1
+        assert stats.method_members == 1
+        runtime.undeploy_all()
+        assert runtime.stats()["tiers"] == {}
+
+    def test_mixed_tiers_in_one_transaction_roll_back_together(self):
+        Node = fresh_node()
+        log = []
+
+        class Boom(Exception):
+            pass
+
+        runtime = WeaverRuntime("tx-rollback")
+        with pytest.raises(Boom):
+            with runtime.transaction([Node]) as tx:
+                deployment = tx.add(observation_aspect(log))
+                assert deployment.monitor_sites
+                raise Boom()
+        assert runtime.deployments == []
+        assert runtime.stats()["monitor"]["tool_id"] is None
+        log.clear()
+        Node().render()
+        assert log == []
+
+    def test_partial_undeploy_reweaves_monitor_survivors(self):
+        Node = fresh_node()
+        log = []
+
+        def tagger(tag):
+            class Tagged(Aspect):
+                @before("execution(Node.render)")
+                def pre(self, jp):
+                    log.append(tag)
+
+            Tagged.__name__ = tag
+            return Tagged()
+
+        runtime = WeaverRuntime("partial")
+        tx = runtime.transaction([Node])
+        first = tx.add(tagger("first"))
+        second = tx.add(tagger("second"))
+        assert first.monitor_sites and second.monitor_sites
+        tx.undeploy([first])
+        (survivor,) = tx.deployments
+        assert survivor.monitor_sites
+        Node().render()
+        assert log == ["second"]
+        tx.undeploy()
+        log.clear()
+        Node().render()
+        assert log == []
+
+    def test_unadvised_sibling_method_is_not_monitored(self):
+        Node = fresh_node()
+        log = []
+        runtime = WeaverRuntime("sibling")
+        deployment = runtime.deploy(observation_aspect(log), [Node])
+        (registration,) = deployment.monitor_sites
+        (site,) = runtime._monitor.sites()
+        events = sys.monitoring.get_local_events(
+            runtime._monitor.tool_id, Node.render.__code__
+        )
+        assert events  # the advised shadow raises events
+        assert (
+            sys.monitoring.get_local_events(
+                runtime._monitor.tool_id, Node.sibling.__code__
+            )
+            == 0
+        )  # the sibling pays zero monitoring tax
+        runtime.undeploy_all()
+
+
+@needs_monitoring
+class TestToolLifecycle:
+    def test_tool_id_claimed_and_released(self):
+        Node = fresh_node()
+        log = []
+        runtime = WeaverRuntime("lifecycle")
+        assert _repro_tool_ids() == []
+        deployment = runtime.deploy(observation_aspect(log), [Node])
+        claimed = _repro_tool_ids()
+        assert len(claimed) == 1
+        tool = claimed[0]
+        assert sys.monitoring.get_tool(tool) == "repro-aop:lifecycle"
+        assert sys.monitoring.get_local_events(tool, Node.render.__code__)
+        runtime.undeploy(deployment)
+        assert _repro_tool_ids() == []
+        assert sys.monitoring.get_local_events(tool, Node.render.__code__) == 0
+
+    def test_deploy_undeploy_cycles_are_stable(self):
+        Node = fresh_node()
+        log = []
+        runtime = WeaverRuntime("cycles")
+        for cycle in range(5):
+            deployment = runtime.deploy(observation_aspect(log), [Node])
+            assert deployment.monitor_sites
+            Node().render()
+            runtime.undeploy(deployment)
+        assert len(log) == 15  # 3 events per call, every cycle live
+        Node().render()
+        assert len(log) == 15  # and silent once undeployed
+        assert _repro_tool_ids() == []
+
+    def test_two_runtimes_use_distinct_tool_ids(self):
+        NodeA = fresh_node()
+
+        class Other:
+            def render(self):
+                return "other"
+
+        log_a, log_b = [], []
+        a_runtime = WeaverRuntime("tool-a")
+        b_runtime = WeaverRuntime("tool-b")
+        dep_a = a_runtime.deploy(observation_aspect(log_a), [NodeA])
+
+        class ObsOther(Aspect):
+            @before("execution(Other.render)")
+            def pre(self, jp):
+                log_b.append("before")
+
+        dep_b = b_runtime.deploy(ObsOther(), [Other])
+        assert dep_a.monitor_sites and dep_b.monitor_sites
+        names = {
+            str(sys.monitoring.get_tool(tool)) for tool in _repro_tool_ids()
+        }
+        assert names == {"repro-aop:tool-a", "repro-aop:tool-b"}
+        NodeA().render()
+        Other().render()
+        assert [e[0] for e in log_a] == ["before", "returning", "finally"]
+        assert log_b == ["before"]
+        b_runtime.undeploy_all()
+        a_runtime.undeploy_all()
+        assert _repro_tool_ids() == []
+
+    def test_exhausted_tool_ids_fall_back_to_wrappers(self, monkeypatch):
+        Node = fresh_node()
+        log = []
+        monkeypatch.setattr(monitor_mod, "_TOOL_RANGE", range(0))
+        runtime = WeaverRuntime("exhausted")
+        deployment = runtime.deploy(observation_aspect(log), [Node])
+        assert not deployment.monitor_sites
+        assert deployment.members
+        Node().render()
+        assert [e[0] for e in log] == ["before", "returning", "finally"]
+        runtime.undeploy_all()

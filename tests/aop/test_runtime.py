@@ -29,6 +29,16 @@ from repro.aop import (
 from repro.aop.weaver import _scan_method_shadows
 
 
+@pytest.fixture(autouse=True)
+def _wrapper_tiers_only(monkeypatch):
+    """Pin the monitor tier off: this file asserts *wrapper* runtime
+    bookkeeping (installed members, scan-cache snapshots, cross-runtime
+    tokens), which the zero-wrapper monitor tier — auto-on under 3.12+ —
+    bypasses by design.  Its runtime semantics live in
+    ``test_monitor.py``."""
+    monkeypatch.setenv("REPRO_AOP_MONITOR", "0")
+
+
 def fresh_target():
     class Target:
         def op(self):

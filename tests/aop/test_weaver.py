@@ -2,6 +2,15 @@
 
 import pytest
 
+
+@pytest.fixture(autouse=True)
+def _wrapper_tiers_only(monkeypatch):
+    """Pin the monitor tier off: this file asserts installed-wrapper
+    mechanics (member identity, LIFO undeploy constraints) that the
+    zero-wrapper monitor tier bypasses; ``test_monitor.py`` and the
+    ``test_compiled_chain.py`` three-tier matrix cover its semantics."""
+    monkeypatch.setenv("REPRO_AOP_MONITOR", "0")
+
 from repro.aop import (
     Aspect,
     Introduction,

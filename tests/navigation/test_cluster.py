@@ -207,6 +207,17 @@ class TestClusterEndToEnd:
                 )
                 assert "index.html" in text  # their home-page crumb
 
+            # -- a crashed worker is revived in place --------------------------
+            (last,) = pool.names()
+            pool.workers[last].kill()  # SIGKILL: an unexpected death
+            status, headers, _ = front_call(
+                front, "/visitor/index.html", sid=traveler
+            )
+            assert status == 200, "crashed worker kept 503ing"
+            assert headers["X-Repro-Worker"] == last  # same ring identity
+            assert pool.restarts == {last: 1}
+            assert pool.workers[last].alive
+
     def test_retiring_an_unknown_worker_raises(self):
         pool = WorkerPool(1)
         with pytest.raises(KeyError):
@@ -215,3 +226,121 @@ class TestClusterEndToEnd:
     def test_pool_rejects_degenerate_sizes(self):
         with pytest.raises(ValueError):
             WorkerPool(0)
+
+
+class FakeWorker:
+    """A WorkerProcess stand-in: spawns instantly, dies on command."""
+
+    def __init__(self, name, *, fail_spawns=0):
+        self.name = name
+        self._fail_spawns = fail_spawns
+        self._alive = False
+        self.spawn_attempts = 0
+
+    @property
+    def alive(self):
+        return self._alive
+
+    def spawn(self):
+        self.spawn_attempts += 1
+        if self._fail_spawns > 0:
+            self._fail_spawns -= 1
+            raise ClusterError(f"{self.name}: injected spawn failure")
+        self._alive = True
+
+    def die(self):
+        self._alive = False  # the child crashed out from under us
+
+    def kill(self):
+        self._alive = False
+
+    def terminate(self, *, timeout=15.0):
+        self._alive = False
+        return 0
+
+
+def fake_pool(count, *, fail_spawns=0, **kwargs):
+    """A started WorkerPool whose workers are in-process fakes.
+
+    ``fail_spawns`` injected failures apply to *revival* spawns only
+    (the initial ``start()`` spawns always succeed), and sleeps are
+    recorded on ``pool.slept`` instead of actually sleeping.
+    """
+    pool = WorkerPool(count, **kwargs)
+    pool.slept = []
+    pool._sleep = pool.slept.append
+    budget = {"failures": 0}
+
+    def new_worker(name):
+        # Each revival attempt constructs a fresh worker; burn one
+        # injected failure per attempt until the budget runs out.
+        if budget["failures"] > 0:
+            budget["failures"] -= 1
+            return FakeWorker(name, fail_spawns=1)
+        return FakeWorker(name)
+
+    pool._new_worker = new_worker
+    pool.start()
+    budget["failures"] = fail_spawns
+    return pool
+
+
+def sid_owned_by(pool, name, *, avoid=False):
+    """A session id the ring maps to *name* (or to anyone else)."""
+    for n in range(10_000):
+        sid = f"probe-{n}"
+        if (pool.ring.owner(sid) == name) != avoid:
+            return sid
+    raise AssertionError("no sid found — degenerate ring")
+
+
+class TestWorkerRevival:
+    """A crashed worker is respawned in place; only a hopeless one is
+    dropped from the ring.  These run against in-process fakes — the
+    real-child crash path is covered once in the end-to-end story."""
+
+    def test_dead_worker_is_respawned_under_its_own_name(self):
+        pool = fake_pool(2)
+        casualty = pool.ring.owner("rider-1")
+        mapping = {f"s{n}": pool.ring.owner(f"s{n}") for n in range(50)}
+        pool.workers[casualty].die()
+        worker = pool.owner_of(sid_owned_by(pool, casualty))
+        assert worker.name == casualty and worker.alive
+        assert worker is pool.workers[casualty]
+        assert pool.restarts == {casualty: 1}
+        # The ring never changed: every sid still maps where it did.
+        assert {sid: pool.ring.owner(sid) for sid in mapping} == mapping
+        # The first respawn attempt is immediate — no backoff pause.
+        assert pool.slept == []
+
+    def test_failed_spawns_back_off_exponentially(self):
+        pool = fake_pool(1, fail_spawns=2, restart_backoff=0.25)
+        pool.workers["w0"].die()
+        worker = pool.owner_of("rider-1")
+        assert worker.alive and worker.name == "w0"
+        assert pool.slept == [0.25, 0.5]
+        assert pool.restarts == {"w0": 1}
+
+    def test_exhausted_retries_remap_sessions_to_survivors(self):
+        pool = fake_pool(2, fail_spawns=3, restart_limit=3)
+        casualty = pool.ring.owner("rider-1")
+        survivor = next(n for n in pool.names() if n != casualty)
+        pool.workers[casualty].die()
+        worker = pool.owner_of(sid_owned_by(pool, casualty))
+        assert worker.name == survivor and worker.alive
+        assert pool.names() == (survivor,)
+        assert casualty not in pool.workers and pool.restarts == {}
+
+    def test_losing_the_last_worker_raises(self):
+        pool = fake_pool(1, fail_spawns=3, restart_limit=3)
+        pool.workers["w0"].die()
+        with pytest.raises(ClusterError):
+            pool.owner_of("rider-1")
+        assert pool.names() == ()
+
+    def test_revive_is_a_noop_for_live_or_retired_names(self):
+        pool = fake_pool(1)
+        live = pool.workers["w0"]
+        assert pool.revive_worker("w0") is live  # alive: untouched
+        assert pool.restarts == {}
+        assert pool.revive_worker("ghost") is None  # never existed
