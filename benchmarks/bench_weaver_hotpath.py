@@ -31,7 +31,7 @@ import platform
 import sys
 import timeit
 from pathlib import Path
-from types import FunctionType
+from types import FunctionType, ModuleType
 
 from repro.aop import (
     Aspect,
@@ -42,7 +42,10 @@ from repro.aop import (
     before,
     field_get,
     field_set,
+    generator,
     monitor_supported,
+    proceed,
+    return_,
 )
 from repro.aop.joinpoint import (
     JoinPoint,
@@ -179,6 +182,24 @@ class AroundAspect(Aspect):
         return jp.proceed()
 
 
+class GeneratorAspect(Aspect):
+    """Before-shaped generator advice: do the work, then ``yield proceed``.
+
+    The generator analog of :class:`BeforeAspect` (same counting body), so
+    the ``call_generator_before_*`` series price exactly what the protocol
+    adds over a plain before chain: one generator frame per call plus the
+    send/StopIteration drive.
+    """
+
+    def __init__(self):
+        self.count = 0
+
+    @generator("execution(Node.render)")
+    def note(self, jp):
+        self.count += 1
+        yield proceed
+
+
 class SecondBeforeAspect(Aspect):
     """A second static before aspect, for stacked-deployment pricing."""
 
@@ -277,6 +298,74 @@ def bench_stacked_advised_call(weaver_cls, *, codegen=False):
     finally:
         weaver.undeploy(second)
         weaver.undeploy(first)
+
+
+def _module_func_fixture():
+    """A synthetic module with one weavable module-level function."""
+    module = ModuleType("benchmod")
+    namespace = {"__name__": "benchmod"}
+    exec("def render():\n    return 42\n", namespace)
+    module.render = namespace["render"]
+    return module
+
+
+class ModuleBeforeAspect(Aspect):
+    """Static before advice on a module-level function."""
+
+    @before("execution(benchmod.render)")
+    def note(self, jp):
+        pass
+
+
+def bench_module_func_call(*, legacy, codegen=True):
+    """Advised module-level function call: weave() vs the seed pattern.
+
+    The seed weaver had no module-function targets at all; its honest
+    counterfactual is the wrapper it would have installed — rebind the
+    module global to a closure that builds a join point, pushes a frame
+    and re-filters/partitions the advice on *every* call (the same
+    per-call work ``LegacyWeaver`` does for methods).  The current path
+    weaves the module through ``runtime.weave`` and prices the installed
+    tier's wrapper.
+    """
+    module = _module_func_fixture()
+    if legacy:
+        original = module.render
+        advice = ModuleBeforeAspect().advice()
+
+        @functools.wraps(original)
+        def wrapper(*args, **kwargs):
+            jp = JoinPoint(
+                JoinPointKind.METHOD_EXECUTION,
+                None,
+                module,
+                "render",
+                args,
+                kwargs,
+            )
+            with joinpoint_frame(jp):
+                applicable = [a for a in advice if a.pointcut.matches_dynamic(jp)]
+                if not applicable:
+                    return original(*args, **kwargs)
+
+                def proceed_fn(*call_args, **call_kwargs):
+                    return original(*call_args, **call_kwargs)
+
+                return _legacy_run_advice_chain(applicable, jp, proceed_fn)
+
+        module.render = wrapper
+        try:
+            return time_call(module.render)
+        finally:
+            module.render = original
+
+    weaver = WeaverRuntime()
+    with codegen_mode(codegen):
+        handle = weaver.weave(module, ModuleBeforeAspect())
+    try:
+        return time_call(module.render)
+    finally:
+        handle.undeploy()
 
 
 def bench_instance_scoped_call(*, scoped):
@@ -708,6 +797,17 @@ def main():
         "call_stacked_before_codegen_ns": bench_stacked_advised_call(
             WeaverRuntime, codegen=True
         ),
+        "call_generator_before_legacy_ns": bench_advised_call(
+            LegacyWeaver, lambda cls: GeneratorAspect()
+        ),
+        "call_generator_before_compiled_ns": bench_advised_call(
+            WeaverRuntime, lambda cls: GeneratorAspect()
+        ),
+        "call_generator_before_ns": bench_advised_call(
+            WeaverRuntime, lambda cls: GeneratorAspect(), codegen=True
+        ),
+        "call_module_func_before_legacy_ns": bench_module_func_call(legacy=True),
+        "call_module_func_before_ns": bench_module_func_call(legacy=False),
         "call_instance_scoped_before_ns": bench_instance_scoped_call(scoped=True),
         "call_unscoped_passthrough_ns": bench_instance_scoped_call(scoped=False),
         "field_get_generic_ns": bench_field_access(codegen=False, write=False),
@@ -748,6 +848,16 @@ def main():
         / results["call_dynamic_target_codegen_ns"],
         "stacked_before_codegen": results["call_stacked_before_legacy_ns"]
         / results["call_stacked_before_codegen_ns"],
+        # Generator advice occupies an around slot; the legacy baseline
+        # drives the same send/throw protocol through the seed's per-call
+        # chain, so the ratios price deploy-time compilation of the drive
+        # loop (and, for codegen, its inlining into the wrapper source).
+        "generator_before": results["call_generator_before_legacy_ns"]
+        / results["call_generator_before_compiled_ns"],
+        "generator_before_codegen": results["call_generator_before_legacy_ns"]
+        / results["call_generator_before_ns"],
+        "module_func_before_codegen": results["call_module_func_before_legacy_ns"]
+        / results["call_module_func_before_ns"],
         # The seed had no instance scoping: getting per-instance advice
         # meant weaving the class, so the class-wide legacy advised call
         # is the honest baseline for the scoped chain.
@@ -853,6 +963,17 @@ def main():
                 file=sys.stderr,
             )
             failed = True
+    generator_ratio = (
+        results["call_generator_before_ns"] / results["call_static_before_codegen_ns"]
+    )
+    if generator_ratio > 2.0:
+        print(
+            "WARNING: a generator-advised static call is "
+            f"{generator_ratio:.2f}x the codegen static-before call "
+            "(target: <= 2x — the drive loop is inlined, not chained)",
+            file=sys.stderr,
+        )
+        failed = True
     passthrough_ratio = (
         results["call_unscoped_passthrough_ns"] / results["call_plain_ns"]
     )

@@ -11,11 +11,11 @@ Run:  python examples/aspect_tour.py
 from repro.aop import (
     Aspect,
     Introduction,
+    WeaverRuntime,
     after_returning,
     after_throwing,
     around,
     before,
-    deployed,
 )
 
 
@@ -91,12 +91,13 @@ class Anchors(Aspect):
 
 
 def main() -> None:
+    runtime = WeaverRuntime("tour")
     audit = Auditing()
     alice, bob = Account("alice", 1000), Account("bob", 100)
 
-    with deployed(audit, [Account]), deployed(Limits(), [Account]), deployed(
-        Anchors(), [Account]
-    ):
+    with runtime.weave(Account, audit), runtime.weave(
+        Account, Limits()
+    ), runtime.weave(Account, Anchors()):
         alice.deposit(200)
         alice.withdraw(900)           # capped to 500 by Limits
         alice.transfer(bob, 50)

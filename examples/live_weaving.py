@@ -43,8 +43,8 @@ def main() -> None:
     # navigation aspect, and weaving unwinds LIFO — the reconfigured
     # deployment must sit on top of the stack.
     landmark_weaver = WeaverRuntime("landmarks")
-    landmark_weaver.deploy(
-        LandmarkAspect(default_museum_landmarks()), [PageRenderer]
+    landmark_weave = landmark_weaver.weave(
+        [PageRenderer], LandmarkAspect(default_museum_landmarks())
     )
     try:
         with weaver:
@@ -67,7 +67,7 @@ def main() -> None:
             print("  next ->", agent.follow_rel("next").uri)
             print("  home via landmark ->", agent.click("Museum home").uri)
     finally:
-        landmark_weaver.undeploy_all()
+        landmark_weave.undeploy()
 
     print("\nafter undeploy, the base program renders no anchors:")
     plain = PageRenderer(fixture).render_node(fixture.painting_node("guitar"))

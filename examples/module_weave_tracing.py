@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Module-function weaving: tracing and retry over the XML substrate.
+
+Class members are not the only join points worth advising — the paper's
+parsing/resolution pipeline is plain module-level functions
+(``xmlcore.parser.parse``, ``xlink.resolver.resolve_uri``), and this
+example weaves aspects over them with the unified ``runtime.weave()``
+surface:
+
+- **Act 1** traces both functions with one *generator advice* body
+  (aspectlib's protocol: ``yield proceed`` runs the original, ``yield
+  return_(value)`` finishes the call), showing dotted
+  ``package.module.function`` signatures in the trace.
+- **Act 2** composes two module deployments on one shadow: a
+  fault-injection aspect beneath a retry aspect, whose single generator
+  body catches the injected parse error across the ``yield`` and
+  proceeds again — the retry loop the split before/around/after kinds
+  cannot express in one piece.
+- **Act 3** shows transactional rollback: an exception inside the
+  ``with runtime.weave(...)`` block rolls the module deployment back, so
+  the module global is the original function again afterwards.
+
+Calls must go *through the module attribute* (``parser.parse``): weaving
+rebinds the module global, so a ``from ... import parse`` alias taken
+before the weave keeps pointing at the original.
+
+Run:  python examples/module_weave_tracing.py
+"""
+
+import repro.xlink.resolver as resolver
+import repro.xmlcore.parser as parser
+from repro.aop import Aspect, WeaverRuntime, execution, generator, proceed, return_
+from repro.xmlcore.errors import XmlSyntaxError
+
+PAINTING_XML = "<painting id='guitar'><title>The Old Guitarist</title></painting>"
+
+
+class ModuleTracing(Aspect):
+    """One generator body = before + around + after, over module functions."""
+
+    def __init__(self) -> None:
+        self.trace: list[str] = []
+
+    @generator(execution("parser.parse") | execution("resolver.resolve_uri"))
+    def trace_call(self, jp):
+        self.trace.append(f"-> {jp.signature}{jp.args!r}")
+        result = yield proceed                  # run the original, jp args
+        self.trace.append(f"<- {jp.signature}")
+        yield return_(result)
+
+
+class ParseFaultInjection(Aspect):
+    """Fail the first *failures* parses — the flaky dependency stand-in."""
+
+    def __init__(self, failures: int) -> None:
+        self.remaining = failures
+
+    @generator(execution("parser.parse"))
+    def inject(self, jp):
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise XmlSyntaxError("injected transient parse fault")
+        result = yield proceed
+        yield return_(result)
+
+
+class ParseRetry(Aspect):
+    """Retry transient parse faults: one body, multiple proceeds."""
+
+    def __init__(self, attempts: int = 3) -> None:
+        self.attempts = attempts
+        self.retries = 0
+
+    @generator(execution("parser.parse"))
+    def retry(self, jp):
+        for _ in range(self.attempts - 1):
+            try:
+                result = yield proceed
+            except XmlSyntaxError:
+                self.retries += 1
+                continue
+            yield return_(result)
+        result = yield proceed                   # last attempt propagates
+        yield return_(result)
+
+
+def main() -> None:
+    runtime = WeaverRuntime("module-weave")
+
+    print("-- Act 1: tracing woven over module functions --")
+    tracing = ModuleTracing()
+    with runtime.weave([parser.parse, resolver.resolve_uri], tracing):
+        doc = parser.parse(PAINTING_XML)
+        href = resolver.resolve_uri("museum/index.xml", "../links.xml")
+    print(f"parsed <{doc.root_element.name}>, resolved to {href!r}")
+    for line in tracing.trace:
+        print(f"  {line}")
+    assert parser.parse(PAINTING_XML)  # woven wrapper is gone
+    assert len(tracing.trace) == 2 * 2, "advice ran after undeploy?"
+
+    print("\n-- Act 2: retry above fault injection, same module shadow --")
+    faults = ParseFaultInjection(failures=2)
+    retry = ParseRetry()
+    # Deploy order matters: the later weave wraps the earlier one, so the
+    # retry generator's `yield proceed` re-enters the fault injector.
+    with runtime.weave(parser.parse, faults):
+        with runtime.weave(parser.parse, retry):
+            doc = parser.parse(PAINTING_XML)
+    print(f"parsed <{doc.root_element.name}> after {retry.retries} injected fault(s)")
+    assert retry.retries == 2
+
+    print("\n-- Act 3: a raising block rolls the module weave back --")
+    original = parser.parse
+    try:
+        with runtime.weave(parser.parse, ModuleTracing()):
+            assert parser.parse is not original  # rebound to the wrapper
+            raise RuntimeError("deployment abandoned mid-flight")
+    except RuntimeError:
+        pass
+    assert parser.parse is original, "rollback must restore the module global"
+    print(f"parser.parse is the original again: {parser.parse is original}")
+
+    print("\nwoven sites while nothing is deployed:", runtime.woven_sites())
+
+
+if __name__ == "__main__":
+    main()

@@ -2,27 +2,31 @@
 
 The paper's section 5 asks whether aspect-oriented tools are powerful
 enough to express navigation separately.  This package is our answer
-substrate: join points (method execution, field get/set), a composable
-pointcut language with a textual DSL, five advice kinds, inter-type
+substrate: join points (method execution, field get/set, module-level
+function execution), a composable pointcut language with a textual DSL,
+five advice kinds plus aspectlib-style *generator advice*, inter-type
 introductions and a reversible runtime weaver — held as a first-class
-:class:`WeaverRuntime` you scope, transact against and introspect::
+:class:`WeaverRuntime` you scope, transact against and introspect.
+:meth:`WeaverRuntime.weave` is the one deployment entry point::
 
-    from repro.aop import Aspect, WeaverRuntime, around
+    from repro.aop import Aspect, WeaverRuntime, generator, proceed, return_
 
     class Timing(Aspect):
-        @around("execution(*.render)")
+        @generator("execution(*.render)")
         def time_it(self, jp):
             start = perf_counter()
-            try:
-                return jp.proceed()
-            finally:
-                print(jp.signature, perf_counter() - start)
+            result = yield proceed          # run the original
+            print(jp.signature, perf_counter() - start)
+            yield return_(result)
 
     runtime = WeaverRuntime("timing")
-    with runtime.transaction([PageRenderer]) as tx:
-        tx.add(Timing())
+    with runtime.weave(PageRenderer, Timing()):
         renderer.render()          # advice active
-        tx.undeploy()              # original behaviour restored
+    renderer.render()              # original behaviour restored
+
+``weave()`` also accepts modules and plain module-level functions
+(``runtime.weave(xmlcore.parser.parse, Timing())``) — module globals are
+rebound on deploy and restored exactly on undeploy/rollback.
 
 The pre-runtime API (``Weaver``, free ``deploy``/``deploy_all``/
 ``undeploy``, ``deployed``) still works as deprecation shims over
@@ -30,7 +34,7 @@ The pre-runtime API (``Weaver``, free ``deploy``/``deploy_all``/
 table.
 """
 
-from .advice import Advice, AdviceKind
+from .advice import Advice, AdviceKind, proceed, return_
 from .analysis import (
     AopLintWarning,
     Diagnostic,
@@ -55,6 +59,7 @@ from .aspect import (
     around,
     before,
     declare_error,
+    generator,
 )
 from .errors import (
     AopError,
@@ -86,14 +91,17 @@ from .weaver import (
     CompiledChain,
     Deployment,
     InstanceScope,
+    ModuleShadow,
     ShadowIndex,
     method_shadows,
+    module_shadows,
     run_advice_chain,
     shadow_index,
 )
 from .runtime import (
     DeploymentSet,
     DeploymentStats,
+    Weave,
     WeaverRuntime,
     WovenSite,
     default_runtime,
@@ -128,12 +136,14 @@ __all__ = [
     "JoinPoint",
     "JoinPointKind",
     "JoinPointPool",
+    "ModuleShadow",
     "MonitorBridge",
     "PlanEntry",
     "Pointcut",
     "PointcutSyntaxError",
     "ProceedingJoinPoint",
     "ShadowIndex",
+    "Weave",
     "Weaver",
     "WeaverRuntime",
     "WeavingError",
@@ -161,11 +171,15 @@ __all__ = [
     "execution",
     "field_get",
     "field_set",
+    "generator",
     "introduce",
     "method_shadows",
+    "module_shadows",
     "monitor_enabled",
     "monitor_supported",
     "parse_pointcut",
+    "proceed",
+    "return_",
     "run_advice_chain",
     "shadow_index",
     "target",

@@ -4,12 +4,33 @@ Five kinds, as in AspectJ: ``before``, ``after_returning``,
 ``after_throwing``, ``after`` (finally) and ``around``.  Advice functions
 receive the :class:`~repro.aop.joinpoint.JoinPoint` (a
 :class:`~repro.aop.joinpoint.ProceedingJoinPoint` for around advice).
+
+A sixth declaration style — *generator advice*, after aspectlib — writes
+the whole before/around/after story as one generator body::
+
+    @generator(execution("PageRenderer.render_node"))
+    def trace(jp):
+        try:
+            result = yield proceed          # run the original (jp args)
+        except TimeoutError:
+            result = yield proceed          # retry once
+        yield return_(f"<!-- traced -->{result}")
+
+Yield values drive the protocol: ``proceed`` (bare) runs the original
+with the join point's arguments, ``proceed(*args, **kwargs)`` with
+replacement arguments, ``return_`` finishes with ``None`` and
+``return_(value)`` with ``value``.  Exceptions the original raises are
+thrown back into the generator at the ``yield`` so one ``try`` block
+catches or translates them.  Generator advice compiles to AROUND-kind
+:class:`Advice` (``generator=True``) and rides every wrapper tier; the
+codegen tier inlines the send/throw loop into the generated wrapper.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from types import GeneratorType
 from typing import Any, Callable
 
 from .pointcut import Pointcut
@@ -21,6 +42,89 @@ class AdviceKind(str, Enum):
     AFTER_THROWING = "after_throwing"
     AFTER = "after"
     AROUND = "around"
+
+
+class proceed:  # noqa: N801 — aspectlib's lowercase protocol names
+    """Yield from generator advice to run the original join point.
+
+    Bare ``yield proceed`` replays the join point's own arguments;
+    ``yield proceed(*args, **kwargs)`` substitutes the given ones —
+    including substituting *no* arguments with ``proceed()``.  The yield
+    expression evaluates to the original's return value, or raises its
+    exception inside the generator body.
+    """
+
+    __slots__ = ("args", "kwargs")
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        self.args = args
+        self.kwargs = kwargs
+
+
+class return_:  # noqa: N801 — aspectlib's lowercase protocol names
+    """Yield from generator advice to finish the advised call.
+
+    Bare ``yield return_`` makes the call return ``None``;
+    ``yield return_(value)`` makes it return ``value``.  The original is
+    only run if a ``proceed`` was yielded earlier.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+def drive_generator(advisor: Any, pjp) -> Any:
+    """Run aspectlib's send/throw protocol over one generator *advisor*.
+
+    ``pjp`` is the :class:`~repro.aop.joinpoint.ProceedingJoinPoint` for
+    the around slot the generator advice occupies: bare ``proceed``
+    replays ``pjp.args``/``pjp.kwargs`` through the inner chain, a
+    ``proceed(...)`` instance substitutes its own (possibly empty)
+    argument list.  The codegen tier inlines this exact loop into the
+    generated wrapper (see ``codegen._generator_drive_lines``) — the two
+    must stay behaviourally identical, which the conformance suite's
+    tier parametrization pins.
+    """
+    if not isinstance(advisor, GeneratorType):
+        raise RuntimeError(
+            f"generator advice returned {advisor!r} instead of a generator"
+        )
+    try:
+        advice = advisor.send(None)
+    except StopIteration:
+        advice = return_
+    result = None
+    while True:
+        if advice is proceed or advice is None:
+            call_args, call_kwargs = pjp.args, pjp.kwargs
+        elif isinstance(advice, proceed):
+            call_args, call_kwargs = advice.args, advice.kwargs
+        elif advice is return_:
+            advisor.close()
+            return None
+        elif isinstance(advice, return_):
+            advisor.close()
+            return advice.value
+        else:
+            advisor.close()
+            raise RuntimeError(
+                f"generator advice yielded {advice!r}; expected proceed, "
+                f"proceed(...), return_ or return_(...)"
+            )
+        try:
+            result = pjp._proceed(*call_args, **call_kwargs)
+        except Exception as exc:
+            try:
+                advice = advisor.throw(exc)
+            except StopIteration:
+                return None
+        else:
+            try:
+                advice = advisor.send(result)
+            except StopIteration:
+                return result
 
 
 @dataclass
@@ -39,6 +143,10 @@ class Advice:
     order: int = 0
     name: str = ""
     aspect: Any = field(default=None, repr=False)
+    #: True when ``function`` is a generator function speaking the
+    #: proceed/return_ protocol; the chain compiler and codegen templates
+    #: drive it instead of calling it like a plain around body.
+    generator: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -53,6 +161,7 @@ class Advice:
             order=self.order,
             name=self.name,
             aspect=aspect,
+            generator=self.generator,
         )
 
     @property
@@ -76,6 +185,10 @@ class Advice:
 
     def invoke(self, jp) -> Any:
         """Call the advice body (with the owning aspect when bound)."""
+        if self.generator:
+            if self.aspect is not None:
+                return drive_generator(self.function(self.aspect, jp), jp)
+            return drive_generator(self.function(jp), jp)
         if self.aspect is not None:
             return self.function(self.aspect, jp)
         return self.function(jp)

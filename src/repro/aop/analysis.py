@@ -42,7 +42,12 @@ with stable codes:
   above an earlier wrapper-tier deployment on the same shadow.
   Environment gating (interpreter < 3.12, ``REPRO_AOP_MONITOR=0``) is
   deliberately *not* flagged — it is not a property of the plan, and
-  diagnostics stay identical across the CI interpreter matrix.
+  diagnostics stay identical across the CI interpreter matrix;
+- ``APL008 generator-never-proceeds`` — generator advice
+  (``@generator``, the aspectlib protocol) whose body can never yield
+  ``proceed``: every advised call returns the generator's ``return_``
+  value and the original never runs — legitimate for a deliberate stub,
+  but usually a forgotten ``yield proceed``.
 
 **Codegen source verification** (``APL1xx``) —
 :func:`verify_codegen_templates` renders every generated-wrapper template
@@ -92,6 +97,7 @@ from .aspect import Aspect
 from .codegen import (
     _FILENAME,
     _field_source,
+    _module_static_source,
     _render_signature,
     _scoped_static_source,
     _static_source,
@@ -126,6 +132,10 @@ _ALLOWED_GLOBALS = frozenset(
         "IndexError",
         "AttributeError",
         "KeyError",
+        # Generator-advice templates (the inlined send/throw protocol).
+        "isinstance",
+        "RuntimeError",
+        "StopIteration",
     }
 )
 
@@ -171,7 +181,8 @@ class PlanEntry:
     """
 
     aspect: Aspect
-    targets: tuple[type, ...]
+    #: Classes and/or modules (module-function weaving) to plan over.
+    targets: tuple[Any, ...]
     fields: tuple[str, ...] = ()
     #: Scope members the deployment would cover (None = class-wide).
     scope: Any = None
@@ -254,6 +265,8 @@ def analyze_plan(
 
         for introduction in aspect.introductions():
             for cls in entry.targets:
+                if not isinstance(cls, type):
+                    continue  # introductions graft class members only
                 if not introduction.matches(cls):
                     continue
                 exists = (
@@ -284,6 +297,23 @@ def analyze_plan(
                     )
 
         for item in advice:
+            if item.generator and _advice_proceeds(item.function) is False:
+                diags.append(
+                    Diagnostic(
+                        code="APL008",
+                        name="generator-never-proceeds",
+                        severity=SEVERITY_WARNING,
+                        message=(
+                            f"generator advice {item.name!r} can never yield "
+                            "proceed; the original never runs and every "
+                            "advised call returns its return_ value — add "
+                            "`yield proceed` (or keep a deliberate stub "
+                            "silent by mentioning proceed)"
+                        ),
+                        aspect=aspect_name,
+                        advice=item.name,
+                    )
+                )
             matched: list[tuple[type, str, JoinPointKind]] = []
             for cls in entry.targets:
                 names = [shadow.name for shadow in index.shadows(cls)]
@@ -958,19 +988,31 @@ def verify_wrapper_source(source: str, *, label: str = "<source>") -> list[Diagn
     return diags
 
 
-def _shape_advice(kinds: Sequence[AdviceKind], *, bound: bool) -> tuple[Advice, ...]:
+def _shape_advice(
+    kinds: Sequence[AdviceKind | str], *, bound: bool
+) -> tuple[Advice, ...]:
+    """Sample advice for template enumeration.
+
+    A kind of ``"generator"`` produces a generator-protocol around advice
+    (``generator=True``), so the enumeration covers the inlined
+    send/throw drive loop alongside the plain chain shapes.
+    """
     aspect = object() if bound else None
 
     def body(jp: Any) -> Any:  # pragma: no cover - never invoked
         return jp
 
+    def gen_body(jp: Any) -> Any:  # pragma: no cover - never invoked
+        yield jp
+
     return tuple(
         Advice(
-            kind=kind,
+            kind=AdviceKind.AROUND if kind == "generator" else kind,
             pointcut=execution("*.run"),
-            function=body,
+            function=gen_body if kind == "generator" else body,
             name=f"a{i}",
             aspect=aspect,
+            generator=kind == "generator",
         )
         for i, kind in enumerate(kinds)
     )
@@ -984,11 +1026,12 @@ def _sample_original(self: Any, node: Any, depth: int = 1) -> Any:
 def enumerate_template_sources() -> list[tuple[str, str]]:
     """``(label, source)`` for every generated-wrapper template shape.
 
-    Covers method and field templates, scoped and unscoped dispatch,
-    marker and id membership, rendered and packed signatures, and every
-    advice-kind mix that changes the rendered code path (befores, around
-    nesting, the exception envelope, bound vs unbound advice) — the
-    matrix CI verifies so template edits cannot silently regress.
+    Covers method, field and module-function templates, scoped and
+    unscoped dispatch, marker and id membership, rendered and packed
+    signatures, and every advice-kind mix that changes the rendered code
+    path (befores, around nesting, the exception envelope, bound vs
+    unbound advice, and the generator-protocol drive loop) — the matrix
+    CI verifies so template edits cannot silently regress.
     """
     shapes: list[tuple[str, tuple[Advice, ...]]] = [
         ("before", _shape_advice([AdviceKind.BEFORE], bound=True)),
@@ -1017,6 +1060,15 @@ def enumerate_template_sources() -> list[tuple[str, str]]:
             "unbound",
             _shape_advice([AdviceKind.BEFORE, AdviceKind.AROUND], bound=False),
         ),
+        ("generator", _shape_advice(["generator"], bound=True)),
+        (
+            "generator-stacked",
+            _shape_advice(
+                [AdviceKind.AROUND, "generator", AdviceKind.BEFORE],
+                bound=True,
+            ),
+        ),
+        ("generator-unbound", _shape_advice(["generator"], bound=False)),
     ]
     sig = _render_signature(_sample_original)
     assert sig is not None  # the sample is renderable by construction
@@ -1054,6 +1106,29 @@ def enumerate_template_sources() -> list[tuple[str, str]]:
             _shape_advice(set_kinds, bound=False),
         )[0]
         sources.append((f"field/{label}", source))
+    field_gen = _field_source(
+        _shape_advice(["generator"], bound=True),
+        _shape_advice([AdviceKind.AFTER], bound=True),
+    )[0]
+    sources.append(("field/get-generator-set-after", field_gen))
+    module_shapes: list[tuple[str, Sequence[AdviceKind | str]]] = [
+        ("before", [AdviceKind.BEFORE]),
+        (
+            "full",
+            [
+                AdviceKind.BEFORE,
+                AdviceKind.AROUND,
+                AdviceKind.AFTER_RETURNING,
+                AdviceKind.AFTER_THROWING,
+                AdviceKind.AFTER,
+            ],
+        ),
+        ("generator", ["generator"]),
+        ("generator-stacked", [AdviceKind.AROUND, "generator", AdviceKind.BEFORE]),
+    ]
+    for label, kinds in module_shapes:
+        source = _module_static_source(_shape_advice(kinds, bound=True))[0]
+        sources.append((f"module/{label}", source))
     return sources
 
 

@@ -25,6 +25,7 @@ weaver's job (:mod:`repro.aop.weaver`).
 
 from __future__ import annotations
 
+import inspect
 from typing import Any, Callable
 
 from .advice import Advice, AdviceKind
@@ -75,6 +76,44 @@ after_throwing = _advice_decorator(AdviceKind.AFTER_THROWING)
 after = _advice_decorator(AdviceKind.AFTER)
 #: ``@around(pointcut)`` — replaces the join point; call ``jp.proceed()``.
 around = _advice_decorator(AdviceKind.AROUND)
+
+
+def generator(
+    pointcut: Pointcut | str,
+    *,
+    order: int = 0,
+    types: dict[str, type] | None = None,
+):
+    """``@generator(pointcut)`` — one generator body as the whole advice.
+
+    The decorated function must be a generator function; it yields
+    ``proceed`` / ``proceed(args...)`` / ``return_`` / ``return_(value)``
+    (see :mod:`repro.aop.advice`) and may catch the original's exceptions
+    across the yield.  Compiles to AROUND-kind advice, so it composes
+    with split-kind advice under the usual precedence rules.
+    """
+    resolved = _as_pointcut(pointcut, types)
+
+    def decorator(function: Callable) -> Callable:
+        if not inspect.isgeneratorfunction(function):
+            raise AopError(
+                f"@generator advice {getattr(function, '__name__', function)!r} "
+                "must be a generator function (it yields proceed / return_)"
+            )
+        declared = getattr(function, _ADVICE_ATTR, [])
+        declared.append(
+            Advice(
+                kind=AdviceKind.AROUND,
+                pointcut=resolved,
+                function=function,
+                order=order,
+                generator=True,
+            )
+        )
+        setattr(function, _ADVICE_ATTR, declared)
+        return function
+
+    return decorator
 
 
 class Aspect:
@@ -225,6 +264,7 @@ class FluentAspect(Aspect):
                 function=item.function,
                 order=item.order,
                 name=item.name,
+                generator=item.generator,
             )
             for item in self._advice
         ]
@@ -314,6 +354,26 @@ class AspectBuilder:
         """Replace matching join points; *function* must call ``jp.proceed()``."""
         return self._add(AdviceKind.AROUND, pointcut, function, order)
 
+    def generator(
+        self, pointcut: Pointcut | str, function: Callable, *, order: int | None = None
+    ) -> "AspectBuilder":
+        """Register one generator body as the whole advice (see ``@generator``)."""
+        if not inspect.isgeneratorfunction(function):
+            raise AopError(
+                f"generator advice {getattr(function, '__name__', function)!r} "
+                "must be a generator function (it yields proceed / return_)"
+            )
+        self._advice.append(
+            Advice(
+                kind=AdviceKind.AROUND,
+                pointcut=_as_pointcut(pointcut, self._types),
+                function=function,
+                order=self._order if order is None else order,
+                generator=True,
+            )
+        )
+        return self
+
     def introduce(
         self, class_pattern: str, name: str, member: Any, *, replace: bool = False
     ) -> "AspectBuilder":
@@ -350,4 +410,5 @@ __all__ = [
     "around",
     "before",
     "declare_error",
+    "generator",
 ]

@@ -62,7 +62,7 @@ import keyword
 import os
 from typing import Any, Callable, Sequence
 
-from .advice import Advice, AdviceKind
+from .advice import Advice, AdviceKind, proceed, return_
 from .joinpoint import (
     JoinPoint,
     JoinPointKind,
@@ -253,6 +253,134 @@ def _by_kind(advice: Sequence[Advice], kind: AdviceKind) -> list[tuple[int, Advi
     return [(i, a) for i, a in enumerate(advice) if a.kind is kind]
 
 
+def _uses_generator(advice: Sequence[Advice]) -> bool:
+    return any(item.generator for item in advice)
+
+
+def _sole_generator(advice: Sequence[Advice]) -> bool:
+    """True when the chain is exactly one generator advice (around slot)."""
+    return len(advice) == 1 and advice[0].generator
+
+
+def _generator_drive_lines(advice_expr: str, call: str, pjp: str) -> list[str]:
+    """The inlined send/throw protocol for one generator advice.
+
+    Must stay behaviourally identical to ``advice.drive_generator`` —
+    this is that loop, unrolled into template source so generator advice
+    rides the pooled wrapper tier instead of a generic driver call.
+    ``advice_expr`` instantiates the advisor (the generator function
+    applied to *pjp*), ``call`` names the inner proceed callable.  The
+    block leaves the advised call's return value in ``result``.
+    """
+    return [
+        f"_gen = {advice_expr}",
+        "try:",
+        "    _adv = _gen.send(None)",
+        "except StopIteration:",
+        "    _adv = _return",
+        "result = None",
+        "while True:",
+        "    if _adv is _proceed or _adv is None:",
+        f"        _cargs = {pjp}.args",
+        f"        _ckw = {pjp}.kwargs",
+        "    elif isinstance(_adv, _proceed):",
+        "        _cargs = _adv.args",
+        "        _ckw = _adv.kwargs",
+        "    elif _adv is _return:",
+        "        _gen.close()",
+        "        break",
+        "    elif isinstance(_adv, _return):",
+        "        result = _adv.value",
+        "        _gen.close()",
+        "        break",
+        "    else:",
+        "        _gen.close()",
+        "        raise RuntimeError(",
+        "            f'generator advice yielded {_adv!r}; expected proceed, '",
+        "            f'proceed(...), return_ or return_(...)'",
+        "        )",
+        "    try:",
+        f"        _gres = {call}(*_cargs, **_ckw)",
+        "    except Exception as _gexc:",
+        "        try:",
+        "            _adv = _gen.throw(_gexc)",
+        "        except StopIteration:",
+        "            break",
+        "    else:",
+        "        try:",
+        "            _adv = _gen.send(_gres)",
+        "        except StopIteration:",
+        "            result = _gres",
+        "            break",
+    ]
+
+
+def _sole_generator_resume_lines(call: str) -> list[str]:
+    """One proceed-and-resume step of the sole-generator drive loop."""
+    return [
+        "    try:",
+        f"        _gres = {call}",
+        "    except Exception as _gexc:",
+        "        try:",
+        "            _adv = _gen.throw(_gexc)",
+        "        except StopIteration:",
+        "            break",
+        "        continue",
+        "    try:",
+        "        _adv = _gen.send(_gres)",
+        "    except StopIteration:",
+        "        result = _gres",
+        "        break",
+        "    continue",
+    ]
+
+
+def _sole_generator_drive_lines(
+    advice_expr: str, bare_call: str, altered_call: str
+) -> list[str]:
+    """The send/throw protocol specialized for a chain of ONE generator advice.
+
+    With no other advice on the shadow there is nothing for an inner
+    proceed closure to compose with, so the specialization drops the
+    ``_p`` closure and the per-call :class:`ProceedingJoinPoint`: the
+    advisor receives the pooled join point itself, bare ``proceed``
+    replays ``jp.args``/``jp.kwargs`` straight into *bare_call* (rewrites
+    of ``jp.args`` are honored, exactly like the chain call line), and a
+    ``proceed(...)`` instance substitutes its own arguments through
+    *altered_call*.  Behaviour is otherwise pinned to
+    ``advice.drive_generator``; the block leaves the advised call's
+    return value in ``result``.
+    """
+    return [
+        f"_gen = {advice_expr}",
+        # Direct `_gen.send(...)` calls on purpose: 3.11's LOAD_METHOD
+        # specialization skips the bound-method allocation that hoisting
+        # `_gen.send` into a local would force (~75 ns/call measured).
+        "try:",
+        "    _adv = _gen.send(None)",
+        "except StopIteration:",
+        "    _adv = _return",
+        "result = None",
+        "while True:",
+        "    if _adv is _proceed or _adv is None:",
+        *(f"    {line}" for line in _sole_generator_resume_lines(bare_call)),
+        "    if isinstance(_adv, _proceed):",
+        *(f"    {line}" for line in _sole_generator_resume_lines(altered_call)),
+        "    if isinstance(_adv, _return):",
+        "        result = _adv.value",
+        "        _gen.close()",
+        "        break",
+        "    if _adv is _return:",
+        "        _gen.close()",
+        "        break",
+        "    _gen.close()",
+        "    raise RuntimeError(",
+        "        f'generator advice yielded {_adv!r}; expected proceed, '",
+        "        f'proceed(...), return_ or return_(...)'",
+        "    )",
+    ]
+
+
 def _acquire_lines(indent: str, free: str, blank: str) -> list[str]:
     # Pool invariant: free-list entries are scrubbed, so only the per-call
     # slots need filling here.  The pop is guarded by try/except rather
@@ -288,6 +416,7 @@ def _chain_lines(
     run: str,
     proceed_lines: list[str],
     call_lines: tuple[str, ...],
+    gen_calls: tuple[str, str] | None = None,
 ) -> list[str]:
     """The unrolled advice chain for one acquire/release envelope.
 
@@ -298,7 +427,25 @@ def _chain_lines(
     after before re-raising.  *proceed_lines* define the ``_p`` proceed
     body (only rendered when around advice needs one); *call_lines* bind
     ``result`` for the no-around case.
+
+    *gen_calls* — ``(bare_call, altered_call)`` original-call expressions
+    — opts the template into the sole-generator specialization: a chain
+    that is exactly one generator advice drives the advisor over the
+    pooled join point directly, with no proceed closure and no
+    ``ProceedingJoinPoint`` (see :func:`_sole_generator_drive_lines`).
     """
+    if gen_calls is not None and _sole_generator(advice):
+        bare_call, altered_call = gen_calls
+        index, item = 0, advice[0]
+        body = [
+            f"{run}{line}"
+            for line in _sole_generator_drive_lines(
+                _advice_call(prefix, index, item, "jp"), bare_call, altered_call
+            )
+        ]
+        body.append(f"{run}jp.result = result")
+        body.append(f"{run}return result")
+        return body
     befores = _by_kind(advice, AdviceKind.BEFORE)
     arounds = _by_kind(advice, AdviceKind.AROUND)
     returnings = _by_kind(advice, AdviceKind.AFTER_RETURNING)
@@ -312,19 +459,43 @@ def _chain_lines(
     # Around nesting: runners for all but the outermost advice (each packs
     # proceed()'s varargs into a fresh ProceedingJoinPoint, exactly like
     # the compiled chain's _wrap_around), outermost call inlined.
+    # Generator advice occupies an around slot; its runner (or the
+    # outermost call) inlines the send/throw protocol over the inner
+    # callable instead of a single invocation.
     if arounds:
         body.extend(f"{run}{line}" for line in proceed_lines)
         inner_name = "_p"
         for index, item in reversed(arounds[1:]):
             body.append(f"{run}def _r{index}(*a, **k):")
             body.append(f"{run}    pjp = _for_chain(jp, {inner_name}, a, k)")
-            body.append(f"{run}    return {_advice_call(prefix, index, item, 'pjp')}")
+            if item.generator:
+                body.extend(
+                    f"{run}    {line}"
+                    for line in _generator_drive_lines(
+                        _advice_call(prefix, index, item, "pjp"), inner_name, "pjp"
+                    )
+                )
+                body.append(f"{run}    return result")
+            else:
+                body.append(
+                    f"{run}    return {_advice_call(prefix, index, item, 'pjp')}"
+                )
             inner_name = f"_r{index}"
         outer_index, outer = arounds[0]
-        call = (
-            f"pjp0 = _for_chain(jp, {inner_name}, jp.args, dict(jp.kwargs))",
-            f"result = {_advice_call(prefix, outer_index, outer, 'pjp0')}",
-        )
+        if outer.generator:
+            call = (
+                f"pjp0 = _for_chain(jp, {inner_name}, jp.args, dict(jp.kwargs))",
+                *_generator_drive_lines(
+                    _advice_call(prefix, outer_index, outer, "pjp0"),
+                    inner_name,
+                    "pjp0",
+                ),
+            )
+        else:
+            call = (
+                f"pjp0 = _for_chain(jp, {inner_name}, jp.args, dict(jp.kwargs))",
+                f"result = {_advice_call(prefix, outer_index, outer, 'pjp0')}",
+            )
     else:
         call = call_lines
 
@@ -375,6 +546,10 @@ _RESERVED_PARAM_NAMES = frozenset(
         "Exception",
         "IndexError",
         "AttributeError",
+        # Generator-advice templates (inlined send/throw protocol).
+        "isinstance",
+        "RuntimeError",
+        "StopIteration",
     }
 )
 
@@ -464,6 +639,7 @@ def _scoped_static_source(
     args/kwargs split.
     """
     arounds = _by_kind(advice, AdviceKind.AROUND)
+    sole_generator = _sole_generator(advice)
     params = ["_original", "_watchers", "_slow", "_free", "_blank"]
     if not marked:
         params.append("_scope_ids")
@@ -478,8 +654,10 @@ def _scoped_static_source(
         forward_src = "self, *args, **kwargs"
         args_tuple_src = None
         run_params_src = "self, *args, **kwargs"
-    if arounds:
+    if arounds and not sole_generator:
         params.append("_for_chain")
+    if _uses_generator(advice):
+        params.extend(["_proceed", "_return"])
     params.extend(_advice_params("_", advice))
 
     if sig is not None:
@@ -526,6 +704,10 @@ def _scoped_static_source(
                 "    return _original(self, *a, **k)",
             ],
             call_lines,
+            gen_calls=(
+                "_original(self, *jp.args, **jp.kwargs)",
+                "_original(self, *_adv.args, **_adv.kwargs)",
+            ),
         )
     )
     body.append("        finally:")
@@ -551,8 +733,10 @@ def _static_source(advice: Sequence[Advice]) -> tuple[str, list[str]]:
     arounds = _by_kind(advice, AdviceKind.AROUND)
 
     params = ["_original", "_watchers", "_slow", "_free", "_blank"]
-    if arounds:
+    if arounds and not _sole_generator(advice):
         params.append("_for_chain")
+    if _uses_generator(advice):
+        params.extend(["_proceed", "_return"])
     params.extend(_advice_params("_", advice))
 
     body: list[str] = []
@@ -576,6 +760,10 @@ def _static_source(advice: Sequence[Advice]) -> tuple[str, list[str]]:
                 "    return _original(self, *a, **k)",
             ],
             ("result = _original(self, *jp.args, **jp.kwargs)",),
+            gen_calls=(
+                "_original(self, *jp.args, **jp.kwargs)",
+                "_original(self, *_adv.args, **_adv.kwargs)",
+            ),
         )
     )
     body.append("        finally:")
@@ -710,6 +898,9 @@ def generate_method_wrapper(
         )
     if "_for_chain" in params:
         bindings["_for_chain"] = ProceedingJoinPoint.for_chain
+    if "_proceed" in params:
+        bindings["_proceed"] = proceed
+        bindings["_return"] = return_
     _bind_advice("_", advice, bindings)
     wrapper = _build(source, bindings, cache, marker=marker)
 
@@ -724,6 +915,130 @@ def generate_method_wrapper(
     wrapper.__joinpoint_pool__ = pool
     if marker is not None:
         wrapper.__scope_marker__ = marker
+    return wrapper
+
+
+# -- module-function wrappers --------------------------------------------------
+
+
+def _module_static_source(advice: Sequence[Advice]) -> tuple[str, list[str]]:
+    """Source + parameter names for a fully-static module-function chain.
+
+    The shape mirrors :func:`_static_source` minus the receiver: a
+    module-level function has no ``self``, so the wrapper packs the raw
+    call, stamps ``jp.target = None`` and ``jp.cls`` to the owning module
+    object (making ``jp.signature`` the dotted
+    ``package.module.function``), and proceeds with the caller's
+    arguments directly.
+    """
+    arounds = _by_kind(advice, AdviceKind.AROUND)
+
+    params = ["_original", "_module", "_watchers", "_slow", "_free", "_blank"]
+    if arounds and not _sole_generator(advice):
+        params.append("_for_chain")
+    if _uses_generator(advice):
+        params.extend(["_proceed", "_return"])
+    params.extend(_advice_params("_", advice))
+
+    body: list[str] = []
+    body.append(f"def _factory({', '.join(params)}):")
+    body.append("    def wrapper(*args, **kwargs):")
+    body.append("        if _watchers.count:")
+    body.append("            return _slow(args, kwargs)")
+    body.extend(_acquire_lines("        ", "_free", "_blank"))
+    body.append("        jp.target = None")
+    body.append("        jp.cls = _module")
+    body.append("        jp.args = args")
+    body.append("        jp.kwargs = kwargs")
+    body.append("        try:")
+    body.extend(
+        _chain_lines(
+            "_",
+            advice,
+            "            ",
+            [
+                "def _p(*a, **k):",
+                "    return _original(*a, **k)",
+            ],
+            ("result = _original(*jp.args, **jp.kwargs)",),
+            gen_calls=(
+                "_original(*jp.args, **jp.kwargs)",
+                "_original(*_adv.args, **_adv.kwargs)",
+            ),
+        )
+    )
+    body.append("        finally:")
+    body.extend(_release_lines("            ", "_free"))
+    body.append("    return wrapper")
+    return "\n".join(body) + "\n", params
+
+
+def _make_module_slow_path(
+    original: Callable, module: Any, name: str, chain: Callable
+) -> Callable:
+    """The frame-pushing fallback a module wrapper takes under cflow watch."""
+
+    def slow(args: tuple, kwargs: dict) -> Any:
+        jp = JoinPoint(
+            JoinPointKind.METHOD_EXECUTION, None, module, name, args, kwargs
+        )
+
+        def proceed_call(*call_args: Any, **call_kwargs: Any) -> Any:
+            return original(*call_args, **call_kwargs)
+
+        token = push_frame(jp)
+        try:
+            return chain(jp, proceed_call)
+        finally:
+            pop_frame(token)
+
+    return slow
+
+
+def generate_module_wrapper(
+    original: Callable,
+    module: Any,
+    name: str,
+    advice: Sequence[Advice],
+    selector: Any,
+    watchers: Any,
+    *,
+    cache: CodegenCache | None = None,
+) -> Callable:
+    """A specialized wrapper for one fully-static module-function shadow.
+
+    The module-target counterpart of :func:`generate_method_wrapper`:
+    same pooled join points, same unrolled chain (including inlined
+    generator advice), no receiver and no instance scoping — module
+    functions have no instances to scope to, which the runtime enforces
+    before ever reaching codegen.
+    """
+    if cache is None:
+        cache = default_cache
+    pool = JoinPointPool(JoinPointKind.METHOD_EXECUTION, name, cap=_POOL_CAP)
+    bindings = {
+        "_original": original,
+        "_module": module,
+        "_free": pool.free,
+        "_blank": pool.blank,
+        "_watchers": watchers,
+        "_slow": _make_module_slow_path(original, module, name, selector.full_chain),
+    }
+    source, params = _module_static_source(advice)
+    if "_for_chain" in params:
+        bindings["_for_chain"] = ProceedingJoinPoint.for_chain
+    if "_proceed" in params:
+        bindings["_proceed"] = proceed
+        bindings["_return"] = return_
+    _bind_advice("_", advice, bindings)
+    wrapper = _build(source, bindings, cache)
+
+    source = wrapper.__codegen_source__
+    functools.update_wrapper(wrapper, original)
+    wrapper.__dict__.pop("__scope_marker__", None)
+    wrapper.__dict__.pop("__woven_scope__", None)
+    wrapper.__codegen_source__ = source
+    wrapper.__joinpoint_pool__ = pool
     return wrapper
 
 
@@ -802,6 +1117,8 @@ def _field_source(
         set_advice, AdviceKind.AROUND
     ):
         params.append("_for_chain")
+    if _uses_generator(get_advice) or _uses_generator(set_advice):
+        params.extend(["_proceed", "_return"])
     params.extend(_advice_params("_g", get_advice))
     params.extend(_advice_params("_s", set_advice))
 
@@ -909,6 +1226,9 @@ def generate_field_descriptor(
         bindings["_set_blank"] = set_pool.blank
     if "_for_chain" in params:
         bindings["_for_chain"] = ProceedingJoinPoint.for_chain
+    if "_proceed" in params:
+        bindings["_proceed"] = proceed
+        bindings["_return"] = return_
     _bind_advice("_g", get_advice, bindings)
     _bind_advice("_s", set_advice, bindings)
     descriptor_cls = _build(source, bindings, cache)

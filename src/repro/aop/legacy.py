@@ -12,11 +12,10 @@ replacement:
 Old call                               New call
 =====================================  =====================================
 ``Weaver()``                           ``WeaverRuntime()``
-``deploy(a, targets)``                 ``runtime.deploy(a, targets)``
-``deploy_all(aspects, targets)``       ``runtime.deploy_all(aspects, targets)``
-``undeploy(deployment)``               ``runtime.undeploy(deployment)``
-``with deployed(a, targets): ...``     ``with runtime.transaction(targets) as tx:``
-                                       ``    tx.add(a); ...; tx.undeploy()``
+``deploy(a, targets)``                 ``runtime.weave(targets, a)``
+``deploy_all(aspects, targets)``       ``runtime.weave(...)`` per aspect
+``undeploy(deployment)``               ``handle.undeploy()``
+``with deployed(a, targets): ...``     ``with runtime.weave(targets, a): ...``
 =====================================  =====================================
 """
 
@@ -72,8 +71,8 @@ def deploy(
     instances=None,
 ) -> Deployment:
     """Deprecated: deploy on the default runtime (see :meth:`WeaverRuntime.deploy`)."""
-    _deprecated("deploy()", "WeaverRuntime.deploy() / default_runtime.deploy()")
-    return default_runtime.deploy(
+    _deprecated("deploy()", "WeaverRuntime.weave() / default_runtime.weave()")
+    return default_runtime._deploy(
         aspect,
         targets,
         fields=fields,
@@ -95,8 +94,8 @@ def deploy_all(
     :class:`~repro.aop.runtime.DeploymentSet` is the transactional,
     incrementally-extensible form of this call.
     """
-    _deprecated("deploy_all()", "WeaverRuntime.transaction()")
-    return default_runtime.deploy_all(
+    _deprecated("deploy_all()", "WeaverRuntime.weave()")
+    return default_runtime._deploy_all(
         aspects, targets, fields=fields, require_match=require_match
     )
 
@@ -131,7 +130,7 @@ class deployed:
         fields: Iterable[str] = (),
         weaver: WeaverRuntime | None = None,
     ):
-        _deprecated("deployed()", "WeaverRuntime.transaction()")
+        _deprecated("deployed()", "WeaverRuntime.weave()")
         self._aspect = aspect
         self._targets = list(targets)
         self._fields = fields
@@ -140,7 +139,7 @@ class deployed:
 
     def __enter__(self) -> Deployment:
         self._set = self._runtime.transaction(self._targets, fields=self._fields)
-        return self._set.add(self._aspect)
+        return self._set._add(self._aspect)
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if self._set is None:

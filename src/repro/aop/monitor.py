@@ -103,6 +103,14 @@ def advice_obstacle(advice: Iterable[Advice]) -> str | None:
     if not advice:
         return "no advice matches the shadow"
     for item in advice:
+        if getattr(item, "generator", False):
+            # Generator advice is AROUND-kind anyway, but give the
+            # protocol its own reason: the send/throw loop must own the
+            # call to proceed, which only a wrapper can provide.
+            return (
+                "generator advice drives the original through "
+                "proceed/send/throw, which needs a wrapper"
+            )
         if item.kind not in OBSERVATION_KINDS:
             return (
                 f"{item.kind.value} advice needs a wrapper "
@@ -115,6 +123,11 @@ def advice_obstacle(advice: Iterable[Advice]) -> str | None:
 
 def shadow_obstacle(shadow: "MethodShadow") -> str | None:
     """Why this shadow's code object cannot be monitored (None = it can)."""
+    if getattr(shadow, "module", None) is not None:
+        # ModuleShadow (duck-typed to avoid importing the weaver here):
+        # the monitor bridge reads the receiver from the frame's first
+        # local, and module-level functions have none.
+        return "module-level functions have no receiver local to observe"
     original = shadow.original
     code = getattr(original, "__code__", None)
     if code is None:

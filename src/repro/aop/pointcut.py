@@ -150,9 +150,20 @@ def _split_pattern(pattern: str) -> tuple[str, str]:
 
 
 def _matches_class(cls: type, pattern: str) -> bool:
-    """Match the class name, any base class name, or the qualified name."""
+    """Match the class name, any base class name, or the qualified name.
+
+    Module targets (module-level function weaving) match on the module's
+    dotted ``__name__`` and on its last segment, so both
+    ``execution("repro.xmlcore.parser.parse")`` and
+    ``execution("parser.parse")`` select the module shadow.
+    """
     if pattern == "*":
         return True
+    if not isinstance(cls, type):  # a module target
+        dotted = getattr(cls, "__name__", "")
+        if fnmatch.fnmatchcase(dotted, pattern):
+            return True
+        return fnmatch.fnmatchcase(dotted.rpartition(".")[2], pattern)
     for klass in cls.__mro__:
         if klass is object:
             continue
@@ -210,7 +221,7 @@ class Within(Pointcut):
 
     def matches_shadow(self, cls: type, name: str, kind: JoinPointKind) -> bool:
         return _matches_class(cls, self.pattern) or fnmatch.fnmatchcase(
-            cls.__module__, self.pattern
+            getattr(cls, "__module__", getattr(cls, "__name__", "")), self.pattern
         )
 
     def __repr__(self) -> str:
@@ -230,6 +241,9 @@ class TargetType(Pointcut):
 
     def matches_shadow(self, cls: type, name: str, kind: JoinPointKind) -> bool:
         # Statically plausible when the classes are related either way.
+        # Module shadows have no target instance, so target() never matches.
+        if not isinstance(cls, type):
+            return False
         return issubclass(cls, self.cls) or issubclass(self.cls, cls)
 
     def matches_dynamic(self, jp: JoinPoint) -> bool:

@@ -10,10 +10,14 @@ containers converge on:
   :class:`~repro.aop.weaver.ShadowIndex`, cflow-watcher count and codegen
   cache (the process-global singletons of earlier revisions are simply the
   *default* runtime, :data:`default_runtime`);
+- :meth:`WeaverRuntime.weave` — **the** deployment entry point: one
+  polymorphic call accepting a class, a module, a module-level function
+  or a list of those, returning a context-managed :class:`Weave` handle
+  (the older ``deploy`` / ``deploy_all`` / ``DeploymentSet.add`` surface
+  survives as ``DeprecationWarning`` shims);
 - :meth:`WeaverRuntime.transaction` — a :class:`DeploymentSet` handle that
-  batches several aspects atomically over one shadow scan per class,
-  supports incremental :meth:`~DeploymentSet.add`, context-manager
-  rollback, and partial :meth:`~DeploymentSet.undeploy`;
+  batches several aspects atomically over one shadow scan per class, with
+  context-manager rollback and partial :meth:`~DeploymentSet.undeploy`;
 - introspection — :meth:`WeaverRuntime.woven_sites`,
   :meth:`WeaverRuntime.deployment_stats` and :meth:`WeaverRuntime.stats`
   (surfaced on the command line as ``repro.tools aop inspect``).
@@ -25,16 +29,20 @@ The deprecated process-global API (``Weaver``, free ``deploy`` /
 ::
 
     runtime = WeaverRuntime("per-audience")
-    with runtime.transaction([PageRenderer]) as tx:
-        tx.add(TourAspect(spec))
-        tx.add(BreadcrumbAspect(spec))   # raises -> both roll back
-    ...                                  # committed: advice is live
-    runtime.undeploy_all()
+    handle = runtime.weave([PageRenderer], TourAspect(spec))
+    ...                                  # advice is live
+    handle.undeploy()
+
+    with runtime.weave(xmlcore.parser.parse, RetryAspect()):
+        ...                              # module function advised
+    ...                                  # original global restored
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
+from types import FunctionType, ModuleType
 from typing import Any, Iterable
 
 from . import codegen, monitor
@@ -45,6 +53,7 @@ from .joinpoint import JoinPointKind
 from .weaver import (
     Deployment,
     InstanceScope,
+    ModuleShadow,
     ShadowIndex,
     _BatchScans,
     _cflow_watchers,
@@ -57,8 +66,20 @@ from .weaver import (
     _WovenMember,
     make_field_descriptor,
     make_method_wrapper,
+    make_module_wrapper,
     shadow_index as _default_shadow_index,
 )
+
+
+def _deprecated(old: str, new: str) -> None:
+    """Warn for the pre-``weave()`` deployment surface (stacklevel: caller)."""
+    import warnings
+
+    warnings.warn(
+        f"repro.aop.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class WeaverRuntime:
@@ -152,22 +173,31 @@ class WeaverRuntime:
 
     # -- deployment -----------------------------------------------------------
 
-    def deploy(
+    def _deploy(
         self,
         aspect: Aspect,
-        targets: Iterable[type],
+        targets: "Iterable[type | ModuleType]",
         *,
         fields: Iterable[str] = (),
         require_match: bool = True,
         instances: "Iterable[Any] | InstanceScope | None" = None,
+        members: "frozenset[str] | None" = None,
         _scans: _BatchScans | None = None,
     ) -> Deployment:
-        """Weave *aspect* into *targets*.
+        """Weave *aspect* into *targets* (the engine under :meth:`weave`).
 
         ``fields`` names instance attributes to expose as field join points
         (Python cannot discover instance attributes statically, so field
         interception is opt-in).  With *require_match*, deploying an aspect
         that matches nothing raises — almost always a pointcut typo.
+
+        ``targets`` may mix classes and *modules*: a module's shadows are
+        its own module-level functions (see
+        :class:`~repro.aop.weaver.ModuleShadow`), woven by rebinding the
+        module global and restored exactly on undeploy.  Modules have no
+        instances to scope to, no fields and no MRO to graft
+        introductions through, so ``instances`` is rejected with module
+        targets and the introduction/field phases skip them.
 
         ``instances`` narrows the deployment to an *instance scope*: the
         woven members become per-shadow dispatchers that run advice only
@@ -180,6 +210,11 @@ class WeaverRuntime:
         introductions cannot be instance-scoped — introductions graft
         class members.
 
+        ``members`` restricts planning to the named shadows — how
+        :meth:`weave` narrows a module deployment to exactly the functions
+        the caller passed, rather than everything the pointcut matches in
+        the module.
+
         ``_scans`` is a :class:`DeploymentSet` batch's shared scan view;
         single deployments read this runtime's shadow index directly.
         """
@@ -187,6 +222,13 @@ class WeaverRuntime:
         advice = sorted(aspect.advice(), key=lambda a: a.order)
         targets = list(targets)
         scope = InstanceScope.resolve(instances)
+        module_targets = [t for t in targets if not isinstance(t, type)]
+        if scope is not None and module_targets:
+            raise WeavingError(
+                "instance scopes require class targets; module-level "
+                "functions have no receiver to scope to "
+                f"({', '.join(m.__name__ for m in module_targets)})"
+            )
         introductions = list(aspect.introductions())
         if scope is not None and introductions:
             raise WeavingError(
@@ -212,6 +254,8 @@ class WeaverRuntime:
         for declaration in aspect.declarations():
             for cls in targets:
                 for shadow in scans.shadows(cls):
+                    if members is not None and shadow.name not in members:
+                        continue
                     if declaration.pointcut.matches_shadow(
                         cls, shadow.name, JoinPointKind.METHOD_EXECUTION
                     ):
@@ -224,6 +268,8 @@ class WeaverRuntime:
             intro_touched: set[type] = set()
             for introduction in introductions:
                 for cls in targets:
+                    if not isinstance(cls, type):
+                        continue  # introductions graft class members only
                     applied = introduction.apply(cls)
                     if applied is not None:
                         deployment.introductions.append(applied)
@@ -253,9 +299,11 @@ class WeaverRuntime:
             # instrumentation.
             method_plan: list[tuple[Any, list[Advice]]] = []
             field_plan: list[tuple[type, str, list[Advice], list[Advice]]] = []
-            tracking_only: set[tuple[type, str]] = set()
+            tracking_only: set[tuple[Any, str]] = set()
             for cls in targets:
                 for shadow in scans.shadows(cls):
+                    if members is not None and shadow.name not in members:
+                        continue
                     matching = [
                         a
                         for a in advice
@@ -272,6 +320,8 @@ class WeaverRuntime:
                         ):
                             tracking_only.add(key)
                             method_plan.append((shadow, []))
+                if not isinstance(cls, type):
+                    continue  # modules have no instance fields
                 for field_name in fields:
                     getters = [
                         a
@@ -290,7 +340,7 @@ class WeaverRuntime:
                     if getters or setters:
                         field_plan.append((cls, field_name, getters, setters))
 
-            touched: set[type] = set()
+            touched: set[Any] = set()
             marker_classes: set[type] = set()
             # Tier planner: observation-only, residue-free, class-wide
             # advice on a monitorable code object dispatches from
@@ -311,7 +361,15 @@ class WeaverRuntime:
                     if registration is not None:
                         deployment.monitor_sites.append(registration)
                         continue
-                wrapper = self._make_method_wrapper(shadow, matching, scope)
+                if isinstance(shadow, ModuleShadow):
+                    wrapper = make_module_wrapper(
+                        shadow,
+                        matching,
+                        watchers=self._watchers,
+                        codegen_cache=self._codegen_cache,
+                    )
+                else:
+                    wrapper = self._make_method_wrapper(shadow, matching, scope)
                 marker = getattr(wrapper, "__scope_marker__", None)
                 if marker is not None and shadow.cls not in marker_classes:
                     # Marker dispatch reads `self.<marker>`; unscoped
@@ -371,7 +429,12 @@ class WeaverRuntime:
                 # derived scans (their inherited entries changed underneath
                 # them), which must happen before — never after — a touched
                 # subclass would prime one.
-                for cls in sorted(touched, key=lambda klass: len(klass.__mro__)):
+                for cls in sorted(
+                    touched,
+                    key=lambda klass: (
+                        len(klass.__mro__) if isinstance(klass, type) else 0
+                    ),
+                ):
                     _scans.apply_installs(cls, installed_by_cls.get(cls, {}))
 
             if (
@@ -417,9 +480,136 @@ class WeaverRuntime:
             scope=scope,
         )
 
+    def deploy(
+        self,
+        aspect: Aspect,
+        targets: "Iterable[type | ModuleType]",
+        *,
+        fields: Iterable[str] = (),
+        require_match: bool = True,
+        instances: "Iterable[Any] | InstanceScope | None" = None,
+    ) -> Deployment:
+        """Deprecated: use :meth:`weave` (one surface for every target kind).
+
+        Same semantics as always — this shim forwards to the internal
+        engine — but new code should call ``runtime.weave(targets, aspect,
+        ...)``, which also accepts modules and module-level functions and
+        returns a context-managed handle.
+        """
+        _deprecated("WeaverRuntime.deploy()", "WeaverRuntime.weave()")
+        return self._deploy(
+            aspect,
+            targets,
+            fields=fields,
+            require_match=require_match,
+            instances=instances,
+        )
+
+    def weave(
+        self,
+        target: Any,
+        aspect: Aspect,
+        *,
+        instances: "Iterable[Any] | InstanceScope | None" = None,
+        lint: str | None = None,
+        fields: Iterable[str] = (),
+        require_match: bool = True,
+    ) -> "Weave":
+        """Weave *aspect* over *target*; the one deployment entry point.
+
+        *target* is polymorphic — a class, a module, a module-level
+        function, or a list mixing any of those::
+
+            handle = runtime.weave(PageRenderer, TracingAspect())
+            handle.undeploy()
+
+            with runtime.weave(xmlcore.parser.parse, RetryAspect()):
+                ...                      # advice live inside the block
+            ...                          # original function restored
+
+        Functions are grouped by defining module and woven as
+        member-restricted module deployments (only the named functions are
+        planned, however broadly the pointcut matches).  All constituent
+        deployments ride one :class:`DeploymentSet` transaction, so a
+        failure mid-way (declare error, lint gate, introduction conflict)
+        rolls back everything already woven.
+
+        ``instances`` narrows class targets to an instance scope exactly
+        as before (rejected when *target* includes functions or modules);
+        ``lint`` (``"warn"``/``"error"``) runs the static analyzer gate
+        before weaving; ``require_match`` asserts the aspect matched at
+        least one shadow across the whole target list.
+
+        Returns a :class:`Weave` handle: ``with`` gives aspectlib-style
+        scope (exit restores the originals; an exception inside the block
+        rolls back), ``.undeploy()`` reverses it explicitly.
+        """
+        items = list(target) if isinstance(target, (list, tuple)) else [target]
+        if not items:
+            raise WeavingError("weave(): no targets given")
+        direct: list[Any] = []
+        by_module: dict[ModuleType, list[str]] = {}
+        for item in items:
+            if isinstance(item, (type, ModuleType)):
+                direct.append(item)
+            elif isinstance(item, FunctionType):
+                module = sys.modules.get(getattr(item, "__module__", None) or "")
+                if module is None:
+                    raise WeavingError(
+                        f"weave(): cannot locate the defining module of "
+                        f"{item!r} (its __module__ is not imported)"
+                    )
+                by_module.setdefault(module, []).append(item.__name__)
+            else:
+                raise WeavingError(
+                    f"weave(): unsupported target {item!r}; expected a class, "
+                    "a module, a module-level function, or a list of those"
+                )
+        if instances is not None and by_module:
+            raise WeavingError(
+                "weave(): instance scopes require class targets; "
+                "module-level functions have no receiver to scope to"
+            )
+        tx = self.transaction()
+        matched = False
+        try:
+            if direct:
+                d = tx._add(
+                    aspect,
+                    direct,
+                    fields=fields,
+                    require_match=False,
+                    instances=instances,
+                    lint=lint,
+                )
+                matched |= bool(d.members or d.monitor_sites or d.introductions)
+            for module, names in by_module.items():
+                d = tx._add(
+                    aspect,
+                    [module],
+                    require_match=False,
+                    members=frozenset(names),
+                    lint=lint,
+                )
+                matched |= bool(d.members or d.monitor_sites or d.introductions)
+            if require_match and not matched:
+                described = ", ".join(
+                    [t.__name__ for t in direct]
+                    + [f"{m.__name__}.{n}" for m, ns in by_module.items() for n in ns]
+                )
+                raise WeavingError(
+                    f"aspect {type(aspect).__name__} matched nothing in "
+                    f"[{described}]"
+                )
+        except BaseException:
+            tx.rollback()
+            raise
+        tx.commit()
+        return Weave(self, tx)
+
     def transaction(
         self,
-        targets: Iterable[type] | None = None,
+        targets: "Iterable[type | ModuleType] | None" = None,
         *,
         fields: Iterable[str] = (),
     ) -> "DeploymentSet":
@@ -440,11 +630,25 @@ class WeaverRuntime:
         fields: Iterable[str] = (),
         require_match: bool = True,
     ) -> list[Deployment]:
+        """Deprecated: use :meth:`weave` (or :meth:`transaction` directly)."""
+        _deprecated("WeaverRuntime.deploy_all()", "WeaverRuntime.weave()")
+        return self._deploy_all(
+            aspects, targets, fields=fields, require_match=require_match
+        )
+
+    def _deploy_all(
+        self,
+        aspects: Iterable[Aspect],
+        targets: Iterable[type],
+        *,
+        fields: Iterable[str] = (),
+        require_match: bool = True,
+    ) -> list[Deployment]:
         """Deploy several aspects over the same targets, in order.
 
-        Semantically identical to sequential :meth:`deploy` calls — later
-        aspects wrap earlier ones, and the batch unwinds LIFO like any
-        other deployments — but the whole batch runs through one
+        Semantically identical to sequential deploys — later aspects wrap
+        earlier ones, and the batch unwinds LIFO like any other
+        deployments — but the whole batch runs through one
         :class:`DeploymentSet`, planning from **one** shadow scan per
         class.  All-or-nothing: if a later aspect's deploy raises (declare
         error, pointcut typo with *require_match*, ...), the aspects
@@ -453,7 +657,7 @@ class WeaverRuntime:
         tx = self.transaction(targets, fields=fields)
         try:
             for aspect in aspects:
-                tx.add(aspect, require_match=require_match)
+                tx._add(aspect, require_match=require_match)
         except BaseException:
             tx.rollback()
             raise
@@ -644,7 +848,9 @@ class WeaverRuntime:
 class WovenSite:
     """One woven member, as reported by :meth:`WeaverRuntime.woven_sites`."""
 
-    cls: type
+    #: The owning container: a class, or a module for module-function
+    #: weaves (whose signatures read ``package.module.function``).
+    cls: Any
     member: str
     #: ``"method"``, ``"field"`` or ``"introduction"``.
     kind: str
@@ -720,18 +926,68 @@ def _describe_member(
     )
 
 
+class Weave:
+    """A live :meth:`WeaverRuntime.weave` handle (context-managed).
+
+    Wraps the committed :class:`DeploymentSet` the weave ran through.
+    ``with runtime.weave(...) as handle:`` gives aspectlib-style scoping:
+    the advice is live inside the block and the originals are restored on
+    exit (a raising block rolls back best-effort instead of unwinding
+    strictly).  Outside a ``with`` block, call :meth:`undeploy`.
+    """
+
+    def __init__(self, runtime: WeaverRuntime, tx: "DeploymentSet") -> None:
+        self._runtime = runtime
+        self._tx = tx
+
+    def __repr__(self) -> str:
+        return (
+            f"<Weave {len(self.deployments)} deployment(s) "
+            f"on {self._runtime.name!r}>"
+        )
+
+    @property
+    def deployments(self) -> list[Deployment]:
+        """The live deployment handles this weave installed, oldest first."""
+        return self._tx.deployments
+
+    @property
+    def active(self) -> bool:
+        return bool(self._tx.deployments)
+
+    def undeploy(self) -> None:
+        """Strict LIFO unweave of everything this handle installed."""
+        self._tx.undeploy()
+
+    def rollback(self) -> None:
+        """Best-effort unwind (keeps going past revert failures)."""
+        self._tx.rollback()
+
+    def __enter__(self) -> "Weave":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.rollback()
+        else:
+            self.undeploy()
+
+
 @dataclass
 class _SetEntry:
     """One :meth:`DeploymentSet.add`'s recipe plus its live deployment."""
 
     aspect: Aspect
-    targets: list[type]
+    targets: list[Any]
     fields: tuple[str, ...]
     require_match: bool
     deployment: Deployment
     #: The resolved instance scope (None = class-wide).  Survivor
     #: re-weaves pass the *same* scope object, so membership persists.
     scope: InstanceScope | None = None
+    #: Member-name restriction (:meth:`WeaverRuntime.weave` function
+    #: targets); survivor re-weaves must honour the same narrowing.
+    members: "frozenset[str] | None" = None
 
 
 class DeploymentSet:
@@ -788,12 +1044,39 @@ class DeploymentSet:
     def add(
         self,
         aspect: Aspect,
-        targets: Iterable[type] | None = None,
+        targets: "Iterable[type | ModuleType] | None" = None,
         *,
         fields: Iterable[str] | None = None,
         require_match: bool = True,
         instances: "Iterable[Any] | InstanceScope | None" = None,
         lint: str | None = None,
+    ) -> Deployment:
+        """Deprecated: use :meth:`WeaverRuntime.weave` (one call per aspect).
+
+        A weave's constituent deployments already share a transaction;
+        sets that batch *several* aspects atomically keep working through
+        this shim unchanged.
+        """
+        _deprecated("DeploymentSet.add()", "WeaverRuntime.weave()")
+        return self._add(
+            aspect,
+            targets,
+            fields=fields,
+            require_match=require_match,
+            instances=instances,
+            lint=lint,
+        )
+
+    def _add(
+        self,
+        aspect: Aspect,
+        targets: "Iterable[type | ModuleType] | None" = None,
+        *,
+        fields: Iterable[str] | None = None,
+        require_match: bool = True,
+        instances: "Iterable[Any] | InstanceScope | None" = None,
+        lint: str | None = None,
+        members: "frozenset[str] | None" = None,
     ) -> Deployment:
         """Weave one more aspect into the set (immediately, but revocably).
 
@@ -833,12 +1116,13 @@ class DeploymentSet:
                 mode=lint,
                 index=self._runtime.shadow_index,
             )
-        deployment = self._runtime.deploy(
+        deployment = self._runtime._deploy(
             aspect,
             targets,
             fields=resolved_fields,
             require_match=require_match,
             instances=scope,
+            members=members,
             _scans=self._batch,
         )
         self._entries.append(
@@ -849,6 +1133,7 @@ class DeploymentSet:
                 require_match=require_match,
                 deployment=deployment,
                 scope=scope,
+                members=members,
             )
         )
         return deployment
@@ -924,12 +1209,13 @@ class DeploymentSet:
             e for e in self._entries if e.deployment.active or e in survivors
         ]
         for entry in survivors:
-            entry.deployment = self._runtime.deploy(
+            entry.deployment = self._runtime._deploy(
                 entry.aspect,
                 entry.targets,
                 fields=entry.fields,
                 require_match=entry.require_match,
                 instances=entry.scope,
+                members=entry.members,
                 _scans=self._batch,
             )
 

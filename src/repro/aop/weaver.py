@@ -34,7 +34,7 @@ import functools
 import itertools
 import weakref
 from dataclasses import dataclass, field
-from types import FunctionType
+from types import FunctionType, ModuleType
 from typing import Any, Callable, Iterable
 
 from . import codegen
@@ -265,6 +265,51 @@ def _scan_method_shadows(cls: type) -> tuple[MethodShadow, ...]:
     )
 
 
+@dataclass(frozen=True)
+class ModuleShadow:
+    """A module-level function the weaver may wrap.
+
+    The structural twin of :class:`MethodShadow` for module globals:
+    ``module`` owns the ``name`` binding, ``original`` is the function the
+    weave replaces (and undeploy restores).  ``cls`` aliases the module
+    object so every container-agnostic consumer — :class:`_WovenMember`,
+    deployment planning, ``woven_sites()`` — reads one field name for
+    "the thing holding the member"; a module's ``__name__`` is its dotted
+    path, which makes the derived signatures read
+    ``package.module.function``.  Module bindings are never inherited.
+    """
+
+    module: ModuleType
+    name: str
+    original: Callable
+
+    #: Module globals have no MRO to inherit through.
+    inherited: bool = False
+
+    @property
+    def cls(self) -> ModuleType:
+        return self.module
+
+
+def _scan_module_shadows(module: ModuleType) -> tuple[ModuleShadow, ...]:
+    """Weavable function shadows of one module, sorted by name.
+
+    Only plain functions *defined by* the module are shadows: imported
+    functions (``from os.path import join``) belong to their defining
+    module and would be woven there, and underscore-prefixed names are
+    private by convention, matching the method scan's dunder skip.  The
+    ``__module__`` test stays true across re-weaves — wrapper factories
+    copy the original's metadata via ``functools.update_wrapper``.
+    """
+    return tuple(
+        ModuleShadow(module=module, name=name, original=member)
+        for name, member in sorted(module.__dict__.items())
+        if isinstance(member, FunctionType)
+        and not name.startswith("_")
+        and getattr(member, "__module__", None) == module.__name__
+    )
+
+
 class _TokenBoard:
     """Process-wide per-class invalidation stamps shared by every runtime.
 
@@ -321,7 +366,9 @@ class _TokenBoard:
                 continue
             seen.add(klass)
             self._tokens[klass] = stamp
-            stack.extend(klass.__subclasses__())
+            # Module targets share the board but have no subclass fan-out.
+            if isinstance(klass, type):
+                stack.extend(klass.__subclasses__())
         return stamp
 
     def restore(self, cls: type, token: int) -> None:
@@ -366,12 +413,21 @@ class ShadowIndex:
             "weakref.WeakKeyDictionary[type, tuple[int, tuple[MethodShadow, ...]]]"
         ) = weakref.WeakKeyDictionary()
 
-    def shadows(self, cls: type) -> tuple[MethodShadow, ...]:
+    def shadows(self, cls: "type | ModuleType") -> tuple[Any, ...]:
+        """Cached shadows of a class *or module* target.
+
+        Modules ride the same machinery — they are hashable and weakly
+        referenceable, so the cache and token board need no special
+        casing; only the scan itself dispatches on the target kind.
+        """
         token = _token_board.token(cls)
         entry = self._cache.get(cls)
         if entry is not None and entry[0] == token:
             return entry[1]
-        scan = _scan_method_shadows(cls)
+        if isinstance(cls, type):
+            scan: tuple[Any, ...] = _scan_method_shadows(cls)
+        else:
+            scan = _scan_module_shadows(cls)
         self._cache[cls] = (token, scan)
         return scan
 
@@ -479,8 +535,17 @@ class _BatchScans:
         return scan
 
     def _drop(self, cls: type, *, and_self: bool) -> None:
+        # Module targets have no subclasses: only the exact entry can drop.
+        if not isinstance(cls, type):
+            if and_self:
+                self._scans.pop(cls, None)
+            return
         for cached in [
-            k for k in self._scans if (and_self or k is not cls) and issubclass(k, cls)
+            k
+            for k in self._scans
+            if (and_self or k is not cls)
+            and isinstance(k, type)
+            and issubclass(k, cls)
         ]:
             del self._scans[cached]
 
@@ -498,17 +563,23 @@ class _BatchScans:
         old = self._scans.get(cls)
         if old is None:
             return  # never scanned this batch (or introduction-reset)
-        derived: list[MethodShadow] = []
+        is_module = not isinstance(cls, type)
+        derived: list[Any] = []
         for entry in old:
             wrapper = installed.get(entry.name, _MISSING)
             if wrapper is _MISSING:
                 derived.append(entry)
             elif isinstance(wrapper, FunctionType):
-                derived.append(
-                    MethodShadow(
-                        cls=cls, name=entry.name, original=wrapper, inherited=False
+                if is_module:
+                    derived.append(
+                        ModuleShadow(module=cls, name=entry.name, original=wrapper)
                     )
-                )
+                else:
+                    derived.append(
+                        MethodShadow(
+                            cls=cls, name=entry.name, original=wrapper, inherited=False
+                        )
+                    )
             # else: a data descriptor displaced the function — rescans
             # would not report it, so neither does the derived scan.
         scan = tuple(derived)
@@ -523,6 +594,15 @@ def method_shadows(cls: type) -> list[MethodShadow]:
     invalidate entries whenever they install or revert members.
     """
     return list(shadow_index.shadows(cls))
+
+
+def module_shadows(module: ModuleType) -> list[ModuleShadow]:
+    """All weavable function shadows of *module* (see the scan's rules).
+
+    Memoized through the default runtime's :data:`shadow_index`, exactly
+    like :func:`method_shadows`.
+    """
+    return list(shadow_index.shadows(module))
 
 
 class _WatcherCount:
@@ -1121,6 +1201,118 @@ def make_method_wrapper(
     wrapper.__woven_advice_count__ = len(advice)  # type: ignore[attr-defined]
     if scope is not None:
         wrapper.__woven_scope__ = scope  # type: ignore[attr-defined]
+    return wrapper
+
+
+def make_module_wrapper(
+    shadow: ModuleShadow,
+    advice: list[Advice],
+    *,
+    watchers: _WatcherCount,
+    codegen_cache: "codegen.CodegenCache | None" = None,
+):
+    """The wrapper for one module-function shadow, fastest eligible tier.
+
+    The module counterpart of :func:`make_method_wrapper`, minus instance
+    scoping (module functions have no receiver, so there is nothing to
+    scope to — the runtime rejects ``instances=`` with module targets
+    before planning).  Fully-static chains get a generated wrapper; the
+    ``REPRO_AOP_CODEGEN=0`` escape hatch and dynamic residues fall back
+    to the generic closures below.
+    """
+    selector = _ChainSelector(advice)
+    if advice and not selector.has_dynamic and codegen.codegen_enabled():
+        wrapper = codegen.generate_module_wrapper(
+            shadow.original,
+            shadow.module,
+            shadow.name,
+            tuple(advice),
+            selector,
+            watchers,
+            cache=codegen_cache,
+        )
+    else:
+        wrapper = _make_generic_module_wrapper(shadow, advice, selector, watchers)
+        wrapper.__dict__.pop("__codegen_source__", None)
+        wrapper.__dict__.pop("__joinpoint_pool__", None)
+        wrapper.__dict__.pop("__scope_marker__", None)
+    wrapper.__dict__.pop("__woven_scope__", None)
+    wrapper.__woven__ = True  # type: ignore[attr-defined]
+    wrapper.__woven_original__ = shadow.original  # type: ignore[attr-defined]
+    wrapper.__woven_advice_count__ = len(advice)  # type: ignore[attr-defined]
+    return wrapper
+
+
+def _make_generic_module_wrapper(
+    shadow: ModuleShadow,
+    advice: list[Advice],
+    selector: _ChainSelector,
+    watchers: _WatcherCount,
+):
+    """Generic closures for a module-function shadow (no receiver).
+
+    The same three dispatch tiers as :func:`_make_generic_method_wrapper`
+    — tracking-only, static, dynamic — with ``jp.target = None`` and
+    ``jp.cls`` bound to the owning module object, so residue selectors
+    and cflow frames observe module executions exactly like method ones.
+    """
+    original = shadow.original
+    module = shadow.module
+    name = shadow.name
+
+    if not advice:
+
+        @functools.wraps(original)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            jp = JoinPoint(
+                JoinPointKind.METHOD_EXECUTION, None, module, name, args, kwargs
+            )
+            token = push_frame(jp)
+            try:
+                return original(*args, **kwargs)
+            finally:
+                pop_frame(token)
+
+    elif not selector.has_dynamic:
+        chain = selector.full_chain
+
+        @functools.wraps(original)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            jp = JoinPoint(
+                JoinPointKind.METHOD_EXECUTION, None, module, name, args, kwargs
+            )
+
+            def proceed(*call_args: Any, **call_kwargs: Any) -> Any:
+                return original(*call_args, **call_kwargs)
+
+            if watchers.count:
+                token = push_frame(jp)
+                try:
+                    return chain(jp, proceed)
+                finally:
+                    pop_frame(token)
+            return chain(jp, proceed)
+
+    else:
+
+        @functools.wraps(original)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            jp = JoinPoint(
+                JoinPointKind.METHOD_EXECUTION, None, module, name, args, kwargs
+            )
+            token = push_frame(jp)
+            try:
+                chain = selector.select(jp)
+                if chain is None:
+                    return original(*args, **kwargs)
+
+                def proceed(*call_args: Any, **call_kwargs: Any) -> Any:
+                    return original(*call_args, **call_kwargs)
+
+                return chain(jp, proceed)
+            finally:
+                pop_frame(token)
+
     return wrapper
 
 

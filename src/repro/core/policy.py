@@ -25,7 +25,7 @@ class SeparationPolicy(Aspect):
 
     Deploy it against the base-program classes in a test or CI hook::
 
-        WeaverRuntime().deploy(SeparationPolicy(), [PageRenderer], require_match=False)
+        WeaverRuntime().weave([PageRenderer], SeparationPolicy(), require_match=False)
 
     A clean base program deploys (and un-deploys) without effect; one that
     has grown an ``add_link``-style method fails loudly with the member
@@ -50,7 +50,7 @@ def check_separation(*classes: type, extra_shapes: tuple[str, ...] = ()) -> None
     from repro.aop import WeaverRuntime
 
     runtime = WeaverRuntime("separation-check")
-    deployment = runtime.deploy(
+    deployment = runtime._deploy(
         SeparationPolicy(extra_shapes), list(classes), require_match=False
     )
     runtime.undeploy(deployment)

@@ -97,7 +97,7 @@ def build_woven_site_stacked(
     renderer = PageRenderer(fixture)
     with weaver.transaction([PageRenderer]) as tx:
         for spec in specs:
-            tx.add(NavigationAspect(spec, fixture), lint=lint)
+            tx._add(NavigationAspect(spec, fixture), lint=lint)
         try:
             return renderer.build_site()
         finally:
@@ -183,7 +183,7 @@ class NavigationWeaver:
         if self._deployment is not None:
             return self
         self._aspect = NavigationAspect(self._spec, self._fixture)
-        self._deployment = self._runtime.deploy(self._aspect, [PageRenderer])
+        self._deployment = self._runtime._deploy(self._aspect, [PageRenderer])
         return self
 
     def undeploy(self) -> None:

@@ -340,8 +340,10 @@ class WorkerPool:
         self._sleep = time.sleep
 
     def start(self) -> None:
+        # No traffic has hit the pool yet, so the rebalance sweep would
+        # only issue empty snapshots against the earlier workers.
         for _ in range(self._initial_count):
-            self.add_worker()
+            self.add_worker(rebalance=False)
 
     def _new_worker(self, name: str) -> WorkerProcess:
         return WorkerProcess(
@@ -352,8 +354,22 @@ class WorkerPool:
             spawn_timeout=self._spawn_timeout,
         )
 
-    def add_worker(self) -> WorkerProcess:
-        """Spawn one more worker and add it to the ring."""
+    def add_worker(self, *, rebalance: bool = True) -> WorkerProcess:
+        """Spawn one more worker, add it to the ring, and rebalance.
+
+        Joining the ring moves a slice of every existing worker's key
+        space onto the newcomer — requests for those sids route to it
+        immediately, so their session records must follow (the mirror
+        image of :meth:`retire_worker`'s drain).  Each live worker is
+        snapshotted and the records the ring now assigns to the new
+        name are restored into it.  The donors keep their (now
+        unreachable) copies; a session record is a portable snapshot,
+        not an owning handle, so the stale copy is dead weight that
+        dies with the donor rather than a consistency hazard.
+
+        ``rebalance=False`` skips the migration sweep — only correct
+        while the pool holds no sessions (:meth:`start`'s initial fill).
+        """
         with self._lock:
             name = f"w{next(self._names)}"
         worker = self._new_worker(name)
@@ -361,6 +377,17 @@ class WorkerPool:
         with self._lock:
             self.workers[name] = worker
             self.ring.add(name)
+            donors = [
+                w
+                for donor_name, w in self.workers.items()
+                if rebalance and donor_name != name and w.alive
+            ]
+        for donor in donors:
+            records = donor.snapshot_sessions()
+            with self._lock:
+                moved = [r for r in records if self.ring.owner(r.sid) == name]
+            if moved:
+                worker.restore_sessions(moved)
         return worker
 
     def owner_of(self, sid: str) -> WorkerProcess:
@@ -598,7 +625,10 @@ class ClusterFront:
             name: value
             for name, value in headers.items()
             if name.lower() not in _HOP_BY_HOP
-            and name.lower() not in ("host", "content-length")
+            # x-repro-session is replaced below — keeping the client's
+            # copy would send the header twice and the worker would see
+            # the comma-joined value as the session id.
+            and name.lower() not in ("host", "content-length", "x-repro-session")
         }
         forwarded["X-Repro-Session"] = sid
         return forwarded

@@ -281,7 +281,7 @@ class AudienceServer:
         added: list[Any] = []
         try:
             for aspect in aspects:
-                self._tx.add(aspect, instances=scope, lint=self._lint)
+                self._tx._add(aspect, instances=scope, lint=self._lint)
                 added.append(aspect)
         except BaseException:
             # Unwind the partial stack so the audience is never left with
@@ -453,7 +453,7 @@ class AudienceServer:
             if self._closed:
                 raise NavigationError("audience server is closed")
             scope = InstanceScope.resolve(instances)
-            deployment = self._tx.add(aspect, instances=scope, lint=self._lint)
+            deployment = self._tx._add(aspect, instances=scope, lint=self._lint)
             self._session_aspects[id(aspect)] = (aspect, scope, audience)
             # Cached skeletons render through the audience's *shared*
             # renderer, so a scoped deployment only supersedes them when
@@ -597,7 +597,7 @@ class AudienceServer:
                 # Both on success and on a rolled-back failure, the
                 # audience's sessions return to the top of the stack.
                 for aspect, scope, _ in restacked:
-                    self._tx.add(aspect, instances=scope)
+                    self._tx._add(aspect, instances=scope)
                 # Closing fence: anything rendered *during* the swap was
                 # keyed under the opening fence's epoch and dies here, so
                 # the first post-reconfigure request re-renders.

@@ -190,9 +190,18 @@ def cmd_aop_inspect(args: argparse.Namespace) -> int:
     runtime = WeaverRuntime("aop-inspect")
     with runtime.transaction([PageRenderer]) as tx:
         for access in accesses:
-            tx.add(NavigationAspect(default_museum_spec(access), fixture))
+            tx._add(NavigationAspect(default_museum_spec(access), fixture))
+        title = " + ".join(accesses)
+        if args.modules:
+            import repro.xlink.resolver as resolver_module
+            import repro.xmlcore.parser as parser_module
+
+            tx._add(
+                _module_tracing_aspect(), [parser_module, resolver_module]
+            )
+            title += " + module tracing"
         try:
-            _print_woven_sites(runtime, f"Woven sites: {' + '.join(accesses)}")
+            _print_woven_sites(runtime, f"Woven sites: {title}")
             _print_runtime_stats(runtime)
             if args.source:
                 _print_source(runtime, args.source)
@@ -306,6 +315,19 @@ def _scan_access_names(paths: list[str]) -> tuple[list[str], int]:
     return sorted(names), len(files)
 
 
+def _module_tracing_aspect():
+    """The lint stand-in for the example's module-weave workload."""
+    from repro.aop import Aspect, execution, generator, proceed, return_
+
+    class ModuleTracing(Aspect):
+        @generator(execution("parser.parse") | execution("resolver.resolve_uri"))
+        def trace(self, jp):
+            result = yield proceed
+            yield return_(result)
+
+    return ModuleTracing()
+
+
 def cmd_aop_lint(args: argparse.Namespace) -> int:
     """Statically analyze weave plans — nothing is deployed.
 
@@ -351,6 +373,16 @@ def cmd_aop_lint(args: argparse.Namespace) -> int:
     ]
     diagnostics = analyze_deployment(aspects, [PageRenderer])
     diagnostics += analyze_concurrency(aspects)
+    # The module-function plan: the same battery over module-level
+    # weaving — the generator tracing aspect
+    # examples/module_weave_tracing.py deploys over the XML substrate.
+    import repro.xlink.resolver as resolver_module
+    import repro.xmlcore.parser as parser_module
+
+    module_targets = [parser_module, resolver_module]
+    module_aspect = _module_tracing_aspect()
+    diagnostics += analyze_deployment(module_aspect, module_targets)
+    diagnostics += analyze_concurrency([module_aspect])
     shapes = 0
     if not args.no_codegen:
         for label, source in enumerate_template_sources():
@@ -360,6 +392,7 @@ def cmd_aop_lint(args: argparse.Namespace) -> int:
         print(diagnostic.format())
     summary = (
         f"{len(aspects)} aspect(s) over PageRenderer [{'+'.join(names)}], "
+        f"1 generator aspect over {len(module_targets)} module(s), "
         f"{shapes} codegen template shapes verified"
     )
     if scanned:
@@ -688,6 +721,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "serve these stock audience bundles live (comma-separated, e.g. "
             "visitor,curator) and report per-scope rows instead of --stack"
+        ),
+    )
+    inspect.add_argument(
+        "--modules",
+        action="store_true",
+        help=(
+            "also weave the generator tracing aspect over the XML substrate's "
+            "module-level functions and report those sites"
         ),
     )
     inspect.set_defaults(fn=cmd_aop_inspect)

@@ -21,6 +21,7 @@ from repro.navigation.cluster import (
     HashRing,
     WorkerPool,
 )
+from repro.navigation.session import SessionRecord
 
 GUITAR = "PaintingNode/guitar.html"
 
@@ -218,6 +219,36 @@ class TestClusterEndToEnd:
             assert pool.restarts == {last: 1}
             assert pool.workers[last].alive
 
+            # -- growing the pool migrates the remapped sessions ---------------
+            riders = [f"newcomer-{n}" for n in range(8)]
+            for sid in riders:
+                for page in ("index.html", GUITAR):
+                    status, _, _ = front_call(
+                        front, f"/visitor/{page}", sid=sid
+                    )
+                    assert status == 200
+            grown = pool.add_worker().name
+            assert set(pool.names()) == {last, grown}
+            moved = [s for s in riders if pool.owner_of(s).name == grown]
+            assert moved, (
+                "8 sessions all stayed on the old worker — ring is degenerate"
+            )
+            status, headers, text = front_call(
+                front, "/visitor/PaintingNode/guernica.html", sid=moved[0]
+            )
+            assert status == 200
+            assert headers["X-Repro-Worker"] == grown
+            # The trail followed the session onto the new worker.
+            for crumb in ("index.html", "guitar.html"):
+                assert crumb in text, f"lost {crumb} growing the pool"
+            stayed = [s for s in riders if s not in moved]
+            if stayed:
+                _, headers, text = front_call(
+                    front, f"/visitor/{GUITAR}", sid=stayed[0]
+                )
+                assert headers["X-Repro-Worker"] == last
+                assert "index.html" in text  # untouched trail
+
     def test_retiring_an_unknown_worker_raises(self):
         pool = WorkerPool(1)
         with pytest.raises(KeyError):
@@ -236,6 +267,18 @@ class FakeWorker:
         self._fail_spawns = fail_spawns
         self._alive = False
         self.spawn_attempts = 0
+        self.sessions = {}  # sid -> SessionRecord, the "live" set
+        self.snapshots = 0
+
+    def snapshot_sessions(self):
+        self.snapshots += 1
+        return list(self.sessions.values())
+
+    def restore_sessions(self, records):
+        records = list(records)
+        for record in records:
+            self.sessions[record.sid] = record
+        return len(records)
 
     @property
     def alive(self):
@@ -344,3 +387,51 @@ class TestWorkerRevival:
         assert pool.revive_worker("w0") is live  # alive: untouched
         assert pool.restarts == {}
         assert pool.revive_worker("ghost") is None  # never existed
+
+
+class TestPoolGrowth:
+    """``add_worker``'s rebalance sweep, against in-process fakes."""
+
+    def seed(self, pool, count=40):
+        for n in range(count):
+            sid = f"s{n}"
+            owner = pool.workers[pool.ring.owner(sid)]
+            owner.sessions[sid] = SessionRecord(sid=sid, audience="visitor")
+
+    def test_initial_fill_skips_the_sweep(self):
+        pool = fake_pool(3)
+        assert all(w.snapshots == 0 for w in pool.workers.values())
+
+    def test_add_worker_restores_only_remapped_records(self):
+        pool = fake_pool(2)
+        self.seed(pool)
+        before = {name: dict(w.sessions) for name, w in pool.workers.items()}
+        worker = pool.add_worker()
+        expected = {
+            sid
+            for sessions in before.values()
+            for sid in sessions
+            if pool.ring.owner(sid) == worker.name
+        }
+        assert expected, "no keyspace moved to the newcomer — degenerate ring"
+        assert set(worker.sessions) == expected
+        # Every live donor was snapshotted exactly once; donors keep
+        # their (stale, unreachable) copies — records are snapshots,
+        # not owning handles.
+        for name, sessions in before.items():
+            assert pool.workers[name].snapshots == 1
+            assert set(pool.workers[name].sessions) == set(sessions)
+
+    def test_dead_donors_are_not_snapshotted(self):
+        pool = fake_pool(2)
+        self.seed(pool)
+        casualty = pool.ring.owner("s0")
+        pool.workers[casualty].die()
+        worker = pool.add_worker()
+        assert pool.workers[casualty].snapshots == 0
+        survivor = next(
+            w
+            for name, w in pool.workers.items()
+            if name not in (casualty, worker.name)
+        )
+        assert survivor.snapshots == 1

@@ -341,13 +341,13 @@ class TestManagementSurface:
         call(app, "/visitor/index.html", sid="alice")
         call(app, "/curator/index.html", sid="bob")
         added = []
-        real_add = server._tx.add
+        real_add = server._tx._add
 
         def counting_add(aspect, *args, **kwargs):
             added.append(type(aspect).__name__)
             return real_add(aspect, *args, **kwargs)
 
-        monkeypatch.setattr(server._tx, "add", counting_add)
+        monkeypatch.setattr(server._tx, "_add", counting_add)
         server.reconfigure("curator", ("indexed-guided-tour",))
         # One NavigationAspect for the new stack + exactly one breadcrumb
         # re-stack (bob's); alice's visitor session is never re-added.
